@@ -1,0 +1,73 @@
+// Command characterize prints the characterization of one datacenter's
+// primary tenants (the §3 analysis): the class mix, utilization statistics,
+// and reimaging behaviour.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"harvest/internal/signalproc"
+	"harvest/internal/stats"
+	"harvest/internal/trace"
+)
+
+func main() {
+	dc := flag.String("dc", "DC-9", "datacenter profile name (DC-0 ... DC-9)")
+	scale := flag.Float64("scale", 0.1, "tenant-count scale relative to the full profile")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	profile, ok := trace.ProfileByName(*dc)
+	if !ok {
+		log.Fatalf("unknown datacenter %q", *dc)
+	}
+	gen := trace.NewGenerator(profile.Scaled(*scale), *seed)
+	pop, err := gen.Generate()
+	if err != nil {
+		log.Fatalf("generating telemetry: %v", err)
+	}
+
+	tenantShare, serverShare := pop.PatternShares()
+	fmt.Printf("datacenter %s: %d tenants, %d servers\n\n", pop.Datacenter, len(pop.Tenants), pop.NumServers())
+	fmt.Println("class mix (Figures 2 and 3):")
+	for _, p := range []signalproc.Pattern{
+		signalproc.PatternPeriodic, signalproc.PatternConstant, signalproc.PatternUnpredictable,
+	} {
+		fmt.Printf("  %-13s tenants %5.1f%%   servers %5.1f%%\n", p, 100*tenantShare[p], 100*serverShare[p])
+	}
+
+	var avgUtils, peakUtils, reimageRates []float64
+	for _, t := range pop.Tenants {
+		avgUtils = append(avgUtils, t.AverageUtilization())
+		peakUtils = append(peakUtils, t.PeakUtilization())
+		reimageRates = append(reimageRates, t.ReimagesPerServerMonth)
+	}
+	fmt.Printf("\nutilization: mean of averages %.2f, mean of peaks %.2f\n",
+		stats.Mean(avgUtils), stats.Mean(peakUtils))
+
+	horizon := 36 * 30 * 24 * time.Hour
+	events := gen.GenerateReimageEvents(pop, horizon)
+	perServer := trace.PerServerReimageRates(pop, events, 36)
+	var serverRates []float64
+	for _, r := range perServer {
+		serverRates = append(serverRates, r)
+	}
+	fmt.Printf("\nreimaging over three years (Figures 4 and 5):\n")
+	fmt.Printf("  servers with <= 1 reimage/month: %.1f%%\n", 100*stats.CDFAt(serverRates, 1))
+	fmt.Printf("  tenants with <= 1 reimage/server/month: %.1f%%\n", 100*stats.CDFAt(reimageRates, 1))
+
+	groups, err := trace.MonthlyGroups(pop)
+	if err != nil {
+		log.Fatalf("grouping: %v", err)
+	}
+	changes := trace.GroupChanges(groups)
+	var changeCounts []float64
+	for _, c := range changes {
+		changeCounts = append(changeCounts, float64(c))
+	}
+	fmt.Printf("\nreimage-group stability (Figure 6):\n")
+	fmt.Printf("  tenants with <= 8 group changes out of 35: %.1f%%\n", 100*stats.CDFAt(changeCounts, 8))
+}

@@ -1,0 +1,162 @@
+// Command harvestsim runs any of the paper's experiments by name and prints
+// the series or rows it produces.
+//
+// Usage:
+//
+//	harvestsim -experiment fig13 [-scale 0.05] [-seed 1]
+//
+// Experiments: fig1, fig2-3, fig4, fig5, fig6, fig7, fig8, fig10-11, fig12,
+// fig13, fig14, fig15, fig16, microbench.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"harvest/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment to run (fig1 ... fig16, microbench)")
+	scaleFactor := flag.Float64("scale", 0.05, "datacenter scale relative to the paper's setup")
+	blockScale := flag.Float64("blocks", 0.005, "block-count scale for storage experiments")
+	workloadScale := flag.Float64("workload", 0.15, "workload-horizon scale for testbed experiments")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	scale := experiments.Scale{
+		Datacenter: *scaleFactor,
+		Blocks:     *blockScale,
+		Workload:   *workloadScale,
+		Seed:       *seed,
+	}
+
+	if *experiment == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*experiment, scale); err != nil {
+		log.Fatalf("%s: %v", *experiment, err)
+	}
+}
+
+func run(name string, scale experiments.Scale) error {
+	switch name {
+	case "fig1":
+		results, err := experiments.Figure1(scale)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Printf("%s: %d samples, dominant frequency %d cycles/month\n",
+				r.Pattern, len(r.TimeSeries), r.DominantFrequency)
+		}
+	case "fig2-3", "fig2", "fig3":
+		rows, err := experiments.Figure2And3(scale)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			fmt.Printf("%s tenants=%d servers=%d tenantShare=%v serverShare=%v\n",
+				row.Datacenter, row.TotalTenants, row.TotalServers, row.TenantShare, row.ServerShare)
+		}
+	case "fig4":
+		return printCDF(experiments.Figure4, scale, 1.0)
+	case "fig5":
+		return printCDF(experiments.Figure5, scale, 1.0)
+	case "fig6":
+		return printCDF(experiments.Figure6, scale, 8)
+	case "fig7":
+		res := experiments.Figure7()
+		fmt.Printf("%+v\n", res)
+	case "fig8":
+		res, err := experiments.Figure8(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("space imbalance %.2f, example selection %v\n", res.SpaceImbalance, res.ExampleSelection)
+		for col := 0; col < 3; col++ {
+			for row := 0; row < 3; row++ {
+				fmt.Printf("cell[col=%d][row=%d]: %d tenants, %d bytes\n",
+					col, row, res.CellTenants[col][row], res.CellBytes[col][row])
+			}
+		}
+	case "fig10-11", "fig10", "fig11":
+		results, err := experiments.Figure10And11(scale)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Printf("%-22s avgTail=%v maxTail=%v jobs=%d avgRuntime=%v kills=%d util=%.2f\n",
+				r.System, r.AvgTailLatency, r.MaxTailLatency, r.CompletedJobs, r.AvgJobRuntime,
+				r.TasksKilled, r.AvgClusterUtilization)
+		}
+	case "fig12":
+		results, err := experiments.Figure12(scale)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Printf("%-12s avgTail=%v maxTail=%v failedAccesses=%d\n",
+				r.System, r.AvgTailLatency, r.MaxTailLatency, r.FailedAccesses)
+		}
+	case "fig13":
+		points, err := experiments.Figure13(scale, experiments.DefaultFigure13Config())
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Printf("util=%.2f scaling=%v PT=%v H=%v improvement=%.1f%% kills PT=%d H=%d\n",
+				p.TargetUtilization, p.Scaling, p.PTAvgRuntime, p.HistoryAvgRuntime,
+				100*p.Improvement, p.PTKills, p.HistoryKills)
+		}
+	case "fig14":
+		rows, err := experiments.Figure14(scale, experiments.DefaultFigure13Config(), nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%s %v min=%.1f%% avg=%.1f%% max=%.1f%%\n",
+				r.Datacenter, r.Scaling, 100*r.MinImprovement, 100*r.AvgImprovement, 100*r.MaxImprovement)
+		}
+	case "fig15":
+		rows, err := experiments.Figure15(scale, experiments.DefaultFigure15Config())
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%s %v R=%d blocks=%d lost=%d (%.6f%%)\n",
+				r.Datacenter, r.Policy, r.Replication, r.Blocks, r.LostBlocks, 100*r.LostFraction)
+		}
+	case "fig16":
+		rows, err := experiments.Figure16(scale, experiments.DefaultFigure16Config())
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("util=%.2f %v R=%d failed=%.5f\n",
+				r.TargetUtilization, r.Policy, r.Replication, r.FailedFraction)
+		}
+	case "microbench":
+		res, err := experiments.Microbench(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("clustering=%v classes=%d classSelection=%v placement=%v\n",
+			res.ClusteringDuration, res.Classes, res.ClassSelectionDuration, res.PlacementDuration)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+func printCDF(fn func(experiments.Scale) ([]experiments.CDFRow, error), scale experiments.Scale, threshold float64) error {
+	rows, err := fn(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatCDFSummary(rows, threshold))
+	return nil
+}

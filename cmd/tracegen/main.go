@@ -1,0 +1,78 @@
+// Command tracegen generates synthetic AutoPilot-like telemetry for one of
+// the built-in datacenter profiles and writes it as JSON: one record per
+// primary tenant with its classification, utilization summary, and reimaging
+// history. The output feeds external analysis or serves as a fixture for
+// other tools.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"harvest/internal/trace"
+)
+
+// tenantRecord is the exported per-tenant JSON shape.
+type tenantRecord struct {
+	ID                     int       `json:"id"`
+	Environment            string    `json:"environment"`
+	MachineFunction        string    `json:"machineFunction"`
+	Servers                int       `json:"servers"`
+	Pattern                string    `json:"pattern"`
+	AvgUtilization         float64   `json:"avgUtilization"`
+	PeakUtilization        float64   `json:"peakUtilization"`
+	ReimagesPerServerMonth float64   `json:"reimagesPerServerMonth"`
+	MonthlyReimageRates    []float64 `json:"monthlyReimageRates"`
+}
+
+func main() {
+	dc := flag.String("dc", "DC-9", "datacenter profile name (DC-0 ... DC-9)")
+	scale := flag.Float64("scale", 0.1, "tenant-count scale relative to the full profile")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	profile, ok := trace.ProfileByName(*dc)
+	if !ok {
+		log.Fatalf("unknown datacenter %q", *dc)
+	}
+	pop, err := trace.NewGenerator(profile.Scaled(*scale), *seed).Generate()
+	if err != nil {
+		log.Fatalf("generating telemetry: %v", err)
+	}
+
+	records := make([]tenantRecord, 0, len(pop.Tenants))
+	for _, t := range pop.Tenants {
+		records = append(records, tenantRecord{
+			ID:                     int(t.ID),
+			Environment:            t.Environment,
+			MachineFunction:        t.MachineFunction,
+			Servers:                t.NumServers(),
+			Pattern:                t.Pattern().String(),
+			AvgUtilization:         t.AverageUtilization(),
+			PeakUtilization:        t.PeakUtilization(),
+			ReimagesPerServerMonth: t.ReimagesPerServerMonth,
+			MonthlyReimageRates:    t.MonthlyReimageRates,
+		})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		log.Fatalf("encoding: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d tenants (%d servers) for %s\n",
+		len(records), pop.NumServers(), pop.Datacenter)
+}

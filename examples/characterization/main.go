@@ -1,0 +1,64 @@
+// Command characterization reproduces the paper's datacenter characterization
+// (Figures 1-6) on synthetic telemetry: tenant/server class mixes, reimaging
+// CDFs, and reimage-group stability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harvest/internal/experiments"
+	"harvest/internal/signalproc"
+)
+
+func main() {
+	scale := experiments.QuickScale()
+	scale.Datacenter = 0.2
+
+	sample, err := experiments.Figure1(scale)
+	if err != nil {
+		log.Fatalf("figure 1: %v", err)
+	}
+	fmt.Println("figure 1: sample traces")
+	for _, s := range sample {
+		fmt.Printf("  %-13s dominant frequency %d cycles/month\n", s.Pattern, s.DominantFrequency)
+	}
+
+	rows, err := experiments.Figure2And3(scale)
+	if err != nil {
+		log.Fatalf("figures 2 and 3: %v", err)
+	}
+	fmt.Println("\nfigures 2 and 3: class shares per datacenter")
+	fmt.Println("datacenter  tenants%% (per/const/unpred)   servers%% (per/const/unpred)")
+	for _, row := range rows {
+		fmt.Printf("%-11s %5.1f / %5.1f / %5.1f          %5.1f / %5.1f / %5.1f\n",
+			row.Datacenter,
+			100*row.TenantShare[signalproc.PatternPeriodic],
+			100*row.TenantShare[signalproc.PatternConstant],
+			100*row.TenantShare[signalproc.PatternUnpredictable],
+			100*row.ServerShare[signalproc.PatternPeriodic],
+			100*row.ServerShare[signalproc.PatternConstant],
+			100*row.ServerShare[signalproc.PatternUnpredictable])
+	}
+
+	fig4, err := experiments.Figure4(scale)
+	if err != nil {
+		log.Fatalf("figure 4: %v", err)
+	}
+	fmt.Println("\nfigure 4: fraction of servers with <= 1 reimage/month")
+	fmt.Print(experiments.FormatCDFSummary(fig4, 1.0))
+
+	fig5, err := experiments.Figure5(scale)
+	if err != nil {
+		log.Fatalf("figure 5: %v", err)
+	}
+	fmt.Println("figure 5: fraction of tenants with <= 1 reimage/server/month")
+	fmt.Print(experiments.FormatCDFSummary(fig5, 1.0))
+
+	fig6, err := experiments.Figure6(scale)
+	if err != nil {
+		log.Fatalf("figure 6: %v", err)
+	}
+	fmt.Println("figure 6: fraction of tenants with <= 8 group changes in 3 years")
+	fmt.Print(experiments.FormatCDFSummary(fig6, 8))
+}

@@ -1,0 +1,75 @@
+// Command quickstart is the minimal end-to-end tour of the harvesting
+// library: generate a small datacenter, classify its primary tenants, run the
+// clustering service, select a class for a batch job (Algorithm 1), and place
+// a block's replicas (Algorithm 2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/trace"
+	"harvest/internal/workload"
+)
+
+func main() {
+	// 1. Generate a small DC-9-like datacenter (synthetic AutoPilot telemetry).
+	profile, ok := trace.ProfileByName("DC-9")
+	if !ok {
+		log.Fatal("DC-9 profile missing")
+	}
+	gen := trace.NewGenerator(profile.Scaled(0.05), 42)
+	pop, err := gen.Generate()
+	if err != nil {
+		log.Fatalf("generating telemetry: %v", err)
+	}
+	fmt.Printf("datacenter %s: %d primary tenants, %d servers\n",
+		pop.Datacenter, len(pop.Tenants), pop.NumServers())
+
+	// 2. Run the clustering service: FFT classification + K-Means classes.
+	svc := core.NewClusteringService(core.DefaultClusteringConfig())
+	clustering, err := svc.Cluster(pop)
+	if err != nil {
+		log.Fatalf("clustering: %v", err)
+	}
+	fmt.Printf("utilization classes: %d (%v)\n", len(clustering.Classes), clustering.PatternCounts())
+
+	// 3. Select a class for a batch job using Algorithm 1.
+	selector, err := core.NewSelector(core.DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatalf("selector: %v", err)
+	}
+	job := workload.Query19()
+	request := core.JobRequest{
+		Type:               core.ClassifyLength(10*time.Minute, core.DefaultLengthThresholds()),
+		MaxConcurrentCores: float64(job.MaxConcurrentTasks()),
+	}
+	selection := selector.Select(request, nil)
+	fmt.Printf("query19 (%s, %d concurrent containers) -> classes %v\n",
+		request.Type, job.MaxConcurrentTasks(), selection.Classes)
+
+	// 4. Place a block's replicas with Algorithm 2.
+	infos := make([]core.TenantPlacementInfo, 0, len(pop.Tenants))
+	for _, t := range pop.Tenants {
+		infos = append(infos, core.TenantPlacementInfo{
+			ID: t.ID, Environment: t.Environment, ReimageRate: t.ReimagesPerServerMonth,
+			PeakCPU: t.PeakUtilization(), AvailableBytes: t.HarvestableBytes(), Servers: t.Servers,
+		})
+	}
+	scheme, err := core.BuildPlacementScheme(infos)
+	if err != nil {
+		log.Fatalf("placement scheme: %v", err)
+	}
+	replicas, err := scheme.PlaceReplicas(rand.New(rand.NewSource(2)), core.PlacementConstraints{
+		Replication:        3,
+		Writer:             pop.Tenants[0].Servers[0],
+		EnforceEnvironment: true,
+	})
+	if err != nil {
+		log.Fatalf("placing replicas: %v", err)
+	}
+	fmt.Printf("block replicas placed on servers %v\n", replicas)
+}

@@ -1,0 +1,32 @@
+// Command scheduling compares the three scheduler variants — YARN-Stock,
+// YARN-PT, and YARN-H/Tez-H — on a testbed-style cluster running a TPC-DS-like
+// workload, printing batch runtimes, kill counts, and the primary's tail
+// latency (the Figure 10/11 scenario).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harvest/internal/experiments"
+)
+
+func main() {
+	scale := experiments.QuickScale()
+	scale.Workload = 0.4 // ~2 hours of the 5-hour testbed experiment
+
+	results, err := experiments.Figure10And11(scale)
+	if err != nil {
+		log.Fatalf("running the testbed experiment: %v", err)
+	}
+	fmt.Println("system                 avg 99p latency   max 99p latency   jobs   avg runtime      kills")
+	for _, r := range results {
+		fmt.Printf("%-22s %-17v %-17v %-6d %-16v %d\n",
+			r.System, r.AvgTailLatency.Round(1e6), r.MaxTailLatency.Round(1e6),
+			r.CompletedJobs, r.AvgJobRuntime.Round(1e9), r.TasksKilled)
+	}
+	fmt.Println()
+	fmt.Println("Expected shape (Figures 10 and 11): YARN-Stock has the fastest batch jobs but")
+	fmt.Println("ruins the primary's tail latency; YARN-PT protects the primary but kills many")
+	fmt.Println("tasks; YARN-H/Tez-H protects the primary while killing far fewer tasks.")
+}

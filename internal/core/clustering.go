@@ -1,0 +1,237 @@
+// Package core implements the paper's primary contribution: history-based
+// smart task scheduling and smart replica placement (§4).
+//
+// The clustering service groups primary tenants with similar utilization
+// patterns into utilization classes (this file). The class selection algorithm
+// (schedule.go, Algorithm 1 in the paper) picks the class(es) that should host
+// a batch job's tasks based on the job's expected length and each class's
+// weighted headroom. The replica placement algorithm (placement.go, Algorithm
+// 2) spreads a block's replicas across primary tenants with diverse reimaging
+// and peak-utilization behaviour.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"harvest/internal/kmeans"
+	"harvest/internal/signalproc"
+	"harvest/internal/stats"
+	"harvest/internal/tenant"
+)
+
+// ClassID identifies a utilization class produced by the clustering service.
+type ClassID int
+
+// UtilizationClass is a group of primary tenants with similar utilization
+// patterns. The clustering service tags each class with its pattern, average
+// utilization, and peak utilization (§4.1).
+type UtilizationClass struct {
+	ID      ClassID
+	Pattern signalproc.Pattern
+
+	// AvgUtilization and PeakUtilization summarize the class's historical
+	// behaviour; they feed the headroom definitions for medium and long jobs.
+	AvgUtilization  float64
+	PeakUtilization float64
+
+	// Tenants and Servers list the class members.
+	Tenants []tenant.ID
+	Servers []tenant.ServerID
+
+	// Centroid is the K-Means centroid in profile-feature space.
+	Centroid []float64
+}
+
+// NumServers returns how many servers belong to the class.
+func (c *UtilizationClass) NumServers() int { return len(c.Servers) }
+
+// Clustering is the output of the clustering service: the utilization classes
+// and the tenant/server membership maps the scheduler consults.
+type Clustering struct {
+	Classes []*UtilizationClass
+
+	tenantClass map[tenant.ID]ClassID
+	serverClass map[tenant.ServerID]ClassID
+}
+
+// ClassOfTenant returns the class a tenant belongs to.
+func (c *Clustering) ClassOfTenant(id tenant.ID) (ClassID, bool) {
+	cid, ok := c.tenantClass[id]
+	return cid, ok
+}
+
+// ClassOfServer returns the class a server belongs to.
+func (c *Clustering) ClassOfServer(id tenant.ServerID) (ClassID, bool) {
+	cid, ok := c.serverClass[id]
+	return cid, ok
+}
+
+// Class returns the class with the given id, or nil.
+func (c *Clustering) Class(id ClassID) *UtilizationClass {
+	if int(id) < 0 || int(id) >= len(c.Classes) {
+		return nil
+	}
+	return c.Classes[id]
+}
+
+// PatternCounts returns how many classes exist per pattern (the paper reports
+// 23 classes for DC-9: 13 periodic, 5 constant, 5 unpredictable).
+func (c *Clustering) PatternCounts() map[signalproc.Pattern]int {
+	out := make(map[signalproc.Pattern]int, signalproc.NumPatterns)
+	for _, cls := range c.Classes {
+		out[cls.Pattern]++
+	}
+	return out
+}
+
+// ClusteringConfig tunes the clustering service.
+type ClusteringConfig struct {
+	// ClassesPerPattern fixes the number of K-Means classes for a pattern.
+	// Patterns not present in the map use a heuristic of one class per
+	// TenantsPerClass tenants (at least one, at most MaxClassesPerPattern).
+	ClassesPerPattern map[signalproc.Pattern]int
+	// TenantsPerClass is the target number of tenants per class when
+	// ClassesPerPattern does not specify a pattern. Zero means 30.
+	TenantsPerClass int
+	// MaxClassesPerPattern caps the per-pattern class count. Zero means 16.
+	MaxClassesPerPattern int
+	// Classifier configures the FFT-based pattern classification.
+	Classifier signalproc.ClassifierConfig
+	// Seed drives the K-Means seeding, keeping runs reproducible.
+	Seed int64
+}
+
+// DefaultClusteringConfig returns the configuration used by the experiments.
+func DefaultClusteringConfig() ClusteringConfig {
+	return ClusteringConfig{
+		TenantsPerClass:      30,
+		MaxClassesPerPattern: 16,
+		Classifier:           signalproc.DefaultClassifierConfig(),
+		Seed:                 1,
+	}
+}
+
+// ClusteringService periodically (e.g. once per day, §4.1) re-derives the
+// utilization classes from the most recent telemetry.
+type ClusteringService struct {
+	cfg ClusteringConfig
+}
+
+// NewClusteringService creates a clustering service.
+func NewClusteringService(cfg ClusteringConfig) *ClusteringService {
+	if cfg.TenantsPerClass <= 0 {
+		cfg.TenantsPerClass = 30
+	}
+	if cfg.MaxClassesPerPattern <= 0 {
+		cfg.MaxClassesPerPattern = 16
+	}
+	return &ClusteringService{cfg: cfg}
+}
+
+// Cluster runs the full pipeline of §4.1: classify each tenant's most recent
+// utilization series with the FFT, group tenants by pattern, and run K-Means
+// within each pattern to form utilization classes.
+func (s *ClusteringService) Cluster(pop *tenant.Population) (*Clustering, error) {
+	if len(pop.Tenants) == 0 {
+		return nil, fmt.Errorf("core: cannot cluster an empty population")
+	}
+	// (Re)classify tenants so the clustering reflects the latest telemetry.
+	for _, t := range pop.Tenants {
+		if err := t.Classify(s.cfg.Classifier); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	byPattern := make(map[signalproc.Pattern][]*tenant.Tenant, signalproc.NumPatterns)
+	for _, t := range pop.Tenants {
+		byPattern[t.Pattern()] = append(byPattern[t.Pattern()], t)
+	}
+
+	clustering := &Clustering{
+		tenantClass: make(map[tenant.ID]ClassID, len(pop.Tenants)),
+		serverClass: make(map[tenant.ServerID]ClassID, pop.NumServers()),
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+
+	// Deterministic pattern order.
+	patterns := []signalproc.Pattern{
+		signalproc.PatternConstant, signalproc.PatternPeriodic, signalproc.PatternUnpredictable,
+	}
+	for _, pattern := range patterns {
+		tenants := byPattern[pattern]
+		if len(tenants) == 0 {
+			continue
+		}
+		k := s.classCount(pattern, len(tenants))
+		points := make([][]float64, len(tenants))
+		for i, t := range tenants {
+			points[i] = t.Profile.FeatureVector()
+		}
+		result, err := kmeans.Cluster(rng, points, kmeans.Config{K: k})
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering %v tenants: %w", pattern, err)
+		}
+		// Build classes; drop empty clusters (possible when K exceeds the
+		// number of distinct profiles).
+		classIndex := make(map[int]*UtilizationClass, len(result.Centroids))
+		for i, t := range tenants {
+			ci := result.Assignments[i]
+			cls, ok := classIndex[ci]
+			if !ok {
+				cls = &UtilizationClass{
+					ID:       ClassID(len(clustering.Classes)),
+					Pattern:  pattern,
+					Centroid: result.Centroids[ci],
+				}
+				classIndex[ci] = cls
+				clustering.Classes = append(clustering.Classes, cls)
+			}
+			cls.Tenants = append(cls.Tenants, t.ID)
+			cls.Servers = append(cls.Servers, t.Servers...)
+			clustering.tenantClass[t.ID] = cls.ID
+			for _, srv := range t.Servers {
+				clustering.serverClass[srv] = cls.ID
+			}
+		}
+		// Tag classes with utilization statistics weighted by server count.
+		// The peak is the server-weighted average of the members' peaks: the
+		// class summarizes how high its typical server goes, without letting a
+		// single outlier tenant make the whole class unusable for long jobs.
+		for _, cls := range classIndex {
+			totalServers := 0.0
+			avg := 0.0
+			peak := 0.0
+			for _, tid := range cls.Tenants {
+				t := pop.ByID(tid)
+				w := float64(t.NumServers())
+				totalServers += w
+				avg += t.AverageUtilization() * w
+				peak += t.PeakUtilization() * w
+			}
+			if totalServers > 0 {
+				avg /= totalServers
+				peak /= totalServers
+			}
+			if peak < avg {
+				peak = avg
+			}
+			cls.AvgUtilization = avg
+			cls.PeakUtilization = peak
+		}
+	}
+	// Keep class ordering stable by ID.
+	sort.Slice(clustering.Classes, func(i, j int) bool {
+		return clustering.Classes[i].ID < clustering.Classes[j].ID
+	})
+	return clustering, nil
+}
+
+func (s *ClusteringService) classCount(pattern signalproc.Pattern, numTenants int) int {
+	if k, ok := s.cfg.ClassesPerPattern[pattern]; ok && k > 0 {
+		return k
+	}
+	k := numTenants / s.cfg.TenantsPerClass
+	k = int(stats.Clamp(float64(k), 1, float64(s.cfg.MaxClassesPerPattern)))
+	return k
+}

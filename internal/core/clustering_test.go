@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"harvest/internal/signalproc"
+	"harvest/internal/tenant"
+	"harvest/internal/trace"
+)
+
+// testPopulation generates a small DC-9-like population for core tests.
+func testPopulation(t *testing.T, seed int64, scale float64) *tenant.Population {
+	t.Helper()
+	profile, ok := trace.ProfileByName("DC-9")
+	if !ok {
+		t.Fatal("DC-9 profile missing")
+	}
+	pop, err := trace.NewGenerator(profile.Scaled(scale), seed).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func TestClusterEmptyPopulation(t *testing.T) {
+	svc := NewClusteringService(DefaultClusteringConfig())
+	empty, err := tenant.NewPopulation("DC-X", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Cluster(empty); err == nil {
+		t.Fatalf("clustering an empty population should error")
+	}
+}
+
+func TestClusterCoversAllTenantsAndServers(t *testing.T) {
+	pop := testPopulation(t, 1, 0.1)
+	svc := NewClusteringService(DefaultClusteringConfig())
+	clustering, err := svc.Cluster(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clustering.Classes) == 0 {
+		t.Fatalf("no classes produced")
+	}
+	// Every tenant and every server must be mapped to exactly one class.
+	tenantCount := 0
+	serverCount := 0
+	for _, cls := range clustering.Classes {
+		tenantCount += len(cls.Tenants)
+		serverCount += len(cls.Servers)
+		for _, tid := range cls.Tenants {
+			cid, ok := clustering.ClassOfTenant(tid)
+			if !ok || cid != cls.ID {
+				t.Fatalf("tenant %v maps to class %v, expected %v", tid, cid, cls.ID)
+			}
+		}
+		for _, sid := range cls.Servers {
+			cid, ok := clustering.ClassOfServer(sid)
+			if !ok || cid != cls.ID {
+				t.Fatalf("server %v maps to class %v, expected %v", sid, cid, cls.ID)
+			}
+		}
+	}
+	if tenantCount != len(pop.Tenants) {
+		t.Fatalf("classes cover %d tenants, want %d", tenantCount, len(pop.Tenants))
+	}
+	if serverCount != pop.NumServers() {
+		t.Fatalf("classes cover %d servers, want %d", serverCount, pop.NumServers())
+	}
+}
+
+func TestClusterClassTagsAreConsistent(t *testing.T) {
+	pop := testPopulation(t, 2, 0.1)
+	svc := NewClusteringService(DefaultClusteringConfig())
+	clustering, err := svc.Cluster(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range clustering.Classes {
+		if cls.NumServers() == 0 {
+			t.Fatalf("class %d has no servers", cls.ID)
+		}
+		if cls.AvgUtilization < 0 || cls.AvgUtilization > 1 {
+			t.Fatalf("class %d avg utilization %v out of range", cls.ID, cls.AvgUtilization)
+		}
+		if cls.PeakUtilization < cls.AvgUtilization-1e-9 {
+			t.Fatalf("class %d peak %v below average %v", cls.ID, cls.PeakUtilization, cls.AvgUtilization)
+		}
+		// All member tenants must share the class pattern.
+		for _, tid := range cls.Tenants {
+			if pop.ByID(tid).Pattern() != cls.Pattern {
+				t.Fatalf("tenant %v pattern %v does not match class pattern %v",
+					tid, pop.ByID(tid).Pattern(), cls.Pattern)
+			}
+		}
+	}
+}
+
+func TestClusterRespectsExplicitClassCounts(t *testing.T) {
+	pop := testPopulation(t, 3, 0.2)
+	cfg := DefaultClusteringConfig()
+	cfg.ClassesPerPattern = map[signalproc.Pattern]int{
+		signalproc.PatternConstant:      5,
+		signalproc.PatternPeriodic:      3,
+		signalproc.PatternUnpredictable: 2,
+	}
+	svc := NewClusteringService(cfg)
+	clustering, err := svc.Cluster(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := clustering.PatternCounts()
+	if counts[signalproc.PatternConstant] > 5 {
+		t.Errorf("constant classes = %d, want <= 5", counts[signalproc.PatternConstant])
+	}
+	if counts[signalproc.PatternPeriodic] > 3 {
+		t.Errorf("periodic classes = %d, want <= 3", counts[signalproc.PatternPeriodic])
+	}
+	if counts[signalproc.PatternUnpredictable] > 2 {
+		t.Errorf("unpredictable classes = %d, want <= 2", counts[signalproc.PatternUnpredictable])
+	}
+}
+
+func TestClusterDeterministicForSeed(t *testing.T) {
+	popA := testPopulation(t, 4, 0.1)
+	popB := testPopulation(t, 4, 0.1)
+	svc := NewClusteringService(DefaultClusteringConfig())
+	a, err := svc.Cluster(popA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Cluster(popB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Classes) != len(b.Classes) {
+		t.Fatalf("class counts differ: %d vs %d", len(a.Classes), len(b.Classes))
+	}
+	for _, ta := range popA.Tenants {
+		ca, _ := a.ClassOfTenant(ta.ID)
+		cb, _ := b.ClassOfTenant(ta.ID)
+		if ca != cb {
+			t.Fatalf("tenant %v assigned to different classes across identical runs", ta.ID)
+		}
+	}
+}
+
+func TestClassLookupOutOfRange(t *testing.T) {
+	pop := testPopulation(t, 5, 0.05)
+	svc := NewClusteringService(DefaultClusteringConfig())
+	clustering, err := svc.Cluster(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustering.Class(ClassID(-1)) != nil {
+		t.Errorf("negative class id should return nil")
+	}
+	if clustering.Class(ClassID(len(clustering.Classes))) != nil {
+		t.Errorf("out-of-range class id should return nil")
+	}
+	if clustering.Class(clustering.Classes[0].ID) == nil {
+		t.Errorf("valid class id should be found")
+	}
+	if _, ok := clustering.ClassOfTenant(tenant.ID(1 << 30)); ok {
+		t.Errorf("unknown tenant should not resolve")
+	}
+	if _, ok := clustering.ClassOfServer(tenant.ServerID(1 << 30)); ok {
+		t.Errorf("unknown server should not resolve")
+	}
+}
+
+func TestClusterErrorsOnUnclassifiableTenant(t *testing.T) {
+	bad := &tenant.Tenant{ID: 1} // no utilization series
+	pop, err := tenant.NewPopulation("DC-X", []*tenant.Tenant{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewClusteringService(DefaultClusteringConfig())
+	if _, err := svc.Cluster(pop); err == nil {
+		t.Fatalf("expected classification failure to propagate")
+	}
+}

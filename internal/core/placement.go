@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"harvest/internal/kmeans"
+	"harvest/internal/tenant"
+)
+
+// PlacementGridSize is the number of cells per dimension of the
+// two-dimensional placement clustering (3x3 in the paper, Algorithm 2).
+const PlacementGridSize = 3
+
+// TenantPlacementInfo is the per-tenant input to the placement scheme: the
+// historical reimage rate (durability dimension), the historical peak CPU
+// utilization (availability dimension), the harvestable space, and the
+// tenant's servers and environment.
+type TenantPlacementInfo struct {
+	ID          tenant.ID
+	Environment string
+	// ReimageRate is reimages per server per month.
+	ReimageRate float64
+	// PeakCPU is the tenant's historical peak CPU utilization fraction.
+	PeakCPU float64
+	// AvailableBytes is the tenant's total harvestable space.
+	AvailableBytes int64
+	// Servers lists the tenant's servers.
+	Servers []tenant.ServerID
+}
+
+// PlacementCell is one cell of the two-dimensional clustering: a reimage
+// column and a peak-utilization row, holding roughly 1/9 of the harvestable
+// space.
+type PlacementCell struct {
+	// Col indexes the reimage-frequency dimension (0 = infrequent).
+	Col int
+	// Row indexes the peak-utilization dimension (0 = low peak).
+	Row int
+	// Tenants are the members of the cell.
+	Tenants []tenant.ID
+	// AvailableBytes is the cell's total harvestable space.
+	AvailableBytes int64
+}
+
+// PlacementScheme is the output of the two-dimensional clustering plus the
+// indexes the placement algorithm needs.
+type PlacementScheme struct {
+	Cells [PlacementGridSize][PlacementGridSize]*PlacementCell
+
+	infos        map[tenant.ID]*TenantPlacementInfo
+	tenantCell   map[tenant.ID][2]int // (col, row)
+	serverTenant map[tenant.ServerID]tenant.ID
+}
+
+// ErrNoEligibleServer is returned when the placement algorithm cannot find a
+// server satisfying all constraints for a replica.
+var ErrNoEligibleServer = errors.New("core: no eligible server for replica")
+
+// BuildPlacementScheme clusters the tenants into the 3x3 grid (Algorithm 2
+// lines 4-5): first into three reimage-frequency columns of equal harvestable
+// space, then, within each column, into three peak-utilization rows of equal
+// space. A tenant belongs to exactly one cell (§4.2: tenants are never split,
+// which trades perfect balance for diversity).
+func BuildPlacementScheme(infos []TenantPlacementInfo) (*PlacementScheme, error) {
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("core: cannot build a placement scheme without tenants")
+	}
+	scheme := &PlacementScheme{
+		infos:        make(map[tenant.ID]*TenantPlacementInfo, len(infos)),
+		tenantCell:   make(map[tenant.ID][2]int, len(infos)),
+		serverTenant: make(map[tenant.ServerID]tenant.ID),
+	}
+	for col := 0; col < PlacementGridSize; col++ {
+		for row := 0; row < PlacementGridSize; row++ {
+			scheme.Cells[col][row] = &PlacementCell{Col: col, Row: row}
+		}
+	}
+	for i := range infos {
+		info := infos[i]
+		if _, dup := scheme.infos[info.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate tenant %v in placement input", info.ID)
+		}
+		scheme.infos[info.ID] = &infos[i]
+		for _, s := range info.Servers {
+			scheme.serverTenant[s] = info.ID
+		}
+	}
+
+	// Column split: reimage rate, weighted by available space.
+	rates := make([]float64, len(infos))
+	weights := make([]float64, len(infos))
+	for i, info := range infos {
+		rates[i] = info.ReimageRate
+		weights[i] = float64(info.AvailableBytes)
+	}
+	cols, err := kmeans.WeightedQuantileBuckets(rates, weights, PlacementGridSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: reimage-column split: %w", err)
+	}
+
+	// Row split: peak CPU, weighted by space, independently within each column
+	// (this is why the row boundaries do not align across columns in Fig 8).
+	for col := 0; col < PlacementGridSize; col++ {
+		var idxs []int
+		var peaks, colWeights []float64
+		for i := range infos {
+			if cols[i] != col {
+				continue
+			}
+			idxs = append(idxs, i)
+			peaks = append(peaks, infos[i].PeakCPU)
+			colWeights = append(colWeights, float64(infos[i].AvailableBytes))
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		rows, err := kmeans.WeightedQuantileBuckets(peaks, colWeights, PlacementGridSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: peak-utilization row split: %w", err)
+		}
+		for j, i := range idxs {
+			info := &infos[i]
+			cell := scheme.Cells[col][rows[j]]
+			cell.Tenants = append(cell.Tenants, info.ID)
+			cell.AvailableBytes += info.AvailableBytes
+			scheme.tenantCell[info.ID] = [2]int{col, rows[j]}
+		}
+	}
+	return scheme, nil
+}
+
+// CellOfTenant returns the (col, row) cell of a tenant.
+func (s *PlacementScheme) CellOfTenant(id tenant.ID) (col, row int, ok bool) {
+	cell, ok := s.tenantCell[id]
+	return cell[0], cell[1], ok
+}
+
+// TenantOfServer returns the tenant owning a server, if known to the scheme.
+func (s *PlacementScheme) TenantOfServer(id tenant.ServerID) (tenant.ID, bool) {
+	t, ok := s.serverTenant[id]
+	return t, ok
+}
+
+// SpaceImbalance returns the ratio between the largest and smallest cell
+// space (1 means perfectly balanced). It is the quantity the production
+// deployment monitors to decide when diversity is getting scarce (§7).
+func (s *PlacementScheme) SpaceImbalance() float64 {
+	minSpace := int64(-1)
+	maxSpace := int64(0)
+	for col := 0; col < PlacementGridSize; col++ {
+		for row := 0; row < PlacementGridSize; row++ {
+			b := s.Cells[col][row].AvailableBytes
+			if minSpace < 0 || b < minSpace {
+				minSpace = b
+			}
+			if b > maxSpace {
+				maxSpace = b
+			}
+		}
+	}
+	if minSpace <= 0 {
+		return 0
+	}
+	return float64(maxSpace) / float64(minSpace)
+}
+
+// PlacementConstraints tune a single placement request.
+type PlacementConstraints struct {
+	// Replication is the number of replicas to place (including the writer's).
+	Replication int
+	// Writer is the server creating the block; the first replica lands there
+	// for locality when the server is known to the scheme. Use -1 when the
+	// writer is not a harvested server (e.g. an external client).
+	Writer tenant.ServerID
+	// ServerEligible, if non-nil, filters out servers that are full, busy, or
+	// decommissioned. Returning false excludes the server.
+	ServerEligible func(tenant.ServerID) bool
+	// EnforceEnvironment keeps the "one replica per environment" constraint.
+	// The production deployment initially relaxed it ("soft" constraints) to
+	// favour space over diversity (§7); setting this to false reproduces that
+	// behaviour for the ablation experiments.
+	EnforceEnvironment bool
+}
+
+// PlaceReplicas implements Algorithm 2: it returns the servers that should
+// hold the block's replicas. The first replica goes to the writer's server
+// (when known and eligible); each subsequent replica goes to a random tenant
+// of a random cell such that, within a round of three picks, no two cells
+// share a row or a column, and no environment receives two replicas.
+func (s *PlacementScheme) PlaceReplicas(rng *rand.Rand, c PlacementConstraints) ([]tenant.ServerID, error) {
+	if c.Replication <= 0 {
+		return nil, fmt.Errorf("core: replication must be positive, got %d", c.Replication)
+	}
+	eligible := c.ServerEligible
+	if eligible == nil {
+		eligible = func(tenant.ServerID) bool { return true }
+	}
+
+	var replicas []tenant.ServerID
+	usedEnvironments := make(map[string]bool)
+	usedRows := make(map[int]bool)
+	usedCols := make(map[int]bool)
+	usedServers := make(map[tenant.ServerID]bool)
+
+	place := func(server tenant.ServerID, tid tenant.ID) {
+		replicas = append(replicas, server)
+		usedServers[server] = true
+		info := s.infos[tid]
+		if info != nil {
+			usedEnvironments[info.Environment] = true
+		}
+		if cell, ok := s.tenantCell[tid]; ok {
+			usedCols[cell[0]] = true
+			usedRows[cell[1]] = true
+		}
+	}
+
+	// First replica: the writer's server, for locality (lines 6-7).
+	if tid, ok := s.serverTenant[c.Writer]; ok && eligible(c.Writer) {
+		place(c.Writer, tid)
+	} else {
+		// The writer is unknown or ineligible: pick the first replica like any
+		// other, from a random cell.
+		server, tid, err := s.pickReplica(rng, usedCols, usedRows, usedEnvironments, usedServers, eligible, c.EnforceEnvironment)
+		if err != nil {
+			return nil, err
+		}
+		place(server, tid)
+	}
+
+	for len(replicas) < c.Replication {
+		// Line 15-17: after every three replicas, forget row/column history.
+		if len(replicas)%PlacementGridSize == 0 {
+			usedRows = make(map[int]bool)
+			usedCols = make(map[int]bool)
+		}
+		server, tid, err := s.pickReplica(rng, usedCols, usedRows, usedEnvironments, usedServers, eligible, c.EnforceEnvironment)
+		if errors.Is(err, ErrNoEligibleServer) {
+			// The row/column diversity constraint cannot be met (e.g. very few
+			// tenants, or entire rows excluded as busy/full). Fall back to a
+			// best-effort pick that keeps the environment and server
+			// constraints but ignores row/column history, matching the
+			// production behaviour of degrading diversity before failing the
+			// block creation (§7).
+			server, tid, err = s.pickReplica(rng, map[int]bool{}, map[int]bool{}, usedEnvironments, usedServers, eligible, c.EnforceEnvironment)
+		}
+		if err != nil {
+			return replicas, err
+		}
+		place(server, tid)
+	}
+	return replicas, nil
+}
+
+// pickReplica selects one (server, tenant) pair honouring the row/column and
+// environment constraints. It retries across the eligible cells and tenants,
+// progressively relaxing only if strictly necessary is NOT done here: if no
+// candidate satisfies the constraints, it returns ErrNoEligibleServer and the
+// caller decides whether to relax (the production "space over diversity"
+// mode is modelled by EnforceEnvironment=false).
+func (s *PlacementScheme) pickReplica(
+	rng *rand.Rand,
+	usedCols, usedRows map[int]bool,
+	usedEnvironments map[string]bool,
+	usedServers map[tenant.ServerID]bool,
+	eligible func(tenant.ServerID) bool,
+	enforceEnvironment bool,
+) (tenant.ServerID, tenant.ID, error) {
+	// Candidate cells: not in a used row or column, with members and space.
+	var cells []*PlacementCell
+	var cellWeights []float64
+	for col := 0; col < PlacementGridSize; col++ {
+		if usedCols[col] {
+			continue
+		}
+		for row := 0; row < PlacementGridSize; row++ {
+			if usedRows[row] {
+				continue
+			}
+			cell := s.Cells[col][row]
+			if len(cell.Tenants) == 0 {
+				continue
+			}
+			cells = append(cells, cell)
+			cellWeights = append(cellWeights, 1) // Algorithm 2 picks cells uniformly at random
+		}
+	}
+	// Shuffle cell visit order (uniform random as in the paper), then try each
+	// until one yields an eligible tenant/server.
+	order := rng.Perm(len(cells))
+	for _, ci := range order {
+		cell := cells[ci]
+		// Try the cell's tenants in random order.
+		tenantOrder := rng.Perm(len(cell.Tenants))
+		for _, ti := range tenantOrder {
+			tid := cell.Tenants[ti]
+			info := s.infos[tid]
+			if info == nil || len(info.Servers) == 0 {
+				continue
+			}
+			if enforceEnvironment && usedEnvironments[info.Environment] {
+				continue
+			}
+			// Try the tenant's servers in random order.
+			serverOrder := rng.Perm(len(info.Servers))
+			for _, si := range serverOrder {
+				server := info.Servers[si]
+				if usedServers[server] || !eligible(server) {
+					continue
+				}
+				return server, tid, nil
+			}
+		}
+	}
+	_ = cellWeights
+	return 0, 0, ErrNoEligibleServer
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"harvest/internal/signalproc"
+	"harvest/internal/stats"
+)
+
+// JobType is the coarse length category of a batch job (§4.1): the scheduler
+// only needs to know whether a job is short, medium, or long, not an accurate
+// runtime estimate.
+type JobType int
+
+const (
+	// JobShort is a job shorter than the short/medium threshold.
+	JobShort JobType = iota
+	// JobMedium is a job between the two thresholds (also the default for
+	// jobs that have never run before).
+	JobMedium
+	// JobLong is a job longer than the medium/long threshold.
+	JobLong
+
+	// NumJobTypes is the number of job length categories.
+	NumJobTypes = 3
+)
+
+// String implements fmt.Stringer.
+func (t JobType) String() string {
+	switch t {
+	case JobShort:
+		return "short"
+	case JobMedium:
+		return "medium"
+	case JobLong:
+		return "long"
+	default:
+		return fmt.Sprintf("JobType(%d)", int(t))
+	}
+}
+
+// LengthThresholds are the two duration cut-offs separating short, medium and
+// long jobs. The testbed experiments use 173 s and 433 s (§6.1).
+type LengthThresholds struct {
+	ShortMax time.Duration
+	LongMin  time.Duration
+}
+
+// DefaultLengthThresholds mirrors the testbed configuration.
+func DefaultLengthThresholds() LengthThresholds {
+	return LengthThresholds{ShortMax: 173 * time.Second, LongMin: 433 * time.Second}
+}
+
+// ClassifyLength maps a job's previous execution time to a job type. Jobs
+// that have never executed (zero duration) are treated as medium, matching
+// the paper's first-guess rule.
+func ClassifyLength(lastRun time.Duration, th LengthThresholds) JobType {
+	if lastRun <= 0 {
+		return JobMedium
+	}
+	if lastRun < th.ShortMax {
+		return JobShort
+	}
+	if lastRun > th.LongMin {
+		return JobLong
+	}
+	return JobMedium
+}
+
+// RankingWeights encode the per-job-type preference over utilization patterns
+// (Algorithm 1 line 6). Higher weight means higher ranking.
+type RankingWeights map[JobType]map[signalproc.Pattern]float64
+
+// DefaultRankingWeights reproduces the paper's ranking:
+//
+//	long jobs:   constant > periodic > unpredictable
+//	medium jobs: periodic > constant > unpredictable
+//	short jobs:  unpredictable > periodic > constant
+func DefaultRankingWeights() RankingWeights {
+	return RankingWeights{
+		JobLong: {
+			signalproc.PatternConstant:      3,
+			signalproc.PatternPeriodic:      2,
+			signalproc.PatternUnpredictable: 1,
+		},
+		JobMedium: {
+			signalproc.PatternPeriodic:      3,
+			signalproc.PatternConstant:      2,
+			signalproc.PatternUnpredictable: 1,
+		},
+		JobShort: {
+			signalproc.PatternUnpredictable: 3,
+			signalproc.PatternPeriodic:      2,
+			signalproc.PatternConstant:      1,
+		},
+	}
+}
+
+// ClassUsage is the scheduler's current view of one utilization class: the
+// live CPU utilization of its servers (reported through NM heartbeats) and
+// the resources already allocated to secondary tenants there.
+type ClassUsage struct {
+	// CurrentUtilization is the current average primary CPU utilization of
+	// the servers in the class, as a fraction of capacity.
+	CurrentUtilization float64
+	// AllocatedCores is the number of cores currently allocated to secondary
+	// containers on the servers of this class.
+	AllocatedCores float64
+}
+
+// SelectorConfig parameterizes the class selection algorithm.
+type SelectorConfig struct {
+	// CoresPerServer is the physical core count of each server.
+	CoresPerServer int
+	// ReserveFraction is the share of each server held back for primary
+	// bursts (the testbed reserves 4 of 12 cores, i.e. 1/3).
+	ReserveFraction float64
+	// Weights are the per-job-type class rankings.
+	Weights RankingWeights
+	// Thresholds are the job length cut-offs.
+	Thresholds LengthThresholds
+}
+
+// DefaultSelectorConfig mirrors the testbed configuration.
+func DefaultSelectorConfig() SelectorConfig {
+	return SelectorConfig{
+		CoresPerServer:  12,
+		ReserveFraction: 1.0 / 3.0,
+		Weights:         DefaultRankingWeights(),
+		Thresholds:      DefaultLengthThresholds(),
+	}
+}
+
+// JobRequest describes a job asking for resources: its type (derived from its
+// last run) and the maximum number of cores it will use concurrently (derived
+// from a breadth-first traversal of its DAG, §4.1).
+type JobRequest struct {
+	Type JobType
+	// MaxConcurrentCores is the peak concurrent core demand of the job.
+	MaxConcurrentCores float64
+}
+
+// Selection is the outcome of class selection: the classes whose node labels
+// the job manager should request, in selection order. An empty selection
+// means no combination of classes currently has enough headroom.
+type Selection struct {
+	Classes []ClassID
+	// Headrooms records, for reporting, the headroom (in cores) of each
+	// selected class at selection time.
+	Headrooms []float64
+}
+
+// Empty reports whether no class was selected.
+func (s Selection) Empty() bool { return len(s.Classes) == 0 }
+
+// Selector implements the class selection algorithm (Algorithm 1).
+type Selector struct {
+	cfg        SelectorConfig
+	clustering *Clustering
+	rng        *rand.Rand
+}
+
+// NewSelector creates a selector over a clustering.
+func NewSelector(cfg SelectorConfig, clustering *Clustering, rng *rand.Rand) (*Selector, error) {
+	if clustering == nil || len(clustering.Classes) == 0 {
+		return nil, fmt.Errorf("core: selector needs a non-empty clustering")
+	}
+	if cfg.CoresPerServer <= 0 {
+		return nil, fmt.Errorf("core: CoresPerServer must be positive, got %d", cfg.CoresPerServer)
+	}
+	if cfg.ReserveFraction < 0 || cfg.ReserveFraction >= 1 {
+		return nil, fmt.Errorf("core: ReserveFraction %v out of [0,1)", cfg.ReserveFraction)
+	}
+	if cfg.Weights == nil {
+		cfg.Weights = DefaultRankingWeights()
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Selector{cfg: cfg, clustering: clustering, rng: rng}, nil
+}
+
+// Headroom returns the class's available cores for a job of the given type
+// (§4.1): the utilization considered is the current one for short jobs,
+// max(average, current) for medium jobs, and max(peak, current) for long
+// jobs. The primary reserve and the cores already allocated to secondary
+// containers are subtracted.
+func (s *Selector) Headroom(jobType JobType, class *UtilizationClass, usage ClassUsage) float64 {
+	var util float64
+	switch jobType {
+	case JobShort:
+		util = usage.CurrentUtilization
+	case JobMedium:
+		util = maxFloat(class.AvgUtilization, usage.CurrentUtilization)
+	default: // JobLong
+		util = maxFloat(class.PeakUtilization, usage.CurrentUtilization)
+	}
+	frac := 1 - util - s.cfg.ReserveFraction
+	if frac < 0 {
+		frac = 0
+	}
+	cores := frac*float64(class.NumServers())*float64(s.cfg.CoresPerServer) - usage.AllocatedCores
+	if cores < 0 {
+		cores = 0
+	}
+	return cores
+}
+
+// Select implements Algorithm 1. usage maps every class to its current state;
+// classes missing from the map are treated as having zero current utilization
+// and zero allocations.
+func (s *Selector) Select(job JobRequest, usage map[ClassID]ClassUsage) Selection {
+	type candidate struct {
+		id           ClassID
+		headroom     float64
+		weightedRoom float64
+	}
+	candidates := make([]candidate, 0, len(s.clustering.Classes))
+	for _, cls := range s.clustering.Classes {
+		u := usage[cls.ID]
+		head := s.Headroom(job.Type, cls, u)
+		weight := s.cfg.Weights[job.Type][cls.Pattern]
+		candidates = append(candidates, candidate{
+			id:           cls.ID,
+			headroom:     head,
+			weightedRoom: head * weight,
+		})
+	}
+
+	// Line 8: classes that can host the whole job alone.
+	fits := make([]candidate, 0, len(candidates))
+	for _, c := range candidates {
+		if c.headroom >= job.MaxConcurrentCores && c.weightedRoom > 0 {
+			fits = append(fits, c)
+		}
+	}
+	if len(fits) > 0 {
+		weights := make([]float64, len(fits))
+		for i, c := range fits {
+			weights[i] = c.weightedRoom
+		}
+		idx := stats.WeightedChoice(s.rng, weights)
+		if idx >= 0 {
+			return Selection{
+				Classes:   []ClassID{fits[idx].id},
+				Headrooms: []float64{fits[idx].headroom},
+			}
+		}
+	}
+
+	// Lines 12-14: the job may fit across multiple classes combined.
+	totalRoom := 0.0
+	for _, c := range candidates {
+		totalRoom += c.headroom
+	}
+	if totalRoom >= job.MaxConcurrentCores {
+		weights := make([]float64, len(candidates))
+		for i, c := range candidates {
+			weights[i] = c.weightedRoom
+		}
+		var sel Selection
+		remaining := job.MaxConcurrentCores
+		for remaining > 0 {
+			idx := stats.WeightedChoice(s.rng, weights)
+			if idx < 0 {
+				// Weighted room exhausted (e.g. remaining headroom only in
+				// zero-weight classes); fall back to any class with headroom.
+				idx = -1
+				for i, c := range candidates {
+					if weights[i] == 0 && c.headroom > 0 && !containsClass(sel.Classes, c.id) {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					break
+				}
+			}
+			c := candidates[idx]
+			sel.Classes = append(sel.Classes, c.id)
+			sel.Headrooms = append(sel.Headrooms, c.headroom)
+			remaining -= c.headroom
+			weights[idx] = 0 // without replacement
+		}
+		if remaining <= 0 {
+			return sel
+		}
+	}
+
+	// Line 16: not enough resources anywhere right now.
+	return Selection{}
+}
+
+func containsClass(ids []ClassID, id ClassID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

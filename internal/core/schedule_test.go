@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"harvest/internal/signalproc"
+	"harvest/internal/tenant"
+)
+
+// manualClustering builds a clustering with explicitly controlled classes so
+// the selection behaviour can be asserted precisely.
+func manualClustering(classes []*UtilizationClass) *Clustering {
+	c := &Clustering{
+		Classes:     classes,
+		tenantClass: make(map[tenant.ID]ClassID),
+		serverClass: make(map[tenant.ServerID]ClassID),
+	}
+	for _, cls := range classes {
+		for _, tid := range cls.Tenants {
+			c.tenantClass[tid] = cls.ID
+		}
+		for _, sid := range cls.Servers {
+			c.serverClass[sid] = cls.ID
+		}
+	}
+	return c
+}
+
+func serverRange(lo, n int) []tenant.ServerID {
+	out := make([]tenant.ServerID, n)
+	for i := range out {
+		out[i] = tenant.ServerID(lo + i)
+	}
+	return out
+}
+
+func threeClassClustering() *Clustering {
+	return manualClustering([]*UtilizationClass{
+		{
+			ID: 0, Pattern: signalproc.PatternConstant,
+			AvgUtilization: 0.30, PeakUtilization: 0.35,
+			Tenants: []tenant.ID{0}, Servers: serverRange(0, 20),
+		},
+		{
+			ID: 1, Pattern: signalproc.PatternPeriodic,
+			AvgUtilization: 0.40, PeakUtilization: 0.80,
+			Tenants: []tenant.ID{1}, Servers: serverRange(20, 20),
+		},
+		{
+			ID: 2, Pattern: signalproc.PatternUnpredictable,
+			AvgUtilization: 0.20, PeakUtilization: 0.90,
+			Tenants: []tenant.ID{2}, Servers: serverRange(40, 20),
+		},
+	})
+}
+
+func TestClassifyLength(t *testing.T) {
+	th := DefaultLengthThresholds()
+	cases := []struct {
+		dur  time.Duration
+		want JobType
+	}{
+		{0, JobMedium}, // never ran before
+		{-time.Second, JobMedium},
+		{100 * time.Second, JobShort},
+		{172 * time.Second, JobShort},
+		{173 * time.Second, JobMedium},
+		{300 * time.Second, JobMedium},
+		{433 * time.Second, JobMedium},
+		{434 * time.Second, JobLong},
+		{2 * time.Hour, JobLong},
+	}
+	for _, c := range cases {
+		if got := ClassifyLength(c.dur, th); got != c.want {
+			t.Errorf("ClassifyLength(%v) = %v, want %v", c.dur, got, c.want)
+		}
+	}
+}
+
+func TestJobTypeString(t *testing.T) {
+	if JobShort.String() != "short" || JobMedium.String() != "medium" || JobLong.String() != "long" {
+		t.Errorf("unexpected job type strings")
+	}
+	if JobType(9).String() == "" {
+		t.Errorf("unknown job type should produce a non-empty string")
+	}
+}
+
+func TestDefaultRankingWeights(t *testing.T) {
+	w := DefaultRankingWeights()
+	if !(w[JobLong][signalproc.PatternConstant] > w[JobLong][signalproc.PatternPeriodic] &&
+		w[JobLong][signalproc.PatternPeriodic] > w[JobLong][signalproc.PatternUnpredictable]) {
+		t.Errorf("long jobs should prefer constant > periodic > unpredictable")
+	}
+	if !(w[JobShort][signalproc.PatternUnpredictable] > w[JobShort][signalproc.PatternPeriodic] &&
+		w[JobShort][signalproc.PatternPeriodic] > w[JobShort][signalproc.PatternConstant]) {
+		t.Errorf("short jobs should prefer unpredictable > periodic > constant")
+	}
+	if !(w[JobMedium][signalproc.PatternPeriodic] > w[JobMedium][signalproc.PatternConstant]) {
+		t.Errorf("medium jobs should prefer periodic first")
+	}
+}
+
+func TestNewSelectorValidation(t *testing.T) {
+	clustering := threeClassClustering()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSelector(DefaultSelectorConfig(), nil, rng); err == nil {
+		t.Errorf("nil clustering should error")
+	}
+	cfg := DefaultSelectorConfig()
+	cfg.CoresPerServer = 0
+	if _, err := NewSelector(cfg, clustering, rng); err == nil {
+		t.Errorf("zero cores should error")
+	}
+	cfg = DefaultSelectorConfig()
+	cfg.ReserveFraction = 1.5
+	if _, err := NewSelector(cfg, clustering, rng); err == nil {
+		t.Errorf("invalid reserve should error")
+	}
+	cfg = DefaultSelectorConfig()
+	cfg.Weights = nil
+	if _, err := NewSelector(cfg, clustering, nil); err != nil {
+		t.Errorf("nil weights and rng should fall back to defaults: %v", err)
+	}
+}
+
+func TestHeadroomDefinitionsPerJobType(t *testing.T) {
+	clustering := threeClassClustering()
+	sel, err := NewSelector(DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	periodic := clustering.Class(1) // avg 0.40, peak 0.80, 20 servers * 12 cores
+	usage := ClassUsage{CurrentUtilization: 0.20}
+
+	// Short: 1 - current - reserve = 1 - 0.2 - 1/3 = 0.4667 -> 112 cores.
+	short := sel.Headroom(JobShort, periodic, usage)
+	// Medium: 1 - max(avg, current) - reserve = 1 - 0.4 - 1/3 = 0.2667 -> 64.
+	medium := sel.Headroom(JobMedium, periodic, usage)
+	// Long: 1 - max(peak, current) - reserve = 1 - 0.8 - 1/3 < 0 -> 0.
+	long := sel.Headroom(JobLong, periodic, usage)
+
+	if !(short > medium && medium > long) {
+		t.Fatalf("headrooms should shrink with job length: short=%v medium=%v long=%v", short, medium, long)
+	}
+	if long != 0 {
+		t.Errorf("long-job headroom should clamp at 0, got %v", long)
+	}
+	const eps = 1e-9
+	if diff := short - (1-0.2-1.0/3.0)*20*12; diff > eps || diff < -eps {
+		t.Errorf("short headroom = %v", short)
+	}
+	if diff := medium - (1-0.4-1.0/3.0)*20*12; diff > eps || diff < -eps {
+		t.Errorf("medium headroom = %v", medium)
+	}
+}
+
+func TestHeadroomSubtractsAllocations(t *testing.T) {
+	clustering := threeClassClustering()
+	sel, err := NewSelector(DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant := clustering.Class(0)
+	free := sel.Headroom(JobShort, constant, ClassUsage{CurrentUtilization: 0.3})
+	less := sel.Headroom(JobShort, constant, ClassUsage{CurrentUtilization: 0.3, AllocatedCores: 50})
+	if less >= free {
+		t.Fatalf("allocated cores should reduce headroom: %v vs %v", less, free)
+	}
+	none := sel.Headroom(JobShort, constant, ClassUsage{CurrentUtilization: 0.3, AllocatedCores: 1e6})
+	if none != 0 {
+		t.Fatalf("headroom should clamp at zero, got %v", none)
+	}
+}
+
+func TestSelectPrefersConstantForLongJobs(t *testing.T) {
+	clustering := threeClassClustering()
+	sel, err := NewSelector(DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := map[ClassID]ClassUsage{
+		0: {CurrentUtilization: 0.30},
+		1: {CurrentUtilization: 0.40},
+		2: {CurrentUtilization: 0.20},
+	}
+	counts := map[ClassID]int{}
+	for i := 0; i < 500; i++ {
+		s := sel.Select(JobRequest{Type: JobLong, MaxConcurrentCores: 10}, usage)
+		if s.Empty() {
+			t.Fatalf("long job should fit somewhere")
+		}
+		counts[s.Classes[0]]++
+	}
+	// The constant class (0) is the only one with long-job headroom here
+	// (peaks of the others are too high), so it must dominate.
+	if counts[0] < 450 {
+		t.Fatalf("constant class selected %d/500 times for long jobs, want vast majority (counts=%v)", counts[0], counts)
+	}
+}
+
+func TestSelectPrefersUnpredictableForShortJobs(t *testing.T) {
+	clustering := threeClassClustering()
+	sel, err := NewSelector(DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same current utilization everywhere so only the ranking weights differ.
+	usage := map[ClassID]ClassUsage{
+		0: {CurrentUtilization: 0.30},
+		1: {CurrentUtilization: 0.30},
+		2: {CurrentUtilization: 0.30},
+	}
+	counts := map[ClassID]int{}
+	for i := 0; i < 3000; i++ {
+		s := sel.Select(JobRequest{Type: JobShort, MaxConcurrentCores: 10}, usage)
+		if s.Empty() {
+			t.Fatalf("short job should fit")
+		}
+		counts[s.Classes[0]]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("short jobs should favour unpredictable > periodic > constant, got %v", counts)
+	}
+}
+
+func TestSelectSpansMultipleClassesWhenNeeded(t *testing.T) {
+	clustering := threeClassClustering()
+	sel, err := NewSelector(DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := map[ClassID]ClassUsage{
+		0: {CurrentUtilization: 0.30},
+		1: {CurrentUtilization: 0.30},
+		2: {CurrentUtilization: 0.30},
+	}
+	// Each class has (1-0.3-1/3)*20*12 ≈ 88 cores for a short job; ask for 200.
+	s := sel.Select(JobRequest{Type: JobShort, MaxConcurrentCores: 200}, usage)
+	if s.Empty() {
+		t.Fatalf("job should fit across classes")
+	}
+	if len(s.Classes) < 2 {
+		t.Fatalf("expected a multi-class selection, got %v", s.Classes)
+	}
+	seen := map[ClassID]bool{}
+	for _, id := range s.Classes {
+		if seen[id] {
+			t.Fatalf("class %v selected twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSelectReturnsEmptyWhenNothingFits(t *testing.T) {
+	clustering := threeClassClustering()
+	sel, err := NewSelector(DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := map[ClassID]ClassUsage{
+		0: {CurrentUtilization: 0.95},
+		1: {CurrentUtilization: 0.95},
+		2: {CurrentUtilization: 0.95},
+	}
+	s := sel.Select(JobRequest{Type: JobShort, MaxConcurrentCores: 10}, usage)
+	if !s.Empty() {
+		t.Fatalf("selection should be empty when all classes are saturated, got %v", s.Classes)
+	}
+}
+
+func TestSelectMissingUsageTreatedAsIdle(t *testing.T) {
+	clustering := threeClassClustering()
+	sel, err := NewSelector(DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sel.Select(JobRequest{Type: JobMedium, MaxConcurrentCores: 10}, nil)
+	if s.Empty() {
+		t.Fatalf("with no usage reports, classes should appear idle and accept the job")
+	}
+}
+
+func TestSelectionHeadroomsAlignWithClasses(t *testing.T) {
+	clustering := threeClassClustering()
+	sel, err := NewSelector(DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sel.Select(JobRequest{Type: JobShort, MaxConcurrentCores: 10}, nil)
+	if len(s.Classes) != len(s.Headrooms) {
+		t.Fatalf("classes and headrooms must align: %d vs %d", len(s.Classes), len(s.Headrooms))
+	}
+	for _, h := range s.Headrooms {
+		if h <= 0 {
+			t.Fatalf("selected class headroom should be positive, got %v", h)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"harvest/internal/signalproc"
+)
+
+// CapacityByPattern estimates, per utilization pattern, the expected number
+// of harvestable cores across the clustering's classes: servers × cores ×
+// (1 - average utilization - reserve). It is the capacity signal used to
+// calibrate the job-length thresholds (§6.1: "the total computation required
+// by long jobs should be proportional to the computational capacity of
+// constant primary tenants").
+func CapacityByPattern(clustering *Clustering, cfg SelectorConfig) map[signalproc.Pattern]float64 {
+	out := make(map[signalproc.Pattern]float64, signalproc.NumPatterns)
+	if clustering == nil {
+		return out
+	}
+	for _, cls := range clustering.Classes {
+		frac := 1 - cls.AvgUtilization - cfg.ReserveFraction
+		if frac < 0 {
+			frac = 0
+		}
+		out[cls.Pattern] += frac * float64(cls.NumServers()) * float64(cfg.CoresPerServer)
+	}
+	return out
+}
+
+// CalibrateThresholds picks the short/medium/long duration cut-offs so that
+// the total work of each job type (approximated by the distribution of
+// previous run times) is proportional to the harvestable capacity of the
+// type's preferred pattern: unpredictable for short jobs, periodic for medium
+// jobs, constant for long jobs. This mirrors how the paper set its 173 s and
+// 433 s thresholds for the testbed workload.
+//
+// When the inputs are degenerate (no jobs, or no capacity anywhere) the
+// default thresholds are returned.
+func CalibrateThresholds(lastRuns []time.Duration, capacity map[signalproc.Pattern]float64) LengthThresholds {
+	def := DefaultLengthThresholds()
+	if len(lastRuns) == 0 {
+		return def
+	}
+	capShort := capacity[signalproc.PatternUnpredictable]
+	capMedium := capacity[signalproc.PatternPeriodic]
+	capLong := capacity[signalproc.PatternConstant]
+	total := capShort + capMedium + capLong
+	if total <= 0 {
+		return def
+	}
+	shortShare := capShort / total
+	mediumShare := capMedium / total
+
+	durations := make([]time.Duration, 0, len(lastRuns))
+	for _, d := range lastRuns {
+		if d > 0 {
+			durations = append(durations, d)
+		}
+	}
+	if len(durations) == 0 {
+		return def
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	var totalWork time.Duration
+	for _, d := range durations {
+		totalWork += d
+	}
+
+	shortBudget := time.Duration(float64(totalWork) * shortShare)
+	mediumBudget := time.Duration(float64(totalWork) * (shortShare + mediumShare))
+
+	th := LengthThresholds{}
+	var acc time.Duration
+	for _, d := range durations {
+		acc += d
+		if th.ShortMax == 0 && acc >= shortBudget {
+			th.ShortMax = d
+		}
+		if th.LongMin == 0 && acc >= mediumBudget {
+			th.LongMin = d
+		}
+	}
+	if th.ShortMax == 0 {
+		th.ShortMax = durations[len(durations)-1]
+	}
+	if th.LongMin < th.ShortMax {
+		th.LongMin = th.ShortMax
+	}
+	return th
+}

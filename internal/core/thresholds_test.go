@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"harvest/internal/signalproc"
+)
+
+func TestCapacityByPattern(t *testing.T) {
+	clustering := threeClassClustering() // 20 servers per class, 12 cores each
+	cfg := DefaultSelectorConfig()
+	capacity := CapacityByPattern(clustering, cfg)
+	// Constant class: avg 0.30 -> (1 - 0.30 - 0.333) * 20 * 12 ≈ 88 cores.
+	if capacity[signalproc.PatternConstant] < 80 || capacity[signalproc.PatternConstant] > 96 {
+		t.Errorf("constant capacity = %v", capacity[signalproc.PatternConstant])
+	}
+	// Unpredictable class: avg 0.20 -> ≈ 112 cores.
+	if capacity[signalproc.PatternUnpredictable] <= capacity[signalproc.PatternConstant] {
+		t.Errorf("lower-average pattern should have more capacity")
+	}
+	if CapacityByPattern(nil, cfg) == nil {
+		t.Errorf("nil clustering should return an empty (non-nil) map")
+	}
+}
+
+func TestCalibrateThresholdsDegenerate(t *testing.T) {
+	def := DefaultLengthThresholds()
+	if got := CalibrateThresholds(nil, map[signalproc.Pattern]float64{signalproc.PatternConstant: 1}); got != def {
+		t.Errorf("no jobs should return defaults")
+	}
+	if got := CalibrateThresholds([]time.Duration{time.Minute}, map[signalproc.Pattern]float64{}); got != def {
+		t.Errorf("no capacity should return defaults")
+	}
+	if got := CalibrateThresholds([]time.Duration{0, -time.Second}, map[signalproc.Pattern]float64{signalproc.PatternConstant: 1}); got != def {
+		t.Errorf("only non-positive durations should return defaults")
+	}
+}
+
+func TestCalibrateThresholdsSplitsWorkByCapacity(t *testing.T) {
+	// 100 jobs with durations 1..100 minutes; equal capacity per pattern means
+	// each type should get about a third of the total work.
+	var runs []time.Duration
+	for i := 1; i <= 100; i++ {
+		runs = append(runs, time.Duration(i)*time.Minute)
+	}
+	capacity := map[signalproc.Pattern]float64{
+		signalproc.PatternUnpredictable: 1,
+		signalproc.PatternPeriodic:      1,
+		signalproc.PatternConstant:      1,
+	}
+	th := CalibrateThresholds(runs, capacity)
+	if th.ShortMax <= 0 || th.LongMin <= th.ShortMax {
+		t.Fatalf("thresholds not ordered: %+v", th)
+	}
+	// Total work = sum 1..100 = 5050 min. A third is ~1683, reached around
+	// duration 58 (sum 1..58=1711); two thirds around 82.
+	if th.ShortMax < 50*time.Minute || th.ShortMax > 65*time.Minute {
+		t.Errorf("ShortMax = %v, want around 58m", th.ShortMax)
+	}
+	if th.LongMin < 75*time.Minute || th.LongMin > 90*time.Minute {
+		t.Errorf("LongMin = %v, want around 82m", th.LongMin)
+	}
+}
+
+func TestCalibrateThresholdsSkewedCapacity(t *testing.T) {
+	var runs []time.Duration
+	for i := 1; i <= 100; i++ {
+		runs = append(runs, time.Duration(i)*time.Minute)
+	}
+	// Almost all capacity is constant: nearly everything should be "long".
+	capacity := map[signalproc.Pattern]float64{
+		signalproc.PatternUnpredictable: 0.05,
+		signalproc.PatternPeriodic:      0.05,
+		signalproc.PatternConstant:      0.9,
+	}
+	th := CalibrateThresholds(runs, capacity)
+	// Low thresholds: most jobs classified long.
+	long := 0
+	for _, d := range runs {
+		if ClassifyLength(d, th) == JobLong {
+			long++
+		}
+	}
+	if long < 60 {
+		t.Fatalf("with constant-dominated capacity, most jobs should be long, got %d/100", long)
+	}
+}
+
+func TestCalibrateThresholdsMatchesClassifyConsistency(t *testing.T) {
+	runs := []time.Duration{time.Minute, 2 * time.Minute, 30 * time.Minute, time.Hour}
+	capacity := map[signalproc.Pattern]float64{
+		signalproc.PatternUnpredictable: 1,
+		signalproc.PatternPeriodic:      1,
+		signalproc.PatternConstant:      1,
+	}
+	th := CalibrateThresholds(runs, capacity)
+	// Every job must fall into exactly one valid type.
+	for _, d := range runs {
+		jt := ClassifyLength(d, th)
+		if jt != JobShort && jt != JobMedium && jt != JobLong {
+			t.Fatalf("invalid job type %v", jt)
+		}
+	}
+}

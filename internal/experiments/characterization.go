@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"harvest/internal/signalproc"
+	"harvest/internal/stats"
+	"harvest/internal/tenant"
+	"harvest/internal/trace"
+)
+
+// Figure1Result holds one sample trace in the time and frequency domains
+// (Figure 1 shows a periodic and an unpredictable example).
+type Figure1Result struct {
+	Pattern           signalproc.Pattern
+	TimeSeries        []float64
+	Spectrum          []float64
+	DominantFrequency int
+}
+
+// Figure1 generates a sample periodic and a sample unpredictable one-month
+// trace and returns both domains, as in Figure 1.
+func Figure1(s Scale) ([]Figure1Result, error) {
+	s = s.normalized()
+	_, gen, err := buildPopulation("DC-9", s)
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure1Result
+	for _, pattern := range []signalproc.Pattern{signalproc.PatternPeriodic, signalproc.PatternUnpredictable} {
+		series := gen.GenerateUtilization(pattern)
+		profile, err := signalproc.Classify(series.Values, signalproc.DefaultClassifierConfig())
+		if err != nil {
+			return nil, err
+		}
+		spectrum, err := signalproc.PowerSpectrum(series.Values)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure1Result{
+			Pattern:           pattern,
+			TimeSeries:        series.Values,
+			Spectrum:          spectrum[:200], // the figure only shows the low-frequency region
+			DominantFrequency: profile.DominantFrequency,
+		})
+	}
+	return out, nil
+}
+
+// ClassShareRow is one datacenter's class mix (Figures 2 and 3).
+type ClassShareRow struct {
+	Datacenter   string
+	TenantShare  map[signalproc.Pattern]float64
+	ServerShare  map[signalproc.Pattern]float64
+	TotalTenants int
+	TotalServers int
+}
+
+// Figure2And3 characterizes every datacenter: the percentage of primary
+// tenants per class (Figure 2) and the percentage of servers per class
+// (Figure 3).
+func Figure2And3(s Scale) ([]ClassShareRow, error) {
+	s = s.normalized()
+	var rows []ClassShareRow
+	for _, dc := range Datacenters() {
+		pop, _, err := buildPopulation(dc, s)
+		if err != nil {
+			return nil, err
+		}
+		tenantShare, serverShare := pop.PatternShares()
+		rows = append(rows, ClassShareRow{
+			Datacenter:   dc,
+			TenantShare:  tenantShare,
+			ServerShare:  serverShare,
+			TotalTenants: len(pop.Tenants),
+			TotalServers: pop.NumServers(),
+		})
+	}
+	return rows, nil
+}
+
+// CDFRow is one datacenter's empirical CDF (Figures 4, 5 and 6).
+type CDFRow struct {
+	Datacenter string
+	Points     []stats.CDFPoint
+}
+
+// Figure4 returns, per representative datacenter, the CDF of the average
+// number of reimages per month for each server over three years.
+func Figure4(s Scale) ([]CDFRow, error) {
+	return reimageCDF(s, func(pop *tenant.Population, events []trace.ReimageEvent, months float64) []float64 {
+		perServer := trace.PerServerReimageRates(pop, events, months)
+		out := make([]float64, 0, len(perServer))
+		for _, rate := range perServer {
+			out = append(out, rate)
+		}
+		return out
+	})
+}
+
+// Figure5 returns, per representative datacenter, the CDF of the average
+// number of reimages per server per month for each primary tenant.
+func Figure5(s Scale) ([]CDFRow, error) {
+	return reimageCDF(s, func(pop *tenant.Population, events []trace.ReimageEvent, months float64) []float64 {
+		perTenant := trace.PerTenantReimageRates(pop, events, months)
+		out := make([]float64, 0, len(perTenant))
+		for _, rate := range perTenant {
+			out = append(out, rate)
+		}
+		return out
+	})
+}
+
+// reimageCDF runs the shared three-year reimage simulation behind Figures 4
+// and 5.
+func reimageCDF(s Scale, extract func(*tenant.Population, []trace.ReimageEvent, float64) []float64) ([]CDFRow, error) {
+	s = s.normalized()
+	const months = 36.0
+	horizon := time.Duration(months * 30 * 24 * float64(time.Hour))
+	var rows []CDFRow
+	for _, dc := range CharacterizationDatacenters() {
+		pop, gen, err := buildPopulation(dc, s)
+		if err != nil {
+			return nil, err
+		}
+		events := gen.GenerateReimageEvents(pop, horizon)
+		values := extract(pop, events, months)
+		rows = append(rows, CDFRow{Datacenter: dc, Points: stats.CDF(values)})
+	}
+	return rows, nil
+}
+
+// Figure6 returns, per representative datacenter, the CDF of how many times a
+// tenant changed reimage-frequency groups month over month across three years.
+func Figure6(s Scale) ([]CDFRow, error) {
+	s = s.normalized()
+	var rows []CDFRow
+	for _, dc := range CharacterizationDatacenters() {
+		pop, _, err := buildPopulation(dc, s)
+		if err != nil {
+			return nil, err
+		}
+		groups, err := trace.MonthlyGroups(pop)
+		if err != nil {
+			return nil, err
+		}
+		changes := trace.GroupChanges(groups)
+		values := make([]float64, 0, len(changes))
+		for _, c := range changes {
+			values = append(values, float64(c))
+		}
+		rows = append(rows, CDFRow{Datacenter: dc, Points: stats.CDF(values)})
+	}
+	return rows, nil
+}
+
+// FormatCDFSummary renders the fraction of samples at or below the given
+// threshold for each row, a compact way to compare against the paper's
+// headline numbers (e.g. ">=90% of servers at <=1 reimage/month").
+func FormatCDFSummary(rows []CDFRow, threshold float64) string {
+	out := ""
+	for _, row := range rows {
+		frac := 0.0
+		for _, p := range row.Points {
+			if p.Value <= threshold {
+				frac = p.Cumulative
+			}
+		}
+		out += fmt.Sprintf("%s: %.1f%% at <= %g\n", row.Datacenter, frac*100, threshold)
+	}
+	return out
+}

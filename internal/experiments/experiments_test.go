@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"harvest/internal/hdfssim"
+	"harvest/internal/signalproc"
+	"harvest/internal/timeseries"
+	"harvest/internal/yarnsim"
+)
+
+// tinyScale keeps experiment tests fast.
+func tinyScale() Scale {
+	return Scale{Datacenter: 0.03, Blocks: 0.002, Workload: 0.1, Seed: 3}
+}
+
+func TestScaleNormalization(t *testing.T) {
+	s := Scale{}.normalized()
+	if s.Datacenter <= 0 || s.Blocks <= 0 || s.Workload <= 0 {
+		t.Fatalf("normalized scale should be positive: %+v", s)
+	}
+	if QuickScale().Datacenter <= 0 || PaperScale().Datacenter != 1 {
+		t.Fatalf("built-in scales misconfigured")
+	}
+}
+
+func TestDatacenterLists(t *testing.T) {
+	if len(Datacenters()) != 10 {
+		t.Fatalf("expected 10 datacenters")
+	}
+	if len(CharacterizationDatacenters()) != 5 {
+		t.Fatalf("expected 5 representative datacenters")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	results, err := Figure1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected a periodic and an unpredictable sample")
+	}
+	for _, r := range results {
+		if len(r.TimeSeries) == 0 || len(r.Spectrum) == 0 {
+			t.Fatalf("sample %v missing data", r.Pattern)
+		}
+	}
+	// The periodic sample should peak near the daily frequency (~30 cycles
+	// per month).
+	if results[0].Pattern != signalproc.PatternPeriodic {
+		t.Fatalf("first sample should be periodic")
+	}
+	if results[0].DominantFrequency < 25 || results[0].DominantFrequency > 35 {
+		t.Errorf("periodic dominant frequency = %d, want near 30", results[0].DominantFrequency)
+	}
+}
+
+func TestFigure2And3(t *testing.T) {
+	rows, err := Figure2And3(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("expected one row per datacenter")
+	}
+	for _, row := range rows {
+		tenantPeriodic := row.TenantShare[signalproc.PatternPeriodic]
+		serverPeriodic := row.ServerShare[signalproc.PatternPeriodic]
+		if tenantPeriodic > 0.5 {
+			t.Errorf("%s: periodic tenants should be a minority, got %v", row.Datacenter, tenantPeriodic)
+		}
+		// The "periodic tenants own disproportionately many servers" property
+		// (Fig 3) only shows once there are enough tenants for the size skew
+		// to average out; tiny test populations are exempt.
+		if row.TotalTenants >= 50 && serverPeriodic+0.05 < tenantPeriodic {
+			t.Errorf("%s: periodic server share (%v) should not be far below tenant share (%v)",
+				row.Datacenter, serverPeriodic, tenantPeriodic)
+		}
+		var tenantTotal float64
+		for _, v := range row.TenantShare {
+			tenantTotal += v
+		}
+		if tenantTotal < 0.999 || tenantTotal > 1.001 {
+			t.Errorf("%s: tenant shares sum to %v", row.Datacenter, tenantTotal)
+		}
+	}
+}
+
+func TestFigure4And5And6(t *testing.T) {
+	s := tinyScale()
+	for name, fn := range map[string]func(Scale) ([]CDFRow, error){
+		"Figure4": Figure4, "Figure5": Figure5, "Figure6": Figure6,
+	} {
+		rows, err := fn(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("%s: expected 5 datacenters, got %d", name, len(rows))
+		}
+		for _, row := range rows {
+			if len(row.Points) == 0 {
+				t.Fatalf("%s: %s has an empty CDF", name, row.Datacenter)
+			}
+			last := row.Points[len(row.Points)-1]
+			if last.Cumulative < 0.999 {
+				t.Fatalf("%s: %s CDF does not reach 1", name, row.Datacenter)
+			}
+		}
+	}
+	rows, err := Figure4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatCDFSummary(rows, 1.0) == "" {
+		t.Errorf("summary should not be empty")
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	res := Figure7()
+	if res.MaxConcurrentTasks != 469 {
+		t.Fatalf("max concurrent = %d, want 469", res.MaxConcurrentTasks)
+	}
+	if res.Query != "query19" || res.Stages != 11 {
+		t.Fatalf("unexpected DAG summary: %+v", res)
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	res, err := Figure8(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ExampleSelection) != 3 {
+		t.Fatalf("example selection should have 3 replicas")
+	}
+	populated := 0
+	for col := 0; col < 3; col++ {
+		for row := 0; row < 3; row++ {
+			if res.CellTenants[col][row] > 0 {
+				populated++
+			}
+		}
+	}
+	if populated < 6 {
+		t.Fatalf("expected most cells populated, got %d", populated)
+	}
+}
+
+func TestFigure10And11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping testbed experiment in -short mode")
+	}
+	results, err := Figure10And11(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("expected 4 systems, got %d", len(results))
+	}
+	byName := map[string]TestbedResult{}
+	for _, r := range results {
+		byName[r.System] = r
+		if len(r.TailLatencySeries) == 0 {
+			t.Fatalf("%s has no latency series", r.System)
+		}
+	}
+	noHarvest := byName["No Harvesting"]
+	stock := byName[yarnsim.PolicyStock.String()]
+	pt := byName[yarnsim.PolicyPT.String()]
+	hist := byName[yarnsim.PolicyHistory.String()]
+	// Figure 10's shape: Stock hurts the tail badly; PT and H stay close to
+	// the no-harvesting baseline.
+	if stock.AvgTailLatency <= noHarvest.AvgTailLatency {
+		t.Errorf("stock should inflate the tail (stock %v vs baseline %v)",
+			stock.AvgTailLatency, noHarvest.AvgTailLatency)
+	}
+	if hist.AvgTailLatency > noHarvest.AvgTailLatency*2 {
+		t.Errorf("YARN-H tail (%v) should stay close to the baseline (%v)",
+			hist.AvgTailLatency, noHarvest.AvgTailLatency)
+	}
+	// Figure 11's shape: Stock has the fastest batch jobs; PT is slower than H
+	// is allowed to be; everyone completes work.
+	if stock.CompletedJobs == 0 || pt.CompletedJobs == 0 || hist.CompletedJobs == 0 {
+		t.Fatalf("all systems should complete jobs")
+	}
+	if stock.TasksKilled != 0 {
+		t.Errorf("stock never kills tasks")
+	}
+	if hist.TasksKilled > pt.TasksKilled {
+		t.Errorf("YARN-H (%d kills) should not kill more than YARN-PT (%d)", hist.TasksKilled, pt.TasksKilled)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping storage testbed experiment in -short mode")
+	}
+	results, err := Figure12(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("expected 3 systems")
+	}
+	byName := map[string]TestbedResult{}
+	for _, r := range results {
+		byName[r.System] = r
+	}
+	stock := byName[hdfssim.PolicyStock.String()]
+	pt := byName[hdfssim.PolicyPT.String()]
+	hist := byName[hdfssim.PolicyHistory.String()]
+	if stock.AvgTailLatency <= hist.AvgTailLatency {
+		t.Errorf("HDFS-Stock should inflate the primary tail more than HDFS-H")
+	}
+	if hist.FailedAccesses > pt.FailedAccesses {
+		t.Errorf("HDFS-H failed accesses (%d) should not exceed HDFS-PT's (%d)",
+			hist.FailedAccesses, pt.FailedAccesses)
+	}
+}
+
+func TestFigure13And14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping datacenter-scale sweep in -short mode")
+	}
+	cfg := DefaultFigure13Config()
+	cfg.Utilizations = []float64{0.45}
+	cfg.Scalings = []timeseries.ScalingMethod{timeseries.ScaleLinear}
+	cfg.Horizon = 8 * time.Hour
+	points, err := Figure13(tinyScale(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("expected one sweep point, got %d", len(points))
+	}
+	p := points[0]
+	if p.PTAvgRuntime <= 0 || p.HistoryAvgRuntime <= 0 {
+		t.Fatalf("both policies should complete jobs: %+v", p)
+	}
+	if p.HistoryKills > p.PTKills {
+		t.Errorf("history kills (%d) should not exceed PT kills (%d)", p.HistoryKills, p.PTKills)
+	}
+
+	rows, err := Figure14(tinyScale(), cfg, []string{"DC-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("expected one Figure 14 row, got %d", len(rows))
+	}
+	if rows[0].MaxImprovement < rows[0].MinImprovement {
+		t.Fatalf("improvement bounds inconsistent: %+v", rows[0])
+	}
+}
+
+func TestMicrobench(t *testing.T) {
+	res, err := Microbench(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes == 0 {
+		t.Fatalf("clustering should produce classes")
+	}
+	if res.ClusteringDuration <= 0 || res.ClassSelectionDuration <= 0 || res.PlacementDuration <= 0 {
+		t.Fatalf("durations should be positive: %+v", res)
+	}
+	// §6.2: class selection takes well under a millisecond on average and
+	// placement a few milliseconds; generous bounds keep the test stable on
+	// slow machines.
+	if res.ClassSelectionDuration > 10*time.Millisecond {
+		t.Errorf("class selection too slow: %v", res.ClassSelectionDuration)
+	}
+	if res.PlacementDuration > 50*time.Millisecond {
+		t.Errorf("placement too slow: %v", res.PlacementDuration)
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping durability experiment in -short mode")
+	}
+	cfg := DefaultFigure15Config()
+	cfg.Datacenters = []string{"DC-3"}
+	cfg.Replications = []int{3}
+	s := tinyScale()
+	s.Blocks = 0.005 // 20k blocks
+	s.Datacenter = 0.1
+	rows, err := Figure15(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected stock and history rows, got %d", len(rows))
+	}
+	var stock, hist DurabilityRow
+	for _, r := range rows {
+		if r.Policy == hdfssim.PolicyStock {
+			stock = r
+		} else {
+			hist = r
+		}
+	}
+	if hist.LostBlocks > stock.LostBlocks {
+		t.Fatalf("HDFS-H (%d lost) should not lose more than HDFS-Stock (%d lost)",
+			hist.LostBlocks, stock.LostBlocks)
+	}
+}
+
+func TestFigure16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping availability experiment in -short mode")
+	}
+	cfg := DefaultFigure16Config()
+	cfg.Utilizations = []float64{0.55}
+	cfg.Replications = []int{3}
+	rows, err := Figure16(tinyScale(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected stock and history rows, got %d", len(rows))
+	}
+	var stock, hist AvailabilityRow
+	for _, r := range rows {
+		if r.Policy == hdfssim.PolicyStock {
+			stock = r
+		} else {
+			hist = r
+		}
+	}
+	if hist.FailedFraction > stock.FailedFraction {
+		t.Fatalf("HDFS-H (%v) should not fail more accesses than HDFS-Stock (%v)",
+			hist.FailedFraction, stock.FailedFraction)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping ablations in -short mode")
+	}
+	env, err := AblationEnvironmentConstraint(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Default > env.Variant+1e-9 && env.Default != 0 {
+		t.Errorf("strict environment constraint should not lose more than the relaxed variant: %+v", env)
+	}
+	res, err := AblationReserve(tinyScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name == "" {
+		t.Errorf("ablation should be named")
+	}
+}

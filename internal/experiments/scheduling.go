@@ -1,0 +1,543 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"harvest/internal/cluster"
+	"harvest/internal/core"
+	"harvest/internal/latency"
+	"harvest/internal/tenant"
+	"harvest/internal/timeseries"
+	"harvest/internal/workload"
+	"harvest/internal/yarnsim"
+)
+
+// Figure7Result describes the example DAG of Figure 7.
+type Figure7Result struct {
+	Query              string
+	Stages             int
+	TotalTasks         int
+	MaxConcurrentTasks int
+	LevelWidths        []int
+}
+
+// Figure7 reports the breadth-first concurrency estimate for the TPC-DS
+// query-19 DAG (the paper's example estimates 469 concurrent containers).
+func Figure7() Figure7Result {
+	dag := workload.Query19()
+	levels := dag.Levels()
+	widths := make([]int, len(levels))
+	for i, level := range levels {
+		for _, si := range level {
+			widths[i] += dag.Stages[si].Tasks
+		}
+	}
+	return Figure7Result{
+		Query:              dag.Name,
+		Stages:             len(dag.Stages),
+		TotalTasks:         dag.TotalTasks(),
+		MaxConcurrentTasks: dag.MaxConcurrentTasks(),
+		LevelWidths:        widths,
+	}
+}
+
+// TestbedResult is one system's outcome on the 102-server testbed experiments
+// (Figures 10, 11 and 12).
+type TestbedResult struct {
+	System string
+	// TailLatencySeries is the per-minute average of the servers'
+	// 99th-percentile latencies.
+	TailLatencySeries []time.Duration
+	// AvgTailLatency and MaxTailLatency summarize the series.
+	AvgTailLatency time.Duration
+	MaxTailLatency time.Duration
+	// AvgJobRuntime is the average batch job execution time.
+	AvgJobRuntime time.Duration
+	// CompletedJobs counts finished batch jobs.
+	CompletedJobs int
+	// TasksKilled counts killed task executions.
+	TasksKilled int
+	// AvgClusterUtilization is the average total CPU utilization.
+	AvgClusterUtilization float64
+	// FailedAccesses counts denied storage accesses (Figure 12 experiments).
+	FailedAccesses int
+}
+
+// testbedCluster builds the 102-server testbed: 21 primary tenants from DC-9
+// (13 periodic, 3 constant, 5 unpredictable) spread over 102 servers (§6.1).
+func testbedCluster(seed int64) (*cluster.Cluster, *tenant.Population, error) {
+	rng := rand.New(rand.NewSource(seed))
+	gen := newTestbedTraceGenerator(seed)
+	var tenants []*tenant.Tenant
+	serverID := tenant.ServerID(0)
+	addTenant := func(id int, pattern patternKind) {
+		// 102 servers over 21 tenants: sizes of 4-6 servers.
+		n := 4 + rng.Intn(3)
+		if int(serverID)+n > 102 {
+			n = 102 - int(serverID)
+		}
+		if n <= 0 {
+			n = 1
+		}
+		servers := make([]tenant.ServerID, n)
+		for i := range servers {
+			servers[i] = serverID
+			serverID++
+		}
+		tenants = append(tenants, &tenant.Tenant{
+			ID:                        tenant.ID(id),
+			Environment:               fmt.Sprintf("testbed-env-%02d", id),
+			MachineFunction:           "lucene",
+			Datacenter:                "DC-9-testbed",
+			Servers:                   servers,
+			Utilization:               gen.series(pattern),
+			ReimagesPerServerMonth:    gen.reimageRate(pattern),
+			HarvestableBytesPerServer: 2 << 40,
+		})
+	}
+	id := 0
+	for i := 0; i < 13; i++ {
+		addTenant(id, patternPeriodic)
+		id++
+	}
+	for i := 0; i < 3; i++ {
+		addTenant(id, patternConstant)
+		id++
+	}
+	for i := 0; i < 5; i++ {
+		addTenant(id, patternUnpredictable)
+		id++
+	}
+	pop, err := tenant.NewPopulation("DC-9-testbed", tenants)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := pop.ClassifyAll(core.DefaultClusteringConfig().Classifier); err != nil {
+		return nil, nil, err
+	}
+	cl, err := cluster.New(pop, tenant.DefaultServerResources(), tenant.DefaultReserve())
+	if err != nil {
+		return nil, nil, err
+	}
+	return cl, pop, nil
+}
+
+// patternKind and the tiny generator below keep the testbed traces independent
+// of the datacenter-scale generator so the 21-tenant mix matches §6.1 exactly.
+type patternKind int
+
+const (
+	patternPeriodic patternKind = iota
+	patternConstant
+	patternUnpredictable
+)
+
+type testbedTraceGenerator struct {
+	rng *rand.Rand
+}
+
+func newTestbedTraceGenerator(seed int64) *testbedTraceGenerator {
+	return &testbedTraceGenerator{rng: rand.New(rand.NewSource(seed + 77))}
+}
+
+func (g *testbedTraceGenerator) series(kind patternKind) *timeseries.Series {
+	n := timeseries.SlotsPerMonth
+	values := make([]float64, n)
+	base := 0.25 + g.rng.Float64()*0.15
+	switch kind {
+	case patternPeriodic:
+		amp := 0.2 + g.rng.Float64()*0.2
+		phase := g.rng.Float64() * 2 * math.Pi
+		for i := range values {
+			day := float64(i) / float64(timeseries.SlotsPerDay)
+			values[i] = clamp01(base + amp*math.Sin(2*math.Pi*day+phase) + g.rng.NormFloat64()*0.02)
+		}
+	case patternConstant:
+		for i := range values {
+			values[i] = clamp01(base + g.rng.NormFloat64()*0.01)
+		}
+	default:
+		level := base * 0.5
+		target := level
+		for i := range values {
+			if g.rng.Float64() < 0.002 {
+				target = clamp01(base + g.rng.Float64()*0.6)
+			}
+			if g.rng.Float64() < 0.004 {
+				target = base * 0.4
+			}
+			level += (target - level) * 0.05
+			values[i] = clamp01(level + g.rng.NormFloat64()*0.02)
+		}
+	}
+	return timeseries.New(timeseries.SlotDuration, values)
+}
+
+func (g *testbedTraceGenerator) reimageRate(kind patternKind) float64 {
+	switch kind {
+	case patternPeriodic:
+		return 0.1 + g.rng.Float64()*0.2
+	case patternConstant:
+		return 0.05 + g.rng.Float64()*0.1
+	default:
+		return 0.3 + g.rng.Float64()*0.7
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Figure10And11 runs the testbed scheduling experiment: the TPC-DS workload
+// with Poisson(300 s) arrivals for five hours, under No-Harvesting,
+// YARN-Stock, YARN-PT and YARN-H/Tez-H. It returns the primary tail-latency
+// series (Figure 10) and the batch runtimes (Figure 11).
+func Figure10And11(s Scale) ([]TestbedResult, error) {
+	s = s.normalized()
+	horizon := time.Duration(float64(5*time.Hour) * s.Workload)
+	if horizon < 30*time.Minute {
+		horizon = 30 * time.Minute
+	}
+	jobs, err := buildWorkload(s, horizon, 300*time.Second, 1)
+	if err != nil {
+		return nil, err
+	}
+	var results []TestbedResult
+
+	// No-Harvesting baseline: only the primary runs.
+	{
+		cl, _, err := testbedCluster(s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		model, err := latency.NewModel(latency.DefaultModelConfig(), s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rec := latency.NewRecorder(model)
+		for now := time.Duration(0); now < horizon; now += time.Minute {
+			for _, srv := range cl.ServerList() {
+				rec.Observe(srv.PrimaryUtilization(now), 0, 0)
+			}
+			rec.Flush()
+		}
+		results = append(results, TestbedResult{
+			System:            "No Harvesting",
+			TailLatencySeries: rec.Series,
+			AvgTailLatency:    rec.Average(),
+			MaxTailLatency:    rec.Max(),
+		})
+	}
+
+	for _, policy := range []yarnsim.Policy{yarnsim.PolicyStock, yarnsim.PolicyPT, yarnsim.PolicyHistory} {
+		res, err := runTestbedScheduling(s, policy, jobs, horizon)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func runTestbedScheduling(s Scale, policy yarnsim.Policy, jobs []*workload.Job, horizon time.Duration) (TestbedResult, error) {
+	cl, pop, err := testbedCluster(s.Seed)
+	if err != nil {
+		return TestbedResult{}, err
+	}
+	model, err := latency.NewModel(latency.DefaultModelConfig(), s.Seed)
+	if err != nil {
+		return TestbedResult{}, err
+	}
+	rec := latency.NewRecorder(model)
+
+	cfg := yarnsim.DefaultConfig(policy)
+	cfg.Seed = s.Seed
+	cfg.HeartbeatInterval = time.Minute
+	lastSample := time.Duration(-1)
+	cfg.Observer = func(now time.Duration, srv *cluster.Server, secondaryCores int) {
+		if now != lastSample && lastSample >= 0 {
+			rec.Flush()
+		}
+		lastSample = now
+		rec.Observe(srv.PrimaryUtilization(now), float64(secondaryCores)/float64(srv.Resources.Cores), 0)
+	}
+	if policy == yarnsim.PolicyHistory {
+		clustering, selector, thresholds, err := historyScheduling(pop, jobs, s.Seed)
+		if err != nil {
+			return TestbedResult{}, err
+		}
+		cfg.Clustering = clustering
+		cfg.Selector = selector
+		cfg.Thresholds = thresholds
+	}
+	sim, err := yarnsim.NewSimulation(cl, cloneJobs(jobs), cfg)
+	if err != nil {
+		return TestbedResult{}, err
+	}
+	out := sim.Run(horizon)
+	rec.Flush()
+	return TestbedResult{
+		System:                policy.String(),
+		TailLatencySeries:     rec.Series,
+		AvgTailLatency:        rec.Average(),
+		MaxTailLatency:        rec.Max(),
+		AvgJobRuntime:         out.AvgJobRuntime,
+		CompletedJobs:         out.CompletedJobs,
+		TasksKilled:           out.TasksKilled,
+		AvgClusterUtilization: out.AvgClusterCPUUtilization,
+	}, nil
+}
+
+// UtilizationSweepPoint is one point of Figures 13 and 16: a target average
+// utilization and the metric measured there.
+type UtilizationSweepPoint struct {
+	TargetUtilization float64
+	Scaling           timeseries.ScalingMethod
+	// PTAvgRuntime and HistoryAvgRuntime are the average batch job runtimes
+	// under YARN-PT and YARN-H/Tez-H.
+	PTAvgRuntime      time.Duration
+	HistoryAvgRuntime time.Duration
+	// Improvement is 1 - History/PT (positive means YARN-H is faster).
+	Improvement float64
+	// PTKills and HistoryKills are the killed-task counts.
+	PTKills      int
+	HistoryKills int
+}
+
+// Figure13Config tunes the datacenter-scale scheduling sweep.
+type Figure13Config struct {
+	Datacenter string
+	// Utilizations are the target average primary utilizations to sweep.
+	Utilizations []float64
+	// Scalings are the utilization scaling methods (linear and root).
+	Scalings []timeseries.ScalingMethod
+	// Horizon is the simulated duration (the paper simulates one month; the
+	// default here is shorter and relies on the duration scaling to exercise
+	// the same behaviour).
+	Horizon time.Duration
+	// InterArrival and DurationScale shape the batch workload.
+	InterArrival  time.Duration
+	DurationScale float64
+	// HeartbeatInterval for the node managers.
+	HeartbeatInterval time.Duration
+}
+
+// DefaultFigure13Config mirrors the DC-9 sweep with long-running scaled jobs.
+func DefaultFigure13Config() Figure13Config {
+	return Figure13Config{
+		Datacenter:        "DC-9",
+		Utilizations:      []float64{0.25, 0.35, 0.45, 0.55},
+		Scalings:          []timeseries.ScalingMethod{timeseries.ScaleLinear, timeseries.ScaleRoot},
+		Horizon:           24 * time.Hour,
+		InterArrival:      4 * time.Minute,
+		DurationScale:     20,
+		HeartbeatInterval: 2 * time.Minute,
+	}
+}
+
+// Figure13 sweeps the utilization spectrum on one datacenter and compares
+// YARN-PT with YARN-H/Tez-H (the paper's Figure 13 shows DC-9).
+func Figure13(s Scale, cfg Figure13Config) ([]UtilizationSweepPoint, error) {
+	s = s.normalized()
+	if cfg.Datacenter == "" {
+		cfg = DefaultFigure13Config()
+	}
+	pop, _, err := buildPopulation(cfg.Datacenter, s)
+	if err != nil {
+		return nil, err
+	}
+	horizon := time.Duration(float64(cfg.Horizon) * s.Workload)
+	if horizon < 2*time.Hour {
+		horizon = 2 * time.Hour
+	}
+	jobs, err := buildWorkload(s, horizon, cfg.InterArrival, cfg.DurationScale)
+	if err != nil {
+		return nil, err
+	}
+	var points []UtilizationSweepPoint
+	for _, scaling := range cfg.Scalings {
+		for _, target := range cfg.Utilizations {
+			point, err := runSweepPoint(s, pop, jobs, cfg, target, scaling, horizon)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, point)
+		}
+	}
+	return points, nil
+}
+
+func runSweepPoint(s Scale, pop *tenant.Population, jobs []*workload.Job, cfg Figure13Config,
+	target float64, scaling timeseries.ScalingMethod, horizon time.Duration) (UtilizationSweepPoint, error) {
+
+	run := func(policy yarnsim.Policy) (*yarnsim.Result, error) {
+		cl, err := cluster.New(pop, tenant.DefaultServerResources(), tenant.DefaultReserve())
+		if err != nil {
+			return nil, err
+		}
+		cl.ScaleUtilization(target, scaling)
+		ycfg := yarnsim.DefaultConfig(policy)
+		ycfg.Seed = s.Seed
+		ycfg.HeartbeatInterval = cfg.HeartbeatInterval
+		if policy == yarnsim.PolicyHistory {
+			clustering, selector, thresholds, err := historyScheduling(pop, jobs, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ycfg.Clustering = clustering
+			ycfg.Selector = selector
+			ycfg.Thresholds = thresholds
+		}
+		sim, err := yarnsim.NewSimulation(cl, cloneJobs(jobs), ycfg)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(horizon + 2*time.Hour), nil
+	}
+	pt, err := run(yarnsim.PolicyPT)
+	if err != nil {
+		return UtilizationSweepPoint{}, err
+	}
+	hist, err := run(yarnsim.PolicyHistory)
+	if err != nil {
+		return UtilizationSweepPoint{}, err
+	}
+	point := UtilizationSweepPoint{
+		TargetUtilization: target,
+		Scaling:           scaling,
+		PTAvgRuntime:      pt.AvgJobRuntime,
+		HistoryAvgRuntime: hist.AvgJobRuntime,
+		PTKills:           pt.TasksKilled,
+		HistoryKills:      hist.TasksKilled,
+	}
+	if pt.AvgJobRuntime > 0 {
+		point.Improvement = 1 - float64(hist.AvgJobRuntime)/float64(pt.AvgJobRuntime)
+	}
+	return point, nil
+}
+
+// Figure14Row summarizes one datacenter's runtime improvements across the
+// utilization sweep (Figure 14 reports min, average and max per datacenter).
+type Figure14Row struct {
+	Datacenter     string
+	Scaling        timeseries.ScalingMethod
+	MinImprovement float64
+	AvgImprovement float64
+	MaxImprovement float64
+}
+
+// Figure14 runs the Figure 13 sweep for every datacenter and reduces each to
+// min/avg/max improvement.
+func Figure14(s Scale, cfg Figure13Config, datacenters []string) ([]Figure14Row, error) {
+	if cfg.Datacenter == "" {
+		cfg = DefaultFigure13Config()
+	}
+	if len(datacenters) == 0 {
+		datacenters = Datacenters()
+	}
+	var rows []Figure14Row
+	for _, dc := range datacenters {
+		dcCfg := cfg
+		dcCfg.Datacenter = dc
+		points, err := Figure13(s, dcCfg)
+		if err != nil {
+			return nil, err
+		}
+		byScaling := map[timeseries.ScalingMethod][]float64{}
+		for _, p := range points {
+			byScaling[p.Scaling] = append(byScaling[p.Scaling], p.Improvement)
+		}
+		for scaling, improvements := range byScaling {
+			row := Figure14Row{Datacenter: dc, Scaling: scaling}
+			row.MinImprovement = improvements[0]
+			for _, v := range improvements {
+				if v < row.MinImprovement {
+					row.MinImprovement = v
+				}
+				if v > row.MaxImprovement {
+					row.MaxImprovement = v
+				}
+				row.AvgImprovement += v
+			}
+			row.AvgImprovement /= float64(len(improvements))
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// MicrobenchResult reports the §6.2 operation costs.
+type MicrobenchResult struct {
+	ClusteringDuration     time.Duration
+	Classes                int
+	ClassSelectionDuration time.Duration
+	PlacementDuration      time.Duration
+}
+
+// Microbench measures the cost of the clustering service, a class selection,
+// and a replica placement on the scaled DC-9 population.
+func Microbench(s Scale) (*MicrobenchResult, error) {
+	s = s.normalized()
+	pop, _, err := buildPopulation("DC-9", s)
+	if err != nil {
+		return nil, err
+	}
+	svc := core.NewClusteringService(core.DefaultClusteringConfig())
+	startCluster := time.Now()
+	clustering, err := svc.Cluster(pop)
+	if err != nil {
+		return nil, err
+	}
+	clusteringTime := time.Since(startCluster)
+
+	selector, err := core.NewSelector(core.DefaultSelectorConfig(), clustering, rand.New(rand.NewSource(s.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	startSelect := time.Now()
+	const selections = 1000
+	for i := 0; i < selections; i++ {
+		selector.Select(core.JobRequest{Type: core.JobMedium, MaxConcurrentCores: 100}, nil)
+	}
+	selectTime := time.Since(startSelect) / selections
+
+	infos := make([]core.TenantPlacementInfo, 0, len(pop.Tenants))
+	for _, t := range pop.Tenants {
+		infos = append(infos, core.TenantPlacementInfo{
+			ID: t.ID, Environment: t.Environment, ReimageRate: t.ReimagesPerServerMonth,
+			PeakCPU: t.PeakUtilization(), AvailableBytes: t.HarvestableBytes(), Servers: t.Servers,
+		})
+	}
+	scheme, err := core.BuildPlacementScheme(infos)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	startPlace := time.Now()
+	const placements = 1000
+	for i := 0; i < placements; i++ {
+		_, err := scheme.PlaceReplicas(rng, core.PlacementConstraints{
+			Replication: 3, Writer: -1, EnforceEnvironment: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	placeTime := time.Since(startPlace) / placements
+
+	return &MicrobenchResult{
+		ClusteringDuration:     clusteringTime,
+		Classes:                len(clustering.Classes),
+		ClassSelectionDuration: selectTime,
+		PlacementDuration:      placeTime,
+	}, nil
+}

@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"time"
+
+	"harvest/internal/cluster"
+	"harvest/internal/core"
+	"harvest/internal/hdfssim"
+	"harvest/internal/latency"
+	"harvest/internal/tenant"
+	"harvest/internal/timeseries"
+	"harvest/internal/yarnsim"
+)
+
+// Figure8Result summarizes the two-dimensional placement clustering for one
+// datacenter (Figure 8 plots the tenants and an example selection).
+type Figure8Result struct {
+	Datacenter string
+	// CellTenants[col][row] counts the tenants per cell (columns index the
+	// reimage-frequency dimension, rows the peak-utilization dimension).
+	CellTenants [core.PlacementGridSize][core.PlacementGridSize]int
+	// CellBytes[col][row] is the harvestable space per cell.
+	CellBytes [core.PlacementGridSize][core.PlacementGridSize]int64
+	// SpaceImbalance is the max/min cell space ratio.
+	SpaceImbalance float64
+	// ExampleSelection is one three-way placement produced by Algorithm 2.
+	ExampleSelection []tenant.ServerID
+}
+
+// Figure8 builds the 3x3 clustering scheme for DC-9 and reports the cell
+// populations plus one example placement.
+func Figure8(s Scale) (*Figure8Result, error) {
+	s = s.normalized()
+	pop, _, err := buildPopulation("DC-9", s)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]core.TenantPlacementInfo, 0, len(pop.Tenants))
+	for _, t := range pop.Tenants {
+		infos = append(infos, core.TenantPlacementInfo{
+			ID: t.ID, Environment: t.Environment, ReimageRate: t.ReimagesPerServerMonth,
+			PeakCPU: t.PeakUtilization(), AvailableBytes: t.HarvestableBytes(), Servers: t.Servers,
+		})
+	}
+	scheme, err := core.BuildPlacementScheme(infos)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure8Result{Datacenter: "DC-9", SpaceImbalance: scheme.SpaceImbalance()}
+	for col := 0; col < core.PlacementGridSize; col++ {
+		for row := 0; row < core.PlacementGridSize; row++ {
+			res.CellTenants[col][row] = len(scheme.Cells[col][row].Tenants)
+			res.CellBytes[col][row] = scheme.Cells[col][row].AvailableBytes
+		}
+	}
+	rng := newRNG(s.Seed)
+	sel, err := scheme.PlaceReplicas(rng, core.PlacementConstraints{
+		Replication: 3, Writer: pop.Tenants[0].Servers[0], EnforceEnvironment: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.ExampleSelection = sel
+	return res, nil
+}
+
+// Figure12 runs the testbed storage experiment: the primary's tail latency and
+// the number of failed accesses under HDFS-Stock, HDFS-PT and HDFS-H, while a
+// stream of block creations and reads exercises the harvested storage.
+func Figure12(s Scale) ([]TestbedResult, error) {
+	s = s.normalized()
+	horizon := time.Duration(float64(5*time.Hour) * s.Workload)
+	if horizon < 30*time.Minute {
+		horizon = 30 * time.Minute
+	}
+	numBlocks := int(2000 * s.Blocks * 10)
+	if numBlocks < 200 {
+		numBlocks = 200
+	}
+	accesses := numBlocks * 10
+
+	var results []TestbedResult
+	for _, policy := range []hdfssim.Policy{hdfssim.PolicyStock, hdfssim.PolicyPT, hdfssim.PolicyHistory} {
+		cl, _, err := testbedCluster(s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := hdfssim.DefaultConfig(policy)
+		cfg.Seed = s.Seed
+		fs, err := hdfssim.New(cl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		model, err := latency.NewModel(latency.DefaultModelConfig(), s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rec := latency.NewRecorder(model)
+		rng := newRNG(s.Seed + 5)
+
+		// Create the blocks over the first part of the run, then read.
+		failed := 0
+		for i := 0; i < numBlocks; i++ {
+			at := time.Duration(float64(horizon) * 0.2 * float64(i) / float64(numBlocks))
+			writer := cl.ServerList()[rng.Intn(cl.NumServers())].ID
+			if _, err := fs.CreateBlock(writer, at); err != nil {
+				failed++
+			}
+		}
+		for i := 0; i < accesses; i++ {
+			at := time.Duration(float64(horizon) * (0.2 + 0.8*rng.Float64()))
+			if !fs.Access(rng.Intn(fs.NumBlocks()), at) {
+				failed++
+			}
+		}
+		// Primary tail latency: storage pressure exists only where accesses
+		// are allowed to hit busy servers (the Stock policy).
+		for now := time.Duration(0); now < horizon; now += time.Minute {
+			for _, srv := range cl.ServerList() {
+				pressure := 0.0
+				if policy == hdfssim.PolicyStock {
+					// Stock keeps serving reads from busy servers, so disk and
+					// CPU pressure from secondary I/O lands on the primary.
+					pressure = 0.15
+				} else if !srv.IsBusy(now) {
+					pressure = 0.05
+				}
+				rec.Observe(srv.PrimaryUtilization(now), 0, pressure)
+			}
+			rec.Flush()
+		}
+		results = append(results, TestbedResult{
+			System:            policy.String(),
+			TailLatencySeries: rec.Series,
+			AvgTailLatency:    rec.Average(),
+			MaxTailLatency:    rec.Max(),
+			FailedAccesses:    failed,
+		})
+	}
+	return results, nil
+}
+
+// DurabilityRow is one bar of Figure 15: a datacenter, replication level and
+// policy with its lost-block percentage.
+type DurabilityRow struct {
+	Datacenter   string
+	Policy       hdfssim.Policy
+	Replication  int
+	Blocks       int
+	LostBlocks   int
+	LostFraction float64
+}
+
+// Figure15Config tunes the durability experiment.
+type Figure15Config struct {
+	Datacenters  []string
+	Replications []int
+	// Blocks is the number of blocks at Blocks scale 1 (the paper uses 4M).
+	Blocks int
+	// Horizon is the simulated period (one year in the paper).
+	Horizon time.Duration
+}
+
+// DefaultFigure15Config mirrors the paper's setup.
+func DefaultFigure15Config() Figure15Config {
+	return Figure15Config{
+		Datacenters:  CharacterizationDatacenters(),
+		Replications: []int{3, 4},
+		Blocks:       4_000_000,
+		Horizon:      365 * 24 * time.Hour,
+	}
+}
+
+// Figure15 simulates one year of reimages and reports lost blocks per
+// datacenter, replication level, and policy (HDFS-Stock vs HDFS-H).
+func Figure15(s Scale, cfg Figure15Config) ([]DurabilityRow, error) {
+	s = s.normalized()
+	if len(cfg.Datacenters) == 0 {
+		cfg = DefaultFigure15Config()
+	}
+	numBlocks := int(float64(cfg.Blocks) * s.Blocks)
+	if numBlocks < 1000 {
+		numBlocks = 1000
+	}
+	var rows []DurabilityRow
+	for _, dc := range cfg.Datacenters {
+		for _, replication := range cfg.Replications {
+			for _, policy := range []hdfssim.Policy{hdfssim.PolicyStock, hdfssim.PolicyHistory} {
+				pop, gen, err := buildPopulation(dc, s)
+				if err != nil {
+					return nil, err
+				}
+				cl, err := cluster.New(pop, tenant.DefaultServerResources(), tenant.DefaultReserve())
+				if err != nil {
+					return nil, err
+				}
+				events := gen.GenerateReimageEvents(pop, cfg.Horizon)
+				fcfg := hdfssim.DefaultConfig(policy)
+				fcfg.Replication = replication
+				fcfg.Seed = s.Seed
+				fs, err := hdfssim.New(cl, fcfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := fs.SimulateDurability(numBlocks, events, cfg.Horizon)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, DurabilityRow{
+					Datacenter:   dc,
+					Policy:       policy,
+					Replication:  replication,
+					Blocks:       res.Blocks,
+					LostBlocks:   res.LostBlocks,
+					LostFraction: res.LostFraction,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// AvailabilityRow is one point of Figure 16: failed-access fraction at a
+// target utilization for a policy and replication level.
+type AvailabilityRow struct {
+	Datacenter        string
+	Policy            hdfssim.Policy
+	Replication       int
+	TargetUtilization float64
+	FailedFraction    float64
+}
+
+// Figure16Config tunes the availability sweep.
+type Figure16Config struct {
+	Datacenter   string
+	Utilizations []float64
+	Replications []int
+	Scaling      timeseries.ScalingMethod
+	// Blocks and AccessesPerBlock size the experiment at scale 1.
+	Blocks           int
+	AccessesPerBlock int
+	Horizon          time.Duration
+}
+
+// DefaultFigure16Config mirrors the paper's linear-scaling sweep on DC-9.
+func DefaultFigure16Config() Figure16Config {
+	return Figure16Config{
+		Datacenter:       "DC-9",
+		Utilizations:     []float64{0.3, 0.4, 0.5, 0.6, 0.7},
+		Replications:     []int{3, 4},
+		Scaling:          timeseries.ScaleLinear,
+		Blocks:           200_000,
+		AccessesPerBlock: 5,
+		Horizon:          30 * 24 * time.Hour,
+	}
+}
+
+// Figure16 sweeps the utilization spectrum and reports failed accesses for
+// HDFS-Stock and HDFS-H at each replication level.
+func Figure16(s Scale, cfg Figure16Config) ([]AvailabilityRow, error) {
+	s = s.normalized()
+	if cfg.Datacenter == "" {
+		cfg = DefaultFigure16Config()
+	}
+	numBlocks := int(float64(cfg.Blocks) * s.Blocks)
+	if numBlocks < 500 {
+		numBlocks = 500
+	}
+	accesses := numBlocks * cfg.AccessesPerBlock
+	var rows []AvailabilityRow
+	for _, target := range cfg.Utilizations {
+		for _, replication := range cfg.Replications {
+			for _, policy := range []hdfssim.Policy{hdfssim.PolicyStock, hdfssim.PolicyHistory} {
+				pop, _, err := buildPopulation(cfg.Datacenter, s)
+				if err != nil {
+					return nil, err
+				}
+				cl, err := cluster.New(pop, tenant.DefaultServerResources(), tenant.DefaultReserve())
+				if err != nil {
+					return nil, err
+				}
+				cl.ScaleUtilization(target, cfg.Scaling)
+				fcfg := hdfssim.DefaultConfig(policy)
+				fcfg.Replication = replication
+				fcfg.Seed = s.Seed
+				fs, err := hdfssim.New(cl, fcfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := fs.SimulateAvailability(numBlocks, accesses, cfg.Horizon)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, AvailabilityRow{
+					Datacenter:        cfg.Datacenter,
+					Policy:            policy,
+					Replication:       replication,
+					TargetUtilization: target,
+					FailedFraction:    res.FailedFraction,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// AblationResult compares a design choice against the paper's default.
+type AblationResult struct {
+	Name    string
+	Default float64
+	Variant float64
+}
+
+// AblationEnvironmentConstraint quantifies the production "space versus
+// diversity" tradeoff (§7): durability with and without the one-replica-per-
+// environment constraint.
+func AblationEnvironmentConstraint(s Scale) (*AblationResult, error) {
+	s = s.normalized()
+	horizon := 365 * 24 * time.Hour
+	run := func(enforce bool) (float64, error) {
+		pop, gen, err := buildPopulation("DC-3", s)
+		if err != nil {
+			return 0, err
+		}
+		cl, err := cluster.New(pop, tenant.DefaultServerResources(), tenant.DefaultReserve())
+		if err != nil {
+			return 0, err
+		}
+		events := gen.GenerateReimageEvents(pop, horizon)
+		cfg := hdfssim.DefaultConfig(hdfssim.PolicyHistory)
+		cfg.EnforceEnvironment = enforce
+		cfg.Seed = s.Seed
+		fs, err := hdfssim.New(cl, cfg)
+		if err != nil {
+			return 0, err
+		}
+		numBlocks := int(20000 * s.Blocks * 200)
+		if numBlocks < 2000 {
+			numBlocks = 2000
+		}
+		res, err := fs.SimulateDurability(numBlocks, events, horizon)
+		if err != nil {
+			return 0, err
+		}
+		return res.LostFraction, nil
+	}
+	strict, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	relaxed, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Name: "environment constraint (strict vs relaxed)", Default: strict, Variant: relaxed}, nil
+}
+
+// AblationReserve quantifies the effect of the resource reserve size on kills
+// under YARN-PT (larger reserves leave less to harvest but kill less).
+func AblationReserve(s Scale, reserveCores int) (*AblationResult, error) {
+	s = s.normalized()
+	pop, _, err := buildPopulation("DC-9", s)
+	if err != nil {
+		return nil, err
+	}
+	horizon := 6 * time.Hour
+	jobs, err := buildWorkload(s, horizon, 2*time.Minute, 8)
+	if err != nil {
+		return nil, err
+	}
+	run := func(reserve tenant.Reserve) (float64, error) {
+		cl, err := cluster.New(pop, tenant.DefaultServerResources(), reserve)
+		if err != nil {
+			return 0, err
+		}
+		cl.ScaleUtilization(0.45, timeseries.ScaleLinear)
+		cfg := yarnsim.DefaultConfig(yarnsim.PolicyPT)
+		cfg.Seed = s.Seed
+		cfg.HeartbeatInterval = 2 * time.Minute
+		sim, err := yarnsim.NewSimulation(cl, cloneJobs(jobs), cfg)
+		if err != nil {
+			return 0, err
+		}
+		res := sim.Run(horizon + time.Hour)
+		return float64(res.TasksKilled), nil
+	}
+	def, err := run(tenant.DefaultReserve())
+	if err != nil {
+		return nil, err
+	}
+	variant, err := run(tenant.Reserve{Cores: reserveCores, MemoryMB: 10 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Name: "reserve size (kills)", Default: def, Variant: variant}, nil
+}

@@ -1,0 +1,488 @@
+// Package hdfssim models the harvesting distributed file system (the HDFS-H
+// analogue, §5.4): a NameNode tracking block replicas on DataNodes that live
+// on primary-tenant servers, replica placement policies (Stock, PT, History),
+// busy-deny behaviour, reimage-driven replica loss, and background
+// re-replication at the paper's 30 blocks/hour/server rate.
+//
+// Two simulations are built on this model:
+//
+//   - the durability simulation (Figure 15): place blocks, replay one year of
+//     disk reimages, and count blocks that lose every replica before
+//     re-replication can restore them;
+//   - the availability simulation (Figure 16): place blocks and measure how
+//     often an access finds every replica on a busy server.
+package hdfssim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"harvest/internal/cluster"
+	"harvest/internal/core"
+	"harvest/internal/tenant"
+	"harvest/internal/trace"
+)
+
+// BlockSizeBytes is the HDFS block size (256 MB, §5.1).
+const BlockSizeBytes = 256 << 20
+
+// ReplicationRepairRate is how many blocks per hour a single server can
+// re-create without overloading the network (§5.1).
+const ReplicationRepairRate = 30
+
+// RackSize is the number of servers per rack. Server IDs are assigned
+// contiguously per tenant by the trace generator, so racks mostly align with
+// tenant boundaries — the physical correlation stock HDFS's rack-local second
+// replica is exposed to.
+const RackSize = 20
+
+// DefaultRepairDetectionDelay is how long the NameNode takes to declare a
+// DataNode dead after its heartbeats stop (stock HDFS waits several missed
+// heartbeat intervals) before re-replication of its blocks begins.
+const DefaultRepairDetectionDelay = 10 * time.Minute
+
+// RackOf returns the rack a server belongs to.
+func RackOf(id tenant.ServerID) int {
+	if id < 0 {
+		return -1
+	}
+	return int(id) / RackSize
+}
+
+// Policy selects the replica placement variant.
+type Policy int
+
+const (
+	// PolicyStock places replicas uniformly at random on distinct servers,
+	// like stock HDFS unaware of primary tenants (rack locality is not
+	// modelled; the paper's stock policy spreads across racks which is
+	// equally oblivious to reimaging and utilization patterns).
+	PolicyStock Policy = iota
+	// PolicyPT is primary-tenant-aware for accesses (busy servers are
+	// avoided at read/write time) but still places replicas randomly.
+	PolicyPT
+	// PolicyHistory uses the two-dimensional clustering placement
+	// (Algorithm 2) — HDFS-H.
+	PolicyHistory
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyStock:
+		return "HDFS-Stock"
+	case PolicyPT:
+		return "HDFS-PT"
+	case PolicyHistory:
+		return "HDFS-H"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a file system instance.
+type Config struct {
+	Policy Policy
+	// Replication is the number of replicas per block (3 by default).
+	Replication int
+	// BusyThreshold is the primary CPU utilization above which a DataNode
+	// denies accesses and is excluded from placement (about 1 - reserve, i.e.
+	// ~0.66 on the testbed).
+	BusyThreshold float64
+	// Seed drives the randomized placement decisions.
+	Seed int64
+	// EnforceEnvironment keeps Algorithm 2's one-replica-per-environment rule
+	// (History policy only).
+	EnforceEnvironment bool
+	// RepairDetectionDelay is how long after a reimage the NameNode notices
+	// the missing DataNode and starts re-replicating its blocks. Zero means
+	// DefaultRepairDetectionDelay.
+	RepairDetectionDelay time.Duration
+}
+
+// DefaultConfig mirrors the paper's defaults for the given policy.
+func DefaultConfig(policy Policy) Config {
+	return Config{
+		Policy:             policy,
+		Replication:        3,
+		BusyThreshold:      2.0 / 3.0,
+		Seed:               1,
+		EnforceEnvironment: true,
+	}
+}
+
+// FileSystem is a NameNode-style view: block -> replica servers.
+type FileSystem struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	scheme  *core.PlacementScheme
+	rng     *rand.Rand
+
+	// replicas[b] lists the servers holding block b.
+	replicas [][]tenant.ServerID
+	// usedBytes tracks per-server harvested space.
+	usedBytes map[tenant.ServerID]int64
+	servers   []tenant.ServerID
+}
+
+// New builds a file system over the cluster. For PolicyHistory, the placement
+// scheme is built from each tenant's historical reimage rate and peak CPU
+// utilization, exactly the inputs Algorithm 2 uses.
+func New(cl *cluster.Cluster, cfg Config) (*FileSystem, error) {
+	if cl == nil || cl.NumServers() == 0 {
+		return nil, fmt.Errorf("hdfssim: empty cluster")
+	}
+	if cfg.Replication <= 0 {
+		return nil, fmt.Errorf("hdfssim: replication must be positive")
+	}
+	if cfg.BusyThreshold <= 0 || cfg.BusyThreshold > 1 {
+		return nil, fmt.Errorf("hdfssim: busy threshold %v out of (0,1]", cfg.BusyThreshold)
+	}
+	fs := &FileSystem{
+		cfg:       cfg,
+		cluster:   cl,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		usedBytes: make(map[tenant.ServerID]int64, cl.NumServers()),
+	}
+	for _, srv := range cl.ServerList() {
+		fs.servers = append(fs.servers, srv.ID)
+	}
+	if cfg.Policy == PolicyHistory {
+		infos := make([]core.TenantPlacementInfo, 0, len(cl.Population.Tenants))
+		for _, t := range cl.Population.Tenants {
+			infos = append(infos, core.TenantPlacementInfo{
+				ID:             t.ID,
+				Environment:    t.Environment,
+				ReimageRate:    t.ReimagesPerServerMonth,
+				PeakCPU:        t.PeakUtilization(),
+				AvailableBytes: t.HarvestableBytes(),
+				Servers:        t.Servers,
+			})
+		}
+		scheme, err := core.BuildPlacementScheme(infos)
+		if err != nil {
+			return nil, fmt.Errorf("hdfssim: %w", err)
+		}
+		fs.scheme = scheme
+	}
+	return fs, nil
+}
+
+// NumBlocks returns how many blocks have been created.
+func (fs *FileSystem) NumBlocks() int { return len(fs.replicas) }
+
+// Replicas returns the servers currently holding block b.
+func (fs *FileSystem) Replicas(b int) []tenant.ServerID {
+	if b < 0 || b >= len(fs.replicas) {
+		return nil
+	}
+	return fs.replicas[b]
+}
+
+// serverHasSpace reports whether a server can hold one more replica.
+func (fs *FileSystem) serverHasSpace(id tenant.ServerID) bool {
+	srv := fs.cluster.Server(id)
+	if srv == nil || srv.Reimaged {
+		return false
+	}
+	if srv.Resources.DiskBytes <= 0 {
+		return true
+	}
+	return fs.usedBytes[id]+BlockSizeBytes <= srv.Resources.DiskBytes
+}
+
+// serverBusy reports whether the primary's utilization makes the DataNode
+// deny accesses at the given time.
+func (fs *FileSystem) serverBusy(id tenant.ServerID, now time.Duration) bool {
+	srv := fs.cluster.Server(id)
+	if srv == nil {
+		return true
+	}
+	return srv.PrimaryUtilization(now) > fs.cfg.BusyThreshold
+}
+
+// CreateBlock places a new block's replicas. writer is the server creating the
+// block (-1 for an external client). now is used to exclude busy servers from
+// placement under the PT and History policies. It returns the block id.
+func (fs *FileSystem) CreateBlock(writer tenant.ServerID, now time.Duration) (int, error) {
+	replicas, err := fs.placeReplicas(writer, now)
+	if err != nil {
+		return -1, err
+	}
+	for _, s := range replicas {
+		fs.usedBytes[s] += BlockSizeBytes
+	}
+	fs.replicas = append(fs.replicas, replicas)
+	return len(fs.replicas) - 1, nil
+}
+
+func (fs *FileSystem) placeReplicas(writer tenant.ServerID, now time.Duration) ([]tenant.ServerID, error) {
+	eligible := func(id tenant.ServerID) bool {
+		if !fs.serverHasSpace(id) {
+			return false
+		}
+		// Stock HDFS does not know about primary tenants, so it may place
+		// replicas on busy servers; PT and History avoid them (§5.4).
+		if fs.cfg.Policy != PolicyStock && fs.serverBusy(id, now) {
+			return false
+		}
+		return true
+	}
+	if fs.cfg.Policy == PolicyHistory {
+		return fs.scheme.PlaceReplicas(fs.rng, core.PlacementConstraints{
+			Replication:        fs.cfg.Replication,
+			Writer:             writer,
+			ServerEligible:     eligible,
+			EnforceEnvironment: fs.cfg.EnforceEnvironment,
+		})
+	}
+	// Stock and PT follow the default HDFS policy (§5.1): the first replica on
+	// the writer's server, the second on another server of the writer's rack,
+	// and the remaining ones on servers of remote racks. The rack-local copy
+	// is what exposes stock HDFS to correlated reimages, since racks largely
+	// coincide with environments.
+	var out []tenant.ServerID
+	used := make(map[tenant.ServerID]bool)
+	writerRack := -1
+	if writer >= 0 && eligible(writer) && fs.cluster.Server(writer) != nil {
+		out = append(out, writer)
+		used[writer] = true
+		writerRack = RackOf(writer)
+	}
+	pick := func(filter func(tenant.ServerID) bool) bool {
+		perm := fs.rng.Perm(len(fs.servers))
+		for _, idx := range perm {
+			id := fs.servers[idx]
+			if used[id] || !eligible(id) {
+				continue
+			}
+			if filter != nil && !filter(id) {
+				continue
+			}
+			out = append(out, id)
+			used[id] = true
+			return true
+		}
+		return false
+	}
+	// Rack-local second replica.
+	if len(out) == 1 && len(out) < fs.cfg.Replication {
+		if !pick(func(id tenant.ServerID) bool { return RackOf(id) == writerRack }) {
+			// No eligible rack-mate; fall back to any server.
+			pick(nil)
+		}
+	}
+	// Remaining replicas prefer remote racks, falling back to any server.
+	for len(out) < fs.cfg.Replication {
+		if pick(func(id tenant.ServerID) bool { return RackOf(id) != writerRack }) {
+			continue
+		}
+		if !pick(nil) {
+			break
+		}
+	}
+	if len(out) < fs.cfg.Replication {
+		return out, fmt.Errorf("hdfssim: only %d of %d replicas could be placed", len(out), fs.cfg.Replication)
+	}
+	return out, nil
+}
+
+// Access attempts to read block b at the given time. It fails only when every
+// replica is unavailable: under Stock, replicas never deny (the primary pays
+// the interference cost instead); under PT and History, a replica on a busy
+// server denies the access, and the client tries the next one (§5.4 G2).
+// A block with no replicas (lost) also fails.
+func (fs *FileSystem) Access(b int, now time.Duration) bool {
+	replicas := fs.Replicas(b)
+	if len(replicas) == 0 {
+		return false
+	}
+	if fs.cfg.Policy == PolicyStock {
+		return true
+	}
+	for _, s := range replicas {
+		if !fs.serverBusy(s, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllReplicasBusy reports whether every replica of block b sits on a busy
+// server at the given time — the unavailability condition of Figure 16,
+// independent of policy-specific access semantics.
+func (fs *FileSystem) AllReplicasBusy(b int, now time.Duration) bool {
+	replicas := fs.Replicas(b)
+	if len(replicas) == 0 {
+		return true
+	}
+	for _, s := range replicas {
+		if !fs.serverBusy(s, now) {
+			return false
+		}
+	}
+	return true
+}
+
+// DurabilityResult summarizes a durability simulation.
+type DurabilityResult struct {
+	Policy        Policy
+	Replication   int
+	Blocks        int
+	LostBlocks    int
+	ReimageEvents int
+	// LostFraction is LostBlocks / Blocks.
+	LostFraction float64
+	// RepairedReplicas counts replicas re-created by the background repair.
+	RepairedReplicas int
+}
+
+// SimulateDurability places the given number of blocks and replays the
+// reimage events over the horizon. When a server is reimaged, every replica on
+// it is destroyed; the NameNode re-creates missing replicas at
+// ReplicationRepairRate per source server per hour (modelled as a fixed
+// re-replication delay per lost replica, drawn from the backlog at the time of
+// the loss). A block whose replicas all disappear before any repair completes
+// is lost permanently (§5.4: durability cannot be fully guaranteed).
+func (fs *FileSystem) SimulateDurability(numBlocks int, events []trace.ReimageEvent, horizon time.Duration) (*DurabilityResult, error) {
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("hdfssim: need a positive block count")
+	}
+	// Place all blocks up front, writers chosen uniformly at random.
+	for i := 0; i < numBlocks; i++ {
+		writer := fs.servers[fs.rng.Intn(len(fs.servers))]
+		if _, err := fs.CreateBlock(writer, 0); err != nil {
+			return nil, fmt.Errorf("hdfssim: placing block %d: %w", i, err)
+		}
+	}
+	// Index replicas per server for fast invalidation.
+	blocksOnServer := make(map[tenant.ServerID][]int, len(fs.servers))
+	for b, reps := range fs.replicas {
+		for _, s := range reps {
+			blocksOnServer[s] = append(blocksOnServer[s], b)
+		}
+	}
+	// Per-block live replica count and pending repairs (completion times).
+	live := make([]int, len(fs.replicas))
+	for b := range fs.replicas {
+		live[b] = len(fs.replicas[b])
+	}
+	type repair struct {
+		block int
+		done  time.Duration
+	}
+	var repairs []repair
+	lost := make([]bool, len(fs.replicas))
+	res := &DurabilityResult{
+		Policy:      fs.cfg.Policy,
+		Replication: fs.cfg.Replication,
+		Blocks:      numBlocks,
+	}
+	// Repair backlog per hour bucket approximates the 30 blocks/hour/server
+	// rate across the cluster: total repair throughput per hour.
+	repairPerHour := ReplicationRepairRate * len(fs.servers)
+	if repairPerHour <= 0 {
+		repairPerHour = ReplicationRepairRate
+	}
+	detection := fs.cfg.RepairDetectionDelay
+	if detection <= 0 {
+		detection = DefaultRepairDetectionDelay
+	}
+	backlog := 0
+
+	applyRepairs := func(now time.Duration) {
+		kept := repairs[:0]
+		for _, r := range repairs {
+			if r.done <= now {
+				if !lost[r.block] && live[r.block] > 0 {
+					live[r.block]++
+					res.RepairedReplicas++
+				}
+				if backlog > 0 {
+					backlog--
+				}
+				continue
+			}
+			kept = append(kept, r)
+		}
+		repairs = kept
+	}
+
+	sorted := make([]trace.ReimageEvent, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	for _, ev := range sorted {
+		if ev.At > horizon {
+			break
+		}
+		applyRepairs(ev.At)
+		res.ReimageEvents++
+		for _, b := range blocksOnServer[ev.Server] {
+			if lost[b] || live[b] <= 0 {
+				continue
+			}
+			live[b]--
+			if live[b] == 0 {
+				lost[b] = true
+				res.LostBlocks++
+				continue
+			}
+			// Schedule a repair; it completes after the NameNode's detection
+			// delay plus the backlog drained at the cluster-wide repair rate.
+			backlog++
+			delay := detection + time.Duration(float64(backlog)/float64(repairPerHour)*float64(time.Hour))
+			repairs = append(repairs, repair{block: b, done: ev.At + delay})
+		}
+		// The reimaged server no longer holds any harvested replicas.
+		blocksOnServer[ev.Server] = nil
+	}
+	res.LostFraction = float64(res.LostBlocks) / float64(numBlocks)
+	return res, nil
+}
+
+// AvailabilityResult summarizes an availability simulation.
+type AvailabilityResult struct {
+	Policy         Policy
+	Replication    int
+	Blocks         int
+	Accesses       int
+	FailedAccesses int
+	// FailedFraction is FailedAccesses / Accesses.
+	FailedFraction float64
+	// MeanUtilization is the cluster's mean primary utilization during the
+	// simulation, the x-axis of Figure 16.
+	MeanUtilization float64
+}
+
+// SimulateAvailability places blocks and then samples accesses uniformly over
+// the horizon, counting accesses for which every replica is busy.
+func (fs *FileSystem) SimulateAvailability(numBlocks, accesses int, horizon time.Duration) (*AvailabilityResult, error) {
+	if numBlocks <= 0 || accesses <= 0 {
+		return nil, fmt.Errorf("hdfssim: need positive block and access counts")
+	}
+	for i := 0; i < numBlocks; i++ {
+		writer := fs.servers[fs.rng.Intn(len(fs.servers))]
+		if _, err := fs.CreateBlock(writer, 0); err != nil {
+			return nil, fmt.Errorf("hdfssim: placing block %d: %w", i, err)
+		}
+	}
+	res := &AvailabilityResult{
+		Policy:          fs.cfg.Policy,
+		Replication:     fs.cfg.Replication,
+		Blocks:          numBlocks,
+		Accesses:        accesses,
+		MeanUtilization: fs.cluster.MeanPrimaryUtilization(),
+	}
+	for i := 0; i < accesses; i++ {
+		b := fs.rng.Intn(numBlocks)
+		at := time.Duration(fs.rng.Float64() * float64(horizon))
+		if fs.AllReplicasBusy(b, at) {
+			res.FailedAccesses++
+		}
+	}
+	res.FailedFraction = float64(res.FailedAccesses) / float64(accesses)
+	return res, nil
+}

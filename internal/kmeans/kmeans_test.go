@@ -1,0 +1,294 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Cluster(rng, nil, Config{K: 2}); err == nil {
+		t.Errorf("empty input should error")
+	}
+	if _, err := Cluster(rng, [][]float64{{1}}, Config{K: 0}); err == nil {
+		t.Errorf("K=0 should error")
+	}
+	if _, err := Cluster(rng, [][]float64{{}}, Config{K: 1}); err == nil {
+		t.Errorf("zero-dimensional points should error")
+	}
+	if _, err := Cluster(rng, [][]float64{{1, 2}, {1}}, Config{K: 1}); err == nil {
+		t.Errorf("dimension mismatch should error")
+	}
+}
+
+func TestClusterSeparatesObviousGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var points [][]float64
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{rng.NormFloat64()*0.05 + 0.1, rng.NormFloat64()*0.05 + 0.1})
+	}
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{rng.NormFloat64()*0.05 + 0.9, rng.NormFloat64()*0.05 + 0.9})
+	}
+	res, err := Cluster(rng, points, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points in the first half must share a cluster, and differ from the
+	// second half's cluster.
+	first := res.Assignments[0]
+	for i := 1; i < 50; i++ {
+		if res.Assignments[i] != first {
+			t.Fatalf("point %d assigned to %d, want %d", i, res.Assignments[i], first)
+		}
+	}
+	second := res.Assignments[50]
+	if second == first {
+		t.Fatalf("groups were merged")
+	}
+	for i := 51; i < 100; i++ {
+		if res.Assignments[i] != second {
+			t.Fatalf("point %d assigned to %d, want %d", i, res.Assignments[i], second)
+		}
+	}
+	if res.Sizes[first] != 50 || res.Sizes[second] != 50 {
+		t.Fatalf("sizes = %v", res.Sizes)
+	}
+}
+
+func TestClusterKLargerThanPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := [][]float64{{0}, {1}}
+	res, err := Cluster(rng, points, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("expected K capped at 2, got %d centroids", len(res.Centroids))
+	}
+}
+
+func TestClusterIdenticalPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	points := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	res, err := Cluster(rng, points, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("identical points should have ~zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestClusterInertiaNonIncreasingWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var points [][]float64
+	for i := 0; i < 200; i++ {
+		points = append(points, []float64{rng.Float64(), rng.Float64()})
+	}
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		res, err := Cluster(rand.New(rand.NewSource(6)), points, Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow a tiny tolerance: k-means is a local search.
+		if res.Inertia > prev*1.05 {
+			t.Fatalf("inertia increased substantially from k-1 to k=%d: %v -> %v", k, prev, res.Inertia)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestClusterAssignmentsValidProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(raw []uint8, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		points := make([][]float64, len(raw))
+		for i, r := range raw {
+			points[i] = []float64{float64(r) / 255}
+		}
+		k := int(kRaw)%5 + 1
+		res, err := Cluster(rng, points, Config{K: k})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range res.Sizes {
+			total += s
+		}
+		if total != len(points) {
+			return false
+		}
+		for _, a := range res.Assignments {
+			if a < 0 || a >= len(res.Centroids) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	centroids := [][]float64{{0, 0}, {1, 1}}
+	c, err := Assign([]float64{0.9, 0.8}, centroids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Fatalf("Assign = %d, want 1", c)
+	}
+	if _, err := Assign([]float64{1}, centroids); err == nil {
+		t.Errorf("dimension mismatch should error")
+	}
+	if _, err := Assign([]float64{1}, nil); err == nil {
+		t.Errorf("no centroids should error")
+	}
+}
+
+func TestQuantileBuckets(t *testing.T) {
+	values := []float64{5, 1, 9, 3, 7, 2}
+	buckets, err := QuantileBuckets(values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted order: 1,2,3,5,7,9 -> buckets 0,0,1,1,2,2
+	want := map[float64]int{1: 0, 2: 0, 3: 1, 5: 1, 7: 2, 9: 2}
+	for i, v := range values {
+		if buckets[i] != want[v] {
+			t.Fatalf("value %v in bucket %d, want %d", v, buckets[i], want[v])
+		}
+	}
+}
+
+func TestQuantileBucketsErrors(t *testing.T) {
+	if _, err := QuantileBuckets(nil, 3); err == nil {
+		t.Errorf("empty values should error")
+	}
+	if _, err := QuantileBuckets([]float64{1}, 0); err == nil {
+		t.Errorf("zero buckets should error")
+	}
+}
+
+func TestQuantileBucketsFewerValuesThanBuckets(t *testing.T) {
+	buckets, err := QuantileBuckets([]float64{4, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buckets[1] >= 5 || buckets[0] >= 5 {
+		t.Fatalf("buckets out of range: %v", buckets)
+	}
+	if buckets[1] > buckets[0] {
+		t.Fatalf("smaller value got larger bucket: %v", buckets)
+	}
+}
+
+func TestQuantileBucketsMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]float64, len(raw))
+		for i, r := range raw {
+			values[i] = float64(r)
+		}
+		buckets, err := QuantileBuckets(values, 3)
+		if err != nil {
+			return false
+		}
+		// Property: if value[i] < value[j] then bucket[i] <= bucket[j].
+		for i := range values {
+			for j := range values {
+				if values[i] < values[j] && buckets[i] > buckets[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedQuantileBucketsEqualWeightsMatchesUnweighted(t *testing.T) {
+	values := []float64{5, 1, 9, 3, 7, 2}
+	weights := []float64{1, 1, 1, 1, 1, 1}
+	wb, err := WeightedQuantileBuckets(values, weights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := QuantileBuckets(values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		if wb[i] != ub[i] {
+			t.Fatalf("weighted (%v) and unweighted (%v) differ with equal weights", wb, ub)
+		}
+	}
+}
+
+func TestWeightedQuantileBucketsRespectsWeights(t *testing.T) {
+	// One heavy tenant should fill an entire bucket by itself.
+	values := []float64{1, 2, 3, 4}
+	weights := []float64{100, 1, 1, 1}
+	buckets, err := WeightedQuantileBuckets(values, weights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buckets[0] != 0 {
+		t.Fatalf("heaviest lowest-value tenant should be in bucket 0, got %d", buckets[0])
+	}
+	// The remaining light tenants should be pushed into later buckets.
+	if buckets[1] == 0 && buckets[2] == 0 && buckets[3] == 0 {
+		t.Fatalf("light tenants should not all share bucket 0: %v", buckets)
+	}
+}
+
+func TestWeightedQuantileBucketsErrors(t *testing.T) {
+	if _, err := WeightedQuantileBuckets(nil, nil, 3); err == nil {
+		t.Errorf("empty values should error")
+	}
+	if _, err := WeightedQuantileBuckets([]float64{1}, []float64{1, 2}, 3); err == nil {
+		t.Errorf("weight length mismatch should error")
+	}
+	if _, err := WeightedQuantileBuckets([]float64{1}, []float64{1}, 0); err == nil {
+		t.Errorf("zero buckets should error")
+	}
+}
+
+func TestWeightedQuantileBucketsZeroWeights(t *testing.T) {
+	values := []float64{3, 1, 2}
+	weights := []float64{0, 0, 0}
+	buckets, err := WeightedQuantileBuckets(values, weights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buckets {
+		if b < 0 || b >= 3 {
+			t.Fatalf("bucket %d out of range for index %d", b, i)
+		}
+	}
+}
+
+func TestWeightedQuantileBucketsNegativeWeightTreatedAsZero(t *testing.T) {
+	values := []float64{1, 2}
+	weights := []float64{-5, 10}
+	buckets, err := WeightedQuantileBuckets(values, weights, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buckets {
+		if b < 0 || b >= 2 {
+			t.Fatalf("bucket out of range: %v", buckets)
+		}
+	}
+}

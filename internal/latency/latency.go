@@ -1,0 +1,172 @@
+// Package latency models the latency-critical primary service the testbed
+// runs on every server (an Apache Lucene search instance in §6.1) and how its
+// 99th-percentile response time reacts to co-located secondary work.
+//
+// The model is a per-server open queueing approximation: the service's tail
+// latency grows with the total effective CPU pressure on the server. When
+// secondary containers or harvested-storage accesses push the combined
+// pressure toward saturation, the tail inflates sharply — which is exactly the
+// behaviour Figures 10 and 12 show for YARN-Stock/HDFS-Stock. Primary-aware
+// systems keep the combined pressure below capacity minus the reserve, so
+// their tails track the no-harvesting baseline closely.
+package latency
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"harvest/internal/stats"
+)
+
+// ModelConfig tunes the tail-latency model. The defaults reproduce the
+// testbed's no-harvesting range of roughly 369-406 ms average 99th-percentile
+// latency (§6.3).
+type ModelConfig struct {
+	// BaseTail is the 99th-percentile latency of an unloaded server.
+	BaseTail time.Duration
+	// LoadFactor scales how quickly the tail grows with primary utilization
+	// below saturation.
+	LoadFactor float64
+	// SaturationPoint is the combined utilization at which interference
+	// starts to inflate the tail super-linearly.
+	SaturationPoint float64
+	// SaturationPenalty is the additional latency per unit of pressure beyond
+	// the saturation point.
+	SaturationPenalty time.Duration
+	// Jitter is the relative standard deviation of measurement noise.
+	Jitter float64
+}
+
+// DefaultModelConfig mirrors the testbed behaviour.
+func DefaultModelConfig() ModelConfig {
+	return ModelConfig{
+		BaseTail:          360 * time.Millisecond,
+		LoadFactor:        0.12,
+		SaturationPoint:   0.75,
+		SaturationPenalty: 2500 * time.Millisecond,
+		Jitter:            0.02,
+	}
+}
+
+// Model computes per-server 99th-percentile latencies and aggregates them the
+// way Figure 10 reports them: the average across servers of each server's
+// tail latency, sampled every minute.
+type Model struct {
+	cfg ModelConfig
+	rng *rand.Rand
+}
+
+// NewModel creates a model with a deterministic noise source.
+func NewModel(cfg ModelConfig, seed int64) (*Model, error) {
+	if cfg.BaseTail <= 0 {
+		return nil, fmt.Errorf("latency: BaseTail must be positive")
+	}
+	if cfg.SaturationPoint <= 0 || cfg.SaturationPoint > 1 {
+		return nil, fmt.Errorf("latency: SaturationPoint %v out of (0,1]", cfg.SaturationPoint)
+	}
+	return &Model{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// ServerTail returns the 99th-percentile latency of the primary on a server
+// given the primary's CPU utilization, the fraction of the server's cores held
+// by secondary containers, and the extra pressure from harvested-storage I/O
+// (0 when the file system is idle or denies accesses on busy servers).
+func (m *Model) ServerTail(primaryUtil, secondaryCPUShare, storagePressure float64) time.Duration {
+	primaryUtil = stats.Clamp(primaryUtil, 0, 1)
+	if secondaryCPUShare < 0 {
+		secondaryCPUShare = 0
+	}
+	if storagePressure < 0 {
+		storagePressure = 0
+	}
+	// Baseline growth with the primary's own load.
+	tail := float64(m.cfg.BaseTail) * (1 + m.cfg.LoadFactor*primaryUtil/(1.001-primaryUtil))
+	// Interference: only pressure beyond the saturation point hurts the tail.
+	combined := primaryUtil + secondaryCPUShare + storagePressure
+	if combined > m.cfg.SaturationPoint {
+		over := combined - m.cfg.SaturationPoint
+		tail += over * float64(m.cfg.SaturationPenalty)
+	}
+	// Measurement noise.
+	if m.cfg.Jitter > 0 {
+		tail *= 1 + m.rng.NormFloat64()*m.cfg.Jitter
+	}
+	if tail < 0 {
+		tail = 0
+	}
+	return time.Duration(tail)
+}
+
+// Recorder accumulates per-sample average tail latencies across servers, the
+// series Figures 10 and 12 plot (one point per minute over five hours).
+type Recorder struct {
+	model *Model
+
+	// perSample accumulates the current sample's sum and count.
+	sampleSum   float64
+	sampleCount int
+
+	// Series holds one averaged point per completed sample.
+	Series []time.Duration
+}
+
+// NewRecorder creates a recorder over a model.
+func NewRecorder(model *Model) *Recorder {
+	return &Recorder{model: model}
+}
+
+// Observe adds one server's state to the current sample.
+func (r *Recorder) Observe(primaryUtil, secondaryCPUShare, storagePressure float64) {
+	tail := r.model.ServerTail(primaryUtil, secondaryCPUShare, storagePressure)
+	r.sampleSum += float64(tail)
+	r.sampleCount++
+}
+
+// Flush closes the current sample, appending the across-server average to the
+// series. Flushing an empty sample is a no-op.
+func (r *Recorder) Flush() {
+	if r.sampleCount == 0 {
+		return
+	}
+	r.Series = append(r.Series, time.Duration(r.sampleSum/float64(r.sampleCount)))
+	r.sampleSum = 0
+	r.sampleCount = 0
+}
+
+// Average returns the mean of the recorded series.
+func (r *Recorder) Average() time.Duration {
+	if len(r.Series) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range r.Series {
+		sum += v
+	}
+	return sum / time.Duration(len(r.Series))
+}
+
+// Max returns the largest recorded point.
+func (r *Recorder) Max() time.Duration {
+	var max time.Duration
+	for _, v := range r.Series {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the smallest recorded point (0 for an empty series).
+func (r *Recorder) Min() time.Duration {
+	if len(r.Series) == 0 {
+		return 0
+	}
+	min := r.Series[0]
+	for _, v := range r.Series[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,112 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(DefaultModelConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	cfg := DefaultModelConfig()
+	cfg.BaseTail = 0
+	if _, err := NewModel(cfg, 1); err == nil {
+		t.Errorf("zero base tail should error")
+	}
+	cfg = DefaultModelConfig()
+	cfg.SaturationPoint = 1.5
+	if _, err := NewModel(cfg, 1); err == nil {
+		t.Errorf("saturation point above 1 should error")
+	}
+}
+
+func TestUnloadedTailNearBase(t *testing.T) {
+	m := newTestModel(t)
+	tail := m.ServerTail(0.3, 0, 0)
+	base := DefaultModelConfig().BaseTail
+	if tail < base/2 || tail > 2*base {
+		t.Fatalf("lightly loaded tail %v should be near the base %v", tail, base)
+	}
+}
+
+func TestInterferenceInflatesTail(t *testing.T) {
+	m := newTestModel(t)
+	clean := m.ServerTail(0.4, 0.1, 0)       // combined 0.5, below saturation
+	contended := m.ServerTail(0.4, 0.55, 0)  // combined 0.95, above saturation
+	saturated := m.ServerTail(0.4, 0.6, 0.2) // combined 1.2
+	if contended <= clean {
+		t.Fatalf("interference beyond the saturation point should inflate the tail: %v vs %v", contended, clean)
+	}
+	if saturated <= contended {
+		t.Fatalf("more pressure should mean a longer tail: %v vs %v", saturated, contended)
+	}
+}
+
+func TestMonotonicInPrimaryUtilization(t *testing.T) {
+	cfg := DefaultModelConfig()
+	cfg.Jitter = 0 // deterministic for the monotonicity check
+	m, err := NewModel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := time.Duration(0)
+	for _, u := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.95} {
+		tail := m.ServerTail(u, 0, 0)
+		if tail < prev {
+			t.Fatalf("tail should not decrease with utilization (u=%v)", u)
+		}
+		prev = tail
+	}
+}
+
+func TestNegativeInputsClamped(t *testing.T) {
+	cfg := DefaultModelConfig()
+	cfg.Jitter = 0
+	m, err := NewModel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ServerTail(-1, -1, -1) != m.ServerTail(0, 0, 0) {
+		t.Fatalf("negative inputs should clamp to zero")
+	}
+}
+
+func TestRecorderSeries(t *testing.T) {
+	m := newTestModel(t)
+	rec := NewRecorder(m)
+	// Two samples of two servers each.
+	rec.Observe(0.3, 0, 0)
+	rec.Observe(0.5, 0, 0)
+	rec.Flush()
+	rec.Observe(0.3, 0.6, 0)
+	rec.Observe(0.5, 0.6, 0)
+	rec.Flush()
+	if len(rec.Series) != 2 {
+		t.Fatalf("series length = %d, want 2", len(rec.Series))
+	}
+	if rec.Series[1] <= rec.Series[0] {
+		t.Fatalf("the interfered sample should have a higher average tail")
+	}
+	if rec.Average() <= 0 || rec.Max() < rec.Average() || rec.Min() > rec.Average() {
+		t.Fatalf("aggregate statistics inconsistent: avg=%v min=%v max=%v", rec.Average(), rec.Min(), rec.Max())
+	}
+	// Flushing an empty sample changes nothing.
+	rec.Flush()
+	if len(rec.Series) != 2 {
+		t.Fatalf("empty flush should not append")
+	}
+}
+
+func TestRecorderEmptyAggregates(t *testing.T) {
+	rec := NewRecorder(newTestModel(t))
+	if rec.Average() != 0 || rec.Max() != 0 || rec.Min() != 0 {
+		t.Fatalf("empty recorder should report zeros")
+	}
+}

@@ -1,0 +1,137 @@
+package signalproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func periodicTrace(n, cycles int, base, amplitude float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = base + amplitude*math.Sin(2*math.Pi*float64(cycles)*float64(i)/float64(n))
+	}
+	return out
+}
+
+func constantTrace(n int, level, jitter float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = level + jitter*(rng.Float64()-0.5)
+	}
+	return out
+}
+
+func unpredictableTrace(n int, rng *rand.Rand) []float64 {
+	// Rare large spikes over a low baseline: most spectral energy at low
+	// frequencies, no dominant periodic component.
+	out := make([]float64, n)
+	level := 0.1
+	for i := range out {
+		if rng.Float64() < 0.005 {
+			level = 0.2 + 0.7*rng.Float64()
+		}
+		// Exponential decay back to the baseline.
+		level = 0.1 + (level-0.1)*0.98
+		out[i] = level
+	}
+	return out
+}
+
+func TestClassifyPeriodic(t *testing.T) {
+	trace := periodicTrace(21600, 30, 0.4, 0.25)
+	p, err := Classify(trace, DefaultClassifierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pattern != PatternPeriodic {
+		t.Fatalf("pattern = %v, want periodic (profile %+v)", p.Pattern, p)
+	}
+	if p.DominantFrequency != 30 {
+		t.Errorf("dominant frequency = %d, want 30", p.DominantFrequency)
+	}
+}
+
+func TestClassifyConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trace := constantTrace(21600, 0.55, 0.04, rng)
+	p, err := Classify(trace, DefaultClassifierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pattern != PatternConstant {
+		t.Fatalf("pattern = %v, want constant (CV %v)", p.Pattern, p.CV)
+	}
+	if math.Abs(p.Mean-0.55) > 0.02 {
+		t.Errorf("mean = %v, want ~0.55", p.Mean)
+	}
+}
+
+func TestClassifyUnpredictable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trace := unpredictableTrace(21600, rng)
+	p, err := Classify(trace, DefaultClassifierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pattern != PatternUnpredictable {
+		t.Fatalf("pattern = %v, want unpredictable (profile %+v)", p.Pattern, p)
+	}
+}
+
+func TestClassifyTooShort(t *testing.T) {
+	if _, err := Classify([]float64{0.1, 0.2}, DefaultClassifierConfig()); err == nil {
+		t.Fatalf("expected error for too-short trace")
+	}
+}
+
+func TestClassifyZeroTrace(t *testing.T) {
+	p, err := Classify(make([]float64, 1000), DefaultClassifierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pattern != PatternConstant {
+		t.Fatalf("all-zero trace should classify as constant, got %v", p.Pattern)
+	}
+}
+
+func TestProfileFeatureVector(t *testing.T) {
+	p := Profile{Mean: 0.3, Peak: 0.8, CV: 0.2, SpectralCentroid: 0.1}
+	fv := p.FeatureVector()
+	if len(fv) != 4 {
+		t.Fatalf("feature vector length = %d", len(fv))
+	}
+	if fv[0] != 0.3 || fv[1] != 0.8 || fv[2] != 0.2 || fv[3] != 0.1 {
+		t.Fatalf("feature vector = %v", fv)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if PatternConstant.String() != "constant" ||
+		PatternPeriodic.String() != "periodic" ||
+		PatternUnpredictable.String() != "unpredictable" {
+		t.Errorf("unexpected pattern strings")
+	}
+	if Pattern(9).String() == "" {
+		t.Errorf("unknown pattern should produce non-empty string")
+	}
+}
+
+func TestSpectralCentroidZeroSpectrum(t *testing.T) {
+	if got := spectralCentroid([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("centroid of zero spectrum = %v, want 0", got)
+	}
+}
+
+func TestClassifyDailyCycleOverAMonth(t *testing.T) {
+	// A month-long trace with a daily cycle should peak at bin ~30 (Fig 1b
+	// shows bin 31 for a 31-day month; our synthetic month has 30 days).
+	trace := periodicTrace(21600, 30, 0.5, 0.3)
+	p, err := Classify(trace, DefaultClassifierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pattern != PatternPeriodic || p.DominantFrequency != 30 {
+		t.Fatalf("profile = %+v", p)
+	}
+}

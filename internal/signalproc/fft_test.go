@@ -1,0 +1,233 @@
+package signalproc
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// dftNaive is an O(n^2) reference DFT used to validate the FFT.
+func dftNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func complexAlmostEqual(a, b []complex128, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func randomComplex(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if _, err := FFT(nil); err == nil {
+		t.Fatalf("expected error for empty input")
+	}
+	if _, err := IFFT(nil); err == nil {
+		t.Fatalf("expected error for empty input")
+	}
+	if _, err := FFTReal(nil); err == nil {
+		t.Fatalf("expected error for empty input")
+	}
+}
+
+func TestFFTSingle(t *testing.T) {
+	out, err := FFT([]complex128{3 + 4i})
+	if err != nil || out[0] != 3+4i {
+		t.Fatalf("FFT of single sample = %v, %v", out, err)
+	}
+	inv, err := IFFT([]complex128{3 + 4i})
+	if err != nil || inv[0] != 3+4i {
+		t.Fatalf("IFFT of single sample = %v, %v", inv, err)
+	}
+}
+
+func TestFFTMatchesNaivePowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := randomComplex(rng, n)
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dftNaive(x)
+		if !complexAlmostEqual(got, want, 1e-6*float64(n)) {
+			t.Fatalf("FFT mismatch for n=%d", n)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveArbitraryLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 12, 31, 60, 100} {
+		x := randomComplex(rng, n)
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dftNaive(x)
+		if !complexAlmostEqual(got, want, 1e-6*float64(n)) {
+			t.Fatalf("Bluestein FFT mismatch for n=%d", n)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{8, 10, 21, 64, 100, 255} {
+		x := randomComplex(rng, n)
+		spec, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := IFFT(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !complexAlmostEqual(back, x, 1e-7*float64(n)) {
+			t.Fatalf("round trip mismatch for n=%d", n)
+		}
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 200 {
+			return true
+		}
+		x := make([]complex128, len(raw))
+		for i, r := range raw {
+			x[i] = complex(float64(r)/255, rng.Float64())
+		}
+		spec, err := FFT(x)
+		if err != nil {
+			return false
+		}
+		back, err := IFFT(spec)
+		if err != nil {
+			return false
+		}
+		return complexAlmostEqual(back, x, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 48
+	a := randomComplex(rng, n)
+	b := randomComplex(rng, n)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = a[i] + b[i]
+	}
+	fa, _ := FFT(a)
+	fb, _ := FFT(b)
+	fsum, _ := FFT(sum)
+	expect := make([]complex128, n)
+	for i := range expect {
+		expect[i] = fa[i] + fb[i]
+	}
+	if !complexAlmostEqual(fsum, expect, 1e-6) {
+		t.Fatalf("FFT is not linear")
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 128
+	x := randomComplex(rng, n)
+	spec, _ := FFT(x)
+	timeEnergy := 0.0
+	for _, v := range x {
+		timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy := 0.0
+	for _, v := range spec {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-6*timeEnergy {
+		t.Fatalf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestPowerSpectrumDetectsSine(t *testing.T) {
+	n := 720 // one day at 2-minute slots
+	cycles := 31
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.5 + 0.3*math.Sin(2*math.Pi*float64(cycles)*float64(i)/float64(n))
+	}
+	spectrum, err := PowerSpectrum(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range spectrum {
+		if spectrum[i] > spectrum[best] {
+			best = i
+		}
+	}
+	if best+1 != cycles {
+		t.Fatalf("dominant bin = %d, want %d", best+1, cycles)
+	}
+}
+
+func TestPowerSpectrumErrors(t *testing.T) {
+	if _, err := PowerSpectrum(nil); err == nil {
+		t.Errorf("empty input should error")
+	}
+	if _, err := PowerSpectrum([]float64{1}); err == nil {
+		t.Errorf("single sample has no non-DC bins and should error")
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 17: 32, 1000: 1024}
+	for in, want := range cases {
+		if got := nextPowerOfTwo(in); got != want {
+			t.Errorf("nextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !isPowerOfTwo(n) {
+			t.Errorf("%d should be a power of two", n)
+		}
+	}
+	for _, n := range []int{0, 3, 6, 100, -4} {
+		if isPowerOfTwo(n) {
+			t.Errorf("%d should not be a power of two", n)
+		}
+	}
+}

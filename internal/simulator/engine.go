@@ -1,0 +1,173 @@
+// Package simulator provides a small deterministic discrete-event simulation
+// engine used by the YARN/Tez/HDFS models. Events are ordered by time and, for
+// equal times, by scheduling order, so runs are exactly reproducible.
+package simulator
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Event is a callback executed at its scheduled simulation time.
+type Event func(now time.Duration)
+
+type scheduledEvent struct {
+	at   time.Duration
+	seq  uint64
+	fn   Event
+	heap int // index in the heap, maintained by the heap interface
+}
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heap = i
+	q[j].heap = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.heap = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrPastEvent is returned when an event is scheduled before the current time.
+var ErrPastEvent = errors.New("simulator: event scheduled in the past")
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// create one with New.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	events uint64
+}
+
+// New creates an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of events waiting to execute.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Processed returns the total number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.events }
+
+// Schedule queues fn to run at absolute simulation time at. Scheduling an
+// event before the current time returns ErrPastEvent.
+func (e *Engine) Schedule(at time.Duration, fn Event) error {
+	if at < e.now {
+		return ErrPastEvent
+	}
+	ev := &scheduledEvent{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return nil
+}
+
+// ScheduleAfter queues fn to run delay after the current time. Negative delays
+// are clamped to zero.
+func (e *Engine) ScheduleAfter(delay time.Duration, fn Event) {
+	if delay < 0 {
+		delay = 0
+	}
+	// Scheduling relative to now can never be in the past, so the error is
+	// impossible here.
+	_ = e.Schedule(e.now+delay, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time. It
+// returns false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*scheduledEvent)
+	e.now = ev.at
+	e.events++
+	ev.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue drains or the next event would be after
+// the horizon. The clock finishes at the horizon (if reached) or at the time
+// of the last executed event. It returns the number of events executed.
+func (e *Engine) Run(horizon time.Duration) uint64 {
+	executed := uint64(0)
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > horizon {
+			break
+		}
+		e.Step()
+		executed++
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return executed
+}
+
+// RunAll executes every pending event (including ones scheduled by the events
+// themselves) and returns the number executed. Use with care: a self-renewing
+// periodic event makes this loop forever, so periodic processes should bound
+// themselves or use Run with a horizon.
+func (e *Engine) RunAll() uint64 {
+	executed := uint64(0)
+	for e.Step() {
+		executed++
+	}
+	return executed
+}
+
+// Every schedules fn to run at the given period, starting one period from now,
+// until the predicate returns false or the horizon passes. It is the building
+// block for heartbeats and telemetry ticks.
+func (e *Engine) Every(period time.Duration, horizon time.Duration, fn func(now time.Duration) bool) {
+	if period <= 0 {
+		return
+	}
+	var tick Event
+	tick = func(now time.Duration) {
+		if now > horizon {
+			return
+		}
+		if !fn(now) {
+			return
+		}
+		next := now + period
+		if next > horizon {
+			return
+		}
+		_ = e.Schedule(next, tick)
+	}
+	start := e.now + period
+	if start > horizon {
+		return
+	}
+	_ = e.Schedule(start, tick)
+}

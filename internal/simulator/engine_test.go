@@ -1,0 +1,145 @@
+package simulator
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := New()
+	var order []int
+	_ = e.Schedule(3*time.Second, func(time.Duration) { order = append(order, 3) })
+	_ = e.Schedule(1*time.Second, func(time.Duration) { order = append(order, 1) })
+	_ = e.Schedule(2*time.Second, func(time.Duration) { order = append(order, 2) })
+	n := e.Run(10 * time.Second)
+	if n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("clock should end at the horizon, got %v", e.Now())
+	}
+}
+
+func TestEqualTimeEventsRunInScheduleOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		_ = e.Schedule(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastEvent(t *testing.T) {
+	e := New()
+	_ = e.Schedule(5*time.Second, func(time.Duration) {})
+	e.RunAll()
+	if err := e.Schedule(time.Second, func(time.Duration) {}); err != ErrPastEvent {
+		t.Fatalf("expected ErrPastEvent, got %v", err)
+	}
+}
+
+func TestScheduleAfterClampsNegative(t *testing.T) {
+	e := New()
+	ran := false
+	e.ScheduleAfter(-time.Second, func(now time.Duration) {
+		ran = true
+		if now != 0 {
+			t.Errorf("negative delay should run now, got %v", now)
+		}
+	})
+	e.RunAll()
+	if !ran {
+		t.Fatalf("event did not run")
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	e := New()
+	ran := 0
+	_ = e.Schedule(time.Second, func(time.Duration) { ran++ })
+	_ = e.Schedule(time.Hour, func(time.Duration) { ran++ })
+	n := e.Run(time.Minute)
+	if n != 1 || ran != 1 {
+		t.Fatalf("expected only the first event to run, got n=%d ran=%d", n, ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("one event should remain pending, got %d", e.Pending())
+	}
+	if e.Now() != time.Minute {
+		t.Fatalf("clock should stop at the horizon, got %v", e.Now())
+	}
+}
+
+func TestStepAdvancesClock(t *testing.T) {
+	e := New()
+	_ = e.Schedule(7*time.Second, func(time.Duration) {})
+	if !e.Step() {
+		t.Fatalf("expected an event to run")
+	}
+	if e.Now() != 7*time.Second {
+		t.Fatalf("clock = %v, want 7s", e.Now())
+	}
+	if e.Step() {
+		t.Fatalf("no events should remain")
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := New()
+	var times []time.Duration
+	_ = e.Schedule(time.Second, func(now time.Duration) {
+		times = append(times, now)
+		e.ScheduleAfter(2*time.Second, func(now time.Duration) {
+			times = append(times, now)
+		})
+	})
+	e.Run(time.Minute)
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+	if e.Processed() != 2 {
+		t.Fatalf("processed = %d, want 2", e.Processed())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New()
+	count := 0
+	e.Every(time.Minute, 10*time.Minute, func(time.Duration) bool {
+		count++
+		return true
+	})
+	e.Run(10 * time.Minute)
+	if count != 10 {
+		t.Fatalf("periodic event ran %d times, want 10", count)
+	}
+}
+
+func TestEveryStopsWhenPredicateFalse(t *testing.T) {
+	e := New()
+	count := 0
+	e.Every(time.Minute, time.Hour, func(time.Duration) bool {
+		count++
+		return count < 3
+	})
+	e.Run(time.Hour)
+	if count != 3 {
+		t.Fatalf("periodic event ran %d times, want 3", count)
+	}
+}
+
+func TestEveryInvalidPeriodOrHorizon(t *testing.T) {
+	e := New()
+	e.Every(0, time.Hour, func(time.Duration) bool { t.Fatal("should not run"); return true })
+	e.Every(time.Hour, time.Minute, func(time.Duration) bool { t.Fatal("should not run"); return true })
+	e.RunAll()
+}

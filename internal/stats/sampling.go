@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// WeightedChoice picks an index in [0, len(weights)) with probability
+// proportional to weights[i]. Negative weights are treated as zero. If all
+// weights are zero it returns -1.
+//
+// This is the primitive behind the paper's probabilistic class selection
+// ("pick 1 class probabilistically proportional to weighted headroom",
+// Algorithm 1 lines 10 and 13) and the RM's load balancing across heartbeating
+// servers.
+func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	target := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	// Floating point slack: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// WeightedSample picks k distinct indices without replacement, each draw
+// proportional to the remaining weights. It returns fewer than k indices if
+// fewer than k weights are positive.
+func WeightedSample(rng *rand.Rand, weights []float64, k int) []int {
+	remaining := make([]float64, len(weights))
+	copy(remaining, weights)
+	var out []int
+	for len(out) < k {
+		idx := WeightedChoice(rng, remaining)
+		if idx < 0 {
+			break
+		}
+		out = append(out, idx)
+		remaining[idx] = 0
+	}
+	return out
+}
+
+// Exponential draws an exponentially distributed value with the given mean.
+// It is used for Poisson inter-arrival times of batch jobs (§6.1 uses a mean
+// of 300 seconds).
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// Poisson draws a Poisson-distributed count with the given mean using
+// Knuth's algorithm for small means and a normal approximation for large ones.
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		// Normal approximation; adequate for workload synthesis.
+		v := rng.NormFloat64()*math.Sqrt(mean) + mean
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		k++
+		p *= rng.Float64()
+		if p <= l {
+			return k - 1
+		}
+	}
+}
+
+// LogNormal draws a log-normally distributed value given the mean and
+// standard deviation of the underlying normal. Used for synthetic task
+// durations, which in production are heavy-tailed.
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64()*sigma + mu)
+}
+
+// Bounded draws a uniform value in [lo, hi).
+func Bounded(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Shuffle permutes the ints in place.
+func Shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Pick returns a uniformly random element index of a slice of length n,
+// or an error if n <= 0.
+func Pick(rng *rand.Rand, n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("stats: cannot pick from %d elements", n)
+	}
+	return rng.Intn(n), nil
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}

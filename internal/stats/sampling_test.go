@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedChoiceAllZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := WeightedChoice(rng, []float64{0, 0, 0}); got != -1 {
+		t.Fatalf("WeightedChoice all-zero = %d, want -1", got)
+	}
+	if got := WeightedChoice(rng, nil); got != -1 {
+		t.Fatalf("WeightedChoice(nil) = %d, want -1", got)
+	}
+}
+
+func TestWeightedChoiceNegativeIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		got := WeightedChoice(rng, []float64{-5, 1, -3})
+		if got != 1 {
+			t.Fatalf("WeightedChoice should only pick positive weights, got %d", got)
+		}
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	weights := []float64{1, 3}
+	counts := make([]int, 2)
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[WeightedChoice(rng, weights)]++
+	}
+	frac := float64(counts[1]) / float64(n)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("weight-3 option selected %v of the time, want ~0.75", frac)
+	}
+}
+
+func TestWeightedChoiceValidIndexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(raw []uint8) bool {
+		weights := make([]float64, len(raw))
+		anyPositive := false
+		for i, r := range raw {
+			weights[i] = float64(r)
+			if r > 0 {
+				anyPositive = true
+			}
+		}
+		idx := WeightedChoice(rng, weights)
+		if !anyPositive {
+			return idx == -1
+		}
+		return idx >= 0 && idx < len(weights) && weights[idx] > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	weights := []float64{1, 2, 3, 4}
+	idxs := WeightedSample(rng, weights, 3)
+	if len(idxs) != 3 {
+		t.Fatalf("sample size = %d, want 3", len(idxs))
+	}
+	seen := map[int]bool{}
+	for _, i := range idxs {
+		if seen[i] {
+			t.Fatalf("duplicate index %d in sample", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestWeightedSampleTruncates(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	idxs := WeightedSample(rng, []float64{0, 1, 0}, 5)
+	if len(idxs) != 1 || idxs[0] != 1 {
+		t.Fatalf("sample = %v, want [1]", idxs)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var o Online
+	for i := 0; i < 50000; i++ {
+		o.Add(Exponential(rng, 300))
+	}
+	if math.Abs(o.Mean()-300) > 10 {
+		t.Fatalf("exponential mean = %v, want ~300", o.Mean())
+	}
+	if Exponential(rng, 0) != 0 || Exponential(rng, -1) != 0 {
+		t.Errorf("non-positive mean should produce 0")
+	}
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var o Online
+	for i := 0; i < 50000; i++ {
+		o.Add(float64(Poisson(rng, 4)))
+	}
+	if math.Abs(o.Mean()-4) > 0.1 {
+		t.Fatalf("poisson mean = %v, want ~4", o.Mean())
+	}
+}
+
+func TestPoissonLargeMeanAndEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var o Online
+	for i := 0; i < 5000; i++ {
+		o.Add(float64(Poisson(rng, 1000)))
+	}
+	if math.Abs(o.Mean()-1000) > 10 {
+		t.Fatalf("poisson(1000) mean = %v", o.Mean())
+	}
+	if Poisson(rng, 0) != 0 || Poisson(rng, -2) != 0 {
+		t.Errorf("non-positive mean should produce 0")
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 1000; i++ {
+		if LogNormal(rng, 1, 0.5) <= 0 {
+			t.Fatalf("lognormal should be positive")
+		}
+	}
+}
+
+func TestBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		v := Bounded(rng, 2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Bounded out of range: %v", v)
+		}
+	}
+	if Bounded(rng, 3, 3) != 3 {
+		t.Errorf("degenerate range should return lo")
+	}
+}
+
+func TestPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if _, err := Pick(rng, 0); err == nil {
+		t.Errorf("Pick(0) should error")
+	}
+	for i := 0; i < 100; i++ {
+		idx, err := Pick(rng, 7)
+		if err != nil || idx < 0 || idx >= 7 {
+			t.Fatalf("Pick out of range: %d, %v", idx, err)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	if Bernoulli(rng, 0) {
+		t.Errorf("p=0 should be false")
+	}
+	if !Bernoulli(rng, 1) {
+		t.Errorf("p=1 should be true")
+	}
+	hits := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) hit rate = %v", frac)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	xs := []int{1, 2, 3, 4, 5}
+	Shuffle(rng, xs)
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	for i := 1; i <= 5; i++ {
+		if !seen[i] {
+			t.Fatalf("shuffle lost element %d: %v", i, xs)
+		}
+	}
+}

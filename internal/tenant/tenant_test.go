@@ -1,0 +1,171 @@
+package tenant
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"harvest/internal/signalproc"
+	"harvest/internal/timeseries"
+)
+
+func sineSeries(n, cycles int, base, amp float64) *timeseries.Series {
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = base + amp*math.Sin(2*math.Pi*float64(cycles)*float64(i)/float64(n))
+	}
+	return timeseries.New(timeseries.SlotDuration, values)
+}
+
+func flatSeries(n int, level float64) *timeseries.Series {
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = level
+	}
+	return timeseries.New(timeseries.SlotDuration, values)
+}
+
+func TestDefaults(t *testing.T) {
+	r := DefaultServerResources()
+	if r.Cores != 12 || r.MemoryMB != 32*1024 {
+		t.Fatalf("unexpected default resources: %+v", r)
+	}
+	res := DefaultReserve()
+	if res.Cores != 4 || res.MemoryMB != 10*1024 {
+		t.Fatalf("unexpected default reserve: %+v", res)
+	}
+}
+
+func TestTenantBasics(t *testing.T) {
+	tn := &Tenant{
+		ID:                        1,
+		Environment:               "search-index",
+		MachineFunction:           "ranking",
+		Servers:                   []ServerID{1, 2, 3},
+		Utilization:               sineSeries(1440, 2, 0.4, 0.2),
+		HarvestableBytesPerServer: 1000,
+	}
+	if tn.NumServers() != 3 {
+		t.Errorf("NumServers = %d", tn.NumServers())
+	}
+	if tn.HarvestableBytes() != 3000 {
+		t.Errorf("HarvestableBytes = %d", tn.HarvestableBytes())
+	}
+	if got := tn.AverageUtilization(); math.Abs(got-0.4) > 0.01 {
+		t.Errorf("AverageUtilization = %v", got)
+	}
+	if got := tn.PeakUtilization(); math.Abs(got-0.6) > 0.01 {
+		t.Errorf("PeakUtilization = %v", got)
+	}
+	if tn.String() == "" {
+		t.Errorf("String should not be empty")
+	}
+}
+
+func TestTenantNilUtilization(t *testing.T) {
+	tn := &Tenant{ID: 1}
+	if tn.AverageUtilization() != 0 || tn.PeakUtilization() != 0 || tn.UtilizationAt(time.Hour) != 0 {
+		t.Fatalf("nil utilization should report zeros")
+	}
+	if err := tn.Classify(signalproc.DefaultClassifierConfig()); err == nil {
+		t.Fatalf("classify without a series should error")
+	}
+}
+
+func TestTenantUtilizationAtWraps(t *testing.T) {
+	tn := &Tenant{Utilization: timeseries.New(time.Minute, []float64{0.1, 0.9})}
+	if tn.UtilizationAt(0) != 0.1 || tn.UtilizationAt(time.Minute) != 0.9 {
+		t.Fatalf("unexpected values at offsets")
+	}
+	if tn.UtilizationAt(2*time.Minute) != 0.1 {
+		t.Fatalf("should wrap around")
+	}
+}
+
+func TestTenantClassify(t *testing.T) {
+	tn := &Tenant{ID: 7, Utilization: sineSeries(21600, 30, 0.4, 0.25)}
+	if err := tn.Classify(signalproc.DefaultClassifierConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if tn.Pattern() != signalproc.PatternPeriodic {
+		t.Fatalf("pattern = %v, want periodic", tn.Pattern())
+	}
+}
+
+func TestNewPopulationIndexes(t *testing.T) {
+	a := &Tenant{ID: 1, Servers: []ServerID{1, 2}}
+	b := &Tenant{ID: 2, Servers: []ServerID{3}}
+	p, err := NewPopulation("DC-9", []*Tenant{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ByID(1) != a || p.ByID(2) != b || p.ByID(99) != nil {
+		t.Errorf("ByID lookups wrong")
+	}
+	if p.OwnerOf(3) != b || p.OwnerOf(99) != nil {
+		t.Errorf("OwnerOf lookups wrong")
+	}
+	if p.NumServers() != 3 {
+		t.Errorf("NumServers = %d", p.NumServers())
+	}
+	if got := p.ServerIDs(); len(got) != 3 {
+		t.Errorf("ServerIDs = %v", got)
+	}
+}
+
+func TestNewPopulationDuplicateTenant(t *testing.T) {
+	a := &Tenant{ID: 1}
+	b := &Tenant{ID: 1}
+	if _, err := NewPopulation("DC-0", []*Tenant{a, b}); err == nil {
+		t.Fatalf("duplicate tenant id should error")
+	}
+}
+
+func TestNewPopulationOverlappingServers(t *testing.T) {
+	a := &Tenant{ID: 1, Servers: []ServerID{5}}
+	b := &Tenant{ID: 2, Servers: []ServerID{5}}
+	if _, err := NewPopulation("DC-0", []*Tenant{a, b}); err == nil {
+		t.Fatalf("overlapping server ownership should error")
+	}
+}
+
+func TestPatternShares(t *testing.T) {
+	periodic := &Tenant{ID: 1, Servers: []ServerID{1, 2, 3, 4}, Utilization: sineSeries(21600, 30, 0.4, 0.25)}
+	constant := &Tenant{ID: 2, Servers: []ServerID{5}, Utilization: flatSeries(21600, 0.5)}
+	p, err := NewPopulation("DC-9", []*Tenant{periodic, constant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ClassifyAll(signalproc.DefaultClassifierConfig()); err != nil {
+		t.Fatal(err)
+	}
+	tenantShare, serverShare := p.PatternShares()
+	if math.Abs(tenantShare[signalproc.PatternPeriodic]-0.5) > 1e-9 {
+		t.Errorf("tenant share periodic = %v", tenantShare[signalproc.PatternPeriodic])
+	}
+	if math.Abs(serverShare[signalproc.PatternPeriodic]-0.8) > 1e-9 {
+		t.Errorf("server share periodic = %v", serverShare[signalproc.PatternPeriodic])
+	}
+}
+
+func TestPatternSharesEmpty(t *testing.T) {
+	p, err := NewPopulation("DC-0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, ss := p.PatternShares()
+	if len(ts) != 0 || len(ss) != 0 {
+		t.Fatalf("empty population should report empty shares")
+	}
+}
+
+func TestClassifyAllPropagatesError(t *testing.T) {
+	bad := &Tenant{ID: 1} // no utilization
+	p, err := NewPopulation("DC-0", []*Tenant{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ClassifyAll(signalproc.DefaultClassifierConfig()); err == nil {
+		t.Fatalf("expected classification error to propagate")
+	}
+}

@@ -1,0 +1,223 @@
+// Package tezsim models the per-job application master (the Tez-H analogue,
+// §5.3): it tracks the job's DAG execution state, decides which tasks are
+// runnable, estimates the maximum concurrent resource requirement, classifies
+// the job's length from its previous run, and re-queues tasks killed by the
+// node managers.
+package tezsim
+
+import (
+	"fmt"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/workload"
+)
+
+// TaskState is the lifecycle state of one task.
+type TaskState int
+
+const (
+	// TaskPending means the task has not started (or was killed and must
+	// re-run).
+	TaskPending TaskState = iota
+	// TaskRunning means the task holds a container.
+	TaskRunning
+	// TaskCompleted means the task finished successfully.
+	TaskCompleted
+)
+
+// TaskID identifies a task within a job: its stage index and its index within
+// the stage.
+type TaskID struct {
+	Stage int
+	Index int
+}
+
+// String implements fmt.Stringer.
+func (t TaskID) String() string { return fmt.Sprintf("s%d/t%d", t.Stage, t.Index) }
+
+// JobManager drives one job's execution.
+type JobManager struct {
+	Job *workload.Job
+
+	state          [][]TaskState
+	stageCompleted []int
+	stageRunning   []int
+
+	runningTasks   int
+	completedTasks int
+	totalTasks     int
+	killed         int
+
+	started  bool
+	startAt  time.Duration
+	finished bool
+	finishAt time.Duration
+}
+
+// NewJobManager validates the job's DAG and prepares the execution state.
+func NewJobManager(job *workload.Job) (*JobManager, error) {
+	if job == nil || job.DAG == nil {
+		return nil, fmt.Errorf("tezsim: nil job or DAG")
+	}
+	if err := job.DAG.Validate(); err != nil {
+		return nil, fmt.Errorf("tezsim: %w", err)
+	}
+	m := &JobManager{Job: job}
+	m.state = make([][]TaskState, len(job.DAG.Stages))
+	m.stageCompleted = make([]int, len(job.DAG.Stages))
+	m.stageRunning = make([]int, len(job.DAG.Stages))
+	for i, s := range job.DAG.Stages {
+		m.state[i] = make([]TaskState, s.Tasks)
+		m.totalTasks += s.Tasks
+	}
+	return m, nil
+}
+
+// JobType classifies the job's length from its previous execution time.
+func (m *JobManager) JobType(th core.LengthThresholds) core.JobType {
+	return core.ClassifyLength(m.Job.LastRunDuration, th)
+}
+
+// Request builds the resource request Algorithm 1 evaluates: the job type and
+// the maximum concurrent core demand from the DAG's breadth-first traversal.
+func (m *JobManager) Request(th core.LengthThresholds) core.JobRequest {
+	return core.JobRequest{
+		Type:               m.JobType(th),
+		MaxConcurrentCores: m.Job.MaxConcurrentCores(),
+	}
+}
+
+// stageReady reports whether all dependencies of the stage have completed.
+func (m *JobManager) stageReady(stage int) bool {
+	for _, dep := range m.Job.DAG.Stages[stage].Deps {
+		if m.stageCompleted[dep] < m.Job.DAG.Stages[dep].Tasks {
+			return false
+		}
+	}
+	return true
+}
+
+// RunnableTasks returns up to limit tasks that could start now: their stage's
+// dependencies are complete and they are pending. A negative limit means no
+// limit.
+func (m *JobManager) RunnableTasks(limit int) []TaskID {
+	var out []TaskID
+	for si, stage := range m.Job.DAG.Stages {
+		if m.stageCompleted[si] == stage.Tasks {
+			continue
+		}
+		if !m.stageReady(si) {
+			continue
+		}
+		for ti := 0; ti < stage.Tasks; ti++ {
+			if m.state[si][ti] != TaskPending {
+				continue
+			}
+			out = append(out, TaskID{Stage: si, Index: ti})
+			if limit >= 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// PendingRunnableCount returns how many tasks are runnable right now.
+func (m *JobManager) PendingRunnableCount() int {
+	return len(m.RunnableTasks(-1))
+}
+
+// TaskDuration returns the nominal duration of a task.
+func (m *JobManager) TaskDuration(id TaskID) (time.Duration, error) {
+	if err := m.checkID(id); err != nil {
+		return 0, err
+	}
+	return m.Job.DAG.Stages[id.Stage].TaskDuration, nil
+}
+
+func (m *JobManager) checkID(id TaskID) error {
+	if id.Stage < 0 || id.Stage >= len(m.state) {
+		return fmt.Errorf("tezsim: stage %d out of range", id.Stage)
+	}
+	if id.Index < 0 || id.Index >= len(m.state[id.Stage]) {
+		return fmt.Errorf("tezsim: task %v out of range", id)
+	}
+	return nil
+}
+
+// TaskStarted records that a container started running the task.
+func (m *JobManager) TaskStarted(id TaskID, now time.Duration) error {
+	if err := m.checkID(id); err != nil {
+		return err
+	}
+	if m.state[id.Stage][id.Index] != TaskPending {
+		return fmt.Errorf("tezsim: task %v is not pending", id)
+	}
+	if !m.stageReady(id.Stage) {
+		return fmt.Errorf("tezsim: stage %d dependencies incomplete", id.Stage)
+	}
+	m.state[id.Stage][id.Index] = TaskRunning
+	m.stageRunning[id.Stage]++
+	m.runningTasks++
+	if !m.started {
+		m.started = true
+		m.startAt = now
+	}
+	return nil
+}
+
+// TaskCompleted records a task finishing successfully.
+func (m *JobManager) TaskCompleted(id TaskID, now time.Duration) error {
+	if err := m.checkID(id); err != nil {
+		return err
+	}
+	if m.state[id.Stage][id.Index] != TaskRunning {
+		return fmt.Errorf("tezsim: task %v is not running", id)
+	}
+	m.state[id.Stage][id.Index] = TaskCompleted
+	m.stageRunning[id.Stage]--
+	m.stageCompleted[id.Stage]++
+	m.runningTasks--
+	m.completedTasks++
+	if m.completedTasks == m.totalTasks {
+		m.finished = true
+		m.finishAt = now
+	}
+	return nil
+}
+
+// TaskKilled records a running task being killed by a node manager (to
+// replenish the primary's reserve). The task returns to pending and will be
+// re-run from scratch, as the AM does in the real system.
+func (m *JobManager) TaskKilled(id TaskID) error {
+	if err := m.checkID(id); err != nil {
+		return err
+	}
+	if m.state[id.Stage][id.Index] != TaskRunning {
+		return fmt.Errorf("tezsim: task %v is not running", id)
+	}
+	m.state[id.Stage][id.Index] = TaskPending
+	m.stageRunning[id.Stage]--
+	m.runningTasks--
+	m.killed++
+	return nil
+}
+
+// Done reports whether every task has completed.
+func (m *JobManager) Done() bool { return m.finished }
+
+// Started reports whether any task has started, and when.
+func (m *JobManager) Started() (bool, time.Duration) { return m.started, m.startAt }
+
+// Finished returns the completion time; valid only when Done is true.
+func (m *JobManager) Finished() time.Duration { return m.finishAt }
+
+// Progress returns completed and total task counts.
+func (m *JobManager) Progress() (completed, total int) { return m.completedTasks, m.totalTasks }
+
+// RunningTasks returns how many tasks currently hold containers.
+func (m *JobManager) RunningTasks() int { return m.runningTasks }
+
+// TasksKilled returns how many task executions were killed so far.
+func (m *JobManager) TasksKilled() int { return m.killed }

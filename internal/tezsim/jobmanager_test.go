@@ -1,0 +1,249 @@
+package tezsim
+
+import (
+	"testing"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/workload"
+)
+
+func simpleJob() *workload.Job {
+	dag := &workload.DAG{
+		Name: "simple",
+		Stages: []*workload.Stage{
+			{Name: "map", Tasks: 3, TaskDuration: 10 * time.Second},
+			{Name: "reduce", Tasks: 2, TaskDuration: 20 * time.Second, Deps: []int{0}},
+		},
+	}
+	return &workload.Job{ID: 1, Name: "simple", DAG: dag, CoresPerTask: 1, MemoryMBPerTask: 1024,
+		LastRunDuration: 100 * time.Second}
+}
+
+func TestNewJobManagerValidation(t *testing.T) {
+	if _, err := NewJobManager(nil); err == nil {
+		t.Errorf("nil job should error")
+	}
+	bad := &workload.Job{DAG: &workload.DAG{Name: "empty"}}
+	if _, err := NewJobManager(bad); err == nil {
+		t.Errorf("invalid DAG should error")
+	}
+}
+
+func TestJobTypeAndRequest(t *testing.T) {
+	m, err := NewJobManager(simpleJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := core.DefaultLengthThresholds()
+	if m.JobType(th) != core.JobShort {
+		t.Fatalf("100s job should be short")
+	}
+	req := m.Request(th)
+	if req.Type != core.JobShort || req.MaxConcurrentCores != 3 {
+		t.Fatalf("request = %+v", req)
+	}
+}
+
+func TestRunnableRespectsDependencies(t *testing.T) {
+	m, err := NewJobManager(simpleJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runnable := m.RunnableTasks(-1)
+	if len(runnable) != 3 {
+		t.Fatalf("initially runnable = %d, want 3 (map tasks only)", len(runnable))
+	}
+	for _, id := range runnable {
+		if id.Stage != 0 {
+			t.Fatalf("reduce tasks must not be runnable before maps finish")
+		}
+	}
+	// Limit handling.
+	if got := m.RunnableTasks(2); len(got) != 2 {
+		t.Fatalf("limit 2 returned %d", len(got))
+	}
+	if got := m.PendingRunnableCount(); got != 3 {
+		t.Fatalf("PendingRunnableCount = %d", got)
+	}
+}
+
+func TestFullLifecycle(t *testing.T) {
+	m, err := NewJobManager(simpleJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	// Run the three map tasks.
+	for _, id := range m.RunnableTasks(-1) {
+		if err := m.TaskStarted(id, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if started, at := m.Started(); !started || at != 0 {
+		t.Fatalf("job should have started at 0")
+	}
+	if m.RunningTasks() != 3 {
+		t.Fatalf("RunningTasks = %d", m.RunningTasks())
+	}
+	// Reduce still not runnable.
+	if len(m.RunnableTasks(-1)) != 0 {
+		t.Fatalf("nothing should be runnable while maps run")
+	}
+	now = 10 * time.Second
+	for i := 0; i < 3; i++ {
+		if err := m.TaskCompleted(TaskID{Stage: 0, Index: i}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runnable := m.RunnableTasks(-1)
+	if len(runnable) != 2 {
+		t.Fatalf("reduce tasks should now be runnable, got %d", len(runnable))
+	}
+	for _, id := range runnable {
+		if err := m.TaskStarted(id, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = 30 * time.Second
+	for i := 0; i < 2; i++ {
+		if err := m.TaskCompleted(TaskID{Stage: 1, Index: i}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Done() {
+		t.Fatalf("job should be done")
+	}
+	if m.Finished() != 30*time.Second {
+		t.Fatalf("finish time = %v", m.Finished())
+	}
+	completed, total := m.Progress()
+	if completed != 5 || total != 5 {
+		t.Fatalf("progress = %d/%d", completed, total)
+	}
+}
+
+func TestTaskKilledRequeues(t *testing.T) {
+	m, err := NewJobManager(simpleJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := TaskID{Stage: 0, Index: 0}
+	if err := m.TaskStarted(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TaskKilled(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.TasksKilled() != 1 {
+		t.Fatalf("TasksKilled = %d", m.TasksKilled())
+	}
+	if m.RunningTasks() != 0 {
+		t.Fatalf("RunningTasks should drop back to 0")
+	}
+	// The killed task must be runnable again.
+	found := false
+	for _, r := range m.RunnableTasks(-1) {
+		if r == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("killed task should be pending again")
+	}
+	// And it can complete on its second attempt.
+	if err := m.TaskStarted(id, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TaskCompleted(id, 11*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidTransitions(t *testing.T) {
+	m, err := NewJobManager(simpleJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := TaskID{Stage: 9, Index: 0}
+	if err := m.TaskStarted(bad, 0); err == nil {
+		t.Errorf("out-of-range stage should error")
+	}
+	if err := m.TaskCompleted(TaskID{Stage: 0, Index: 99}, 0); err == nil {
+		t.Errorf("out-of-range index should error")
+	}
+	if _, err := m.TaskDuration(bad); err == nil {
+		t.Errorf("out-of-range duration lookup should error")
+	}
+	// Completing a task that never started.
+	if err := m.TaskCompleted(TaskID{Stage: 0, Index: 0}, 0); err == nil {
+		t.Errorf("completing a pending task should error")
+	}
+	// Killing a pending task.
+	if err := m.TaskKilled(TaskID{Stage: 0, Index: 0}); err == nil {
+		t.Errorf("killing a pending task should error")
+	}
+	// Starting a reduce before maps complete.
+	if err := m.TaskStarted(TaskID{Stage: 1, Index: 0}, 0); err == nil {
+		t.Errorf("starting a blocked task should error")
+	}
+	// Double start.
+	if err := m.TaskStarted(TaskID{Stage: 0, Index: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TaskStarted(TaskID{Stage: 0, Index: 0}, 0); err == nil {
+		t.Errorf("double start should error")
+	}
+}
+
+func TestTaskDurationLookup(t *testing.T) {
+	m, err := NewJobManager(simpleJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.TaskDuration(TaskID{Stage: 1, Index: 0})
+	if err != nil || d != 20*time.Second {
+		t.Fatalf("duration = %v, %v", d, err)
+	}
+}
+
+func TestQuery19Lifecycle(t *testing.T) {
+	job := &workload.Job{ID: 2, Name: "query19", DAG: workload.Query19(), CoresPerTask: 1,
+		LastRunDuration: 600 * time.Second}
+	m, err := NewJobManager(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobType(core.DefaultLengthThresholds()) != core.JobLong {
+		t.Fatalf("600s job should be long")
+	}
+	// Drive the whole DAG to completion greedily.
+	now := time.Duration(0)
+	for !m.Done() {
+		runnable := m.RunnableTasks(-1)
+		if len(runnable) == 0 && m.RunningTasks() == 0 {
+			t.Fatalf("deadlock: nothing runnable and nothing running")
+		}
+		for _, id := range runnable {
+			if err := m.TaskStarted(id, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		now += time.Minute
+		for _, id := range runnable {
+			if err := m.TaskCompleted(id, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	completed, total := m.Progress()
+	if completed != total || total != workload.Query19().TotalTasks() {
+		t.Fatalf("progress %d/%d", completed, total)
+	}
+}
+
+func TestTaskIDString(t *testing.T) {
+	if (TaskID{Stage: 2, Index: 7}).String() != "s2/t7" {
+		t.Errorf("unexpected TaskID string")
+	}
+}

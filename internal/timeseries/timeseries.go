@@ -1,0 +1,294 @@
+// Package timeseries holds utilization time series and the transformations
+// the harvesting pipeline applies to them: per-slot aggregation across a
+// tenant's servers, linear and nth-root utilization scaling (used by the
+// simulator to sweep the utilization spectrum), and resampling.
+//
+// A series stores one sample per fixed-width slot. The paper samples CPU
+// utilization every two minutes and represents each primary tenant by the
+// "average server" series over one month.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"harvest/internal/stats"
+)
+
+// SlotDuration is the telemetry sampling interval used throughout the paper.
+const SlotDuration = 2 * time.Minute
+
+// SlotsPerDay is the number of 2-minute slots in a day.
+const SlotsPerDay = int(24 * time.Hour / SlotDuration)
+
+// SlotsPerMonth is the number of 2-minute slots in a 30-day month, the window
+// the clustering service analyses.
+const SlotsPerMonth = 30 * SlotsPerDay
+
+// ErrLengthMismatch is returned when combining series of different lengths.
+var ErrLengthMismatch = errors.New("timeseries: length mismatch")
+
+// Series is a fixed-interval utilization time series. Values are utilization
+// fractions in [0, 1] unless stated otherwise by the producer.
+type Series struct {
+	// Interval is the slot width.
+	Interval time.Duration
+	// Values holds one sample per slot.
+	Values []float64
+}
+
+// New creates a series with the given slot width and values. The values slice
+// is used directly (not copied).
+func New(interval time.Duration, values []float64) *Series {
+	return &Series{Interval: interval, Values: values}
+}
+
+// NewZero creates a zero-filled series of n slots.
+func NewZero(interval time.Duration, n int) *Series {
+	return &Series{Interval: interval, Values: make([]float64, n)}
+}
+
+// Len returns the number of slots.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Duration returns the total time the series spans.
+func (s *Series) Duration() time.Duration {
+	return time.Duration(len(s.Values)) * s.Interval
+}
+
+// At returns the value of the slot containing offset t from the start of the
+// series. Offsets beyond the end wrap around, which lets the simulator replay
+// a one-month trace indefinitely.
+func (s *Series) At(t time.Duration) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	idx := int(t/s.Interval) % len(s.Values)
+	if idx < 0 {
+		idx += len(s.Values)
+	}
+	return s.Values[idx]
+}
+
+// Slot returns the value at slot index i, wrapping around the series length.
+func (s *Series) Slot(i int) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	i %= len(s.Values)
+	if i < 0 {
+		i += len(s.Values)
+	}
+	return s.Values[i]
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	values := make([]float64, len(s.Values))
+	copy(values, s.Values)
+	return &Series{Interval: s.Interval, Values: values}
+}
+
+// Mean returns the average value of the series.
+func (s *Series) Mean() float64 { return stats.Mean(s.Values) }
+
+// Peak returns the maximum value of the series.
+func (s *Series) Peak() float64 { return stats.Max(s.Values) }
+
+// Min returns the minimum value of the series.
+func (s *Series) Min() float64 { return stats.Min(s.Values) }
+
+// StdDev returns the standard deviation of the series.
+func (s *Series) StdDev() float64 { return stats.StdDev(s.Values) }
+
+// Percentile returns the p-th percentile of the series values.
+func (s *Series) Percentile(p float64) float64 { return stats.MustPercentile(s.Values, p) }
+
+// ClampUnit clamps every value into [0, 1] in place and returns the receiver.
+func (s *Series) ClampUnit() *Series {
+	for i, v := range s.Values {
+		s.Values[i] = stats.Clamp(v, 0, 1)
+	}
+	return s
+}
+
+// Average returns the element-wise average of the given series, which is how
+// the paper derives the "average server" series of a primary tenant from its
+// individual servers. All series must have the same length and interval.
+func Average(series []*Series) (*Series, error) {
+	if len(series) == 0 {
+		return nil, errors.New("timeseries: no series to average")
+	}
+	n := series[0].Len()
+	interval := series[0].Interval
+	for _, s := range series {
+		if s.Len() != n {
+			return nil, fmt.Errorf("%w: %d vs %d slots", ErrLengthMismatch, s.Len(), n)
+		}
+		if s.Interval != interval {
+			return nil, fmt.Errorf("timeseries: interval mismatch: %v vs %v", s.Interval, interval)
+		}
+	}
+	out := NewZero(interval, n)
+	for _, s := range series {
+		for i, v := range s.Values {
+			out.Values[i] += v
+		}
+	}
+	for i := range out.Values {
+		out.Values[i] /= float64(len(series))
+	}
+	return out, nil
+}
+
+// ScalingMethod selects how the simulator scales a utilization series to a
+// target average utilization when exploring the utilization spectrum (§6.1).
+type ScalingMethod int
+
+const (
+	// ScaleLinear multiplies the series by a constant factor and saturates
+	// at 100%. This preserves (and at high factors amplifies) the temporal
+	// variation of each tenant.
+	ScaleLinear ScalingMethod = iota
+	// ScaleRoot applies an nth-root transform, which moves high utilizations
+	// less than low ones and therefore reduces saturation.
+	ScaleRoot
+)
+
+// String implements fmt.Stringer.
+func (m ScalingMethod) String() string {
+	switch m {
+	case ScaleLinear:
+		return "linear"
+	case ScaleRoot:
+		return "root"
+	default:
+		return fmt.Sprintf("ScalingMethod(%d)", int(m))
+	}
+}
+
+// ScaleLinearBy returns a copy of s multiplied by factor and saturated at 1.
+func (s *Series) ScaleLinearBy(factor float64) *Series {
+	out := s.Clone()
+	for i, v := range out.Values {
+		out.Values[i] = stats.Clamp(v*factor, 0, 1)
+	}
+	return out
+}
+
+// ScaleRootBy returns a copy of s transformed by x -> x^(1/degree) blended so
+// that the series mean moves toward the target mean implied by the degree.
+// Degrees above 1 raise utilization (roots of values in [0,1] are larger);
+// degrees in (0,1) lower it.
+func (s *Series) ScaleRootBy(degree float64) *Series {
+	out := s.Clone()
+	if degree <= 0 {
+		return out
+	}
+	for i, v := range out.Values {
+		if v <= 0 {
+			continue
+		}
+		out.Values[i] = stats.Clamp(math.Pow(v, 1/degree), 0, 1)
+	}
+	return out
+}
+
+// ScaleToMean rescales the series so that its mean becomes approximately the
+// target, using the requested method. It searches for the scaling parameter
+// with bisection because saturation (linear) and the root transform make the
+// mapping non-linear. The returned series is a new copy.
+func (s *Series) ScaleToMean(target float64, method ScalingMethod) *Series {
+	target = stats.Clamp(target, 0, 1)
+	current := s.Mean()
+	if current == 0 {
+		// A flat-zero series cannot be scaled multiplicatively; fill uniformly.
+		out := s.Clone()
+		for i := range out.Values {
+			out.Values[i] = target
+		}
+		return out
+	}
+	apply := func(param float64) *Series {
+		switch method {
+		case ScaleRoot:
+			return s.ScaleRootBy(param)
+		default:
+			return s.ScaleLinearBy(param)
+		}
+	}
+	lo, hi := 1e-3, 1e3
+	var result *Series
+	for iter := 0; iter < 60; iter++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: parameter is multiplicative
+		result = apply(mid)
+		m := result.Mean()
+		if math.Abs(m-target) < 1e-4 {
+			return result
+		}
+		if m < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return result
+}
+
+// Resample converts the series to a new slot width by averaging (when
+// coarsening) or repeating (when refining) samples.
+func (s *Series) Resample(newInterval time.Duration) (*Series, error) {
+	if newInterval <= 0 {
+		return nil, fmt.Errorf("timeseries: invalid interval %v", newInterval)
+	}
+	if newInterval == s.Interval {
+		return s.Clone(), nil
+	}
+	if newInterval > s.Interval {
+		if newInterval%s.Interval != 0 {
+			return nil, fmt.Errorf("timeseries: %v is not a multiple of %v", newInterval, s.Interval)
+		}
+		ratio := int(newInterval / s.Interval)
+		n := len(s.Values) / ratio
+		out := NewZero(newInterval, n)
+		for i := 0; i < n; i++ {
+			out.Values[i] = stats.Mean(s.Values[i*ratio : (i+1)*ratio])
+		}
+		return out, nil
+	}
+	if s.Interval%newInterval != 0 {
+		return nil, fmt.Errorf("timeseries: %v is not a divisor of %v", newInterval, s.Interval)
+	}
+	ratio := int(s.Interval / newInterval)
+	out := NewZero(newInterval, len(s.Values)*ratio)
+	for i, v := range s.Values {
+		for j := 0; j < ratio; j++ {
+			out.Values[i*ratio+j] = v
+		}
+	}
+	return out, nil
+}
+
+// Window returns the sub-series covering slots [start, end).
+func (s *Series) Window(start, end int) (*Series, error) {
+	if start < 0 || end > len(s.Values) || start > end {
+		return nil, fmt.Errorf("timeseries: window [%d, %d) out of range (len %d)", start, end, len(s.Values))
+	}
+	values := make([]float64, end-start)
+	copy(values, s.Values[start:end])
+	return &Series{Interval: s.Interval, Values: values}, nil
+}
+
+// Add returns the element-wise sum of s and other (same length required).
+func (s *Series) Add(other *Series) (*Series, error) {
+	if s.Len() != other.Len() {
+		return nil, ErrLengthMismatch
+	}
+	out := s.Clone()
+	for i, v := range other.Values {
+		out.Values[i] += v
+	}
+	return out, nil
+}

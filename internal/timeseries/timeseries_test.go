@@ -1,0 +1,286 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstants(t *testing.T) {
+	if SlotsPerDay != 720 {
+		t.Fatalf("SlotsPerDay = %d, want 720", SlotsPerDay)
+	}
+	if SlotsPerMonth != 21600 {
+		t.Fatalf("SlotsPerMonth = %d, want 21600", SlotsPerMonth)
+	}
+}
+
+func TestAtWrapsAround(t *testing.T) {
+	s := New(time.Minute, []float64{0.1, 0.2, 0.3})
+	if got := s.At(0); got != 0.1 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := s.At(time.Minute); got != 0.2 {
+		t.Errorf("At(1m) = %v", got)
+	}
+	if got := s.At(3 * time.Minute); got != 0.1 {
+		t.Errorf("At(3m) should wrap to first slot, got %v", got)
+	}
+	if got := s.At(4 * time.Minute); got != 0.2 {
+		t.Errorf("At(4m) should wrap, got %v", got)
+	}
+}
+
+func TestAtEmpty(t *testing.T) {
+	s := NewZero(time.Minute, 0)
+	if s.At(time.Hour) != 0 {
+		t.Errorf("empty series should return 0")
+	}
+	if s.Slot(5) != 0 {
+		t.Errorf("empty series slot should return 0")
+	}
+}
+
+func TestSlotNegativeWraps(t *testing.T) {
+	s := New(time.Minute, []float64{1, 2, 3})
+	if got := s.Slot(-1); got != 3 {
+		t.Errorf("Slot(-1) = %v, want 3", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(time.Minute, []float64{1, 2})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Fatalf("Clone should not share storage")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	s := New(time.Minute, []float64{0.2, 0.4, 0.6})
+	if math.Abs(s.Mean()-0.4) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Peak() != 0.6 || s.Min() != 0.2 {
+		t.Errorf("Peak/Min wrong")
+	}
+	if s.Percentile(100) != 0.6 {
+		t.Errorf("Percentile(100) = %v", s.Percentile(100))
+	}
+	if s.StdDev() <= 0 {
+		t.Errorf("StdDev should be positive")
+	}
+	if s.Duration() != 3*time.Minute {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+}
+
+func TestClampUnit(t *testing.T) {
+	s := New(time.Minute, []float64{-0.5, 0.5, 1.5})
+	s.ClampUnit()
+	if s.Values[0] != 0 || s.Values[1] != 0.5 || s.Values[2] != 1 {
+		t.Fatalf("ClampUnit = %v", s.Values)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := New(time.Minute, []float64{0.2, 0.4})
+	b := New(time.Minute, []float64{0.4, 0.8})
+	avg, err := Average([]*Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg.Values[0]-0.3) > 1e-12 || math.Abs(avg.Values[1]-0.6) > 1e-12 {
+		t.Fatalf("Average = %v", avg.Values)
+	}
+}
+
+func TestAverageErrors(t *testing.T) {
+	if _, err := Average(nil); err == nil {
+		t.Errorf("Average(nil) should error")
+	}
+	a := New(time.Minute, []float64{1})
+	b := New(time.Minute, []float64{1, 2})
+	if _, err := Average([]*Series{a, b}); err == nil {
+		t.Errorf("length mismatch should error")
+	}
+	c := New(time.Second, []float64{1})
+	if _, err := Average([]*Series{a, c}); err == nil {
+		t.Errorf("interval mismatch should error")
+	}
+}
+
+func TestScaleLinearSaturates(t *testing.T) {
+	s := New(time.Minute, []float64{0.3, 0.8})
+	scaled := s.ScaleLinearBy(2)
+	if scaled.Values[0] != 0.6 {
+		t.Errorf("linear scale value = %v", scaled.Values[0])
+	}
+	if scaled.Values[1] != 1 {
+		t.Errorf("linear scale should saturate at 1, got %v", scaled.Values[1])
+	}
+	if s.Values[1] != 0.8 {
+		t.Errorf("original should be untouched")
+	}
+}
+
+func TestScaleRootRaisesLowMoreThanHigh(t *testing.T) {
+	s := New(time.Minute, []float64{0.1, 0.9})
+	scaled := s.ScaleRootBy(2) // square root
+	lowGain := scaled.Values[0] - s.Values[0]
+	highGain := scaled.Values[1] - s.Values[1]
+	if lowGain <= highGain {
+		t.Fatalf("root scaling should raise low values more: lowGain=%v highGain=%v", lowGain, highGain)
+	}
+	// degree <= 0 is a no-op copy
+	same := s.ScaleRootBy(0)
+	if same.Values[0] != s.Values[0] {
+		t.Errorf("degree<=0 should be identity")
+	}
+}
+
+func TestScaleToMeanLinear(t *testing.T) {
+	s := New(time.Minute, []float64{0.1, 0.2, 0.3, 0.4})
+	for _, target := range []float64{0.1, 0.3, 0.5, 0.7} {
+		scaled := s.ScaleToMean(target, ScaleLinear)
+		if math.Abs(scaled.Mean()-target) > 0.02 {
+			t.Errorf("linear ScaleToMean(%v) produced mean %v", target, scaled.Mean())
+		}
+	}
+}
+
+func TestScaleToMeanRoot(t *testing.T) {
+	s := New(time.Minute, []float64{0.1, 0.2, 0.3, 0.4})
+	for _, target := range []float64{0.2, 0.4, 0.6} {
+		scaled := s.ScaleToMean(target, ScaleRoot)
+		if math.Abs(scaled.Mean()-target) > 0.02 {
+			t.Errorf("root ScaleToMean(%v) produced mean %v", target, scaled.Mean())
+		}
+	}
+}
+
+func TestScaleToMeanZeroSeries(t *testing.T) {
+	s := NewZero(time.Minute, 4)
+	scaled := s.ScaleToMean(0.5, ScaleLinear)
+	if math.Abs(scaled.Mean()-0.5) > 1e-9 {
+		t.Fatalf("zero series should be filled to target, got %v", scaled.Mean())
+	}
+}
+
+func TestScaleToMeanClampsTarget(t *testing.T) {
+	s := New(time.Minute, []float64{0.5, 0.5})
+	scaled := s.ScaleToMean(1.7, ScaleLinear)
+	if scaled.Peak() > 1 {
+		t.Fatalf("scaled values must stay within [0,1]")
+	}
+}
+
+func TestScalingMethodString(t *testing.T) {
+	if ScaleLinear.String() != "linear" || ScaleRoot.String() != "root" {
+		t.Errorf("unexpected String values")
+	}
+	if ScalingMethod(42).String() == "" {
+		t.Errorf("unknown method should still produce a string")
+	}
+}
+
+func TestResampleCoarsen(t *testing.T) {
+	s := New(time.Minute, []float64{0.2, 0.4, 0.6, 0.8})
+	out, err := s.Resample(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || math.Abs(out.Values[0]-0.3) > 1e-12 || math.Abs(out.Values[1]-0.7) > 1e-12 {
+		t.Fatalf("coarsened = %v", out.Values)
+	}
+}
+
+func TestResampleRefine(t *testing.T) {
+	s := New(2*time.Minute, []float64{0.2, 0.4})
+	out, err := s.Resample(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.2, 0.4, 0.4}
+	for i, w := range want {
+		if out.Values[i] != w {
+			t.Fatalf("refined = %v, want %v", out.Values, want)
+		}
+	}
+}
+
+func TestResampleErrorsAndIdentity(t *testing.T) {
+	s := New(2*time.Minute, []float64{0.2, 0.4})
+	if _, err := s.Resample(0); err == nil {
+		t.Errorf("zero interval should error")
+	}
+	if _, err := s.Resample(3 * time.Minute); err == nil {
+		t.Errorf("non-multiple coarsening should error")
+	}
+	if _, err := s.Resample(90 * time.Second); err == nil {
+		t.Errorf("non-divisor refinement should error")
+	}
+	same, err := s.Resample(2 * time.Minute)
+	if err != nil || same.Len() != 2 {
+		t.Errorf("identity resample failed: %v", err)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := New(time.Minute, []float64{1, 2, 3, 4})
+	w, err := s.Window(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 || w.Values[0] != 2 || w.Values[1] != 3 {
+		t.Fatalf("window = %v", w.Values)
+	}
+	if _, err := s.Window(-1, 2); err == nil {
+		t.Errorf("negative start should error")
+	}
+	if _, err := s.Window(2, 9); err == nil {
+		t.Errorf("end beyond length should error")
+	}
+	if _, err := s.Window(3, 2); err == nil {
+		t.Errorf("inverted window should error")
+	}
+}
+
+func TestAddSeries(t *testing.T) {
+	a := New(time.Minute, []float64{1, 2})
+	b := New(time.Minute, []float64{3, 4})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Values[0] != 4 || sum.Values[1] != 6 {
+		t.Fatalf("sum = %v", sum.Values)
+	}
+	c := New(time.Minute, []float64{1})
+	if _, err := a.Add(c); err == nil {
+		t.Errorf("length mismatch should error")
+	}
+}
+
+func TestScaleLinearPreservesBoundsProperty(t *testing.T) {
+	f := func(raw []uint8, factorRaw uint8) bool {
+		values := make([]float64, len(raw))
+		for i, r := range raw {
+			values[i] = float64(r) / 255
+		}
+		factor := float64(factorRaw)/32 + 0.01
+		s := New(time.Minute, values)
+		scaled := s.ScaleLinearBy(factor)
+		for _, v := range scaled.Values {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

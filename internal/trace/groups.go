@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+
+	"harvest/internal/kmeans"
+	"harvest/internal/tenant"
+)
+
+// ReimageGroup is the coarse reimage-frequency group of a tenant in one month
+// (§3.3): infrequent, intermediate, or frequent, split so each group holds the
+// same number of tenants.
+type ReimageGroup int
+
+const (
+	// ReimageInfrequent is the third of tenants with the lowest monthly rate.
+	ReimageInfrequent ReimageGroup = iota
+	// ReimageIntermediate is the middle third.
+	ReimageIntermediate
+	// ReimageFrequent is the third with the highest monthly rate.
+	ReimageFrequent
+
+	// NumReimageGroups is the number of reimage-frequency groups.
+	NumReimageGroups = 3
+)
+
+// String implements fmt.Stringer.
+func (g ReimageGroup) String() string {
+	switch g {
+	case ReimageInfrequent:
+		return "infrequent"
+	case ReimageIntermediate:
+		return "intermediate"
+	case ReimageFrequent:
+		return "frequent"
+	default:
+		return fmt.Sprintf("ReimageGroup(%d)", int(g))
+	}
+}
+
+// MonthlyGroups assigns every tenant to a reimage-frequency group for each
+// month of its MonthlyReimageRates history. The result maps tenant ID to the
+// sequence of groups, one per month.
+func MonthlyGroups(pop *tenant.Population) (map[tenant.ID][]ReimageGroup, error) {
+	if len(pop.Tenants) == 0 {
+		return map[tenant.ID][]ReimageGroup{}, nil
+	}
+	months := len(pop.Tenants[0].MonthlyReimageRates)
+	for _, t := range pop.Tenants {
+		if len(t.MonthlyReimageRates) != months {
+			return nil, fmt.Errorf("trace: tenant %v has %d monthly rates, want %d",
+				t.ID, len(t.MonthlyReimageRates), months)
+		}
+	}
+	out := make(map[tenant.ID][]ReimageGroup, len(pop.Tenants))
+	for _, t := range pop.Tenants {
+		out[t.ID] = make([]ReimageGroup, months)
+	}
+	for m := 0; m < months; m++ {
+		rates := make([]float64, len(pop.Tenants))
+		for i, t := range pop.Tenants {
+			rates[i] = t.MonthlyReimageRates[m]
+		}
+		buckets, err := kmeans.QuantileBuckets(rates, NumReimageGroups)
+		if err != nil {
+			return nil, err
+		}
+		for i, t := range pop.Tenants {
+			out[t.ID][m] = ReimageGroup(buckets[i])
+		}
+	}
+	return out, nil
+}
+
+// GroupChanges counts, for each tenant, how many times it changed reimage
+// groups from one month to the next — the quantity whose CDF Figure 6 plots.
+func GroupChanges(groups map[tenant.ID][]ReimageGroup) map[tenant.ID]int {
+	out := make(map[tenant.ID]int, len(groups))
+	for id, seq := range groups {
+		changes := 0
+		for m := 1; m < len(seq); m++ {
+			if seq[m] != seq[m-1] {
+				changes++
+			}
+		}
+		out[id] = changes
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+// Package trace synthesizes AutoPilot-like telemetry for ten datacenters:
+// per-tenant CPU utilization traces and disk reimaging histories.
+//
+// The paper characterizes ten production datacenters (§3) but cannot publish
+// the raw telemetry. This package substitutes a generator whose statistical
+// structure follows the published characterization:
+//
+//   - most primary tenants are (roughly) constant, a small minority is
+//     periodic, yet the periodic tenants own ~40% of servers (Figs 2 and 3);
+//   - ~75% of servers run predictable (periodic or constant) tenants;
+//   - reimage rates are low on average (>=90% of servers and >=80% of tenants
+//     at or below one reimage/month) with a heavy tail, and diverse across
+//     tenants (Figs 4 and 5);
+//   - tenants keep their relative reimage-frequency rank month over month
+//     (>=80% change groups at most 8 times out of 35, Fig 6);
+//   - some datacenters (DC-0, DC-2) show little temporal utilization
+//     variation while others (DC-1, DC-4) vary a lot (Fig 14's spread).
+package trace
+
+// DatacenterProfile describes the statistical shape of one datacenter's
+// primary tenant population. The ten built-in profiles are calibrated so the
+// characterization experiments reproduce the paper's figures qualitatively.
+type DatacenterProfile struct {
+	// Name is the datacenter identifier, e.g. "DC-9".
+	Name string
+
+	// NumTenants is the number of primary tenants to generate.
+	NumTenants int
+
+	// ServersPerTenantMean controls tenant size. Periodic (user-facing)
+	// tenants are additionally inflated by PeriodicServerMultiplier so that a
+	// small number of periodic tenants still owns a large share of servers.
+	ServersPerTenantMean      float64
+	PeriodicServerMultiplier  float64
+	ServersPerTenantDispersal float64 // lognormal sigma for tenant sizes
+
+	// TenantClassMix gives the fraction of tenants per pattern
+	// (periodic, constant, unpredictable). Must sum to ~1.
+	PeriodicTenantFraction      float64
+	ConstantTenantFraction      float64
+	UnpredictableTenantFraction float64
+
+	// UtilizationVariation scales the amplitude of periodic swings and the
+	// burstiness of unpredictable tenants. DC-0/DC-2 are low, DC-1/DC-4 high.
+	UtilizationVariation float64
+
+	// BaseUtilizationMean/Spread control average utilization levels.
+	BaseUtilizationMean   float64
+	BaseUtilizationSpread float64
+
+	// Reimage behaviour. Rates are reimages per server per month drawn from a
+	// lognormal-like distribution with the given median and tail factor, so a
+	// small fraction of tenants reimages frequently.
+	ReimageMedianPerServerMonth float64
+	ReimageTailFactor           float64
+	// ReimageCorrelation is the probability that a reimage event affects a
+	// large batch of a tenant's servers at once (repurposing, §3.3).
+	ReimageCorrelation float64
+	// ReimageRankStability in [0,1] controls how strongly a tenant's monthly
+	// reimage rate tracks its long-term rate (1 = perfectly stable ranks).
+	ReimageRankStability float64
+
+	// HarvestableBytesPerServer is the storage each server exposes.
+	HarvestableBytesPerServer int64
+}
+
+// defaultHarvestableBytes is 2 TB per server.
+const defaultHarvestableBytes = int64(2) << 40
+
+// BuiltinProfiles returns the ten datacenter profiles DC-0 … DC-9. DC-9 is
+// the datacenter the paper scales down for its testbed experiments.
+func BuiltinProfiles() []DatacenterProfile {
+	return []DatacenterProfile{
+		{
+			Name: "DC-0", NumTenants: 300,
+			ServersPerTenantMean: 14, PeriodicServerMultiplier: 6, ServersPerTenantDispersal: 0.9,
+			PeriodicTenantFraction: 0.10, ConstantTenantFraction: 0.72, UnpredictableTenantFraction: 0.18,
+			UtilizationVariation: 0.35, BaseUtilizationMean: 0.30, BaseUtilizationSpread: 0.10,
+			ReimageMedianPerServerMonth: 0.08, ReimageTailFactor: 2.2, ReimageCorrelation: 0.25,
+			ReimageRankStability: 0.85, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+		{
+			Name: "DC-1", NumTenants: 450,
+			ServersPerTenantMean: 12, PeriodicServerMultiplier: 7, ServersPerTenantDispersal: 1.0,
+			PeriodicTenantFraction: 0.16, ConstantTenantFraction: 0.60, UnpredictableTenantFraction: 0.24,
+			UtilizationVariation: 0.95, BaseUtilizationMean: 0.28, BaseUtilizationSpread: 0.12,
+			ReimageMedianPerServerMonth: 0.20, ReimageTailFactor: 3.0, ReimageCorrelation: 0.35,
+			ReimageRankStability: 0.80, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+		{
+			Name: "DC-2", NumTenants: 260,
+			ServersPerTenantMean: 16, PeriodicServerMultiplier: 5, ServersPerTenantDispersal: 0.8,
+			PeriodicTenantFraction: 0.09, ConstantTenantFraction: 0.76, UnpredictableTenantFraction: 0.15,
+			UtilizationVariation: 0.30, BaseUtilizationMean: 0.34, BaseUtilizationSpread: 0.08,
+			ReimageMedianPerServerMonth: 0.12, ReimageTailFactor: 2.4, ReimageCorrelation: 0.30,
+			ReimageRankStability: 0.84, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+		{
+			Name: "DC-3", NumTenants: 520,
+			ServersPerTenantMean: 11, PeriodicServerMultiplier: 6, ServersPerTenantDispersal: 1.1,
+			PeriodicTenantFraction: 0.13, ConstantTenantFraction: 0.62, UnpredictableTenantFraction: 0.25,
+			UtilizationVariation: 0.70, BaseUtilizationMean: 0.27, BaseUtilizationSpread: 0.12,
+			ReimageMedianPerServerMonth: 0.30, ReimageTailFactor: 3.4, ReimageCorrelation: 0.40,
+			ReimageRankStability: 0.78, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+		{
+			Name: "DC-4", NumTenants: 400,
+			ServersPerTenantMean: 13, PeriodicServerMultiplier: 7, ServersPerTenantDispersal: 1.0,
+			PeriodicTenantFraction: 0.15, ConstantTenantFraction: 0.58, UnpredictableTenantFraction: 0.27,
+			UtilizationVariation: 0.90, BaseUtilizationMean: 0.29, BaseUtilizationSpread: 0.13,
+			ReimageMedianPerServerMonth: 0.22, ReimageTailFactor: 2.8, ReimageCorrelation: 0.35,
+			ReimageRankStability: 0.80, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+		{
+			Name: "DC-5", NumTenants: 340,
+			ServersPerTenantMean: 12, PeriodicServerMultiplier: 6, ServersPerTenantDispersal: 0.9,
+			PeriodicTenantFraction: 0.12, ConstantTenantFraction: 0.66, UnpredictableTenantFraction: 0.22,
+			UtilizationVariation: 0.55, BaseUtilizationMean: 0.31, BaseUtilizationSpread: 0.10,
+			ReimageMedianPerServerMonth: 0.18, ReimageTailFactor: 2.6, ReimageCorrelation: 0.30,
+			ReimageRankStability: 0.82, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+		{
+			Name: "DC-6", NumTenants: 280,
+			ServersPerTenantMean: 15, PeriodicServerMultiplier: 5, ServersPerTenantDispersal: 0.9,
+			PeriodicTenantFraction: 0.11, ConstantTenantFraction: 0.70, UnpredictableTenantFraction: 0.19,
+			UtilizationVariation: 0.50, BaseUtilizationMean: 0.33, BaseUtilizationSpread: 0.09,
+			ReimageMedianPerServerMonth: 0.15, ReimageTailFactor: 2.5, ReimageCorrelation: 0.28,
+			ReimageRankStability: 0.83, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+		{
+			Name: "DC-7", NumTenants: 480,
+			ServersPerTenantMean: 10, PeriodicServerMultiplier: 7, ServersPerTenantDispersal: 1.1,
+			PeriodicTenantFraction: 0.14, ConstantTenantFraction: 0.61, UnpredictableTenantFraction: 0.25,
+			UtilizationVariation: 0.65, BaseUtilizationMean: 0.28, BaseUtilizationSpread: 0.12,
+			ReimageMedianPerServerMonth: 0.10, ReimageTailFactor: 2.3, ReimageCorrelation: 0.26,
+			ReimageRankStability: 0.86, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+		{
+			Name: "DC-8", NumTenants: 360,
+			ServersPerTenantMean: 13, PeriodicServerMultiplier: 6, ServersPerTenantDispersal: 1.0,
+			PeriodicTenantFraction: 0.12, ConstantTenantFraction: 0.64, UnpredictableTenantFraction: 0.24,
+			UtilizationVariation: 0.60, BaseUtilizationMean: 0.30, BaseUtilizationSpread: 0.11,
+			ReimageMedianPerServerMonth: 0.24, ReimageTailFactor: 2.9, ReimageCorrelation: 0.33,
+			ReimageRankStability: 0.80, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+		{
+			Name: "DC-9", NumTenants: 420,
+			ServersPerTenantMean: 12, PeriodicServerMultiplier: 7, ServersPerTenantDispersal: 1.0,
+			PeriodicTenantFraction: 0.13, ConstantTenantFraction: 0.63, UnpredictableTenantFraction: 0.24,
+			UtilizationVariation: 0.75, BaseUtilizationMean: 0.30, BaseUtilizationSpread: 0.11,
+			ReimageMedianPerServerMonth: 0.16, ReimageTailFactor: 2.7, ReimageCorrelation: 0.30,
+			ReimageRankStability: 0.82, HarvestableBytesPerServer: defaultHarvestableBytes,
+		},
+	}
+}
+
+// ProfileByName returns the built-in profile with the given name, or false.
+func ProfileByName(name string) (DatacenterProfile, bool) {
+	for _, p := range BuiltinProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return DatacenterProfile{}, false
+}
+
+// Scaled returns a copy of the profile with the tenant count multiplied by
+// factor (at least 1 tenant). Used to shrink datacenters for fast tests and
+// to scale them up for durability simulations.
+func (p DatacenterProfile) Scaled(factor float64) DatacenterProfile {
+	out := p
+	out.NumTenants = int(float64(p.NumTenants) * factor)
+	if out.NumTenants < 1 {
+		out.NumTenants = 1
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"harvest/internal/stats"
+)
+
+// Job is one submission of a DAG: the query to run, when it arrives, and the
+// duration of its previous execution (the only runtime hint the scheduler
+// uses, §4.1).
+type Job struct {
+	ID     int
+	Name   string
+	DAG    *DAG
+	Arrive time.Duration
+	// LastRunDuration is how long the job took the last time it executed.
+	// Zero means the job never ran before (treated as medium by the
+	// scheduler).
+	LastRunDuration time.Duration
+	// CoresPerTask is the container size the job requests per task.
+	CoresPerTask int
+	// MemoryMBPerTask is the container memory per task.
+	MemoryMBPerTask int
+}
+
+// MaxConcurrentCores returns the job's peak concurrent core demand, the
+// quantity Algorithm 1 compares against class headroom.
+func (j *Job) MaxConcurrentCores() float64 {
+	return float64(j.DAG.MaxConcurrentTasks() * j.CoresPerTask)
+}
+
+// Catalogue is a set of reusable query DAGs (the 52 TPC-DS Hive queries in
+// the paper's evaluation).
+type Catalogue struct {
+	Queries []*DAG
+}
+
+// CatalogueConfig tunes the synthetic catalogue generation.
+type CatalogueConfig struct {
+	// NumQueries is the number of distinct queries. Zero means 52.
+	NumQueries int
+	// MeanTaskDuration is the average per-task duration. Zero means 25 s.
+	MeanTaskDuration time.Duration
+	// MaxStageWidth caps the number of tasks per stage. Zero means 500.
+	MaxStageWidth int
+}
+
+// DefaultCatalogueConfig mirrors the testbed workload.
+func DefaultCatalogueConfig() CatalogueConfig {
+	return CatalogueConfig{NumQueries: 52, MeanTaskDuration: 25 * time.Second, MaxStageWidth: 500}
+}
+
+// TPCDSLikeCatalogue generates a catalogue of DAGs with the size and shape
+// diversity of the TPC-DS query set: a mix of small interactive-style queries,
+// medium multi-stage pipelines, and a few very wide or very deep jobs. The
+// first entry is always the Figure 7 query-19 DAG.
+func TPCDSLikeCatalogue(rng *rand.Rand, cfg CatalogueConfig) (*Catalogue, error) {
+	if cfg.NumQueries <= 0 {
+		cfg.NumQueries = 52
+	}
+	if cfg.MeanTaskDuration <= 0 {
+		cfg.MeanTaskDuration = 25 * time.Second
+	}
+	if cfg.MaxStageWidth <= 0 {
+		cfg.MaxStageWidth = 500
+	}
+	cat := &Catalogue{}
+	cat.Queries = append(cat.Queries, Query19())
+	for i := 1; i < cfg.NumQueries; i++ {
+		dag := synthesizeDAG(rng, fmt.Sprintf("query%02d", i), cfg)
+		if err := dag.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: generated invalid DAG: %w", err)
+		}
+		cat.Queries = append(cat.Queries, dag)
+	}
+	return cat, nil
+}
+
+// synthesizeDAG builds a random map/reduce-style pipeline: a chain of levels,
+// each with one or two stages, whose widths shrink toward the final reducer.
+func synthesizeDAG(rng *rand.Rand, name string, cfg CatalogueConfig) *DAG {
+	dag := &DAG{Name: name}
+	levels := 2 + rng.Intn(6) // 2..7 levels
+	// Job "size class": small, medium, large — drives the initial width.
+	var width int
+	switch rng.Intn(3) {
+	case 0:
+		width = 2 + rng.Intn(15)
+	case 1:
+		width = 20 + rng.Intn(100)
+	default:
+		width = 120 + rng.Intn(cfg.MaxStageWidth-120)
+	}
+	prevLevel := []int{}
+	for level := 0; level < levels; level++ {
+		stagesInLevel := 1
+		if level > 0 && rng.Float64() < 0.3 {
+			stagesInLevel = 2
+		}
+		var thisLevel []int
+		for s := 0; s < stagesInLevel; s++ {
+			tasks := width
+			if stagesInLevel == 2 {
+				tasks = width/2 + 1
+			}
+			if tasks < 1 {
+				tasks = 1
+			}
+			duration := time.Duration(stats.LogNormal(rng, logMean(cfg.MeanTaskDuration), 0.5))
+			if duration < 2*time.Second {
+				duration = 2 * time.Second
+			}
+			kind := "Mapper"
+			if level > 0 {
+				kind = "Reducer"
+			}
+			stage := &Stage{
+				Name:         fmt.Sprintf("%s %d", kind, len(dag.Stages)+1),
+				Tasks:        tasks,
+				TaskDuration: duration,
+				Deps:         append([]int(nil), prevLevel...),
+			}
+			dag.Stages = append(dag.Stages, stage)
+			thisLevel = append(thisLevel, len(dag.Stages)-1)
+		}
+		prevLevel = thisLevel
+		// Widths shrink as data is aggregated.
+		width = width/(2+rng.Intn(3)) + 1
+	}
+	return dag
+}
+
+func logMean(mean time.Duration) float64 {
+	// For a lognormal with sigma 0.5, the mean is exp(mu + sigma^2/2).
+	const sigma = 0.5
+	return math.Log(float64(mean)) - sigma*sigma/2
+}
+
+// ArrivalConfig tunes job arrival generation.
+type ArrivalConfig struct {
+	// MeanInterArrival is the Poisson mean inter-arrival time (300 s in §6.1).
+	MeanInterArrival time.Duration
+	// Horizon bounds the arrival times.
+	Horizon time.Duration
+	// CoresPerTask and MemoryMBPerTask size each container request.
+	CoresPerTask    int
+	MemoryMBPerTask int
+	// DurationScale multiplies task durations, used by the datacenter-scale
+	// simulations to generate enough load (§6.1). Zero means 1.
+	DurationScale float64
+}
+
+// DefaultArrivalConfig mirrors the testbed workload.
+func DefaultArrivalConfig(horizon time.Duration) ArrivalConfig {
+	return ArrivalConfig{
+		MeanInterArrival: 300 * time.Second,
+		Horizon:          horizon,
+		CoresPerTask:     1,
+		MemoryMBPerTask:  2048,
+		DurationScale:    1,
+	}
+}
+
+// GenerateArrivals draws a Poisson arrival sequence over the horizon, cycling
+// through the catalogue's queries in random order. Every job's LastRunDuration
+// is initialized to the query's critical path as a proxy for its previous
+// execution (jobs keep falling in the same length type, §4.1).
+func (c *Catalogue) GenerateArrivals(rng *rand.Rand, cfg ArrivalConfig) ([]*Job, error) {
+	if len(c.Queries) == 0 {
+		return nil, fmt.Errorf("workload: empty catalogue")
+	}
+	if cfg.MeanInterArrival <= 0 {
+		return nil, fmt.Errorf("workload: non-positive inter-arrival time")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("workload: non-positive horizon")
+	}
+	if cfg.CoresPerTask <= 0 {
+		cfg.CoresPerTask = 1
+	}
+	if cfg.MemoryMBPerTask <= 0 {
+		cfg.MemoryMBPerTask = 2048
+	}
+	scale := cfg.DurationScale
+	if scale <= 0 {
+		scale = 1
+	}
+	var jobs []*Job
+	now := time.Duration(0)
+	id := 0
+	for {
+		gap := time.Duration(stats.Exponential(rng, float64(cfg.MeanInterArrival)))
+		now += gap
+		if now > cfg.Horizon {
+			break
+		}
+		query := c.Queries[rng.Intn(len(c.Queries))]
+		dag := query.Scale(scale)
+		jobs = append(jobs, &Job{
+			ID:              id,
+			Name:            dag.Name,
+			DAG:             dag,
+			Arrive:          now,
+			LastRunDuration: estimatePreviousRun(dag),
+			CoresPerTask:    cfg.CoresPerTask,
+			MemoryMBPerTask: cfg.MemoryMBPerTask,
+		})
+		id++
+	}
+	return jobs, nil
+}
+
+// estimatePreviousRun approximates what the job's last execution took on a
+// moderately loaded cluster: the critical path plus a serialization penalty
+// for very wide jobs.
+func estimatePreviousRun(dag *DAG) time.Duration {
+	cp := dag.CriticalPath()
+	// Wide jobs rarely get all containers at once; assume ~128 concurrent
+	// containers were available last time.
+	const assumedContainers = 128
+	serial := time.Duration(float64(dag.TotalWork()) / assumedContainers)
+	if serial > cp {
+		return serial
+	}
+	return cp
+}

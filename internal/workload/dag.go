@@ -1,0 +1,179 @@
+// Package workload models the batch (secondary tenant) workload: DAG-shaped
+// analytics jobs in the style of the TPC-DS Hive queries the paper uses
+// (§6.1), and the Poisson arrival process that submits them.
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stage is one vertex of a job DAG (a mapper or reducer stage in Tez terms):
+// a set of identical tasks that can run concurrently once every dependency
+// stage has finished.
+type Stage struct {
+	// Name labels the stage, e.g. "Mapper 2".
+	Name string
+	// Tasks is the number of parallel tasks in the stage.
+	Tasks int
+	// TaskDuration is the nominal duration of each task on an uncontended
+	// core.
+	TaskDuration time.Duration
+	// Deps lists the indices of stages that must complete before this stage
+	// can start.
+	Deps []int
+}
+
+// DAG is a job execution graph (Figure 7 shows TPC-DS query 19's DAG).
+type DAG struct {
+	Name   string
+	Stages []*Stage
+}
+
+// Validate checks the DAG's structural invariants: at least one stage, every
+// stage has at least one task and a positive duration, dependencies are in
+// range and acyclic (deps must point to earlier stages — stages are stored in
+// topological order).
+func (d *DAG) Validate() error {
+	if len(d.Stages) == 0 {
+		return fmt.Errorf("workload: DAG %q has no stages", d.Name)
+	}
+	for i, s := range d.Stages {
+		if s.Tasks <= 0 {
+			return fmt.Errorf("workload: DAG %q stage %d has %d tasks", d.Name, i, s.Tasks)
+		}
+		if s.TaskDuration <= 0 {
+			return fmt.Errorf("workload: DAG %q stage %d has non-positive duration", d.Name, i)
+		}
+		for _, dep := range s.Deps {
+			if dep < 0 || dep >= i {
+				return fmt.Errorf("workload: DAG %q stage %d has invalid dependency %d", d.Name, i, dep)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalTasks returns the number of tasks across all stages.
+func (d *DAG) TotalTasks() int {
+	total := 0
+	for _, s := range d.Stages {
+		total += s.Tasks
+	}
+	return total
+}
+
+// TotalWork returns the sum of task durations across all tasks, i.e. the
+// core-time the job needs.
+func (d *DAG) TotalWork() time.Duration {
+	var total time.Duration
+	for _, s := range d.Stages {
+		total += time.Duration(s.Tasks) * s.TaskDuration
+	}
+	return total
+}
+
+// Levels groups stage indices by their depth in the DAG: level 0 holds stages
+// with no dependencies, level k holds stages whose deepest dependency is at
+// level k-1. Stages in the same level can run concurrently.
+func (d *DAG) Levels() [][]int {
+	depth := make([]int, len(d.Stages))
+	maxDepth := 0
+	for i, s := range d.Stages {
+		dep := 0
+		for _, j := range s.Deps {
+			if depth[j]+1 > dep {
+				dep = depth[j] + 1
+			}
+		}
+		depth[i] = dep
+		if dep > maxDepth {
+			maxDepth = dep
+		}
+	}
+	levels := make([][]int, maxDepth+1)
+	for i := range d.Stages {
+		levels[depth[i]] = append(levels[depth[i]], i)
+	}
+	return levels
+}
+
+// MaxConcurrentTasks estimates the maximum number of concurrently runnable
+// tasks via a breadth-first traversal of the DAG (§4.1): the largest total
+// task count across any level. For TPC-DS query 19 this is 469 containers
+// (Figure 7).
+func (d *DAG) MaxConcurrentTasks() int {
+	maxTasks := 0
+	for _, level := range d.Levels() {
+		total := 0
+		for _, i := range level {
+			total += d.Stages[i].Tasks
+		}
+		if total > maxTasks {
+			maxTasks = total
+		}
+	}
+	return maxTasks
+}
+
+// CriticalPath returns the length of the DAG's critical path assuming each
+// stage's tasks all run in parallel: the minimum possible runtime with
+// unlimited resources.
+func (d *DAG) CriticalPath() time.Duration {
+	finish := make([]time.Duration, len(d.Stages))
+	var longest time.Duration
+	for i, s := range d.Stages {
+		var start time.Duration
+		for _, j := range s.Deps {
+			if finish[j] > start {
+				start = finish[j]
+			}
+		}
+		finish[i] = start + s.TaskDuration
+		if finish[i] > longest {
+			longest = finish[i]
+		}
+	}
+	return longest
+}
+
+// Scale returns a copy of the DAG with every task duration multiplied by the
+// given factor, which is how the datacenter-scale simulations inflate the
+// testbed queries to generate enough load (§6.1).
+func (d *DAG) Scale(durationFactor float64) *DAG {
+	if durationFactor <= 0 {
+		durationFactor = 1
+	}
+	out := &DAG{Name: d.Name, Stages: make([]*Stage, len(d.Stages))}
+	for i, s := range d.Stages {
+		cp := *s
+		cp.TaskDuration = time.Duration(float64(s.TaskDuration) * durationFactor)
+		if cp.TaskDuration <= 0 {
+			cp.TaskDuration = time.Millisecond
+		}
+		cp.Deps = append([]int(nil), s.Deps...)
+		out.Stages[i] = &cp
+	}
+	return out
+}
+
+// Query19 returns a DAG modelled on TPC-DS query 19 as shown in Figure 7: a
+// deep map/reduce pipeline whose widest level needs 469 concurrent containers.
+func Query19() *DAG {
+	return &DAG{
+		Name: "query19",
+		Stages: []*Stage{
+			{Name: "Mapper 1", Tasks: 1, TaskDuration: 20 * time.Second},                     // 0
+			{Name: "Mapper 2", Tasks: 469, TaskDuration: 35 * time.Second, Deps: []int{0}},   // 1
+			{Name: "Mapper 8", Tasks: 1, TaskDuration: 15 * time.Second, Deps: []int{1}},     // 2
+			{Name: "Reducer 3", Tasks: 113, TaskDuration: 30 * time.Second, Deps: []int{1}},  // 3
+			{Name: "Mapper 9", Tasks: 3, TaskDuration: 12 * time.Second, Deps: []int{2}},     // 4
+			{Name: "Reducer 4", Tasks: 126, TaskDuration: 28 * time.Second, Deps: []int{3}},  // 5
+			{Name: "Mapper 10", Tasks: 2, TaskDuration: 10 * time.Second, Deps: []int{4}},    // 6
+			{Name: "Reducer 5", Tasks: 138, TaskDuration: 26 * time.Second, Deps: []int{5}},  // 7
+			{Name: "Mapper 11", Tasks: 1, TaskDuration: 8 * time.Second, Deps: []int{6}},     // 8
+			{Name: "Reducer 6", Tasks: 6, TaskDuration: 22 * time.Second, Deps: []int{7, 8}}, // 9
+			{Name: "Reducer 7", Tasks: 1, TaskDuration: 18 * time.Second, Deps: []int{9}},    // 10
+		},
+	}
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQuery19MaxConcurrent(t *testing.T) {
+	q := Query19()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 7: the widest level of query 19 needs 469 concurrent containers.
+	if got := q.MaxConcurrentTasks(); got != 469 {
+		t.Fatalf("MaxConcurrentTasks = %d, want 469", got)
+	}
+	if q.TotalTasks() <= 469 {
+		t.Fatalf("total tasks should exceed the widest level")
+	}
+	if q.CriticalPath() <= 0 {
+		t.Fatalf("critical path should be positive")
+	}
+}
+
+func TestValidateCatchesBadDAGs(t *testing.T) {
+	cases := []*DAG{
+		{Name: "empty"},
+		{Name: "zerotasks", Stages: []*Stage{{Name: "s", Tasks: 0, TaskDuration: time.Second}}},
+		{Name: "zerodur", Stages: []*Stage{{Name: "s", Tasks: 1}}},
+		{Name: "badep", Stages: []*Stage{{Name: "s", Tasks: 1, TaskDuration: time.Second, Deps: []int{0}}}},
+		{Name: "forwarddep", Stages: []*Stage{
+			{Name: "a", Tasks: 1, TaskDuration: time.Second, Deps: []int{1}},
+			{Name: "b", Tasks: 1, TaskDuration: time.Second},
+		}},
+	}
+	for _, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("DAG %q should fail validation", d.Name)
+		}
+	}
+}
+
+func TestLevelsAndConcurrency(t *testing.T) {
+	d := &DAG{
+		Name: "diamond",
+		Stages: []*Stage{
+			{Name: "src", Tasks: 2, TaskDuration: time.Second},
+			{Name: "left", Tasks: 5, TaskDuration: time.Second, Deps: []int{0}},
+			{Name: "right", Tasks: 7, TaskDuration: time.Second, Deps: []int{0}},
+			{Name: "sink", Tasks: 1, TaskDuration: time.Second, Deps: []int{1, 2}},
+		},
+	}
+	levels := d.Levels()
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(levels))
+	}
+	if len(levels[1]) != 2 {
+		t.Fatalf("middle level should hold two stages")
+	}
+	if got := d.MaxConcurrentTasks(); got != 12 {
+		t.Fatalf("MaxConcurrentTasks = %d, want 12", got)
+	}
+	if got := d.CriticalPath(); got != 3*time.Second {
+		t.Fatalf("CriticalPath = %v, want 3s", got)
+	}
+	if got := d.TotalWork(); got != 15*time.Second {
+		t.Fatalf("TotalWork = %v, want 15s", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	d := Query19()
+	scaled := d.Scale(2)
+	if scaled.Stages[1].TaskDuration != d.Stages[1].TaskDuration*2 {
+		t.Fatalf("durations should double")
+	}
+	// Structure unchanged.
+	if scaled.MaxConcurrentTasks() != d.MaxConcurrentTasks() {
+		t.Fatalf("scaling must not change the DAG shape")
+	}
+	// Original untouched.
+	if d.Stages[1].TaskDuration != 35*time.Second {
+		t.Fatalf("original DAG was mutated")
+	}
+	same := d.Scale(0)
+	if same.Stages[0].TaskDuration != d.Stages[0].TaskDuration {
+		t.Fatalf("non-positive factor should mean identity")
+	}
+}
+
+func TestTPCDSLikeCatalogue(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cat, err := TPCDSLikeCatalogue(rng, DefaultCatalogueConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Queries) != 52 {
+		t.Fatalf("catalogue has %d queries, want 52", len(cat.Queries))
+	}
+	if cat.Queries[0].Name != "query19" {
+		t.Fatalf("first query should be the Figure 7 DAG")
+	}
+	sawSmall, sawLarge := false, false
+	for _, q := range cat.Queries {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %s invalid: %v", q.Name, err)
+		}
+		mc := q.MaxConcurrentTasks()
+		if mc <= 20 {
+			sawSmall = true
+		}
+		if mc >= 120 {
+			sawLarge = true
+		}
+	}
+	if !sawSmall || !sawLarge {
+		t.Fatalf("catalogue should mix small and large queries (small=%v large=%v)", sawSmall, sawLarge)
+	}
+}
+
+func TestCatalogueDeterministic(t *testing.T) {
+	a, err := TPCDSLikeCatalogue(rand.New(rand.NewSource(5)), DefaultCatalogueConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TPCDSLikeCatalogue(rand.New(rand.NewSource(5)), DefaultCatalogueConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if a.Queries[i].TotalTasks() != b.Queries[i].TotalTasks() {
+			t.Fatalf("catalogue differs across identical seeds at query %d", i)
+		}
+	}
+}
+
+func TestGenerateArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cat, err := TPCDSLikeCatalogue(rng, DefaultCatalogueConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 5 * time.Hour
+	jobs, err := cat.GenerateArrivals(rng, DefaultArrivalConfig(horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatalf("expected some arrivals over five hours")
+	}
+	// Mean inter-arrival 300 s over 5 h -> ~60 jobs.
+	if len(jobs) < 30 || len(jobs) > 120 {
+		t.Fatalf("job count %d outside plausible range for Poisson(300s) over 5h", len(jobs))
+	}
+	prev := time.Duration(0)
+	for i, j := range jobs {
+		if j.Arrive < prev {
+			t.Fatalf("arrivals not monotonic at job %d", i)
+		}
+		prev = j.Arrive
+		if j.Arrive > horizon {
+			t.Fatalf("arrival beyond horizon")
+		}
+		if j.ID != i {
+			t.Fatalf("job IDs should be sequential")
+		}
+		if j.LastRunDuration <= 0 {
+			t.Fatalf("jobs should carry a previous-run estimate")
+		}
+		if j.CoresPerTask <= 0 || j.MemoryMBPerTask <= 0 {
+			t.Fatalf("container sizing missing")
+		}
+		if j.MaxConcurrentCores() != float64(j.DAG.MaxConcurrentTasks()*j.CoresPerTask) {
+			t.Fatalf("MaxConcurrentCores inconsistent")
+		}
+	}
+}
+
+func TestGenerateArrivalsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	empty := &Catalogue{}
+	if _, err := empty.GenerateArrivals(rng, DefaultArrivalConfig(time.Hour)); err == nil {
+		t.Errorf("empty catalogue should error")
+	}
+	cat, err := TPCDSLikeCatalogue(rng, CatalogueConfig{NumQueries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultArrivalConfig(time.Hour)
+	cfg.MeanInterArrival = 0
+	if _, err := cat.GenerateArrivals(rng, cfg); err == nil {
+		t.Errorf("zero inter-arrival should error")
+	}
+	cfg = DefaultArrivalConfig(0)
+	if _, err := cat.GenerateArrivals(rng, cfg); err == nil {
+		t.Errorf("zero horizon should error")
+	}
+}
+
+func TestGenerateArrivalsDurationScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cat, err := TPCDSLikeCatalogue(rng, CatalogueConfig{NumQueries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultArrivalConfig(10 * time.Hour)
+	cfg.DurationScale = 3
+	jobs, err := cat.GenerateArrivals(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		orig := findQuery(cat, j.Name)
+		if orig == nil {
+			t.Fatalf("job references unknown query %q", j.Name)
+		}
+		if j.DAG.Stages[0].TaskDuration != orig.Stages[0].TaskDuration*3 {
+			t.Fatalf("task durations should be scaled by 3")
+		}
+	}
+}
+
+func findQuery(cat *Catalogue, name string) *DAG {
+	for _, q := range cat.Queries {
+		if q.Name == name {
+			return q
+		}
+	}
+	return nil
+}
+
+func TestMaxConcurrentNeverExceedsTotalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		dag := synthesizeDAG(local, "prop", DefaultCatalogueConfig())
+		if err := dag.Validate(); err != nil {
+			return false
+		}
+		return dag.MaxConcurrentTasks() <= dag.TotalTasks() && dag.CriticalPath() <= dag.TotalWork()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

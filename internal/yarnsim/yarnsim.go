@@ -1,0 +1,599 @@
+// Package yarnsim models the cluster resource manager and node managers (the
+// YARN-H analogue, §5.3) as a discrete-event simulation. It supports three
+// policies matching the paper's baselines and system:
+//
+//   - Stock: unaware of primary tenants; containers are packed onto servers
+//     considering only other containers (the YARN-Stock baseline).
+//   - PT: primary-tenant aware; each server's free capacity excludes the
+//     primary's (rounded-up) usage and the burst reserve, and node managers
+//     kill the youngest containers whenever the primary's growth erodes the
+//     reserve (the YARN-PT baseline).
+//   - History: PT plus smart task scheduling; each job asks the clustering
+//     service for the utilization class(es) best matching its length, and its
+//     containers are restricted to the servers of those classes (YARN-H/Tez-H).
+package yarnsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"harvest/internal/cluster"
+	"harvest/internal/core"
+	"harvest/internal/simulator"
+	"harvest/internal/stats"
+	"harvest/internal/tenant"
+	"harvest/internal/tezsim"
+	"harvest/internal/workload"
+)
+
+// Policy selects the scheduler variant.
+type Policy int
+
+const (
+	// PolicyStock is stock YARN: no primary tenant awareness.
+	PolicyStock Policy = iota
+	// PolicyPT is primary-tenant-aware YARN without smart scheduling.
+	PolicyPT
+	// PolicyHistory is YARN-H/Tez-H: primary awareness plus history-based
+	// class selection.
+	PolicyHistory
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyStock:
+		return "YARN-Stock"
+	case PolicyPT:
+		return "YARN-PT"
+	case PolicyHistory:
+		return "YARN-H/Tez-H"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Policy Policy
+
+	// HeartbeatInterval is how often node managers report utilization and the
+	// RM re-evaluates allocations and kills. The real NM heartbeats every 3 s;
+	// long simulations use coarser intervals.
+	HeartbeatInterval time.Duration
+
+	// Thresholds classify jobs into short/medium/long.
+	Thresholds core.LengthThresholds
+
+	// Selector drives class selection for PolicyHistory. It must be non-nil
+	// for that policy.
+	Selector *core.Selector
+	// Clustering maps servers to classes for PolicyHistory.
+	Clustering *core.Clustering
+
+	// Seed drives all randomized choices (server selection, tie-breaking).
+	Seed int64
+
+	// Observer, if non-nil, is called at every heartbeat for every server with
+	// the current number of secondary (container) cores allocated there. The
+	// latency model uses it to compute primary tail latencies.
+	Observer func(now time.Duration, srv *cluster.Server, secondaryCores int)
+
+	// MaxSchedulableTasksPerRound bounds how many containers one scheduling
+	// pass may start for a single job, which mirrors the RM handing out
+	// containers over several heartbeats. Zero means no bound.
+	MaxSchedulableTasksPerRound int
+}
+
+// DefaultConfig returns a testbed-like configuration for the given policy.
+func DefaultConfig(policy Policy) Config {
+	return Config{
+		Policy:            policy,
+		HeartbeatInterval: 10 * time.Second,
+		Thresholds:        core.DefaultLengthThresholds(),
+		Seed:              1,
+	}
+}
+
+// container is a granted container running one task.
+type container struct {
+	id        int
+	jobIndex  int
+	task      tezsim.TaskID
+	server    tenant.ServerID
+	cores     int
+	memoryMB  int
+	startedAt time.Duration
+	// completion is the scheduled completion event's generation; bumped when
+	// the container is killed so the stale completion event is ignored.
+	generation int
+}
+
+// jobRun is the per-job execution state.
+type jobRun struct {
+	job       *workload.Job
+	manager   *tezsim.JobManager
+	selection core.Selection
+	// allowedServers restricts container placement for PolicyHistory; nil
+	// means any server.
+	allowedServers map[tenant.ServerID]bool
+	arrived        time.Duration
+	finished       bool
+	finishedAt     time.Duration
+}
+
+// serverState augments a cluster server with its secondary allocations.
+type serverState struct {
+	srv        *cluster.Server
+	allocCores int
+	allocMemMB int
+	containers []*container // ordered by start time (oldest first)
+	classID    core.ClassID
+	hasClass   bool
+}
+
+// JobResult summarizes one job's execution.
+type JobResult struct {
+	JobID  int
+	Name   string
+	Type   core.JobType
+	Arrive time.Duration
+	Start  time.Duration
+	Finish time.Duration
+	// Runtime is Finish - Arrive: the job execution time as the user sees it,
+	// including any queueing delay (the metric of Figures 11, 13 and 14).
+	Runtime     time.Duration
+	TasksKilled int
+	Completed   bool
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Policy        Policy
+	Jobs          []JobResult
+	CompletedJobs int
+	// AvgJobRuntime averages the runtime of completed jobs.
+	AvgJobRuntime time.Duration
+	// TasksKilled is the total number of task executions killed.
+	TasksKilled int
+	// AvgClusterCPUUtilization is the time-averaged total (primary plus
+	// secondary) CPU utilization across servers.
+	AvgClusterCPUUtilization float64
+	// AvgPrimaryUtilization is the time-averaged primary-only utilization.
+	AvgPrimaryUtilization float64
+}
+
+// Simulation is one configured run over a cluster and a workload.
+type Simulation struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	jobs    []*jobRun
+	engine  *simulator.Engine
+	rng     *rand.Rand
+
+	servers     map[tenant.ServerID]*serverState
+	serverOrder []*serverState
+
+	nextContainerID int
+	totalKills      int
+
+	utilSamples  int
+	utilAccum    float64
+	primaryAccum float64
+	pendingJobs  []*jobRun // jobs waiting for a class selection (PolicyHistory)
+}
+
+// NewSimulation prepares a run. The jobs slice must be sorted by arrival time
+// (GenerateArrivals produces it that way).
+func NewSimulation(cl *cluster.Cluster, jobs []*workload.Job, cfg Config) (*Simulation, error) {
+	if cl == nil || cl.NumServers() == 0 {
+		return nil, fmt.Errorf("yarnsim: empty cluster")
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		return nil, fmt.Errorf("yarnsim: heartbeat interval must be positive")
+	}
+	if cfg.Policy == PolicyHistory && (cfg.Selector == nil || cfg.Clustering == nil) {
+		return nil, fmt.Errorf("yarnsim: PolicyHistory needs a selector and clustering")
+	}
+	s := &Simulation{
+		cfg:     cfg,
+		cluster: cl,
+		engine:  simulator.New(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		servers: make(map[tenant.ServerID]*serverState, cl.NumServers()),
+	}
+	for _, srv := range cl.ServerList() {
+		st := &serverState{srv: srv}
+		if cfg.Clustering != nil {
+			if cid, ok := cfg.Clustering.ClassOfServer(srv.ID); ok {
+				st.classID = cid
+				st.hasClass = true
+			}
+		}
+		s.servers[srv.ID] = st
+		s.serverOrder = append(s.serverOrder, st)
+	}
+	for _, j := range jobs {
+		m, err := tezsim.NewJobManager(j)
+		if err != nil {
+			return nil, fmt.Errorf("yarnsim: job %d: %w", j.ID, err)
+		}
+		s.jobs = append(s.jobs, &jobRun{job: j, manager: m, arrived: j.Arrive})
+	}
+	sort.SliceStable(s.jobs, func(i, j int) bool { return s.jobs[i].arrived < s.jobs[j].arrived })
+	return s, nil
+}
+
+// Run executes the simulation until the horizon and returns the results.
+// Jobs still running at the horizon are reported as not completed.
+func (s *Simulation) Run(horizon time.Duration) *Result {
+	// Job arrivals.
+	for _, jr := range s.jobs {
+		jr := jr
+		_ = s.engine.Schedule(jr.arrived, func(now time.Duration) {
+			s.onJobArrival(jr, now)
+		})
+	}
+	// Heartbeats: primary awareness (kills), class usage refresh, scheduling.
+	s.engine.Every(s.cfg.HeartbeatInterval, horizon, func(now time.Duration) bool {
+		s.onHeartbeat(now)
+		return true
+	})
+	s.engine.Run(horizon)
+	return s.collect(horizon)
+}
+
+func (s *Simulation) onJobArrival(jr *jobRun, now time.Duration) {
+	if s.cfg.Policy == PolicyHistory {
+		if !s.trySelectClasses(jr, now) {
+			// No class has enough headroom right now; retry at heartbeats.
+			s.pendingJobs = append(s.pendingJobs, jr)
+			return
+		}
+	}
+	s.scheduleJob(jr, now)
+}
+
+// trySelectClasses runs Algorithm 1 for the job and pins its allowed servers.
+func (s *Simulation) trySelectClasses(jr *jobRun, now time.Duration) bool {
+	usage := s.classUsage(now)
+	req := jr.manager.Request(s.cfg.Thresholds)
+	sel := s.cfg.Selector.Select(req, usage)
+	if sel.Empty() {
+		return false
+	}
+	jr.selection = sel
+	jr.allowedServers = make(map[tenant.ServerID]bool)
+	for _, cid := range sel.Classes {
+		cls := s.cfg.Clustering.Class(cid)
+		if cls == nil {
+			continue
+		}
+		for _, sid := range cls.Servers {
+			jr.allowedServers[sid] = true
+		}
+	}
+	return true
+}
+
+// classUsage summarizes, per class, the current primary utilization and the
+// cores already allocated to containers — the information NM heartbeats give
+// the RM and the clustering service.
+func (s *Simulation) classUsage(now time.Duration) map[core.ClassID]core.ClassUsage {
+	if s.cfg.Clustering == nil {
+		return nil
+	}
+	type accum struct {
+		util    float64
+		servers int
+		alloc   float64
+	}
+	acc := make(map[core.ClassID]*accum)
+	for _, st := range s.serverOrder {
+		if !st.hasClass {
+			continue
+		}
+		a, ok := acc[st.classID]
+		if !ok {
+			a = &accum{}
+			acc[st.classID] = a
+		}
+		a.util += st.srv.PrimaryUtilization(now)
+		a.servers++
+		a.alloc += float64(st.allocCores)
+	}
+	out := make(map[core.ClassID]core.ClassUsage, len(acc))
+	for cid, a := range acc {
+		usage := core.ClassUsage{AllocatedCores: a.alloc}
+		if a.servers > 0 {
+			usage.CurrentUtilization = a.util / float64(a.servers)
+		}
+		out[cid] = usage
+	}
+	return out
+}
+
+// freeCores returns how many cores are available for new containers on the
+// server under the configured policy.
+func (s *Simulation) freeCores(st *serverState, now time.Duration) int {
+	capacity := st.srv.Resources.Cores
+	switch s.cfg.Policy {
+	case PolicyStock:
+		return capacity - st.allocCores
+	default:
+		free := capacity - st.srv.PrimaryCores(now) - st.srv.Reserve.Cores - st.allocCores
+		if free < 0 {
+			return 0
+		}
+		return free
+	}
+}
+
+// freeMemoryMB mirrors freeCores for memory.
+func (s *Simulation) freeMemoryMB(st *serverState, now time.Duration) int {
+	capacity := st.srv.Resources.MemoryMB
+	switch s.cfg.Policy {
+	case PolicyStock:
+		return capacity - st.allocMemMB
+	default:
+		primary := int(st.srv.PrimaryUtilization(now) * float64(capacity))
+		free := capacity - primary - st.srv.Reserve.MemoryMB - st.allocMemMB
+		if free < 0 {
+			return 0
+		}
+		return free
+	}
+}
+
+// scheduleJob tries to start as many of the job's runnable tasks as possible.
+func (s *Simulation) scheduleJob(jr *jobRun, now time.Duration) {
+	if jr.finished {
+		return
+	}
+	limit := s.cfg.MaxSchedulableTasksPerRound
+	if limit <= 0 {
+		limit = -1
+	}
+	runnable := jr.manager.RunnableTasks(limit)
+	if len(runnable) == 0 {
+		return
+	}
+	// Candidate servers with free resources (and matching label for History).
+	type candidate struct {
+		st   *serverState
+		free int
+	}
+	var candidates []candidate
+	var weights []float64
+	for _, st := range s.serverOrder {
+		if jr.allowedServers != nil && !jr.allowedServers[st.srv.ID] {
+			continue
+		}
+		free := s.freeCores(st, now)
+		if free <= 0 {
+			continue
+		}
+		if s.freeMemoryMB(st, now) < jr.job.MemoryMBPerTask {
+			continue
+		}
+		candidates = append(candidates, candidate{st: st, free: free})
+		weights = append(weights, float64(free))
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	for _, task := range runnable {
+		// The RM picks a destination with probability proportional to the
+		// server's available resources (§5.3).
+		idx := stats.WeightedChoice(s.rng, weights)
+		if idx < 0 {
+			break
+		}
+		cand := &candidates[idx]
+		s.startContainer(jr, task, cand.st, now)
+		cand.free -= jr.job.CoresPerTask
+		if cand.free <= 0 ||
+			s.freeMemoryMB(cand.st, now) < jr.job.MemoryMBPerTask {
+			weights[idx] = 0
+		} else {
+			weights[idx] = float64(cand.free)
+		}
+	}
+}
+
+func (s *Simulation) startContainer(jr *jobRun, task tezsim.TaskID, st *serverState, now time.Duration) {
+	if err := jr.manager.TaskStarted(task, now); err != nil {
+		// The task became unrunnable (e.g. already started elsewhere); skip.
+		return
+	}
+	c := &container{
+		id:        s.nextContainerID,
+		jobIndex:  s.jobIndex(jr),
+		task:      task,
+		server:    st.srv.ID,
+		cores:     jr.job.CoresPerTask,
+		memoryMB:  jr.job.MemoryMBPerTask,
+		startedAt: now,
+	}
+	s.nextContainerID++
+	st.allocCores += c.cores
+	st.allocMemMB += c.memoryMB
+	st.containers = append(st.containers, c)
+
+	duration, err := jr.manager.TaskDuration(task)
+	if err != nil {
+		duration = time.Second
+	}
+	generation := c.generation
+	s.engine.ScheduleAfter(duration, func(done time.Duration) {
+		s.onContainerFinish(jr, c, st, generation, done)
+	})
+}
+
+func (s *Simulation) jobIndex(jr *jobRun) int {
+	for i, other := range s.jobs {
+		if other == jr {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Simulation) onContainerFinish(jr *jobRun, c *container, st *serverState, generation int, now time.Duration) {
+	if c.generation != generation {
+		return // the container was killed before completing
+	}
+	s.removeContainer(st, c)
+	if err := jr.manager.TaskCompleted(c.task, now); err != nil {
+		return
+	}
+	if jr.manager.Done() && !jr.finished {
+		jr.finished = true
+		jr.finishedAt = now
+	} else {
+		// Newly unblocked tasks may be schedulable immediately.
+		s.scheduleJob(jr, now)
+	}
+}
+
+func (s *Simulation) removeContainer(st *serverState, c *container) {
+	st.allocCores -= c.cores
+	st.allocMemMB -= c.memoryMB
+	for i, other := range st.containers {
+		if other == c {
+			st.containers = append(st.containers[:i], st.containers[i+1:]...)
+			break
+		}
+	}
+}
+
+// onHeartbeat is the periodic NM/RM exchange: enforce the reserve (killing
+// youngest containers first), retry pending class selections, schedule
+// waiting work, and sample utilization.
+func (s *Simulation) onHeartbeat(now time.Duration) {
+	if s.cfg.Policy != PolicyStock {
+		s.enforceReserve(now)
+	}
+	// Retry jobs waiting for a class selection.
+	if len(s.pendingJobs) > 0 {
+		var still []*jobRun
+		for _, jr := range s.pendingJobs {
+			if s.trySelectClasses(jr, now) {
+				s.scheduleJob(jr, now)
+			} else {
+				still = append(still, jr)
+			}
+		}
+		s.pendingJobs = still
+	}
+	// Give every unfinished, arrived job a scheduling opportunity.
+	for _, jr := range s.jobs {
+		if jr.arrived > now || jr.finished {
+			continue
+		}
+		if s.cfg.Policy == PolicyHistory && jr.allowedServers == nil {
+			continue // still waiting for a selection
+		}
+		s.scheduleJob(jr, now)
+	}
+	// Utilization accounting and observer callbacks.
+	s.sampleUtilization(now)
+}
+
+// enforceReserve kills the youngest containers on servers where the primary's
+// current usage plus allocations exceed capacity minus the reserve (§5.3).
+func (s *Simulation) enforceReserve(now time.Duration) {
+	for _, st := range s.serverOrder {
+		capacity := st.srv.Resources.Cores
+		primary := st.srv.PrimaryCores(now)
+		budget := capacity - primary - st.srv.Reserve.Cores
+		if budget < 0 {
+			budget = 0
+		}
+		for st.allocCores > budget && len(st.containers) > 0 {
+			// Kill the youngest container (last started).
+			youngest := st.containers[len(st.containers)-1]
+			for _, c := range st.containers {
+				if c.startedAt > youngest.startedAt {
+					youngest = c
+				}
+			}
+			s.killContainer(youngest, st)
+		}
+	}
+}
+
+func (s *Simulation) killContainer(c *container, st *serverState) {
+	c.generation++ // invalidate the scheduled completion
+	s.removeContainer(st, c)
+	s.totalKills++
+	if c.jobIndex >= 0 && c.jobIndex < len(s.jobs) {
+		jr := s.jobs[c.jobIndex]
+		if err := jr.manager.TaskKilled(c.task); err == nil {
+			// The task will be rescheduled on a later heartbeat.
+			_ = jr
+		}
+	}
+}
+
+func (s *Simulation) sampleUtilization(now time.Duration) {
+	totalUtil := 0.0
+	primaryUtil := 0.0
+	for _, st := range s.serverOrder {
+		p := st.srv.PrimaryUtilization(now)
+		secondary := float64(st.allocCores) / float64(st.srv.Resources.Cores)
+		u := p + secondary
+		if u > 1 {
+			u = 1
+		}
+		totalUtil += u
+		primaryUtil += p
+		if s.cfg.Observer != nil {
+			s.cfg.Observer(now, st.srv, st.allocCores)
+		}
+	}
+	n := float64(len(s.serverOrder))
+	s.utilAccum += totalUtil / n
+	s.primaryAccum += primaryUtil / n
+	s.utilSamples++
+}
+
+func (s *Simulation) collect(horizon time.Duration) *Result {
+	res := &Result{Policy: s.cfg.Policy}
+	var runtimeSum time.Duration
+	for _, jr := range s.jobs {
+		if jr.arrived > horizon {
+			continue
+		}
+		started, startAt := jr.manager.Started()
+		jres := JobResult{
+			JobID:       jr.job.ID,
+			Name:        jr.job.Name,
+			Type:        jr.manager.JobType(s.cfg.Thresholds),
+			Arrive:      jr.arrived,
+			TasksKilled: jr.manager.TasksKilled(),
+			Completed:   jr.finished,
+		}
+		if started {
+			jres.Start = startAt
+		}
+		if jr.finished {
+			jres.Finish = jr.finishedAt
+			jres.Runtime = jr.finishedAt - jr.arrived
+			runtimeSum += jres.Runtime
+			res.CompletedJobs++
+		}
+		res.Jobs = append(res.Jobs, jres)
+	}
+	if res.CompletedJobs > 0 {
+		res.AvgJobRuntime = runtimeSum / time.Duration(res.CompletedJobs)
+	}
+	res.TasksKilled = s.totalKills
+	if s.utilSamples > 0 {
+		res.AvgClusterCPUUtilization = s.utilAccum / float64(s.utilSamples)
+		res.AvgPrimaryUtilization = s.primaryAccum / float64(s.utilSamples)
+	}
+	return res
+}
