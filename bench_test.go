@@ -1,9 +1,10 @@
 // Package harvest_test holds the benchmark harness that regenerates every
-// table and figure of the paper's evaluation (see DESIGN.md for the index and
-// EXPERIMENTS.md for the paper-vs-measured comparison). Each benchmark runs
-// the corresponding experiment at a small scale and reports the headline
-// metric via b.ReportMetric so `go test -bench` output doubles as the results
-// table.
+// table and figure of the paper's evaluation (see DESIGN.md for the package
+// index and the benchmark-to-figure mapping). Each benchmark runs the
+// corresponding experiment at a small scale and reports the headline metric
+// via b.ReportMetric so `go test -bench` output doubles as the results table.
+// The hot-path microbenchmarks live in micro_bench_test.go and their recorded
+// before/after numbers in BENCH_PR1.json.
 package harvest_test
 
 import (
@@ -249,6 +250,7 @@ func BenchmarkReplicaPlacement(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(res.PlacementDuration)/1e6, "placement-ms")
+	b.ReportMetric(res.PlacementAllocsPerOp, "placement-allocs/op")
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Figure7()
 	}

@@ -1,0 +1,3 @@
+module harvest
+
+go 1.24

@@ -49,7 +49,15 @@ func (s *Server) PrimaryUtilization(now time.Duration) float64 {
 // given time, rounded up to a whole core as the NM-H does before reporting to
 // the RM (§5.3).
 func (s *Server) PrimaryCores(now time.Duration) int {
-	cores := int(math.Ceil(s.PrimaryUtilization(now) * float64(s.Resources.Cores)))
+	return s.CoresForUtilization(s.PrimaryUtilization(now))
+}
+
+// CoresForUtilization converts a utilization fraction into the whole cores it
+// occupies on this server, rounded up and capped at capacity. It lets callers
+// that already hold a sampled utilization (e.g. a per-heartbeat cache) apply
+// the same NM-H rounding rule without re-reading the time series.
+func (s *Server) CoresForUtilization(util float64) int {
+	cores := int(math.Ceil(util * float64(s.Resources.Cores)))
 	if cores > s.Resources.Cores {
 		cores = s.Resources.Cores
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"harvest/internal/kmeans"
+	"harvest/internal/stats"
 	"harvest/internal/tenant"
 )
 
@@ -46,12 +47,26 @@ type PlacementCell struct {
 
 // PlacementScheme is the output of the two-dimensional clustering plus the
 // indexes the placement algorithm needs.
+//
+// The scheme owns reusable scratch buffers for the sampling inner loops, so
+// a single scheme must not run PlaceReplicas concurrently from multiple
+// goroutines — the same contract as the *rand.Rand each call already takes.
 type PlacementScheme struct {
 	Cells [PlacementGridSize][PlacementGridSize]*PlacementCell
 
 	infos        map[tenant.ID]*TenantPlacementInfo
 	tenantCell   map[tenant.ID][2]int // (col, row)
 	serverTenant map[tenant.ServerID]tenant.ID
+
+	// Scratch state reused across PlaceReplicas calls so the steady-state
+	// placement path allocates nothing but the returned replica slice.
+	scratchCells   [PlacementGridSize * PlacementGridSize]*PlacementCell
+	scratchTenants []int32
+	scratchServers []int32
+	usedEnvs       []string
+	usedServers    []tenant.ServerID
+	usedCols       uint32 // bitset over columns, bit c = column c used
+	usedRows       uint32 // bitset over rows
 }
 
 // ErrNoEligibleServer is returned when the placement algorithm cannot find a
@@ -184,6 +199,10 @@ type PlacementConstraints struct {
 	EnforceEnvironment bool
 }
 
+// allServersEligible is the default filter; a package-level value so the
+// common no-filter path costs no closure allocation.
+var allServersEligible = func(tenant.ServerID) bool { return true }
+
 // PlaceReplicas implements Algorithm 2: it returns the servers that should
 // hold the block's replicas. The first replica goes to the writer's server
 // (when known and eligible); each subsequent replica goes to a random tenant
@@ -195,48 +214,35 @@ func (s *PlacementScheme) PlaceReplicas(rng *rand.Rand, c PlacementConstraints) 
 	}
 	eligible := c.ServerEligible
 	if eligible == nil {
-		eligible = func(tenant.ServerID) bool { return true }
+		eligible = allServersEligible
 	}
 
-	var replicas []tenant.ServerID
-	usedEnvironments := make(map[string]bool)
-	usedRows := make(map[int]bool)
-	usedCols := make(map[int]bool)
-	usedServers := make(map[tenant.ServerID]bool)
-
-	place := func(server tenant.ServerID, tid tenant.ID) {
-		replicas = append(replicas, server)
-		usedServers[server] = true
-		info := s.infos[tid]
-		if info != nil {
-			usedEnvironments[info.Environment] = true
-		}
-		if cell, ok := s.tenantCell[tid]; ok {
-			usedCols[cell[0]] = true
-			usedRows[cell[1]] = true
-		}
-	}
+	replicas := make([]tenant.ServerID, 0, c.Replication)
+	s.usedEnvs = s.usedEnvs[:0]
+	s.usedServers = s.usedServers[:0]
+	s.usedCols = 0
+	s.usedRows = 0
 
 	// First replica: the writer's server, for locality (lines 6-7).
 	if tid, ok := s.serverTenant[c.Writer]; ok && eligible(c.Writer) {
-		place(c.Writer, tid)
+		replicas = s.place(replicas, c.Writer, tid)
 	} else {
 		// The writer is unknown or ineligible: pick the first replica like any
 		// other, from a random cell.
-		server, tid, err := s.pickReplica(rng, usedCols, usedRows, usedEnvironments, usedServers, eligible, c.EnforceEnvironment)
+		server, tid, err := s.pickReplica(rng, true, eligible, c.EnforceEnvironment)
 		if err != nil {
 			return nil, err
 		}
-		place(server, tid)
+		replicas = s.place(replicas, server, tid)
 	}
 
 	for len(replicas) < c.Replication {
 		// Line 15-17: after every three replicas, forget row/column history.
 		if len(replicas)%PlacementGridSize == 0 {
-			usedRows = make(map[int]bool)
-			usedCols = make(map[int]bool)
+			s.usedCols = 0
+			s.usedRows = 0
 		}
-		server, tid, err := s.pickReplica(rng, usedCols, usedRows, usedEnvironments, usedServers, eligible, c.EnforceEnvironment)
+		server, tid, err := s.pickReplica(rng, true, eligible, c.EnforceEnvironment)
 		if errors.Is(err, ErrNoEligibleServer) {
 			// The row/column diversity constraint cannot be met (e.g. very few
 			// tenants, or entire rows excluded as busy/full). Fall back to a
@@ -244,76 +250,114 @@ func (s *PlacementScheme) PlaceReplicas(rng *rand.Rand, c PlacementConstraints) 
 			// constraints but ignores row/column history, matching the
 			// production behaviour of degrading diversity before failing the
 			// block creation (§7).
-			server, tid, err = s.pickReplica(rng, map[int]bool{}, map[int]bool{}, usedEnvironments, usedServers, eligible, c.EnforceEnvironment)
+			server, tid, err = s.pickReplica(rng, false, eligible, c.EnforceEnvironment)
 		}
 		if err != nil {
 			return replicas, err
 		}
-		place(server, tid)
+		replicas = s.place(replicas, server, tid)
 	}
 	return replicas, nil
 }
 
+// place records a chosen replica in the round's constraint state.
+func (s *PlacementScheme) place(replicas []tenant.ServerID, server tenant.ServerID, tid tenant.ID) []tenant.ServerID {
+	replicas = append(replicas, server)
+	s.usedServers = append(s.usedServers, server)
+	if info := s.infos[tid]; info != nil {
+		s.usedEnvs = append(s.usedEnvs, info.Environment)
+	}
+	if cell, ok := s.tenantCell[tid]; ok {
+		s.usedCols |= 1 << uint(cell[0])
+		s.usedRows |= 1 << uint(cell[1])
+	}
+	return replicas
+}
+
+func (s *PlacementScheme) serverUsed(id tenant.ServerID) bool {
+	for _, u := range s.usedServers {
+		if u == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *PlacementScheme) envUsed(env string) bool {
+	for _, e := range s.usedEnvs {
+		if e == env {
+			return true
+		}
+	}
+	return false
+}
+
 // pickReplica selects one (server, tenant) pair honouring the row/column and
-// environment constraints. It retries across the eligible cells and tenants,
-// progressively relaxing only if strictly necessary is NOT done here: if no
-// candidate satisfies the constraints, it returns ErrNoEligibleServer and the
-// caller decides whether to relax (the production "space over diversity"
-// mode is modelled by EnforceEnvironment=false).
+// environment constraints. When useRowCol is false the row/column history is
+// ignored (the caller's best-effort fallback); if no candidate satisfies the
+// constraints it returns ErrNoEligibleServer and the caller decides whether
+// to relax (the production "space over diversity" mode is modelled by
+// EnforceEnvironment=false).
+//
+// Cells, tenants, and servers are each visited in a uniformly random order
+// produced by a partial Fisher–Yates shuffle over the scheme's scratch
+// buffers: the shuffle advances only as far as the search does, and no
+// per-call permutation is allocated (the rng.Perm the seed implementation
+// used allocated all three levels in full on every pick).
 func (s *PlacementScheme) pickReplica(
 	rng *rand.Rand,
-	usedCols, usedRows map[int]bool,
-	usedEnvironments map[string]bool,
-	usedServers map[tenant.ServerID]bool,
+	useRowCol bool,
 	eligible func(tenant.ServerID) bool,
 	enforceEnvironment bool,
 ) (tenant.ServerID, tenant.ID, error) {
-	// Candidate cells: not in a used row or column, with members and space.
-	var cells []*PlacementCell
-	var cellWeights []float64
+	// Candidate cells: not in a used row or column, with members.
+	// Algorithm 2 picks cells uniformly at random.
+	usedCols, usedRows := s.usedCols, s.usedRows
+	if !useRowCol {
+		usedCols, usedRows = 0, 0
+	}
+	numCells := 0
 	for col := 0; col < PlacementGridSize; col++ {
-		if usedCols[col] {
+		if usedCols&(1<<uint(col)) != 0 {
 			continue
 		}
 		for row := 0; row < PlacementGridSize; row++ {
-			if usedRows[row] {
+			if usedRows&(1<<uint(row)) != 0 {
 				continue
 			}
 			cell := s.Cells[col][row]
 			if len(cell.Tenants) == 0 {
 				continue
 			}
-			cells = append(cells, cell)
-			cellWeights = append(cellWeights, 1) // Algorithm 2 picks cells uniformly at random
+			s.scratchCells[numCells] = cell
+			numCells++
 		}
 	}
-	// Shuffle cell visit order (uniform random as in the paper), then try each
-	// until one yields an eligible tenant/server.
-	order := rng.Perm(len(cells))
-	for _, ci := range order {
-		cell := cells[ci]
+	for ci := 0; ci < numCells; ci++ {
+		cj := ci + rng.Intn(numCells-ci)
+		s.scratchCells[ci], s.scratchCells[cj] = s.scratchCells[cj], s.scratchCells[ci]
+		cell := s.scratchCells[ci]
 		// Try the cell's tenants in random order.
-		tenantOrder := rng.Perm(len(cell.Tenants))
-		for _, ti := range tenantOrder {
-			tid := cell.Tenants[ti]
+		s.scratchTenants = stats.IdentityPerm(s.scratchTenants, len(cell.Tenants))
+		for ti := range s.scratchTenants {
+			tid := cell.Tenants[stats.PermNext(rng, s.scratchTenants, ti)]
 			info := s.infos[tid]
 			if info == nil || len(info.Servers) == 0 {
 				continue
 			}
-			if enforceEnvironment && usedEnvironments[info.Environment] {
+			if enforceEnvironment && s.envUsed(info.Environment) {
 				continue
 			}
 			// Try the tenant's servers in random order.
-			serverOrder := rng.Perm(len(info.Servers))
-			for _, si := range serverOrder {
-				server := info.Servers[si]
-				if usedServers[server] || !eligible(server) {
+			s.scratchServers = stats.IdentityPerm(s.scratchServers, len(info.Servers))
+			for si := range s.scratchServers {
+				server := info.Servers[stats.PermNext(rng, s.scratchServers, si)]
+				if s.serverUsed(server) || !eligible(server) {
 					continue
 				}
 				return server, tid, nil
 			}
 		}
 	}
-	_ = cellWeights
 	return 0, 0, ErrNoEligibleServer
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"harvest/internal/cluster"
@@ -481,6 +482,10 @@ type MicrobenchResult struct {
 	Classes                int
 	ClassSelectionDuration time.Duration
 	PlacementDuration      time.Duration
+	// PlacementAllocsPerOp is the average number of heap allocations one
+	// replica placement performs — the steady-state hot-path cost the
+	// zero-allocation refactor (PR 1) drives to the single returned slice.
+	PlacementAllocsPerOp float64
 }
 
 // Microbench measures the cost of the clustering service, a class selection,
@@ -522,6 +527,8 @@ func Microbench(s Scale) (*MicrobenchResult, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	startPlace := time.Now()
 	const placements = 1000
 	for i := 0; i < placements; i++ {
@@ -533,11 +540,13 @@ func Microbench(s Scale) (*MicrobenchResult, error) {
 		}
 	}
 	placeTime := time.Since(startPlace) / placements
+	runtime.ReadMemStats(&memAfter)
 
 	return &MicrobenchResult{
 		ClusteringDuration:     clusteringTime,
 		Classes:                len(clustering.Classes),
 		ClassSelectionDuration: selectTime,
 		PlacementDuration:      placeTime,
+		PlacementAllocsPerOp:   float64(memAfter.Mallocs-memBefore.Mallocs) / placements,
 	}, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"harvest/internal/cluster"
 	"harvest/internal/core"
+	"harvest/internal/stats"
 	"harvest/internal/tenant"
 	"harvest/internal/trace"
 )
@@ -125,6 +126,14 @@ type FileSystem struct {
 	// usedBytes tracks per-server harvested space.
 	usedBytes map[tenant.ServerID]int64
 	servers   []tenant.ServerID
+
+	// permScratch is the reusable partial-Fisher–Yates buffer for the
+	// stock/PT random server walk, and usedScratch the per-block chosen-server
+	// set (at most Replication entries, so a linear scan beats a map). They
+	// make CreateBlock allocation-free apart from the stored replica slice;
+	// a FileSystem must therefore not place blocks concurrently.
+	permScratch []int32
+	usedScratch []tenant.ServerID
 }
 
 // New builds a file system over the cluster. For PolicyHistory, the placement
@@ -218,23 +227,66 @@ func (fs *FileSystem) CreateBlock(writer tenant.ServerID, now time.Duration) (in
 	return len(fs.replicas) - 1, nil
 }
 
-func (fs *FileSystem) placeReplicas(writer tenant.ServerID, now time.Duration) ([]tenant.ServerID, error) {
-	eligible := func(id tenant.ServerID) bool {
-		if !fs.serverHasSpace(id) {
-			return false
-		}
-		// Stock HDFS does not know about primary tenants, so it may place
-		// replicas on busy servers; PT and History avoid them (§5.4).
-		if fs.cfg.Policy != PolicyStock && fs.serverBusy(id, now) {
-			return false
-		}
-		return true
+// eligible reports whether a server may receive a new replica at the given
+// time under the configured policy.
+func (fs *FileSystem) eligible(id tenant.ServerID, now time.Duration) bool {
+	if !fs.serverHasSpace(id) {
+		return false
 	}
+	// Stock HDFS does not know about primary tenants, so it may place
+	// replicas on busy servers; PT and History avoid them (§5.4).
+	if fs.cfg.Policy != PolicyStock && fs.serverBusy(id, now) {
+		return false
+	}
+	return true
+}
+
+// rackFilter narrows a pick to (or away from) the writer's rack.
+type rackFilter int
+
+const (
+	anyRack rackFilter = iota
+	sameRack
+	remoteRack
+)
+
+// pick walks the server list in a uniformly random order — a partial
+// Fisher–Yates over the reusable scratch buffer, advanced only as far as the
+// search needs — and appends the first server passing the policy, space,
+// dedup, and rack filters. It reports whether a server was found.
+func (fs *FileSystem) pick(out []tenant.ServerID, now time.Duration, filter rackFilter, writerRack int) ([]tenant.ServerID, bool) {
+	n := len(fs.servers)
+	fs.permScratch = stats.IdentityPerm(fs.permScratch, n)
+	for i := 0; i < n; i++ {
+		id := fs.servers[stats.PermNext(fs.rng, fs.permScratch, i)]
+		used := false
+		for _, u := range fs.usedScratch {
+			if u == id {
+				used = true
+				break
+			}
+		}
+		if used || !fs.eligible(id, now) {
+			continue
+		}
+		if filter == sameRack && RackOf(id) != writerRack {
+			continue
+		}
+		if filter == remoteRack && RackOf(id) == writerRack {
+			continue
+		}
+		fs.usedScratch = append(fs.usedScratch, id)
+		return append(out, id), true
+	}
+	return out, false
+}
+
+func (fs *FileSystem) placeReplicas(writer tenant.ServerID, now time.Duration) ([]tenant.ServerID, error) {
 	if fs.cfg.Policy == PolicyHistory {
 		return fs.scheme.PlaceReplicas(fs.rng, core.PlacementConstraints{
 			Replication:        fs.cfg.Replication,
 			Writer:             writer,
-			ServerEligible:     eligible,
+			ServerEligible:     func(id tenant.ServerID) bool { return fs.eligible(id, now) },
 			EnforceEnvironment: fs.cfg.EnforceEnvironment,
 		})
 	}
@@ -243,43 +295,29 @@ func (fs *FileSystem) placeReplicas(writer tenant.ServerID, now time.Duration) (
 	// and the remaining ones on servers of remote racks. The rack-local copy
 	// is what exposes stock HDFS to correlated reimages, since racks largely
 	// coincide with environments.
-	var out []tenant.ServerID
-	used := make(map[tenant.ServerID]bool)
+	out := make([]tenant.ServerID, 0, fs.cfg.Replication)
+	fs.usedScratch = fs.usedScratch[:0]
 	writerRack := -1
-	if writer >= 0 && eligible(writer) && fs.cluster.Server(writer) != nil {
+	if writer >= 0 && fs.eligible(writer, now) && fs.cluster.Server(writer) != nil {
 		out = append(out, writer)
-		used[writer] = true
+		fs.usedScratch = append(fs.usedScratch, writer)
 		writerRack = RackOf(writer)
-	}
-	pick := func(filter func(tenant.ServerID) bool) bool {
-		perm := fs.rng.Perm(len(fs.servers))
-		for _, idx := range perm {
-			id := fs.servers[idx]
-			if used[id] || !eligible(id) {
-				continue
-			}
-			if filter != nil && !filter(id) {
-				continue
-			}
-			out = append(out, id)
-			used[id] = true
-			return true
-		}
-		return false
 	}
 	// Rack-local second replica.
 	if len(out) == 1 && len(out) < fs.cfg.Replication {
-		if !pick(func(id tenant.ServerID) bool { return RackOf(id) == writerRack }) {
+		var ok bool
+		if out, ok = fs.pick(out, now, sameRack, writerRack); !ok {
 			// No eligible rack-mate; fall back to any server.
-			pick(nil)
+			out, _ = fs.pick(out, now, anyRack, writerRack)
 		}
 	}
 	// Remaining replicas prefer remote racks, falling back to any server.
 	for len(out) < fs.cfg.Replication {
-		if pick(func(id tenant.ServerID) bool { return RackOf(id) != writerRack }) {
+		var ok bool
+		if out, ok = fs.pick(out, now, remoteRack, writerRack); ok {
 			continue
 		}
-		if !pick(nil) {
+		if out, ok = fs.pick(out, now, anyRack, writerRack); !ok {
 			break
 		}
 	}

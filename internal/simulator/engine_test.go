@@ -1,6 +1,8 @@
 package simulator
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"time"
 )
@@ -142,4 +144,82 @@ func TestEveryInvalidPeriodOrHorizon(t *testing.T) {
 	e.Every(0, time.Hour, func(time.Duration) bool { t.Fatal("should not run"); return true })
 	e.Every(time.Hour, time.Minute, func(time.Duration) bool { t.Fatal("should not run"); return true })
 	e.RunAll()
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := New()
+	for i := 0; i < 100; i++ {
+		_ = e.Schedule(time.Duration(100-i)*time.Second, func(time.Duration) {})
+	}
+	if got := e.Stats().MaxPending; got != 100 {
+		t.Fatalf("MaxPending = %d, want 100", got)
+	}
+	e.RunAll()
+	st := e.Stats()
+	if st.Scheduled != 100 || st.Executed != 100 {
+		t.Fatalf("Scheduled/Executed = %d/%d, want 100/100", st.Scheduled, st.Executed)
+	}
+	if st.HeapGrowths == 0 {
+		t.Fatalf("growing from an empty queue must reallocate at least once")
+	}
+	if st.MaxPending != 100 {
+		t.Fatalf("MaxPending = %d after drain, want 100", st.MaxPending)
+	}
+}
+
+// TestSteadyStateDoesNotGrowHeap is the allocation contract: once the queue's
+// high-water mark is reached, scheduling and draining events reuses the
+// backing array and performs no further heap growth.
+func TestSteadyStateDoesNotGrowHeap(t *testing.T) {
+	e := New()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 64; i++ {
+			e.ScheduleAfter(time.Duration(i)*time.Millisecond, func(time.Duration) {})
+		}
+		e.RunAll()
+	}
+	grown := e.Stats().HeapGrowths
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 64; i++ {
+			e.ScheduleAfter(time.Duration(i%7)*time.Millisecond, func(time.Duration) {})
+		}
+		e.RunAll()
+	}
+	if got := e.Stats().HeapGrowths; got != grown {
+		t.Fatalf("steady state grew the heap: %d -> %d reallocations", grown, got)
+	}
+}
+
+// TestHeapOrderRandomized cross-checks the 4-ary heap against a reference
+// sort over many randomized schedules, including duplicate timestamps.
+func TestHeapOrderRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := New()
+		n := 1 + rng.Intn(200)
+		type key struct {
+			at  time.Duration
+			seq int
+		}
+		var want []key
+		var got []key
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Intn(50)) * time.Second
+			k := key{at: at, seq: i}
+			want = append(want, k)
+			_ = e.Schedule(at, func(now time.Duration) {
+				got = append(got, k)
+			})
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		e.RunAll()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: ran %d events, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: event %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
 }

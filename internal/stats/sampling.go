@@ -137,3 +137,28 @@ func Bernoulli(rng *rand.Rand, p float64) bool {
 	}
 	return rng.Float64() < p
 }
+
+// IdentityPerm grows buf to n elements holding 0..n-1, reusing its capacity.
+// Together with PermNext it forms an allocation-free partial Fisher–Yates
+// shuffle: callers walk i = 0..n-1 calling PermNext and may stop early,
+// having consumed only as much randomness (and work) as positions visited.
+func IdentityPerm(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = int32(i)
+	}
+	return buf
+}
+
+// PermNext performs one partial Fisher–Yates step: it swaps buf[i] with a
+// uniformly random element of buf[i:] and returns the value now at buf[i].
+// Visiting i = 0, 1, 2, ... therefore yields a uniformly random permutation
+// of buf one element at a time.
+func PermNext(rng *rand.Rand, buf []int32, i int) int32 {
+	j := i + rng.Intn(len(buf)-i)
+	buf[i], buf[j] = buf[j], buf[i]
+	return buf[i]
+}

@@ -102,7 +102,15 @@ func (m *JobManager) stageReady(stage int) bool {
 // dependencies are complete and they are pending. A negative limit means no
 // limit.
 func (m *JobManager) RunnableTasks(limit int) []TaskID {
-	var out []TaskID
+	return m.AppendRunnableTasks(nil, limit)
+}
+
+// AppendRunnableTasks appends up to limit runnable tasks to dst and returns
+// the extended slice, so schedulers polling every heartbeat can reuse one
+// buffer instead of allocating a fresh slice per job per tick. A negative
+// limit means no limit.
+func (m *JobManager) AppendRunnableTasks(dst []TaskID, limit int) []TaskID {
+	start := len(dst)
 	for si, stage := range m.Job.DAG.Stages {
 		if m.stageCompleted[si] == stage.Tasks {
 			continue
@@ -114,13 +122,13 @@ func (m *JobManager) RunnableTasks(limit int) []TaskID {
 			if m.state[si][ti] != TaskPending {
 				continue
 			}
-			out = append(out, TaskID{Stage: si, Index: ti})
-			if limit >= 0 && len(out) >= limit {
-				return out
+			dst = append(dst, TaskID{Stage: si, Index: ti})
+			if limit >= 0 && len(dst)-start >= limit {
+				return dst
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // PendingRunnableCount returns how many tasks are runnable right now.

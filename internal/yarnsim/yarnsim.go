@@ -122,6 +122,9 @@ type jobRun struct {
 	arrived        time.Duration
 	finished       bool
 	finishedAt     time.Duration
+	// index is the job's position in Simulation.jobs, so containers can refer
+	// back to their job without a linear search.
+	index int
 }
 
 // serverState augments a cluster server with its secondary allocations.
@@ -132,6 +135,16 @@ type serverState struct {
 	containers []*container // ordered by start time (oldest first)
 	classID    core.ClassID
 	hasClass   bool
+
+	// Per-tick cache of the primary tenant's utilization and (rounded-up)
+	// cores. Every heartbeat consults these values several times per server
+	// (reserve enforcement, free-resource scans, utilization sampling, class
+	// usage); sampling the time series once per simulated instant and reusing
+	// the result is what makes heartbeats allocation- and lookup-free. The
+	// cache is keyed by the engine clock: cacheAt != now means stale.
+	cacheAt      time.Duration
+	primaryUtil  float64
+	primaryCores int
 }
 
 // JobResult summarizes one job's execution.
@@ -183,6 +196,38 @@ type Simulation struct {
 	utilAccum    float64
 	primaryAccum float64
 	pendingJobs  []*jobRun // jobs waiting for a class selection (PolicyHistory)
+
+	// classAlloc tracks, per class, the cores currently allocated to
+	// containers. It is maintained incrementally on container start/stop so
+	// classUsage never has to re-scan the servers for allocations.
+	classAlloc map[core.ClassID]float64
+	// classPrimary caches the per-class primary-utilization sums for one
+	// simulated instant (classPrimaryAt); rebuilding it is O(servers), so the
+	// heartbeat reuses it across every class selection in the same tick.
+	classPrimary      map[core.ClassID]classPrimaryStat
+	classPrimaryAt    time.Duration
+	classPrimaryValid bool
+	// usageScratch is the map handed to the selector, rebuilt in place.
+	usageScratch map[core.ClassID]core.ClassUsage
+
+	// candScratch/weightScratch/runnableScratch are the scheduling pass's
+	// buffers, reused across calls so steady-state scheduling allocates
+	// nothing.
+	candScratch     []schedCandidate
+	weightScratch   []float64
+	runnableScratch []tezsim.TaskID
+}
+
+// classPrimaryStat accumulates a class's primary utilization for one tick.
+type classPrimaryStat struct {
+	util    float64
+	servers int
+}
+
+// schedCandidate is one server eligible for the current scheduling pass.
+type schedCandidate struct {
+	st   *serverState
+	free int
 }
 
 // NewSimulation prepares a run. The jobs slice must be sorted by arrival time
@@ -204,8 +249,13 @@ func NewSimulation(cl *cluster.Cluster, jobs []*workload.Job, cfg Config) (*Simu
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		servers: make(map[tenant.ServerID]*serverState, cl.NumServers()),
 	}
+	if cfg.Clustering != nil {
+		s.classAlloc = make(map[core.ClassID]float64)
+		s.classPrimary = make(map[core.ClassID]classPrimaryStat)
+		s.usageScratch = make(map[core.ClassID]core.ClassUsage)
+	}
 	for _, srv := range cl.ServerList() {
-		st := &serverState{srv: srv}
+		st := &serverState{srv: srv, cacheAt: -1}
 		if cfg.Clustering != nil {
 			if cid, ok := cfg.Clustering.ClassOfServer(srv.ID); ok {
 				st.classID = cid
@@ -223,7 +273,23 @@ func NewSimulation(cl *cluster.Cluster, jobs []*workload.Job, cfg Config) (*Simu
 		s.jobs = append(s.jobs, &jobRun{job: j, manager: m, arrived: j.Arrive})
 	}
 	sort.SliceStable(s.jobs, func(i, j int) bool { return s.jobs[i].arrived < s.jobs[j].arrived })
+	for i, jr := range s.jobs {
+		jr.index = i
+	}
 	return s, nil
+}
+
+// primary returns the server's primary utilization fraction and rounded-up
+// core count at the given time, sampling the time series at most once per
+// server per simulated instant.
+func (s *Simulation) primary(st *serverState, now time.Duration) (float64, int) {
+	if st.cacheAt != now {
+		u := st.srv.PrimaryUtilization(now)
+		st.cacheAt = now
+		st.primaryUtil = u
+		st.primaryCores = st.srv.CoresForUtilization(u)
+	}
+	return st.primaryUtil, st.primaryCores
 }
 
 // Run executes the simulation until the horizon and returns the results.
@@ -244,6 +310,15 @@ func (s *Simulation) Run(horizon time.Duration) *Result {
 	s.engine.Run(horizon)
 	return s.collect(horizon)
 }
+
+// Heartbeat runs one NM/RM heartbeat exchange at the given simulation time
+// without going through the event engine: reserve enforcement, pending class
+// selections, scheduling, and utilization sampling. It exists so benchmarks
+// can measure the per-tick cost in isolation. It deliberately does not drain
+// the internal event queue, so container completions scheduled by the
+// heartbeat never fire — full simulations must use Run, which drives
+// heartbeats and completions together.
+func (s *Simulation) Heartbeat(now time.Duration) { s.onHeartbeat(now) }
 
 func (s *Simulation) onJobArrival(jr *jobRun, now time.Duration) {
 	if s.cfg.Policy == PolicyHistory {
@@ -280,39 +355,39 @@ func (s *Simulation) trySelectClasses(jr *jobRun, now time.Duration) bool {
 
 // classUsage summarizes, per class, the current primary utilization and the
 // cores already allocated to containers — the information NM heartbeats give
-// the RM and the clustering service.
+// the RM and the clustering service. The primary-utilization sums are cached
+// per tick (they depend only on the engine clock) and the allocations come
+// from the incrementally maintained classAlloc, so repeated class selections
+// within one heartbeat cost O(classes), not O(servers). The returned map is
+// scratch state valid until the next call; callers must not retain it.
 func (s *Simulation) classUsage(now time.Duration) map[core.ClassID]core.ClassUsage {
 	if s.cfg.Clustering == nil {
 		return nil
 	}
-	type accum struct {
-		util    float64
-		servers int
-		alloc   float64
-	}
-	acc := make(map[core.ClassID]*accum)
-	for _, st := range s.serverOrder {
-		if !st.hasClass {
-			continue
+	if !s.classPrimaryValid || s.classPrimaryAt != now {
+		clear(s.classPrimary)
+		for _, st := range s.serverOrder {
+			if !st.hasClass {
+				continue
+			}
+			util, _ := s.primary(st, now)
+			ps := s.classPrimary[st.classID]
+			ps.util += util
+			ps.servers++
+			s.classPrimary[st.classID] = ps
 		}
-		a, ok := acc[st.classID]
-		if !ok {
-			a = &accum{}
-			acc[st.classID] = a
-		}
-		a.util += st.srv.PrimaryUtilization(now)
-		a.servers++
-		a.alloc += float64(st.allocCores)
+		s.classPrimaryAt = now
+		s.classPrimaryValid = true
 	}
-	out := make(map[core.ClassID]core.ClassUsage, len(acc))
-	for cid, a := range acc {
-		usage := core.ClassUsage{AllocatedCores: a.alloc}
-		if a.servers > 0 {
-			usage.CurrentUtilization = a.util / float64(a.servers)
+	clear(s.usageScratch)
+	for cid, ps := range s.classPrimary {
+		usage := core.ClassUsage{AllocatedCores: s.classAlloc[cid]}
+		if ps.servers > 0 {
+			usage.CurrentUtilization = ps.util / float64(ps.servers)
 		}
-		out[cid] = usage
+		s.usageScratch[cid] = usage
 	}
-	return out
+	return s.usageScratch
 }
 
 // freeCores returns how many cores are available for new containers on the
@@ -323,7 +398,8 @@ func (s *Simulation) freeCores(st *serverState, now time.Duration) int {
 	case PolicyStock:
 		return capacity - st.allocCores
 	default:
-		free := capacity - st.srv.PrimaryCores(now) - st.srv.Reserve.Cores - st.allocCores
+		_, primaryCores := s.primary(st, now)
+		free := capacity - primaryCores - st.srv.Reserve.Cores - st.allocCores
 		if free < 0 {
 			return 0
 		}
@@ -338,7 +414,8 @@ func (s *Simulation) freeMemoryMB(st *serverState, now time.Duration) int {
 	case PolicyStock:
 		return capacity - st.allocMemMB
 	default:
-		primary := int(st.srv.PrimaryUtilization(now) * float64(capacity))
+		util, _ := s.primary(st, now)
+		primary := int(util * float64(capacity))
 		free := capacity - primary - st.srv.Reserve.MemoryMB - st.allocMemMB
 		if free < 0 {
 			return 0
@@ -356,17 +433,15 @@ func (s *Simulation) scheduleJob(jr *jobRun, now time.Duration) {
 	if limit <= 0 {
 		limit = -1
 	}
-	runnable := jr.manager.RunnableTasks(limit)
+	runnable := jr.manager.AppendRunnableTasks(s.runnableScratch[:0], limit)
+	s.runnableScratch = runnable
 	if len(runnable) == 0 {
 		return
 	}
-	// Candidate servers with free resources (and matching label for History).
-	type candidate struct {
-		st   *serverState
-		free int
-	}
-	var candidates []candidate
-	var weights []float64
+	// Candidate servers with free resources (and matching label for History),
+	// gathered into the simulation's reusable scratch buffers.
+	candidates := s.candScratch[:0]
+	weights := s.weightScratch[:0]
 	for _, st := range s.serverOrder {
 		if jr.allowedServers != nil && !jr.allowedServers[st.srv.ID] {
 			continue
@@ -378,9 +453,13 @@ func (s *Simulation) scheduleJob(jr *jobRun, now time.Duration) {
 		if s.freeMemoryMB(st, now) < jr.job.MemoryMBPerTask {
 			continue
 		}
-		candidates = append(candidates, candidate{st: st, free: free})
+		candidates = append(candidates, schedCandidate{st: st, free: free})
 		weights = append(weights, float64(free))
 	}
+	// Hand the (possibly re-grown) buffers back for the next pass; scheduleJob
+	// never re-enters itself, so the aliasing is safe.
+	s.candScratch = candidates
+	s.weightScratch = weights
 	if len(candidates) == 0 {
 		return
 	}
@@ -410,7 +489,7 @@ func (s *Simulation) startContainer(jr *jobRun, task tezsim.TaskID, st *serverSt
 	}
 	c := &container{
 		id:        s.nextContainerID,
-		jobIndex:  s.jobIndex(jr),
+		jobIndex:  jr.index,
 		task:      task,
 		server:    st.srv.ID,
 		cores:     jr.job.CoresPerTask,
@@ -420,6 +499,9 @@ func (s *Simulation) startContainer(jr *jobRun, task tezsim.TaskID, st *serverSt
 	s.nextContainerID++
 	st.allocCores += c.cores
 	st.allocMemMB += c.memoryMB
+	if st.hasClass {
+		s.classAlloc[st.classID] += float64(c.cores)
+	}
 	st.containers = append(st.containers, c)
 
 	duration, err := jr.manager.TaskDuration(task)
@@ -430,15 +512,6 @@ func (s *Simulation) startContainer(jr *jobRun, task tezsim.TaskID, st *serverSt
 	s.engine.ScheduleAfter(duration, func(done time.Duration) {
 		s.onContainerFinish(jr, c, st, generation, done)
 	})
-}
-
-func (s *Simulation) jobIndex(jr *jobRun) int {
-	for i, other := range s.jobs {
-		if other == jr {
-			return i
-		}
-	}
-	return -1
 }
 
 func (s *Simulation) onContainerFinish(jr *jobRun, c *container, st *serverState, generation int, now time.Duration) {
@@ -461,6 +534,9 @@ func (s *Simulation) onContainerFinish(jr *jobRun, c *container, st *serverState
 func (s *Simulation) removeContainer(st *serverState, c *container) {
 	st.allocCores -= c.cores
 	st.allocMemMB -= c.memoryMB
+	if st.hasClass {
+		s.classAlloc[st.classID] -= float64(c.cores)
+	}
 	for i, other := range st.containers {
 		if other == c {
 			st.containers = append(st.containers[:i], st.containers[i+1:]...)
@@ -476,15 +552,19 @@ func (s *Simulation) onHeartbeat(now time.Duration) {
 	if s.cfg.Policy != PolicyStock {
 		s.enforceReserve(now)
 	}
-	// Retry jobs waiting for a class selection.
+	// Retry jobs waiting for a class selection, compacting the queue in place.
 	if len(s.pendingJobs) > 0 {
-		var still []*jobRun
+		still := s.pendingJobs[:0]
 		for _, jr := range s.pendingJobs {
 			if s.trySelectClasses(jr, now) {
 				s.scheduleJob(jr, now)
 			} else {
 				still = append(still, jr)
 			}
+		}
+		// Drop stale tail pointers so finished jobs can be collected.
+		for i := len(still); i < len(s.pendingJobs); i++ {
+			s.pendingJobs[i] = nil
 		}
 		s.pendingJobs = still
 	}
@@ -507,7 +587,7 @@ func (s *Simulation) onHeartbeat(now time.Duration) {
 func (s *Simulation) enforceReserve(now time.Duration) {
 	for _, st := range s.serverOrder {
 		capacity := st.srv.Resources.Cores
-		primary := st.srv.PrimaryCores(now)
+		_, primary := s.primary(st, now)
 		budget := capacity - primary - st.srv.Reserve.Cores
 		if budget < 0 {
 			budget = 0
@@ -542,7 +622,7 @@ func (s *Simulation) sampleUtilization(now time.Duration) {
 	totalUtil := 0.0
 	primaryUtil := 0.0
 	for _, st := range s.serverOrder {
-		p := st.srv.PrimaryUtilization(now)
+		p, _ := s.primary(st, now)
 		secondary := float64(st.allocCores) / float64(st.srv.Resources.Cores)
 		u := p + secondary
 		if u > 1 {

@@ -1,0 +1,191 @@
+// Hot-path microbenchmarks: the discrete-event engine, replica placement, and
+// the YARN heartbeat. These are the three inner loops every figure-level
+// experiment spends its time in, so they are benchmarked directly with
+// b.ReportAllocs; BENCH_PR1.json records the before/after numbers of the
+// zero-allocation refactor.
+package harvest_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"harvest/internal/cluster"
+	"harvest/internal/core"
+	"harvest/internal/hdfssim"
+	"harvest/internal/simulator"
+	"harvest/internal/tenant"
+	"harvest/internal/trace"
+	"harvest/internal/workload"
+	"harvest/internal/yarnsim"
+)
+
+func noopEvent(time.Duration) {}
+
+// BenchmarkEngineScheduleRun measures the steady-state cost of scheduling and
+// draining a batch of events on a long-lived engine, the pattern of container
+// completions inside yarnsim.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := simulator.New()
+	const batch = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			// Interleaved delays exercise both sift directions of the heap.
+			e.ScheduleAfter(time.Duration(j%97)*time.Millisecond, noopEvent)
+		}
+		e.RunAll()
+	}
+	if e.Pending() != 0 {
+		b.Fatalf("events left pending: %d", e.Pending())
+	}
+}
+
+// BenchmarkEngineEvery measures a periodic heartbeat tick, the engine pattern
+// behind every NM/RM heartbeat in the scheduling simulations.
+func BenchmarkEngineEvery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := simulator.New()
+		ticks := 0
+		e.Every(time.Second, 1024*time.Second, func(time.Duration) bool {
+			ticks++
+			return true
+		})
+		e.Run(1024 * time.Second)
+		if ticks != 1024 {
+			b.Fatalf("ran %d ticks, want 1024", ticks)
+		}
+	}
+}
+
+// buildSyntheticScheme builds a synthetic 60-tenant scheme spanning all nine
+// cells, the shape BuildPlacementScheme produces from the real traces. It is
+// shared by the placement microbenchmarks and the golden determinism tests so
+// both exercise exactly the same tenant layout.
+func buildSyntheticScheme(tb testing.TB) (*core.PlacementScheme, []core.TenantPlacementInfo) {
+	tb.Helper()
+	infos := make([]core.TenantPlacementInfo, 60)
+	server := 0
+	for i := range infos {
+		servers := make([]tenant.ServerID, 3)
+		for s := range servers {
+			servers[s] = tenant.ServerID(server)
+			server++
+		}
+		infos[i] = core.TenantPlacementInfo{
+			ID:             tenant.ID(i),
+			Environment:    fmt.Sprintf("env-%d", i),
+			ReimageRate:    float64(i%9) * 0.25,
+			PeakCPU:        float64((i*7)%10) / 10,
+			AvailableBytes: 1000,
+			Servers:        servers,
+		}
+	}
+	scheme, err := core.BuildPlacementScheme(infos)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return scheme, infos
+}
+
+// BenchmarkPlaceReplicas measures one Algorithm 2 placement (History policy)
+// with the environment constraint on, writer known.
+func BenchmarkPlaceReplicas(b *testing.B) {
+	scheme, infos := buildSyntheticScheme(b)
+	rng := rand.New(rand.NewSource(1))
+	writer := infos[10].Servers[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replicas, err := scheme.PlaceReplicas(rng, core.PlacementConstraints{
+			Replication:        3,
+			Writer:             writer,
+			EnforceEnvironment: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(replicas) != 3 {
+			b.Fatalf("placed %d replicas", len(replicas))
+		}
+	}
+}
+
+// BenchmarkPlaceReplicasStock measures the stock/PT HDFS placement path
+// (random spread with rack awareness) through CreateBlock.
+func BenchmarkPlaceReplicasStock(b *testing.B) {
+	profile, ok := trace.ProfileByName("DC-9")
+	if !ok {
+		b.Fatal("DC-9 profile missing")
+	}
+	gen := trace.NewGenerator(profile.Scaled(0.05), 1)
+	pop, err := gen.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Effectively infinite disks so placement never runs out of space.
+	for _, t := range pop.Tenants {
+		t.HarvestableBytesPerServer = 1 << 60
+	}
+	cl, err := cluster.New(pop, tenant.DefaultServerResources(), tenant.DefaultReserve())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := hdfssim.New(cl, hdfssim.DefaultConfig(hdfssim.PolicyStock))
+	if err != nil {
+		b.Fatal(err)
+	}
+	writer := cl.ServerList()[0].ID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.CreateBlock(writer, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYarnHeartbeat measures one NM/RM heartbeat exchange over a
+// DC-9-shaped cluster with an active TPC-DS-like workload under the PT
+// policy: reserve enforcement, per-server free-resource scans, weighted
+// container scheduling, and utilization sampling.
+func BenchmarkYarnHeartbeat(b *testing.B) {
+	profile, ok := trace.ProfileByName("DC-9")
+	if !ok {
+		b.Fatal("DC-9 profile missing")
+	}
+	gen := trace.NewGenerator(profile.Scaled(0.05), 1)
+	pop, err := gen.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cluster.New(pop, tenant.DefaultServerResources(), tenant.DefaultReserve())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	cat, err := workload.TPCDSLikeCatalogue(rng, workload.DefaultCatalogueConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := 2 * time.Hour
+	jobs, err := cat.GenerateArrivals(rng, workload.DefaultArrivalConfig(horizon))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := yarnsim.DefaultConfig(yarnsim.PolicyPT)
+	sim, err := yarnsim.NewSimulation(cl, jobs, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		now += cfg.HeartbeatInterval
+		sim.Heartbeat(now)
+	}
+}
