@@ -1,0 +1,89 @@
+// Command harvestd runs the cluster characterization service as a daemon: it
+// bootstraps the configured datacenters, re-clusters them on a period, and
+// serves the utilization classes plus the class-selection (Alg. 1) and
+// replica-placement (Alg. 2) algorithms over an HTTP JSON API.
+//
+// Usage:
+//
+//	harvestd [-listen :7077] [-dcs DC-9,DC-3 | -dcs all] [-scale 0.05]
+//	         [-refresh 30s] [-simstep 4h] [-seed 1]
+//
+// See README.md for the API routes; `cmd/loadgen` drives it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"harvest/internal/experiments"
+	"harvest/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":7077", "address to serve the HTTP API on")
+	dcs := flag.String("dcs", "all", "comma-separated datacenters to serve, or \"all\"")
+	scaleFactor := flag.Float64("scale", 0.05, "datacenter scale relative to the paper's setup")
+	refresh := flag.Duration("refresh", 30*time.Second, "wall-clock period between snapshot rebuilds (0 disables)")
+	simStep := flag.Duration("simstep", 4*time.Hour, "telemetry-time advanced per refresh")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := service.DefaultConfig()
+	cfg.Scale = experiments.Scale{Datacenter: *scaleFactor, Seed: *seed}
+	cfg.RefreshPeriod = *refresh
+	cfg.SimStep = *simStep
+	cfg.Seed = *seed
+	if *dcs != "" && *dcs != "all" {
+		cfg.Datacenters = strings.Split(*dcs, ",")
+	}
+
+	start := time.Now()
+	svc, err := service.New(cfg)
+	if err != nil {
+		log.Fatalf("harvestd: %v", err)
+	}
+	for _, dc := range svc.Datacenters() {
+		st, _ := svc.Stats(dc)
+		log.Printf("harvestd: %s ready: %d classes over %d servers (built in %v)",
+			dc, st.Classes, st.Servers, st.BuildDuration.Round(time.Millisecond))
+	}
+	svc.Start()
+	defer svc.Close()
+	log.Printf("harvestd: %d datacenters bootstrapped in %v, refresh every %v",
+		len(svc.Datacenters()), time.Since(start).Round(time.Millisecond), *refresh)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("harvestd: %v", err)
+	}
+	// BatchListener coalesces pipelined responses into one write syscall per
+	// batch; see internal/service/batchconn.go. The timeouts reclaim
+	// goroutines from clients that stall mid-header or idle forever.
+	server := &http.Server{
+		Handler:           service.NewAPI(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errs := make(chan error, 1)
+	go func() { errs <- server.Serve(service.BatchListener{Listener: ln}) }()
+	log.Printf("harvestd: serving on %s", *listen)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("harvestd: %v, shutting down", sig)
+		server.Close()
+	case err := <-errs:
+		fmt.Fprintf(os.Stderr, "harvestd: %v\n", err)
+		os.Exit(1)
+	}
+}

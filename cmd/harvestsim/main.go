@@ -4,6 +4,7 @@
 // Usage:
 //
 //	harvestsim -experiment fig13 [-scale 0.05] [-seed 1]
+//	harvestsim -experiment list
 //
 // Experiments: fig1, fig2-3, fig4, fig5, fig6, fig7, fig8, fig10-11, fig12,
 // fig13, fig14, fig15, fig16, microbench.
@@ -14,12 +15,40 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"harvest/internal/experiments"
 )
 
+// experimentIndex maps each runnable experiment name to the paper artifact it
+// reproduces; `-experiment list` prints it and unknown names suggest from it.
+var experimentIndex = []struct{ name, figure string }{
+	{"fig1", "Fig. 1 — utilization patterns and dominant frequencies"},
+	{"fig2-3", "Figs. 2–3 — tenant/server shares per pattern and datacenter"},
+	{"fig4", "Fig. 4 — server reimage-rate CDF"},
+	{"fig5", "Fig. 5 — tenant reimage-rate CDF"},
+	{"fig6", "Fig. 6 — reimage group-change CDF"},
+	{"fig7", "Fig. 7 — DAG max-concurrency estimate"},
+	{"fig8", "Fig. 8 — 3x3 placement clustering and example selection"},
+	{"fig10-11", "Figs. 10–11 — testbed scheduling (tail latency, runtime, kills)"},
+	{"fig12", "Fig. 12 — storage testbed (tail latency, failed accesses)"},
+	{"fig13", "Fig. 13 — utilization sweep, YARN-PT vs YARN-H"},
+	{"fig14", "Fig. 14 — per-datacenter runtime improvement"},
+	{"fig15", "Fig. 15 — block durability over one year of reimages"},
+	{"fig16", "Fig. 16 — block availability across target utilizations"},
+	{"microbench", "§6.2 — clustering/selection/placement operation costs"},
+}
+
+func experimentNames() []string {
+	names := make([]string, len(experimentIndex))
+	for i, e := range experimentIndex {
+		names[i] = e.name
+	}
+	return names
+}
+
 func main() {
-	experiment := flag.String("experiment", "", "experiment to run (fig1 ... fig16, microbench)")
+	experiment := flag.String("experiment", "", "experiment to run (fig1 ... fig16, microbench), or \"list\"")
 	scaleFactor := flag.Float64("scale", 0.05, "datacenter scale relative to the paper's setup")
 	blockScale := flag.Float64("blocks", 0.005, "block-count scale for storage experiments")
 	workloadScale := flag.Float64("workload", 0.15, "workload-horizon scale for testbed experiments")
@@ -44,6 +73,10 @@ func main() {
 
 func run(name string, scale experiments.Scale) error {
 	switch name {
+	case "list":
+		for _, e := range experimentIndex {
+			fmt.Printf("%-10s %s\n", e.name, e.figure)
+		}
 	case "fig1":
 		results, err := experiments.Figure1(scale)
 		if err != nil {
@@ -147,7 +180,8 @@ func run(name string, scale experiments.Scale) error {
 		fmt.Printf("clustering=%v classes=%d classSelection=%v placement=%v\n",
 			res.ClusteringDuration, res.Classes, res.ClassSelectionDuration, res.PlacementDuration)
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return fmt.Errorf("unknown experiment %q; valid experiments: %s, list",
+			name, strings.Join(experimentNames(), ", "))
 	}
 	return nil
 }

@@ -1,0 +1,573 @@
+// Command loadgen is a closed-loop load generator for harvestd: N workers
+// each keep a window of pipelined requests outstanding on a private
+// keep-alive connection, drawing operations from a configurable mix of
+// select / place / classes / server-class queries, and report throughput and
+// latency percentiles at the end.
+//
+// Usage:
+//
+//	loadgen [-target http://127.0.0.1:7077] [-workers 2] [-pipeline 64]
+//	        [-duration 5s] [-mix select=40,place=40,classes=10,server=10]
+//	        [-json]
+//
+// The client deliberately bypasses net/http: requests are preserialized byte
+// slices written through a raw TCP connection and responses are parsed with a
+// minimal HTTP/1.1 reader, so a single core can drive the server well past
+// the throughput a stock client reaches. Latency is measured per request
+// from the moment it is enqueued into the pipeline window, so pipelining
+// shows up in the percentiles rather than hiding in them. Server IDs for
+// server-class queries are seeded from each class's example server and
+// replenished from the replicas returned by place responses, keeping the loop
+// closed end-to-end.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"harvest/internal/service"
+)
+
+type op int
+
+const (
+	opSelect op = iota
+	opPlace
+	opClasses
+	opServer
+	numOps
+)
+
+var opNames = [numOps]string{"select", "place", "classes", "server"}
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:7077", "harvestd base URL or host:port")
+	workers := flag.Int("workers", 2, "concurrent connections")
+	pipeline := flag.Int("pipeline", 64, "requests kept in flight per connection")
+	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
+	mix := flag.String("mix", "select=40,place=40,classes=10,server=10", "operation mix (weights)")
+	seed := flag.Int64("seed", 1, "random seed")
+	jsonOut := flag.Bool("json", false, "print the report as JSON")
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	baseURL, addr, err := parseTarget(*target)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	dcs, err := fetchSetup(baseURL)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	if *pipeline < 1 {
+		*pipeline = 1
+	}
+
+	results := make([]*workerStats, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for i := 0; i < *workers; i++ {
+		w := newWorker(addr, dcs, weights, *pipeline, rand.New(rand.NewSource(*seed+int64(i))))
+		results[i] = &w.stats
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(deadline)
+		}()
+	}
+	wg.Wait()
+
+	// Workers drain their in-flight window past the deadline, so throughput
+	// divides by the measured wall time, not the nominal -duration.
+	report(results, time.Since(start), *workers, *pipeline, *jsonOut)
+}
+
+// parseMix turns "select=40,place=40,..." into per-op weights. A repeated
+// name overrides its earlier entry, so the total is validated over the final
+// weights, not the entries.
+func parseMix(s string) ([numOps]int, error) {
+	var weights [numOps]int
+	for _, part := range strings.Split(s, ",") {
+		if part == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(part, "=")
+		if !ok {
+			return weights, fmt.Errorf("bad mix entry %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(value)
+		if err != nil || w < 0 {
+			return weights, fmt.Errorf("bad mix weight %q", part)
+		}
+		found := false
+		for i, n := range opNames {
+			if n == name {
+				weights[i] = w
+				found = true
+			}
+		}
+		if !found {
+			return weights, fmt.Errorf("unknown mix operation %q (want select, place, classes, server)", name)
+		}
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return weights, fmt.Errorf("mix selects no operations")
+	}
+	return weights, nil
+}
+
+func parseTarget(s string) (baseURL, addr string, err error) {
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", "", fmt.Errorf("bad target %q: %v", s, err)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host += ":80"
+	}
+	return strings.TrimSuffix(u.String(), "/"), host, nil
+}
+
+// dcSetup is what the generator learns about one datacenter up front.
+type dcSetup struct {
+	name    string
+	servers []int64 // seed pool for server-class queries
+}
+
+// fetchSetup discovers the served datacenters and each class's example
+// server with a plain net/http client (off the measured path).
+func fetchSetup(baseURL string) ([]dcSetup, error) {
+	var dcl struct {
+		Datacenters []string `json:"datacenters"`
+	}
+	if err := getJSON(baseURL+"/v1/datacenters", &dcl); err != nil {
+		return nil, err
+	}
+	if len(dcl.Datacenters) == 0 {
+		return nil, fmt.Errorf("server lists no datacenters")
+	}
+	var dcs []dcSetup
+	for _, dc := range dcl.Datacenters {
+		var classes struct {
+			Classes []struct {
+				ExampleServer int64 `json:"example_server"`
+			} `json:"classes"`
+		}
+		if err := getJSON(baseURL+"/v1/"+dc+"/classes", &classes); err != nil {
+			return nil, err
+		}
+		setup := dcSetup{name: dc}
+		for _, c := range classes.Classes {
+			if c.ExampleServer >= 0 {
+				setup.servers = append(setup.servers, c.ExampleServer)
+			}
+		}
+		dcs = append(dcs, setup)
+	}
+	return dcs, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// workerStats accumulates one worker's results; merged after the run, so no
+// atomics are needed.
+type workerStats struct {
+	requests  [numOps]uint64
+	errors    [numOps]uint64
+	transport uint64 // connection-level failures (reconnects)
+	latency   service.Histogram
+}
+
+// inflight is one pipelined request awaiting its response.
+type inflight struct {
+	op     op
+	sentAt time.Time
+}
+
+type worker struct {
+	addr     string
+	dcs      []dcSetup
+	rng      *rand.Rand
+	depth    int
+	opTable  []op // weighted op lookup table
+	stats    workerStats
+	selects  map[string][][]byte // preserialized select requests per DC
+	places   map[string][]byte   // preserialized place request per DC
+	classes  map[string][]byte   // preserialized classes request per DC
+	pool     map[string][]int64  // live server-id pool per DC
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	reqBuf   []byte
+	bodyBuf  []byte
+	window   []inflight
+	deadline time.Time
+}
+
+func newWorker(addr string, dcs []dcSetup, weights [numOps]int, depth int, rng *rand.Rand) *worker {
+	w := &worker{
+		addr:    addr,
+		dcs:     dcs,
+		rng:     rng,
+		depth:   depth,
+		selects: make(map[string][][]byte, len(dcs)),
+		places:  make(map[string][]byte, len(dcs)),
+		classes: make(map[string][]byte, len(dcs)),
+		pool:    make(map[string][]int64, len(dcs)),
+		bodyBuf: make([]byte, 0, 1<<16),
+	}
+	for i := op(0); i < numOps; i++ {
+		for j := 0; j < weights[i]; j++ {
+			w.opTable = append(w.opTable, i)
+		}
+	}
+	jobTypes := []string{"short", "medium", "long"}
+	for _, dc := range dcs {
+		// A spread of select shapes: every job type at several demand sizes.
+		for _, jt := range jobTypes {
+			for _, cores := range []int{2, 8, 32, 128} {
+				body := fmt.Sprintf(`{"job_type":%q,"max_concurrent_cores":%d}`, jt, cores)
+				w.selects[dc.name] = append(w.selects[dc.name],
+					buildRequest("POST", "/v1/"+dc.name+"/select", body))
+			}
+		}
+		w.places[dc.name] = buildRequest("POST", "/v1/"+dc.name+"/place", `{"replication":3}`)
+		w.classes[dc.name] = buildRequest("GET", "/v1/"+dc.name+"/classes", "")
+		w.pool[dc.name] = append([]int64(nil), dc.servers...)
+	}
+	return w
+}
+
+func buildRequest(method, path, body string) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: harvestd\r\n", method, path)
+	if body != "" {
+		fmt.Fprintf(&b, "Content-Type: application/json\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+	} else {
+		b.WriteString("\r\n")
+	}
+	return b.Bytes()
+}
+
+func (w *worker) connect() error {
+	conn, err := net.Dial("tcp", w.addr)
+	if err != nil {
+		return err
+	}
+	// A hard deadline a little past the run end: a stalled server fails the
+	// run instead of hanging it (and the CI smoke job) forever.
+	conn.SetDeadline(w.deadline.Add(10 * time.Second))
+	w.conn = conn
+	w.br = bufio.NewReaderSize(conn, 1<<16)
+	w.bw = bufio.NewWriterSize(conn, 1<<16)
+	w.window = w.window[:0]
+	return nil
+}
+
+func (w *worker) run(deadline time.Time) {
+	w.deadline = deadline
+	if err := w.connect(); err != nil {
+		w.stats.transport++
+		return
+	}
+	defer w.conn.Close()
+	for time.Now().Before(deadline) {
+		// Fill the window, flush the batch, then drain it. One syscall pair
+		// per batch instead of per request is what buys the throughput.
+		for len(w.window) < w.depth {
+			if err := w.enqueue(); err != nil {
+				w.reconnect()
+				break
+			}
+		}
+		if err := w.bw.Flush(); err != nil {
+			w.reconnect()
+			continue
+		}
+		for len(w.window) > 0 {
+			if err := w.readOne(); err != nil {
+				w.reconnect()
+				break
+			}
+		}
+	}
+}
+
+func (w *worker) reconnect() {
+	w.stats.transport++
+	w.conn.Close()
+	if err := w.connect(); err != nil {
+		// Give the server a beat before the run loop retries.
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// enqueue writes one request into the batch buffer and records it in the
+// window.
+func (w *worker) enqueue() error {
+	o := w.opTable[w.rng.Intn(len(w.opTable))]
+	dc := w.dcs[w.rng.Intn(len(w.dcs))]
+	var req []byte
+	switch o {
+	case opSelect:
+		variants := w.selects[dc.name]
+		req = variants[w.rng.Intn(len(variants))]
+	case opPlace:
+		req = w.places[dc.name]
+	case opClasses:
+		req = w.classes[dc.name]
+	case opServer:
+		pool := w.pool[dc.name]
+		if len(pool) == 0 {
+			req = w.classes[dc.name]
+			o = opClasses
+			break
+		}
+		id := pool[w.rng.Intn(len(pool))]
+		w.reqBuf = w.reqBuf[:0]
+		w.reqBuf = append(w.reqBuf, "GET /v1/"...)
+		w.reqBuf = append(w.reqBuf, dc.name...)
+		w.reqBuf = append(w.reqBuf, "/servers/"...)
+		w.reqBuf = strconv.AppendInt(w.reqBuf, id, 10)
+		w.reqBuf = append(w.reqBuf, "/class HTTP/1.1\r\nHost: harvestd\r\n\r\n"...)
+		req = w.reqBuf
+	}
+	if _, err := w.bw.Write(req); err != nil {
+		return err
+	}
+	w.window = append(w.window, inflight{op: o, sentAt: time.Now()})
+	return nil
+}
+
+// readOne parses the next pipelined response, accounts it against the oldest
+// window entry, and feeds the server pool from place responses.
+func (w *worker) readOne() error {
+	status, body, err := readResponse(w.br, w.bodyBuf[:0])
+	if err != nil {
+		return err
+	}
+	w.bodyBuf = body[:0]
+	entry := w.window[0]
+	copy(w.window, w.window[1:])
+	w.window = w.window[:len(w.window)-1]
+
+	w.stats.requests[entry.op]++
+	if status >= 400 {
+		w.stats.errors[entry.op]++
+	} else if entry.op == opPlace {
+		w.harvestServers(body)
+	}
+	w.stats.latency.Observe(time.Since(entry.sentAt))
+	return nil
+}
+
+// harvestServers pulls replica IDs out of a place response body (a
+// hand-rolled scan — the hot loop never touches encoding/json) and tops up
+// the server pool the server-class queries draw from.
+func (w *worker) harvestServers(body []byte) {
+	i := bytes.Index(body, []byte(`"replicas":[`))
+	if i < 0 {
+		return
+	}
+	dcStart := bytes.Index(body, []byte(`"datacenter":"`))
+	if dcStart < 0 {
+		return
+	}
+	dcStart += len(`"datacenter":"`)
+	dcEnd := bytes.IndexByte(body[dcStart:], '"')
+	if dcEnd < 0 {
+		return
+	}
+	dc := string(body[dcStart : dcStart+dcEnd])
+	pool := w.pool[dc]
+	if len(pool) >= 1024 {
+		return
+	}
+	i += len(`"replicas":[`)
+	for i < len(body) && body[i] != ']' {
+		var id int64
+		start := i
+		for i < len(body) && body[i] >= '0' && body[i] <= '9' {
+			id = id*10 + int64(body[i]-'0')
+			i++
+		}
+		if i > start {
+			pool = append(pool, id)
+		} else {
+			// Anything but a bare non-negative integer: give up on this body
+			// rather than spinning on a byte the scanner doesn't consume.
+			break
+		}
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	w.pool[dc] = pool
+}
+
+var (
+	statusPrefix  = []byte("HTTP/1.1 ")
+	contentLenHdr = []byte("Content-Length: ")
+)
+
+// readResponse parses one HTTP/1.1 response with an explicit Content-Length
+// (which harvestd guarantees) and returns the status code and body. It reads
+// header lines with ReadSlice, so the per-response hot path allocates nothing
+// once the body buffer has grown to its steady-state size.
+func readResponse(br *bufio.Reader, bodyBuf []byte) (int, []byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(line) < 12 || !bytes.HasPrefix(line, statusPrefix) {
+		return 0, nil, fmt.Errorf("malformed status line %q", line)
+	}
+	status := 0
+	for _, c := range line[9:12] {
+		if c < '0' || c > '9' {
+			return 0, nil, fmt.Errorf("malformed status in %q", line)
+		}
+		status = status*10 + int(c-'0')
+	}
+	contentLength := -1
+	for {
+		line, err = br.ReadSlice('\n')
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(line) == 2 && line[0] == '\r' {
+			break
+		}
+		if bytes.HasPrefix(line, contentLenHdr) {
+			contentLength = 0
+			for _, c := range bytes.TrimSpace(line[len(contentLenHdr):]) {
+				if c < '0' || c > '9' {
+					return 0, nil, fmt.Errorf("malformed Content-Length %q", line)
+				}
+				contentLength = contentLength*10 + int(c-'0')
+			}
+		}
+	}
+	if contentLength < 0 {
+		return 0, nil, fmt.Errorf("response without Content-Length")
+	}
+	if cap(bodyBuf) < contentLength {
+		bodyBuf = make([]byte, contentLength)
+	}
+	bodyBuf = bodyBuf[:contentLength]
+	if _, err := io.ReadFull(br, bodyBuf); err != nil {
+		return 0, nil, err
+	}
+	return status, bodyBuf, nil
+}
+
+// jsonReport is the machine-readable run summary (-json); BENCH_PR2.json and
+// the CI smoke step consume it.
+type jsonReport struct {
+	DurationSeconds float64           `json:"duration_seconds"`
+	Workers         int               `json:"workers"`
+	Pipeline        int               `json:"pipeline"`
+	Requests        uint64            `json:"requests"`
+	Errors          uint64            `json:"errors"`
+	Reconnects      uint64            `json:"reconnects"`
+	QPS             float64           `json:"qps"`
+	LatencyUs       latencyReport     `json:"latency_us"`
+	Ops             map[string]opStat `json:"ops"`
+}
+
+type latencyReport struct {
+	Mean float64 `json:"mean"`
+	P50  uint64  `json:"p50"`
+	P90  uint64  `json:"p90"`
+	P99  uint64  `json:"p99"`
+	Max  uint64  `json:"max"`
+}
+
+type opStat struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+func report(results []*workerStats, duration time.Duration, workers, pipeline int, jsonOut bool) {
+	// Merge worker histograms into one for the global percentiles.
+	var merged service.Histogram
+	rep := jsonReport{
+		DurationSeconds: duration.Seconds(),
+		Workers:         workers,
+		Pipeline:        pipeline,
+		Ops:             make(map[string]opStat, numOps),
+	}
+	for i := op(0); i < numOps; i++ {
+		var s opStat
+		for _, ws := range results {
+			s.Requests += ws.requests[i]
+			s.Errors += ws.errors[i]
+		}
+		rep.Ops[opNames[i]] = s
+		rep.Requests += s.Requests
+		rep.Errors += s.Errors
+	}
+	for _, ws := range results {
+		rep.Reconnects += ws.transport
+		merged.Merge(&ws.latency)
+	}
+	rep.QPS = float64(rep.Requests) / duration.Seconds()
+	rep.LatencyUs = latencyReport{
+		Mean: merged.MeanMicros(),
+		P50:  merged.QuantileMicros(0.50),
+		P90:  merged.QuantileMicros(0.90),
+		P99:  merged.QuantileMicros(0.99),
+		Max:  merged.MaxMicros(),
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	fmt.Printf("loadgen: %d workers x pipeline %d for %v\n", workers, pipeline, duration)
+	fmt.Printf("  %d requests, %d errors, %d reconnects\n", rep.Requests, rep.Errors, rep.Reconnects)
+	fmt.Printf("  throughput: %.0f queries/sec\n", rep.QPS)
+	fmt.Printf("  latency: mean %.0fµs  p50 %dµs  p90 %dµs  p99 %dµs  max %dµs\n",
+		rep.LatencyUs.Mean, rep.LatencyUs.P50, rep.LatencyUs.P90, rep.LatencyUs.P99, rep.LatencyUs.Max)
+	for i := op(0); i < numOps; i++ {
+		s := rep.Ops[opNames[i]]
+		fmt.Printf("  %-8s %9d requests, %d errors\n", opNames[i], s.Requests, s.Errors)
+	}
+}

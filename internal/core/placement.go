@@ -146,6 +146,22 @@ func BuildPlacementScheme(infos []TenantPlacementInfo) (*PlacementScheme, error)
 	return scheme, nil
 }
 
+// CloneForConcurrentUse returns a scheme that shares s's immutable clustering
+// state — the cells, tenant infos, and tenant/server indexes, which are never
+// written after BuildPlacementScheme returns — but owns fresh scratch buffers.
+// PlaceReplicas mutates only the scratch state, so each clone may place
+// concurrently with the original and with other clones. This is the hook the
+// snapshot serving layer uses to keep a pool of placers per immutable
+// snapshot instead of serializing placements behind a lock.
+func (s *PlacementScheme) CloneForConcurrentUse() *PlacementScheme {
+	return &PlacementScheme{
+		Cells:        s.Cells,
+		infos:        s.infos,
+		tenantCell:   s.tenantCell,
+		serverTenant: s.serverTenant,
+	}
+}
+
 // CellOfTenant returns the (col, row) cell of a tenant.
 func (s *PlacementScheme) CellOfTenant(id tenant.ID) (col, row int, ok bool) {
 	cell, ok := s.tenantCell[id]

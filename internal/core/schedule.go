@@ -210,8 +210,20 @@ func (s *Selector) Headroom(jobType JobType, class *UtilizationClass, usage Clas
 
 // Select implements Algorithm 1. usage maps every class to its current state;
 // classes missing from the map are treated as having zero current utilization
-// and zero allocations.
+// and zero allocations. It draws on the selector's own RNG and is therefore
+// not safe for concurrent use; concurrent callers (the serving layer) use
+// SelectWith with per-request RNGs instead.
 func (s *Selector) Select(job JobRequest, usage map[ClassID]ClassUsage) Selection {
+	return s.SelectWith(s.rng, job, usage)
+}
+
+// SelectWith is Select with a caller-supplied RNG. Apart from the RNG the
+// selector is read-only, so any number of goroutines may call SelectWith on
+// the same selector concurrently as long as each brings its own *rand.Rand
+// (and treats the usage map as read-only). This is the hook the snapshot
+// serving layer uses to run class selection lock-free against an immutable
+// clustering.
+func (s *Selector) SelectWith(rng *rand.Rand, job JobRequest, usage map[ClassID]ClassUsage) Selection {
 	type candidate struct {
 		id           ClassID
 		headroom     float64
@@ -241,7 +253,7 @@ func (s *Selector) Select(job JobRequest, usage map[ClassID]ClassUsage) Selectio
 		for i, c := range fits {
 			weights[i] = c.weightedRoom
 		}
-		idx := stats.WeightedChoice(s.rng, weights)
+		idx := stats.WeightedChoice(rng, weights)
 		if idx >= 0 {
 			return Selection{
 				Classes:   []ClassID{fits[idx].id},
@@ -263,7 +275,7 @@ func (s *Selector) Select(job JobRequest, usage map[ClassID]ClassUsage) Selectio
 		var sel Selection
 		remaining := job.MaxConcurrentCores
 		for remaining > 0 {
-			idx := stats.WeightedChoice(s.rng, weights)
+			idx := stats.WeightedChoice(rng, weights)
 			if idx < 0 {
 				// Weighted room exhausted (e.g. remaining headroom only in
 				// zero-weight classes); fall back to any class with headroom.

@@ -72,6 +72,28 @@ func buildPopulation(dc string, s Scale) (*tenant.Population, *trace.Generator, 
 	return pop, gen, nil
 }
 
+// BuildPopulation generates the tenant population of a datacenter at the
+// requested scale. It is the bootstrap hook the serving layer (harvestd)
+// shares with the experiment harnesses, so the daemon serves exactly the
+// populations the figures are computed over.
+func BuildPopulation(dc string, s Scale) (*tenant.Population, *trace.Generator, error) {
+	return buildPopulation(dc, s.normalized())
+}
+
+// PlacementInfos extracts the per-tenant placement inputs (reimage rate, peak
+// CPU, harvestable space, servers) from a population — the input Algorithm 2's
+// 3x3 clustering works on. Shared by Figure 8 and the serving layer.
+func PlacementInfos(pop *tenant.Population) []core.TenantPlacementInfo {
+	infos := make([]core.TenantPlacementInfo, 0, len(pop.Tenants))
+	for _, t := range pop.Tenants {
+		infos = append(infos, core.TenantPlacementInfo{
+			ID: t.ID, Environment: t.Environment, ReimageRate: t.ReimagesPerServerMonth,
+			PeakCPU: t.PeakUtilization(), AvailableBytes: t.HarvestableBytes(), Servers: t.Servers,
+		})
+	}
+	return infos
+}
+
 // buildCluster wraps buildPopulation with the testbed server shape.
 func buildCluster(dc string, s Scale) (*cluster.Cluster, *trace.Generator, error) {
 	pop, gen, err := buildPopulation(dc, s)

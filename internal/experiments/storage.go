@@ -35,14 +35,7 @@ func Figure8(s Scale) (*Figure8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	infos := make([]core.TenantPlacementInfo, 0, len(pop.Tenants))
-	for _, t := range pop.Tenants {
-		infos = append(infos, core.TenantPlacementInfo{
-			ID: t.ID, Environment: t.Environment, ReimageRate: t.ReimagesPerServerMonth,
-			PeakCPU: t.PeakUtilization(), AvailableBytes: t.HarvestableBytes(), Servers: t.Servers,
-		})
-	}
-	scheme, err := core.BuildPlacementScheme(infos)
+	scheme, err := core.BuildPlacementScheme(PlacementInfos(pop))
 	if err != nil {
 		return nil, err
 	}

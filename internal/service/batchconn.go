@@ -1,0 +1,82 @@
+package service
+
+import (
+	"net"
+	"sync"
+)
+
+// BatchListener wraps an accepted connection in a write-behind buffer that
+// flushes when the serving goroutine next reads. net/http flushes its own
+// buffer — one write syscall — at the end of every response, which caps a
+// pipelining client at roughly one syscall pair per request. With this
+// wrapper the responses to a pipelined batch accumulate in memory and go out
+// in a single write when the server turns around to read the next batch, the
+// same trick memcached and Redis use. Flushing on read keeps it
+// deadlock-free: a response can only be parked while the connection's server
+// goroutine is still producing it; the moment the server would block waiting
+// for the client, the buffer drains first.
+type BatchListener struct {
+	net.Listener
+}
+
+// Accept wraps the next connection.
+func (l BatchListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &batchConn{Conn: c}, nil
+}
+
+// batchFlushLimit flushes eagerly once this much response data is parked, so
+// a burst of large responses cannot grow the buffer without bound.
+const batchFlushLimit = 64 << 10
+
+// batchConn buffers writes until the next Read (or Close). The mutex makes
+// Write/Read safe for net/http's background connection reader, which can run
+// concurrently with the handler's writes.
+type batchConn struct {
+	net.Conn
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (c *batchConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.buf = append(c.buf, p...)
+	var err error
+	if len(c.buf) >= batchFlushLimit {
+		err = c.flushLocked()
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (c *batchConn) flushLocked() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	_, err := c.Conn.Write(c.buf)
+	c.buf = c.buf[:0]
+	return err
+}
+
+func (c *batchConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	err := c.flushLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *batchConn) Close() error {
+	c.mu.Lock()
+	c.flushLocked()
+	c.mu.Unlock()
+	return c.Conn.Close()
+}

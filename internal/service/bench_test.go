@@ -1,0 +1,104 @@
+// Serving-side microbenchmarks: the in-process cost of the three snapshot
+// operations the HTTP API fans into. BENCH_PR2.json records the numbers
+// together with the end-to-end loadgen results (which add the HTTP layer on
+// top of these).
+package service_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"harvest/internal/core"
+	"harvest/internal/service"
+)
+
+// BenchmarkServiceSelect measures concurrent class selection through the
+// snapshot layer (pooled RNGs, shared immutable usage view).
+func BenchmarkServiceSelect(b *testing.B) {
+	svc := newTestService(b)
+	job := core.JobRequest{Type: core.JobMedium, MaxConcurrentCores: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := svc.Select("DC-9", job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServicePlace measures concurrent replica placement through the
+// snapshot layer (pooled placement-scheme clones).
+func BenchmarkServicePlace(b *testing.B) {
+	svc := newTestService(b)
+	c := core.PlacementConstraints{Replication: 3, Writer: -1, EnforceEnvironment: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := svc.Place("DC-9", c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotSwap measures what a reader pays while snapshots are being
+// published underneath it: parallel readers run class selection in a loop
+// while the benchmark goroutine keeps republishing snapshots via Refresh.
+// The interesting result is that the reader path costs the same as in
+// BenchmarkServiceSelect — the swap is invisible to readers.
+func BenchmarkSnapshotSwap(b *testing.B) {
+	svc := newTestService(b)
+	job := core.JobRequest{Type: core.JobShort, MaxConcurrentCores: 4}
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			if err := svc.Refresh("DC-9"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := svc.Select("DC-9", job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	stop.Store(true)
+	<-done
+	snap, _ := svc.Snapshot("DC-9")
+	b.ReportMetric(float64(snap.Generation), "generations")
+}
+
+// BenchmarkSnapshotBuild measures one full snapshot rebuild (classification,
+// K-Means, placement clustering) — the work the refresher does off the query
+// path, and the denominator for choosing a refresh period.
+func BenchmarkSnapshotBuild(b *testing.B) {
+	svc := newTestService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Refresh("DC-9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var sinkHistogram service.Histogram
+
+// BenchmarkHistogramObserve measures the per-request metrics cost.
+func BenchmarkHistogramObserve(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkHistogram.Observe(12345)
+	}
+}

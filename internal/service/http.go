@@ -1,0 +1,457 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/tenant"
+)
+
+// API is the HTTP front end of the characterization service: the REST
+// surface YARN-H and HDFS-H poll in the paper's deployment (§6.2), stdlib
+// only. Routes:
+//
+//	GET  /v1/datacenters               — served datacenters
+//	GET  /v1/{dc}/classes              — the DC's utilization classes
+//	GET  /v1/{dc}/servers/{id}/class   — a server's class
+//	POST /v1/{dc}/select               — class selection (Alg. 1)
+//	POST /v1/{dc}/place                — replica placement (Alg. 2)
+//	GET  /healthz                      — liveness
+//	GET  /metrics                      — counters, latency quantiles, snapshot ages
+type API struct {
+	svc   *Service
+	mux   *http.ServeMux
+	start time.Time
+
+	endpoints map[string]*EndpointMetrics
+}
+
+// apiEndpoints names the instrumented endpoints, in /metrics display order.
+var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "place", "healthz", "metrics"}
+
+// NewAPI wraps a service in its HTTP handler.
+func NewAPI(svc *Service) *API {
+	a := &API{
+		svc:       svc,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		endpoints: make(map[string]*EndpointMetrics, len(apiEndpoints)),
+	}
+	for _, name := range apiEndpoints {
+		a.endpoints[name] = &EndpointMetrics{}
+	}
+	a.mux.HandleFunc("GET /v1/datacenters", a.instrument("datacenters", a.handleDatacenters))
+	a.mux.HandleFunc("GET /v1/{dc}/classes", a.instrument("classes", a.handleClasses))
+	a.mux.HandleFunc("GET /v1/{dc}/servers/{id}/class", a.instrument("server_class", a.handleServerClass))
+	a.mux.HandleFunc("POST /v1/{dc}/select", a.instrument("select", a.handleSelect))
+	a.mux.HandleFunc("POST /v1/{dc}/place", a.instrument("place", a.handlePlace))
+	a.mux.HandleFunc("GET /healthz", a.instrument("healthz", a.handleHealthz))
+	a.mux.HandleFunc("GET /metrics", a.instrument("metrics", a.handleMetrics))
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// statusWriter captures the response status for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+var statusWriters = sync.Pool{New: func() any { return &statusWriter{} }}
+
+func (a *API) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := a.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := statusWriters.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status = w, http.StatusOK
+		h(sw, r)
+		m.observe(time.Since(start), sw.status)
+		sw.ResponseWriter = nil
+		statusWriters.Put(sw)
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+var bodyBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxBodyBytes caps POST bodies: the select/place requests are tens of
+// bytes, so 1 MiB is generous while keeping an abusive client from growing
+// the pooled buffers without bound.
+const maxBodyBytes = 1 << 20
+
+// decodeBody reads and unmarshals a request body through a pooled buffer.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	buf := bodyBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	_, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err == nil {
+		err = json.Unmarshal(buf.Bytes(), v)
+	}
+	// Never park an abnormally grown buffer in the pool.
+	if buf.Cap() <= 64<<10 {
+		bodyBufs.Put(buf)
+	}
+	return err
+}
+
+// jsonScratch pools the encoder and its backing buffer so the hot query
+// endpoints serialize without a per-response allocation of either.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonScratches = sync.Pool{New: func() any {
+	s := &jsonScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	return s
+}}
+
+// writeJSON serializes v up front so every response carries an explicit
+// Content-Length and goes out in one write — never chunked, which keeps
+// pipelined clients (cmd/loadgen) trivial to parse against.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	s := jsonScratches.Get().(*jsonScratch)
+	s.buf.Reset()
+	if err := s.enc.Encode(v); err != nil {
+		jsonScratches.Put(s)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(s.buf.Len()))
+	w.WriteHeader(status)
+	w.Write(s.buf.Bytes())
+	jsonScratches.Put(s)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// snapshotFor resolves the {dc} path segment, writing the 404 itself when the
+// datacenter is unknown.
+func (a *API) snapshotFor(w http.ResponseWriter, r *http.Request) (*Snapshot, bool) {
+	dc := r.PathValue("dc")
+	snap, ok := a.svc.Snapshot(dc)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
+		return nil, false
+	}
+	return snap, true
+}
+
+type datacentersResponse struct {
+	Datacenters []string `json:"datacenters"`
+}
+
+func (a *API) handleDatacenters(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, datacentersResponse{Datacenters: a.svc.Datacenters()})
+}
+
+// classInfo is the wire form of one utilization class plus its live usage.
+type classInfo struct {
+	ID                 int     `json:"id"`
+	Pattern            string  `json:"pattern"`
+	NumTenants         int     `json:"num_tenants"`
+	NumServers         int     `json:"num_servers"`
+	AvgUtilization     float64 `json:"avg_utilization"`
+	PeakUtilization    float64 `json:"peak_utilization"`
+	CurrentUtilization float64 `json:"current_utilization"`
+	// ExampleServer is one member server, a convenient probe target for
+	// /servers/{id}/class clients (the load generator uses it to seed its
+	// server pool).
+	ExampleServer int64 `json:"example_server"`
+}
+
+type classesResponse struct {
+	Datacenter  string      `json:"datacenter"`
+	Generation  uint64      `json:"generation"`
+	AsOfSeconds float64     `json:"as_of_seconds"`
+	Classes     []classInfo `json:"classes"`
+}
+
+func classInfoOf(snap *Snapshot, cls *core.UtilizationClass) classInfo {
+	info := classInfo{
+		ID:                 int(cls.ID),
+		Pattern:            cls.Pattern.String(),
+		NumTenants:         len(cls.Tenants),
+		NumServers:         cls.NumServers(),
+		AvgUtilization:     cls.AvgUtilization,
+		PeakUtilization:    cls.PeakUtilization,
+		CurrentUtilization: snap.Usage[cls.ID].CurrentUtilization,
+		ExampleServer:      -1,
+	}
+	if len(cls.Servers) > 0 {
+		info.ExampleServer = int64(cls.Servers[0])
+	}
+	return info
+}
+
+func (a *API) handleClasses(w http.ResponseWriter, r *http.Request) {
+	snap, ok := a.snapshotFor(w, r)
+	if !ok {
+		return
+	}
+	resp := classesResponse{
+		Datacenter:  snap.Datacenter,
+		Generation:  snap.Generation,
+		AsOfSeconds: snap.AsOf.Seconds(),
+		Classes:     make([]classInfo, 0, len(snap.Clustering.Classes)),
+	}
+	for _, cls := range snap.Clustering.Classes {
+		resp.Classes = append(resp.Classes, classInfoOf(snap, cls))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type serverClassResponse struct {
+	Datacenter string    `json:"datacenter"`
+	Generation uint64    `json:"generation"`
+	Server     int64     `json:"server"`
+	Class      classInfo `json:"class"`
+}
+
+func (a *API) handleServerClass(w http.ResponseWriter, r *http.Request) {
+	snap, ok := a.snapshotFor(w, r)
+	if !ok {
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "server id must be an integer")
+		return
+	}
+	cls, ok := snap.ClassOfServer(tenant.ServerID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown server "+strconv.FormatInt(id, 10)+" in "+snap.Datacenter)
+		return
+	}
+	writeJSON(w, http.StatusOK, serverClassResponse{
+		Datacenter: snap.Datacenter,
+		Generation: snap.Generation,
+		Server:     id,
+		Class:      classInfoOf(snap, cls),
+	})
+}
+
+// selectRequest asks for classes to host a job. The job's length category
+// comes either from an explicit type ("short"/"medium"/"long") or, as in the
+// paper, from its previous run time classified against the thresholds; an
+// absent type and absent last run means medium (the first-guess rule).
+type selectRequest struct {
+	JobType            string  `json:"job_type"`
+	LastRunSeconds     float64 `json:"last_run_seconds"`
+	MaxConcurrentCores float64 `json:"max_concurrent_cores"`
+}
+
+type selectResponse struct {
+	Datacenter  string    `json:"datacenter"`
+	Generation  uint64    `json:"generation"`
+	JobType     string    `json:"job_type"`
+	Satisfiable bool      `json:"satisfiable"`
+	Classes     []int     `json:"classes"`
+	Headrooms   []float64 `json:"headrooms"`
+}
+
+func (a *API) handleSelect(w http.ResponseWriter, r *http.Request) {
+	snap, ok := a.snapshotFor(w, r)
+	if !ok {
+		return
+	}
+	var req selectRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.MaxConcurrentCores <= 0 {
+		writeError(w, http.StatusBadRequest, "max_concurrent_cores must be positive")
+		return
+	}
+	var jobType core.JobType
+	switch req.JobType {
+	case "short":
+		jobType = core.JobShort
+	case "medium":
+		jobType = core.JobMedium
+	case "long":
+		jobType = core.JobLong
+	case "":
+		jobType = core.ClassifyLength(time.Duration(req.LastRunSeconds*float64(time.Second)), snap.Thresholds)
+	default:
+		writeError(w, http.StatusBadRequest, "job_type must be short, medium or long")
+		return
+	}
+
+	sel := a.svc.SelectOn(snap, core.JobRequest{
+		Type:               jobType,
+		MaxConcurrentCores: req.MaxConcurrentCores,
+	})
+	resp := selectResponse{
+		Datacenter:  snap.Datacenter,
+		Generation:  snap.Generation,
+		JobType:     jobType.String(),
+		Satisfiable: !sel.Empty(),
+		Classes:     make([]int, len(sel.Classes)),
+		Headrooms:   sel.Headrooms,
+	}
+	for i, id := range sel.Classes {
+		resp.Classes[i] = int(id)
+	}
+	if resp.Headrooms == nil {
+		resp.Headrooms = []float64{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxReplication bounds a place request. The paper evaluates R=3 and R=4;
+// 64 leaves room for exotic experiments while keeping a client from forcing
+// huge allocations and O(R·servers) placement scans per request.
+const maxReplication = 64
+
+// placeRequest asks for replica targets for a new block. Writer is the
+// creating server (optional; -1 or absent means an external writer).
+type placeRequest struct {
+	Replication        int   `json:"replication"`
+	Writer             int64 `json:"writer"`
+	RelaxedEnvironment bool  `json:"relaxed_environment"`
+}
+
+type placeResponse struct {
+	Datacenter string  `json:"datacenter"`
+	Generation uint64  `json:"generation"`
+	Replicas   []int64 `json:"replicas"`
+}
+
+func (a *API) handlePlace(w http.ResponseWriter, r *http.Request) {
+	snap, ok := a.snapshotFor(w, r)
+	if !ok {
+		return
+	}
+	req := placeRequest{Writer: -1}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Replication <= 0 || req.Replication > maxReplication {
+		writeError(w, http.StatusBadRequest,
+			"replication must be in [1, "+strconv.Itoa(maxReplication)+"]")
+		return
+	}
+	replicas, err := a.svc.PlaceOn(snap, core.PlacementConstraints{
+		Replication:        req.Replication,
+		Writer:             tenant.ServerID(req.Writer),
+		EnforceEnvironment: !req.RelaxedEnvironment,
+	})
+	if err != nil {
+		// Placement exhausted the diversity space: a conflict with current
+		// cluster state, not a malformed request.
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	resp := placeResponse{
+		Datacenter: snap.Datacenter,
+		Generation: snap.Generation,
+		Replicas:   make([]int64, len(replicas)),
+	}
+	for i, s := range replicas {
+		resp.Replicas[i] = int64(s)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type healthzResponse struct {
+	Status      string `json:"status"`
+	Datacenters int    `json:"datacenters"`
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{Status: "ok", Datacenters: len(a.svc.Datacenters())})
+}
+
+// endpointStats is the wire form of one endpoint's counters.
+type endpointStats struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	MeanUs   float64 `json:"mean_us"`
+	P50Us    uint64  `json:"p50_us"`
+	P99Us    uint64  `json:"p99_us"`
+	MaxUs    uint64  `json:"max_us"`
+}
+
+// shardStatsJSON is the wire form of one shard's snapshot state.
+type shardStatsJSON struct {
+	Generation    uint64  `json:"generation"`
+	AgeSeconds    float64 `json:"age_seconds"`
+	AsOfSeconds   float64 `json:"as_of_seconds"`
+	BuildMs       float64 `json:"build_ms"`
+	Refreshes     uint64  `json:"refreshes"`
+	RefreshErrors uint64  `json:"refresh_errors"`
+	Classes       int     `json:"classes"`
+	Servers       int     `json:"servers"`
+}
+
+type metricsResponse struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	TotalRequests uint64                    `json:"total_requests"`
+	QPS           float64                   `json:"qps"`
+	Endpoints     map[string]endpointStats  `json:"endpoints"`
+	Datacenters   map[string]shardStatsJSON `json:"datacenters"`
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(a.start).Seconds()
+	resp := metricsResponse{
+		UptimeSeconds: uptime,
+		Endpoints:     make(map[string]endpointStats, len(a.endpoints)),
+		Datacenters:   make(map[string]shardStatsJSON, len(a.svc.Datacenters())),
+	}
+	for _, name := range apiEndpoints {
+		m := a.endpoints[name]
+		resp.TotalRequests += m.Requests.Load()
+		resp.Endpoints[name] = endpointStats{
+			Requests: m.Requests.Load(),
+			Errors:   m.Errors.Load(),
+			MeanUs:   m.Latency.MeanMicros(),
+			P50Us:    m.Latency.QuantileMicros(0.50),
+			P99Us:    m.Latency.QuantileMicros(0.99),
+			MaxUs:    m.Latency.MaxMicros(),
+		}
+	}
+	if uptime > 0 {
+		resp.QPS = float64(resp.TotalRequests) / uptime
+	}
+	for _, dc := range a.svc.Datacenters() {
+		st, ok := a.svc.Stats(dc)
+		if !ok {
+			continue
+		}
+		resp.Datacenters[dc] = shardStatsJSON{
+			Generation:    st.Generation,
+			AgeSeconds:    st.Age.Seconds(),
+			AsOfSeconds:   st.AsOf.Seconds(),
+			BuildMs:       float64(st.BuildDuration.Microseconds()) / 1000,
+			Refreshes:     st.Refreshes,
+			RefreshErrors: st.RefreshErrors,
+			Classes:       st.Classes,
+			Servers:       st.Servers,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

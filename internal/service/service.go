@@ -1,0 +1,296 @@
+package service
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/experiments"
+	"harvest/internal/signalproc"
+	"harvest/internal/tenant"
+	"harvest/internal/trace"
+)
+
+// Config parameterizes the characterization service.
+type Config struct {
+	// Datacenters lists the profiles to serve. Empty means every built-in
+	// profile (DC-0 … DC-9).
+	Datacenters []string
+	// Scale sizes the generated populations, exactly as in the experiment
+	// harnesses. The zero value normalizes to quick scale.
+	Scale experiments.Scale
+	// RefreshPeriod is the wall-clock interval between snapshot rebuilds
+	// (hours in the paper's deployment; seconds in tests). Zero disables the
+	// background refresher — snapshots then only change via Refresh.
+	RefreshPeriod time.Duration
+	// SimStep is how far each refresh advances the telemetry position (AsOf)
+	// in the cyclic one-month trace. Zero means 4h, the paper's "every few
+	// hours" re-characterization cadence.
+	SimStep time.Duration
+	// Clustering and Selector configure the core algorithms.
+	Clustering core.ClusteringConfig
+	Selector   core.SelectorConfig
+	// Seed drives population generation and the per-request RNG pool.
+	Seed int64
+}
+
+// DefaultConfig serves every datacenter at quick scale, refreshing every
+// 30 seconds (a compressed stand-in for the paper's every-few-hours cadence).
+func DefaultConfig() Config {
+	return Config{
+		Scale:         experiments.QuickScale(),
+		RefreshPeriod: 30 * time.Second,
+		SimStep:       4 * time.Hour,
+		Clustering:    core.DefaultClusteringConfig(),
+		Selector:      core.DefaultSelectorConfig(),
+		Seed:          1,
+	}
+}
+
+// shard is one datacenter's slot: the published snapshot plus the private
+// rebuild state. Only the shard's refresher goroutine (or Refresh callers
+// serialized by mu) touches pop; readers only ever Load the pointer.
+type shard struct {
+	dc   string
+	snap atomic.Pointer[Snapshot]
+
+	mu  sync.Mutex // serializes rebuilds; never held on the query path
+	pop *tenant.Population
+
+	refreshes     atomic.Uint64
+	refreshErrors atomic.Uint64
+}
+
+// Service is the characterization service: per-datacenter snapshot shards, a
+// background refresher per shard, and a pool of per-request RNGs.
+type Service struct {
+	cfg    Config
+	order  []string
+	shards map[string]*shard
+
+	rngs    sync.Pool
+	rngSeed atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	started  atomic.Bool
+}
+
+// New builds the boot snapshot for every datacenter synchronously, so a
+// service that returns without error is immediately queryable. Call Start to
+// launch the background refreshers and Close to stop them.
+func New(cfg Config) (*Service, error) {
+	if len(cfg.Datacenters) == 0 {
+		for _, p := range trace.BuiltinProfiles() {
+			cfg.Datacenters = append(cfg.Datacenters, p.Name)
+		}
+	}
+	if cfg.SimStep <= 0 {
+		cfg.SimStep = 4 * time.Hour
+	}
+	// Fill unset fields individually so a caller customizing one knob (say,
+	// Thresholds) keeps it; only the genuinely zero pieces take defaults.
+	// ReserveFraction is left alone — zero is a legitimate "no reserve".
+	defSel := core.DefaultSelectorConfig()
+	if cfg.Selector.CoresPerServer <= 0 {
+		cfg.Selector.CoresPerServer = defSel.CoresPerServer
+	}
+	if cfg.Selector.Weights == nil {
+		cfg.Selector.Weights = defSel.Weights
+	}
+	if cfg.Selector.Thresholds == (core.LengthThresholds{}) {
+		cfg.Selector.Thresholds = defSel.Thresholds
+	}
+	if cfg.Clustering.Classifier == (signalproc.ClassifierConfig{}) {
+		cfg.Clustering.Classifier = signalproc.DefaultClassifierConfig()
+	}
+
+	s := &Service{
+		cfg:    cfg,
+		shards: make(map[string]*shard, len(cfg.Datacenters)),
+		stop:   make(chan struct{}),
+	}
+	s.rngSeed.Store(cfg.Seed)
+	s.rngs.New = func() any {
+		return rand.New(rand.NewSource(s.rngSeed.Add(1)))
+	}
+
+	for _, dc := range cfg.Datacenters {
+		if _, dup := s.shards[dc]; dup {
+			return nil, fmt.Errorf("service: duplicate datacenter %q", dc)
+		}
+		pop, _, err := experiments.BuildPopulation(dc, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{dc: dc, pop: pop}
+		snap, err := buildSnapshot(dc, pop, cfg, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		sh.snap.Store(snap)
+		s.order = append(s.order, dc)
+		s.shards[dc] = sh
+	}
+	return s, nil
+}
+
+// Start launches one refresher goroutine per shard. It is a no-op when the
+// refresh period is zero or the service is already started.
+func (s *Service) Start() {
+	if s.cfg.RefreshPeriod <= 0 || !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for _, dc := range s.order {
+		sh := s.shards[dc]
+		s.wg.Add(1)
+		go s.refreshLoop(sh)
+	}
+}
+
+// Close stops the refreshers and waits for them to exit. Queries remain
+// valid after Close; they simply stop seeing new generations.
+func (s *Service) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+func (s *Service) refreshLoop(sh *shard) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.RefreshPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			// On failure the previous snapshot keeps serving; refreshShard
+			// counts the error, and the log line makes the staleness visible
+			// without watching /metrics.
+			if err := s.refreshShard(sh); err != nil {
+				log.Printf("service: %s: refresh failed, serving previous snapshot: %v", sh.dc, err)
+			}
+		}
+	}
+}
+
+// refreshShard builds the shard's next snapshot off to the side and publishes
+// it with one atomic swap. Readers racing with the swap see either the old or
+// the new snapshot, both fully built.
+func (s *Service) refreshShard(sh *shard) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	prev := sh.snap.Load()
+	next, err := buildSnapshot(sh.dc, sh.pop, s.cfg, prev.Generation+1, prev.AsOf+s.cfg.SimStep)
+	if err != nil {
+		sh.refreshErrors.Add(1)
+		return err
+	}
+	sh.snap.Store(next)
+	sh.refreshes.Add(1)
+	return nil
+}
+
+// Refresh synchronously rebuilds one datacenter's snapshot (tests and
+// operational tooling; the background refresher normally does this).
+func (s *Service) Refresh(dc string) error {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	return s.refreshShard(sh)
+}
+
+// Datacenters returns the served datacenter names in configuration order.
+func (s *Service) Datacenters() []string { return s.order }
+
+// Snapshot returns the current snapshot for a datacenter. The result is
+// immutable and remains valid (if stale) indefinitely.
+func (s *Service) Snapshot(dc string) (*Snapshot, bool) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return nil, false
+	}
+	return sh.snap.Load(), true
+}
+
+// ShardStats reports one shard's refresh counters for /metrics.
+type ShardStats struct {
+	Generation    uint64
+	Age           time.Duration
+	AsOf          time.Duration
+	BuildDuration time.Duration
+	Refreshes     uint64
+	RefreshErrors uint64
+	Classes       int
+	Servers       int
+}
+
+// Stats returns the refresh counters for a datacenter.
+func (s *Service) Stats(dc string) (ShardStats, bool) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return ShardStats{}, false
+	}
+	snap := sh.snap.Load()
+	servers := 0
+	for _, cls := range snap.Clustering.Classes {
+		servers += cls.NumServers()
+	}
+	return ShardStats{
+		Generation:    snap.Generation,
+		Age:           snap.Age(),
+		AsOf:          snap.AsOf,
+		BuildDuration: snap.BuildDuration,
+		Refreshes:     sh.refreshes.Load(),
+		RefreshErrors: sh.refreshErrors.Load(),
+		Classes:       len(snap.Clustering.Classes),
+		Servers:       servers,
+	}, true
+}
+
+// SelectOn runs class selection (Alg. 1) against a snapshot the caller
+// already holds, with a pooled RNG. The HTTP handlers use this so a request
+// resolves its snapshot exactly once.
+func (s *Service) SelectOn(snap *Snapshot, job core.JobRequest) core.Selection {
+	rng := s.rngs.Get().(*rand.Rand)
+	sel := snap.Select(rng, job)
+	s.rngs.Put(rng)
+	return sel
+}
+
+// PlaceOn runs replica placement (Alg. 2) against a snapshot the caller
+// already holds, with a pooled RNG.
+func (s *Service) PlaceOn(snap *Snapshot, c core.PlacementConstraints) ([]tenant.ServerID, error) {
+	rng := s.rngs.Get().(*rand.Rand)
+	replicas, err := snap.Place(rng, c)
+	s.rngs.Put(rng)
+	return replicas, err
+}
+
+// Select answers a class-selection query (Alg. 1) against the datacenter's
+// current snapshot, and returns that snapshot so the caller can report the
+// generation it was answered at.
+func (s *Service) Select(dc string, job core.JobRequest) (core.Selection, *Snapshot, error) {
+	snap, ok := s.Snapshot(dc)
+	if !ok {
+		return core.Selection{}, nil, fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	return s.SelectOn(snap, job), snap, nil
+}
+
+// Place answers a replica-placement query (Alg. 2) against the datacenter's
+// current snapshot.
+func (s *Service) Place(dc string, c core.PlacementConstraints) ([]tenant.ServerID, *Snapshot, error) {
+	snap, ok := s.Snapshot(dc)
+	if !ok {
+		return nil, nil, fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	replicas, err := s.PlaceOn(snap, c)
+	return replicas, snap, err
+}

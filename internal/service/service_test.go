@@ -1,0 +1,538 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/experiments"
+	"harvest/internal/service"
+	"harvest/internal/tenant"
+)
+
+func testConfig() service.Config {
+	cfg := service.DefaultConfig()
+	cfg.Datacenters = []string{"DC-9"}
+	cfg.Scale = experiments.Scale{Datacenter: 0.05, Seed: 1}
+	cfg.RefreshPeriod = 0 // tests refresh explicitly
+	return cfg
+}
+
+func newTestService(t testing.TB) *service.Service {
+	t.Helper()
+	svc, err := service.New(testConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return svc
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func decode(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("unmarshal %q: %v", data, err)
+	}
+}
+
+func TestDatacentersEndpoint(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	resp, body := get(t, srv.URL+"/v1/datacenters")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("Content-Type") != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", resp.Header.Get("Content-Type"))
+	}
+	var dcl struct {
+		Datacenters []string `json:"datacenters"`
+	}
+	decode(t, body, &dcl)
+	if len(dcl.Datacenters) != 1 || dcl.Datacenters[0] != "DC-9" {
+		t.Errorf("datacenters = %v, want [DC-9]", dcl.Datacenters)
+	}
+}
+
+func TestClassesEndpoint(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	resp, body := get(t, srv.URL+"/v1/DC-9/classes")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, body)
+	}
+	var classes struct {
+		Datacenter string `json:"datacenter"`
+		Generation uint64 `json:"generation"`
+		Classes    []struct {
+			ID              int     `json:"id"`
+			Pattern         string  `json:"pattern"`
+			NumServers      int     `json:"num_servers"`
+			PeakUtilization float64 `json:"peak_utilization"`
+			ExampleServer   int64   `json:"example_server"`
+		} `json:"classes"`
+	}
+	decode(t, body, &classes)
+	if classes.Datacenter != "DC-9" || classes.Generation != 1 {
+		t.Errorf("datacenter/generation = %s/%d, want DC-9/1", classes.Datacenter, classes.Generation)
+	}
+	if len(classes.Classes) == 0 {
+		t.Fatal("no classes returned")
+	}
+	for _, c := range classes.Classes {
+		if c.Pattern != "constant" && c.Pattern != "periodic" && c.Pattern != "unpredictable" {
+			t.Errorf("class %d: bad pattern %q", c.ID, c.Pattern)
+		}
+		if c.NumServers <= 0 || c.ExampleServer < 0 {
+			t.Errorf("class %d: servers=%d example=%d", c.ID, c.NumServers, c.ExampleServer)
+		}
+	}
+
+	// Unknown datacenter: 404 with a JSON error body.
+	resp, body = get(t, srv.URL+"/v1/DC-99/classes")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown DC status = %d, want 404", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	decode(t, body, &e)
+	if e.Error == "" {
+		t.Error("404 body carries no error message")
+	}
+}
+
+func TestServerClassEndpoint(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	snap, _ := svc.Snapshot("DC-9")
+	known := snap.Clustering.Classes[0].Servers[0]
+
+	resp, body := get(t, fmt.Sprintf("%s/v1/DC-9/servers/%d/class", srv.URL, known))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, body)
+	}
+	var sc struct {
+		Server int64 `json:"server"`
+		Class  struct {
+			ID int `json:"id"`
+		} `json:"class"`
+	}
+	decode(t, body, &sc)
+	if sc.Server != int64(known) {
+		t.Errorf("server = %d, want %d", sc.Server, known)
+	}
+	if got, _ := snap.Clustering.ClassOfServer(known); int(got) != sc.Class.ID {
+		t.Errorf("class = %d, want %d", sc.Class.ID, got)
+	}
+
+	if resp, _ := get(t, srv.URL+"/v1/DC-9/servers/99999999/class"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown server status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv.URL+"/v1/DC-9/servers/notanumber/class"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-numeric server status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSelectEndpoint(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	resp, body := postJSON(t, srv.URL+"/v1/DC-9/select", `{"job_type":"medium","max_concurrent_cores":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, body)
+	}
+	var sel struct {
+		JobType     string    `json:"job_type"`
+		Satisfiable bool      `json:"satisfiable"`
+		Classes     []int     `json:"classes"`
+		Headrooms   []float64 `json:"headrooms"`
+	}
+	decode(t, body, &sel)
+	if sel.JobType != "medium" {
+		t.Errorf("job_type = %q, want medium", sel.JobType)
+	}
+	if !sel.Satisfiable || len(sel.Classes) == 0 || len(sel.Classes) != len(sel.Headrooms) {
+		t.Errorf("small job unsatisfiable: %+v", sel)
+	}
+
+	// A last-run duration instead of an explicit type: 60s is short.
+	resp, body = postJSON(t, srv.URL+"/v1/DC-9/select", `{"last_run_seconds":60,"max_concurrent_cores":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	decode(t, body, &sel)
+	if sel.JobType != "short" {
+		t.Errorf("job_type = %q, want short (60s last run)", sel.JobType)
+	}
+
+	// An impossible demand still returns 200, marked unsatisfiable.
+	resp, body = postJSON(t, srv.URL+"/v1/DC-9/select", `{"job_type":"long","max_concurrent_cores":1e12}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	decode(t, body, &sel)
+	if sel.Satisfiable {
+		t.Error("1e12-core job reported satisfiable")
+	}
+
+	for body, want := range map[string]int{
+		`{"job_type":"weird","max_concurrent_cores":4}`: http.StatusBadRequest,
+		`{"job_type":"medium"}`:                         http.StatusBadRequest,
+		`not json`:                                      http.StatusBadRequest,
+	} {
+		if resp, _ := postJSON(t, srv.URL+"/v1/DC-9/select", body); resp.StatusCode != want {
+			t.Errorf("select %s: status = %d, want %d", body, resp.StatusCode, want)
+		}
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/DC-99/select", `{"job_type":"medium","max_concurrent_cores":4}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown DC select status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPlaceEndpoint(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	resp, body := postJSON(t, srv.URL+"/v1/DC-9/place", `{"replication":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, body)
+	}
+	var pl struct {
+		Replicas []int64 `json:"replicas"`
+	}
+	decode(t, body, &pl)
+	if len(pl.Replicas) != 3 {
+		t.Fatalf("replicas = %v, want 3", pl.Replicas)
+	}
+	seen := map[int64]bool{}
+	for _, r := range pl.Replicas {
+		if seen[r] {
+			t.Errorf("duplicate replica %d in %v", r, pl.Replicas)
+		}
+		seen[r] = true
+	}
+
+	// A known writer gets the first replica (locality).
+	snap, _ := svc.Snapshot("DC-9")
+	writer := snap.Clustering.Classes[0].Servers[0]
+	resp, body = postJSON(t, srv.URL+"/v1/DC-9/place", fmt.Sprintf(`{"replication":3,"writer":%d}`, writer))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	decode(t, body, &pl)
+	if len(pl.Replicas) != 3 || pl.Replicas[0] != int64(writer) {
+		t.Errorf("replicas = %v, want writer %d first", pl.Replicas, writer)
+	}
+
+	if resp, _ := postJSON(t, srv.URL+"/v1/DC-9/place", `{"replication":0}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("replication=0 status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/DC-9/place", `{"replication":200000000}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("huge replication status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/DC-99/place", `{"replication":3}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown DC place status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	resp, body := get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp.StatusCode)
+	}
+	var hz struct {
+		Status      string `json:"status"`
+		Datacenters int    `json:"datacenters"`
+	}
+	decode(t, body, &hz)
+	if hz.Status != "ok" || hz.Datacenters != 1 {
+		t.Errorf("healthz = %+v", hz)
+	}
+
+	// Drive a little traffic so /metrics has something to report.
+	for i := 0; i < 5; i++ {
+		postJSON(t, srv.URL+"/v1/DC-9/select", `{"job_type":"short","max_concurrent_cores":2}`)
+	}
+	get(t, srv.URL+"/v1/DC-99/classes") // one error
+
+	resp, body = get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d, want 200", resp.StatusCode)
+	}
+	var m struct {
+		TotalRequests uint64 `json:"total_requests"`
+		Endpoints     map[string]struct {
+			Requests uint64 `json:"requests"`
+			Errors   uint64 `json:"errors"`
+			P99Us    uint64 `json:"p99_us"`
+		} `json:"endpoints"`
+		Datacenters map[string]struct {
+			Generation uint64 `json:"generation"`
+			Classes    int    `json:"classes"`
+		} `json:"datacenters"`
+	}
+	decode(t, body, &m)
+	if m.Endpoints["select"].Requests != 5 {
+		t.Errorf("select requests = %d, want 5", m.Endpoints["select"].Requests)
+	}
+	if m.Endpoints["select"].P99Us == 0 {
+		t.Error("select p99 latency missing")
+	}
+	if m.Endpoints["classes"].Errors != 1 {
+		t.Errorf("classes errors = %d, want 1", m.Endpoints["classes"].Errors)
+	}
+	if m.Datacenters["DC-9"].Generation != 1 || m.Datacenters["DC-9"].Classes == 0 {
+		t.Errorf("DC-9 shard stats = %+v", m.Datacenters["DC-9"])
+	}
+	if m.TotalRequests == 0 {
+		t.Error("total_requests = 0")
+	}
+}
+
+func TestRefreshAdvancesSnapshot(t *testing.T) {
+	svc := newTestService(t)
+	before, _ := svc.Snapshot("DC-9")
+	if err := svc.Refresh("DC-9"); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	after, _ := svc.Snapshot("DC-9")
+	if after == before {
+		t.Fatal("Refresh did not publish a new snapshot")
+	}
+	if after.Generation != before.Generation+1 {
+		t.Errorf("generation = %d, want %d", after.Generation, before.Generation+1)
+	}
+	if after.AsOf <= before.AsOf {
+		t.Errorf("AsOf did not advance: %v -> %v", before.AsOf, after.AsOf)
+	}
+	// The old snapshot stays fully usable after being superseded.
+	if got, _ := before.ClassOfServer(before.Clustering.Classes[0].Servers[0]); got == nil {
+		t.Error("superseded snapshot no longer answers queries")
+	}
+	if err := svc.Refresh("DC-99"); err == nil {
+		t.Error("Refresh of unknown DC did not fail")
+	}
+}
+
+// TestConcurrentReadersAndRefresher is the -race exercise: readers hammer
+// every query path (directly and through HTTP) while snapshots are rebuilt
+// and swapped underneath them. The refreshes are driven explicitly from a
+// goroutine (rather than a short RefreshPeriod) so the test exercises a
+// guaranteed number of swaps regardless of how much the race detector slows
+// the rebuild down; the ticker-driven path is the same refreshShard call and
+// runs in TestBackgroundRefresher.
+func TestConcurrentReadersAndRefresher(t *testing.T) {
+	cfg := testConfig()
+	cfg.SimStep = time.Hour
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	snap, _ := svc.Snapshot("DC-9")
+	probe := snap.Clustering.Classes[0].Servers[0]
+
+	var refresherDone atomic.Bool
+	var refreshErr error
+	go func() {
+		defer refresherDone.Store(true)
+		for i := 0; i < 3; i++ {
+			if refreshErr = svc.Refresh("DC-9"); refreshErr != nil {
+				return
+			}
+		}
+	}()
+
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for n := 0; !refresherDone.Load(); n++ {
+				switch n % 4 {
+				case 0:
+					sel, _, err := svc.Select("DC-9", core.JobRequest{Type: core.JobMedium, MaxConcurrentCores: 4})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if sel.Empty() {
+						errs <- fmt.Errorf("reader %d: select unsatisfiable", i)
+						return
+					}
+				case 1:
+					replicas, _, err := svc.Place("DC-9", core.PlacementConstraints{Replication: 3, Writer: -1, EnforceEnvironment: true})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(replicas) != 3 {
+						errs <- fmt.Errorf("reader %d: got %d replicas", i, len(replicas))
+						return
+					}
+				case 2:
+					s, _ := svc.Snapshot("DC-9")
+					if _, ok := s.ClassOfServer(probe); !ok {
+						errs <- fmt.Errorf("reader %d: probe server lost its class", i)
+						return
+					}
+				case 3:
+					resp, err := client.Post(srv.URL+"/v1/DC-9/select", "application/json",
+						bytes.NewReader([]byte(`{"job_type":"short","max_concurrent_cores":2}`)))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("reader %d: HTTP select status %d", i, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if refreshErr != nil {
+		t.Fatalf("refresh: %v", refreshErr)
+	}
+
+	st, _ := svc.Stats("DC-9")
+	if st.Refreshes != 3 {
+		t.Errorf("refreshes = %d, want 3", st.Refreshes)
+	}
+	if final, _ := svc.Snapshot("DC-9"); final.Generation != 4 {
+		t.Errorf("final generation = %d, want 4", final.Generation)
+	}
+}
+
+// TestBackgroundRefresher checks the ticker-driven path end to end: with a
+// short period, Start's goroutine must publish new generations on its own.
+func TestBackgroundRefresher(t *testing.T) {
+	cfg := testConfig()
+	cfg.RefreshPeriod = 2 * time.Millisecond
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	svc.Start()
+	defer svc.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, _ := svc.Stats("DC-9")
+		if st.Refreshes > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background refresher published nothing in 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSnapshotPlaceMatchesSchemeSemantics(t *testing.T) {
+	svc := newTestService(t)
+	snap, _ := svc.Snapshot("DC-9")
+	// Many placements through the pooled placers: all replicas must be
+	// distinct, known servers.
+	for i := 0; i < 200; i++ {
+		replicas, _, err := svc.Place("DC-9", core.PlacementConstraints{Replication: 3, Writer: -1, EnforceEnvironment: true})
+		if err != nil {
+			t.Fatalf("Place: %v", err)
+		}
+		seen := map[tenant.ServerID]bool{}
+		for _, r := range replicas {
+			if seen[r] {
+				t.Fatalf("duplicate replica %d in %v", r, replicas)
+			}
+			seen[r] = true
+			if _, ok := snap.Scheme().TenantOfServer(r); !ok {
+				t.Fatalf("replica %d not a known server", r)
+			}
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h service.Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	h.Observe(5 * time.Millisecond)
+	if got := h.Count(); got != 1001 {
+		t.Errorf("count = %d, want 1001", got)
+	}
+	if p50 := h.QuantileMicros(0.50); p50 > 16 {
+		t.Errorf("p50 = %dµs, want <= 16µs bucket", p50)
+	}
+	if p100 := h.QuantileMicros(1); p100 < 4096 {
+		t.Errorf("p100 = %dµs, want the 5ms outlier's bucket", p100)
+	}
+	if max := h.MaxMicros(); max != 5000 {
+		t.Errorf("max = %dµs, want 5000", max)
+	}
+
+	var other service.Histogram
+	other.Observe(20 * time.Millisecond)
+	h.Merge(&other)
+	if got := h.Count(); got != 1002 {
+		t.Errorf("merged count = %d, want 1002", got)
+	}
+	if max := h.MaxMicros(); max != 20000 {
+		t.Errorf("merged max = %dµs, want 20000", max)
+	}
+}

@@ -1,0 +1,154 @@
+// Package service is the serving layer of the reproduction: the paper's
+// cluster characterization service (§4.1, §6.2) as a long-running component
+// rather than a batch harness. It periodically re-derives each datacenter's
+// utilization classes and placement scheme from the latest telemetry and
+// exposes them — plus the two online algorithms, class selection (Alg. 1) and
+// replica placement (Alg. 2) — to schedulers and file systems over an HTTP
+// JSON API (http.go).
+//
+// Concurrency model: each datacenter is a shard holding an immutable
+// *Snapshot behind an atomic.Pointer. Readers load the pointer and work on a
+// self-contained, never-mutated object; a per-shard refresher goroutine
+// builds the next snapshot off to the side and publishes it with a single
+// atomic swap, so queries never block on a rebuild and never see a
+// half-updated clustering. The mutable scratch state the core algorithms
+// need (placement scratch buffers, RNGs) comes from sync.Pools, keeping the
+// steady-state query path allocation-light in the spirit of PR 1.
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/experiments"
+	"harvest/internal/tenant"
+)
+
+// Snapshot is one datacenter's immutable characterization state: the
+// clustering, the per-class usage view, and the placement scheme, all derived
+// from the same telemetry instant. Every exported field is read-only after
+// build; sharing a snapshot between any number of goroutines is safe.
+type Snapshot struct {
+	// Datacenter is the profile name, e.g. "DC-9".
+	Datacenter string
+	// Generation counts rebuilds, starting at 1 for the boot snapshot.
+	Generation uint64
+	// AsOf is the position in the (cyclic) one-month telemetry trace the
+	// usage view was computed at; each refresh advances it by the configured
+	// simulation step, standing in for fresh telemetry.
+	AsOf time.Duration
+	// BuiltAt and BuildDuration record when and how expensively the snapshot
+	// was produced (exported on /metrics as snapshot age).
+	BuiltAt       time.Time
+	BuildDuration time.Duration
+
+	// Clustering is the utilization-class structure (§4.1).
+	Clustering *core.Clustering
+	// Usage holds each class's current utilization at AsOf. Treated as
+	// read-only by every query.
+	Usage map[core.ClassID]core.ClassUsage
+	// Thresholds are the job-length cut-offs select requests are classified
+	// with when they carry a last-run duration instead of an explicit type.
+	Thresholds core.LengthThresholds
+
+	selector *core.Selector
+	scheme   *core.PlacementScheme
+
+	// placers pools PlacementScheme clones: Alg. 2 needs mutable scratch
+	// buffers, so concurrent place queries each borrow a clone sharing this
+	// snapshot's immutable indexes. The pool dies with the snapshot.
+	placers sync.Pool
+}
+
+// buildSnapshot derives a snapshot from a population. The caller (one
+// refresher goroutine per shard) is the only writer of pop; the returned
+// snapshot copies or shares only state that is never written afterwards.
+func buildSnapshot(dc string, pop *tenant.Population, cfg Config, generation uint64, asOf time.Duration) (*Snapshot, error) {
+	start := time.Now()
+	clusterer := core.NewClusteringService(cfg.Clustering)
+	clustering, err := clusterer.Cluster(pop)
+	if err != nil {
+		return nil, fmt.Errorf("service: %s: %w", dc, err)
+	}
+	selector, err := core.NewSelector(cfg.Selector, clustering, nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: %s: %w", dc, err)
+	}
+	scheme, err := core.BuildPlacementScheme(experiments.PlacementInfos(pop))
+	if err != nil {
+		return nil, fmt.Errorf("service: %s: %w", dc, err)
+	}
+
+	// The usage view: each class's server-weighted utilization at asOf, the
+	// quantity NM heartbeats would report live (§4.1).
+	usage := make(map[core.ClassID]core.ClassUsage, len(clustering.Classes))
+	for _, cls := range clustering.Classes {
+		var sum, weight float64
+		for _, tid := range cls.Tenants {
+			t := pop.ByID(tid)
+			w := float64(t.NumServers())
+			sum += t.UtilizationAt(asOf) * w
+			weight += w
+		}
+		if weight > 0 {
+			sum /= weight
+		}
+		usage[cls.ID] = core.ClassUsage{CurrentUtilization: sum}
+	}
+
+	snap := &Snapshot{
+		Datacenter:    dc,
+		Generation:    generation,
+		AsOf:          asOf,
+		BuiltAt:       start,
+		BuildDuration: time.Since(start),
+		Clustering:    clustering,
+		Usage:         usage,
+		Thresholds:    cfg.Selector.Thresholds,
+		selector:      selector,
+		scheme:        scheme,
+	}
+	snap.placers.New = func() any { return scheme.CloneForConcurrentUse() }
+	return snap, nil
+}
+
+// Select runs class selection (Alg. 1) against the snapshot's usage view.
+// Safe for any number of concurrent callers; each must bring its own RNG.
+func (s *Snapshot) Select(rng *rand.Rand, job core.JobRequest) core.Selection {
+	return s.selector.SelectWith(rng, job, s.Usage)
+}
+
+// Headroom reports a class's available cores for a job type at the
+// snapshot's usage view.
+func (s *Snapshot) Headroom(jobType core.JobType, cls *core.UtilizationClass) float64 {
+	return s.selector.Headroom(jobType, cls, s.Usage[cls.ID])
+}
+
+// Place runs replica placement (Alg. 2) on a pooled clone of the snapshot's
+// placement scheme. Safe for any number of concurrent callers.
+func (s *Snapshot) Place(rng *rand.Rand, c core.PlacementConstraints) ([]tenant.ServerID, error) {
+	placer := s.placers.Get().(*core.PlacementScheme)
+	replicas, err := placer.PlaceReplicas(rng, c)
+	s.placers.Put(placer)
+	return replicas, err
+}
+
+// ClassOfServer resolves a server to its utilization class.
+func (s *Snapshot) ClassOfServer(id tenant.ServerID) (*core.UtilizationClass, bool) {
+	cid, ok := s.Clustering.ClassOfServer(id)
+	if !ok {
+		return nil, false
+	}
+	return s.Clustering.Class(cid), true
+}
+
+// Scheme exposes the snapshot's placement scheme for read-only inspection
+// (cell populations, space imbalance). Callers must not run PlaceReplicas on
+// it directly — that is what Place is for.
+func (s *Snapshot) Scheme() *core.PlacementScheme { return s.scheme }
+
+// Age returns how long ago the snapshot was built.
+func (s *Snapshot) Age() time.Duration { return time.Since(s.BuiltAt) }
