@@ -1,14 +1,20 @@
 // Command harvestd runs the cluster characterization service as a daemon: it
-// bootstraps the configured datacenters, re-clusters them on a period, and
-// serves the utilization classes plus the class-selection (Alg. 1) and
-// replica-placement (Alg. 2) algorithms over an HTTP JSON API.
+// bootstraps the configured datacenters, seeds each tenant's telemetry ring
+// from the generated trace, then serves the utilization classes plus the
+// class-selection (Alg. 1) and replica-placement (Alg. 2) algorithms over an
+// HTTP JSON API while live telemetry arrives via POST /v1/{dc}/telemetry.
+// Each refresh re-clusters from ring contents, warm-starting from the
+// previous generation's centroids (every -full-every-th refresh rebuilds
+// from scratch as the correctness backstop).
 //
 // Usage:
 //
 //	harvestd [-listen :7077] [-dcs DC-9,DC-3 | -dcs all] [-scale 0.05]
-//	         [-refresh 30s] [-simstep 4h] [-seed 1]
+//	         [-refresh 30s] [-ring-slots 21600] [-full-every 24]
+//	         [-persist DIR] [-seed 1]
 //
-// See README.md for the API routes; `cmd/loadgen` drives it.
+// See README.md for the API routes; `cmd/loadgen` drives it (and its
+// -telemetry mode feeds it live samples).
 package main
 
 import (
@@ -32,14 +38,18 @@ func main() {
 	dcs := flag.String("dcs", "all", "comma-separated datacenters to serve, or \"all\"")
 	scaleFactor := flag.Float64("scale", 0.05, "datacenter scale relative to the paper's setup")
 	refresh := flag.Duration("refresh", 30*time.Second, "wall-clock period between snapshot rebuilds (0 disables)")
-	simStep := flag.Duration("simstep", 4*time.Hour, "telemetry-time advanced per refresh")
+	ringSlots := flag.Int("ring-slots", 0, "per-tenant telemetry ring capacity in 2-minute samples (0 = one month)")
+	fullEvery := flag.Int("full-every", 24, "re-cluster from scratch every Nth refresh (negative = always warm-start)")
+	persist := flag.String("persist", "", "directory to persist snapshots to (and restore from at boot)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
 	cfg := service.DefaultConfig()
 	cfg.Scale = experiments.Scale{Datacenter: *scaleFactor, Seed: *seed}
 	cfg.RefreshPeriod = *refresh
-	cfg.SimStep = *simStep
+	cfg.RingSlots = *ringSlots
+	cfg.FullRebuildEvery = *fullEvery
+	cfg.PersistDir = *persist
 	cfg.Seed = *seed
 	if *dcs != "" && *dcs != "all" {
 		cfg.Datacenters = strings.Split(*dcs, ",")
@@ -52,13 +62,13 @@ func main() {
 	}
 	for _, dc := range svc.Datacenters() {
 		st, _ := svc.Stats(dc)
-		log.Printf("harvestd: %s ready: %d classes over %d servers (built in %v)",
-			dc, st.Classes, st.Servers, st.BuildDuration.Round(time.Millisecond))
+		log.Printf("harvestd: %s ready: %d classes over %d servers (%d tenants, generation %d, built in %v)",
+			dc, st.Classes, st.Servers, st.Tenants, st.Generation, st.BuildDuration.Round(time.Millisecond))
 	}
 	svc.Start()
 	defer svc.Close()
-	log.Printf("harvestd: %d datacenters bootstrapped in %v, refresh every %v",
-		len(svc.Datacenters()), time.Since(start).Round(time.Millisecond), *refresh)
+	log.Printf("harvestd: %d datacenters bootstrapped in %v, refresh every %v (full rebuild every %d refreshes)",
+		len(svc.Datacenters()), time.Since(start).Round(time.Millisecond), *refresh, *fullEvery)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -10,6 +10,18 @@
 //	        [-duration 5s] [-mix select=40,place=40,classes=10,server=10]
 //	        [-json]
 //
+// With -telemetry it instead becomes a live-telemetry emitter: it
+// regenerates the server's tenant populations locally (same -scale/-seed as
+// the harvestd it targets — population generation is deterministic) and
+// replays each tenant's trace, one 2-minute slot per -emit-interval, as
+// POST /v1/{dc}/telemetry batches. This closes the loop on the daemon's
+// live ingestion path: the snapshots harvestd serves are then built from
+// samples that travelled through the ingest API, not from the bootstrap
+// window.
+//
+//	loadgen -telemetry [-target ...] [-duration 10s] [-emit-interval 200ms]
+//	        [-scale 0.05] [-seed 1] [-json]
+//
 // The client deliberately bypasses net/http: requests are preserialized byte
 // slices written through a raw TCP connection and responses are parsed with a
 // minimal HTTP/1.1 reader, so a single core can drive the server well past
@@ -39,7 +51,10 @@ import (
 	"sync"
 	"time"
 
+	"harvest/internal/experiments"
 	"harvest/internal/service"
+	"harvest/internal/tenant"
+	"harvest/internal/timeseries"
 )
 
 type op int
@@ -62,13 +77,21 @@ func main() {
 	mix := flag.String("mix", "select=40,place=40,classes=10,server=10", "operation mix (weights)")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
+	telemetry := flag.Bool("telemetry", false, "run as a telemetry emitter instead of a query load generator")
+	emitInterval := flag.Duration("emit-interval", 200*time.Millisecond, "telemetry mode: wall-clock pause between slot batches")
+	scale := flag.Float64("scale", 0.05, "telemetry mode: datacenter scale (must match the harvestd flags)")
 	flag.Parse()
 
-	weights, err := parseMix(*mix)
+	baseURL, addr, err := parseTarget(*target)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
-	baseURL, addr, err := parseTarget(*target)
+	if *telemetry {
+		runTelemetryEmitter(baseURL, *scale, *seed, *duration, *emitInterval, *jsonOut)
+		return
+	}
+
+	weights, err := parseMix(*mix)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
@@ -192,8 +215,14 @@ func fetchSetup(baseURL string) ([]dcSetup, error) {
 	return dcs, nil
 }
 
+// httpClient bounds every off-measured-path HTTP call (setup fetches,
+// telemetry POSTs): a hung server must fail the run, not stall it past
+// -duration — the same property the query path gets from its raw-conn
+// deadlines.
+var httpClient = &http.Client{Timeout: 10 * time.Second}
+
 func getJSON(url string, v any) error {
-	resp, err := http.Get(url)
+	resp, err := httpClient.Get(url)
 	if err != nil {
 		return err
 	}
@@ -494,6 +523,116 @@ func readResponse(br *bufio.Reader, bodyBuf []byte) (int, []byte, error) {
 		return 0, nil, err
 	}
 	return status, bodyBuf, nil
+}
+
+// dcReplay is the emitter's state for one datacenter: the locally
+// regenerated population and the replay position on the telemetry clock.
+type dcReplay struct {
+	name   string
+	pop    *tenant.Population
+	offset time.Duration // next slot's telemetry offset
+}
+
+// runTelemetryEmitter replays each tenant's trace into harvestd's ingestion
+// endpoint, one 2-minute slot per emit interval across all datacenters, and
+// reports how many samples landed. The population is regenerated locally
+// from the same (scale, seed) the daemon booted with, so the emitted values
+// are exactly the continuation of the trace the daemon's rings were
+// bootstrapped from; offsets past the one-month trace wrap around, matching
+// the cyclic-replay convention everywhere else in the repo.
+func runTelemetryEmitter(baseURL string, scale float64, seed int64, duration, interval time.Duration, jsonOut bool) {
+	var dcl struct {
+		Datacenters []string `json:"datacenters"`
+	}
+	if err := getJSON(baseURL+"/v1/datacenters", &dcl); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	if len(dcl.Datacenters) == 0 {
+		log.Fatal("loadgen: server lists no datacenters")
+	}
+	replays := make([]*dcReplay, 0, len(dcl.Datacenters))
+	for _, dc := range dcl.Datacenters {
+		pop, _, err := experiments.BuildPopulation(dc, experiments.Scale{Datacenter: scale, Seed: seed})
+		if err != nil {
+			log.Fatalf("loadgen: regenerating %s: %v", dc, err)
+		}
+		// Resume the replay where the daemon's bootstrap window ends.
+		var classes struct {
+			AsOfSeconds float64 `json:"as_of_seconds"`
+		}
+		if err := getJSON(baseURL+"/v1/"+dc+"/classes", &classes); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		replays = append(replays, &dcReplay{
+			name:   dc,
+			pop:    pop,
+			offset: time.Duration(classes.AsOfSeconds*float64(time.Second)) + timeseries.SlotDuration,
+		})
+	}
+
+	type emitReport struct {
+		Mode            string  `json:"mode"`
+		DurationSeconds float64 `json:"duration_seconds"`
+		Datacenters     int     `json:"datacenters"`
+		Batches         uint64  `json:"batches"`
+		Samples         uint64  `json:"samples"`
+		Rejected        uint64  `json:"rejected"`
+		Errors          uint64  `json:"errors"`
+	}
+	var rep emitReport
+	rep.Mode = "telemetry"
+	rep.Datacenters = len(replays)
+
+	var body bytes.Buffer
+	start := time.Now()
+	deadline := start.Add(duration)
+	for time.Now().Before(deadline) {
+		for _, r := range replays {
+			body.Reset()
+			body.WriteString(`{"samples":[`)
+			for i, t := range r.pop.Tenants {
+				if i > 0 {
+					body.WriteByte(',')
+				}
+				fmt.Fprintf(&body, `{"tenant":%d,"at_seconds":%d,"utilization":%.4f}`,
+					t.ID, int64(r.offset.Seconds()), t.UtilizationAt(r.offset))
+			}
+			body.WriteString(`]}`)
+			r.offset += timeseries.SlotDuration
+
+			resp, err := httpClient.Post(baseURL+"/v1/"+r.name+"/telemetry", "application/json",
+				bytes.NewReader(body.Bytes()))
+			if err != nil {
+				rep.Errors++
+				continue
+			}
+			var tr struct {
+				Accepted uint64 `json:"accepted"`
+				Rejected uint64 `json:"rejected"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&tr)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				rep.Errors++
+				continue
+			}
+			rep.Batches++
+			rep.Samples += tr.Accepted
+			rep.Rejected += tr.Rejected
+		}
+		time.Sleep(interval)
+	}
+	rep.DurationSeconds = time.Since(start).Seconds()
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	fmt.Printf("loadgen: telemetry emitter, %d datacenters for %.1fs\n", rep.Datacenters, rep.DurationSeconds)
+	fmt.Printf("  %d batches, %d samples accepted, %d rejected, %d transport/HTTP errors\n",
+		rep.Batches, rep.Samples, rep.Rejected, rep.Errors)
 }
 
 // jsonReport is the machine-readable run summary (-json); BENCH_PR2.json and

@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"harvest/internal/kmeans"
 	"harvest/internal/signalproc"
 	"harvest/internal/stats"
 	"harvest/internal/tenant"
+	"harvest/internal/timeseries"
 )
 
 // ClassID identifies a utilization class produced by the clustering service.
@@ -97,11 +99,30 @@ type ClusteringConfig struct {
 	TenantsPerClass int
 	// MaxClassesPerPattern caps the per-pattern class count. Zero means 16.
 	MaxClassesPerPattern int
-	// Classifier configures the FFT-based pattern classification.
+	// Classifier configures the FFT-based pattern classification. Its
+	// periodic band is interpreted relative to ReferenceWindow and rescaled
+	// per tenant to the actual history window being classified.
 	Classifier signalproc.ClassifierConfig
+	// ReferenceWindow is the analysis window the Classifier thresholds were
+	// tuned for. Zero means the paper's one month.
+	ReferenceWindow time.Duration
+	// DriftThreshold is the absolute change in a tenant's window mean or CV
+	// (twice that for the peak) past which Recluster re-runs the full FFT
+	// classification for the tenant instead of keeping its cached profile.
+	// Zero means DefaultDriftThreshold.
+	DriftThreshold float64
 	// Seed drives the K-Means seeding, keeping runs reproducible.
 	Seed int64
 }
+
+// DefaultDriftThreshold is the Recluster drift cut-off: 2 percentage points
+// of utilization (or 0.02 of CV) — well above sampling noise on a multi-day
+// window, well below a behaviour change that would move a tenant between
+// classes.
+const DefaultDriftThreshold = 0.02
+
+// defaultReferenceWindow is the paper's one-month characterization window.
+const defaultReferenceWindow = 30 * 24 * time.Hour
 
 // DefaultClusteringConfig returns the configuration used by the experiments.
 func DefaultClusteringConfig() ClusteringConfig {
@@ -130,101 +151,186 @@ func NewClusteringService(cfg ClusteringConfig) *ClusteringService {
 	return &ClusteringService{cfg: cfg}
 }
 
-// Cluster runs the full pipeline of §4.1: classify each tenant's most recent
-// utilization series with the FFT, group tenants by pattern, and run K-Means
-// within each pattern to form utilization classes.
+// patternOrder is the deterministic order pattern groups are clustered in;
+// class IDs are assigned in this order, so it is part of the output contract.
+var patternOrder = []signalproc.Pattern{
+	signalproc.PatternConstant, signalproc.PatternPeriodic, signalproc.PatternUnpredictable,
+}
+
+// Cluster runs the full pipeline of §4.1 against the tenants' own generated
+// trace series — the behaviour every experiment harness and simulator
+// depends on. It is ClusterFrom over the trace-backed history source.
 func (s *ClusteringService) Cluster(pop *tenant.Population) (*Clustering, error) {
+	return s.ClusterFrom(pop, tenant.TraceHistory{Pop: pop})
+}
+
+// ClusterFrom runs the full pipeline of §4.1 from an arbitrary history
+// source: classify each tenant's history window with the FFT, group tenants
+// by pattern, and run K-Means within each pattern to form utilization
+// classes. The source decides what "the most recent telemetry" means —
+// a cyclic synthetic trace (tenant.TraceHistory) or live ingestion rings
+// (telemetry.Store). Each tenant's Profile is updated in place.
+func (s *ClusteringService) ClusterFrom(pop *tenant.Population, src tenant.HistorySource) (*Clustering, error) {
 	if len(pop.Tenants) == 0 {
 		return nil, fmt.Errorf("core: cannot cluster an empty population")
 	}
 	// (Re)classify tenants so the clustering reflects the latest telemetry.
 	for _, t := range pop.Tenants {
-		if err := t.Classify(s.cfg.Classifier); err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+		if err := s.classifyFrom(t, src); err != nil {
+			return nil, err
 		}
 	}
-	byPattern := make(map[signalproc.Pattern][]*tenant.Tenant, signalproc.NumPatterns)
-	for _, t := range pop.Tenants {
-		byPattern[t.Pattern()] = append(byPattern[t.Pattern()], t)
-	}
-
-	clustering := &Clustering{
-		tenantClass: make(map[tenant.ID]ClassID, len(pop.Tenants)),
-		serverClass: make(map[tenant.ServerID]ClassID, pop.NumServers()),
-	}
+	clustering := newClustering(pop)
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
-
-	// Deterministic pattern order.
-	patterns := []signalproc.Pattern{
-		signalproc.PatternConstant, signalproc.PatternPeriodic, signalproc.PatternUnpredictable,
-	}
-	for _, pattern := range patterns {
+	byPattern := groupByPattern(pop)
+	for _, pattern := range patternOrder {
 		tenants := byPattern[pattern]
 		if len(tenants) == 0 {
 			continue
 		}
 		k := s.classCount(pattern, len(tenants))
-		points := make([][]float64, len(tenants))
-		for i, t := range tenants {
-			points[i] = t.Profile.FeatureVector()
-		}
-		result, err := kmeans.Cluster(rng, points, kmeans.Config{K: k})
+		result, err := kmeans.Cluster(rng, featureVectors(tenants), kmeans.Config{K: k})
 		if err != nil {
 			return nil, fmt.Errorf("core: clustering %v tenants: %w", pattern, err)
 		}
-		// Build classes; drop empty clusters (possible when K exceeds the
-		// number of distinct profiles).
-		classIndex := make(map[int]*UtilizationClass, len(result.Centroids))
-		for i, t := range tenants {
-			ci := result.Assignments[i]
-			cls, ok := classIndex[ci]
-			if !ok {
-				cls = &UtilizationClass{
-					ID:       ClassID(len(clustering.Classes)),
-					Pattern:  pattern,
-					Centroid: result.Centroids[ci],
-				}
-				classIndex[ci] = cls
-				clustering.Classes = append(clustering.Classes, cls)
+		s.appendClasses(clustering, pop, pattern, tenants, result)
+	}
+	sortClasses(clustering)
+	return clustering, nil
+}
+
+// classifyFrom re-derives one tenant's profile from the history source,
+// rescaling the classifier's periodic band to the window the source holds.
+func (s *ClusteringService) classifyFrom(t *tenant.Tenant, src tenant.HistorySource) error {
+	return s.classifySeries(t, src.SeriesFor(t.ID))
+}
+
+// classifySeries classifies one tenant from an already-materialized history
+// window (Recluster's drift check has usually fetched it anyway — ring
+// sources copy the full window per call, so it is fetched exactly once).
+func (s *ClusteringService) classifySeries(t *tenant.Tenant, series *timeseries.Series) error {
+	if series == nil || series.Len() == 0 {
+		return fmt.Errorf("core: tenant %v: history source holds no series", t.ID)
+	}
+	ref := s.cfg.ReferenceWindow
+	if ref <= 0 {
+		ref = defaultReferenceWindow
+	}
+	p, err := signalproc.Classify(series.Values, s.cfg.Classifier.ForWindow(series.Duration(), ref))
+	if err != nil {
+		return fmt.Errorf("core: tenant %v: %w", t.ID, err)
+	}
+	t.Profile = p
+	return nil
+}
+
+func newClustering(pop *tenant.Population) *Clustering {
+	return &Clustering{
+		tenantClass: make(map[tenant.ID]ClassID, len(pop.Tenants)),
+		serverClass: make(map[tenant.ServerID]ClassID, pop.NumServers()),
+	}
+}
+
+func groupByPattern(pop *tenant.Population) map[signalproc.Pattern][]*tenant.Tenant {
+	byPattern := make(map[signalproc.Pattern][]*tenant.Tenant, signalproc.NumPatterns)
+	for _, t := range pop.Tenants {
+		byPattern[t.Pattern()] = append(byPattern[t.Pattern()], t)
+	}
+	return byPattern
+}
+
+func featureVectors(tenants []*tenant.Tenant) [][]float64 {
+	points := make([][]float64, len(tenants))
+	for i, t := range tenants {
+		points[i] = t.Profile.FeatureVector()
+	}
+	return points
+}
+
+// appendClasses turns one pattern group's K-Means result into utilization
+// classes appended to the clustering. Empty clusters are dropped (possible
+// when K exceeds the number of distinct profiles). Class utilization
+// statistics are server-count-weighted over the members' profile windows:
+// the peak is the weighted average of the members' peaks, so the class
+// summarizes how high its typical server goes without a single outlier
+// tenant making the whole class unusable for long jobs.
+func (s *ClusteringService) appendClasses(clustering *Clustering, pop *tenant.Population,
+	pattern signalproc.Pattern, tenants []*tenant.Tenant, result *kmeans.Result) {
+	classIndex := make(map[int]*UtilizationClass, len(result.Centroids))
+	for i, t := range tenants {
+		ci := result.Assignments[i]
+		cls, ok := classIndex[ci]
+		if !ok {
+			cls = &UtilizationClass{
+				ID:       ClassID(len(clustering.Classes)),
+				Pattern:  pattern,
+				Centroid: result.Centroids[ci],
 			}
-			cls.Tenants = append(cls.Tenants, t.ID)
-			cls.Servers = append(cls.Servers, t.Servers...)
-			clustering.tenantClass[t.ID] = cls.ID
-			for _, srv := range t.Servers {
-				clustering.serverClass[srv] = cls.ID
-			}
+			classIndex[ci] = cls
+			clustering.Classes = append(clustering.Classes, cls)
 		}
-		// Tag classes with utilization statistics weighted by server count.
-		// The peak is the server-weighted average of the members' peaks: the
-		// class summarizes how high its typical server goes, without letting a
-		// single outlier tenant make the whole class unusable for long jobs.
-		for _, cls := range classIndex {
-			totalServers := 0.0
-			avg := 0.0
-			peak := 0.0
-			for _, tid := range cls.Tenants {
-				t := pop.ByID(tid)
-				w := float64(t.NumServers())
-				totalServers += w
-				avg += t.AverageUtilization() * w
-				peak += t.PeakUtilization() * w
-			}
-			if totalServers > 0 {
-				avg /= totalServers
-				peak /= totalServers
-			}
-			if peak < avg {
-				peak = avg
-			}
-			cls.AvgUtilization = avg
-			cls.PeakUtilization = peak
+		cls.Tenants = append(cls.Tenants, t.ID)
+		cls.Servers = append(cls.Servers, t.Servers...)
+		clustering.tenantClass[t.ID] = cls.ID
+		for _, srv := range t.Servers {
+			clustering.serverClass[srv] = cls.ID
 		}
 	}
-	// Keep class ordering stable by ID.
+	for _, cls := range classIndex {
+		totalServers := 0.0
+		avg := 0.0
+		peak := 0.0
+		for _, tid := range cls.Tenants {
+			t := pop.ByID(tid)
+			w := float64(t.NumServers())
+			totalServers += w
+			avg += t.Profile.Mean * w
+			peak += t.Profile.Peak * w
+		}
+		if totalServers > 0 {
+			avg /= totalServers
+			peak /= totalServers
+		}
+		if peak < avg {
+			peak = avg
+		}
+		cls.AvgUtilization = avg
+		cls.PeakUtilization = peak
+	}
+}
+
+// sortClasses keeps class ordering stable by ID.
+func sortClasses(clustering *Clustering) {
 	sort.Slice(clustering.Classes, func(i, j int) bool {
 		return clustering.Classes[i].ID < clustering.Classes[j].ID
 	})
-	return clustering, nil
+}
+
+// NewClusteringFromClasses reassembles a Clustering from its classes — the
+// restore path for snapshots persisted to disk. Membership maps are rebuilt;
+// duplicate tenant or server membership across classes is rejected.
+func NewClusteringFromClasses(classes []*UtilizationClass) (*Clustering, error) {
+	c := &Clustering{
+		Classes:     classes,
+		tenantClass: make(map[tenant.ID]ClassID),
+		serverClass: make(map[tenant.ServerID]ClassID),
+	}
+	for _, cls := range classes {
+		for _, tid := range cls.Tenants {
+			if _, dup := c.tenantClass[tid]; dup {
+				return nil, fmt.Errorf("core: tenant %v in two classes", tid)
+			}
+			c.tenantClass[tid] = cls.ID
+		}
+		for _, srv := range cls.Servers {
+			if _, dup := c.serverClass[srv]; dup {
+				return nil, fmt.Errorf("core: server %v in two classes", srv)
+			}
+			c.serverClass[srv] = cls.ID
+		}
+	}
+	sortClasses(c)
+	return c, nil
 }
 
 func (s *ClusteringService) classCount(pattern signalproc.Pattern, numTenants int) int {

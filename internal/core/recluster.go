@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"harvest/internal/kmeans"
+	"harvest/internal/signalproc"
+	"harvest/internal/stats"
+	"harvest/internal/tenant"
+)
+
+// ReclusterStats reports what an incremental re-clustering actually did —
+// how much of the full pipeline it was able to skip, and why.
+type ReclusterStats struct {
+	// Tenants is the number of tenants examined.
+	Tenants int
+	// Reclassified counts tenants that drifted past the threshold and were
+	// re-run through the full FFT classification — the expensive step the
+	// warm start exists to avoid.
+	Reclassified int
+	// PatternChanged counts reclassified tenants whose pattern flipped
+	// (e.g. periodic -> unpredictable), forcing them into another group.
+	PatternChanged int
+	// WarmPatterns and ColdPatterns count pattern groups whose K-Means was
+	// seeded from the previous generation's centroids vs. re-seeded from
+	// scratch (class count changed, or the group is new).
+	WarmPatterns int
+	ColdPatterns int
+	// Iterations is the total number of Lloyd iterations across groups.
+	Iterations int
+	// FullRebuild is true when Recluster fell back to a from-scratch
+	// ClusterFrom (no usable previous generation).
+	FullRebuild bool
+}
+
+// Recluster derives the next clustering generation incrementally from the
+// previous one. Instead of re-running the full §4.1 pipeline, it
+//
+//  1. re-runs the FFT classification only for tenants whose history window
+//     drifted past the configured threshold (a cheap one-pass time-domain
+//     check against the tenant's cached profile decides), and
+//  2. warm-starts each pattern group's K-Means from the previous
+//     generation's centroids, so Lloyd resumes at (or next to) the old fixed
+//     point and converges in a handful of iterations.
+//
+// A full rebuild remains the fallback — prev == nil (or an empty previous
+// clustering) degrades to ClusterFrom — and the correctness oracle: on
+// undrifted data Recluster converges to the same fixed point a from-scratch
+// run finds, which TestReclusterAgreesWithFullRebuild pins.
+//
+// The caller must pass the same population the previous clustering was built
+// over (tenant profiles cache the previous window's summary statistics; the
+// drift check depends on them).
+func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, src tenant.HistorySource) (*Clustering, ReclusterStats, error) {
+	var st ReclusterStats
+	st.Tenants = len(pop.Tenants)
+	if prev == nil || len(prev.Classes) == 0 {
+		st.FullRebuild = true
+		st.Reclassified = st.Tenants
+		c, err := s.ClusterFrom(pop, src)
+		return c, st, err
+	}
+	if len(pop.Tenants) == 0 {
+		return nil, st, fmt.Errorf("core: cannot recluster an empty population")
+	}
+
+	thr := s.cfg.DriftThreshold
+	if thr <= 0 {
+		thr = DefaultDriftThreshold
+	}
+	for _, t := range pop.Tenants {
+		series := src.SeriesFor(t.ID)
+		if series == nil || series.Len() == 0 {
+			return nil, st, fmt.Errorf("core: tenant %v: history source holds no series", t.ID)
+		}
+		mean, peak, cv := stats.Summary(series.Values)
+		_, hadClass := prev.ClassOfTenant(t.ID)
+		// The baseline is the summary captured at the tenant's last FFT
+		// classification — it is deliberately NOT refreshed on undrifted
+		// rounds, so slow cumulative drift accumulates against the last
+		// classification and eventually crosses the threshold instead of
+		// being rebaselined away one sub-threshold step at a time.
+		drifted := !hadClass ||
+			math.Abs(mean-t.Profile.Mean) > thr ||
+			math.Abs(peak-t.Profile.Peak) > 2*thr ||
+			math.Abs(cv-t.Profile.CV) > thr
+		if drifted {
+			oldPattern := t.Profile.Pattern
+			if err := s.classifySeries(t, series); err != nil {
+				return nil, st, err
+			}
+			st.Reclassified++
+			if hadClass && t.Profile.Pattern != oldPattern {
+				st.PatternChanged++
+			}
+		}
+	}
+
+	prevCentroids := make(map[signalproc.Pattern][][]float64, signalproc.NumPatterns)
+	for _, cls := range prev.Classes {
+		prevCentroids[cls.Pattern] = append(prevCentroids[cls.Pattern], cls.Centroid)
+	}
+
+	clustering := newClustering(pop)
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	byPattern := groupByPattern(pop)
+	for _, pattern := range patternOrder {
+		tenants := byPattern[pattern]
+		if len(tenants) == 0 {
+			continue
+		}
+		k := s.classCount(pattern, len(tenants))
+		points := featureVectors(tenants)
+		var result *kmeans.Result
+		var err error
+		if seeds := prevCentroids[pattern]; len(seeds) == k {
+			result, err = kmeans.ClusterFrom(points, seeds, kmeans.Config{})
+			st.WarmPatterns++
+		} else {
+			// The target class count changed (tenants moved between patterns)
+			// or the previous generation had no classes for this pattern:
+			// re-seed this group from scratch.
+			result, err = kmeans.Cluster(rng, points, kmeans.Config{K: k})
+			st.ColdPatterns++
+		}
+		if err != nil {
+			return nil, st, fmt.Errorf("core: reclustering %v tenants: %w", pattern, err)
+		}
+		st.Iterations += result.Iterations
+		s.appendClasses(clustering, pop, pattern, tenants, result)
+	}
+	sortClasses(clustering)
+	return clustering, st, nil
+}

@@ -40,39 +40,83 @@ type Config struct {
 	Tolerance float64
 }
 
+// validate checks the point set and normalizes the config, returning the
+// point dimensionality and the effective (iteration, tolerance) knobs.
+func validate(points [][]float64, cfg Config) (dim, maxIter int, tol float64, err error) {
+	if len(points) == 0 {
+		return 0, 0, 0, ErrNoPoints
+	}
+	dim = len(points[0])
+	if dim == 0 {
+		return 0, 0, 0, errors.New("kmeans: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return 0, 0, 0, fmt.Errorf("kmeans: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	maxIter = cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol = cfg.Tolerance
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	return dim, maxIter, tol, nil
+}
+
 // Cluster groups points into cfg.K clusters. Every point must have the same
 // dimensionality. The rng drives the k-means++ seeding so results are
 // reproducible for a fixed seed.
 func Cluster(rng *rand.Rand, points [][]float64, cfg Config) (*Result, error) {
-	if len(points) == 0 {
-		return nil, ErrNoPoints
+	dim, maxIter, tol, err := validate(points, cfg)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("kmeans: K must be positive, got %d", cfg.K)
-	}
-	dim := len(points[0])
-	if dim == 0 {
-		return nil, errors.New("kmeans: zero-dimensional points")
-	}
-	for i, p := range points {
-		if len(p) != dim {
-			return nil, fmt.Errorf("kmeans: point %d has dimension %d, want %d", i, len(p), dim)
-		}
 	}
 	k := cfg.K
 	if k > len(points) {
 		k = len(points)
 	}
-	maxIter := cfg.MaxIterations
-	if maxIter <= 0 {
-		maxIter = 100
-	}
-	tol := cfg.Tolerance
-	if tol <= 0 {
-		tol = 1e-9
-	}
+	return lloyd(points, seedPlusPlus(rng, points, k), dim, maxIter, tol), nil
+}
 
-	centroids := seedPlusPlus(rng, points, k)
+// ClusterFrom runs K-Means starting from the given seed centroids instead of
+// k-means++ — the warm-start entry point incremental re-clustering uses to
+// resume from a previous generation's converged centroids. cfg.K is ignored;
+// the cluster count is len(seeds) (clamped to the point count). The seeds are
+// copied, never mutated, and need not be data points. Seed dimensionality
+// must match the points.
+func ClusterFrom(points [][]float64, seeds [][]float64, cfg Config) (*Result, error) {
+	dim, maxIter, tol, err := validate(points, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(seeds) == 0 {
+		return nil, errors.New("kmeans: no seed centroids")
+	}
+	k := len(seeds)
+	if k > len(points) {
+		k = len(points)
+	}
+	centroids := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		if len(seeds[i]) != dim {
+			return nil, fmt.Errorf("kmeans: seed %d has dimension %d, want %d", i, len(seeds[i]), dim)
+		}
+		centroids[i] = append([]float64(nil), seeds[i]...)
+	}
+	return lloyd(points, centroids, dim, maxIter, tol), nil
+}
+
+// lloyd runs the Lloyd iteration to convergence from the given starting
+// centroids (which it takes ownership of) and computes the final assignment
+// and inertia.
+func lloyd(points, centroids [][]float64, dim, maxIter int, tol float64) *Result {
+	k := len(centroids)
 	assignments := make([]int, len(points))
 	sizes := make([]int, k)
 	var iterations int
@@ -131,7 +175,7 @@ func Cluster(rng *rand.Rand, points [][]float64, cfg Config) (*Result, error) {
 		Sizes:       sizes,
 		Inertia:     inertia,
 		Iterations:  iterations,
-	}, nil
+	}
 }
 
 // seedPlusPlus picks k initial centroids with the k-means++ strategy:

@@ -292,3 +292,70 @@ func TestWeightedQuantileBucketsNegativeWeightTreatedAsZero(t *testing.T) {
 		}
 	}
 }
+
+func TestClusterFromConvergesFromSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Two well-separated blobs.
+	var points [][]float64
+	for i := 0; i < 40; i++ {
+		points = append(points, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 40; i++ {
+		points = append(points, []float64{5 + rng.NormFloat64()*0.1, 5 + rng.NormFloat64()*0.1})
+	}
+	cold, err := Cluster(rng, points, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-start from the converged centroids: must reach the same fixed
+	// point in one or two iterations with identical assignments.
+	warm, err := ClusterFrom(points, cold.Centroids, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations > 2 {
+		t.Errorf("warm start took %d iterations, want <= 2", warm.Iterations)
+	}
+	for i := range points {
+		if warm.Assignments[i] != cold.Assignments[i] {
+			t.Fatalf("assignment %d differs: warm %d, cold %d", i, warm.Assignments[i], cold.Assignments[i])
+		}
+	}
+	if math.Abs(warm.Inertia-cold.Inertia) > 1e-9 {
+		t.Errorf("inertia differs: warm %v, cold %v", warm.Inertia, cold.Inertia)
+	}
+	// Seeds are not mutated.
+	seeds := [][]float64{{100, 100}, {-100, -100}}
+	seedCopy := [][]float64{{100, 100}, {-100, -100}}
+	if _, err := ClusterFrom(points, seeds, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		for d := range seeds[i] {
+			if seeds[i][d] != seedCopy[i][d] {
+				t.Fatal("ClusterFrom mutated its seeds")
+			}
+		}
+	}
+}
+
+func TestClusterFromErrors(t *testing.T) {
+	points := [][]float64{{1, 2}, {3, 4}}
+	if _, err := ClusterFrom(nil, [][]float64{{0, 0}}, Config{}); err == nil {
+		t.Error("empty points should error")
+	}
+	if _, err := ClusterFrom(points, nil, Config{}); err == nil {
+		t.Error("no seeds should error")
+	}
+	if _, err := ClusterFrom(points, [][]float64{{1}}, Config{}); err == nil {
+		t.Error("seed dimension mismatch should error")
+	}
+	// More seeds than points: cluster count clamps to the point count.
+	res, err := ClusterFrom(points, [][]float64{{1, 2}, {3, 4}, {5, 6}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Errorf("centroids = %d, want clamped to 2", len(res.Centroids))
+	}
+}

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeConn is a scriptable net.Conn for batchConn tests: it records every
+// underlying Write call (so flush coalescing and ordering are observable),
+// serves reads from a buffer, and can inject write errors.
+type fakeConn struct {
+	writes   [][]byte // one entry per underlying Write call
+	readData bytes.Buffer
+	writeErr error
+	closed   bool
+}
+
+func (c *fakeConn) Write(p []byte) (int, error) {
+	if c.writeErr != nil {
+		return 0, c.writeErr
+	}
+	c.writes = append(c.writes, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func (c *fakeConn) Read(p []byte) (int, error)         { return c.readData.Read(p) }
+func (c *fakeConn) Close() error                       { c.closed = true; return nil }
+func (c *fakeConn) LocalAddr() net.Addr                { return nil }
+func (c *fakeConn) RemoteAddr() net.Addr               { return nil }
+func (c *fakeConn) SetDeadline(t time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func (c *fakeConn) written() string {
+	var b strings.Builder
+	for _, w := range c.writes {
+		b.Write(w)
+	}
+	return b.String()
+}
+
+func TestBatchConnParksWritesUntilRead(t *testing.T) {
+	fc := &fakeConn{}
+	fc.readData.WriteString("request")
+	bc := &batchConn{Conn: fc}
+
+	for _, chunk := range []string{"response-1 ", "response-2 ", "response-3"} {
+		n, err := bc.Write([]byte(chunk))
+		if err != nil || n != len(chunk) {
+			t.Fatalf("Write(%q) = %d, %v", chunk, n, err)
+		}
+	}
+	if len(fc.writes) != 0 {
+		t.Fatalf("writes reached the conn before a Read: %q", fc.written())
+	}
+
+	// The next Read drains the parked responses first — in one syscall, in
+	// write order — then reads from the connection.
+	buf := make([]byte, 16)
+	n, err := bc.Read(buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := string(buf[:n]); got != "request" {
+		t.Errorf("Read returned %q, want the inbound bytes", got)
+	}
+	if len(fc.writes) != 1 {
+		t.Fatalf("flush used %d underlying writes, want 1 (coalesced)", len(fc.writes))
+	}
+	if got, want := fc.written(), "response-1 response-2 response-3"; got != want {
+		t.Errorf("flushed %q, want %q (ordering preserved)", got, want)
+	}
+
+	// A Read with nothing parked does not issue an empty write.
+	fc.readData.WriteString("more")
+	if _, err := bc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.writes) != 1 {
+		t.Errorf("empty flush issued an underlying write")
+	}
+}
+
+func TestBatchConnEagerFlushAtLimit(t *testing.T) {
+	fc := &fakeConn{}
+	bc := &batchConn{Conn: fc}
+
+	// Just under the limit: still parked.
+	almost := bytes.Repeat([]byte("x"), batchFlushLimit-1)
+	if _, err := bc.Write(almost); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.writes) != 0 {
+		t.Fatal("flushed below the limit")
+	}
+	// One more byte crosses the limit: the whole buffer goes out at once.
+	if _, err := bc.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.writes) != 1 || len(fc.writes[0]) != batchFlushLimit {
+		t.Fatalf("eager flush wrote %d chunks, want one %d-byte write", len(fc.writes), batchFlushLimit)
+	}
+}
+
+func TestBatchConnWriteErrorPaths(t *testing.T) {
+	// An error during the eager flush surfaces on Write.
+	fc := &fakeConn{writeErr: errors.New("peer vanished")}
+	bc := &batchConn{Conn: fc}
+	big := bytes.Repeat([]byte("x"), batchFlushLimit)
+	if _, err := bc.Write(big); err == nil {
+		t.Fatal("eager-flush error not surfaced by Write")
+	}
+
+	// A parked response whose flush fails surfaces on the next Read, before
+	// any bytes are read.
+	fc2 := &fakeConn{}
+	fc2.readData.WriteString("request")
+	bc2 := &batchConn{Conn: fc2}
+	if _, err := bc2.Write([]byte("response")); err != nil {
+		t.Fatal(err)
+	}
+	fc2.writeErr = errors.New("partial write")
+	if _, err := bc2.Read(make([]byte, 4)); err == nil {
+		t.Fatal("flush error not surfaced by Read")
+	}
+}
+
+func TestBatchConnCloseFlushes(t *testing.T) {
+	fc := &fakeConn{}
+	bc := &batchConn{Conn: fc}
+	if _, err := bc.Write([]byte("last response")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !fc.closed {
+		t.Error("underlying conn not closed")
+	}
+	if got := fc.written(); got != "last response" {
+		t.Errorf("Close flushed %q, want %q", got, "last response")
+	}
+
+	// Close with a failing flush still closes the connection; the parked
+	// bytes are lost but the fd is not leaked.
+	fc2 := &fakeConn{}
+	bc2 := &batchConn{Conn: fc2}
+	bc2.Write([]byte("doomed"))
+	fc2.writeErr = errors.New("broken pipe")
+	if err := bc2.Close(); err != nil {
+		t.Fatalf("Close after flush error: %v", err)
+	}
+	if !fc2.closed {
+		t.Error("conn left open after failed final flush")
+	}
+}
+
+// TestBatchListenerWrapsAcceptedConns covers the Accept path over a real TCP
+// pair: bytes written by the server side stay parked until it reads.
+func TestBatchListenerWrapsAcceptedConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := BatchListener{Listener: ln}
+	defer bl.Close()
+
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	accepted := make(chan acceptResult, 1)
+	go func() {
+		c, err := bl.Accept()
+		accepted <- acceptResult{c, err}
+	}()
+
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	res := <-accepted
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	server := res.conn
+	defer server.Close()
+	if _, ok := server.(*batchConn); !ok {
+		t.Fatalf("Accept returned %T, want *batchConn", server)
+	}
+
+	// Parked on the server: the client must not see it yet.
+	if _, err := server.Write([]byte("parked")); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, err := client.Read(make([]byte, 16)); err == nil {
+		t.Fatalf("client read %d parked bytes before the server turned around", n)
+	}
+
+	// The server turning around to read releases the batch.
+	client.SetWriteDeadline(time.Now().Add(time.Second))
+	if _, err := client.Write([]byte("next request")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Read(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 16)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:n]); got != "parked" {
+		t.Errorf("client received %q, want %q", got, "parked")
+	}
+}

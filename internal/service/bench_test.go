@@ -79,11 +79,37 @@ func BenchmarkSnapshotSwap(b *testing.B) {
 	b.ReportMetric(float64(snap.Generation), "generations")
 }
 
-// BenchmarkSnapshotBuild measures one full snapshot rebuild (classification,
-// K-Means, placement clustering) — the work the refresher does off the query
-// path, and the denominator for choosing a refresh period.
+// BenchmarkSnapshotBuild measures one full from-scratch snapshot rebuild
+// (FFT classification of every tenant, K-Means, placement clustering) — the
+// cost warm-started refreshes exist to avoid, forced here by a
+// FullRebuildEvery of 1.
 func BenchmarkSnapshotBuild(b *testing.B) {
-	svc := newTestService(b)
+	cfg := testConfig()
+	cfg.FullRebuildEvery = 1
+	svc, err := service.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Refresh("DC-9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRefreshWarm measures the steady-state refresh: a
+// warm-started re-clustering (drift check + K-Means from previous centroids,
+// no FFT for undrifted tenants) plus snapshot assembly. The ratio to
+// BenchmarkSnapshotBuild is the PR's headline number (BENCH_PR3.json).
+func BenchmarkSnapshotRefreshWarm(b *testing.B) {
+	cfg := testConfig()
+	cfg.FullRebuildEvery = -1 // measure the pure warm path; the backstop is benched above
+	svc, err := service.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

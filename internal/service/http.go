@@ -21,8 +21,9 @@ import (
 //	GET  /v1/{dc}/servers/{id}/class   — a server's class
 //	POST /v1/{dc}/select               — class selection (Alg. 1)
 //	POST /v1/{dc}/place                — replica placement (Alg. 2)
+//	POST /v1/{dc}/telemetry            — live utilization ingestion (feeds the rings)
 //	GET  /healthz                      — liveness
-//	GET  /metrics                      — counters, latency quantiles, snapshot ages
+//	GET  /metrics                      — counters, latency quantiles, snapshot ages/staleness
 type API struct {
 	svc   *Service
 	mux   *http.ServeMux
@@ -32,7 +33,7 @@ type API struct {
 }
 
 // apiEndpoints names the instrumented endpoints, in /metrics display order.
-var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "place", "healthz", "metrics"}
+var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "place", "telemetry", "healthz", "metrics"}
 
 // NewAPI wraps a service in its HTTP handler.
 func NewAPI(svc *Service) *API {
@@ -50,6 +51,7 @@ func NewAPI(svc *Service) *API {
 	a.mux.HandleFunc("GET /v1/{dc}/servers/{id}/class", a.instrument("server_class", a.handleServerClass))
 	a.mux.HandleFunc("POST /v1/{dc}/select", a.instrument("select", a.handleSelect))
 	a.mux.HandleFunc("POST /v1/{dc}/place", a.instrument("place", a.handlePlace))
+	a.mux.HandleFunc("POST /v1/{dc}/telemetry", a.instrument("telemetry", a.handleTelemetry))
 	a.mux.HandleFunc("GET /healthz", a.instrument("healthz", a.handleHealthz))
 	a.mux.HandleFunc("GET /metrics", a.instrument("metrics", a.handleMetrics))
 	return a
@@ -187,7 +189,10 @@ type classesResponse struct {
 	Classes     []classInfo `json:"classes"`
 }
 
-func classInfoOf(snap *Snapshot, cls *core.UtilizationClass) classInfo {
+// classInfoOf renders one class against a usage view — the live one on the
+// query path (Service.UsageFor), so CurrentUtilization tracks ingested
+// telemetry between refreshes.
+func classInfoOf(cls *core.UtilizationClass, usage map[core.ClassID]core.ClassUsage) classInfo {
 	info := classInfo{
 		ID:                 int(cls.ID),
 		Pattern:            cls.Pattern.String(),
@@ -195,7 +200,7 @@ func classInfoOf(snap *Snapshot, cls *core.UtilizationClass) classInfo {
 		NumServers:         cls.NumServers(),
 		AvgUtilization:     cls.AvgUtilization,
 		PeakUtilization:    cls.PeakUtilization,
-		CurrentUtilization: snap.Usage[cls.ID].CurrentUtilization,
+		CurrentUtilization: usage[cls.ID].CurrentUtilization,
 		ExampleServer:      -1,
 	}
 	if len(cls.Servers) > 0 {
@@ -209,6 +214,7 @@ func (a *API) handleClasses(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	usage := a.svc.UsageFor(snap)
 	resp := classesResponse{
 		Datacenter:  snap.Datacenter,
 		Generation:  snap.Generation,
@@ -216,7 +222,7 @@ func (a *API) handleClasses(w http.ResponseWriter, r *http.Request) {
 		Classes:     make([]classInfo, 0, len(snap.Clustering.Classes)),
 	}
 	for _, cls := range snap.Clustering.Classes {
-		resp.Classes = append(resp.Classes, classInfoOf(snap, cls))
+		resp.Classes = append(resp.Classes, classInfoOf(cls, usage))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -247,7 +253,88 @@ func (a *API) handleServerClass(w http.ResponseWriter, r *http.Request) {
 		Datacenter: snap.Datacenter,
 		Generation: snap.Generation,
 		Server:     id,
-		Class:      classInfoOf(snap, cls),
+		Class:      classInfoOf(cls, a.svc.UsageFor(snap)),
+	})
+}
+
+// telemetrySample is the wire form of one ingested observation. Exactly one
+// of tenant / server must be present (pointers distinguish "absent" from the
+// valid id 0); at_seconds is an offset on the telemetry clock and defaults
+// to one slot after the subject's latest sample.
+type telemetrySample struct {
+	Tenant      *int64  `json:"tenant"`
+	Server      *int64  `json:"server"`
+	AtSeconds   float64 `json:"at_seconds"`
+	Utilization float64 `json:"utilization"`
+}
+
+type telemetryRequest struct {
+	Samples []telemetrySample `json:"samples"`
+}
+
+// maxTelemetryOffsetSeconds bounds a sample's telemetry-clock offset (~31
+// years — far beyond any replay). It must stay well below the ~292-year
+// time.Duration ceiling: the float64→int64 nanosecond conversion on an
+// out-of-range value is implementation-defined and would corrupt the
+// store's monotonic clock. Anything larger is a client bug, rejected per
+// sample.
+const maxTelemetryOffsetSeconds = 1e9
+
+type telemetryResponse struct {
+	Datacenter     string  `json:"datacenter"`
+	Accepted       int     `json:"accepted"`
+	Rejected       int     `json:"rejected"`
+	HorizonSeconds float64 `json:"horizon_seconds"`
+}
+
+func (a *API) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	dc := r.PathValue("dc")
+	if _, ok := a.svc.Snapshot(dc); !ok {
+		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
+		return
+	}
+	var req telemetryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Samples) == 0 {
+		writeError(w, http.StatusBadRequest, "no samples")
+		return
+	}
+	samples := make([]IngestSample, len(req.Samples))
+	for i, s := range req.Samples {
+		// Written so NaN fails too: both comparisons are false for NaN, so
+		// only finite offsets inside the bound proceed to the conversion.
+		if !(s.AtSeconds >= 0 && s.AtSeconds <= maxTelemetryOffsetSeconds) {
+			// An absurd offset would corrupt the store's telemetry clock;
+			// poison the sample (no subject) so Ingest counts it rejected.
+			samples[i] = IngestSample{Tenant: -1, Server: -1}
+			continue
+		}
+		samples[i] = IngestSample{
+			Tenant: -1,
+			Server: -1,
+			At:     time.Duration(s.AtSeconds * float64(time.Second)),
+			Value:  s.Utilization,
+		}
+		if s.Tenant != nil {
+			samples[i].Tenant = tenant.ID(*s.Tenant)
+		}
+		if s.Server != nil {
+			samples[i].Server = tenant.ServerID(*s.Server)
+		}
+	}
+	res, err := a.svc.Ingest(dc, samples)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, telemetryResponse{
+		Datacenter:     dc,
+		Accepted:       res.Accepted,
+		Rejected:       res.Rejected,
+		HorizonSeconds: res.Horizon.Seconds(),
 	})
 }
 
@@ -395,16 +482,26 @@ type endpointStats struct {
 	MaxUs    uint64  `json:"max_us"`
 }
 
-// shardStatsJSON is the wire form of one shard's snapshot state.
+// shardStatsJSON is the wire form of one shard's snapshot state. Staleness
+// of the live path is readable directly: generation + snapshot age say how
+// old the characterization is, last_ingest_age_seconds says how long ago
+// live telemetry last arrived (-1 = never, i.e. still serving the bootstrap
+// window).
 type shardStatsJSON struct {
-	Generation    uint64  `json:"generation"`
-	AgeSeconds    float64 `json:"age_seconds"`
-	AsOfSeconds   float64 `json:"as_of_seconds"`
-	BuildMs       float64 `json:"build_ms"`
-	Refreshes     uint64  `json:"refreshes"`
-	RefreshErrors uint64  `json:"refresh_errors"`
-	Classes       int     `json:"classes"`
-	Servers       int     `json:"servers"`
+	Generation           uint64  `json:"generation"`
+	AgeSeconds           float64 `json:"age_seconds"`
+	AsOfSeconds          float64 `json:"as_of_seconds"`
+	BuildMs              float64 `json:"build_ms"`
+	Refreshes            uint64  `json:"refreshes"`
+	RefreshErrors        uint64  `json:"refresh_errors"`
+	WarmRefreshes        uint64  `json:"warm_refreshes"`
+	FullRebuilds         uint64  `json:"full_rebuilds"`
+	Classes              int     `json:"classes"`
+	Servers              int     `json:"servers"`
+	Tenants              int     `json:"tenants"`
+	IngestedSamples      uint64  `json:"ingested_samples"`
+	LastIngestAgeSeconds float64 `json:"last_ingest_age_seconds"`
+	PersistErrors        uint64  `json:"persist_errors"`
 }
 
 type metricsResponse struct {
@@ -442,15 +539,25 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
+		ingestAge := -1.0
+		if !st.LastIngest.IsZero() {
+			ingestAge = time.Since(st.LastIngest).Seconds()
+		}
 		resp.Datacenters[dc] = shardStatsJSON{
-			Generation:    st.Generation,
-			AgeSeconds:    st.Age.Seconds(),
-			AsOfSeconds:   st.AsOf.Seconds(),
-			BuildMs:       float64(st.BuildDuration.Microseconds()) / 1000,
-			Refreshes:     st.Refreshes,
-			RefreshErrors: st.RefreshErrors,
-			Classes:       st.Classes,
-			Servers:       st.Servers,
+			Generation:           st.Generation,
+			AgeSeconds:           st.Age.Seconds(),
+			AsOfSeconds:          st.AsOf.Seconds(),
+			BuildMs:              float64(st.BuildDuration.Microseconds()) / 1000,
+			Refreshes:            st.Refreshes,
+			RefreshErrors:        st.RefreshErrors,
+			WarmRefreshes:        st.WarmRefreshes,
+			FullRebuilds:         st.FullRebuilds,
+			Classes:              st.Classes,
+			Servers:              st.Servers,
+			Tenants:              st.Tenants,
+			IngestedSamples:      st.IngestedSamples,
+			LastIngestAgeSeconds: ingestAge,
+			PersistErrors:        st.PersistErrors,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

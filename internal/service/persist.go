@@ -1,0 +1,213 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/signalproc"
+	"harvest/internal/tenant"
+)
+
+// Snapshot persistence: every published snapshot's clustering + usage view
+// is serialized to <PersistDir>/<dc>.snapshot.json via a temp file and an
+// atomic rename, and the last good file is restored at construction so a
+// restarted daemon serves its previous characterization immediately instead
+// of paying the boot re-clustering. The placement scheme, selector, and
+// rings are rebuilt from the (deterministically regenerated) population; the
+// file carries a population fingerprint so a daemon restarted with different
+// scale/seed flags discards the stale file and re-clusters.
+
+// persistVersion guards the file format; bump on incompatible changes.
+const persistVersion = 1
+
+type persistedClass struct {
+	ID                 int       `json:"id"`
+	Pattern            int       `json:"pattern"`
+	AvgUtilization     float64   `json:"avg_utilization"`
+	PeakUtilization    float64   `json:"peak_utilization"`
+	CurrentUtilization float64   `json:"current_utilization"`
+	Centroid           []float64 `json:"centroid"`
+	Tenants            []int64   `json:"tenants"`
+	Servers            []int64   `json:"servers"`
+}
+
+type persistedSnapshot struct {
+	Version     int       `json:"version"`
+	Datacenter  string    `json:"datacenter"`
+	Generation  uint64    `json:"generation"`
+	AsOfSeconds float64   `json:"as_of_seconds"`
+	BuiltAt     time.Time `json:"built_at"`
+
+	// Population fingerprint: a restored clustering only makes sense over
+	// the exact population it was built from.
+	Seed            int64   `json:"seed"`
+	ScaleDatacenter float64 `json:"scale_datacenter"`
+	NumTenants      int     `json:"num_tenants"`
+	NumServers      int     `json:"num_servers"`
+
+	Classes []persistedClass `json:"classes"`
+}
+
+func persistPath(dir, dc string) string {
+	return filepath.Join(dir, dc+".snapshot.json")
+}
+
+// persistSnapshot writes the snapshot to disk, best-effort: a failure is
+// counted and logged but never fails the publish (the in-memory snapshot is
+// already serving).
+func (s *Service) persistSnapshot(sh *shard, snap *Snapshot) {
+	if s.cfg.PersistDir == "" {
+		return
+	}
+	if err := s.writeSnapshotFile(sh, snap); err != nil {
+		sh.persistErrors.Add(1)
+		log.Printf("service: %s: snapshot persist failed: %v", sh.dc, err)
+	}
+}
+
+func (s *Service) writeSnapshotFile(sh *shard, snap *Snapshot) error {
+	if err := os.MkdirAll(s.cfg.PersistDir, 0o755); err != nil {
+		return err
+	}
+	p := persistedSnapshot{
+		Version:         persistVersion,
+		Datacenter:      snap.Datacenter,
+		Generation:      snap.Generation,
+		AsOfSeconds:     snap.AsOf.Seconds(),
+		BuiltAt:         snap.BuiltAt,
+		Seed:            s.cfg.Scale.Seed,
+		ScaleDatacenter: s.cfg.Scale.Datacenter,
+		NumTenants:      len(sh.pop.Tenants),
+		NumServers:      sh.pop.NumServers(),
+		Classes:         make([]persistedClass, 0, len(snap.Clustering.Classes)),
+	}
+	for _, cls := range snap.Clustering.Classes {
+		pc := persistedClass{
+			ID:                 int(cls.ID),
+			Pattern:            int(cls.Pattern),
+			AvgUtilization:     cls.AvgUtilization,
+			PeakUtilization:    cls.PeakUtilization,
+			CurrentUtilization: snap.Usage[cls.ID].CurrentUtilization,
+			Centroid:           cls.Centroid,
+			Tenants:            make([]int64, len(cls.Tenants)),
+			Servers:            make([]int64, len(cls.Servers)),
+		}
+		for i, tid := range cls.Tenants {
+			pc.Tenants[i] = int64(tid)
+		}
+		for i, srv := range cls.Servers {
+			pc.Servers[i] = int64(srv)
+		}
+		p.Classes = append(p.Classes, pc)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	final := persistPath(s.cfg.PersistDir, snap.Datacenter)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	// Atomic rename: a crash mid-write leaves the previous good file intact.
+	return os.Rename(tmp, final)
+}
+
+// restoreSnapshot loads the shard's persisted snapshot, validates it against
+// the regenerated population, and reassembles it into a queryable snapshot.
+// Any problem (no file, version or fingerprint mismatch, corrupt JSON,
+// inconsistent membership) logs and returns nil — the caller then clusters
+// from scratch, so a bad file can only cost time, never correctness.
+func (s *Service) restoreSnapshot(sh *shard) (*Snapshot, bool) {
+	if s.cfg.PersistDir == "" {
+		return nil, false
+	}
+	snap, err := s.loadSnapshotFile(sh)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Printf("service: %s: ignoring persisted snapshot: %v", sh.dc, err)
+		}
+		return nil, false
+	}
+	return snap, true
+}
+
+func (s *Service) loadSnapshotFile(sh *shard) (*Snapshot, error) {
+	data, err := os.ReadFile(persistPath(s.cfg.PersistDir, sh.dc))
+	if err != nil {
+		return nil, err
+	}
+	var p persistedSnapshot
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("corrupt file: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("version %d, want %d", p.Version, persistVersion)
+	}
+	if p.Datacenter != sh.dc {
+		return nil, fmt.Errorf("file is for %q", p.Datacenter)
+	}
+	if p.Seed != s.cfg.Scale.Seed || p.ScaleDatacenter != s.cfg.Scale.Datacenter ||
+		p.NumTenants != len(sh.pop.Tenants) || p.NumServers != sh.pop.NumServers() {
+		return nil, fmt.Errorf("population fingerprint mismatch (seed/scale changed?)")
+	}
+	if len(p.Classes) == 0 {
+		return nil, fmt.Errorf("no classes")
+	}
+
+	classes := make([]*core.UtilizationClass, 0, len(p.Classes))
+	usage := make(map[core.ClassID]core.ClassUsage, len(p.Classes))
+	for _, pc := range p.Classes {
+		if pc.Pattern < 0 || pc.Pattern >= signalproc.NumPatterns {
+			return nil, fmt.Errorf("class %d: bad pattern %d", pc.ID, pc.Pattern)
+		}
+		cls := &core.UtilizationClass{
+			ID:              core.ClassID(pc.ID),
+			Pattern:         signalproc.Pattern(pc.Pattern),
+			AvgUtilization:  pc.AvgUtilization,
+			PeakUtilization: pc.PeakUtilization,
+			Centroid:        pc.Centroid,
+			Tenants:         make([]tenant.ID, len(pc.Tenants)),
+			Servers:         make([]tenant.ServerID, len(pc.Servers)),
+		}
+		for i, tid := range pc.Tenants {
+			id := tenant.ID(tid)
+			if sh.pop.ByID(id) == nil {
+				return nil, fmt.Errorf("class %d: unknown tenant %d", pc.ID, tid)
+			}
+			cls.Tenants[i] = id
+		}
+		for i, srv := range pc.Servers {
+			cls.Servers[i] = tenant.ServerID(srv)
+		}
+		classes = append(classes, cls)
+		usage[cls.ID] = core.ClassUsage{CurrentUtilization: pc.CurrentUtilization}
+	}
+	clustering, err := core.NewClusteringFromClasses(classes)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	snap, err := assembleSnapshot(sh.dc, sh.pop, sh.rings, s.cfg, p.Generation, clustering, start)
+	if err != nil {
+		return nil, err
+	}
+	// Restore the persisted view verbatim: the snapshot represents the state
+	// as of its original build, and its age stays honest about that. The
+	// live usage overlay refreshes CurrentUtilization on the first query.
+	snap.Usage = usage
+	snap.AsOf = time.Duration(p.AsOfSeconds * float64(time.Second))
+	snap.BuiltAt = p.BuiltAt
+	snap.BuildDuration = time.Since(start)
+	// The previous process may have ingested live samples past the bootstrap
+	// window the rings were just re-seeded from; pull the telemetry clock up
+	// to the persisted AsOf so the next refresh cannot move AsOf backwards.
+	sh.rings.AdvanceClock(snap.AsOf)
+	return snap, nil
+}

@@ -11,7 +11,9 @@ import (
 	"harvest/internal/core"
 	"harvest/internal/experiments"
 	"harvest/internal/signalproc"
+	"harvest/internal/telemetry"
 	"harvest/internal/tenant"
+	"harvest/internal/timeseries"
 	"harvest/internal/trace"
 )
 
@@ -27,10 +29,19 @@ type Config struct {
 	// (hours in the paper's deployment; seconds in tests). Zero disables the
 	// background refresher — snapshots then only change via Refresh.
 	RefreshPeriod time.Duration
-	// SimStep is how far each refresh advances the telemetry position (AsOf)
-	// in the cyclic one-month trace. Zero means 4h, the paper's "every few
-	// hours" re-characterization cadence.
-	SimStep time.Duration
+	// RingSlots is the per-tenant telemetry ring capacity in samples (one
+	// sample per 2-minute slot). Zero means one month — the paper's full
+	// characterization window.
+	RingSlots int
+	// FullRebuildEvery forces every Nth refresh to re-cluster from scratch
+	// instead of warm-starting from the previous generation — the
+	// correctness backstop for incremental drift. Zero means 24; negative
+	// disables full rebuilds (warm-start always).
+	FullRebuildEvery int
+	// PersistDir, when non-empty, persists each published snapshot to
+	// <dir>/<dc>.snapshot.json (atomic rename) and restores the last good
+	// one at construction instead of paying the boot re-clustering.
+	PersistDir string
 	// Clustering and Selector configure the core algorithms.
 	Clustering core.ClusteringConfig
 	Selector   core.SelectorConfig
@@ -44,29 +55,46 @@ func DefaultConfig() Config {
 	return Config{
 		Scale:         experiments.QuickScale(),
 		RefreshPeriod: 30 * time.Second,
-		SimStep:       4 * time.Hour,
 		Clustering:    core.DefaultClusteringConfig(),
 		Selector:      core.DefaultSelectorConfig(),
 		Seed:          1,
 	}
 }
 
-// shard is one datacenter's slot: the published snapshot plus the private
-// rebuild state. Only the shard's refresher goroutine (or Refresh callers
-// serialized by mu) touches pop; readers only ever Load the pointer.
-type shard struct {
-	dc   string
-	snap atomic.Pointer[Snapshot]
+// usageView is one computation of a shard's live per-class usage, cached
+// behind an atomic pointer and invalidated by generation or ingest progress.
+type usageView struct {
+	generation uint64
+	samples    uint64 // rings.TotalSamples() at build time
+	usage      map[core.ClassID]core.ClassUsage
+}
 
-	mu  sync.Mutex // serializes rebuilds; never held on the query path
-	pop *tenant.Population
+// shard is one datacenter's slot: the published snapshot, the telemetry
+// rings, and the private rebuild state. Only the shard's refresher goroutine
+// (or Refresh callers serialized by mu) touches pop and sinceFull; readers
+// only ever Load pointers.
+type shard struct {
+	dc    string
+	snap  atomic.Pointer[Snapshot]
+	rings *telemetry.Store
+
+	liveUsage atomic.Pointer[usageView]
+
+	mu        sync.Mutex // serializes rebuilds; never held on the query path
+	pop       *tenant.Population
+	sinceFull int // warm refreshes since the last full rebuild (guarded by mu)
 
 	refreshes     atomic.Uint64
 	refreshErrors atomic.Uint64
+	warmRefreshes atomic.Uint64
+	fullRebuilds  atomic.Uint64
+	ingested      atomic.Uint64 // live samples accepted via Ingest
+	persistErrors atomic.Uint64
 }
 
-// Service is the characterization service: per-datacenter snapshot shards, a
-// background refresher per shard, and a pool of per-request RNGs.
+// Service is the characterization service: per-datacenter snapshot shards
+// fed by live telemetry rings, a background refresher per shard, and a pool
+// of per-request RNGs.
 type Service struct {
 	cfg    Config
 	order  []string
@@ -81,17 +109,24 @@ type Service struct {
 	started  atomic.Bool
 }
 
-// New builds the boot snapshot for every datacenter synchronously, so a
-// service that returns without error is immediately queryable. Call Start to
-// launch the background refreshers and Close to stop them.
+// New builds every datacenter's boot state synchronously, so a service that
+// returns without error is immediately queryable: the tenant population is
+// generated, its telemetry rings are bootstrapped from the trace (the
+// trailing ring-capacity window, so a full analysis window exists before the
+// first live sample arrives), and the boot snapshot is either restored from
+// PersistDir or clustered from the rings. Call Start to launch the
+// background refreshers and Close to stop them.
 func New(cfg Config) (*Service, error) {
 	if len(cfg.Datacenters) == 0 {
 		for _, p := range trace.BuiltinProfiles() {
 			cfg.Datacenters = append(cfg.Datacenters, p.Name)
 		}
 	}
-	if cfg.SimStep <= 0 {
-		cfg.SimStep = 4 * time.Hour
+	if cfg.RingSlots <= 0 {
+		cfg.RingSlots = timeseries.SlotsPerMonth
+	}
+	if cfg.FullRebuildEvery == 0 {
+		cfg.FullRebuildEvery = 24
 	}
 	// Fill unset fields individually so a caller customizing one knob (say,
 	// Thresholds) keeps it; only the genuinely zero pieces take defaults.
@@ -129,15 +164,46 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		sh := &shard{dc: dc, pop: pop}
-		snap, err := buildSnapshot(dc, pop, cfg, 1, 0)
-		if err != nil {
+		if err := s.bootstrapRings(sh); err != nil {
 			return nil, err
+		}
+		snap, restored := s.restoreSnapshot(sh)
+		if snap == nil {
+			snap, err = buildSnapshot(dc, pop, sh.rings, cfg, 1)
+			if err != nil {
+				return nil, err
+			}
+			s.persistSnapshot(sh, snap)
+		}
+		if restored {
+			log.Printf("service: %s: restored persisted snapshot generation %d", dc, snap.Generation)
 		}
 		sh.snap.Store(snap)
 		s.order = append(s.order, dc)
 		s.shards[dc] = sh
 	}
 	return s, nil
+}
+
+// bootstrapRings seeds the shard's telemetry rings from the generated trace:
+// the trailing window of each tenant's one-month series, ending at the trace
+// horizon, so the first characterization analyses the same data the old
+// trace-backed path would have.
+func (s *Service) bootstrapRings(sh *shard) error {
+	ids := make([]tenant.ID, len(sh.pop.Tenants))
+	for i, t := range sh.pop.Tenants {
+		ids[i] = t.ID
+	}
+	sh.rings = telemetry.NewStore(ids, timeseries.SlotDuration, s.cfg.RingSlots)
+	for _, t := range sh.pop.Tenants {
+		if t.Utilization == nil || t.Utilization.Len() == 0 {
+			return fmt.Errorf("service: %s: tenant %v has no trace to bootstrap from", sh.dc, t.ID)
+		}
+		if err := sh.rings.Bootstrap(t.ID, t.Utilization, t.Utilization.Duration()); err != nil {
+			return fmt.Errorf("service: %s: %w", sh.dc, err)
+		}
+	}
+	return nil
 }
 
 // Start launches one refresher goroutine per shard. It is a no-op when the
@@ -179,21 +245,48 @@ func (s *Service) refreshLoop(sh *shard) {
 	}
 }
 
-// refreshShard builds the shard's next snapshot off to the side and publishes
-// it with one atomic swap. Readers racing with the swap see either the old or
-// the new snapshot, both fully built.
+// refreshShard builds the shard's next snapshot from the telemetry rings off
+// to the side and publishes it with one atomic swap. Readers racing with the
+// swap see either the old or the new snapshot, both fully built. The
+// clustering warm-starts from the previous generation (core.Recluster);
+// every FullRebuildEvery-th refresh re-clusters from scratch as the
+// correctness backstop.
 func (s *Service) refreshShard(sh *shard) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	start := time.Now()
 	prev := sh.snap.Load()
-	next, err := buildSnapshot(sh.dc, sh.pop, s.cfg, prev.Generation+1, prev.AsOf+s.cfg.SimStep)
-	if err != nil {
-		sh.refreshErrors.Add(1)
-		return err
+	full := s.cfg.FullRebuildEvery > 0 && sh.sinceFull >= s.cfg.FullRebuildEvery-1
+
+	clusterer := core.NewClusteringService(s.cfg.Clustering)
+	var clustering *core.Clustering
+	var rst core.ReclusterStats
+	var err error
+	if full {
+		clustering, err = clusterer.ClusterFrom(sh.pop, sh.rings)
+		rst.FullRebuild = true
+	} else {
+		clustering, rst, err = clusterer.Recluster(prev.Clustering, sh.pop, sh.rings)
 	}
-	sh.snap.Store(next)
-	sh.refreshes.Add(1)
-	return nil
+	if err == nil {
+		var next *Snapshot
+		next, err = assembleSnapshot(sh.dc, sh.pop, sh.rings, s.cfg, prev.Generation+1, clustering, start)
+		if err == nil {
+			sh.snap.Store(next)
+			sh.refreshes.Add(1)
+			if rst.FullRebuild {
+				sh.fullRebuilds.Add(1)
+				sh.sinceFull = 0
+			} else {
+				sh.warmRefreshes.Add(1)
+				sh.sinceFull++
+			}
+			s.persistSnapshot(sh, next)
+			return nil
+		}
+	}
+	sh.refreshErrors.Add(1)
+	return err
 }
 
 // Refresh synchronously rebuilds one datacenter's snapshot (tests and
@@ -219,7 +312,94 @@ func (s *Service) Snapshot(dc string) (*Snapshot, bool) {
 	return sh.snap.Load(), true
 }
 
-// ShardStats reports one shard's refresh counters for /metrics.
+// IngestSample is one utilization observation handed to Ingest. Exactly one
+// of Tenant or Server identifies the subject (set the other to a negative
+// value) — samples naming both, or neither, are rejected; a sample
+// addressed by server is credited to the owning tenant's "average server"
+// history. A non-positive At means one slot after the tenant's latest
+// sample.
+type IngestSample struct {
+	Tenant tenant.ID
+	Server tenant.ServerID
+	At     time.Duration
+	Value  float64
+}
+
+// IngestResult summarizes one Ingest call.
+type IngestResult struct {
+	Accepted int
+	Rejected int
+	// Horizon is the store's telemetry clock after the call — what the next
+	// snapshot's AsOf will be.
+	Horizon time.Duration
+}
+
+// Ingest appends live telemetry samples to a datacenter's rings. Samples
+// naming an unknown tenant/server (or carrying a NaN value) are counted as
+// rejected; the rest are appended. Never blocks queries or snapshot builds.
+func (s *Service) Ingest(dc string, samples []IngestSample) (IngestResult, error) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return IngestResult{}, fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	var res IngestResult
+	for _, sample := range samples {
+		if sample.Tenant >= 0 && sample.Server >= 0 {
+			// Ambiguous subject: silently picking one would hide a client
+			// bug (the server may belong to a different tenant).
+			res.Rejected++
+			continue
+		}
+		id := sample.Tenant
+		if id < 0 {
+			if sample.Server < 0 {
+				res.Rejected++
+				continue
+			}
+			owner := sh.pop.OwnerOf(sample.Server)
+			if owner == nil {
+				res.Rejected++
+				continue
+			}
+			id = owner.ID
+		}
+		if _, err := sh.rings.Ingest(id, sample.At, sample.Value); err != nil {
+			res.Rejected++
+			continue
+		}
+		res.Accepted++
+	}
+	sh.ingested.Add(uint64(res.Accepted))
+	res.Horizon = sh.rings.Horizon()
+	return res, nil
+}
+
+// UsageFor returns the per-class usage view queries should run against:
+// CurrentUtilization recomputed from each tenant's most recent ring sample,
+// so posted telemetry moves select decisions between refreshes instead of
+// being frozen at the snapshot's AsOf. The view is cached behind an atomic
+// pointer and invalidated by snapshot generation or ingest progress; with no
+// new samples it is a single atomic load. Snapshots from an unknown shard
+// (e.g. a superseded service's) fall back to their build-time view.
+func (s *Service) UsageFor(snap *Snapshot) map[core.ClassID]core.ClassUsage {
+	sh, ok := s.shards[snap.Datacenter]
+	if !ok || sh.rings == nil {
+		return snap.Usage
+	}
+	total := sh.rings.TotalSamples()
+	if v := sh.liveUsage.Load(); v != nil && v.generation == snap.Generation && v.samples == total {
+		return v.usage
+	}
+	usage := weightedClassUsage(snap.Clustering.Classes, sh.pop, func(cls *core.UtilizationClass, tid tenant.ID) float64 {
+		return sh.rings.LastValue(tid, snap.Usage[cls.ID].CurrentUtilization)
+	})
+	// Concurrent recomputes race benignly: both views are equally current,
+	// the last store wins.
+	sh.liveUsage.Store(&usageView{generation: snap.Generation, samples: total, usage: usage})
+	return usage
+}
+
+// ShardStats reports one shard's refresh and ingest counters for /metrics.
 type ShardStats struct {
 	Generation    uint64
 	Age           time.Duration
@@ -227,8 +407,17 @@ type ShardStats struct {
 	BuildDuration time.Duration
 	Refreshes     uint64
 	RefreshErrors uint64
+	WarmRefreshes uint64
+	FullRebuilds  uint64
 	Classes       int
 	Servers       int
+	Tenants       int
+	// IngestedSamples counts live samples accepted since boot (bootstrap
+	// fills excluded); LastIngest is the wall-clock time of the newest one
+	// (zero when live telemetry has never arrived — the staleness signal).
+	IngestedSamples uint64
+	LastIngest      time.Time
+	PersistErrors   uint64
 }
 
 // Stats returns the refresh counters for a datacenter.
@@ -242,24 +431,34 @@ func (s *Service) Stats(dc string) (ShardStats, bool) {
 	for _, cls := range snap.Clustering.Classes {
 		servers += cls.NumServers()
 	}
-	return ShardStats{
-		Generation:    snap.Generation,
-		Age:           snap.Age(),
-		AsOf:          snap.AsOf,
-		BuildDuration: snap.BuildDuration,
-		Refreshes:     sh.refreshes.Load(),
-		RefreshErrors: sh.refreshErrors.Load(),
-		Classes:       len(snap.Clustering.Classes),
-		Servers:       servers,
-	}, true
+	st := ShardStats{
+		Generation:      snap.Generation,
+		Age:             snap.Age(),
+		AsOf:            snap.AsOf,
+		BuildDuration:   snap.BuildDuration,
+		Refreshes:       sh.refreshes.Load(),
+		RefreshErrors:   sh.refreshErrors.Load(),
+		WarmRefreshes:   sh.warmRefreshes.Load(),
+		FullRebuilds:    sh.fullRebuilds.Load(),
+		Classes:         len(snap.Clustering.Classes),
+		Servers:         servers,
+		Tenants:         len(sh.pop.Tenants),
+		IngestedSamples: sh.ingested.Load(),
+		PersistErrors:   sh.persistErrors.Load(),
+	}
+	if at, ok := sh.rings.LastIngestAt(); ok {
+		st.LastIngest = at
+	}
+	return st, true
 }
 
 // SelectOn runs class selection (Alg. 1) against a snapshot the caller
-// already holds, with a pooled RNG. The HTTP handlers use this so a request
-// resolves its snapshot exactly once.
+// already holds, with a pooled RNG and the live usage view. The HTTP
+// handlers use this so a request resolves its snapshot exactly once.
 func (s *Service) SelectOn(snap *Snapshot, job core.JobRequest) core.Selection {
+	usage := s.UsageFor(snap)
 	rng := s.rngs.Get().(*rand.Rand)
-	sel := snap.Select(rng, job)
+	sel := snap.SelectUsage(rng, job, usage)
 	s.rngs.Put(rng)
 	return sel
 }

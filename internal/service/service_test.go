@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -345,8 +346,23 @@ func TestRefreshAdvancesSnapshot(t *testing.T) {
 	if after.Generation != before.Generation+1 {
 		t.Errorf("generation = %d, want %d", after.Generation, before.Generation+1)
 	}
-	if after.AsOf <= before.AsOf {
-		t.Errorf("AsOf did not advance: %v -> %v", before.AsOf, after.AsOf)
+	// Without new telemetry the snapshot's AsOf stays at the ring horizon.
+	if after.AsOf != before.AsOf {
+		t.Errorf("AsOf moved without ingest: %v -> %v", before.AsOf, after.AsOf)
+	}
+	// New telemetry advances the horizon, and the next refresh picks it up.
+	res, err := svc.Ingest("DC-9", []service.IngestSample{
+		{Tenant: before.Clustering.Classes[0].Tenants[0], Server: -1, Value: 0.5},
+	})
+	if err != nil || res.Accepted != 1 {
+		t.Fatalf("Ingest: %+v, %v", res, err)
+	}
+	if err := svc.Refresh("DC-9"); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	final, _ := svc.Snapshot("DC-9")
+	if final.AsOf <= after.AsOf {
+		t.Errorf("AsOf did not advance after ingest: %v -> %v", after.AsOf, final.AsOf)
 	}
 	// The old snapshot stays fully usable after being superseded.
 	if got, _ := before.ClassOfServer(before.Clustering.Classes[0].Servers[0]); got == nil {
@@ -366,7 +382,6 @@ func TestRefreshAdvancesSnapshot(t *testing.T) {
 // runs in TestBackgroundRefresher.
 func TestConcurrentReadersAndRefresher(t *testing.T) {
 	cfg := testConfig()
-	cfg.SimStep = time.Hour
 	svc, err := service.New(cfg)
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -378,8 +393,12 @@ func TestConcurrentReadersAndRefresher(t *testing.T) {
 	snap, _ := svc.Snapshot("DC-9")
 	probe := snap.Clustering.Classes[0].Servers[0]
 
+	const readers = 4
+	errs := make(chan error, readers+1)
+
 	var refresherDone atomic.Bool
 	var refreshErr error
+	ingestTenant := snap.Clustering.Classes[0].Tenants[0]
 	go func() {
 		defer refresherDone.Store(true)
 		for i := 0; i < 3; i++ {
@@ -388,10 +407,24 @@ func TestConcurrentReadersAndRefresher(t *testing.T) {
 			}
 		}
 	}()
+	// A concurrent ingester hammers the rings while snapshots rebuild from
+	// them and readers consume the live usage view — the single-writer /
+	// lock-free-reader contract under -race.
+	ingesterDone := make(chan struct{})
+	go func() {
+		defer close(ingesterDone)
+		for i := 0; !refresherDone.Load(); i++ {
+			_, err := svc.Ingest("DC-9", []service.IngestSample{
+				{Tenant: ingestTenant, Server: -1, Value: float64(i%100) / 100},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
 
-	const readers = 4
 	var wg sync.WaitGroup
-	errs := make(chan error, readers)
 	for i := 0; i < readers; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -442,6 +475,7 @@ func TestConcurrentReadersAndRefresher(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	<-ingesterDone
 	close(errs)
 	for err := range errs {
 		t.Error(err)
@@ -504,6 +538,277 @@ func TestSnapshotPlaceMatchesSchemeSemantics(t *testing.T) {
 				t.Fatalf("replica %d not a known server", r)
 			}
 		}
+	}
+}
+
+// TestTelemetryIngestChangesSnapshot is the end-to-end exercise of the live
+// data path: telemetry POSTed to the API lands in the rings, and the next
+// snapshot's usage view observably reflects it.
+func TestTelemetryIngestChangesSnapshot(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	snap, _ := svc.Snapshot("DC-9")
+	target := snap.Clustering.Classes[0]
+	before := snap.Usage[target.ID].CurrentUtilization
+
+	// Drive every tenant of the target class to (nearly) full utilization
+	// for a few slots via the HTTP endpoint.
+	var body bytes.Buffer
+	body.WriteString(`{"samples":[`)
+	n := 0
+	for slot := 0; slot < 3; slot++ {
+		for _, tid := range target.Tenants {
+			if n > 0 {
+				body.WriteString(",")
+			}
+			fmt.Fprintf(&body, `{"tenant":%d,"utilization":0.97}`, tid)
+			n++
+		}
+	}
+	body.WriteString(`]}`)
+	resp, respBody := postJSON(t, srv.URL+"/v1/DC-9/telemetry", body.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("telemetry status = %d, body %s", resp.StatusCode, respBody)
+	}
+	var tr struct {
+		Accepted       int     `json:"accepted"`
+		Rejected       int     `json:"rejected"`
+		HorizonSeconds float64 `json:"horizon_seconds"`
+	}
+	decode(t, respBody, &tr)
+	if tr.Accepted != n || tr.Rejected != 0 {
+		t.Fatalf("accepted/rejected = %d/%d, want %d/0", tr.Accepted, tr.Rejected, n)
+	}
+	if tr.HorizonSeconds <= snap.AsOf.Seconds() {
+		t.Errorf("horizon %.0fs did not advance past AsOf %.0fs", tr.HorizonSeconds, snap.AsOf.Seconds())
+	}
+
+	if err := svc.Refresh("DC-9"); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	after, _ := svc.Snapshot("DC-9")
+	// The target tenants may have been re-classed by the refresh; check the
+	// class now holding the first target tenant.
+	cid, ok := after.Clustering.ClassOfTenant(target.Tenants[0])
+	if !ok {
+		t.Fatal("target tenant lost its class")
+	}
+	got := after.Usage[cid].CurrentUtilization
+	if got <= before || got < 0.9 {
+		t.Errorf("posted telemetry did not move the usage view: before %.3f, after %.3f (want >= 0.9)", before, got)
+	}
+	if after.AsOf.Seconds() != tr.HorizonSeconds {
+		t.Errorf("snapshot AsOf = %.0fs, want ingest horizon %.0fs", after.AsOf.Seconds(), tr.HorizonSeconds)
+	}
+
+	// Validation paths.
+	if resp, _ := postJSON(t, srv.URL+"/v1/DC-99/telemetry", `{"samples":[{"tenant":0,"utilization":0.5}]}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown DC telemetry status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/DC-9/telemetry", `{"samples":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty telemetry status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/DC-9/telemetry", `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad telemetry body status = %d, want 400", resp.StatusCode)
+	}
+	// Unknown tenants, absent or ambiguous subjects, absurd offsets, and
+	// backdated offsets are rejected per sample, not per call.
+	srvOfOther := after.Clustering.Classes[0].Servers[0]
+	resp, respBody = postJSON(t, srv.URL+"/v1/DC-9/telemetry", fmt.Sprintf(
+		`{"samples":[{"tenant":999999,"utilization":0.5},{"utilization":0.5},{"tenant":0,"at_seconds":1e300,"utilization":0.5},{"tenant":0,"server":%d,"utilization":0.5},{"tenant":0,"at_seconds":1,"utilization":0.5},{"tenant":0,"utilization":0.5}]}`,
+		srvOfOther))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed telemetry status = %d", resp.StatusCode)
+	}
+	decode(t, respBody, &tr)
+	if tr.Accepted != 1 || tr.Rejected != 5 {
+		t.Errorf("mixed accepted/rejected = %d/%d, want 1/5", tr.Accepted, tr.Rejected)
+	}
+}
+
+// TestLiveUsageBetweenRefreshes pins the CurrentUtilization contract: the
+// usage view queries run against updates from ring samples without waiting
+// for a refresh, while the snapshot's frozen view stays put.
+func TestLiveUsageBetweenRefreshes(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	snap, _ := svc.Snapshot("DC-9")
+	target := snap.Clustering.Classes[0]
+	before := snap.Usage[target.ID].CurrentUtilization
+
+	samples := make([]service.IngestSample, 0, len(target.Tenants))
+	for _, tid := range target.Tenants {
+		samples = append(samples, service.IngestSample{Tenant: tid, Server: -1, Value: 0.99})
+	}
+	if res, err := svc.Ingest("DC-9", samples); err != nil || res.Accepted != len(samples) {
+		t.Fatalf("Ingest: %+v, %v", res, err)
+	}
+
+	// Same snapshot generation, no refresh — but the live view moved.
+	live := svc.UsageFor(snap)
+	if got := live[target.ID].CurrentUtilization; got < 0.98 {
+		t.Errorf("live usage = %.3f, want ~0.99", got)
+	}
+	if snap.Usage[target.ID].CurrentUtilization != before {
+		t.Error("snapshot's frozen usage view mutated")
+	}
+
+	// The classes endpoint serves the live view.
+	_, body := get(t, srv.URL+"/v1/DC-9/classes")
+	var classes struct {
+		Generation uint64 `json:"generation"`
+		Classes    []struct {
+			ID                 int     `json:"id"`
+			CurrentUtilization float64 `json:"current_utilization"`
+		} `json:"classes"`
+	}
+	decode(t, body, &classes)
+	if classes.Generation != snap.Generation {
+		t.Fatalf("generation = %d, want %d (no refresh happened)", classes.Generation, snap.Generation)
+	}
+	found := false
+	for _, c := range classes.Classes {
+		if c.ID == int(target.ID) {
+			found = true
+			if c.CurrentUtilization < 0.98 {
+				t.Errorf("classes endpoint current_utilization = %.3f, want ~0.99", c.CurrentUtilization)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("class %d missing from classes response", target.ID)
+	}
+
+	// A server-addressed sample reaches the owning tenant's ring and
+	// invalidates the cached live view.
+	srvID := target.Servers[0]
+	if res, err := svc.Ingest("DC-9", []service.IngestSample{{Tenant: -1, Server: srvID, Value: 0.01}}); err != nil || res.Accepted != 1 {
+		t.Fatalf("server-addressed ingest: %+v, %v", res, err)
+	}
+	moved := svc.UsageFor(snap)[target.ID].CurrentUtilization
+	if moved >= 0.99 {
+		t.Errorf("server-addressed sample did not move the live view (still %.3f)", moved)
+	}
+}
+
+// TestWarmAndFullRefreshCounters pins the refresh cadence contract: warm
+// refreshes by default, a from-scratch rebuild every FullRebuildEvery-th.
+func TestWarmAndFullRefreshCounters(t *testing.T) {
+	cfg := testConfig()
+	cfg.FullRebuildEvery = 3
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := svc.Refresh("DC-9"); err != nil {
+			t.Fatalf("Refresh %d: %v", i, err)
+		}
+	}
+	st, _ := svc.Stats("DC-9")
+	if st.Refreshes != 3 {
+		t.Fatalf("refreshes = %d, want 3", st.Refreshes)
+	}
+	if st.WarmRefreshes != 2 || st.FullRebuilds != 1 {
+		t.Errorf("warm/full = %d/%d, want 2/1", st.WarmRefreshes, st.FullRebuilds)
+	}
+}
+
+// TestSnapshotPersistence exercises the restore path: a service built over
+// the same PersistDir resumes from the persisted generation with the same
+// classes instead of re-clustering from scratch.
+func TestSnapshotPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.PersistDir = dir
+
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Ingest past the bootstrap horizon so the persisted AsOf is ahead of
+	// what a restarted daemon's re-seeded rings hold.
+	boot, _ := svc.Snapshot("DC-9")
+	if res, err := svc.Ingest("DC-9", []service.IngestSample{
+		{Tenant: boot.Clustering.Classes[0].Tenants[0], Server: -1, Value: 0.5},
+	}); err != nil || res.Accepted != 1 {
+		t.Fatalf("Ingest: %+v, %v", res, err)
+	}
+	if err := svc.Refresh("DC-9"); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	first, _ := svc.Snapshot("DC-9")
+	if first.Generation != 2 {
+		t.Fatalf("generation = %d, want 2", first.Generation)
+	}
+	if first.AsOf <= boot.AsOf {
+		t.Fatalf("AsOf did not advance past the bootstrap horizon")
+	}
+
+	// "Restart": a new service over the same directory.
+	svc2, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	restored, _ := svc2.Snapshot("DC-9")
+	if restored.Generation != first.Generation {
+		t.Errorf("restored generation = %d, want %d", restored.Generation, first.Generation)
+	}
+	if len(restored.Clustering.Classes) != len(first.Clustering.Classes) {
+		t.Fatalf("restored %d classes, want %d", len(restored.Clustering.Classes), len(first.Clustering.Classes))
+	}
+	for i, cls := range first.Clustering.Classes {
+		rc := restored.Clustering.Classes[i]
+		if rc.ID != cls.ID || rc.Pattern != cls.Pattern || len(rc.Tenants) != len(cls.Tenants) || len(rc.Servers) != len(cls.Servers) {
+			t.Errorf("class %d mismatch after restore", cls.ID)
+		}
+	}
+	// The restored snapshot answers queries and keeps refreshing.
+	if sel, _, err := svc2.Select("DC-9", core.JobRequest{Type: core.JobMedium, MaxConcurrentCores: 4}); err != nil || sel.Empty() {
+		t.Errorf("restored service select failed: %v %+v", err, sel)
+	}
+	if err := svc2.Refresh("DC-9"); err != nil {
+		t.Fatalf("restored Refresh: %v", err)
+	}
+	next, _ := svc2.Snapshot("DC-9")
+	if next.Generation != first.Generation+1 {
+		t.Errorf("post-restore generation = %d, want %d", next.Generation, first.Generation+1)
+	}
+	// AsOf stays monotonic across the restart even though the re-seeded
+	// rings only hold the bootstrap window: the restore pulls the telemetry
+	// clock up to the persisted AsOf.
+	if next.AsOf < first.AsOf {
+		t.Errorf("AsOf regressed across restart: %v -> %v", first.AsOf, next.AsOf)
+	}
+
+	// A fingerprint mismatch (different seed) discards the file and boots
+	// from scratch at generation 1.
+	cfg3 := cfg
+	cfg3.Scale.Seed = 99
+	svc3, err := service.New(cfg3)
+	if err != nil {
+		t.Fatalf("mismatched New: %v", err)
+	}
+	fresh, _ := svc3.Snapshot("DC-9")
+	if fresh.Generation != 1 {
+		t.Errorf("mismatched-seed generation = %d, want 1 (file must be discarded)", fresh.Generation)
+	}
+
+	// A corrupt file is ignored, not fatal.
+	path := dir + "/DC-9.snapshot.json"
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc4, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("corrupt-file New: %v", err)
+	}
+	if snap, _ := svc4.Snapshot("DC-9"); snap.Generation != 1 {
+		t.Errorf("corrupt-file generation = %d, want 1", snap.Generation)
 	}
 }
 

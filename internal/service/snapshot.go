@@ -34,11 +34,14 @@ import (
 type Snapshot struct {
 	// Datacenter is the profile name, e.g. "DC-9".
 	Datacenter string
-	// Generation counts rebuilds, starting at 1 for the boot snapshot.
+	// Generation counts rebuilds, starting at 1 for the boot snapshot. A
+	// daemon restored from a persisted snapshot resumes at the persisted
+	// generation.
 	Generation uint64
-	// AsOf is the position in the (cyclic) one-month telemetry trace the
-	// usage view was computed at; each refresh advances it by the configured
-	// simulation step, standing in for fresh telemetry.
+	// AsOf is the position on the telemetry clock the snapshot was built at:
+	// the history source's horizon (the offset of the freshest sample in the
+	// ingestion rings) at build time. It advances when ingested telemetry
+	// does, not per refresh.
 	AsOf time.Duration
 	// BuiltAt and BuildDuration record when and how expensively the snapshot
 	// was produced (exported on /metrics as snapshot age).
@@ -48,7 +51,9 @@ type Snapshot struct {
 	// Clustering is the utilization-class structure (§4.1).
 	Clustering *core.Clustering
 	// Usage holds each class's current utilization at AsOf. Treated as
-	// read-only by every query.
+	// read-only by every query. Between refreshes the service overlays this
+	// with a live view recomputed from recent ring samples (Service.UsageFor);
+	// this field is the view frozen at build time.
 	Usage map[core.ClassID]core.ClassUsage
 	// Thresholds are the job-length cut-offs select requests are classified
 	// with when they carry a last-run duration instead of an explicit type.
@@ -63,16 +68,26 @@ type Snapshot struct {
 	placers sync.Pool
 }
 
-// buildSnapshot derives a snapshot from a population. The caller (one
-// refresher goroutine per shard) is the only writer of pop; the returned
-// snapshot copies or shares only state that is never written afterwards.
-func buildSnapshot(dc string, pop *tenant.Population, cfg Config, generation uint64, asOf time.Duration) (*Snapshot, error) {
+// buildSnapshot derives a snapshot from a population and a history source,
+// clustering from scratch. The refresher's warm path builds the clustering
+// with core.Recluster instead and assembles with assembleSnapshot directly.
+func buildSnapshot(dc string, pop *tenant.Population, src tenant.HistorySource, cfg Config, generation uint64) (*Snapshot, error) {
 	start := time.Now()
 	clusterer := core.NewClusteringService(cfg.Clustering)
-	clustering, err := clusterer.Cluster(pop)
+	clustering, err := clusterer.ClusterFrom(pop, src)
 	if err != nil {
 		return nil, fmt.Errorf("service: %s: %w", dc, err)
 	}
+	return assembleSnapshot(dc, pop, src, cfg, generation, clustering, start)
+}
+
+// assembleSnapshot wraps a ready clustering in a queryable snapshot: the
+// selector, the placement scheme, and the usage view at the source's
+// horizon. The caller (one refresher goroutine per shard, serialized by the
+// shard mutex) is the only writer of pop; the returned snapshot copies or
+// shares only state that is never written afterwards.
+func assembleSnapshot(dc string, pop *tenant.Population, src tenant.HistorySource, cfg Config,
+	generation uint64, clustering *core.Clustering, start time.Time) (*Snapshot, error) {
 	selector, err := core.NewSelector(cfg.Selector, clustering, nil)
 	if err != nil {
 		return nil, fmt.Errorf("service: %s: %w", dc, err)
@@ -82,22 +97,12 @@ func buildSnapshot(dc string, pop *tenant.Population, cfg Config, generation uin
 		return nil, fmt.Errorf("service: %s: %w", dc, err)
 	}
 
-	// The usage view: each class's server-weighted utilization at asOf, the
-	// quantity NM heartbeats would report live (§4.1).
-	usage := make(map[core.ClassID]core.ClassUsage, len(clustering.Classes))
-	for _, cls := range clustering.Classes {
-		var sum, weight float64
-		for _, tid := range cls.Tenants {
-			t := pop.ByID(tid)
-			w := float64(t.NumServers())
-			sum += t.UtilizationAt(asOf) * w
-			weight += w
-		}
-		if weight > 0 {
-			sum /= weight
-		}
-		usage[cls.ID] = core.ClassUsage{CurrentUtilization: sum}
-	}
+	// The usage view: each class's server-weighted utilization at the
+	// source's horizon, the quantity NM heartbeats would report live (§4.1).
+	asOf := src.Horizon()
+	usage := weightedClassUsage(clustering.Classes, pop, func(_ *core.UtilizationClass, tid tenant.ID) float64 {
+		return src.UtilizationAt(tid, asOf)
+	})
 
 	snap := &Snapshot{
 		Datacenter:    dc,
@@ -115,10 +120,45 @@ func buildSnapshot(dc string, pop *tenant.Population, cfg Config, generation uin
 	return snap, nil
 }
 
-// Select runs class selection (Alg. 1) against the snapshot's usage view.
-// Safe for any number of concurrent callers; each must bring its own RNG.
+// weightedClassUsage computes the per-class usage view: each class's
+// server-count-weighted average of a per-tenant utilization reading. Both
+// the build-time view (history source at the horizon) and the live view
+// (latest ring samples, Service.UsageFor) are this aggregation with a
+// different value lookup.
+func weightedClassUsage(classes []*core.UtilizationClass, pop *tenant.Population,
+	value func(cls *core.UtilizationClass, tid tenant.ID) float64) map[core.ClassID]core.ClassUsage {
+	usage := make(map[core.ClassID]core.ClassUsage, len(classes))
+	for _, cls := range classes {
+		var sum, weight float64
+		for _, tid := range cls.Tenants {
+			t := pop.ByID(tid)
+			if t == nil {
+				continue
+			}
+			w := float64(t.NumServers())
+			sum += value(cls, tid) * w
+			weight += w
+		}
+		if weight > 0 {
+			sum /= weight
+		}
+		usage[cls.ID] = core.ClassUsage{CurrentUtilization: sum}
+	}
+	return usage
+}
+
+// Select runs class selection (Alg. 1) against the snapshot's build-time
+// usage view. Safe for any number of concurrent callers; each must bring its
+// own RNG. The service's query path uses SelectUsage with the live view.
 func (s *Snapshot) Select(rng *rand.Rand, job core.JobRequest) core.Selection {
 	return s.selector.SelectWith(rng, job, s.Usage)
+}
+
+// SelectUsage runs class selection against a caller-supplied usage view —
+// the hook the service uses to select on utilization recomputed from recent
+// ring samples between refreshes.
+func (s *Snapshot) SelectUsage(rng *rand.Rand, job core.JobRequest, usage map[core.ClassID]core.ClassUsage) core.Selection {
+	return s.selector.SelectWith(rng, job, usage)
 }
 
 // Headroom reports a class's available cores for a job type at the

@@ -2,6 +2,8 @@ package signalproc
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"harvest/internal/stats"
 )
@@ -59,6 +61,9 @@ type ClassifierConfig struct {
 }
 
 // DefaultClassifierConfig returns the thresholds used throughout the repo.
+// The frequency band is expressed in cycles per trace and tuned for the
+// paper's one-month analysis window; use ForWindow when classifying a window
+// of a different length.
 func DefaultClassifierConfig() ClassifierConfig {
 	return ClassifierConfig{
 		ConstantCV:             0.12,
@@ -66,6 +71,35 @@ func DefaultClassifierConfig() ClassifierConfig {
 		MinPeriodicFrequency:   4,
 		MaxPeriodicFrequency:   720,
 	}
+}
+
+// ForWindow rescales the periodic frequency band from the reference window
+// the thresholds were tuned for (the paper's one month) to an actual
+// analysis window. Bin indexes are cycles per trace, so a daily cycle that
+// lands at bin 30 in a one-month window lands at bin 7 in a one-week window;
+// without this rescaling a short live-telemetry window would reject every
+// periodic tenant. Amplitude thresholds (ConstantCV, PeriodicEnergyFraction)
+// are window-invariant and pass through unchanged. Non-positive arguments or
+// window == reference return the config unmodified.
+func (c ClassifierConfig) ForWindow(window, reference time.Duration) ClassifierConfig {
+	if window <= 0 || reference <= 0 || window == reference {
+		return c
+	}
+	ratio := float64(window) / float64(reference)
+	scaled := c
+	if c.MinPeriodicFrequency > 0 {
+		scaled.MinPeriodicFrequency = int(math.Round(float64(c.MinPeriodicFrequency) * ratio))
+		if scaled.MinPeriodicFrequency < 1 {
+			scaled.MinPeriodicFrequency = 1
+		}
+	}
+	if c.MaxPeriodicFrequency > 0 {
+		scaled.MaxPeriodicFrequency = int(math.Round(float64(c.MaxPeriodicFrequency) * ratio))
+		if scaled.MaxPeriodicFrequency < scaled.MinPeriodicFrequency {
+			scaled.MaxPeriodicFrequency = scaled.MinPeriodicFrequency
+		}
+	}
+	return scaled
 }
 
 // Profile captures the frequency-domain features of a utilization trace.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func periodicTrace(n, cycles int, base, amplitude float64) []float64 {
@@ -133,5 +134,44 @@ func TestClassifyDailyCycleOverAMonth(t *testing.T) {
 	}
 	if p.Pattern != PatternPeriodic || p.DominantFrequency != 30 {
 		t.Fatalf("profile = %+v", p)
+	}
+}
+
+func TestForWindowRescalesPeriodicBand(t *testing.T) {
+	month := 30 * 24 * time.Hour
+	week := 7 * 24 * time.Hour
+	cfg := DefaultClassifierConfig()
+
+	scaled := cfg.ForWindow(week, month)
+	if scaled.MinPeriodicFrequency != 1 {
+		t.Errorf("week MinPeriodicFrequency = %d, want 1 (4*7/30 rounded, floored at 1)", scaled.MinPeriodicFrequency)
+	}
+	if scaled.MaxPeriodicFrequency != 168 {
+		t.Errorf("week MaxPeriodicFrequency = %d, want 168 (720*7/30)", scaled.MaxPeriodicFrequency)
+	}
+	// Amplitude thresholds pass through untouched.
+	if scaled.ConstantCV != cfg.ConstantCV || scaled.PeriodicEnergyFraction != cfg.PeriodicEnergyFraction {
+		t.Error("amplitude thresholds must be window-invariant")
+	}
+	// Identity and degenerate cases.
+	if got := cfg.ForWindow(month, month); got != cfg {
+		t.Error("window == reference must be a no-op")
+	}
+	if got := cfg.ForWindow(0, month); got != cfg {
+		t.Error("non-positive window must be a no-op")
+	}
+	if got := cfg.ForWindow(week, 0); got != cfg {
+		t.Error("non-positive reference must be a no-op")
+	}
+
+	// A daily cycle classified over one week: 7 cycles per trace, inside the
+	// rescaled band but outside the month-tuned one.
+	trace := periodicTrace(7*720, 7, 0.5, 0.3)
+	p, err := Classify(trace, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pattern != PatternPeriodic {
+		t.Errorf("daily cycle over one week classified as %v with rescaled band, want periodic", p.Pattern)
 	}
 }

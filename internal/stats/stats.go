@@ -66,6 +66,35 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// Summary returns the mean, maximum, and coefficient of variation of xs in
+// one pass. It exists for hot callers that need all three (the re-clustering
+// drift check runs it over every tenant's history window every refresh) and
+// matches Mean/Max/CoefficientOfVariation exactly for the values they agree
+// on. An empty slice returns all zeros.
+func Summary(xs []float64) (mean, max, cv float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	sum := 0.0
+	max = xs[0]
+	for _, x := range xs {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	mean = sum / float64(len(xs))
+	if mean == 0 {
+		return mean, max, 0
+	}
+	sq := 0.0
+	for _, x := range xs {
+		d := x - mean
+		sq += d * d
+	}
+	return mean, max, math.Sqrt(sq/float64(len(xs))) / mean
+}
+
 // Variance returns the population variance of xs.
 func Variance(xs []float64) float64 {
 	if len(xs) == 0 {

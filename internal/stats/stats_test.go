@@ -305,3 +305,27 @@ func TestPercentileWithinRangeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSummaryMatchesIndividualStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	mean, max, cv := Summary(xs)
+	if !almostEqual(mean, Mean(xs), 1e-12) {
+		t.Errorf("Summary mean = %v, want %v", mean, Mean(xs))
+	}
+	if max != Max(xs) {
+		t.Errorf("Summary max = %v, want %v", max, Max(xs))
+	}
+	if !almostEqual(cv, CoefficientOfVariation(xs), 1e-12) {
+		t.Errorf("Summary cv = %v, want %v", cv, CoefficientOfVariation(xs))
+	}
+	if m, mx, c := Summary(nil); m != 0 || mx != 0 || c != 0 {
+		t.Errorf("Summary(nil) = %v %v %v, want zeros", m, mx, c)
+	}
+	if _, _, c := Summary([]float64{0, 0}); c != 0 {
+		t.Errorf("zero-mean cv = %v, want 0", c)
+	}
+}

@@ -1,0 +1,340 @@
+// Package telemetry is the live utilization history source of the serving
+// layer: fixed-capacity per-tenant ring buffers of timestamped utilization
+// samples. In the paper's deployment the clustering service re-derives
+// utilization classes "periodically, from the latest telemetry" (§4.1); this
+// package is where that telemetry accumulates between re-clusterings.
+//
+// Concurrency model: each ring has a single logical writer (concurrent
+// ingest calls serialize on a tiny per-ring mutex) and any number of
+// lock-free readers. The writer fills a slot with atomic stores and then
+// publishes it by advancing an atomic cursor; readers load the cursor, copy
+// the slots they want, and re-check the cursor to detect a wrap-around
+// overwrite, retrying in that (rare) case. Snapshot builds therefore never
+// block ingest and ingest never blocks snapshot builds — the property the
+// serving layer's "queries never wait on a rebuild" contract extends to the
+// new data path.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harvest/internal/tenant"
+	"harvest/internal/timeseries"
+)
+
+// Sample is one timestamped utilization observation for a tenant's "average
+// server". At is an offset on the telemetry clock (time since the start of
+// the tenant's history), not wall-clock time.
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// slot is one ring cell. Value bits and timestamp are separate atomics; the
+// cursor re-check in snapshot() is what keeps a reader from pairing a new
+// value with an old timestamp.
+type slot struct {
+	at   atomic.Int64
+	bits atomic.Uint64
+}
+
+// Ring is a fixed-capacity single-writer ring of samples. It stores one
+// spare slot beyond the requested capacity so that a reader copying the full
+// window can always detect (rather than miss) a concurrent overwrite.
+type Ring struct {
+	slots []slot
+	head  atomic.Uint64 // samples ever appended; sample n lives in slots[n % len(slots)]
+	wmu   sync.Mutex    // serializes writers only; readers never take it
+}
+
+// NewRing creates a ring holding up to capacity samples.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]slot, capacity+1)}
+}
+
+// Capacity returns the maximum number of samples the ring retains.
+func (r *Ring) Capacity() int { return len(r.slots) - 1 }
+
+// Len returns how many samples are currently retained.
+func (r *Ring) Len() int {
+	head := r.head.Load()
+	if c := uint64(r.Capacity()); head > c {
+		return int(c)
+	}
+	return int(head)
+}
+
+// Append adds one sample. Safe for concurrent callers (they serialize on the
+// ring's writer mutex); never blocks or is blocked by readers.
+func (r *Ring) Append(at time.Duration, value float64) {
+	r.wmu.Lock()
+	r.appendLocked(at, value)
+	r.wmu.Unlock()
+}
+
+func (r *Ring) appendLocked(at time.Duration, value float64) {
+	head := r.head.Load()
+	s := &r.slots[head%uint64(len(r.slots))]
+	s.at.Store(int64(at))
+	s.bits.Store(math.Float64bits(value))
+	r.head.Store(head + 1) // publish
+}
+
+// appendAfter resolves the sample's offset against the ring's latest sample
+// and appends, all under the writer mutex so two concurrent ingests cannot
+// both pass the monotonicity check. A non-positive at becomes one interval
+// after the latest sample; an explicit at must be strictly newer than it.
+func (r *Ring) appendAfter(at time.Duration, value float64, interval time.Duration) (time.Duration, error) {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	head := r.head.Load()
+	var lastAt time.Duration
+	if head > 0 {
+		// Safe to read directly: we hold the only writer lock.
+		lastAt = time.Duration(r.slots[(head-1)%uint64(len(r.slots))].at.Load())
+	}
+	if at <= 0 {
+		at = lastAt + interval
+	} else if head > 0 && at <= lastAt {
+		return 0, fmt.Errorf("telemetry: sample at %v not newer than latest %v", at, lastAt)
+	}
+	r.appendLocked(at, value)
+	return at, nil
+}
+
+// Last returns the most recent sample, if any. Lock-free.
+func (r *Ring) Last() (Sample, bool) {
+	for {
+		head := r.head.Load()
+		if head == 0 {
+			return Sample{}, false
+		}
+		s := &r.slots[(head-1)%uint64(len(r.slots))]
+		out := Sample{At: time.Duration(s.at.Load()), Value: math.Float64frombits(s.bits.Load())}
+		// Sample head-1's slot is next reused by sample head-1+len(slots),
+		// which the writer begins once the published cursor reaches it; the
+		// copy above is consistent iff the cursor is still strictly below
+		// that (same acceptance rule as Snapshot with start = head-1).
+		if r.head.Load() < head+uint64(r.Capacity()) {
+			return out, true
+		}
+	}
+}
+
+// Snapshot appends the retained samples, oldest first, to dst and returns
+// it. Lock-free: on the (rare) wrap-around race with the writer it retries
+// with the newer cursor.
+func (r *Ring) Snapshot(dst []Sample) []Sample {
+	base := len(dst)
+	for {
+		dst = dst[:base]
+		head := r.head.Load()
+		n := head
+		if c := uint64(r.Capacity()); n > c {
+			n = c
+		}
+		start := head - n
+		for i := start; i < head; i++ {
+			s := &r.slots[i%uint64(len(r.slots))]
+			dst = append(dst, Sample{At: time.Duration(s.at.Load()), Value: math.Float64frombits(s.bits.Load())})
+		}
+		// Accept iff no sample we copied can have been overwritten: sample
+		// `start`'s slot is first reused when the writer begins sample
+		// start+len(slots), which it only does once head == start+len(slots)-1
+		// has been published... conservatively, once head exceeds
+		// start+Capacity the oldest copied slot may be mid-rewrite.
+		if r.head.Load() <= start+uint64(r.Capacity()) {
+			return dst
+		}
+	}
+}
+
+// Store holds one ring per tenant of a datacenter plus the store-wide
+// telemetry clock. The tenant set is fixed at construction, so the map is
+// read-only and needs no lock. Store implements tenant.HistorySource: it is
+// the ring-backed twin of tenant.TraceHistory.
+type Store struct {
+	interval time.Duration
+	rings    map[tenant.ID]*Ring
+
+	horizon    atomic.Int64  // max sample offset ever ingested (telemetry clock)
+	total      atomic.Uint64 // samples ever ingested (incl. bootstrap)
+	lastIngest atomic.Int64  // wall-clock unix nanos of the last live ingest; 0 = never
+}
+
+// NewStore creates a store with one ring of the given capacity per tenant.
+// interval is the nominal sample spacing (the slot width classification
+// assumes when it materializes a ring as a series).
+func NewStore(ids []tenant.ID, interval time.Duration, capacity int) *Store {
+	if interval <= 0 {
+		interval = timeseries.SlotDuration
+	}
+	st := &Store{interval: interval, rings: make(map[tenant.ID]*Ring, len(ids))}
+	for _, id := range ids {
+		st.rings[id] = NewRing(capacity)
+	}
+	return st
+}
+
+// Interval returns the nominal sample spacing.
+func (st *Store) Interval() time.Duration { return st.interval }
+
+// Ring returns the ring for a tenant, or nil for an unknown tenant.
+func (st *Store) Ring(id tenant.ID) *Ring { return st.rings[id] }
+
+// NumTenants returns how many tenants the store tracks.
+func (st *Store) NumTenants() int { return len(st.rings) }
+
+// TotalSamples returns how many samples were ever ingested (bootstrap
+// included). The serving layer uses it as a cheap "has anything changed"
+// version for its live usage cache.
+func (st *Store) TotalSamples() uint64 { return st.total.Load() }
+
+// LastIngestAt returns the wall-clock time of the last live Ingest call and
+// whether one ever happened. Bootstrap fills do not count: the metric exists
+// to expose staleness of the live path.
+func (st *Store) LastIngestAt() (time.Time, bool) {
+	ns := st.lastIngest.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// Bootstrap seeds a tenant's ring from a historical series so the daemon has
+// a full analysis window before the first live sample arrives. The trailing
+// ring-capacity slots of the series are written with timestamps ending at
+// endAt (i.e. the last series value is "now" on the telemetry clock).
+func (st *Store) Bootstrap(id tenant.ID, s *timeseries.Series, endAt time.Duration) error {
+	r := st.rings[id]
+	if r == nil {
+		return fmt.Errorf("telemetry: unknown tenant %v", id)
+	}
+	if s == nil || s.Len() == 0 {
+		return fmt.Errorf("telemetry: tenant %v: empty bootstrap series", id)
+	}
+	tail := s.Tail(r.Capacity())
+	n := tail.Len()
+	for i := 0; i < n; i++ {
+		at := endAt - time.Duration(n-1-i)*st.interval
+		r.Append(at, tail.Values[i])
+	}
+	st.total.Add(uint64(n))
+	st.advanceHorizon(endAt)
+	return nil
+}
+
+// Ingest appends one live sample for a tenant. A non-positive at means "one
+// interval after the tenant's latest sample", which lets naive emitters post
+// values without tracking the telemetry clock; an explicit at must be newer
+// than the tenant's latest sample — rings are strictly time-ordered, and a
+// backdated (retried/duplicated) sample must not become the "most recent"
+// value the live usage view serves. The value is clamped to [0, 1]
+// (utilization fraction). Returns the offset the sample was recorded at.
+func (st *Store) Ingest(id tenant.ID, at time.Duration, value float64) (time.Duration, error) {
+	r := st.rings[id]
+	if r == nil {
+		return 0, fmt.Errorf("telemetry: unknown tenant %v", id)
+	}
+	if math.IsNaN(value) {
+		return 0, fmt.Errorf("telemetry: tenant %v: NaN utilization", id)
+	}
+	if value < 0 {
+		value = 0
+	} else if value > 1 {
+		value = 1
+	}
+	at, err := r.appendAfter(at, value, st.interval)
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: tenant %v: %w", id, err)
+	}
+	st.total.Add(1)
+	st.advanceHorizon(at)
+	st.lastIngest.Store(time.Now().UnixNano())
+	return at, nil
+}
+
+func (st *Store) advanceHorizon(at time.Duration) {
+	for {
+		cur := st.horizon.Load()
+		if int64(at) <= cur || st.horizon.CompareAndSwap(cur, int64(at)) {
+			return
+		}
+	}
+}
+
+// Horizon implements tenant.HistorySource: the telemetry offset of the
+// freshest sample in the store, the natural AsOf for a snapshot built from
+// it.
+func (st *Store) Horizon() time.Duration { return time.Duration(st.horizon.Load()) }
+
+// AdvanceClock moves the telemetry clock forward to at without adding a
+// sample (it never moves backwards). The restore path uses it when a
+// persisted snapshot was built from live samples newer than the bootstrap
+// window, so the published AsOf stays monotonic across a daemon restart.
+func (st *Store) AdvanceClock(at time.Duration) { st.advanceHorizon(at) }
+
+// SeriesFor implements tenant.HistorySource: it materializes the tenant's
+// ring as a fixed-interval series (samples are treated as uniformly spaced
+// at the store interval — the FFT input contract). Returns nil for unknown
+// tenants or empty rings. The returned series is a private copy.
+func (st *Store) SeriesFor(id tenant.ID) *timeseries.Series {
+	r := st.rings[id]
+	if r == nil {
+		return nil
+	}
+	samples := r.Snapshot(make([]Sample, 0, r.Len()))
+	if len(samples) == 0 {
+		return nil
+	}
+	values := make([]float64, len(samples))
+	for i, s := range samples {
+		values[i] = s.Value
+	}
+	return timeseries.New(st.interval, values)
+}
+
+// UtilizationAt implements tenant.HistorySource: the value of the tenant's
+// latest sample at or before the given offset (a step-function read of the
+// history). Offsets before the retained window return the oldest retained
+// sample; unknown or empty tenants return 0.
+func (st *Store) UtilizationAt(id tenant.ID, at time.Duration) float64 {
+	r := st.rings[id]
+	if r == nil {
+		return 0
+	}
+	if last, ok := r.Last(); ok && last.At <= at {
+		return last.Value // common case: reading at or past the horizon
+	}
+	samples := r.Snapshot(make([]Sample, 0, r.Len()))
+	for i := len(samples) - 1; i >= 0; i-- {
+		if samples[i].At <= at {
+			return samples[i].Value
+		}
+	}
+	if len(samples) > 0 {
+		return samples[0].Value
+	}
+	return 0
+}
+
+// LastValue returns the tenant's most recent sample value, or fallback when
+// the ring is empty or the tenant unknown. This is the O(1) read the serving
+// layer's live usage view is built from.
+func (st *Store) LastValue(id tenant.ID, fallback float64) float64 {
+	r := st.rings[id]
+	if r == nil {
+		return fallback
+	}
+	if last, ok := r.Last(); ok {
+		return last.Value
+	}
+	return fallback
+}

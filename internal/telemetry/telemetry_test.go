@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"harvest/internal/tenant"
+	"harvest/internal/timeseries"
+)
+
+func TestRingAppendAndSnapshot(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+	if _, ok := r.Last(); ok {
+		t.Fatal("empty ring has a Last sample")
+	}
+	for i := 1; i <= 3; i++ {
+		r.Append(time.Duration(i)*time.Minute, float64(i)/10)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	last, ok := r.Last()
+	if !ok || last.At != 3*time.Minute || last.Value != 0.3 {
+		t.Fatalf("Last = %+v, %v", last, ok)
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(got))
+	}
+	for i, s := range got {
+		if s.At != time.Duration(i+1)*time.Minute {
+			t.Errorf("sample %d at %v, want %v (oldest first)", i, s.At, time.Duration(i+1)*time.Minute)
+		}
+	}
+}
+
+func TestRingWrapsAndKeepsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(time.Duration(i)*time.Minute, float64(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", r.Len())
+	}
+	got := r.Snapshot(nil)
+	for i, s := range got {
+		want := float64(6 + i)
+		if s.Value != want {
+			t.Errorf("sample %d value %v, want %v", i, s.Value, want)
+		}
+	}
+	// Snapshot appends to dst without clobbering what's there.
+	prefix := []Sample{{At: 0, Value: -1}}
+	both := r.Snapshot(prefix)
+	if len(both) != 5 || both[0].Value != -1 {
+		t.Errorf("snapshot with prefix = %+v", both)
+	}
+}
+
+// TestRingConcurrentReadersAndWriter is the -race exercise for the
+// single-writer/atomic-cursor design: readers snapshot continuously while
+// the writer wraps the ring many times; every observed snapshot must be
+// internally consistent (timestamps strictly increasing, values matching
+// their timestamps).
+func TestRingConcurrentReadersAndWriter(t *testing.T) {
+	r := NewRing(64)
+	const writes = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 8)
+	for reader := 0; reader < 4; reader++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []Sample
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = r.Snapshot(buf[:0])
+				for i := 1; i < len(buf); i++ {
+					if buf[i].At <= buf[i-1].At {
+						errs <- "timestamps not increasing"
+						return
+					}
+				}
+				for _, s := range buf {
+					// The writer encodes At in the value, so a torn slot
+					// (new value, old timestamp) is detectable.
+					if s.Value != float64(s.At/time.Minute) {
+						errs <- "value does not match timestamp: torn slot"
+						return
+					}
+				}
+				if last, ok := r.Last(); ok && last.Value != float64(last.At/time.Minute) {
+					errs <- "Last returned a torn slot"
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= writes; i++ {
+		r.Append(time.Duration(i)*time.Minute, float64(i))
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func newTestStore(t *testing.T, capacity int) *Store {
+	t.Helper()
+	return NewStore([]tenant.ID{1, 2}, time.Minute, capacity)
+}
+
+func TestStoreBootstrapAndSeries(t *testing.T) {
+	st := newTestStore(t, 5)
+	series := timeseries.New(time.Minute, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7})
+	if err := st.Bootstrap(1, series, 7*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 5 < series length 7: only the trailing 5 samples are kept.
+	got := st.SeriesFor(1)
+	if got == nil || got.Len() != 5 {
+		t.Fatalf("SeriesFor = %v", got)
+	}
+	wantVals := []float64{0.3, 0.4, 0.5, 0.6, 0.7}
+	for i, v := range got.Values {
+		if v != wantVals[i] {
+			t.Errorf("value %d = %v, want %v", i, v, wantVals[i])
+		}
+	}
+	if got.Interval != time.Minute {
+		t.Errorf("interval = %v, want 1m", got.Interval)
+	}
+	if h := st.Horizon(); h != 7*time.Minute {
+		t.Errorf("horizon = %v, want 7m", h)
+	}
+	if _, ok := st.LastIngestAt(); ok {
+		t.Error("bootstrap counted as live ingest")
+	}
+	if st.SeriesFor(2) != nil {
+		t.Error("empty ring should yield a nil series")
+	}
+	if st.SeriesFor(99) != nil {
+		t.Error("unknown tenant should yield a nil series")
+	}
+	if err := st.Bootstrap(99, series, 0); err == nil {
+		t.Error("bootstrap of unknown tenant did not fail")
+	}
+}
+
+func TestStoreIngest(t *testing.T) {
+	st := newTestStore(t, 8)
+	at, err := st.Ingest(1, 10*time.Minute, 0.5)
+	if err != nil || at != 10*time.Minute {
+		t.Fatalf("Ingest = %v, %v", at, err)
+	}
+	// Auto-timestamp: one interval after the latest sample.
+	at, err = st.Ingest(1, 0, 0.6)
+	if err != nil || at != 11*time.Minute {
+		t.Fatalf("auto-at Ingest = %v, %v (want 11m)", at, err)
+	}
+	// First sample with auto-timestamp starts the clock at one interval.
+	at, err = st.Ingest(2, 0, 0.7)
+	if err != nil || at != time.Minute {
+		t.Fatalf("first auto-at = %v, %v (want 1m)", at, err)
+	}
+	// Backdated or duplicate offsets are rejected: rings are strictly
+	// time-ordered and the newest sample is what the live usage view serves.
+	if _, err := st.Ingest(1, 5*time.Minute, 0.9); err == nil {
+		t.Error("backdated sample accepted")
+	}
+	if _, err := st.Ingest(1, 11*time.Minute, 0.9); err == nil {
+		t.Error("duplicate-offset sample accepted")
+	}
+	// Values are clamped, NaN rejected, unknown tenants rejected.
+	if _, err := st.Ingest(1, 0, math.NaN()); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := st.Ingest(42, 0, 0.5); err == nil {
+		t.Error("unknown tenant accepted")
+	}
+	st.Ingest(1, 0, 1.7)
+	if v := st.LastValue(1, -1); v != 1 {
+		t.Errorf("clamped value = %v, want 1", v)
+	}
+	if _, ok := st.LastIngestAt(); !ok {
+		t.Error("live ingest not recorded")
+	}
+	if st.TotalSamples() != 4 {
+		t.Errorf("total = %d, want 4", st.TotalSamples())
+	}
+	if h := st.Horizon(); h != 12*time.Minute {
+		t.Errorf("horizon = %v, want 12m", h)
+	}
+}
+
+func TestStoreUtilizationAt(t *testing.T) {
+	st := newTestStore(t, 8)
+	st.Ingest(1, 2*time.Minute, 0.2)
+	st.Ingest(1, 4*time.Minute, 0.4)
+	st.Ingest(1, 6*time.Minute, 0.6)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{7 * time.Minute, 0.6}, // past the horizon: latest
+		{6 * time.Minute, 0.6},
+		{5 * time.Minute, 0.4}, // step function: latest at-or-before
+		{3 * time.Minute, 0.2},
+		{1 * time.Minute, 0.2}, // before the window: oldest retained
+	}
+	for _, c := range cases {
+		if got := st.UtilizationAt(1, c.at); got != c.want {
+			t.Errorf("UtilizationAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if got := st.UtilizationAt(2, time.Minute); got != 0 {
+		t.Errorf("empty ring UtilizationAt = %v, want 0", got)
+	}
+	if got := st.UtilizationAt(99, time.Minute); got != 0 {
+		t.Errorf("unknown tenant UtilizationAt = %v, want 0", got)
+	}
+	if got := st.LastValue(2, 0.123); got != 0.123 {
+		t.Errorf("LastValue fallback = %v, want 0.123", got)
+	}
+}

@@ -1,0 +1,61 @@
+package tenant
+
+import (
+	"time"
+
+	"harvest/internal/timeseries"
+)
+
+// HistorySource abstracts where a tenant's utilization history comes from.
+// The clustering service and the serving layer's usage view depend only on
+// this seam, so the same pipeline runs against the synthetic one-month trace
+// (TraceHistory — simulators, experiment harnesses, daemon bootstrap) or
+// against live telemetry rings (telemetry.Store — the daemon's steady
+// state). Nothing downstream may assume the series is one month long or
+// cyclic; window lengths are whatever the source holds.
+type HistorySource interface {
+	// SeriesFor returns the utilization history window for a tenant: the
+	// classification (FFT) input, and the window its peak/average summary
+	// statistics are computed over. Nil when the source has no history for
+	// the tenant.
+	SeriesFor(id ID) *timeseries.Series
+	// UtilizationAt returns the tenant's utilization at the given offset on
+	// the telemetry clock.
+	UtilizationAt(id ID, at time.Duration) float64
+	// Horizon returns the offset of the freshest data the source holds — the
+	// natural AsOf for a characterization built from it.
+	Horizon() time.Duration
+}
+
+// TraceHistory is the trace-backed HistorySource: each tenant's generated
+// one-month series replayed cyclically, with AsOf marking the current
+// position. This is exactly the pre-refactor behaviour of the serving layer
+// ("advance the trace by SimStep per refresh"), now one implementation of
+// the seam instead of an assumption baked into core.
+type TraceHistory struct {
+	Pop *Population
+	// AsOf is the position on the telemetry clock; UtilizationAt wraps
+	// around the series, so any offset is valid.
+	AsOf time.Duration
+}
+
+// SeriesFor returns the tenant's full generated series.
+func (h TraceHistory) SeriesFor(id ID) *timeseries.Series {
+	t := h.Pop.ByID(id)
+	if t == nil {
+		return nil
+	}
+	return t.Utilization
+}
+
+// UtilizationAt replays the trace cyclically, exactly as Tenant.UtilizationAt.
+func (h TraceHistory) UtilizationAt(id ID, at time.Duration) float64 {
+	t := h.Pop.ByID(id)
+	if t == nil {
+		return 0
+	}
+	return t.UtilizationAt(at)
+}
+
+// Horizon returns the configured trace position.
+func (h TraceHistory) Horizon() time.Duration { return h.AsOf }

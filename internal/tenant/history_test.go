@@ -1,0 +1,40 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+
+	"harvest/internal/timeseries"
+)
+
+func TestTraceHistoryMirrorsTenantMethods(t *testing.T) {
+	tn := &Tenant{
+		ID:          7,
+		Servers:     []ServerID{1, 2},
+		Utilization: timeseries.New(time.Minute, []float64{0.1, 0.9}),
+	}
+	pop, err := NewPopulation("DC-X", []*Tenant{tn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := TraceHistory{Pop: pop, AsOf: 5 * time.Minute}
+
+	if got := src.SeriesFor(7); got != tn.Utilization {
+		t.Errorf("SeriesFor returned %v, want the tenant's series", got)
+	}
+	if got := src.SeriesFor(99); got != nil {
+		t.Errorf("unknown tenant SeriesFor = %v, want nil", got)
+	}
+	// UtilizationAt wraps cyclically, exactly like the tenant method.
+	for _, at := range []time.Duration{0, time.Minute, 2 * time.Minute, 3 * time.Minute} {
+		if got, want := src.UtilizationAt(7, at), tn.UtilizationAt(at); got != want {
+			t.Errorf("UtilizationAt(%v) = %v, want %v", at, got, want)
+		}
+	}
+	if got := src.UtilizationAt(99, 0); got != 0 {
+		t.Errorf("unknown tenant UtilizationAt = %v, want 0", got)
+	}
+	if got := src.Horizon(); got != 5*time.Minute {
+		t.Errorf("Horizon = %v, want 5m", got)
+	}
+}

@@ -271,6 +271,21 @@ func (s *Series) Resample(newInterval time.Duration) (*Series, error) {
 	return out, nil
 }
 
+// Tail returns the sub-series holding the last n slots (the whole series
+// when n exceeds its length). Telemetry bootstrap uses it to seed live
+// rings with the trailing window of a historical trace.
+func (s *Series) Tail(n int) *Series {
+	if n >= len(s.Values) {
+		return s.Clone()
+	}
+	if n < 0 {
+		n = 0
+	}
+	values := make([]float64, n)
+	copy(values, s.Values[len(s.Values)-n:])
+	return &Series{Interval: s.Interval, Values: values}
+}
+
 // Window returns the sub-series covering slots [start, end).
 func (s *Series) Window(start, end int) (*Series, error) {
 	if start < 0 || end > len(s.Values) || start > end {

@@ -284,3 +284,28 @@ func TestScaleLinearPreservesBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTail(t *testing.T) {
+	s := New(time.Minute, []float64{1, 2, 3, 4, 5})
+	tail := s.Tail(2)
+	if tail.Len() != 2 || tail.Values[0] != 4 || tail.Values[1] != 5 {
+		t.Fatalf("Tail(2) = %v", tail.Values)
+	}
+	if tail.Interval != time.Minute {
+		t.Errorf("Tail interval = %v, want 1m", tail.Interval)
+	}
+	// Tail is a copy, not an alias.
+	tail.Values[0] = 99
+	if s.Values[3] != 4 {
+		t.Error("Tail aliases the source series")
+	}
+	if all := s.Tail(10); all.Len() != 5 {
+		t.Errorf("Tail(10) len = %d, want the whole series", all.Len())
+	}
+	if none := s.Tail(0); none.Len() != 0 {
+		t.Errorf("Tail(0) len = %d, want 0", none.Len())
+	}
+	if neg := s.Tail(-3); neg.Len() != 0 {
+		t.Errorf("Tail(-3) len = %d, want 0", neg.Len())
+	}
+}
