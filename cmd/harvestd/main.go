@@ -7,11 +7,17 @@
 // previous generation's centroids (every -full-every-th refresh rebuilds
 // from scratch as the correctness backstop).
 //
+// Satisfiable selects reserve their cores in the live allocation ledger and
+// return a lease; POST /v1/{dc}/release returns the cores, and a background
+// sweep reclaims leases whose holder died (-lease-ttl).
+//
 // Usage:
 //
 //	harvestd [-listen :7077] [-dcs DC-9,DC-3 | -dcs all] [-scale 0.05]
 //	         [-refresh 30s] [-ring-slots 21600] [-full-every 24]
 //	         [-persist DIR] [-seed 1]
+//	         [-lease-ttl 2m] [-tenant-stale-after 0]
+//	         [-ingest-token TOKEN] [-ingest-rate 0]
 //
 // See README.md for the API routes; `cmd/loadgen` drives it (and its
 // -telemetry mode feeds it live samples).
@@ -40,8 +46,12 @@ func main() {
 	refresh := flag.Duration("refresh", 30*time.Second, "wall-clock period between snapshot rebuilds (0 disables)")
 	ringSlots := flag.Int("ring-slots", 0, "per-tenant telemetry ring capacity in 2-minute samples (0 = one month)")
 	fullEvery := flag.Int("full-every", 24, "re-cluster from scratch every Nth refresh (negative = always warm-start)")
-	persist := flag.String("persist", "", "directory to persist snapshots to (and restore from at boot)")
+	persist := flag.String("persist", "", "directory to persist snapshots and the allocation ledger to (and restore from at boot)")
 	seed := flag.Int64("seed", 1, "random seed")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Minute, "default select-reservation lifetime before the expiry sweep reclaims it (negative disables expiry)")
+	staleAfter := flag.Duration("tenant-stale-after", 0, "evict telemetry rings of tenants silent for this long (0 disables)")
+	ingestToken := flag.String("ingest-token", "", "require this bearer token on POST /v1/{dc}/telemetry")
+	ingestRate := flag.Float64("ingest-rate", 0, "per-source telemetry POSTs per second (0 = unlimited)")
 	flag.Parse()
 
 	cfg := service.DefaultConfig()
@@ -51,6 +61,8 @@ func main() {
 	cfg.FullRebuildEvery = *fullEvery
 	cfg.PersistDir = *persist
 	cfg.Seed = *seed
+	cfg.LeaseTTL = *leaseTTL
+	cfg.TenantStaleAfter = *staleAfter
 	if *dcs != "" && *dcs != "all" {
 		cfg.Datacenters = strings.Split(*dcs, ",")
 	}
@@ -78,7 +90,10 @@ func main() {
 	// batch; see internal/service/batchconn.go. The timeouts reclaim
 	// goroutines from clients that stall mid-header or idle forever.
 	server := &http.Server{
-		Handler:           service.NewAPI(svc),
+		Handler: service.NewAPIWith(svc, service.APIOptions{
+			IngestToken:         *ingestToken,
+			IngestRatePerSource: *ingestRate,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

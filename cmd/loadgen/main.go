@@ -1,13 +1,32 @@
-// Command loadgen is a closed-loop load generator for harvestd: N workers
-// each keep a window of pipelined requests outstanding on a private
-// keep-alive connection, drawing operations from a configurable mix of
-// select / place / classes / server-class queries, and report throughput and
-// latency percentiles at the end.
+// Command loadgen is a load generator for harvestd: N workers each drive a
+// private keep-alive connection, drawing operations from a configurable mix
+// of select / release / place / classes / server-class queries, and report
+// throughput and latency percentiles at the end.
+//
+// Selects reserve cores server-side and return a lease; each worker holds
+// its leases in a pool the release operation drains (oldest first), so the
+// default mix exercises the allocation ledger's full select → hold → release
+// cycle and the books balance at the end of a run (leases the run leaves
+// behind are released in a post-measurement drain, or age out via the
+// server's lease TTL).
+//
+// Two pacing modes:
+//
+//   - Closed loop (default): each worker keeps a window of -pipeline requests
+//     outstanding; this measures capacity.
+//   - Open loop (-rate N): requests are scheduled at fixed instants (N per
+//     second spread across workers) regardless of how fast the server
+//     responds, and each latency is measured from the request's *scheduled*
+//     time, not its send time — the coordinated-omission-safe way to measure
+//     latency under a target load. A server that falls behind sees queueing
+//     delay show up in the percentiles instead of silently stretching the
+//     schedule.
 //
 // Usage:
 //
 //	loadgen [-target http://127.0.0.1:7077] [-workers 2] [-pipeline 64]
-//	        [-duration 5s] [-mix select=40,place=40,classes=10,server=10]
+//	        [-duration 5s] [-rate 0]
+//	        [-mix select=30,release=30,place=30,classes=5,server=5]
 //	        [-json]
 //
 // With -telemetry it instead becomes a live-telemetry emitter: it
@@ -49,6 +68,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harvest/internal/experiments"
@@ -61,20 +81,22 @@ type op int
 
 const (
 	opSelect op = iota
+	opRelease
 	opPlace
 	opClasses
 	opServer
 	numOps
 )
 
-var opNames = [numOps]string{"select", "place", "classes", "server"}
+var opNames = [numOps]string{"select", "release", "place", "classes", "server"}
 
 func main() {
 	target := flag.String("target", "http://127.0.0.1:7077", "harvestd base URL or host:port")
 	workers := flag.Int("workers", 2, "concurrent connections")
 	pipeline := flag.Int("pipeline", 64, "requests kept in flight per connection")
 	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
-	mix := flag.String("mix", "select=40,place=40,classes=10,server=10", "operation mix (weights)")
+	rate := flag.Float64("rate", 0, "open-loop mode: scheduled requests/second across all workers (0 = closed loop)")
+	mix := flag.String("mix", "select=30,release=30,place=30,classes=5,server=5", "operation mix (weights)")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 	telemetry := flag.Bool("telemetry", false, "run as a telemetry emitter instead of a query load generator")
@@ -111,16 +133,24 @@ func main() {
 		w := newWorker(addr, dcs, weights, *pipeline, rand.New(rand.NewSource(*seed+int64(i))))
 		results[i] = &w.stats
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			w.run(deadline)
-		}()
+			if *rate > 0 {
+				// Worker i owns schedule ticks i, i+W, i+2W, … of the global
+				// 1/rate grid, so the union is exactly -rate requests/second.
+				interval := time.Duration(float64(*workers) / *rate * float64(time.Second))
+				w.runOpen(start.Add(time.Duration(float64(i)/(*rate)*float64(time.Second))), deadline, interval)
+			} else {
+				w.run(deadline)
+			}
+			w.drainLeases()
+		}(i)
 	}
 	wg.Wait()
 
 	// Workers drain their in-flight window past the deadline, so throughput
 	// divides by the measured wall time, not the nominal -duration.
-	report(results, time.Since(start), *workers, *pipeline, *jsonOut)
+	report(results, time.Since(start), *workers, *pipeline, *rate, *jsonOut)
 }
 
 // parseMix turns "select=40,place=40,..." into per-op weights. A repeated
@@ -148,7 +178,7 @@ func parseMix(s string) ([numOps]int, error) {
 			}
 		}
 		if !found {
-			return weights, fmt.Errorf("unknown mix operation %q (want select, place, classes, server)", name)
+			return weights, fmt.Errorf("unknown mix operation %q (want select, release, place, classes, server)", name)
 		}
 	}
 	total := 0
@@ -233,12 +263,14 @@ func getJSON(url string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-// workerStats accumulates one worker's results; merged after the run, so no
-// atomics are needed.
+// workerStats accumulates one worker's results; merged after the run.
+// requests/errors are only ever touched by the goroutine that reads
+// responses, but transport is bumped by both the open-loop scheduler (write
+// failures) and its reader (read failures), so it is atomic.
 type workerStats struct {
 	requests  [numOps]uint64
 	errors    [numOps]uint64
-	transport uint64 // connection-level failures (reconnects)
+	transport atomic.Uint64 // connection-level failures (reconnects)
 	latency   service.Histogram
 }
 
@@ -249,23 +281,31 @@ type inflight struct {
 }
 
 type worker struct {
-	addr     string
-	dcs      []dcSetup
-	rng      *rand.Rand
-	depth    int
-	opTable  []op // weighted op lookup table
-	stats    workerStats
-	selects  map[string][][]byte // preserialized select requests per DC
-	places   map[string][]byte   // preserialized place request per DC
-	classes  map[string][]byte   // preserialized classes request per DC
-	pool     map[string][]int64  // live server-id pool per DC
-	conn     net.Conn
-	br       *bufio.Reader
-	bw       *bufio.Writer
-	reqBuf   []byte
-	bodyBuf  []byte
-	window   []inflight
-	deadline time.Time
+	addr    string
+	dcs     []dcSetup
+	rng     *rand.Rand
+	depth   int
+	opTable []op // weighted op lookup table
+	stats   workerStats
+	selects map[string][][]byte // preserialized select requests per DC
+	places  map[string][]byte   // preserialized place request per DC
+	classes map[string][]byte   // preserialized classes request per DC
+
+	// mu guards pool and held: in open-loop mode the response reader
+	// (harvest) and the scheduler (pick) are different goroutines. The
+	// closed loop is single-goroutine, so the mutex is uncontended there.
+	mu   sync.Mutex
+	pool map[string][]int64  // live server-id pool per DC
+	held map[string][]uint64 // outstanding lease ids per DC (select → hold → release)
+
+	conn        net.Conn
+	br          *bufio.Reader
+	bw          *bufio.Writer
+	reqBuf      []byte
+	bodyScratch []byte
+	bodyBuf     []byte
+	window      []inflight
+	deadline    time.Time
 }
 
 func newWorker(addr string, dcs []dcSetup, weights [numOps]int, depth int, rng *rand.Rand) *worker {
@@ -278,6 +318,7 @@ func newWorker(addr string, dcs []dcSetup, weights [numOps]int, depth int, rng *
 		places:  make(map[string][]byte, len(dcs)),
 		classes: make(map[string][]byte, len(dcs)),
 		pool:    make(map[string][]int64, len(dcs)),
+		held:    make(map[string][]uint64, len(dcs)),
 		bodyBuf: make([]byte, 0, 1<<16),
 	}
 	for i := op(0); i < numOps; i++ {
@@ -331,7 +372,7 @@ func (w *worker) connect() error {
 func (w *worker) run(deadline time.Time) {
 	w.deadline = deadline
 	if err := w.connect(); err != nil {
-		w.stats.transport++
+		w.stats.transport.Add(1)
 		return
 	}
 	defer w.conn.Close()
@@ -358,7 +399,7 @@ func (w *worker) run(deadline time.Time) {
 }
 
 func (w *worker) reconnect() {
-	w.stats.transport++
+	w.stats.transport.Add(1)
 	w.conn.Close()
 	if err := w.connect(); err != nil {
 		// Give the server a beat before the run loop retries.
@@ -366,36 +407,125 @@ func (w *worker) reconnect() {
 	}
 }
 
-// enqueue writes one request into the batch buffer and records it in the
-// window.
-func (w *worker) enqueue() error {
+// pickRequest draws the next operation from the mix and serializes it into
+// the worker's request buffer (or returns a preserialized one). A release
+// with no lease to release, or a server-class query with an empty server
+// pool, degrades to a classes query so the schedule never stalls.
+func (w *worker) pickRequest() (op, []byte) {
 	o := w.opTable[w.rng.Intn(len(w.opTable))]
 	dc := w.dcs[w.rng.Intn(len(w.dcs))]
-	var req []byte
 	switch o {
 	case opSelect:
 		variants := w.selects[dc.name]
-		req = variants[w.rng.Intn(len(variants))]
+		return o, variants[w.rng.Intn(len(variants))]
+	case opRelease:
+		id, ok := w.popLease(dc.name)
+		if !ok {
+			return opClasses, w.classes[dc.name]
+		}
+		return o, w.buildReleaseRequest(dc.name, id)
 	case opPlace:
-		req = w.places[dc.name]
-	case opClasses:
-		req = w.classes[dc.name]
+		return o, w.places[dc.name]
 	case opServer:
+		w.mu.Lock()
 		pool := w.pool[dc.name]
 		if len(pool) == 0 {
-			req = w.classes[dc.name]
-			o = opClasses
-			break
+			w.mu.Unlock()
+			return opClasses, w.classes[dc.name]
 		}
 		id := pool[w.rng.Intn(len(pool))]
+		w.mu.Unlock()
 		w.reqBuf = w.reqBuf[:0]
 		w.reqBuf = append(w.reqBuf, "GET /v1/"...)
 		w.reqBuf = append(w.reqBuf, dc.name...)
 		w.reqBuf = append(w.reqBuf, "/servers/"...)
 		w.reqBuf = strconv.AppendInt(w.reqBuf, id, 10)
 		w.reqBuf = append(w.reqBuf, "/class HTTP/1.1\r\nHost: harvestd\r\n\r\n"...)
-		req = w.reqBuf
+		return o, w.reqBuf
 	}
+	return opClasses, w.classes[dc.name]
+}
+
+// popLease takes the oldest held lease for a datacenter (FIFO, so holds have
+// a roughly uniform duration at a steady mix).
+func (w *worker) popLease(dc string) (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	held := w.held[dc]
+	if len(held) == 0 {
+		return 0, false
+	}
+	id := held[0]
+	copy(held, held[1:])
+	w.held[dc] = held[:len(held)-1]
+	return id, true
+}
+
+// maxHeldLeases caps the per-DC lease pool; a lease arriving at the cap is
+// simply forgotten and left to the server's TTL sweep (which the /metrics
+// books count as expired, keeping the invariant intact).
+const maxHeldLeases = 1 << 16
+
+// buildReleaseRequest serializes a release POST into the worker's request
+// buffer — shared by the in-mix release op and the end-of-run drain.
+func (w *worker) buildReleaseRequest(dc string, id uint64) []byte {
+	w.bodyScratch = append(w.bodyScratch[:0], `{"lease":`...)
+	w.bodyScratch = strconv.AppendUint(w.bodyScratch, id, 10)
+	w.bodyScratch = append(w.bodyScratch, '}')
+	w.reqBuf = w.reqBuf[:0]
+	w.reqBuf = append(w.reqBuf, "POST /v1/"...)
+	w.reqBuf = append(w.reqBuf, dc...)
+	w.reqBuf = append(w.reqBuf, "/release HTTP/1.1\r\nHost: harvestd\r\nContent-Type: application/json\r\nContent-Length: "...)
+	w.reqBuf = strconv.AppendInt(w.reqBuf, int64(len(w.bodyScratch)), 10)
+	w.reqBuf = append(w.reqBuf, "\r\n\r\n"...)
+	w.reqBuf = append(w.reqBuf, w.bodyScratch...)
+	return w.reqBuf
+}
+
+// harvestLease pulls the lease id out of a select response and adds it to
+// the held pool for a later release.
+func (w *worker) harvestLease(body []byte) {
+	i := bytes.Index(body, []byte(`"lease":`))
+	if i < 0 {
+		return // dry-run or unsatisfiable select: nothing reserved
+	}
+	i += len(`"lease":`)
+	var id uint64
+	start := i
+	for i < len(body) && body[i] >= '0' && body[i] <= '9' {
+		id = id*10 + uint64(body[i]-'0')
+		i++
+	}
+	if i == start || id == 0 {
+		return
+	}
+	// Resolve the DC by comparing against the known names — no allocation.
+	dcStart := bytes.Index(body, []byte(`"datacenter":"`))
+	if dcStart < 0 {
+		return
+	}
+	dcStart += len(`"datacenter":"`)
+	dcEnd := bytes.IndexByte(body[dcStart:], '"')
+	if dcEnd < 0 {
+		return
+	}
+	raw := body[dcStart : dcStart+dcEnd]
+	for _, dc := range w.dcs {
+		if string(raw) == dc.name { // comparison only; no allocation
+			w.mu.Lock()
+			if len(w.held[dc.name]) < maxHeldLeases {
+				w.held[dc.name] = append(w.held[dc.name], id)
+			}
+			w.mu.Unlock()
+			return
+		}
+	}
+}
+
+// enqueue writes one request into the batch buffer and records it in the
+// window.
+func (w *worker) enqueue() error {
+	o, req := w.pickRequest()
 	if _, err := w.bw.Write(req); err != nil {
 		return err
 	}
@@ -420,9 +550,131 @@ func (w *worker) readOne() error {
 		w.stats.errors[entry.op]++
 	} else if entry.op == opPlace {
 		w.harvestServers(body)
+	} else if entry.op == opSelect {
+		w.harvestLease(body)
 	}
 	w.stats.latency.Observe(time.Since(entry.sentAt))
 	return nil
+}
+
+// runOpen is the open-loop mode: requests fire at fixed scheduled instants
+// (first, first+interval, …) and each latency is measured from the
+// *scheduled* time, so a lagging server accumulates visible queueing delay
+// instead of silently slowing the schedule (coordinated omission). A reader
+// goroutine consumes responses; the scheduler never waits for them. Unlike
+// the closed loop, a broken connection fails the rest of the worker's
+// schedule loudly (counted as transport errors) rather than reconnecting —
+// a latency measurement with a hole in it should look like one.
+func (w *worker) runOpen(first, deadline time.Time, interval time.Duration) {
+	w.deadline = deadline
+	if err := w.connect(); err != nil {
+		w.stats.transport.Add(1)
+		return
+	}
+	defer w.conn.Close()
+	sched := make(chan inflight, 1<<16)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		bodyBuf := make([]byte, 0, 1<<16)
+		dead := false
+		for entry := range sched {
+			if dead {
+				w.stats.transport.Add(1)
+				continue
+			}
+			status, body, err := readResponse(w.br, bodyBuf[:0])
+			if err != nil {
+				w.stats.transport.Add(1)
+				dead = true
+				continue
+			}
+			bodyBuf = body[:0]
+			w.stats.requests[entry.op]++
+			if status >= 400 {
+				w.stats.errors[entry.op]++
+			} else if entry.op == opPlace {
+				w.harvestServers(body)
+			} else if entry.op == opSelect {
+				w.harvestLease(body)
+			}
+			w.stats.latency.Observe(time.Since(entry.sentAt))
+		}
+	}()
+	for next := first; next.Before(deadline); next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		o, req := w.pickRequest()
+		if _, err := w.bw.Write(req); err != nil {
+			w.stats.transport.Add(1)
+			break
+		}
+		if err := w.bw.Flush(); err != nil {
+			w.stats.transport.Add(1)
+			break
+		}
+		// Latency clock starts at the scheduled instant, not the send.
+		sched <- inflight{op: o, sentAt: next}
+	}
+	close(sched)
+	<-readerDone
+}
+
+// drainLeases releases every lease the run still holds, off the measured
+// path, over a fresh pipelined connection. Leases it cannot release (e.g.
+// the server is gone) age out via the server-side TTL, so the ledger books
+// still balance.
+func (w *worker) drainLeases() {
+	total := 0
+	w.mu.Lock()
+	for _, ids := range w.held {
+		total += len(ids)
+	}
+	w.mu.Unlock()
+	if total == 0 {
+		return
+	}
+	w.deadline = time.Now().Add(20 * time.Second)
+	if err := w.connect(); err != nil {
+		w.stats.transport.Add(1)
+		return
+	}
+	defer w.conn.Close()
+	inFlight := 0
+	readAll := func() bool {
+		if err := w.bw.Flush(); err != nil {
+			w.stats.transport.Add(1)
+			return false
+		}
+		for ; inFlight > 0; inFlight-- {
+			if _, body, err := readResponse(w.br, w.bodyBuf[:0]); err != nil {
+				w.stats.transport.Add(1)
+				return false
+			} else {
+				w.bodyBuf = body[:0]
+			}
+		}
+		return true
+	}
+	for _, dc := range w.dcs {
+		for {
+			id, ok := w.popLease(dc.name)
+			if !ok {
+				break
+			}
+			if _, err := w.bw.Write(w.buildReleaseRequest(dc.name, id)); err != nil {
+				w.stats.transport.Add(1)
+				return
+			}
+			if inFlight++; inFlight >= w.depth {
+				if !readAll() {
+					return
+				}
+			}
+		}
+	}
+	readAll()
 }
 
 // harvestServers pulls replica IDs out of a place response body (a
@@ -443,6 +695,8 @@ func (w *worker) harvestServers(body []byte) {
 		return
 	}
 	dc := string(body[dcStart : dcStart+dcEnd])
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	pool := w.pool[dc]
 	if len(pool) >= 1024 {
 		return
@@ -638,9 +892,11 @@ func runTelemetryEmitter(baseURL string, scale float64, seed int64, duration, in
 // jsonReport is the machine-readable run summary (-json); BENCH_PR2.json and
 // the CI smoke step consume it.
 type jsonReport struct {
+	Mode            string            `json:"mode"`
 	DurationSeconds float64           `json:"duration_seconds"`
 	Workers         int               `json:"workers"`
 	Pipeline        int               `json:"pipeline"`
+	TargetRate      float64           `json:"target_rate,omitempty"`
 	Requests        uint64            `json:"requests"`
 	Errors          uint64            `json:"errors"`
 	Reconnects      uint64            `json:"reconnects"`
@@ -662,14 +918,19 @@ type opStat struct {
 	Errors   uint64 `json:"errors"`
 }
 
-func report(results []*workerStats, duration time.Duration, workers, pipeline int, jsonOut bool) {
+func report(results []*workerStats, duration time.Duration, workers, pipeline int, rate float64, jsonOut bool) {
 	// Merge worker histograms into one for the global percentiles.
 	var merged service.Histogram
 	rep := jsonReport{
+		Mode:            "closed-loop",
 		DurationSeconds: duration.Seconds(),
 		Workers:         workers,
 		Pipeline:        pipeline,
 		Ops:             make(map[string]opStat, numOps),
+	}
+	if rate > 0 {
+		rep.Mode = "open-loop"
+		rep.TargetRate = rate
 	}
 	for i := op(0); i < numOps; i++ {
 		var s opStat
@@ -682,7 +943,7 @@ func report(results []*workerStats, duration time.Duration, workers, pipeline in
 		rep.Errors += s.Errors
 	}
 	for _, ws := range results {
-		rep.Reconnects += ws.transport
+		rep.Reconnects += ws.transport.Load()
 		merged.Merge(&ws.latency)
 	}
 	rep.QPS = float64(rep.Requests) / duration.Seconds()
@@ -700,7 +961,11 @@ func report(results []*workerStats, duration time.Duration, workers, pipeline in
 		enc.Encode(rep)
 		return
 	}
-	fmt.Printf("loadgen: %d workers x pipeline %d for %v\n", workers, pipeline, duration)
+	if rate > 0 {
+		fmt.Printf("loadgen: open loop at %.0f req/s across %d workers for %v\n", rate, workers, duration)
+	} else {
+		fmt.Printf("loadgen: %d workers x pipeline %d for %v\n", workers, pipeline, duration)
+	}
 	fmt.Printf("  %d requests, %d errors, %d reconnects\n", rep.Requests, rep.Errors, rep.Reconnects)
 	fmt.Printf("  throughput: %.0f queries/sec\n", rep.QPS)
 	fmt.Printf("  latency: mean %.0fµs  p50 %dµs  p90 %dµs  p99 %dµs  max %dµs\n",

@@ -170,19 +170,36 @@ func (s *ClusteringService) Cluster(pop *tenant.Population) (*Clustering, error)
 // classes. The source decides what "the most recent telemetry" means —
 // a cyclic synthetic trace (tenant.TraceHistory) or live ingestion rings
 // (telemetry.Store). Each tenant's Profile is updated in place.
+//
+// Tenants the source holds no history for (e.g. live rings evicted after the
+// tenant stopped reporting) are left out of every class: an uncharacterizable
+// tenant must not skew a class's statistics, and excluding its servers from
+// the serving set is the SLO-safe direction. Clustering fails only when no
+// tenant has history at all.
 func (s *ClusteringService) ClusterFrom(pop *tenant.Population, src tenant.HistorySource) (*Clustering, error) {
 	if len(pop.Tenants) == 0 {
 		return nil, fmt.Errorf("core: cannot cluster an empty population")
 	}
 	// (Re)classify tenants so the clustering reflects the latest telemetry.
+	active := make([]*tenant.Tenant, 0, len(pop.Tenants))
 	for _, t := range pop.Tenants {
-		if err := s.classifyFrom(t, src); err != nil {
+		series := src.SeriesFor(t.ID)
+		if series == nil || series.Len() < signalproc.MinClassifySamples {
+			// Too little history to characterize (evicted ring, or one just
+			// refilling): the tenant sits out this generation.
+			continue
+		}
+		if err := s.classifySeries(t, series); err != nil {
 			return nil, err
 		}
+		active = append(active, t)
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("core: history source holds no series for any tenant")
 	}
 	clustering := newClustering(pop)
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
-	byPattern := groupByPattern(pop)
+	byPattern := groupByPattern(active)
 	for _, pattern := range patternOrder {
 		tenants := byPattern[pattern]
 		if len(tenants) == 0 {
@@ -231,9 +248,9 @@ func newClustering(pop *tenant.Population) *Clustering {
 	}
 }
 
-func groupByPattern(pop *tenant.Population) map[signalproc.Pattern][]*tenant.Tenant {
+func groupByPattern(tenants []*tenant.Tenant) map[signalproc.Pattern][]*tenant.Tenant {
 	byPattern := make(map[signalproc.Pattern][]*tenant.Tenant, signalproc.NumPatterns)
-	for _, t := range pop.Tenants {
+	for _, t := range tenants {
 		byPattern[t.Pattern()] = append(byPattern[t.Pattern()], t)
 	}
 	return byPattern

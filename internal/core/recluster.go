@@ -16,6 +16,9 @@ import (
 type ReclusterStats struct {
 	// Tenants is the number of tenants examined.
 	Tenants int
+	// Skipped counts tenants the history source held no series for (evicted
+	// telemetry rings); they are left out of every class.
+	Skipped int
 	// Reclassified counts tenants that drifted past the threshold and were
 	// re-run through the full FFT classification — the expensive step the
 	// warm start exists to avoid.
@@ -70,11 +73,17 @@ func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, 
 	if thr <= 0 {
 		thr = DefaultDriftThreshold
 	}
+	active := make([]*tenant.Tenant, 0, len(pop.Tenants))
 	for _, t := range pop.Tenants {
 		series := src.SeriesFor(t.ID)
-		if series == nil || series.Len() == 0 {
-			return nil, st, fmt.Errorf("core: tenant %v: history source holds no series", t.ID)
+		if series == nil || series.Len() < signalproc.MinClassifySamples {
+			// Same contract as ClusterFrom: a tenant the source holds too
+			// little history for (evicted or refilling ring) drops out of
+			// every class this generation.
+			st.Skipped++
+			continue
 		}
+		active = append(active, t)
 		mean, peak, cv := stats.Summary(series.Values)
 		_, hadClass := prev.ClassOfTenant(t.ID)
 		// The baseline is the summary captured at the tenant's last FFT
@@ -97,6 +106,9 @@ func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, 
 			}
 		}
 	}
+	if len(active) == 0 {
+		return nil, st, fmt.Errorf("core: history source holds no series for any tenant")
+	}
 
 	prevCentroids := make(map[signalproc.Pattern][][]float64, signalproc.NumPatterns)
 	for _, cls := range prev.Classes {
@@ -105,7 +117,7 @@ func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, 
 
 	clustering := newClustering(pop)
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
-	byPattern := groupByPattern(pop)
+	byPattern := groupByPattern(active)
 	for _, pattern := range patternOrder {
 		tenants := byPattern[pattern]
 		if len(tenants) == 0 {

@@ -182,12 +182,14 @@ func NewSelector(cfg SelectorConfig, clustering *Clustering, rng *rand.Rand) (*S
 	return &Selector{cfg: cfg, clustering: clustering, rng: rng}, nil
 }
 
-// Headroom returns the class's available cores for a job of the given type
-// (§4.1): the utilization considered is the current one for short jobs,
-// max(average, current) for medium jobs, and max(peak, current) for long
-// jobs. The primary reserve and the cores already allocated to secondary
-// containers are subtracted.
-func (s *Selector) Headroom(jobType JobType, class *UtilizationClass, usage ClassUsage) float64 {
+// Capacity returns the class's gross spare cores for a job of the given type
+// (§4.1), before subtracting cores already allocated to secondary work: the
+// utilization considered is the current one for short jobs, max(average,
+// current) for medium jobs, and max(peak, current) for long jobs, and the
+// primary reserve is held back. This is the admission bound a live
+// allocation ledger CASes reservations against — total allocation in a class
+// must never exceed it.
+func (s *Selector) Capacity(jobType JobType, class *UtilizationClass, usage ClassUsage) float64 {
 	var util float64
 	switch jobType {
 	case JobShort:
@@ -201,7 +203,14 @@ func (s *Selector) Headroom(jobType JobType, class *UtilizationClass, usage Clas
 	if frac < 0 {
 		frac = 0
 	}
-	cores := frac*float64(class.NumServers())*float64(s.cfg.CoresPerServer) - usage.AllocatedCores
+	return frac * float64(class.NumServers()) * float64(s.cfg.CoresPerServer)
+}
+
+// Headroom returns the class's available cores for a job of the given type:
+// the Capacity bound minus the cores already allocated to secondary
+// containers, clamped at zero.
+func (s *Selector) Headroom(jobType JobType, class *UtilizationClass, usage ClassUsage) float64 {
+	cores := s.Capacity(jobType, class, usage) - usage.AllocatedCores
 	if cores < 0 {
 		cores = 0
 	}
@@ -217,6 +226,23 @@ func (s *Selector) Select(job JobRequest, usage map[ClassID]ClassUsage) Selectio
 	return s.SelectWith(s.rng, job, usage)
 }
 
+// UsageSource provides the per-class live usage a selection runs against.
+// The serving layer implements it as an overlay composing a cached
+// utilization view with live atomic allocation counters, so selections read
+// ledger-adjusted AllocatedCores without materializing a map per request.
+// Implementations must be safe for concurrent readers.
+type UsageSource interface {
+	UsageOf(ClassID) ClassUsage
+}
+
+// mapUsage adapts the plain-map usage view (simulators, experiment
+// harnesses) to UsageSource. The named map type keeps the interface
+// conversion allocation-free — a map header is pointer-shaped.
+type mapUsage map[ClassID]ClassUsage
+
+// UsageOf implements UsageSource; classes missing from the map read as zero.
+func (m mapUsage) UsageOf(id ClassID) ClassUsage { return m[id] }
+
 // SelectWith is Select with a caller-supplied RNG. Apart from the RNG the
 // selector is read-only, so any number of goroutines may call SelectWith on
 // the same selector concurrently as long as each brings its own *rand.Rand
@@ -224,6 +250,12 @@ func (s *Selector) Select(job JobRequest, usage map[ClassID]ClassUsage) Selectio
 // serving layer uses to run class selection lock-free against an immutable
 // clustering.
 func (s *Selector) SelectWith(rng *rand.Rand, job JobRequest, usage map[ClassID]ClassUsage) Selection {
+	return s.SelectFrom(rng, job, mapUsage(usage))
+}
+
+// SelectFrom is SelectWith over a UsageSource instead of a map — the
+// live-ledger serving path. Concurrency contract is the same as SelectWith's.
+func (s *Selector) SelectFrom(rng *rand.Rand, job JobRequest, usage UsageSource) Selection {
 	type candidate struct {
 		id           ClassID
 		headroom     float64
@@ -231,7 +263,7 @@ func (s *Selector) SelectWith(rng *rand.Rand, job JobRequest, usage map[ClassID]
 	}
 	candidates := make([]candidate, 0, len(s.clustering.Classes))
 	for _, cls := range s.clustering.Classes {
-		u := usage[cls.ID]
+		u := usage.UsageOf(cls.ID)
 		head := s.Headroom(job.Type, cls, u)
 		weight := s.cfg.Weights[job.Type][cls.Pattern]
 		candidates = append(candidates, candidate{

@@ -1,0 +1,511 @@
+// Package ledger tracks live secondary-work allocations per utilization
+// class. The paper's harvesting controller only hands out spare cores that
+// are actually spare: once a job is granted headroom in a class, that
+// headroom is gone until the job releases it (§4.1's AllocatedCores term).
+// The serving layer's snapshots are immutable, so this package supplies the
+// one piece of mutable shared state the query path needs — a per-class
+// allocation counter — layered *over* the snapshots without breaking their
+// contract.
+//
+// Concurrency model: allocations live in a generation-stamped table of
+// atomic millicore counters behind an atomic pointer. Reserve admits with a
+// CAS loop bounded by the caller-supplied capacity, so any number of
+// concurrent reservations can never jointly over-promise a class. Lease
+// bookkeeping (the id → grants map) takes a small mutex off the CAS path;
+// re-keying to a new clustering generation swaps in a freshly summed table
+// under that same mutex, and a reservation racing the swap detects it and
+// retries against the new generation instead of landing on the dead table.
+//
+// Fixed-point: cores are tracked in integer millicores so the conservation
+// invariant — reserved == released + expired + forfeited + outstanding — is
+// exact, never a float tolerance.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harvest/internal/core"
+)
+
+// MillisPerCore is the fixed-point scale: allocations are tracked in integer
+// thousandths of a core.
+const MillisPerCore = 1000
+
+// ToMillis converts cores to millicores, rounding to nearest.
+func ToMillis(cores float64) int64 { return int64(math.Round(cores * MillisPerCore)) }
+
+// CoresOf converts millicores back to cores.
+func CoresOf(millis int64) float64 { return float64(millis) / MillisPerCore }
+
+// ErrStaleGeneration is returned when a reservation was derived from a
+// snapshot generation the ledger has already re-keyed past. The caller should
+// reload the current snapshot and retry.
+var ErrStaleGeneration = errors.New("ledger: stale snapshot generation")
+
+// ErrUnknownLease is returned by Release for an id that does not exist — never
+// issued, already released, or reclaimed by the expiry sweep.
+var ErrUnknownLease = errors.New("ledger: unknown lease")
+
+// InsufficientError reports a reservation that lost the admission race: by
+// CAS time the class no longer had room for the requested cores under the
+// capacity bound. The caller should re-run selection against the now-current
+// counters.
+type InsufficientError struct {
+	Class core.ClassID
+}
+
+func (e *InsufficientError) Error() string {
+	return fmt.Sprintf("ledger: class %d has insufficient headroom", e.Class)
+}
+
+// Request asks to reserve Cores in one class, admitted only while the class's
+// total allocation stays at or below Capacity (the gross spare-core bound the
+// selector computed from the same usage view — headroom before subtracting
+// allocations).
+type Request struct {
+	Class    core.ClassID
+	Cores    float64
+	Capacity float64
+}
+
+// Grant is one class's share of a lease, in millicores.
+type Grant struct {
+	Class  core.ClassID `json:"class"`
+	Millis int64        `json:"millis"`
+}
+
+// Lease is the caller's view of one successful reservation.
+type Lease struct {
+	ID        uint64
+	ExpiresAt time.Time // zero when the lease never expires
+	Grants    []Grant
+}
+
+// TotalMillis sums the lease's grants.
+func (l Lease) TotalMillis() int64 {
+	var t int64
+	for _, g := range l.Grants {
+		t += g.Millis
+	}
+	return t
+}
+
+// Share is one target of a re-key split: an old class's allocation moves to
+// Class proportionally to Weight (typically the number of the old class's
+// servers that landed there).
+type Share struct {
+	Class  core.ClassID
+	Weight float64
+}
+
+// table is one generation's per-class allocation counters.
+type table struct {
+	generation uint64
+	alloc      []atomic.Int64 // millicores, indexed by dense ClassID
+}
+
+func newTable(generation uint64, numClasses int) *table {
+	return &table{generation: generation, alloc: make([]atomic.Int64, numClasses)}
+}
+
+// lease is the internal, mutable twin of Lease (grants are rewritten on
+// re-key).
+type lease struct {
+	id        uint64
+	expiresAt time.Time
+	grants    []Grant
+}
+
+// Ledger tracks one datacenter's live allocations.
+type Ledger struct {
+	tab atomic.Pointer[table]
+
+	mu     sync.Mutex // guards leases, nextID, and table swaps
+	leases map[uint64]*lease
+	nextID uint64
+
+	// Cumulative counters. The conservation invariant is
+	//   reserved == released + expired + forfeited + outstanding
+	// in exact millicores, where outstanding is the sum over live leases.
+	reservedMillis  atomic.Int64
+	releasedMillis  atomic.Int64
+	expiredMillis   atomic.Int64
+	forfeitedMillis atomic.Int64
+	reserves        atomic.Uint64
+	releases        atomic.Uint64
+	expiries        atomic.Uint64 // leases reclaimed by the sweep
+	conflicts       atomic.Uint64 // failed reserves (insufficient or stale)
+}
+
+// New creates an empty ledger for the given clustering generation.
+func New(generation uint64, numClasses int) *Ledger {
+	l := &Ledger{leases: make(map[uint64]*lease)}
+	l.tab.Store(newTable(generation, numClasses))
+	return l
+}
+
+// Generation returns the clustering generation the ledger is keyed to.
+func (l *Ledger) Generation() uint64 { return l.tab.Load().generation }
+
+// AllocatedCores returns the class's current allocation when the ledger is
+// keyed to the given generation. ok is false on a generation mismatch or an
+// out-of-range class — the caller should then fall back to its snapshot's
+// build-time view (the mismatch window is the instants around a re-key).
+func (l *Ledger) AllocatedCores(generation uint64, id core.ClassID) (float64, bool) {
+	t := l.tab.Load()
+	if t.generation != generation || int(id) < 0 || int(id) >= len(t.alloc) {
+		return 0, false
+	}
+	return CoresOf(t.alloc[int(id)].Load()), true
+}
+
+// Reserve atomically reserves cores across the requested classes and records
+// a lease. Admission per class is a CAS loop bounded by the request's
+// Capacity, so concurrent reservations can never jointly push a class's total
+// allocation past the bound; a partial reservation that loses a later class's
+// race is rolled back completely. ttl > 0 arms the lease for the expiry
+// sweep. Zero-core requests are skipped; a reservation that skips everything
+// fails.
+func (l *Ledger) Reserve(generation uint64, reqs []Request, ttl time.Duration, now time.Time) (Lease, error) {
+	t := l.tab.Load()
+	if t.generation != generation {
+		l.conflicts.Add(1)
+		return Lease{}, ErrStaleGeneration
+	}
+	grants := make([]Grant, 0, len(reqs))
+	var total int64
+	for _, rq := range reqs {
+		want := ToMillis(rq.Cores)
+		if want <= 0 {
+			continue
+		}
+		if int(rq.Class) < 0 || int(rq.Class) >= len(t.alloc) {
+			l.rollback(t, grants)
+			l.conflicts.Add(1)
+			return Lease{}, fmt.Errorf("ledger: class %d out of range", rq.Class)
+		}
+		// Floor the bound so float noise can only under-admit, never over.
+		capMillis := int64(math.Floor(rq.Capacity * MillisPerCore))
+		a := &t.alloc[int(rq.Class)]
+		for {
+			cur := a.Load()
+			if cur+want > capMillis {
+				l.rollback(t, grants)
+				l.conflicts.Add(1)
+				return Lease{}, &InsufficientError{Class: rq.Class}
+			}
+			if a.CompareAndSwap(cur, cur+want) {
+				break
+			}
+		}
+		grants = append(grants, Grant{Class: rq.Class, Millis: want})
+		total += want
+	}
+	if len(grants) == 0 {
+		l.conflicts.Add(1)
+		return Lease{}, fmt.Errorf("ledger: nothing to reserve")
+	}
+
+	l.mu.Lock()
+	if l.tab.Load() != t {
+		// A re-key swapped the table between our CASes and the insert: the
+		// summed-from-leases new table never saw these grants, so undoing them
+		// on the dead table is a no-op for the live one. Retry upstream.
+		l.mu.Unlock()
+		l.rollback(t, grants)
+		l.conflicts.Add(1)
+		return Lease{}, ErrStaleGeneration
+	}
+	l.nextID++
+	ls := &lease{id: l.nextID, grants: grants}
+	if ttl > 0 {
+		ls.expiresAt = now.Add(ttl)
+	}
+	l.leases[ls.id] = ls
+	l.mu.Unlock()
+
+	l.reserves.Add(1)
+	l.reservedMillis.Add(total)
+	return Lease{ID: ls.id, ExpiresAt: ls.expiresAt, Grants: append([]Grant(nil), grants...)}, nil
+}
+
+func (l *Ledger) rollback(t *table, grants []Grant) {
+	for _, g := range grants {
+		t.alloc[int(g.Class)].Add(-g.Millis)
+	}
+}
+
+// Release returns a lease's cores to its classes and retires the lease.
+func (l *Ledger) Release(id uint64) (Lease, error) {
+	l.mu.Lock()
+	ls, ok := l.leases[id]
+	if !ok {
+		l.mu.Unlock()
+		return Lease{}, ErrUnknownLease
+	}
+	delete(l.leases, id)
+	t := l.tab.Load()
+	var total int64
+	for _, g := range ls.grants {
+		t.alloc[int(g.Class)].Add(-g.Millis)
+		total += g.Millis
+	}
+	l.mu.Unlock()
+	l.releases.Add(1)
+	l.releasedMillis.Add(total)
+	return Lease{ID: id, ExpiresAt: ls.expiresAt, Grants: ls.grants}, nil
+}
+
+// ExpireBefore reclaims every lease whose deadline is at or before now —
+// the sweep for clients that died holding a reservation. Leases with no
+// deadline never expire.
+func (l *Ledger) ExpireBefore(now time.Time) (leases int, millis int64) {
+	l.mu.Lock()
+	t := l.tab.Load()
+	for id, ls := range l.leases {
+		if ls.expiresAt.IsZero() || ls.expiresAt.After(now) {
+			continue
+		}
+		delete(l.leases, id)
+		for _, g := range ls.grants {
+			t.alloc[int(g.Class)].Add(-g.Millis)
+			millis += g.Millis
+		}
+		leases++
+	}
+	l.mu.Unlock()
+	if leases > 0 {
+		l.expiries.Add(uint64(leases))
+		l.expiredMillis.Add(millis)
+	}
+	return leases, millis
+}
+
+// Rekey moves the ledger to a new clustering generation. Every live lease's
+// grants are split across the new classes according to remap — old class →
+// weighted shares, typically "where did this class's servers land" — with
+// largest-remainder apportioning so each grant's millicore total is conserved
+// exactly. Grants on an old class with no shares (every server left the
+// serving set) are forfeited and counted. The new table is summed from the
+// rewritten leases and published with one atomic swap; a reservation racing
+// the swap rolls itself back and retries (see Reserve).
+func (l *Ledger) Rekey(newGeneration uint64, numClasses int, remap map[core.ClassID][]Share) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	nt := newTable(newGeneration, numClasses)
+	for _, ls := range l.leases {
+		ls.grants = l.remapGrants(ls.grants, remap, numClasses)
+		for _, g := range ls.grants {
+			nt.alloc[int(g.Class)].Add(g.Millis)
+		}
+	}
+	l.tab.Store(nt)
+}
+
+// remapGrants rewrites one lease's grants into the new class space,
+// conserving each grant's total exactly (or forfeiting it when it has
+// nowhere to go). Shares into the same new class merge.
+func (l *Ledger) remapGrants(grants []Grant, remap map[core.ClassID][]Share, numClasses int) []Grant {
+	merged := make(map[core.ClassID]int64, len(grants))
+	for _, g := range grants {
+		shares := remap[g.Class]
+		var weight float64
+		for _, sh := range shares {
+			if int(sh.Class) >= 0 && int(sh.Class) < numClasses && sh.Weight > 0 {
+				weight += sh.Weight
+			}
+		}
+		if weight <= 0 {
+			l.forfeitedMillis.Add(g.Millis)
+			continue
+		}
+		// Largest-remainder apportioning: floors first, then hand the
+		// leftover millis to the largest fractional parts, so the split sums
+		// to g.Millis exactly.
+		type part struct {
+			class core.ClassID
+			base  int64
+			frac  float64
+		}
+		parts := make([]part, 0, len(shares))
+		var assigned int64
+		for _, sh := range shares {
+			if int(sh.Class) < 0 || int(sh.Class) >= numClasses || sh.Weight <= 0 {
+				continue
+			}
+			exact := float64(g.Millis) * sh.Weight / weight
+			base := int64(math.Floor(exact))
+			parts = append(parts, part{class: sh.Class, base: base, frac: exact - float64(base)})
+			assigned += base
+		}
+		sort.Slice(parts, func(i, j int) bool {
+			if parts[i].frac != parts[j].frac {
+				return parts[i].frac > parts[j].frac
+			}
+			return parts[i].class < parts[j].class // deterministic tie-break
+		})
+		for i := int64(0); i < g.Millis-assigned; i++ {
+			parts[i%int64(len(parts))].base++
+		}
+		for _, p := range parts {
+			merged[p.class] += p.base
+		}
+	}
+	out := make([]Grant, 0, len(merged))
+	for cls, m := range merged {
+		if m > 0 {
+			out = append(out, Grant{Class: cls, Millis: m})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// Stats is a point-in-time summary for /metrics. OutstandingMillis and
+// ActiveLeases are read under the lease mutex, so together with the
+// cumulative counters they satisfy the conservation invariant exactly
+// whenever the ledger is quiescent (and within one in-flight reservation of
+// it otherwise).
+type Stats struct {
+	Generation        uint64
+	ActiveLeases      int
+	OutstandingMillis int64
+	ReservedMillis    int64
+	ReleasedMillis    int64
+	ExpiredMillis     int64
+	ForfeitedMillis   int64
+	Reserves          uint64
+	Releases          uint64
+	Expiries          uint64
+	Conflicts         uint64
+	// AllocatedMillisByClass is the current table's occupancy, indexed by
+	// dense ClassID.
+	AllocatedMillisByClass []int64
+}
+
+// Snapshot returns the ledger's counters and per-class occupancy.
+func (l *Ledger) Snapshot() Stats {
+	l.mu.Lock()
+	t := l.tab.Load()
+	st := Stats{
+		Generation:             t.generation,
+		ActiveLeases:           len(l.leases),
+		AllocatedMillisByClass: make([]int64, len(t.alloc)),
+	}
+	for _, ls := range l.leases {
+		for _, g := range ls.grants {
+			st.OutstandingMillis += g.Millis
+		}
+	}
+	l.mu.Unlock()
+	for i := range t.alloc {
+		st.AllocatedMillisByClass[i] = t.alloc[i].Load()
+	}
+	st.ReservedMillis = l.reservedMillis.Load()
+	st.ReleasedMillis = l.releasedMillis.Load()
+	st.ExpiredMillis = l.expiredMillis.Load()
+	st.ForfeitedMillis = l.forfeitedMillis.Load()
+	st.Reserves = l.reserves.Load()
+	st.Releases = l.releases.Load()
+	st.Expiries = l.expiries.Load()
+	st.Conflicts = l.conflicts.Load()
+	return st
+}
+
+// PersistedLease is the wire form of one lease for the persistence file.
+type PersistedLease struct {
+	ID        uint64    `json:"id"`
+	ExpiresAt time.Time `json:"expires_at,omitempty"`
+	Grants    []Grant   `json:"grants"`
+}
+
+// State is the ledger's full persistable state.
+type State struct {
+	Generation      uint64           `json:"generation"`
+	NextID          uint64           `json:"next_id"`
+	ReservedMillis  int64            `json:"reserved_millis"`
+	ReleasedMillis  int64            `json:"released_millis"`
+	ExpiredMillis   int64            `json:"expired_millis"`
+	ForfeitedMillis int64            `json:"forfeited_millis"`
+	Reserves        uint64           `json:"reserves"`
+	Releases        uint64           `json:"releases"`
+	Expiries        uint64           `json:"expiries"`
+	Conflicts       uint64           `json:"conflicts"`
+	Leases          []PersistedLease `json:"leases"`
+}
+
+// Export captures the ledger's state for persistence.
+func (l *Ledger) Export() State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := State{
+		Generation:      l.tab.Load().generation,
+		NextID:          l.nextID,
+		ReservedMillis:  l.reservedMillis.Load(),
+		ReleasedMillis:  l.releasedMillis.Load(),
+		ExpiredMillis:   l.expiredMillis.Load(),
+		ForfeitedMillis: l.forfeitedMillis.Load(),
+		Reserves:        l.reserves.Load(),
+		Releases:        l.releases.Load(),
+		Expiries:        l.expiries.Load(),
+		Conflicts:       l.conflicts.Load(),
+		Leases:          make([]PersistedLease, 0, len(l.leases)),
+	}
+	for _, ls := range l.leases {
+		st.Leases = append(st.Leases, PersistedLease{ID: ls.id, ExpiresAt: ls.expiresAt, Grants: append([]Grant(nil), ls.grants...)})
+	}
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
+	return st
+}
+
+// Restore rebuilds a ledger from persisted state, keyed to the given
+// generation and class count (which must be the restored snapshot's). Grants
+// on out-of-range classes are forfeited rather than trusted — the file may
+// predate a re-key the process never got to persist.
+func Restore(st State, generation uint64, numClasses int) (*Ledger, error) {
+	if st.Generation != generation {
+		return nil, fmt.Errorf("ledger: state is for generation %d, snapshot is %d", st.Generation, generation)
+	}
+	l := New(generation, numClasses)
+	t := l.tab.Load()
+	l.nextID = st.NextID
+	l.reservedMillis.Store(st.ReservedMillis)
+	l.releasedMillis.Store(st.ReleasedMillis)
+	l.expiredMillis.Store(st.ExpiredMillis)
+	l.forfeitedMillis.Store(st.ForfeitedMillis)
+	l.reserves.Store(st.Reserves)
+	l.releases.Store(st.Releases)
+	l.expiries.Store(st.Expiries)
+	l.conflicts.Store(st.Conflicts)
+	for _, pl := range st.Leases {
+		if pl.ID == 0 || pl.ID > st.NextID {
+			return nil, fmt.Errorf("ledger: lease id %d out of range", pl.ID)
+		}
+		if _, dup := l.leases[pl.ID]; dup {
+			return nil, fmt.Errorf("ledger: duplicate lease id %d", pl.ID)
+		}
+		grants := make([]Grant, 0, len(pl.Grants))
+		for _, g := range pl.Grants {
+			if g.Millis <= 0 {
+				continue
+			}
+			if int(g.Class) < 0 || int(g.Class) >= numClasses {
+				l.forfeitedMillis.Add(g.Millis)
+				continue
+			}
+			grants = append(grants, g)
+			t.alloc[int(g.Class)].Add(g.Millis)
+		}
+		if len(grants) == 0 {
+			continue
+		}
+		l.leases[pl.ID] = &lease{id: pl.ID, expiresAt: pl.ExpiresAt, grants: grants}
+	}
+	return l, nil
+}

@@ -28,6 +28,30 @@ func BenchmarkServiceSelect(b *testing.B) {
 	})
 }
 
+// BenchmarkServiceSelectReserveRelease measures the reserving query path:
+// each iteration runs class selection, CASes a reservation into the
+// allocation ledger, and releases it — the full select → hold → release
+// cycle minus the hold.
+func BenchmarkServiceSelectReserveRelease(b *testing.B) {
+	svc := newTestService(b)
+	job := core.JobRequest{Type: core.JobMedium, MaxConcurrentCores: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			grant, _, err := svc.SelectReserve("DC-9", job, -1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if grant.Reserved() {
+				if _, err := svc.Release("DC-9", grant.Lease); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkServicePlace measures concurrent replica placement through the
 // snapshot layer (pooled placement-scheme clones).
 func BenchmarkServicePlace(b *testing.B) {

@@ -1,0 +1,143 @@
+package service_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/service"
+)
+
+// TestTenantStaleEviction pins the ring-eviction policy end to end: tenants
+// that stop reporting past the staleness window drop out of the next
+// re-clustering (their servers leave the serving set), tenants that keep
+// reporting stay, and the daemon keeps serving.
+func TestTenantStaleEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.TenantStaleAfter = 50 * time.Millisecond
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	before, _ := svc.Snapshot("DC-9")
+	target := before.Clustering.Classes[0]
+	serversBefore := 0
+	for _, cls := range before.Clustering.Classes {
+		serversBefore += cls.NumServers()
+	}
+
+	// Everyone's bootstrap fill ages past the window; only the target
+	// class's tenants report again.
+	time.Sleep(60 * time.Millisecond)
+	samples := make([]service.IngestSample, 0, len(target.Tenants))
+	for _, tid := range target.Tenants {
+		samples = append(samples, service.IngestSample{Tenant: tid, Server: -1, Value: 0.5})
+	}
+	if res, err := svc.Ingest("DC-9", samples); err != nil || res.Accepted != len(samples) {
+		t.Fatalf("Ingest: %+v, %v", res, err)
+	}
+	if err := svc.Refresh("DC-9"); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+
+	st, _ := svc.Stats("DC-9")
+	if st.EvictedTenants == 0 {
+		t.Fatal("no rings were evicted")
+	}
+	after, _ := svc.Snapshot("DC-9")
+	serversAfter := 0
+	tenantsAfter := 0
+	for _, cls := range after.Clustering.Classes {
+		serversAfter += cls.NumServers()
+		tenantsAfter += len(cls.Tenants)
+	}
+	if serversAfter >= serversBefore {
+		t.Errorf("servers did not shrink: %d -> %d", serversBefore, serversAfter)
+	}
+	if tenantsAfter != len(target.Tenants) {
+		t.Errorf("clustering holds %d tenants, want the %d that kept reporting", tenantsAfter, len(target.Tenants))
+	}
+	// The surviving tenants keep their class membership.
+	for _, tid := range target.Tenants {
+		if _, ok := after.Clustering.ClassOfTenant(tid); !ok {
+			t.Errorf("reporting tenant %v lost its class", tid)
+		}
+	}
+	// Queries still work against the shrunken serving set.
+	if sel, _, err := svc.Select("DC-9", core.JobRequest{Type: core.JobMedium, MaxConcurrentCores: 2}); err != nil || sel.Empty() {
+		t.Errorf("select after eviction failed: %v %+v", err, sel)
+	}
+	checkBooks(t, svc, "DC-9")
+}
+
+func postWithToken(t *testing.T, url, token, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestIngestTokenAuth(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPIWith(svc, service.APIOptions{IngestToken: "s3kr1t"}))
+	defer srv.Close()
+
+	snap, _ := svc.Snapshot("DC-9")
+	body := fmt.Sprintf(`{"samples":[{"tenant":%d,"utilization":0.5}]}`, snap.Clustering.Classes[0].Tenants[0])
+	url := srv.URL + "/v1/DC-9/telemetry"
+
+	if resp := postWithToken(t, url, "", body); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("no-token status = %d, want 401", resp.StatusCode)
+	}
+	if resp := postWithToken(t, url, "wrong", body); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("wrong-token status = %d, want 401", resp.StatusCode)
+	}
+	if resp := postWithToken(t, url, "s3kr1t", body); resp.StatusCode != http.StatusOK {
+		t.Errorf("good-token status = %d, want 200", resp.StatusCode)
+	}
+	// The query surface stays open: no token needed to select.
+	if resp, _ := postJSON(t, srv.URL+"/v1/DC-9/select", `{"job_type":"short","max_concurrent_cores":1}`); resp.StatusCode != http.StatusOK {
+		t.Errorf("tokenless select status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestIngestRateLimit(t *testing.T) {
+	svc := newTestService(t)
+	// 1 req/s with a burst of 2: the first two POSTs pass, the third is
+	// throttled (the test finishes long before a refill token accrues).
+	srv := httptest.NewServer(service.NewAPIWith(svc, service.APIOptions{IngestRatePerSource: 1, IngestBurst: 2}))
+	defer srv.Close()
+
+	snap, _ := svc.Snapshot("DC-9")
+	tid := snap.Clustering.Classes[0].Tenants[0]
+	url := srv.URL + "/v1/DC-9/telemetry"
+	for i := 0; i < 2; i++ {
+		body := fmt.Sprintf(`{"samples":[{"tenant":%d,"utilization":0.5}]}`, tid)
+		if resp := postWithToken(t, url, "", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %d status = %d, want 200", i, resp.StatusCode)
+		}
+	}
+	resp := postWithToken(t, url, "", fmt.Sprintf(`{"samples":[{"tenant":%d,"utilization":0.5}]}`, tid))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("burst-exceeding POST status = %d, want 429", resp.StatusCode)
+	}
+	// Throttling is per source and per the telemetry endpoint only.
+	if resp, _ := postJSON(t, srv.URL+"/v1/DC-9/select", `{"job_type":"short","max_concurrent_cores":1}`); resp.StatusCode != http.StatusOK {
+		t.Errorf("select throttled alongside telemetry: %d", resp.StatusCode)
+	}
+}

@@ -2,13 +2,18 @@ package service
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
+	"errors"
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"harvest/internal/core"
+	"harvest/internal/ledger"
 	"harvest/internal/tenant"
 )
 
@@ -19,29 +24,61 @@ import (
 //	GET  /v1/datacenters               — served datacenters
 //	GET  /v1/{dc}/classes              — the DC's utilization classes
 //	GET  /v1/{dc}/servers/{id}/class   — a server's class
-//	POST /v1/{dc}/select               — class selection (Alg. 1)
+//	POST /v1/{dc}/select               — class selection (Alg. 1); reserves cores, returns a lease
+//	POST /v1/{dc}/release              — return a lease's cores
 //	POST /v1/{dc}/place                — replica placement (Alg. 2)
 //	POST /v1/{dc}/telemetry            — live utilization ingestion (feeds the rings)
 //	GET  /healthz                      — liveness
-//	GET  /metrics                      — counters, latency quantiles, snapshot ages/staleness
+//	GET  /metrics                      — counters, latency quantiles, snapshot ages/staleness, ledger books
 type API struct {
 	svc   *Service
 	mux   *http.ServeMux
 	start time.Time
+	opts  APIOptions
 
-	endpoints map[string]*EndpointMetrics
+	ingestLimiter *rateLimiter
+	endpoints     map[string]*EndpointMetrics
+}
+
+// APIOptions hardens the ingest surface. The query endpoints stay open —
+// they are read-mostly and cheap; telemetry ingestion mutates history that
+// re-clustering trusts, so it gets the auth and the throttle.
+type APIOptions struct {
+	// IngestToken, when non-empty, requires POST /v1/{dc}/telemetry callers
+	// to present "Authorization: Bearer <token>"; everything else is 401.
+	IngestToken string
+	// IngestRatePerSource, when positive, caps telemetry POSTs per source IP
+	// (token bucket, requests/second); excess requests get 429.
+	IngestRatePerSource float64
+	// IngestBurst is the token bucket depth. Zero means 2 seconds' worth
+	// (minimum 1).
+	IngestBurst int
 }
 
 // apiEndpoints names the instrumented endpoints, in /metrics display order.
-var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "place", "telemetry", "healthz", "metrics"}
+var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "release", "place", "telemetry", "healthz", "metrics"}
 
-// NewAPI wraps a service in its HTTP handler.
-func NewAPI(svc *Service) *API {
+// NewAPI wraps a service in its HTTP handler with default (open) options.
+func NewAPI(svc *Service) *API { return NewAPIWith(svc, APIOptions{}) }
+
+// NewAPIWith wraps a service in its HTTP handler with ingest hardening.
+func NewAPIWith(svc *Service, opts APIOptions) *API {
 	a := &API{
 		svc:       svc,
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
+		opts:      opts,
 		endpoints: make(map[string]*EndpointMetrics, len(apiEndpoints)),
+	}
+	if opts.IngestRatePerSource > 0 {
+		burst := opts.IngestBurst
+		if burst <= 0 {
+			burst = int(2 * opts.IngestRatePerSource)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		a.ingestLimiter = newRateLimiter(opts.IngestRatePerSource, float64(burst))
 	}
 	for _, name := range apiEndpoints {
 		a.endpoints[name] = &EndpointMetrics{}
@@ -50,6 +87,7 @@ func NewAPI(svc *Service) *API {
 	a.mux.HandleFunc("GET /v1/{dc}/classes", a.instrument("classes", a.handleClasses))
 	a.mux.HandleFunc("GET /v1/{dc}/servers/{id}/class", a.instrument("server_class", a.handleServerClass))
 	a.mux.HandleFunc("POST /v1/{dc}/select", a.instrument("select", a.handleSelect))
+	a.mux.HandleFunc("POST /v1/{dc}/release", a.instrument("release", a.handleRelease))
 	a.mux.HandleFunc("POST /v1/{dc}/place", a.instrument("place", a.handlePlace))
 	a.mux.HandleFunc("POST /v1/{dc}/telemetry", a.instrument("telemetry", a.handleTelemetry))
 	a.mux.HandleFunc("GET /healthz", a.instrument("healthz", a.handleHealthz))
@@ -88,6 +126,63 @@ func (a *API) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// rateLimiter is a per-source token bucket. Telemetry ingestion is far off
+// the hot query path (batched POSTs at emitter cadence), so one small mutex
+// over a keyed map is plenty.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxRateLimiterSources caps the keyed map so a source-spoofing client
+// cannot grow it without bound; at the cap the map resets, which at worst
+// briefly re-admits throttled sources.
+const maxRateLimiterSources = 1 << 16
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	return &rateLimiter{rate: rate, burst: burst, buckets: make(map[string]*tokenBucket)}
+}
+
+func (rl *rateLimiter) allow(source string, now time.Time) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[source]
+	if b == nil {
+		if len(rl.buckets) >= maxRateLimiterSources {
+			rl.buckets = make(map[string]*tokenBucket)
+		}
+		b = &tokenBucket{tokens: rl.burst, last: now}
+		rl.buckets[source] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * rl.rate
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sourceKey extracts the per-source rate-limit key: the client IP without
+// the ephemeral port, so reconnects share one bucket.
+func sourceKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
 }
 
 var bodyBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
@@ -176,6 +271,9 @@ type classInfo struct {
 	AvgUtilization     float64 `json:"avg_utilization"`
 	PeakUtilization    float64 `json:"peak_utilization"`
 	CurrentUtilization float64 `json:"current_utilization"`
+	// AllocatedCores is the class's live allocation-ledger occupancy: cores
+	// currently promised to selects that have not released (or expired).
+	AllocatedCores float64 `json:"allocated_cores"`
 	// ExampleServer is one member server, a convenient probe target for
 	// /servers/{id}/class clients (the load generator uses it to seed its
 	// server pool).
@@ -191,8 +289,9 @@ type classesResponse struct {
 
 // classInfoOf renders one class against a usage view — the live one on the
 // query path (Service.UsageFor), so CurrentUtilization tracks ingested
-// telemetry between refreshes.
-func classInfoOf(cls *core.UtilizationClass, usage map[core.ClassID]core.ClassUsage) classInfo {
+// telemetry between refreshes. allocMillis is the ledger's per-class
+// occupancy when its generation matches the snapshot's (nil otherwise).
+func classInfoOf(cls *core.UtilizationClass, usage map[core.ClassID]core.ClassUsage, allocMillis []int64) classInfo {
 	info := classInfo{
 		ID:                 int(cls.ID),
 		Pattern:            cls.Pattern.String(),
@@ -203,10 +302,23 @@ func classInfoOf(cls *core.UtilizationClass, usage map[core.ClassID]core.ClassUs
 		CurrentUtilization: usage[cls.ID].CurrentUtilization,
 		ExampleServer:      -1,
 	}
+	if i := int(cls.ID); i >= 0 && i < len(allocMillis) {
+		info.AllocatedCores = ledger.CoresOf(allocMillis[i])
+	}
 	if len(cls.Servers) > 0 {
 		info.ExampleServer = int64(cls.Servers[0])
 	}
 	return info
+}
+
+// ledgerAllocFor fetches the per-class occupancy aligned to a snapshot's
+// class ids, or nil while a re-key is in flight.
+func (a *API) ledgerAllocFor(snap *Snapshot) []int64 {
+	ls, ok := a.svc.LedgerStats(snap.Datacenter)
+	if !ok || ls.Generation != snap.Generation {
+		return nil
+	}
+	return ls.AllocatedMillisByClass
 }
 
 func (a *API) handleClasses(w http.ResponseWriter, r *http.Request) {
@@ -215,6 +327,7 @@ func (a *API) handleClasses(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	usage := a.svc.UsageFor(snap)
+	alloc := a.ledgerAllocFor(snap)
 	resp := classesResponse{
 		Datacenter:  snap.Datacenter,
 		Generation:  snap.Generation,
@@ -222,7 +335,7 @@ func (a *API) handleClasses(w http.ResponseWriter, r *http.Request) {
 		Classes:     make([]classInfo, 0, len(snap.Clustering.Classes)),
 	}
 	for _, cls := range snap.Clustering.Classes {
-		resp.Classes = append(resp.Classes, classInfoOf(cls, usage))
+		resp.Classes = append(resp.Classes, classInfoOf(cls, usage, alloc))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -253,7 +366,7 @@ func (a *API) handleServerClass(w http.ResponseWriter, r *http.Request) {
 		Datacenter: snap.Datacenter,
 		Generation: snap.Generation,
 		Server:     id,
-		Class:      classInfoOf(cls, a.svc.UsageFor(snap)),
+		Class:      classInfoOf(cls, a.svc.UsageFor(snap), a.ledgerAllocFor(snap)),
 	})
 }
 
@@ -288,6 +401,19 @@ type telemetryResponse struct {
 }
 
 func (a *API) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if a.opts.IngestToken != "" {
+		// subtle.ConstantTimeCompare is overkill for a shared cluster token,
+		// but the comparison is still written to not leak the prefix length.
+		if got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); !ok ||
+			subtle.ConstantTimeCompare([]byte(got), []byte(a.opts.IngestToken)) != 1 {
+			writeError(w, http.StatusUnauthorized, "missing or invalid ingest token")
+			return
+		}
+	}
+	if a.ingestLimiter != nil && !a.ingestLimiter.allow(sourceKey(r.RemoteAddr), time.Now()) {
+		writeError(w, http.StatusTooManyRequests, "ingest rate limit exceeded for this source")
+		return
+	}
 	dc := r.PathValue("dc")
 	if _, ok := a.svc.Snapshot(dc); !ok {
 		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
@@ -341,11 +467,17 @@ func (a *API) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 // selectRequest asks for classes to host a job. The job's length category
 // comes either from an explicit type ("short"/"medium"/"long") or, as in the
 // paper, from its previous run time classified against the thresholds; an
-// absent type and absent last run means medium (the first-guess rule).
+// absent type and absent last run means medium (the first-guess rule). A
+// satisfiable select reserves its cores in the allocation ledger and returns
+// a lease: the headroom is gone for everyone else until the caller POSTs
+// /release (or the lease expires after hold_seconds / the server default).
+// dry_run asks the old advisory behaviour — look, don't hold.
 type selectRequest struct {
 	JobType            string  `json:"job_type"`
 	LastRunSeconds     float64 `json:"last_run_seconds"`
 	MaxConcurrentCores float64 `json:"max_concurrent_cores"`
+	HoldSeconds        float64 `json:"hold_seconds"`
+	DryRun             bool    `json:"dry_run"`
 }
 
 type selectResponse struct {
@@ -355,7 +487,17 @@ type selectResponse struct {
 	Satisfiable bool      `json:"satisfiable"`
 	Classes     []int     `json:"classes"`
 	Headrooms   []float64 `json:"headrooms"`
+	// Lease identifies the reservation (0 on dry-run or unsatisfiable
+	// selects); Granted is the cores reserved per entry of Classes.
+	Lease            uint64    `json:"lease,omitempty"`
+	Granted          []float64 `json:"granted,omitempty"`
+	ExpiresInSeconds float64   `json:"expires_in_seconds,omitempty"`
 }
+
+// maxHoldSeconds caps a client-requested lease TTL at one hour: a "forever"
+// hold must be an operator decision (server-side LeaseTTL), not a request
+// parameter.
+const maxHoldSeconds = 3600
 
 func (a *API) handleSelect(w http.ResponseWriter, r *http.Request) {
 	snap, ok := a.snapshotFor(w, r)
@@ -369,6 +511,12 @@ func (a *API) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.MaxConcurrentCores <= 0 {
 		writeError(w, http.StatusBadRequest, "max_concurrent_cores must be positive")
+		return
+	}
+	// NaN/negative/over-cap holds are client bugs, rejected explicitly.
+	if !(req.HoldSeconds >= 0 && req.HoldSeconds <= maxHoldSeconds) {
+		writeError(w, http.StatusBadRequest,
+			"hold_seconds must be in [0, "+strconv.Itoa(maxHoldSeconds)+"]")
 		return
 	}
 	var jobType core.JobType
@@ -385,24 +533,98 @@ func (a *API) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "job_type must be short, medium or long")
 		return
 	}
+	job := core.JobRequest{Type: jobType, MaxConcurrentCores: req.MaxConcurrentCores}
 
-	sel := a.svc.SelectOn(snap, core.JobRequest{
-		Type:               jobType,
-		MaxConcurrentCores: req.MaxConcurrentCores,
-	})
-	resp := selectResponse{
-		Datacenter:  snap.Datacenter,
-		Generation:  snap.Generation,
-		JobType:     jobType.String(),
-		Satisfiable: !sel.Empty(),
-		Classes:     make([]int, len(sel.Classes)),
-		Headrooms:   sel.Headrooms,
-	}
-	for i, id := range sel.Classes {
-		resp.Classes[i] = int(id)
+	resp := selectResponse{JobType: jobType.String()}
+	if req.DryRun {
+		sel := a.svc.SelectOn(snap, job)
+		resp.Datacenter = snap.Datacenter
+		resp.Generation = snap.Generation
+		resp.Satisfiable = !sel.Empty()
+		resp.Classes = classIDsOf(sel.Classes)
+		resp.Headrooms = sel.Headrooms
+	} else {
+		grant, at, err := a.svc.SelectReserve(snap.Datacenter, job, time.Duration(req.HoldSeconds*float64(time.Second)))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		// The reservation may have re-run against a newer snapshot than the
+		// one the route resolved; report the generation it actually landed on.
+		resp.Datacenter = at.Datacenter
+		resp.Generation = at.Generation
+		resp.Satisfiable = grant.Reserved()
+		resp.Classes = classIDsOf(grant.Selection.Classes)
+		resp.Headrooms = grant.Selection.Headrooms
+		resp.Lease = grant.Lease
+		resp.Granted = grant.Granted
+		if !grant.ExpiresAt.IsZero() {
+			resp.ExpiresInSeconds = time.Until(grant.ExpiresAt).Seconds()
+		}
 	}
 	if resp.Headrooms == nil {
 		resp.Headrooms = []float64{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func classIDsOf(ids []core.ClassID) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// releaseRequest returns a lease's cores to their classes.
+type releaseRequest struct {
+	Lease uint64 `json:"lease"`
+}
+
+type releaseResponse struct {
+	Datacenter    string    `json:"datacenter"`
+	Lease         uint64    `json:"lease"`
+	ReleasedCores float64   `json:"released_cores"`
+	Classes       []int     `json:"classes"`
+	Cores         []float64 `json:"cores"`
+}
+
+func (a *API) handleRelease(w http.ResponseWriter, r *http.Request) {
+	dc := r.PathValue("dc")
+	if _, ok := a.svc.Snapshot(dc); !ok {
+		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
+		return
+	}
+	var req releaseRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Lease == 0 {
+		writeError(w, http.StatusBadRequest, "lease must be a nonzero id")
+		return
+	}
+	lease, err := a.svc.Release(dc, req.Lease)
+	if err != nil {
+		if errors.Is(err, ledger.ErrUnknownLease) {
+			// Never issued, already released, or reclaimed by the expiry
+			// sweep — idempotent releases by retrying clients land here.
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := releaseResponse{
+		Datacenter:    dc,
+		Lease:         lease.ID,
+		ReleasedCores: ledger.CoresOf(lease.TotalMillis()),
+		Classes:       make([]int, len(lease.Grants)),
+		Cores:         make([]float64, len(lease.Grants)),
+	}
+	for i, g := range lease.Grants {
+		resp.Classes[i] = int(g.Class)
+		resp.Cores[i] = ledger.CoresOf(g.Millis)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -502,6 +724,37 @@ type shardStatsJSON struct {
 	IngestedSamples      uint64  `json:"ingested_samples"`
 	LastIngestAgeSeconds float64 `json:"last_ingest_age_seconds"`
 	PersistErrors        uint64  `json:"persist_errors"`
+	EvictedTenants       uint64  `json:"evicted_tenants"`
+
+	Ledger ledgerStatsJSON `json:"ledger"`
+}
+
+// ledgerStatsJSON is the allocation ledger's books on /metrics. The *_millis
+// fields are exact integers so the conservation invariant
+//
+//	reserved_millis == released_millis + expired_millis + forfeited_millis + outstanding_millis
+//
+// can be asserted without a float tolerance (the CI smoke job does); the
+// *_cores fields are the same numbers for humans. allocated_cores_by_class
+// is the current occupancy, indexed by dense class id.
+type ledgerStatsJSON struct {
+	ActiveLeases          int       `json:"active_leases"`
+	OutstandingCores      float64   `json:"outstanding_cores"`
+	ReservedCores         float64   `json:"reserved_cores"`
+	ReleasedCores         float64   `json:"released_cores"`
+	ExpiredCores          float64   `json:"expired_cores"`
+	ForfeitedCores        float64   `json:"forfeited_cores"`
+	OutstandingMillis     int64     `json:"outstanding_millis"`
+	ReservedMillis        int64     `json:"reserved_millis"`
+	ReleasedMillis        int64     `json:"released_millis"`
+	ExpiredMillis         int64     `json:"expired_millis"`
+	ForfeitedMillis       int64     `json:"forfeited_millis"`
+	Reserves              uint64    `json:"reserves"`
+	Releases              uint64    `json:"releases"`
+	Expiries              uint64    `json:"expiries"`
+	Conflicts             uint64    `json:"conflicts"`
+	StaleRetries          uint64    `json:"stale_retries"`
+	AllocatedCoresByClass []float64 `json:"allocated_cores_by_class"`
 }
 
 type metricsResponse struct {
@@ -543,6 +796,10 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if !st.LastIngest.IsZero() {
 			ingestAge = time.Since(st.LastIngest).Seconds()
 		}
+		alloc := make([]float64, len(st.Ledger.AllocatedMillisByClass))
+		for i, m := range st.Ledger.AllocatedMillisByClass {
+			alloc[i] = ledger.CoresOf(m)
+		}
 		resp.Datacenters[dc] = shardStatsJSON{
 			Generation:           st.Generation,
 			AgeSeconds:           st.Age.Seconds(),
@@ -558,6 +815,26 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			IngestedSamples:      st.IngestedSamples,
 			LastIngestAgeSeconds: ingestAge,
 			PersistErrors:        st.PersistErrors,
+			EvictedTenants:       st.EvictedTenants,
+			Ledger: ledgerStatsJSON{
+				ActiveLeases:          st.Ledger.ActiveLeases,
+				OutstandingCores:      ledger.CoresOf(st.Ledger.OutstandingMillis),
+				ReservedCores:         ledger.CoresOf(st.Ledger.ReservedMillis),
+				ReleasedCores:         ledger.CoresOf(st.Ledger.ReleasedMillis),
+				ExpiredCores:          ledger.CoresOf(st.Ledger.ExpiredMillis),
+				ForfeitedCores:        ledger.CoresOf(st.Ledger.ForfeitedMillis),
+				OutstandingMillis:     st.Ledger.OutstandingMillis,
+				ReservedMillis:        st.Ledger.ReservedMillis,
+				ReleasedMillis:        st.Ledger.ReleasedMillis,
+				ExpiredMillis:         st.Ledger.ExpiredMillis,
+				ForfeitedMillis:       st.Ledger.ForfeitedMillis,
+				Reserves:              st.Ledger.Reserves,
+				Releases:              st.Ledger.Releases,
+				Expiries:              st.Ledger.Expiries,
+				Conflicts:             st.Ledger.Conflicts,
+				StaleRetries:          st.StaleRetries,
+				AllocatedCoresByClass: alloc,
+			},
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"harvest/internal/core"
+	"harvest/internal/ledger"
 	"harvest/internal/signalproc"
 	"harvest/internal/tenant"
 )
@@ -57,9 +58,24 @@ func persistPath(dir, dc string) string {
 	return filepath.Join(dir, dc+".snapshot.json")
 }
 
-// persistSnapshot writes the snapshot to disk, best-effort: a failure is
-// counted and logged but never fails the publish (the in-memory snapshot is
-// already serving).
+func ledgerPath(dir, dc string) string {
+	return filepath.Join(dir, dc+".ledger.json")
+}
+
+// persistedLedger wraps the ledger state with the same population
+// fingerprint as the snapshot file: leases only make sense over the exact
+// clustering they were reserved against.
+type persistedLedger struct {
+	Version         int          `json:"version"`
+	Datacenter      string       `json:"datacenter"`
+	Seed            int64        `json:"seed"`
+	ScaleDatacenter float64      `json:"scale_datacenter"`
+	State           ledger.State `json:"state"`
+}
+
+// persistSnapshot writes the snapshot (and the allocation ledger riding
+// alongside it) to disk, best-effort: a failure is counted and logged but
+// never fails the publish (the in-memory snapshot is already serving).
 func (s *Service) persistSnapshot(sh *shard, snap *Snapshot) {
 	if s.cfg.PersistDir == "" {
 		return
@@ -68,6 +84,74 @@ func (s *Service) persistSnapshot(sh *shard, snap *Snapshot) {
 		sh.persistErrors.Add(1)
 		log.Printf("service: %s: snapshot persist failed: %v", sh.dc, err)
 	}
+	s.persistLedger(sh)
+}
+
+// persistLedger writes the shard's allocation ledger next to its snapshot
+// file, so outstanding leases survive a restart. Best-effort, like the
+// snapshot itself. The boot path persists a snapshot before the shard's
+// ledger exists; that write is skipped (the ledger is empty then anyway).
+func (s *Service) persistLedger(sh *shard) {
+	if s.cfg.PersistDir == "" || sh.led == nil {
+		return
+	}
+	p := persistedLedger{
+		Version:         persistVersion,
+		Datacenter:      sh.dc,
+		Seed:            s.cfg.Scale.Seed,
+		ScaleDatacenter: s.cfg.Scale.Datacenter,
+		State:           sh.led.Export(),
+	}
+	err := os.MkdirAll(s.cfg.PersistDir, 0o755)
+	if err == nil {
+		var data []byte
+		if data, err = json.Marshal(p); err == nil {
+			tmp := ledgerPath(s.cfg.PersistDir, sh.dc) + ".tmp"
+			if err = os.WriteFile(tmp, data, 0o644); err == nil {
+				err = os.Rename(tmp, ledgerPath(s.cfg.PersistDir, sh.dc))
+			}
+		}
+	}
+	if err != nil {
+		sh.persistErrors.Add(1)
+		log.Printf("service: %s: ledger persist failed: %v", sh.dc, err)
+	}
+}
+
+// restoreLedger loads the shard's persisted allocation ledger, valid only
+// against the snapshot that was actually restored (generation must match —
+// a from-scratch boot or a discarded snapshot file always starts an empty
+// ledger). Leases that expired while the daemon was down are reclaimed
+// immediately. Any problem logs and returns nil, which means "start empty":
+// a lost ledger file can only cost leases, never correctness of the books
+// going forward.
+func (s *Service) restoreLedger(sh *shard, snap *Snapshot) *ledger.Ledger {
+	if s.cfg.PersistDir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(ledgerPath(s.cfg.PersistDir, sh.dc))
+	if err != nil {
+		return nil
+	}
+	var p persistedLedger
+	if err := json.Unmarshal(data, &p); err != nil {
+		log.Printf("service: %s: ignoring persisted ledger: corrupt file: %v", sh.dc, err)
+		return nil
+	}
+	if p.Version != persistVersion || p.Datacenter != sh.dc ||
+		p.Seed != s.cfg.Scale.Seed || p.ScaleDatacenter != s.cfg.Scale.Datacenter {
+		log.Printf("service: %s: ignoring persisted ledger: fingerprint mismatch", sh.dc)
+		return nil
+	}
+	led, err := ledger.Restore(p.State, snap.Generation, len(snap.Clustering.Classes))
+	if err != nil {
+		log.Printf("service: %s: ignoring persisted ledger: %v", sh.dc, err)
+		return nil
+	}
+	if n, millis := led.ExpireBefore(time.Now()); n > 0 {
+		log.Printf("service: %s: restored ledger: expired %d leases (%.3f cores) from downtime", sh.dc, n, ledger.CoresOf(millis))
+	}
+	return led
 }
 
 func (s *Service) writeSnapshotFile(sh *shard, snap *Snapshot) error {

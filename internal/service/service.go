@@ -1,15 +1,19 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"harvest/internal/core"
 	"harvest/internal/experiments"
+	"harvest/internal/ledger"
 	"harvest/internal/signalproc"
 	"harvest/internal/telemetry"
 	"harvest/internal/tenant"
@@ -40,8 +44,23 @@ type Config struct {
 	FullRebuildEvery int
 	// PersistDir, when non-empty, persists each published snapshot to
 	// <dir>/<dc>.snapshot.json (atomic rename) and restores the last good
-	// one at construction instead of paying the boot re-clustering.
+	// one at construction instead of paying the boot re-clustering. The
+	// allocation ledger rides along in <dir>/<dc>.ledger.json, so leases
+	// survive a restart.
 	PersistDir string
+	// LeaseTTL is the default lifetime of a select reservation before the
+	// expiry sweep reclaims it from a client that never released. Zero means
+	// 2 minutes; negative disables expiry (leases live until released).
+	LeaseTTL time.Duration
+	// SweepPeriod is how often the background sweeper scans for expired
+	// leases once Start is called. Zero derives it from LeaseTTL (a quarter,
+	// clamped to [100ms, 10s]).
+	SweepPeriod time.Duration
+	// TenantStaleAfter, when positive, evicts the telemetry ring of any
+	// tenant whose last sample (bootstrap included) is older than this at
+	// refresh time: the tenant stops pinning a full history window in memory
+	// and drops out of the next re-clustering until it reports again.
+	TenantStaleAfter time.Duration
 	// Clustering and Selector configure the core algorithms.
 	Clustering core.ClusteringConfig
 	Selector   core.SelectorConfig
@@ -63,10 +82,32 @@ func DefaultConfig() Config {
 
 // usageView is one computation of a shard's live per-class usage, cached
 // behind an atomic pointer and invalidated by generation or ingest progress.
+// src overlays the cached utilization with the ledger's live allocation
+// counters, so selections read current AllocatedCores without a rebuild.
 type usageView struct {
 	generation uint64
 	samples    uint64 // rings.TotalSamples() at build time
 	usage      map[core.ClassID]core.ClassUsage
+	src        *ledgerUsage
+}
+
+// ledgerUsage is the core.UsageSource the query path runs against:
+// CurrentUtilization from the cached view (recomputed on ingest progress),
+// AllocatedCores loaded live from the ledger's atomic counters. Immutable
+// after construction; reads are two pointer loads and an atomic load.
+type ledgerUsage struct {
+	generation uint64
+	base       map[core.ClassID]core.ClassUsage
+	led        *ledger.Ledger
+}
+
+// UsageOf implements core.UsageSource.
+func (u *ledgerUsage) UsageOf(id core.ClassID) core.ClassUsage {
+	cu := u.base[id]
+	if a, ok := u.led.AllocatedCores(u.generation, id); ok {
+		cu.AllocatedCores = a
+	}
+	return cu
 }
 
 // shard is one datacenter's slot: the published snapshot, the telemetry
@@ -77,6 +118,7 @@ type shard struct {
 	dc    string
 	snap  atomic.Pointer[Snapshot]
 	rings *telemetry.Store
+	led   *ledger.Ledger
 
 	liveUsage atomic.Pointer[usageView]
 
@@ -90,6 +132,7 @@ type shard struct {
 	fullRebuilds  atomic.Uint64
 	ingested      atomic.Uint64 // live samples accepted via Ingest
 	persistErrors atomic.Uint64
+	staleRetries  atomic.Uint64 // SelectReserve retries due to a re-key in flight
 }
 
 // Service is the characterization service: per-datacenter snapshot shards
@@ -127,6 +170,18 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.FullRebuildEvery == 0 {
 		cfg.FullRebuildEvery = 24
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 2 * time.Minute
+	}
+	if cfg.SweepPeriod <= 0 {
+		cfg.SweepPeriod = cfg.LeaseTTL / 4
+		if cfg.SweepPeriod < 100*time.Millisecond {
+			cfg.SweepPeriod = 100 * time.Millisecond
+		}
+		if cfg.SweepPeriod > 10*time.Second {
+			cfg.SweepPeriod = 10 * time.Second
+		}
 	}
 	// Fill unset fields individually so a caller customizing one knob (say,
 	// Thresholds) keeps it; only the genuinely zero pieces take defaults.
@@ -178,6 +233,13 @@ func New(cfg Config) (*Service, error) {
 		if restored {
 			log.Printf("service: %s: restored persisted snapshot generation %d", dc, snap.Generation)
 		}
+		// The ledger starts empty at the boot generation unless a persisted
+		// one matches the restored snapshot — then outstanding leases (minus
+		// the ones that expired while the daemon was down) carry over.
+		sh.led = s.restoreLedger(sh, snap)
+		if sh.led == nil {
+			sh.led = ledger.New(snap.Generation, len(snap.Clustering.Classes))
+		}
 		sh.snap.Store(snap)
 		s.order = append(s.order, dc)
 		s.shards[dc] = sh
@@ -206,24 +268,67 @@ func (s *Service) bootstrapRings(sh *shard) error {
 	return nil
 }
 
-// Start launches one refresher goroutine per shard. It is a no-op when the
-// refresh period is zero or the service is already started.
+// Start launches one refresher goroutine per shard (when RefreshPeriod is
+// positive) and the lease-expiry sweeper (when LeaseTTL is positive). It is
+// a no-op when the service is already started.
 func (s *Service) Start() {
-	if s.cfg.RefreshPeriod <= 0 || !s.started.CompareAndSwap(false, true) {
+	if !s.started.CompareAndSwap(false, true) {
 		return
 	}
-	for _, dc := range s.order {
-		sh := s.shards[dc]
-		s.wg.Add(1)
-		go s.refreshLoop(sh)
+	if s.cfg.RefreshPeriod > 0 {
+		for _, dc := range s.order {
+			sh := s.shards[dc]
+			s.wg.Add(1)
+			go s.refreshLoop(sh)
+		}
+	}
+	// The sweeper always runs: even with the server-side default TTL
+	// disabled (negative LeaseTTL), clients can arm per-lease deadlines via
+	// hold_seconds, and those must still be reclaimed.
+	s.wg.Add(1)
+	go s.sweepLoop()
+}
+
+// sweepLoop periodically reclaims expired leases across every shard — the
+// safety net for clients that died holding a reservation.
+func (s *Service) sweepLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.SweepPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.SweepLeases(time.Now())
+		}
 	}
 }
 
-// Close stops the refreshers and waits for them to exit. Queries remain
-// valid after Close; they simply stop seeing new generations.
+// SweepLeases reclaims every lease expired as of now, across all shards, and
+// returns how many leases and cores were reclaimed. The background sweeper
+// calls this on its ticker; tests and operational tooling may call it
+// directly.
+func (s *Service) SweepLeases(now time.Time) (leases int, cores float64) {
+	var millis int64
+	for _, dc := range s.order {
+		n, m := s.shards[dc].led.ExpireBefore(now)
+		leases += n
+		millis += m
+	}
+	return leases, ledger.CoresOf(millis)
+}
+
+// Close stops the refreshers and waits for them to exit, then persists each
+// shard's allocation ledger (when persistence is configured) so leases taken
+// since the last refresh survive the restart. Queries remain valid after
+// Close; they simply stop seeing new generations.
 func (s *Service) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
+	for _, dc := range s.order {
+		s.persistLedger(s.shards[dc])
+	}
 }
 
 func (s *Service) refreshLoop(sh *shard) {
@@ -256,6 +361,14 @@ func (s *Service) refreshShard(sh *shard) error {
 	defer sh.mu.Unlock()
 	start := time.Now()
 	prev := sh.snap.Load()
+	// Evict rings of tenants that stopped reporting before re-clustering
+	// reads them, so a stale window neither skews a class nor keeps the
+	// tenant's servers in the serving set.
+	if s.cfg.TenantStaleAfter > 0 {
+		if n := sh.rings.EvictStale(s.cfg.TenantStaleAfter, start); n > 0 {
+			log.Printf("service: %s: evicted %d stale tenant rings", sh.dc, n)
+		}
+	}
 	full := s.cfg.FullRebuildEvery > 0 && sh.sinceFull >= s.cfg.FullRebuildEvery-1
 
 	clusterer := core.NewClusteringService(s.cfg.Clustering)
@@ -272,6 +385,13 @@ func (s *Service) refreshShard(sh *shard) error {
 		var next *Snapshot
 		next, err = assembleSnapshot(sh.dc, sh.pop, sh.rings, s.cfg, prev.Generation+1, clustering, start)
 		if err == nil {
+			// Carry the allocation ledger into the new generation before the
+			// snapshot is visible: re-key each lease's grants to where its old
+			// class's servers landed (conserving totals), so reservations made
+			// against the previous clustering keep holding real cores in the
+			// new one. A reservation racing the swap detects the generation
+			// change and retries (SelectReserve).
+			rekeyLedger(sh.led, prev.Clustering, next.Clustering, next.Generation)
 			sh.snap.Store(next)
 			sh.refreshes.Add(1)
 			if rst.FullRebuild {
@@ -287,6 +407,30 @@ func (s *Service) refreshShard(sh *shard) error {
 	}
 	sh.refreshErrors.Add(1)
 	return err
+}
+
+// rekeyLedger carries the allocation ledger from one clustering generation
+// to the next: each old class's allocation follows its servers — the shares
+// are how many of the class's servers landed in each new class. Servers that
+// left the serving set entirely (e.g. their tenant's ring was evicted)
+// contribute no share; an old class whose servers all left forfeits its
+// grants, which the ledger counts rather than hides.
+func rekeyLedger(led *ledger.Ledger, prev, next *core.Clustering, nextGeneration uint64) {
+	remap := make(map[core.ClassID][]ledger.Share, len(prev.Classes))
+	for _, cls := range prev.Classes {
+		counts := make(map[core.ClassID]int)
+		for _, srv := range cls.Servers {
+			if nid, ok := next.ClassOfServer(srv); ok {
+				counts[nid]++
+			}
+		}
+		shares := make([]ledger.Share, 0, len(counts))
+		for nid, n := range counts {
+			shares = append(shares, ledger.Share{Class: nid, Weight: float64(n)})
+		}
+		remap[cls.ID] = shares
+	}
+	led.Rekey(nextGeneration, len(next.Classes), remap)
 }
 
 // Refresh synchronously rebuilds one datacenter's snapshot (tests and
@@ -374,29 +518,47 @@ func (s *Service) Ingest(dc string, samples []IngestSample) (IngestResult, error
 	return res, nil
 }
 
-// UsageFor returns the per-class usage view queries should run against:
-// CurrentUtilization recomputed from each tenant's most recent ring sample,
-// so posted telemetry moves select decisions between refreshes instead of
-// being frozen at the snapshot's AsOf. The view is cached behind an atomic
-// pointer and invalidated by snapshot generation or ingest progress; with no
-// new samples it is a single atomic load. Snapshots from an unknown shard
-// (e.g. a superseded service's) fall back to their build-time view.
-func (s *Service) UsageFor(snap *Snapshot) map[core.ClassID]core.ClassUsage {
+// usageViewFor returns the shard's cached live usage view for a snapshot,
+// recomputing it when the snapshot generation or ingest progress moved: the
+// base map carries CurrentUtilization from each tenant's most recent ring
+// sample, and the src overlay adds the ledger's live AllocatedCores on every
+// read. Nil for snapshots of an unknown shard (e.g. a superseded service's).
+func (s *Service) usageViewFor(snap *Snapshot) *usageView {
 	sh, ok := s.shards[snap.Datacenter]
 	if !ok || sh.rings == nil {
-		return snap.Usage
+		return nil
 	}
 	total := sh.rings.TotalSamples()
 	if v := sh.liveUsage.Load(); v != nil && v.generation == snap.Generation && v.samples == total {
-		return v.usage
+		return v
 	}
 	usage := weightedClassUsage(snap.Clustering.Classes, sh.pop, func(cls *core.UtilizationClass, tid tenant.ID) float64 {
 		return sh.rings.LastValue(tid, snap.Usage[cls.ID].CurrentUtilization)
 	})
 	// Concurrent recomputes race benignly: both views are equally current,
 	// the last store wins.
-	sh.liveUsage.Store(&usageView{generation: snap.Generation, samples: total, usage: usage})
-	return usage
+	v := &usageView{
+		generation: snap.Generation,
+		samples:    total,
+		usage:      usage,
+		src:        &ledgerUsage{generation: snap.Generation, base: usage, led: sh.led},
+	}
+	sh.liveUsage.Store(v)
+	return v
+}
+
+// UsageFor returns the per-class usage view queries should run against:
+// CurrentUtilization recomputed from each tenant's most recent ring sample,
+// so posted telemetry moves select decisions between refreshes instead of
+// being frozen at the snapshot's AsOf. AllocatedCores in the returned map is
+// the build-time value; the query path overlays the live ledger counters via
+// usageViewFor's src. Snapshots from an unknown shard fall back to their
+// build-time view.
+func (s *Service) UsageFor(snap *Snapshot) map[core.ClassID]core.ClassUsage {
+	if v := s.usageViewFor(snap); v != nil {
+		return v.usage
+	}
+	return snap.Usage
 }
 
 // ShardStats reports one shard's refresh and ingest counters for /metrics.
@@ -418,6 +580,13 @@ type ShardStats struct {
 	IngestedSamples uint64
 	LastIngest      time.Time
 	PersistErrors   uint64
+	// EvictedTenants counts telemetry rings reclaimed by the staleness
+	// eviction since boot; StaleRetries counts SelectReserve attempts that
+	// raced a ledger re-key and re-ran.
+	EvictedTenants uint64
+	StaleRetries   uint64
+	// Ledger is the allocation ledger's point-in-time summary.
+	Ledger ledger.Stats
 }
 
 // Stats returns the refresh counters for a datacenter.
@@ -445,6 +614,9 @@ func (s *Service) Stats(dc string) (ShardStats, bool) {
 		Tenants:         len(sh.pop.Tenants),
 		IngestedSamples: sh.ingested.Load(),
 		PersistErrors:   sh.persistErrors.Load(),
+		EvictedTenants:  sh.rings.Evictions(),
+		StaleRetries:    sh.staleRetries.Load(),
+		Ledger:          sh.led.Snapshot(),
 	}
 	if at, ok := sh.rings.LastIngestAt(); ok {
 		st.LastIngest = at
@@ -453,14 +625,142 @@ func (s *Service) Stats(dc string) (ShardStats, bool) {
 }
 
 // SelectOn runs class selection (Alg. 1) against a snapshot the caller
-// already holds, with a pooled RNG and the live usage view. The HTTP
-// handlers use this so a request resolves its snapshot exactly once.
+// already holds, with a pooled RNG and the live usage view — utilization
+// from recent ring samples, AllocatedCores from the ledger's atomic
+// counters. This is the advisory (non-reserving) path: it sees live
+// allocations but does not create one. The HTTP handlers use this so a
+// request resolves its snapshot exactly once.
 func (s *Service) SelectOn(snap *Snapshot, job core.JobRequest) core.Selection {
-	usage := s.UsageFor(snap)
 	rng := s.rngs.Get().(*rand.Rand)
-	sel := snap.SelectUsage(rng, job, usage)
+	var sel core.Selection
+	if v := s.usageViewFor(snap); v != nil {
+		sel = snap.SelectSource(rng, job, v.src)
+	} else {
+		sel = snap.SelectUsage(rng, job, snap.Usage)
+	}
 	s.rngs.Put(rng)
 	return sel
+}
+
+// Grant is the outcome of a reserving select: the selection plus, when it was
+// satisfiable, the lease holding the reserved cores.
+type Grant struct {
+	Selection core.Selection
+	// Lease identifies the reservation for Release; zero when the selection
+	// was unsatisfiable (nothing was reserved).
+	Lease     uint64
+	ExpiresAt time.Time // zero when the lease never expires
+	// Granted is the cores actually reserved per Selection.Classes entry; it
+	// sums to (at most a rounding millicore under) the job's demand.
+	Granted []float64
+}
+
+// Reserved reports whether the select actually reserved cores.
+func (g Grant) Reserved() bool { return g.Lease != 0 }
+
+// selectReserveAttempts bounds the re-select loop: each retry means the
+// class's headroom was concurrently claimed (or a re-key landed) between
+// selection and CAS admission, so a fresh selection against the now-current
+// counters is the correct response. Past the bound the datacenter is
+// genuinely contended and "unsatisfiable right now" is the honest answer.
+const selectReserveAttempts = 8
+
+// SelectReserve runs class selection and atomically reserves the selected
+// cores in the allocation ledger, returning a lease the caller must release
+// (or let expire after ttl). ttl zero means the configured LeaseTTL;
+// negative means no expiry. Concurrent SelectReserve calls can never jointly
+// over-promise a class: admission is a CAS bounded by the class's capacity
+// at the same usage view the selection ran against. An unsatisfiable job
+// returns an empty selection and no lease, not an error.
+func (s *Service) SelectReserve(dc string, job core.JobRequest, ttl time.Duration) (Grant, *Snapshot, error) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return Grant{}, nil, fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	if ttl == 0 {
+		ttl = s.cfg.LeaseTTL
+	}
+	if ttl < 0 {
+		ttl = 0 // ledger: no expiry
+	}
+	var snap *Snapshot
+	for attempt := 0; attempt < selectReserveAttempts; attempt++ {
+		snap = sh.snap.Load()
+		v := s.usageViewFor(snap)
+		rng := s.rngs.Get().(*rand.Rand)
+		sel := snap.SelectSource(rng, job, v.src)
+		s.rngs.Put(rng)
+		if sel.Empty() {
+			return Grant{Selection: sel}, snap, nil
+		}
+		reqs := make([]ledger.Request, 0, len(sel.Classes))
+		granted := make([]float64, len(sel.Classes))
+		remaining := job.MaxConcurrentCores
+		for i, id := range sel.Classes {
+			want := sel.Headrooms[i]
+			if want > remaining {
+				want = remaining
+			}
+			// Floor to the ledger's fixed point so a demand equal to the full
+			// headroom cannot round up past the capacity bound. A
+			// sub-millicore demand rounds *up* to one millicore instead —
+			// flooring everything to zero would leave nothing to reserve and
+			// turn a well-formed request into an error.
+			want = math.Floor(want*ledger.MillisPerCore) / ledger.MillisPerCore
+			if want <= 0 {
+				if len(reqs) == 0 && remaining > 0 {
+					want = 1.0 / ledger.MillisPerCore
+				} else {
+					continue
+				}
+			}
+			reqs = append(reqs, ledger.Request{
+				Class:    id,
+				Cores:    want,
+				Capacity: snap.CapacityCores(job.Type, id, v.src.UsageOf(id)),
+			})
+			granted[i] = want
+			remaining -= want
+		}
+		lease, err := sh.led.Reserve(snap.Generation, reqs, ttl, time.Now())
+		if err == nil {
+			return Grant{Selection: sel, Lease: lease.ID, ExpiresAt: lease.ExpiresAt, Granted: granted}, snap, nil
+		}
+		if errors.Is(err, ledger.ErrStaleGeneration) {
+			// A refresh re-keyed the ledger between selection and admission:
+			// reload the (about-to-be or just-)published snapshot and re-run.
+			sh.staleRetries.Add(1)
+			runtime.Gosched()
+			continue
+		}
+		var ie *ledger.InsufficientError
+		if !errors.As(err, &ie) {
+			return Grant{}, snap, err
+		}
+		// Concurrent reservations claimed the headroom first; re-select
+		// against the now-current counters.
+	}
+	return Grant{}, snap, nil
+}
+
+// Release returns a lease's cores to their classes. The returned lease
+// reports what was actually released (grants may have been re-keyed across
+// snapshot generations since the reservation).
+func (s *Service) Release(dc string, id uint64) (ledger.Lease, error) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return ledger.Lease{}, fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	return sh.led.Release(id)
+}
+
+// LedgerStats returns the allocation ledger's counters for a datacenter.
+func (s *Service) LedgerStats(dc string) (ledger.Stats, bool) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return ledger.Stats{}, false
+	}
+	return sh.led.Snapshot(), true
 }
 
 // PlaceOn runs replica placement (Alg. 2) against a snapshot the caller

@@ -161,6 +161,24 @@ func (s *Snapshot) SelectUsage(rng *rand.Rand, job core.JobRequest, usage map[co
 	return s.selector.SelectWith(rng, job, usage)
 }
 
+// SelectSource runs class selection against a live usage source — the
+// service's ledger overlay, so headrooms subtract the cores concurrent
+// selects have already reserved.
+func (s *Snapshot) SelectSource(rng *rand.Rand, job core.JobRequest, usage core.UsageSource) core.Selection {
+	return s.selector.SelectFrom(rng, job, usage)
+}
+
+// CapacityCores returns a class's gross spare-core bound for a job type at
+// the given usage — the admission ceiling the allocation ledger enforces
+// (headroom before subtracting allocations). Zero for unknown classes.
+func (s *Snapshot) CapacityCores(jobType core.JobType, id core.ClassID, usage core.ClassUsage) float64 {
+	cls := s.Clustering.Class(id)
+	if cls == nil {
+		return 0
+	}
+	return s.selector.Capacity(jobType, cls, usage)
+}
+
 // Headroom reports a class's available cores for a job type at the
 // snapshot's usage view.
 func (s *Snapshot) Headroom(jobType core.JobType, cls *core.UtilizationClass) float64 {

@@ -130,11 +130,16 @@ func (p Profile) FeatureVector() []float64 {
 	return []float64{p.Mean, p.Peak, p.CV, p.SpectralCentroid}
 }
 
+// MinClassifySamples is the shortest trace Classify accepts — callers
+// deciding whether a tenant's history window is usable (e.g. a ring
+// refilling after eviction) should test against it rather than guessing.
+const MinClassifySamples = 4
+
 // Classify analyses a utilization trace (values in [0,1]) and returns its
 // profile. It mirrors the paper's use of the FFT to separate periodic,
 // constant, and unpredictable tenants.
 func Classify(values []float64, cfg ClassifierConfig) (Profile, error) {
-	if len(values) < 4 {
+	if len(values) < MinClassifySamples {
 		return Profile{}, fmt.Errorf("signalproc: trace too short to classify (%d samples)", len(values))
 	}
 	mean := stats.Mean(values)

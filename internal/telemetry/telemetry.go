@@ -156,17 +156,30 @@ func (r *Ring) Snapshot(dst []Sample) []Sample {
 	}
 }
 
+// tenantRing is one tenant's slot in the store: the current ring behind an
+// atomic pointer (readers load it lock-free) plus the mutation lock writers
+// and the eviction sweep serialize on. Eviction swaps in a tiny placeholder
+// ring so a tenant that stopped reporting stops pinning a full window of
+// memory; the next ingest for the tenant swaps a full-capacity ring back in.
+type tenantRing struct {
+	mu         sync.Mutex // serializes writes and ring replacement
+	p          atomic.Pointer[Ring]
+	lastAppend atomic.Int64 // wall-clock unix nanos of the last append (bootstrap included)
+}
+
 // Store holds one ring per tenant of a datacenter plus the store-wide
 // telemetry clock. The tenant set is fixed at construction, so the map is
 // read-only and needs no lock. Store implements tenant.HistorySource: it is
 // the ring-backed twin of tenant.TraceHistory.
 type Store struct {
 	interval time.Duration
-	rings    map[tenant.ID]*Ring
+	capacity int
+	rings    map[tenant.ID]*tenantRing
 
 	horizon    atomic.Int64  // max sample offset ever ingested (telemetry clock)
 	total      atomic.Uint64 // samples ever ingested (incl. bootstrap)
 	lastIngest atomic.Int64  // wall-clock unix nanos of the last live ingest; 0 = never
+	evictions  atomic.Uint64 // rings reclaimed by EvictStale since construction
 }
 
 // NewStore creates a store with one ring of the given capacity per tenant.
@@ -176,9 +189,14 @@ func NewStore(ids []tenant.ID, interval time.Duration, capacity int) *Store {
 	if interval <= 0 {
 		interval = timeseries.SlotDuration
 	}
-	st := &Store{interval: interval, rings: make(map[tenant.ID]*Ring, len(ids))}
+	if capacity < 1 {
+		capacity = 1
+	}
+	st := &Store{interval: interval, capacity: capacity, rings: make(map[tenant.ID]*tenantRing, len(ids))}
 	for _, id := range ids {
-		st.rings[id] = NewRing(capacity)
+		tr := &tenantRing{}
+		tr.p.Store(NewRing(capacity))
+		st.rings[id] = tr
 	}
 	return st
 }
@@ -186,8 +204,16 @@ func NewStore(ids []tenant.ID, interval time.Duration, capacity int) *Store {
 // Interval returns the nominal sample spacing.
 func (st *Store) Interval() time.Duration { return st.interval }
 
-// Ring returns the ring for a tenant, or nil for an unknown tenant.
-func (st *Store) Ring(id tenant.ID) *Ring { return st.rings[id] }
+// Ring returns the tenant's current ring, or nil for an unknown tenant. The
+// returned ring is safe to read concurrently but may be superseded at any
+// time by eviction or regrowth; writers must go through the store.
+func (st *Store) Ring(id tenant.ID) *Ring {
+	tr := st.rings[id]
+	if tr == nil {
+		return nil
+	}
+	return tr.p.Load()
+}
 
 // NumTenants returns how many tenants the store tracks.
 func (st *Store) NumTenants() int { return len(st.rings) }
@@ -213,22 +239,42 @@ func (st *Store) LastIngestAt() (time.Time, bool) {
 // ring-capacity slots of the series are written with timestamps ending at
 // endAt (i.e. the last series value is "now" on the telemetry clock).
 func (st *Store) Bootstrap(id tenant.ID, s *timeseries.Series, endAt time.Duration) error {
-	r := st.rings[id]
-	if r == nil {
+	tr := st.rings[id]
+	if tr == nil {
 		return fmt.Errorf("telemetry: unknown tenant %v", id)
 	}
 	if s == nil || s.Len() == 0 {
 		return fmt.Errorf("telemetry: tenant %v: empty bootstrap series", id)
 	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	r := st.fullRingLocked(tr)
 	tail := s.Tail(r.Capacity())
 	n := tail.Len()
 	for i := 0; i < n; i++ {
 		at := endAt - time.Duration(n-1-i)*st.interval
 		r.Append(at, tail.Values[i])
 	}
+	tr.lastAppend.Store(time.Now().UnixNano())
 	st.total.Add(uint64(n))
 	st.advanceHorizon(endAt)
 	return nil
+}
+
+// fullRingLocked returns the tenant's ring at full store capacity, regrowing
+// it (and carrying over whatever samples the placeholder held) when a prior
+// eviction shrank it. Caller holds tr.mu.
+func (st *Store) fullRingLocked(tr *tenantRing) *Ring {
+	r := tr.p.Load()
+	if r.Capacity() >= st.capacity {
+		return r
+	}
+	grown := NewRing(st.capacity)
+	for _, s := range r.Snapshot(nil) {
+		grown.Append(s.At, s.Value)
+	}
+	tr.p.Store(grown)
+	return grown
 }
 
 // Ingest appends one live sample for a tenant. A non-positive at means "one
@@ -239,8 +285,8 @@ func (st *Store) Bootstrap(id tenant.ID, s *timeseries.Series, endAt time.Durati
 // value the live usage view serves. The value is clamped to [0, 1]
 // (utilization fraction). Returns the offset the sample was recorded at.
 func (st *Store) Ingest(id tenant.ID, at time.Duration, value float64) (time.Duration, error) {
-	r := st.rings[id]
-	if r == nil {
+	tr := st.rings[id]
+	if tr == nil {
 		return 0, fmt.Errorf("telemetry: unknown tenant %v", id)
 	}
 	if math.IsNaN(value) {
@@ -251,7 +297,13 @@ func (st *Store) Ingest(id tenant.ID, at time.Duration, value float64) (time.Dur
 	} else if value > 1 {
 		value = 1
 	}
+	tr.mu.Lock()
+	r := st.fullRingLocked(tr) // a tenant that resumes reporting regrows its evicted ring
 	at, err := r.appendAfter(at, value, st.interval)
+	if err == nil {
+		tr.lastAppend.Store(time.Now().UnixNano())
+	}
+	tr.mu.Unlock()
 	if err != nil {
 		return 0, fmt.Errorf("telemetry: tenant %v: %w", id, err)
 	}
@@ -260,6 +312,40 @@ func (st *Store) Ingest(id tenant.ID, at time.Duration, value float64) (time.Dur
 	st.lastIngest.Store(time.Now().UnixNano())
 	return at, nil
 }
+
+// EvictStale reclaims the ring of every tenant whose last append is older
+// than staleAfter: the full-window ring is replaced by a one-slot placeholder
+// (readers racing the swap finish against the old ring), so a tenant that
+// stopped reporting neither pins a month of samples in memory nor feeds a
+// stale window into re-clustering — SeriesFor returns nil until the tenant
+// reports again, which drops it from every class. Returns how many rings
+// were evicted.
+func (st *Store) EvictStale(staleAfter time.Duration, now time.Time) int {
+	if staleAfter <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-staleAfter).UnixNano()
+	evicted := 0
+	for _, tr := range st.rings {
+		if tr.p.Load().Len() == 0 || tr.lastAppend.Load() > cutoff {
+			continue
+		}
+		tr.mu.Lock()
+		if tr.p.Load().Len() > 0 && tr.lastAppend.Load() <= cutoff {
+			tr.p.Store(NewRing(1))
+			evicted++
+		}
+		tr.mu.Unlock()
+	}
+	if evicted > 0 {
+		st.evictions.Add(uint64(evicted))
+	}
+	return evicted
+}
+
+// Evictions returns how many rings EvictStale has reclaimed since
+// construction.
+func (st *Store) Evictions() uint64 { return st.evictions.Load() }
 
 func (st *Store) advanceHorizon(at time.Duration) {
 	for {
@@ -286,7 +372,7 @@ func (st *Store) AdvanceClock(at time.Duration) { st.advanceHorizon(at) }
 // at the store interval — the FFT input contract). Returns nil for unknown
 // tenants or empty rings. The returned series is a private copy.
 func (st *Store) SeriesFor(id tenant.ID) *timeseries.Series {
-	r := st.rings[id]
+	r := st.Ring(id)
 	if r == nil {
 		return nil
 	}
@@ -306,7 +392,7 @@ func (st *Store) SeriesFor(id tenant.ID) *timeseries.Series {
 // history). Offsets before the retained window return the oldest retained
 // sample; unknown or empty tenants return 0.
 func (st *Store) UtilizationAt(id tenant.ID, at time.Duration) float64 {
-	r := st.rings[id]
+	r := st.Ring(id)
 	if r == nil {
 		return 0
 	}
@@ -329,7 +415,7 @@ func (st *Store) UtilizationAt(id tenant.ID, at time.Duration) float64 {
 // the ring is empty or the tenant unknown. This is the O(1) read the serving
 // layer's live usage view is built from.
 func (st *Store) LastValue(id tenant.ID, fallback float64) float64 {
-	r := st.rings[id]
+	r := st.Ring(id)
 	if r == nil {
 		return fallback
 	}

@@ -235,3 +235,65 @@ func TestStoreUtilizationAt(t *testing.T) {
 		t.Errorf("LastValue fallback = %v, want 0.123", got)
 	}
 }
+
+func TestEvictStaleReclaimsAndRegrows(t *testing.T) {
+	st := newTestStore(t, 8)
+	series := timeseries.New(time.Minute, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+	if err := st.Bootstrap(1, series, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Bootstrap(2, series, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing is stale yet (bootstrap counts as activity), and a disabled
+	// window is a no-op.
+	if n := st.EvictStale(time.Hour, time.Now()); n != 0 {
+		t.Fatalf("evicted %d fresh rings", n)
+	}
+	if n := st.EvictStale(0, time.Now().Add(1000*time.Hour)); n != 0 {
+		t.Fatalf("disabled eviction reclaimed %d rings", n)
+	}
+
+	st2 := newTestStore(t, 8)
+	if err := st2.Bootstrap(1, series, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Bootstrap(2, series, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant 2's ring is forced stale by a zero-ish cutoff trick: evict with
+	// a window so small everything is stale, after touching tenant 1 last.
+	time.Sleep(2 * time.Millisecond)
+	if _, err := st2.Ingest(1, 0, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if n := st2.EvictStale(time.Millisecond, time.Now()); n != 1 {
+		t.Fatalf("evicted %d rings, want 1 (only the untouched tenant)", n)
+	}
+	if s := st2.SeriesFor(2); s != nil {
+		t.Fatalf("evicted tenant still has a series: %v", s.Values)
+	}
+	if s := st2.SeriesFor(1); s == nil || s.Len() == 0 {
+		t.Fatal("fresh tenant lost its series")
+	}
+	// An evicted ring shrinks to a placeholder...
+	if c := st2.Ring(2).Capacity(); c != 1 {
+		t.Fatalf("evicted ring capacity = %d, want 1", c)
+	}
+	// ...and regrows to full capacity when the tenant reports again.
+	if _, err := st2.Ingest(2, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if c := st2.Ring(2).Capacity(); c != 8 {
+		t.Fatalf("regrown ring capacity = %d, want 8", c)
+	}
+	if s := st2.SeriesFor(2); s == nil || s.Len() != 1 || s.Values[0] != 0.5 {
+		t.Fatalf("regrown tenant series = %+v, want [0.5]", s)
+	}
+	// Eviction of an already-empty ring is a no-op (no double counting).
+	before := st2.Evictions()
+	st2.EvictStale(time.Nanosecond, time.Now().Add(time.Hour))
+	if got := st2.Evictions(); got != before+2 {
+		t.Fatalf("evictions = %d, want %d (both live rings, empty one skipped)", got, before+2)
+	}
+}
