@@ -18,6 +18,14 @@
 //	         [-persist DIR] [-seed 1]
 //	         [-lease-ttl 2m] [-tenant-stale-after 0]
 //	         [-ingest-token TOKEN] [-ingest-rate 0]
+//	         [-announce http://router:7070] [-announce-interval 2s]
+//	         [-advertise http://host:7077] [-node-id NAME]
+//	         [-announce-token TOKEN]
+//
+// With -announce, the daemon heartbeats its datacenter set and per-DC
+// snapshot generations to a harvestrouter front end (cmd/harvestrouter), so
+// one trace can be split across nodes (-dcs picks this node's subset) behind
+// one routing surface.
 //
 // See README.md for the API routes; `cmd/loadgen` drives it (and its
 // -telemetry mode feeds it live samples).
@@ -39,6 +47,33 @@ import (
 	"harvest/internal/service"
 )
 
+// splitNonEmpty splits a comma-separated flag value, dropping empty entries
+// (so an unset flag yields nil, not [""]).
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// advertisedURL derives a router-reachable base URL from the bound listener
+// address: a wildcard host becomes the loopback address (the single-machine
+// default; multi-host deployments pass -advertise explicitly).
+func advertisedURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
 func main() {
 	listen := flag.String("listen", ":7077", "address to serve the HTTP API on")
 	dcs := flag.String("dcs", "all", "comma-separated datacenters to serve, or \"all\"")
@@ -52,6 +87,12 @@ func main() {
 	staleAfter := flag.Duration("tenant-stale-after", 0, "evict telemetry rings of tenants silent for this long (0 disables)")
 	ingestToken := flag.String("ingest-token", "", "require this bearer token on POST /v1/{dc}/telemetry")
 	ingestRate := flag.Float64("ingest-rate", 0, "per-source telemetry POSTs per second (0 = unlimited)")
+	announce := flag.String("announce", "", "comma-separated harvestrouter base URLs to register this node's datacenters with (one heartbeat loop each — list every router replica)")
+	announceEvery := flag.Duration("announce-interval", 2*time.Second, "registration heartbeat cadence when -announce is set")
+	advertise := flag.String("advertise", "", "externally reachable base URL of this node (default: derived from -listen)")
+	nodeID := flag.String("node-id", "", "stable backend identity for router registration (default: the advertised URL)")
+	announceToken := flag.String("announce-token", "", "bearer token for router registration (must match the router's -register-token)")
+	trustedProxies := flag.String("trusted-proxies", "", "comma-separated router IPs/CIDRs whose X-Forwarded-For keys the per-source ingest rate limit (the header is ignored from all other peers)")
 	flag.Parse()
 
 	cfg := service.DefaultConfig()
@@ -64,7 +105,12 @@ func main() {
 	cfg.LeaseTTL = *leaseTTL
 	cfg.TenantStaleAfter = *staleAfter
 	if *dcs != "" && *dcs != "all" {
-		cfg.Datacenters = strings.Split(*dcs, ",")
+		cfg.Datacenters = splitNonEmpty(*dcs)
+		if len(cfg.Datacenters) == 0 {
+			// An empty cfg.Datacenters means "serve everything" — a typo'd
+			// -dcs must not silently boot (and announce) every datacenter.
+			log.Fatalf("harvestd: -dcs %q selects no datacenters", *dcs)
+		}
 	}
 
 	start := time.Now()
@@ -86,6 +132,31 @@ func main() {
 	if err != nil {
 		log.Fatalf("harvestd: %v", err)
 	}
+	if *announce != "" {
+		selfURL := *advertise
+		if selfURL == "" {
+			selfURL = advertisedURL(ln.Addr())
+		}
+		routers := splitNonEmpty(*announce)
+		if len(routers) == 0 {
+			log.Fatalf("harvestd: -announce %q selects no routers", *announce)
+		}
+		for _, routerURL := range routers {
+			ann, err := service.StartAnnouncer(svc, service.AnnouncerConfig{
+				RouterURL: strings.TrimRight(routerURL, "/"),
+				SelfURL:   selfURL,
+				ID:        *nodeID,
+				Interval:  *announceEvery,
+				Token:     *announceToken,
+			})
+			if err != nil {
+				log.Fatalf("harvestd: %v", err)
+			}
+			defer ann.Close()
+		}
+		log.Printf("harvestd: announcing %s as %s to %s every %v",
+			strings.Join(svc.Datacenters(), ","), selfURL, *announce, *announceEvery)
+	}
 	// BatchListener coalesces pipelined responses into one write syscall per
 	// batch; see internal/service/batchconn.go. The timeouts reclaim
 	// goroutines from clients that stall mid-header or idle forever.
@@ -93,6 +164,7 @@ func main() {
 		Handler: service.NewAPIWith(svc, service.APIOptions{
 			IngestToken:         *ingestToken,
 			IngestRatePerSource: *ingestRate,
+			TrustedProxies:      splitNonEmpty(*trustedProxies),
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,

@@ -1,0 +1,77 @@
+// Command harvestrouter fronts a fleet of harvestd shards: each harvestd
+// serves a subset of datacenters (-dcs) and announces itself here
+// (-announce), and the router proxies /v1/{dc}/... to the owning node with
+// keep-alive connection reuse and per-backend circuit breaking. The union
+// surface — /v1/datacenters, /healthz, /metrics — aggregates across live
+// backends, so clients (cmd/loadgen included) talk to the router exactly as
+// they would to a single harvestd.
+//
+// Usage:
+//
+//	harvestrouter [-listen :7070] [-stale-after 10s] [-retry-after 2s]
+//	              [-breaker-fails 3] [-breaker-cooldown 2s]
+//	              [-register-token TOKEN]
+//
+// Pair it with backends like:
+//
+//	harvestd -listen :7081 -dcs DC-9 -announce http://127.0.0.1:7070
+//	harvestd -listen :7082 -dcs DC-8 -announce http://127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"harvest/internal/router"
+	"harvest/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "address to serve on")
+	staleAfter := flag.Duration("stale-after", 10*time.Second, "mark a backend stale (503 its datacenters) after this long without a heartbeat")
+	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on stale-backend 503s")
+	breakerFails := flag.Int("breaker-fails", 3, "consecutive transport failures that open a backend's circuit (negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long an open circuit rejects requests before a probe")
+	registerToken := flag.String("register-token", "", "require this bearer token on POST /v1/register (registration moves routing — protect it on shared networks)")
+	flag.Parse()
+
+	rt := router.New(router.Config{
+		StaleAfter:       *staleAfter,
+		RetryAfter:       *retryAfter,
+		BreakerThreshold: *breakerFails,
+		BreakerCooldown:  *breakerCooldown,
+		RegisterToken:    *registerToken,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("harvestrouter: %v", err)
+	}
+	server := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errs := make(chan error, 1)
+	go func() { errs <- server.Serve(service.BatchListener{Listener: ln}) }()
+	log.Printf("harvestrouter: serving on %s (backends register via POST /v1/register, stale after %v)",
+		*listen, *staleAfter)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("harvestrouter: %v, shutting down", sig)
+		server.Close()
+	case err := <-errs:
+		fmt.Fprintf(os.Stderr, "harvestrouter: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -25,9 +25,15 @@
 // Usage:
 //
 //	loadgen [-target http://127.0.0.1:7077] [-workers 2] [-pipeline 64]
-//	        [-duration 5s] [-rate 0]
+//	        [-duration 5s] [-rate 0] [-wait 0]
 //	        [-mix select=30,release=30,place=30,classes=5,server=5]
 //	        [-json]
+//
+// The target can equally be a harvestrouter front end: leases round-trip
+// through the router unchanged (the select response names the owning
+// datacenter, and the release posts back to it), so the full select → hold →
+// release cycle lands on the owning shard. -wait covers fleet startup, when
+// the router lists no datacenters until its backends register.
 //
 // With -telemetry it instead becomes a live-telemetry emitter: it
 // regenerates the server's tenant populations locally (same -scale/-seed as
@@ -100,6 +106,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 	telemetry := flag.Bool("telemetry", false, "run as a telemetry emitter instead of a query load generator")
+	wait := flag.Duration("wait", 0, "keep retrying the initial datacenter discovery for this long (a router front end lists no datacenters until its backends register)")
 	emitInterval := flag.Duration("emit-interval", 200*time.Millisecond, "telemetry mode: wall-clock pause between slot batches")
 	scale := flag.Float64("scale", 0.05, "telemetry mode: datacenter scale (must match the harvestd flags)")
 	flag.Parse()
@@ -109,7 +116,7 @@ func main() {
 		log.Fatalf("loadgen: %v", err)
 	}
 	if *telemetry {
-		runTelemetryEmitter(baseURL, *scale, *seed, *duration, *emitInterval, *jsonOut)
+		runTelemetryEmitter(baseURL, *scale, *seed, *duration, *emitInterval, *wait, *jsonOut)
 		return
 	}
 
@@ -117,7 +124,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
-	dcs, err := fetchSetup(baseURL)
+	dcs, err := fetchSetupWait(baseURL, *wait)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
@@ -206,15 +213,36 @@ func parseTarget(s string) (baseURL, addr string, err error) {
 	return strings.TrimSuffix(u.String(), "/"), host, nil
 }
 
-// dcSetup is what the generator learns about one datacenter up front.
-type dcSetup struct {
-	name    string
-	servers []int64 // seed pool for server-class queries
+// retryUntil retries fn every half second until it succeeds or the wait
+// budget runs out, returning the last result — the one retry policy behind
+// every discovery path. Against a harvestrouter front end the datacenter
+// list is empty (and the per-DC probes 503) until its backends have
+// registered, so a loadgen launched alongside the fleet needs a grace
+// window, not a crash.
+func retryUntil[T any](wait time.Duration, fn func() (T, error)) (T, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		v, err := fn()
+		if err == nil || time.Now().After(deadline) {
+			return v, err
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
 }
 
-// fetchSetup discovers the served datacenters and each class's example
-// server with a plain net/http client (off the measured path).
-func fetchSetup(baseURL string) ([]dcSetup, error) {
+// fetchSetupWait runs the initial discovery under the -wait grace window.
+// "Ready" means the target lists at least one datacenter and its probes
+// answer — loadgen cannot know a fleet's intended size, so orchestration
+// that needs every backend registered before the run should gate on
+// /v1/datacenters itself (the CI router-smoke job does exactly that).
+func fetchSetupWait(baseURL string, wait time.Duration) ([]dcSetup, error) {
+	return retryUntil(wait, func() ([]dcSetup, error) { return fetchSetup(baseURL) })
+}
+
+// discoverDatacenters is the shared single-shot discovery step: the served
+// datacenter list, with an empty list reported as an error so retry loops
+// treat "router up, no backends yet" as not-ready.
+func discoverDatacenters(baseURL string) ([]string, error) {
 	var dcl struct {
 		Datacenters []string `json:"datacenters"`
 	}
@@ -224,8 +252,24 @@ func fetchSetup(baseURL string) ([]dcSetup, error) {
 	if len(dcl.Datacenters) == 0 {
 		return nil, fmt.Errorf("server lists no datacenters")
 	}
+	return dcl.Datacenters, nil
+}
+
+// dcSetup is what the generator learns about one datacenter up front.
+type dcSetup struct {
+	name    string
+	servers []int64 // seed pool for server-class queries
+}
+
+// fetchSetup discovers the served datacenters and each class's example
+// server with a plain net/http client (off the measured path).
+func fetchSetup(baseURL string) ([]dcSetup, error) {
+	names, err := discoverDatacenters(baseURL)
+	if err != nil {
+		return nil, err
+	}
 	var dcs []dcSetup
-	for _, dc := range dcl.Datacenters {
+	for _, dc := range names {
 		var classes struct {
 			Classes []struct {
 				ExampleServer int64 `json:"example_server"`
@@ -794,18 +838,16 @@ type dcReplay struct {
 // are exactly the continuation of the trace the daemon's rings were
 // bootstrapped from; offsets past the one-month trace wrap around, matching
 // the cyclic-replay convention everywhere else in the repo.
-func runTelemetryEmitter(baseURL string, scale float64, seed int64, duration, interval time.Duration, jsonOut bool) {
-	var dcl struct {
-		Datacenters []string `json:"datacenters"`
-	}
-	if err := getJSON(baseURL+"/v1/datacenters", &dcl); err != nil {
+func runTelemetryEmitter(baseURL string, scale float64, seed int64, duration, interval, wait time.Duration, jsonOut bool) {
+	// Discovery honors the same -wait grace window (and readiness bar) as
+	// the query path: a router front end lists no datacenters until its
+	// backends register.
+	names, err := retryUntil(wait, func() ([]string, error) { return discoverDatacenters(baseURL) })
+	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
-	if len(dcl.Datacenters) == 0 {
-		log.Fatal("loadgen: server lists no datacenters")
-	}
-	replays := make([]*dcReplay, 0, len(dcl.Datacenters))
-	for _, dc := range dcl.Datacenters {
+	replays := make([]*dcReplay, 0, len(names))
+	for _, dc := range names {
 		pop, _, err := experiments.BuildPopulation(dc, experiments.Scale{Datacenter: scale, Seed: seed})
 		if err != nil {
 			log.Fatalf("loadgen: regenerating %s: %v", dc, err)

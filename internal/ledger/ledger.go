@@ -165,6 +165,19 @@ func (l *Ledger) AllocatedCores(generation uint64, id core.ClassID) (float64, bo
 	return CoresOf(t.alloc[int(id)].Load()), true
 }
 
+// Occupancy returns the ledger's generation and current per-class occupancy
+// straight from the atomic counter table — no lease-map mutex, so hot query
+// paths can read it without serializing against Reserve/Release bookkeeping
+// (Snapshot scans every lease under the mutex; this does not).
+func (l *Ledger) Occupancy() (generation uint64, allocMillisByClass []int64) {
+	t := l.tab.Load()
+	out := make([]int64, len(t.alloc))
+	for i := range t.alloc {
+		out[i] = t.alloc[i].Load()
+	}
+	return t.generation, out
+}
+
 // Reserve atomically reserves cores across the requested classes and records
 // a lease. Admission per class is a CAS loop bounded by the request's
 // Capacity, so concurrent reservations can never jointly push a class's total
@@ -228,10 +241,14 @@ func (l *Ledger) Reserve(generation uint64, reqs []Request, ttl time.Duration, n
 		ls.expiresAt = now.Add(ttl)
 	}
 	l.leases[ls.id] = ls
-	l.mu.Unlock()
-
+	// The cumulative counters move under the same mutex as the lease map:
+	// Export (persistence) reads both under l.mu, and a counter lagging its
+	// lease would persist a state that violates conservation across a
+	// restart.
 	l.reserves.Add(1)
 	l.reservedMillis.Add(total)
+	l.mu.Unlock()
+
 	return Lease{ID: ls.id, ExpiresAt: ls.expiresAt, Grants: append([]Grant(nil), grants...)}, nil
 }
 
@@ -256,9 +273,9 @@ func (l *Ledger) Release(id uint64) (Lease, error) {
 		t.alloc[int(g.Class)].Add(-g.Millis)
 		total += g.Millis
 	}
-	l.mu.Unlock()
 	l.releases.Add(1)
-	l.releasedMillis.Add(total)
+	l.releasedMillis.Add(total) // under l.mu — see Reserve
+	l.mu.Unlock()
 	return Lease{ID: id, ExpiresAt: ls.expiresAt, Grants: ls.grants}, nil
 }
 
@@ -279,11 +296,11 @@ func (l *Ledger) ExpireBefore(now time.Time) (leases int, millis int64) {
 		}
 		leases++
 	}
-	l.mu.Unlock()
 	if leases > 0 {
 		l.expiries.Add(uint64(leases))
-		l.expiredMillis.Add(millis)
+		l.expiredMillis.Add(millis) // under l.mu — see Reserve
 	}
+	l.mu.Unlock()
 	return leases, millis
 }
 
@@ -403,10 +420,8 @@ func (l *Ledger) Snapshot() Stats {
 			st.OutstandingMillis += g.Millis
 		}
 	}
-	l.mu.Unlock()
-	for i := range t.alloc {
-		st.AllocatedMillisByClass[i] = t.alloc[i].Load()
-	}
+	// Cumulative counters read under the same mutex their writers hold, so
+	// the outstanding sum and the books belong to one consistent instant.
 	st.ReservedMillis = l.reservedMillis.Load()
 	st.ReleasedMillis = l.releasedMillis.Load()
 	st.ExpiredMillis = l.expiredMillis.Load()
@@ -415,6 +430,10 @@ func (l *Ledger) Snapshot() Stats {
 	st.Releases = l.releases.Load()
 	st.Expiries = l.expiries.Load()
 	st.Conflicts = l.conflicts.Load()
+	l.mu.Unlock()
+	for i := range t.alloc {
+		st.AllocatedMillisByClass[i] = t.alloc[i].Load()
+	}
 	return st
 }
 

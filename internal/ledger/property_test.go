@@ -1,0 +1,167 @@
+package ledger_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/ledger"
+)
+
+// leasePool is the shared bag of outstanding lease ids the concurrent
+// workers reserve into and release/steal from — releases race each other (and
+// the sweeps), so double-release and release-after-expiry paths are exercised
+// constantly.
+type leasePool struct {
+	mu  sync.Mutex
+	ids []uint64
+}
+
+func (p *leasePool) put(id uint64) {
+	p.mu.Lock()
+	p.ids = append(p.ids, id)
+	p.mu.Unlock()
+}
+
+func (p *leasePool) take(rng *rand.Rand) (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ids) == 0 {
+		return 0, false
+	}
+	i := rng.Intn(len(p.ids))
+	id := p.ids[i]
+	p.ids[i] = p.ids[len(p.ids)-1]
+	p.ids = p.ids[:len(p.ids)-1]
+	return id, true
+}
+
+// TestLedgerBooksUnderRandomInterleavings is the books property test: any
+// interleaving of Reserve / Release / lease expiry / sweep across goroutines
+// must keep
+//
+//	reserved == released + expired + forfeited + outstanding
+//
+// exactly (integer millicores) at every quiescent point, with the per-class
+// counter table equal to the live leases' grant sum and bounded by the
+// admission capacity. Runs several rounds, re-keying the ledger between some
+// of them so generations advance mid-history like the serving layer's
+// refresher does.
+func TestLedgerBooksUnderRandomInterleavings(t *testing.T) {
+	const (
+		numClasses  = 6
+		capacity    = 400.0 // per-class admission bound, cores
+		workers     = 8
+		opsPerRound = 400
+		rounds      = 3
+	)
+	led := ledger.New(1, numClasses)
+	pool := &leasePool{}
+	generation := uint64(1)
+
+	quiescentCheck := func(when string, checkCapacity bool) {
+		t.Helper()
+		st := led.Snapshot()
+		if got := st.ReleasedMillis + st.ExpiredMillis + st.ForfeitedMillis + st.OutstandingMillis; got != st.ReservedMillis {
+			t.Fatalf("%s: conservation violated: reserved %d, sinks sum %d (%+v)", when, st.ReservedMillis, got, st)
+		}
+		var tableSum int64
+		for i, m := range st.AllocatedMillisByClass {
+			if m < 0 {
+				t.Fatalf("%s: class %d counter negative: %d", when, i, m)
+			}
+			// Admission bounds each class while a generation lasts; a re-key
+			// may legally concentrate conserved grants past the bound (it
+			// re-keys, it does not re-admit), so the check stops applying
+			// once the first re-key has run.
+			if checkCapacity && m > int64(capacity*ledger.MillisPerCore) {
+				t.Fatalf("%s: class %d over-promised: %d millis > capacity", when, i, m)
+			}
+			tableSum += m
+		}
+		if tableSum != st.OutstandingMillis {
+			t.Fatalf("%s: table sum %d != outstanding %d", when, tableSum, st.OutstandingMillis)
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*workers + w)))
+				for i := 0; i < opsPerRound; i++ {
+					switch rng.Intn(10) {
+					case 0, 1, 2, 3, 4: // reserve
+						n := rng.Intn(3) + 1
+						reqs := make([]ledger.Request, 0, n)
+						for j := 0; j < n; j++ {
+							reqs = append(reqs, ledger.Request{
+								Class:    core.ClassID(rng.Intn(numClasses)),
+								Cores:    float64(rng.Intn(8000)+1) / ledger.MillisPerCore,
+								Capacity: capacity,
+							})
+						}
+						var ttl time.Duration
+						if rng.Intn(2) == 0 {
+							// Many leases are already expired at reserve time,
+							// so sweeps constantly race releases.
+							ttl = time.Duration(rng.Intn(2_000_000)) * time.Nanosecond
+						}
+						ls, err := led.Reserve(generation, reqs, ttl, time.Now())
+						if err == nil {
+							pool.put(ls.ID)
+						}
+						// Insufficient/stale errors are legitimate outcomes
+						// of the race; the books must balance regardless.
+					case 5, 6, 7, 8: // release (racing other releases and sweeps)
+						if id, ok := pool.take(rng); ok {
+							led.Release(id)
+						}
+					case 9: // sweep
+						led.ExpireBefore(time.Now())
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		quiescentCheck("after round", round == 0)
+
+		// Advance the generation between rounds like a snapshot refresh: an
+		// identity-ish remap with random weights (every class keeps a home,
+		// so nothing forfeits by construction — forfeiture is fuzz-covered).
+		generation++
+		remap := make(map[core.ClassID][]ledger.Share, numClasses)
+		rng := rand.New(rand.NewSource(int64(round)))
+		for c := 0; c < numClasses; c++ {
+			remap[core.ClassID(c)] = []ledger.Share{
+				{Class: core.ClassID(c), Weight: float64(rng.Intn(3) + 1)},
+				{Class: core.ClassID((c + 1) % numClasses), Weight: float64(rng.Intn(3))},
+			}
+		}
+		led.Rekey(generation, numClasses, remap)
+		quiescentCheck("after rekey", false)
+	}
+
+	// Drain: release everything still held, sweep the expired, and require
+	// the books to close with nothing outstanding.
+	for {
+		id, ok := pool.take(rand.New(rand.NewSource(1)))
+		if !ok {
+			break
+		}
+		led.Release(id)
+	}
+	led.ExpireBefore(time.Now().Add(time.Hour))
+	quiescentCheck("after drain", false)
+	st := led.Snapshot()
+	if st.OutstandingMillis != 0 || st.ActiveLeases != 0 {
+		t.Fatalf("drained ledger still outstanding: %+v", st)
+	}
+	if st.Reserves == 0 || st.Releases == 0 || st.Expiries == 0 {
+		t.Fatalf("test exercised too little: %+v", st)
+	}
+}

@@ -1,0 +1,32 @@
+// Package regproto defines the wire format of the router registration
+// protocol — the heartbeat a harvestd backend POSTs to a harvestrouter's
+// /v1/register. It lives in its own package so the serving layer's
+// registration client (internal/service.Announcer) and the router's server
+// side (internal/router) share one definition without the serving tier
+// importing the proxy implementation.
+package regproto
+
+// RegisterDatacenter is one datacenter a backend announces, with the
+// snapshot generation it currently serves (operator visibility: a shard
+// whose generation stops advancing is stale even if the process is alive).
+type RegisterDatacenter struct {
+	Name       string `json:"name"`
+	Generation uint64 `json:"generation"`
+}
+
+// RegisterRequest is the heartbeat body a backend POSTs to /v1/register.
+// The same body re-registers: ID is the stable identity, URL and the
+// datacenter set are updated on every beat.
+type RegisterRequest struct {
+	ID          string               `json:"id"`
+	URL         string               `json:"url"`
+	Datacenters []RegisterDatacenter `json:"datacenters"`
+}
+
+// RegisterResponse acknowledges a heartbeat and tells the backend how long
+// it may go silent before its datacenters start 503ing.
+type RegisterResponse struct {
+	Status            string  `json:"status"`
+	Backends          int     `json:"backends"`
+	StaleAfterSeconds float64 `json:"stale_after_seconds"`
+}

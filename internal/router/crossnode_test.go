@@ -1,0 +1,200 @@
+package router_test
+
+// The cross-node acceptance harness: a real router fronting two real
+// harvestd backends (service.Service + its HTTP API), each serving a
+// different datacenter, glued together by the real registration loop. It
+// proves the sharding contract end to end:
+//
+//   - select → hold → release through the router lands on the owning shard's
+//     allocation ledger (and only there), and the books balance afterwards;
+//   - /v1/datacenters serves the union of the live backends;
+//   - killing one backend 503s only its datacenters while the other keeps
+//     serving.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"harvest/internal/experiments"
+	"harvest/internal/router"
+	"harvest/internal/service"
+)
+
+// newBackendService builds one single-DC service at test scale.
+func newBackendService(t *testing.T, dc string) *service.Service {
+	t.Helper()
+	cfg := service.DefaultConfig()
+	cfg.Datacenters = []string{dc}
+	cfg.Scale = experiments.Scale{Datacenter: 0.05, Seed: 1}
+	cfg.RefreshPeriod = 0
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("New(%s): %v", dc, err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// waitUntil polls cond at announce cadence until it holds or the deadline
+// passes.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func sameStrings(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCrossNodeShardingEndToEnd(t *testing.T) {
+	svcA := newBackendService(t, "DC-9")
+	svcB := newBackendService(t, "DC-8")
+	srvA := httptest.NewServer(service.NewAPI(svcA))
+	defer srvA.Close()
+	srvB := httptest.NewServer(service.NewAPI(svcB))
+	defer srvB.Close()
+
+	rt := router.New(router.Config{
+		StaleAfter:       500 * time.Millisecond,
+		RetryAfter:       time.Second,
+		BreakerThreshold: 1, // a killed backend 503s from the first failed proxy
+		BreakerCooldown:  100 * time.Millisecond,
+		RegisterToken:    "xnode-secret", // announcers must authenticate
+	})
+	rsrv := httptest.NewServer(rt)
+	defer rsrv.Close()
+
+	annA, err := service.StartAnnouncer(svcA, service.AnnouncerConfig{
+		RouterURL: rsrv.URL, SelfURL: srvA.URL, ID: "node-a", Interval: 50 * time.Millisecond,
+		Token: "xnode-secret",
+	})
+	if err != nil {
+		t.Fatalf("StartAnnouncer(A): %v", err)
+	}
+	defer annA.Close()
+	annB, err := service.StartAnnouncer(svcB, service.AnnouncerConfig{
+		RouterURL: rsrv.URL, SelfURL: srvB.URL, ID: "node-b", Interval: 50 * time.Millisecond,
+		Token: "xnode-secret",
+	})
+	if err != nil {
+		t.Fatalf("StartAnnouncer(B): %v", err)
+	}
+	defer annB.Close()
+
+	// Union: both nodes' datacenters behind one surface.
+	waitUntil(t, 5*time.Second, "both backends in /v1/datacenters", func() bool {
+		return sameStrings(datacentersOf(t, rsrv.URL), []string{"DC-8", "DC-9"})
+	})
+
+	// A reserving select through the router must land on the owning shard.
+	resp, body := postJSON(t, rsrv.URL+"/v1/DC-9/select", `{"job_type":"medium","max_concurrent_cores":8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select via router: status %d (%s)", resp.StatusCode, body)
+	}
+	var sel struct {
+		Datacenter  string    `json:"datacenter"`
+		Satisfiable bool      `json:"satisfiable"`
+		Lease       uint64    `json:"lease"`
+		Granted     []float64 `json:"granted"`
+	}
+	if err := json.Unmarshal(body, &sel); err != nil {
+		t.Fatalf("unmarshal select: %v (%s)", err, body)
+	}
+	if sel.Datacenter != "DC-9" || !sel.Satisfiable || sel.Lease == 0 {
+		t.Fatalf("select via router = %+v, want a satisfiable DC-9 lease", sel)
+	}
+	stA, _ := svcA.LedgerStats("DC-9")
+	if stA.ActiveLeases != 1 || stA.OutstandingMillis != 8000 {
+		t.Fatalf("owning shard books = %+v, want 1 lease / 8000 millis outstanding", stA)
+	}
+	stB, _ := svcB.LedgerStats("DC-8")
+	if stB.Reserves != 0 || stB.ActiveLeases != 0 {
+		t.Fatalf("non-owning shard saw the reservation: %+v", stB)
+	}
+
+	// Release round-trips through the router to the same shard.
+	resp, body = postJSON(t, rsrv.URL+"/v1/DC-9/release",
+		`{"lease":`+strconv.FormatUint(sel.Lease, 10)+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release via router: status %d (%s)", resp.StatusCode, body)
+	}
+	stA, _ = svcA.LedgerStats("DC-9")
+	if stA.OutstandingMillis != 0 || stA.ActiveLeases != 0 {
+		t.Fatalf("books after release = %+v, want nothing outstanding", stA)
+	}
+	if stA.ReservedMillis != stA.ReleasedMillis+stA.ExpiredMillis+stA.ForfeitedMillis+stA.OutstandingMillis {
+		t.Fatalf("conservation violated on the owning shard: %+v", stA)
+	}
+
+	// The other shard serves queries through the router too.
+	if resp, body := getBody(t, rsrv.URL+"/v1/DC-8/classes"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DC-8 classes via router: status %d (%s)", resp.StatusCode, body)
+	}
+
+	// Kill node B: announcer stops beating, server stops answering. Its
+	// datacenter must 503 with a Retry-After while DC-9 keeps serving, and it
+	// must drop out of the union once stale.
+	annB.Close()
+	srvB.Close()
+	waitUntil(t, 5*time.Second, "DC-8 to go unavailable", func() bool {
+		resp, err := http.Get(rsrv.URL + "/v1/DC-8/classes")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	resp, err = http.Get(rsrv.URL + "/v1/DC-8/classes")
+	if err != nil {
+		t.Fatalf("GET dead DC-8: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dead backend: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("dead backend 503 is missing Retry-After")
+	}
+	// The surviving shard is unaffected — queries and reservations still work.
+	resp2, body := postJSON(t, rsrv.URL+"/v1/DC-9/select", `{"job_type":"short","max_concurrent_cores":2,"hold_seconds":30}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("surviving shard select: status %d (%s)", resp2.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sel); err != nil || sel.Datacenter != "DC-9" {
+		t.Fatalf("surviving shard select = %s (err %v)", body, err)
+	}
+	waitUntil(t, 5*time.Second, "union to shrink to DC-9", func() bool {
+		return sameStrings(datacentersOf(t, rsrv.URL), []string{"DC-9"})
+	})
+}

@@ -1,0 +1,784 @@
+// Package router is the multi-node sharding front end: a stateless HTTP
+// proxy that owns a datacenter → backend routing table and forwards
+// /v1/{dc}/... requests to the harvestd instance serving that datacenter.
+// Shards (datacenters) are independent by construction — the paper's
+// harvesting control plane is per-datacenter — so splitting them across
+// processes needs no coordination beyond "who serves what": backends announce
+// themselves with POST /v1/register heartbeats carrying their datacenter set
+// and per-DC snapshot generations, and the router serves /v1/datacenters as
+// the union across live backends.
+//
+// Failure semantics are deliberately simple and observable:
+//
+//   - A backend that stops heartbeating is marked stale after StaleAfter;
+//     requests for its datacenters get 503 with a Retry-After hint until it
+//     re-registers (registration is idempotent, so recovery is one beat).
+//   - A backend whose transport fails (connection refused, timeout) trips a
+//     per-backend circuit breaker after BreakerThreshold consecutive
+//     failures: requests 503 immediately for BreakerCooldown instead of
+//     each paying a connect timeout, then one probe request is let through.
+//   - Ownership is sticky per datacenter: while a DC's current owner keeps
+//     heartbeating, another backend announcing the same DC does not take it
+//     over (the route must not ping-pong mid-lease). The DC moves once the
+//     owner drops it or goes stale, so a migration is "start the new owner,
+//     stop the old one".
+//
+// The router holds no per-request state — leases, ledgers, and telemetry all
+// live on the owning backend — so any number of router replicas can front
+// the same backend set, provided each replica receives the backends'
+// heartbeats (harvestd -announce takes the full comma-separated replica
+// list).
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harvest/internal/httpjson"
+	"harvest/internal/regproto"
+)
+
+// The registration wire types live in internal/regproto so the backends'
+// registration client (internal/service.Announcer) shares them without the
+// serving tier importing the proxy; the aliases keep this package's API
+// self-contained.
+type (
+	RegisterDatacenter = regproto.RegisterDatacenter
+	RegisterRequest    = regproto.RegisterRequest
+	RegisterResponse   = regproto.RegisterResponse
+)
+
+// Config parameterizes the router.
+type Config struct {
+	// StaleAfter marks a backend stale this long after its last heartbeat;
+	// its datacenters then 503 until it re-registers. Zero means 10 seconds
+	// (five beats at the announcer's 2-second default).
+	StaleAfter time.Duration
+	// RetryAfter is the Retry-After hint on 503 responses for stale backends.
+	// Zero means 2 seconds — one announce interval, the soonest a recovered
+	// backend could have re-registered.
+	RetryAfter time.Duration
+	// BreakerThreshold is how many consecutive transport failures open a
+	// backend's circuit. Zero means 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects requests before
+	// letting a probe through. Zero means 2 seconds.
+	BreakerCooldown time.Duration
+	// ProxyTimeout bounds one proxied round-trip. Zero means 15 seconds.
+	ProxyTimeout time.Duration
+	// RegisterToken, when non-empty, requires POST /v1/register callers to
+	// present "Authorization: Bearer <token>"; everything else is 401. The
+	// registration surface moves routing — without the token anyone who can
+	// reach the router could hijack a datacenter's traffic.
+	RegisterToken string
+	// Now overrides the clock (tests drive staleness without sleeping). Nil
+	// means time.Now.
+	Now func() time.Time
+}
+
+// backend is one registered harvestd node. Identity, URL, and the datacenter
+// map are guarded by the router's mutex (they only change on register);
+// heartbeat and breaker state are atomics read on every proxied request.
+type backend struct {
+	id  string
+	url string            // base URL, no trailing slash
+	dcs map[string]uint64 // datacenter → announced generation (guarded by Router.mu)
+
+	lastBeat    atomic.Int64 // unix nanos of the last register
+	consecFails atomic.Int32 // consecutive proxy transport failures
+	openUntil   atomic.Int64 // unix nanos; breaker open while now < openUntil, half-open once past it
+	probing     atomic.Bool  // a half-open probe request is in flight
+
+	proxied atomic.Uint64 // requests forwarded (any status)
+	errors  atomic.Uint64 // transport-level proxy failures
+}
+
+// Router is the front end. It implements http.Handler.
+type Router struct {
+	cfg    Config
+	mux    *http.ServeMux
+	client *http.Client
+	start  time.Time
+	now    func() time.Time
+
+	mu       sync.RWMutex
+	backends map[string]*backend // by id
+	table    map[string]*backend // datacenter → owning backend
+
+	registrations atomic.Uint64
+	proxiedTotal  atomic.Uint64
+	proxyErrors   atomic.Uint64
+	unavailable   atomic.Uint64 // 503s rejected without touching a backend (stale / circuit open / probe held)
+}
+
+// New builds a router with no backends; they arrive via /v1/register.
+func New(cfg Config) *Router {
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 10 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.ProxyTimeout <= 0 {
+		cfg.ProxyTimeout = 15 * time.Second
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	r := &Router{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		now:   now,
+		client: &http.Client{
+			Timeout: cfg.ProxyTimeout,
+			// A reverse proxy relays 3xx verbatim; following them would
+			// re-issue proxied POSTs as GETs of arbitrary Location targets.
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+			// Keep-alive connection reuse per backend is where the proxy's
+			// throughput comes from: idle conns stay pooled well past the
+			// announce cadence.
+			// IdleConnTimeout stays well below harvestd's server-side
+			// IdleTimeout (2 minutes): the router must drop an idle conn
+			// before the backend does, or a reuse racing the backend's close
+			// shows up as a spurious transport failure.
+			Transport: &http.Transport{
+				MaxIdleConns:        512,
+				MaxIdleConnsPerHost: 128,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+		backends: make(map[string]*backend),
+		table:    make(map[string]*backend),
+	}
+	r.mux.HandleFunc("POST /v1/register", r.handleRegister)
+	r.mux.HandleFunc("GET /v1/datacenters", r.handleDatacenters)
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mux.HandleFunc("/v1/{dc}/{rest...}", r.handleProxy)
+	return r
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// writeJSON and writeError are the serving tier's shared response
+// convention (internal/httpjson): explicit Content-Length, never chunked,
+// identical shape to the backends' responses for pipelined clients.
+func writeJSON(w http.ResponseWriter, status int, v any) { httpjson.Write(w, status, v) }
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	httpjson.WriteError(w, status, msg)
+}
+
+// writeUnavailable is the single shape of every "shard exists but cannot be
+// served right now" response: 503 plus the Retry-After clients should honor.
+// Callers rejecting without a backend attempt count rt.unavailable
+// themselves; transport-failure paths are already counted as proxy errors.
+func (rt *Router) writeUnavailable(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+// maxRegisterBody bounds a heartbeat body; a registration is a few hundred
+// bytes even with every datacenter on one node.
+const maxRegisterBody = 1 << 20
+
+// maxProxyBody bounds a proxied request body: the backends cap their own
+// POST bodies at 1 MiB, so anything larger is rejected here without ever
+// reaching a shard.
+const maxProxyBody = 2 << 20
+
+// maxProxyResponse bounds the response re-buffer. Real backend responses
+// top out in the tens of kilobytes (/metrics with every DC); the cap exists
+// so a misbehaving — or maliciously registered — backend streaming an
+// unbounded body cannot balloon the router's memory per in-flight request.
+const maxProxyResponse = 8 << 20
+
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !httpjson.BearerAuthorized(r, rt.cfg.RegisterToken) {
+		writeError(w, http.StatusUnauthorized, "missing or invalid register token")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRegisterBody))
+	if err == nil && len(bytes.TrimSpace(body)) == 0 {
+		err = fmt.Errorf("empty body")
+	}
+	var req RegisterRequest
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad register body: "+err.Error())
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, "register requires a backend id")
+		return
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		writeError(w, http.StatusBadRequest, "register url must be an absolute http(s) URL")
+		return
+	}
+	// The URL is a base the proxy appends "/v1/..." to: a path, query, or
+	// fragment would corrupt every proxied target while the backend looked
+	// perfectly healthy in /metrics — reject it at the source.
+	if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+		writeError(w, http.StatusBadRequest, "register url must be a bare base URL (no path, query, or fragment)")
+		return
+	}
+	if len(req.Datacenters) == 0 {
+		writeError(w, http.StatusBadRequest, "register requires at least one datacenter")
+		return
+	}
+	for _, dc := range req.Datacenters {
+		if dc.Name == "" {
+			writeError(w, http.StatusBadRequest, "register datacenter with empty name")
+			return
+		}
+	}
+	baseURL := strings.TrimRight(req.URL, "/")
+
+	rt.mu.Lock()
+	now := rt.now()
+	// Age out backends gone for many staleness windows: a permanently dead
+	// node's datacenters fall back to 404 (unknown) rather than 503ing
+	// forever, and the backend set cannot grow without bound when node IDs
+	// change across restarts. 10× the staleness window is far past any
+	// transient outage the 503+Retry-After path is meant to bridge.
+	cutoff := now.Add(-10 * rt.cfg.StaleAfter).UnixNano()
+	for id, old := range rt.backends {
+		if old.lastBeat.Load() > cutoff {
+			continue
+		}
+		for name, owner := range rt.table {
+			if owner == old {
+				delete(rt.table, name)
+			}
+		}
+		delete(rt.backends, id)
+		log.Printf("router: backend %s aged out after %v without a heartbeat", id, 10*rt.cfg.StaleAfter)
+	}
+	b := rt.backends[req.ID]
+	if b == nil {
+		b = &backend{id: req.ID}
+		rt.backends[req.ID] = b
+		log.Printf("router: backend %s registered at %s (%d datacenters)", req.ID, baseURL, len(req.Datacenters))
+	} else if b.url != baseURL {
+		// A URL change under an existing ID is either a legitimate restart on
+		// a new address or two nodes sharing one -node-id — the latter flaps
+		// the route at heartbeat cadence and strands leases, so make every
+		// flip visible.
+		log.Printf("router: backend %s changed URL %s -> %s (two nodes sharing one -node-id would flap here every beat)",
+			req.ID, b.url, baseURL)
+	}
+	b.url = baseURL
+	next := make(map[string]uint64, len(req.Datacenters))
+	for _, dc := range req.Datacenters {
+		next[dc.Name] = dc.Generation
+	}
+	// Drop routing entries for datacenters this backend no longer announces.
+	for name := range b.dcs {
+		if _, still := next[name]; !still {
+			if rt.table[name] == b {
+				delete(rt.table, name)
+				log.Printf("router: backend %s dropped %s", b.id, name)
+			}
+		}
+	}
+	// Ownership is sticky while the owner is alive: two nodes announcing the
+	// same datacenter must not ping-pong the route at heartbeat cadence —
+	// that would strand leases on the shard that issued them. A datacenter
+	// moves only when its current owner dropped it or went stale, so a
+	// migration is "start the new owner, stop the old one" and the handover
+	// happens at the staleness deadline.
+	for name := range next {
+		if prev := rt.table[name]; prev != nil && prev != b {
+			if rt.alive(prev, now) {
+				continue
+			}
+			log.Printf("router: %s moved from stale backend %s to %s", name, prev.id, b.id)
+		}
+		rt.table[name] = b
+	}
+	b.dcs = next
+	backends := len(rt.backends)
+	// The beat is stored before the lock is released: the table entry must
+	// never be observable with a zero lastBeat, or a proxy request racing
+	// the very first registration would 503 it as stale. The breaker is
+	// deliberately NOT reset by a heartbeat — beats prove the backend can
+	// reach the router, not that the router can reach the backend (think a
+	// typo'd -advertise URL or an asymmetric firewall), so only a successful
+	// data-plane probe closes an open circuit.
+	b.lastBeat.Store(now.UnixNano())
+	rt.mu.Unlock()
+
+	rt.registrations.Add(1)
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		Status:            "ok",
+		Backends:          backends,
+		StaleAfterSeconds: rt.cfg.StaleAfter.Seconds(),
+	})
+}
+
+// alive reports whether the backend has heartbeated within StaleAfter.
+func (rt *Router) alive(b *backend, now time.Time) bool {
+	return now.UnixNano()-b.lastBeat.Load() <= int64(rt.cfg.StaleAfter)
+}
+
+// collectBackend removes a long-dead backend and its routing entries — the
+// on-demand twin of handleRegister's age-out sweep. Re-checked under the
+// write lock so a racing re-registration wins.
+func (rt *Router) collectBackend(b *backend, cutoff int64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if b.lastBeat.Load() > cutoff || rt.backends[b.id] != b {
+		return
+	}
+	for name, owner := range rt.table {
+		if owner == b {
+			delete(rt.table, name)
+		}
+	}
+	delete(rt.backends, b.id)
+	log.Printf("router: backend %s aged out after %v without a heartbeat", b.id, 10*rt.cfg.StaleAfter)
+}
+
+// hopByHopHeaders are stripped when forwarding in either direction (RFC 9110
+// §7.6.1); everything else — Content-Type, Authorization for the ingest
+// token, etc. — passes through untouched.
+var hopByHopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// hopHeader marks a request as already router-forwarded. The topology is a
+// single routing tier by design, so any proxied request arriving back at a
+// router is a cycle — a backend registered with a router's own URL
+// (copy-pasted -advertise, or a malicious open registration) — and must be
+// broken at one hop instead of amplifying into a self-proxying storm.
+const hopHeader = "X-Harvest-Router-Hop"
+
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(hopHeader) != "" {
+		// Not counted in unavailable_503s: that metric means stale/breaker
+		// rejections, and a loop is a misconfiguration with its own status.
+		writeError(w, http.StatusLoopDetected,
+			"routing loop: this backend resolves to a router (check its advertised URL)")
+		return
+	}
+	dc := r.PathValue("dc")
+	rt.mu.RLock()
+	b := rt.table[dc]
+	var baseURL string
+	if b != nil {
+		// Copied under the lock: registration beats rewrite b.url under the
+		// write lock, so it must not be read after the RUnlock.
+		baseURL = b.url
+	}
+	rt.mu.RUnlock()
+	if b == nil {
+		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
+		return
+	}
+	now := rt.now()
+	if !rt.alive(b, now) {
+		// Past many staleness windows the node is gone, not hiccuping:
+		// collect it on demand — registration-time sweeps never run when no
+		// backend is left to heartbeat — so its datacenters fall back to 404
+		// instead of 503ing (with a Retry-After clients honor) forever.
+		if cutoff := now.Add(-10 * rt.cfg.StaleAfter).UnixNano(); b.lastBeat.Load() <= cutoff {
+			rt.collectBackend(b, cutoff)
+			writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
+			return
+		}
+		rt.unavailable.Add(1)
+		rt.writeUnavailable(w, rt.cfg.RetryAfter,
+			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" missed heartbeats")
+		return
+	}
+	// Open-circuit fast-fail before touching the body: while the breaker is
+	// open the 503 must cost nothing, not a 2 MiB read. (Re-checked below
+	// after the read — the circuit may open while the body streams in.)
+	if openUntil := b.openUntil.Load(); openUntil > now.UnixNano() {
+		rt.unavailable.Add(1)
+		rt.writeUnavailable(w, time.Duration(openUntil-now.UnixNano()),
+			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" circuit open")
+		return
+	}
+
+	// The inbound body is buffered *before* the probe claim (a client that
+	// stalls mid-body must never sit on the half-open probe slot) and handed
+	// to NewRequest as a *bytes.Reader, which bounds memory, pins an
+	// explicit outbound Content-Length, and lets the transport silently
+	// replay *idempotent* requests that race a backend's idle-connection
+	// close. POSTs are not replayable in net/http regardless of GetBody —
+	// deliberately left that way here, since re-sending a select the backend
+	// may have processed could double-reserve; the idle-close race is
+	// instead minimized by the transport's IdleConnTimeout sitting well
+	// below the backends' server IdleTimeout. Bodies here are small JSON
+	// (the backend caps its own at 1 MiB).
+	var bodyBytes []byte
+	if r.Body != nil && r.ContentLength != 0 {
+		var rerr error
+		bodyBytes, rerr = io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+		if rerr != nil {
+			// The client's fault (or the client went away) — not backend
+			// evidence.
+			writeError(w, http.StatusBadRequest, "unreadable request body: "+rerr.Error())
+			return
+		}
+	}
+
+	// Breaker gate. A nonzero openUntil in the past means the cooldown just
+	// elapsed: the circuit is half-open, and exactly one request — the CAS
+	// winner — may probe the backend; everyone else keeps getting 503 until
+	// the probe's outcome decides the state. The slot is held only across
+	// the outbound call, which ProxyTimeout bounds.
+	probe := false
+	if openUntil := b.openUntil.Load(); openUntil != 0 {
+		if openUntil > now.UnixNano() {
+			rt.unavailable.Add(1)
+			rt.writeUnavailable(w, time.Duration(openUntil-now.UnixNano()),
+				"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" circuit open")
+			return
+		}
+		if !b.probing.CompareAndSwap(false, true) {
+			rt.unavailable.Add(1)
+			rt.writeUnavailable(w, rt.cfg.BreakerCooldown,
+				"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" probe in flight")
+			return
+		}
+		probe = true
+	}
+
+	// The outbound path is the *escaped* original, verbatim: PathValue
+	// returns percent-decoded segments, and re-joining those would let an
+	// encoded '?', '#', or '/' inside a segment change which resource the
+	// backend sees.
+	target := baseURL + r.URL.EscapedPath()
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	// settle records the transport outcome and releases the probe slot. Any
+	// success — probe or a request that was already in flight when the
+	// circuit opened — fully closes the circuit (fresh evidence the data
+	// plane works); keying the close on the probe alone could strand the
+	// breaker half-open when a racing success reset consecFails just before
+	// a probe failed. A failure feeds proxyFailed, which re-opens at the
+	// threshold.
+	settle := func(ok bool) {
+		if ok {
+			b.consecFails.Store(0)
+			b.openUntil.Store(0)
+		} else {
+			rt.proxyFailed(b)
+		}
+		if probe {
+			b.probing.Store(false)
+		}
+	}
+	// clientGone recognizes transport errors caused by the *client* aborting
+	// mid-request (the outbound context is the inbound request's): those say
+	// nothing about the backend and must not feed the breaker.
+	clientGone := func() bool {
+		if r.Context().Err() == nil {
+			return false
+		}
+		if probe {
+			b.probing.Store(false)
+		}
+		return true
+	}
+
+	var outBody io.Reader = http.NoBody
+	if len(bodyBytes) > 0 {
+		outBody = bytes.NewReader(bodyBytes)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, outBody)
+	if err != nil {
+		if probe {
+			b.probing.Store(false)
+		}
+		writeError(w, http.StatusBadRequest, "bad proxy request: "+err.Error())
+		return
+	}
+	req.Header = r.Header.Clone()
+	for _, h := range hopByHopHeaders {
+		req.Header.Del(h)
+	}
+	req.Header.Set("X-Forwarded-For", r.RemoteAddr)
+	req.Header.Set(hopHeader, "1")
+
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		if clientGone() {
+			return // nobody is listening for this response
+		}
+		settle(false)
+		rt.writeUnavailable(w, rt.cfg.BreakerCooldown,
+			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyResponse+1))
+	if err != nil || len(body) > maxProxyResponse {
+		if err != nil && clientGone() {
+			return
+		}
+		settle(false)
+		rt.writeUnavailable(w, rt.cfg.BreakerCooldown,
+			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" sent a truncated or oversized response")
+		return
+	}
+	settle(true)
+	b.proxied.Add(1)
+	rt.proxiedTotal.Add(1)
+
+	hdr := w.Header()
+	for k, vs := range resp.Header {
+		if k == "Content-Length" || isHopByHop(k) {
+			continue
+		}
+		hdr[k] = vs
+	}
+	// Re-buffered with an explicit length: the response reaches the client in
+	// one write, never chunked, keeping pipelined clients trivial to parse
+	// against — same contract as the backends themselves.
+	hdr.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+func isHopByHop(k string) bool {
+	for _, h := range hopByHopHeaders {
+		if strings.EqualFold(k, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// proxyFailed records a transport failure and opens the breaker at the
+// threshold. Application-level statuses (4xx/5xx from a healthy backend) are
+// not failures — only an unreachable or misbehaving transport is. The
+// cooldown is anchored at the failure's observation time (a fresh now), not
+// at the request's start — a timeout failure must still buy a full closed
+// window, or the circuit would be born already half-open.
+func (rt *Router) proxyFailed(b *backend) {
+	b.errors.Add(1)
+	rt.proxyErrors.Add(1)
+	if rt.cfg.BreakerThreshold < 0 {
+		return
+	}
+	if int(b.consecFails.Add(1)) >= rt.cfg.BreakerThreshold {
+		b.openUntil.Store(rt.now().Add(rt.cfg.BreakerCooldown).UnixNano())
+		// Leave consecFails at the threshold: the post-cooldown probe either
+		// resets it on success or immediately re-opens on failure.
+		log.Printf("router: backend %s circuit opened for %v", b.id, rt.cfg.BreakerCooldown)
+	}
+}
+
+type datacentersResponse struct {
+	Datacenters []string `json:"datacenters"`
+}
+
+// liveDatacenters returns the sorted union of datacenters across backends
+// that are currently heartbeating.
+func (rt *Router) liveDatacenters(now time.Time) []string {
+	rt.mu.RLock()
+	names := make([]string, 0, len(rt.table))
+	for name, b := range rt.table {
+		if rt.alive(b, now) {
+			names = append(names, name)
+		}
+	}
+	rt.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+func (rt *Router) handleDatacenters(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, datacentersResponse{Datacenters: rt.liveDatacenters(rt.now())})
+}
+
+type healthzResponse struct {
+	Status      string `json:"status"`
+	Backends    int    `json:"backends"`
+	Alive       int    `json:"alive"`
+	Datacenters int    `json:"datacenters"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := rt.now()
+	rt.mu.RLock()
+	backends := len(rt.backends)
+	alive := 0
+	for _, b := range rt.backends {
+		if rt.alive(b, now) {
+			alive++
+		}
+	}
+	rt.mu.RUnlock()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:      "ok",
+		Backends:    backends,
+		Alive:       alive,
+		Datacenters: len(rt.liveDatacenters(now)),
+	})
+}
+
+// BackendStats is one backend's row in /metrics.
+type BackendStats struct {
+	URL                 string            `json:"url"`
+	Alive               bool              `json:"alive"`
+	LastBeatAgeSeconds  float64           `json:"last_beat_age_seconds"`
+	Datacenters         map[string]uint64 `json:"datacenters"` // name → announced generation
+	Proxied             uint64            `json:"proxied"`
+	Errors              uint64            `json:"errors"`
+	CircuitOpen         bool              `json:"circuit_open"`
+	ConsecutiveFailures int               `json:"consecutive_failures"`
+}
+
+// RouterStats is the router's own section of /metrics.
+type RouterStats struct {
+	Registrations uint64                  `json:"registrations"`
+	Proxied       uint64                  `json:"proxied"`
+	ProxyErrors   uint64                  `json:"proxy_errors"`
+	Unavailable   uint64                  `json:"unavailable_503s"`
+	Backends      map[string]BackendStats `json:"backends"`
+}
+
+type metricsResponse struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Router        RouterStats `json:"router"`
+	// Datacenters is the aggregate across backends: each live backend's
+	// /metrics "datacenters" entries for the DCs it owns, merged into one
+	// map, so one scrape of the router sees every shard's books.
+	Datacenters map[string]json.RawMessage `json:"datacenters"`
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The same one-hop cycle breaker as the proxy path: a router scraping a
+	// "backend" that is really a router must get a non-200 and move on, not
+	// recurse the fan-out.
+	if r.Header.Get(hopHeader) != "" {
+		writeError(w, http.StatusLoopDetected,
+			"routing loop: this backend resolves to a router (check its advertised URL)")
+		return
+	}
+	now := rt.now()
+	resp := metricsResponse{
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Router: RouterStats{
+			Registrations: rt.registrations.Load(),
+			Proxied:       rt.proxiedTotal.Load(),
+			ProxyErrors:   rt.proxyErrors.Load(),
+			Unavailable:   rt.unavailable.Load(),
+			Backends:      make(map[string]BackendStats),
+		},
+		Datacenters: make(map[string]json.RawMessage),
+	}
+
+	type fetchTarget struct {
+		url  string
+		owns []string
+	}
+	var targets []fetchTarget
+	rt.mu.RLock()
+	for id, b := range rt.backends {
+		st := BackendStats{
+			URL:                 b.url,
+			Alive:               rt.alive(b, now),
+			LastBeatAgeSeconds:  time.Duration(now.UnixNano() - b.lastBeat.Load()).Seconds(),
+			Datacenters:         make(map[string]uint64, len(b.dcs)),
+			Proxied:             b.proxied.Load(),
+			Errors:              b.errors.Load(),
+			CircuitOpen:         b.openUntil.Load() > now.UnixNano(),
+			ConsecutiveFailures: int(b.consecFails.Load()),
+		}
+		var owns []string
+		for name, gen := range b.dcs {
+			st.Datacenters[name] = gen
+			if rt.table[name] == b {
+				owns = append(owns, name)
+			}
+		}
+		resp.Router.Backends[id] = st
+		if st.Alive && !st.CircuitOpen && len(owns) > 0 {
+			targets = append(targets, fetchTarget{url: b.url + "/metrics", owns: owns})
+		}
+	}
+	rt.mu.RUnlock()
+
+	// Fan the backend scrapes out concurrently; a slow or dead backend costs
+	// one ProxyTimeout, not one per backend, and contributes nothing.
+	type fetched struct {
+		owns []string
+		dcs  map[string]json.RawMessage
+	}
+	results := make([]fetched, len(targets))
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt fetchTarget) {
+			defer wg.Done()
+			var payload struct {
+				Datacenters map[string]json.RawMessage `json:"datacenters"`
+			}
+			req, err := http.NewRequest("GET", tgt.url, nil)
+			if err != nil {
+				return
+			}
+			req.Header.Set(hopHeader, "1")
+			res, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				return
+			}
+			// Same cap as the proxy path: a maliciously registered backend
+			// must not balloon router memory through the scrape either.
+			if json.NewDecoder(io.LimitReader(res.Body, maxProxyResponse)).Decode(&payload) != nil {
+				return
+			}
+			results[i] = fetched{owns: tgt.owns, dcs: payload.Datacenters}
+		}(i, tgt)
+	}
+	wg.Wait()
+	for _, res := range results {
+		for _, name := range res.owns {
+			if raw, ok := res.dcs[name]; ok {
+				resp.Datacenters[name] = raw
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,777 @@
+package router_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harvest/internal/router"
+)
+
+// testClock is an injectable clock so staleness tests never sleep.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock { return &testClock{now: time.Unix(1000, 0)} }
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// fakeBackend records the requests a router forwards to it and answers with a
+// canned body.
+type fakeBackend struct {
+	srv      *httptest.Server
+	mu       sync.Mutex
+	requests []string // "METHOD path" of each proxied request
+	bodies   [][]byte
+	headers  []http.Header
+	status   atomic.Int32
+	reply    atomic.Pointer[string]
+}
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	fb := &fakeBackend{}
+	fb.status.Store(http.StatusOK)
+	reply := `{"ok":true}`
+	fb.reply.Store(&reply)
+	fb.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		fb.mu.Lock()
+		fb.requests = append(fb.requests, r.Method+" "+r.URL.RequestURI())
+		fb.bodies = append(fb.bodies, append([]byte(nil), buf.Bytes()...))
+		fb.headers = append(fb.headers, r.Header.Clone())
+		fb.mu.Unlock()
+		body := *fb.reply.Load()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.WriteHeader(int(fb.status.Load()))
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(fb.srv.Close)
+	return fb
+}
+
+func (fb *fakeBackend) seen() []string {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return append([]string(nil), fb.requests...)
+}
+
+func register(t *testing.T, routerURL string, req router.RegisterRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(routerURL+"/v1/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func mustRegister(t *testing.T, routerURL string, req router.RegisterRequest) {
+	t.Helper()
+	if resp := register(t, routerURL, req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: status %d, want 200", req.ID, resp.StatusCode)
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func datacentersOf(t *testing.T, routerURL string) []string {
+	t.Helper()
+	resp, body := getBody(t, routerURL+"/v1/datacenters")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/datacenters: status %d", resp.StatusCode)
+	}
+	var dcl struct {
+		Datacenters []string `json:"datacenters"`
+	}
+	if err := json.Unmarshal(body, &dcl); err != nil {
+		t.Fatalf("unmarshal %q: %v", body, err)
+	}
+	return dcl.Datacenters
+}
+
+func newTestRouter(t *testing.T, clock *testClock) (*router.Router, *httptest.Server) {
+	t.Helper()
+	cfg := router.Config{StaleAfter: time.Minute}
+	if clock != nil {
+		cfg.Now = clock.Now
+	}
+	rt := router.New(cfg)
+	srv := httptest.NewServer(rt)
+	t.Cleanup(srv.Close)
+	return rt, srv
+}
+
+func TestProxyRoutesToOwningBackend(t *testing.T) {
+	a, b := newFakeBackend(t), newFakeBackend(t)
+	_, srv := newTestRouter(t, nil)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A", Generation: 3}},
+	})
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-b", URL: b.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-B", Generation: 7}},
+	})
+
+	resp, body := getBody(t, srv.URL+"/v1/DC-A/classes")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied GET: status %d", resp.StatusCode)
+	}
+	if string(body) != `{"ok":true}` {
+		t.Errorf("proxied body = %q, want the backend's reply", body)
+	}
+	if resp.Header.Get("Content-Type") != "application/json" {
+		t.Errorf("Content-Type not relayed: %q", resp.Header.Get("Content-Type"))
+	}
+	if got := a.seen(); len(got) != 1 || got[0] != "GET /v1/DC-A/classes" {
+		t.Errorf("backend A saw %v, want [GET /v1/DC-A/classes]", got)
+	}
+	if got := b.seen(); len(got) != 0 {
+		t.Errorf("backend B saw %v, want nothing", got)
+	}
+
+	// POST bodies and headers travel through untouched.
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/DC-B/select", strings.NewReader(`{"max_concurrent_cores":4}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer sekrit")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp2.Body.Close()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.requests) != 1 || b.requests[0] != "POST /v1/DC-B/select" {
+		t.Fatalf("backend B saw %v, want [POST /v1/DC-B/select]", b.requests)
+	}
+	if string(b.bodies[0]) != `{"max_concurrent_cores":4}` {
+		t.Errorf("forwarded body = %q", b.bodies[0])
+	}
+	if b.headers[0].Get("Authorization") != "Bearer sekrit" {
+		t.Errorf("Authorization header not forwarded: %q", b.headers[0].Get("Authorization"))
+	}
+	if b.headers[0].Get("X-Forwarded-For") == "" {
+		t.Errorf("X-Forwarded-For not set")
+	}
+}
+
+// TestProxyForwardsEscapedPathVerbatim pins that percent-encoded bytes in
+// the client's path reach the backend still encoded: a decoded '?' or '#'
+// would silently change which resource the backend sees.
+func TestProxyForwardsEscapedPathVerbatim(t *testing.T) {
+	a := newFakeBackend(t)
+	_, srv := newTestRouter(t, nil)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+	resp, err := http.Post(srv.URL+"/v1/DC-A/select%3Fdebug=1", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	got := a.seen()
+	if len(got) != 1 || got[0] != "POST /v1/DC-A/select%3Fdebug=1" {
+		t.Errorf("backend saw %v, want the still-encoded path [POST /v1/DC-A/select%%3Fdebug=1]", got)
+	}
+}
+
+func TestProxyRelaysBackendStatus(t *testing.T) {
+	a := newFakeBackend(t)
+	_, srv := newTestRouter(t, nil)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+	a.status.Store(http.StatusNotFound)
+	notFound := `{"error":"unknown server"}`
+	a.reply.Store(&notFound)
+	resp, body := getBody(t, srv.URL+"/v1/DC-A/servers/999/class")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want backend's 404 relayed", resp.StatusCode)
+	}
+	if string(body) != notFound {
+		t.Errorf("body = %q, want backend's error body", body)
+	}
+}
+
+// TestProxyBreaksRoutingLoops pins the one-hop cycle breaker: a backend
+// registered with the router's own URL must produce a single 508, not a
+// self-proxying storm.
+func TestProxyBreaksRoutingLoops(t *testing.T) {
+	_, srv := newTestRouter(t, nil)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "confused", URL: srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+	resp, body := getBody(t, srv.URL+"/v1/DC-A/classes")
+	if resp.StatusCode != http.StatusLoopDetected {
+		t.Errorf("self-registered router: status %d, want 508 (%s)", resp.StatusCode, body)
+	}
+	// The /metrics fan-out must not recurse into the self-registered
+	// "backend" either: the scrape carries the hop header, the nested router
+	// answers 508, and the outer scrape completes with that DC absent.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, body := getBody(t, srv.URL+"/metrics")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/metrics with loop backend: status %d (%s)", resp.StatusCode, body)
+			return
+		}
+		var m struct {
+			Datacenters map[string]json.RawMessage `json:"datacenters"`
+		}
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Errorf("unmarshal metrics: %v", err)
+			return
+		}
+		if _, ok := m.Datacenters["DC-A"]; ok {
+			t.Errorf("loop backend's DC appeared in the aggregate: %v", m.Datacenters)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("/metrics hung — the fan-out recursed into itself")
+	}
+}
+
+// TestProxyRelaysRedirectsVerbatim pins reverse-proxy redirect semantics:
+// a backend 3xx reaches the client as-is — the router must never chase the
+// Location itself (a registered-but-malicious backend could otherwise use
+// it to make the router GET arbitrary internal URLs).
+func TestProxyRelaysRedirectsVerbatim(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", "http://192.0.2.1/elsewhere")
+		w.WriteHeader(http.StatusFound)
+	}))
+	defer backend.Close()
+	_, srv := newTestRouter(t, nil)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: backend.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+	client := &http.Client{CheckRedirect: func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(srv.URL + "/v1/DC-A/classes")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Errorf("status = %d, want the backend's 302 relayed", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Location"); got != "http://192.0.2.1/elsewhere" {
+		t.Errorf("Location = %q, want the backend's target relayed", got)
+	}
+}
+
+func TestRegisterUpdatesAndMovesDatacenters(t *testing.T) {
+	clock := newTestClock()
+	a, b := newFakeBackend(t), newFakeBackend(t)
+	rt := router.New(router.Config{StaleAfter: 10 * time.Second, Now: clock.Now})
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-1"}, {Name: "DC-2"}},
+	})
+	if got := datacentersOf(t, srv.URL); len(got) != 2 || got[0] != "DC-1" || got[1] != "DC-2" {
+		t.Fatalf("datacenters = %v, want [DC-1 DC-2]", got)
+	}
+
+	// Ownership is sticky: node-b announcing DC-2 while node-a is alive must
+	// NOT take the route — a contested DC would otherwise ping-pong at
+	// heartbeat cadence, stranding leases on the shard that issued them.
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-b", URL: b.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-2"}},
+	})
+	getBody(t, srv.URL+"/v1/DC-2/classes")
+	if got := a.seen(); len(got) != 1 {
+		t.Errorf("contested DC-2 left its live owner: backend A saw %v, want one request", got)
+	}
+	if got := b.seen(); len(got) != 0 {
+		t.Errorf("contested DC-2 moved to the challenger: backend B saw %v, want nothing", got)
+	}
+
+	// Once node-a goes stale, node-b's next heartbeat takes DC-2 over.
+	clock.Advance(11 * time.Second)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-b", URL: b.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-2"}},
+	})
+	getBody(t, srv.URL+"/v1/DC-2/classes")
+	if got := b.seen(); len(got) != 1 {
+		t.Errorf("after the owner went stale, backend B saw %v, want one request", got)
+	}
+
+	// node-a re-registers without DC-1: its entry disappears from the table
+	// (and the union), while DC-2 stays with node-b.
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-3"}},
+	})
+	if got := datacentersOf(t, srv.URL); len(got) != 2 || got[0] != "DC-2" || got[1] != "DC-3" {
+		t.Errorf("datacenters = %v, want [DC-2 DC-3]", got)
+	}
+	resp, _ := getBody(t, srv.URL+"/v1/DC-1/classes")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("dropped DC-1: status %d, want 404", resp.StatusCode)
+	}
+	// DC-2 stayed with node-b through node-a's re-registration: node-a no
+	// longer announces it, and would not reclaim it from a live owner anyway.
+	getBody(t, srv.URL+"/v1/DC-2/classes")
+	if got := b.seen(); len(got) != 2 {
+		t.Errorf("DC-2 after node-a re-registration: backend B saw %v, want two requests", got)
+	}
+}
+
+// TestDeadBackendAgesOut pins the garbage collection of long-gone backends:
+// past 10 staleness windows a dead node's datacenters fall back to 404
+// (unknown) instead of 503ing forever, and the backend row leaves /metrics
+// and /healthz.
+func TestDeadBackendAgesOut(t *testing.T) {
+	clock := newTestClock()
+	a, b := newFakeBackend(t), newFakeBackend(t)
+	rt := router.New(router.Config{StaleAfter: 10 * time.Second, Now: clock.Now})
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+
+	// Stale but not yet aged out: 503 (the outage might be transient).
+	clock.Advance(50 * time.Second)
+	resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stale backend: status %d, want 503", resp.StatusCode)
+	}
+
+	// Past 10×StaleAfter the node is collected on demand by the very next
+	// proxy request — no surviving backend needs to heartbeat for the 503s
+	// to end.
+	clock.Advance(60 * time.Second)
+	resp, _ = getBody(t, srv.URL+"/v1/DC-A/classes")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("aged-out backend's DC: status %d, want 404", resp.StatusCode)
+	}
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-b", URL: b.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-B"}},
+	})
+	var hz struct {
+		Backends int `json:"backends"`
+	}
+	_, body := getBody(t, srv.URL+"/healthz")
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if hz.Backends != 1 {
+		t.Errorf("healthz backends = %d after age-out, want 1", hz.Backends)
+	}
+}
+
+// TestRegisterToken pins the registration-auth contract: with a token
+// configured, unauthenticated (or wrongly authenticated) heartbeats cannot
+// move routing.
+func TestRegisterToken(t *testing.T) {
+	a := newFakeBackend(t)
+	rt := router.New(router.Config{StaleAfter: time.Minute, RegisterToken: "fleet-secret"})
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+
+	body, _ := json.Marshal(router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+	post := func(token string) int {
+		req, err := http.NewRequest("POST", srv.URL+"/v1/register", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("new request: %v", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if token != "" {
+			req.Header.Set("Authorization", token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := post(""); got != http.StatusUnauthorized {
+		t.Errorf("no token: status %d, want 401", got)
+	}
+	if got := post("Bearer wrong"); got != http.StatusUnauthorized {
+		t.Errorf("wrong token: status %d, want 401", got)
+	}
+	if got := datacentersOf(t, srv.URL); len(got) != 0 {
+		t.Fatalf("unauthenticated registration moved routing: %v", got)
+	}
+	if got := post("Bearer fleet-secret"); got != http.StatusOK {
+		t.Errorf("correct token: status %d, want 200", got)
+	}
+	if got := datacentersOf(t, srv.URL); len(got) != 1 || got[0] != "DC-A" {
+		t.Errorf("datacenters after authorized registration = %v, want [DC-A]", got)
+	}
+}
+
+func TestStaleBackend503sWithRetryAfter(t *testing.T) {
+	clock := newTestClock()
+	a := newFakeBackend(t)
+	rtCfg := router.Config{StaleAfter: 10 * time.Second, RetryAfter: 3 * time.Second, Now: clock.Now}
+	rt := router.New(rtCfg)
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+
+	if resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh backend: status %d, want 200", resp.StatusCode)
+	}
+	clock.Advance(11 * time.Second)
+	resp, body := getBody(t, srv.URL+"/v1/DC-A/classes")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stale backend: status %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "3" {
+		t.Errorf("Retry-After = %q, want %q", resp.Header.Get("Retry-After"), "3")
+	}
+	if got := datacentersOf(t, srv.URL); len(got) != 0 {
+		t.Errorf("stale backend still in union: %v", got)
+	}
+
+	// One heartbeat recovers it.
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+	if resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes"); resp.StatusCode != http.StatusOK {
+		t.Errorf("recovered backend: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestCircuitBreakerOpensAndReprobes(t *testing.T) {
+	clock := newTestClock()
+	a := newFakeBackend(t)
+	rt := router.New(router.Config{
+		StaleAfter:       time.Hour, // isolate the breaker from staleness
+		BreakerThreshold: 2,
+		BreakerCooldown:  5 * time.Second,
+		ProxyTimeout:     2 * time.Second,
+		Now:              clock.Now,
+	})
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+
+	// Kill the backend: transport failures, 503 per attempt.
+	a.srv.Close()
+	for i := 0; i < 2; i++ {
+		resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes")
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("dead backend attempt %d: status %d, want 503", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("dead backend attempt %d: missing Retry-After", i)
+		}
+	}
+
+	// The circuit is now open: requests are rejected without touching the
+	// transport (observable via the metrics counters, which stop moving).
+	var m struct {
+		Router router.RouterStats `json:"router"`
+	}
+	_, body := getBody(t, srv.URL+"/metrics")
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	st := m.Router.Backends["node-a"]
+	if !st.CircuitOpen {
+		t.Fatalf("circuit not open after %d failures: %+v", 2, st)
+	}
+	errorsBefore := st.Errors
+	resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open circuit: status %d, want 503", resp.StatusCode)
+	}
+	_, body = getBody(t, srv.URL+"/metrics")
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if got := m.Router.Backends["node-a"].Errors; got != errorsBefore {
+		t.Errorf("open circuit still hit the transport: errors %d → %d", errorsBefore, got)
+	}
+
+	// Past the cooldown a probe goes through (and fails → transport error
+	// counted again, circuit re-opens).
+	clock.Advance(6 * time.Second)
+	resp, _ = getBody(t, srv.URL+"/v1/DC-A/classes")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("probe: status %d, want 503", resp.StatusCode)
+	}
+	_, body = getBody(t, srv.URL+"/metrics")
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if got := m.Router.Backends["node-a"].Errors; got != errorsBefore+1 {
+		t.Errorf("probe did not hit the transport: errors %d, want %d", got, errorsBefore+1)
+	}
+
+	// The node comes back (re-registers with a live URL). A heartbeat alone
+	// must NOT close the circuit — beats only prove backend→router
+	// reachability — so the route recovers via the next successful probe
+	// after the cooldown.
+	b := newFakeBackend(t)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: b.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+	if resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("heartbeat alone closed the circuit: status %d, want 503", resp.StatusCode)
+	}
+	clock.Advance(6 * time.Second)
+	if resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes"); resp.StatusCode != http.StatusOK {
+		t.Errorf("successful probe after recovery: status %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes"); resp.StatusCode != http.StatusOK {
+		t.Errorf("circuit closed after successful probe: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCircuitBreakerSingleProbe pins the half-open contract: once the
+// cooldown elapses, exactly one request (the CAS winner) probes the backend;
+// concurrent requests are rejected immediately instead of each paying the
+// transport timeout.
+func TestCircuitBreakerSingleProbe(t *testing.T) {
+	clock := newTestClock()
+	// A listener that accepts connections but never answers: every proxied
+	// request burns the full ProxyTimeout and fails.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	var held []net.Conn
+	var heldMu sync.Mutex
+	defer func() {
+		heldMu.Lock()
+		for _, c := range held {
+			c.Close()
+		}
+		heldMu.Unlock()
+	}()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			heldMu.Lock()
+			held = append(held, c)
+			heldMu.Unlock()
+		}
+	}()
+
+	rt := router.New(router.Config{
+		StaleAfter:       time.Hour,
+		BreakerThreshold: 1,
+		BreakerCooldown:  5 * time.Second,
+		ProxyTimeout:     500 * time.Millisecond,
+		Now:              clock.Now,
+	})
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: "http://" + ln.Addr().String(),
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+
+	// The first request times out and opens the circuit.
+	if resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("hung backend: status %d, want 503", resp.StatusCode)
+	}
+
+	// Half-open: a slow probe holds the slot; a concurrent request must be
+	// rejected without touching the transport (i.e. near-instantly).
+	clock.Advance(6 * time.Second)
+	probeDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/v1/DC-A/classes")
+		if err != nil {
+			probeDone <- -1
+			return
+		}
+		resp.Body.Close()
+		probeDone <- resp.StatusCode
+	}()
+	time.Sleep(100 * time.Millisecond) // probe is now stuck in its timeout
+	start := time.Now()
+	resp, body := getBody(t, srv.URL+"/v1/DC-A/classes")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("concurrent with probe: status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("non-probe request took %v — it waited on the transport instead of failing fast", elapsed)
+	}
+	if code := <-probeDone; code != http.StatusServiceUnavailable {
+		t.Errorf("probe status = %d, want 503", code)
+	}
+}
+
+func TestMetricsAggregatesAcrossBackends(t *testing.T) {
+	_, srv := newTestRouter(t, nil)
+
+	// Backends whose /metrics carry distinguishable per-DC payloads.
+	mkBackend := func(dc string, gen uint64) *httptest.Server {
+		s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/metrics" {
+				http.NotFound(w, r)
+				return
+			}
+			fmt.Fprintf(w, `{"datacenters":{%q:{"generation":%d,"classes":4}}}`, dc, gen)
+		}))
+		t.Cleanup(s.Close)
+		return s
+	}
+	sa, sb := mkBackend("DC-A", 5), mkBackend("DC-B", 9)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: sa.URL, Datacenters: []router.RegisterDatacenter{{Name: "DC-A", Generation: 5}},
+	})
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-b", URL: sb.URL, Datacenters: []router.RegisterDatacenter{{Name: "DC-B", Generation: 9}},
+	})
+
+	resp, body := getBody(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	var m struct {
+		Router      router.RouterStats `json:"router"`
+		Datacenters map[string]struct {
+			Generation uint64 `json:"generation"`
+			Classes    int    `json:"classes"`
+		} `json:"datacenters"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(m.Datacenters) != 2 {
+		t.Fatalf("merged datacenters = %v, want DC-A and DC-B", m.Datacenters)
+	}
+	if m.Datacenters["DC-A"].Generation != 5 || m.Datacenters["DC-B"].Generation != 9 {
+		t.Errorf("merged generations = %v", m.Datacenters)
+	}
+	if m.Router.Registrations != 2 {
+		t.Errorf("registrations = %d, want 2", m.Router.Registrations)
+	}
+	if got := m.Router.Backends["node-a"].Datacenters["DC-A"]; got != 5 {
+		t.Errorf("announced generation for node-a/DC-A = %d, want 5", got)
+	}
+}
+
+// TestRouterErrorPaths pins the router's own status codes (the satellite
+// "error-path tests for every endpoint" — the proxied data-plane codes are
+// pinned in internal/service's table).
+func TestRouterErrorPaths(t *testing.T) {
+	a := newFakeBackend(t)
+	_, srv := newTestRouter(t, nil)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	})
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"unknown datacenter", "GET", "/v1/DC-X/classes", "", http.StatusNotFound},
+		{"unknown datacenter post", "POST", "/v1/DC-X/select", `{"max_concurrent_cores":1}`, http.StatusNotFound},
+		{"register malformed json", "POST", "/v1/register", `{"id":`, http.StatusBadRequest},
+		{"register empty body", "POST", "/v1/register", ``, http.StatusBadRequest},
+		{"register missing id", "POST", "/v1/register", `{"url":"http://x:1","datacenters":[{"name":"D"}]}`, http.StatusBadRequest},
+		{"register missing url", "POST", "/v1/register", `{"id":"n","datacenters":[{"name":"D"}]}`, http.StatusBadRequest},
+		{"register relative url", "POST", "/v1/register", `{"id":"n","url":"x:1","datacenters":[{"name":"D"}]}`, http.StatusBadRequest},
+		{"register url with path", "POST", "/v1/register", `{"id":"n","url":"http://x:1/api","datacenters":[{"name":"D"}]}`, http.StatusBadRequest},
+		{"register url with query", "POST", "/v1/register", `{"id":"n","url":"http://x:1?env=prod","datacenters":[{"name":"D"}]}`, http.StatusBadRequest},
+		{"register no datacenters", "POST", "/v1/register", `{"id":"n","url":"http://x:1"}`, http.StatusBadRequest},
+		{"register unnamed datacenter", "POST", "/v1/register", `{"id":"n","url":"http://x:1","datacenters":[{"name":""}]}`, http.StatusBadRequest},
+		{"healthz wrong method", "POST", "/healthz", "", http.StatusMethodNotAllowed},
+		{"metrics wrong method", "POST", "/metrics", "", http.StatusMethodNotAllowed},
+		// Wrong-method requests under /v1/ fall through to the proxy wildcard
+		// and resolve the segment as a datacenter name — pinned as 404, not
+		// 405 (the method-specific routes only shadow their own methods).
+		{"datacenters wrong method", "DELETE", "/v1/datacenters", "", http.StatusNotFound},
+		{"register wrong method", "GET", "/v1/register", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("new request: %v", err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("do: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harvest/internal/regproto"
+)
+
+// AnnouncerConfig wires a service into a harvestrouter front end.
+type AnnouncerConfig struct {
+	// RouterURL is the router's base URL (POST {RouterURL}/v1/register).
+	RouterURL string
+	// SelfURL is this node's externally reachable base URL — what the router
+	// proxies to.
+	SelfURL string
+	// ID is the stable backend identity; re-registrations under the same ID
+	// update the existing entry. Empty means SelfURL.
+	ID string
+	// Interval is the heartbeat cadence. Zero means 2 seconds (a fifth of the
+	// router's default staleness window).
+	Interval time.Duration
+	// Token is the router's shared register token (sent as a bearer token),
+	// when the router requires one.
+	Token string
+}
+
+// Announcer is the registration client: a background loop that heartbeats
+// this node's datacenter set and per-DC snapshot generations to a
+// harvestrouter, so the router's routing table (and its staleness marking)
+// tracks this node's liveness. Registration is idempotent — every beat
+// carries the full state — so the router needs no catch-up protocol after
+// either side restarts.
+type Announcer struct {
+	svc    *Service
+	cfg    AnnouncerConfig
+	client *http.Client
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	beats     atomic.Uint64
+	beatFails atomic.Uint64
+	lastErr   atomic.Pointer[string]
+}
+
+// StartAnnouncer validates the config and starts the heartbeat loop, which
+// registers immediately and then beats every Interval. The first beat runs
+// on the loop goroutine — an unreachable router must not delay the caller's
+// serving path by a client timeout. Call Close to stop announcing.
+func StartAnnouncer(svc *Service, cfg AnnouncerConfig) (*Announcer, error) {
+	if cfg.RouterURL == "" {
+		return nil, fmt.Errorf("announcer: RouterURL is required")
+	}
+	if cfg.SelfURL == "" {
+		return nil, fmt.Errorf("announcer: SelfURL is required")
+	}
+	if cfg.ID == "" {
+		cfg.ID = cfg.SelfURL
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	a := &Announcer{
+		svc:    svc,
+		cfg:    cfg,
+		client: &http.Client{Timeout: 5 * time.Second},
+		stop:   make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a, nil
+}
+
+func (a *Announcer) loop() {
+	defer a.wg.Done()
+	if err := a.announce(); err != nil {
+		log.Printf("announcer: initial registration with %s failed (will retry every %v): %v",
+			a.cfg.RouterURL, a.cfg.Interval, err)
+	}
+	ticker := time.NewTicker(a.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			// Capture the previous state before announce overwrites it: log
+			// on state changes only, not every missed beat — a router restart
+			// would otherwise flood the log at heartbeat cadence.
+			wasFailing := a.lastErr.Load() != nil
+			if err := a.announce(); err != nil {
+				if !wasFailing {
+					log.Printf("announcer: registration with %s failing: %v", a.cfg.RouterURL, err)
+				}
+			} else if wasFailing {
+				log.Printf("announcer: registration with %s recovered", a.cfg.RouterURL)
+			}
+		}
+	}
+}
+
+// announce sends one registration beat carrying the current per-DC snapshot
+// generations.
+func (a *Announcer) announce() error {
+	gens := a.svc.Generations()
+	req := regproto.RegisterRequest{
+		ID:          a.cfg.ID,
+		URL:         a.cfg.SelfURL,
+		Datacenters: make([]regproto.RegisterDatacenter, 0, len(gens)),
+	}
+	for _, dc := range a.svc.Datacenters() {
+		req.Datacenters = append(req.Datacenters, regproto.RegisterDatacenter{Name: dc, Generation: gens[dc]})
+	}
+	body, err := json.Marshal(req)
+	if err == nil {
+		var hreq *http.Request
+		hreq, err = http.NewRequest("POST", a.cfg.RouterURL+"/v1/register", bytes.NewReader(body))
+		if err == nil {
+			hreq.Header.Set("Content-Type", "application/json")
+			if a.cfg.Token != "" {
+				hreq.Header.Set("Authorization", "Bearer "+a.cfg.Token)
+			}
+			var resp *http.Response
+			resp, err = a.client.Do(hreq)
+			if err == nil {
+				// Drain before closing so the keep-alive connection goes
+				// back to the pool — beats must not cost a TCP handshake
+				// each.
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("router returned %s", resp.Status)
+				}
+			}
+		}
+	}
+	if err != nil {
+		a.beatFails.Add(1)
+		msg := err.Error()
+		a.lastErr.Store(&msg)
+		return err
+	}
+	a.beats.Add(1)
+	a.lastErr.Store(nil)
+	return nil
+}
+
+// Beats reports successful and failed registration beats since start.
+func (a *Announcer) Beats() (ok, failed uint64) {
+	return a.beats.Load(), a.beatFails.Load()
+}
+
+// Close stops the heartbeat loop. The router will mark this node stale one
+// staleness window after the last beat.
+func (a *Announcer) Close() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}

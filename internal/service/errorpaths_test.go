@@ -1,0 +1,216 @@
+package service_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"harvest/internal/service"
+)
+
+// doRaw issues one request with an arbitrary method, returning the response
+// with its body drained and closed.
+func doRaw(t *testing.T, method, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestEndpointErrorPaths pins every endpoint's error status codes so they
+// are contracts, not accidents: wrong method → 405, unknown datacenter /
+// lease / server → 404, malformed or invalid JSON → 400. The ingest
+// hardening codes (401/429) get their own table below — they need a
+// differently configured API.
+func TestEndpointErrorPaths(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPI(svc))
+	defer srv.Close()
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		// GET /v1/datacenters
+		{"datacenters wrong method", "POST", "/v1/datacenters", "", http.StatusMethodNotAllowed},
+
+		// GET /v1/{dc}/classes
+		{"classes wrong method", "POST", "/v1/DC-9/classes", "", http.StatusMethodNotAllowed},
+		{"classes unknown dc", "GET", "/v1/DC-X/classes", "", http.StatusNotFound},
+
+		// GET /v1/{dc}/servers/{id}/class
+		{"server class wrong method", "POST", "/v1/DC-9/servers/1/class", "", http.StatusMethodNotAllowed},
+		{"server class unknown dc", "GET", "/v1/DC-X/servers/1/class", "", http.StatusNotFound},
+		{"server class non-integer id", "GET", "/v1/DC-9/servers/abc/class", "", http.StatusBadRequest},
+		{"server class unknown server", "GET", "/v1/DC-9/servers/99999999/class", "", http.StatusNotFound},
+
+		// POST /v1/{dc}/select
+		{"select wrong method", "GET", "/v1/DC-9/select", "", http.StatusMethodNotAllowed},
+		{"select unknown dc", "POST", "/v1/DC-X/select", `{"max_concurrent_cores":1}`, http.StatusNotFound},
+		{"select malformed json", "POST", "/v1/DC-9/select", `{"max_concurrent`, http.StatusBadRequest},
+		{"select zero cores", "POST", "/v1/DC-9/select", `{"max_concurrent_cores":0}`, http.StatusBadRequest},
+		{"select negative cores", "POST", "/v1/DC-9/select", `{"max_concurrent_cores":-3}`, http.StatusBadRequest},
+		{"select bad job type", "POST", "/v1/DC-9/select", `{"job_type":"eternal","max_concurrent_cores":1}`, http.StatusBadRequest},
+		{"select negative hold", "POST", "/v1/DC-9/select", `{"max_concurrent_cores":1,"hold_seconds":-1}`, http.StatusBadRequest},
+		{"select over-cap hold", "POST", "/v1/DC-9/select", `{"max_concurrent_cores":1,"hold_seconds":3601}`, http.StatusBadRequest},
+
+		// POST /v1/{dc}/release
+		{"release wrong method", "GET", "/v1/DC-9/release", "", http.StatusMethodNotAllowed},
+		{"release unknown dc", "POST", "/v1/DC-X/release", `{"lease":1}`, http.StatusNotFound},
+		{"release malformed json", "POST", "/v1/DC-9/release", `{"lease":`, http.StatusBadRequest},
+		{"release zero lease", "POST", "/v1/DC-9/release", `{"lease":0}`, http.StatusBadRequest},
+		{"release unknown lease", "POST", "/v1/DC-9/release", `{"lease":424242}`, http.StatusNotFound},
+
+		// POST /v1/{dc}/place
+		{"place wrong method", "GET", "/v1/DC-9/place", "", http.StatusMethodNotAllowed},
+		{"place unknown dc", "POST", "/v1/DC-X/place", `{"replication":3}`, http.StatusNotFound},
+		{"place malformed json", "POST", "/v1/DC-9/place", `replication=3`, http.StatusBadRequest},
+		{"place zero replication", "POST", "/v1/DC-9/place", `{"replication":0}`, http.StatusBadRequest},
+		{"place excessive replication", "POST", "/v1/DC-9/place", `{"replication":65}`, http.StatusBadRequest},
+
+		// POST /v1/{dc}/telemetry (open config; 401/429 in the table below)
+		{"telemetry wrong method", "GET", "/v1/DC-9/telemetry", "", http.StatusMethodNotAllowed},
+		{"telemetry unknown dc", "POST", "/v1/DC-X/telemetry", `{"samples":[{"tenant":0,"utilization":0.5}]}`, http.StatusNotFound},
+		{"telemetry malformed json", "POST", "/v1/DC-9/telemetry", `{"samples":[`, http.StatusBadRequest},
+		{"telemetry no samples", "POST", "/v1/DC-9/telemetry", `{"samples":[]}`, http.StatusBadRequest},
+
+		// GET /healthz, GET /metrics
+		{"healthz wrong method", "POST", "/healthz", "", http.StatusMethodNotAllowed},
+		{"metrics wrong method", "POST", "/metrics", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if resp := doRaw(t, tc.method, srv.URL+tc.path, tc.body); resp.StatusCode != tc.want {
+				t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// postTelemetryXFF posts one ingest sample carrying an X-Forwarded-For
+// header and returns the status.
+func postTelemetryXFF(t *testing.T, baseURL, forwardedFor string) int {
+	t.Helper()
+	req, err := http.NewRequest("POST", baseURL+"/v1/DC-9/telemetry",
+		strings.NewReader(`{"samples":[{"tenant":0,"utilization":0.5}]}`))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Forwarded-For", forwardedFor)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestIngestRateLimitTrustedProxy pins the per-source isolation of the rate
+// limit behind a router: for connections from a configured trusted proxy
+// the bucket key is the X-Forwarded-For client (port stripped) — distinct
+// emitters get distinct buckets, the same emitter shares one across
+// reconnects.
+func TestIngestRateLimitTrustedProxy(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPIWith(svc, service.APIOptions{
+		IngestRatePerSource: 0.0001, // effectively no refill within the test
+		IngestBurst:         1,
+		TrustedProxies:      []string{"127.0.0.1", "::1"}, // httptest connects over loopback
+	}))
+	defer srv.Close()
+
+	if got := postTelemetryXFF(t, srv.URL, "10.0.0.1:1234"); got != http.StatusOK {
+		t.Errorf("first client: status %d, want 200", got)
+	}
+	if got := postTelemetryXFF(t, srv.URL, "10.0.0.2:4321"); got != http.StatusOK {
+		t.Errorf("second client sharing the proxy conn: status %d, want 200 (own bucket)", got)
+	}
+	if got := postTelemetryXFF(t, srv.URL, "10.0.0.1:9999"); got != http.StatusTooManyRequests {
+		t.Errorf("first client reconnected: status %d, want 429 (same bucket, port stripped)", got)
+	}
+}
+
+// TestIngestRateLimitIgnoresUntrustedForwardedFor pins the failure-closed
+// side: when the connection does not come from a configured trusted proxy,
+// X-Forwarded-For is attacker-controlled noise and must not mint fresh
+// buckets.
+func TestIngestRateLimitIgnoresUntrustedForwardedFor(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPIWith(svc, service.APIOptions{
+		IngestRatePerSource: 0.0001,
+		IngestBurst:         1,
+		TrustedProxies:      []string{"192.0.2.77"}, // not the test's loopback peer
+	}))
+	defer srv.Close()
+
+	if got := postTelemetryXFF(t, srv.URL, "10.0.0.1:1234"); got != http.StatusOK {
+		t.Errorf("first request: status %d, want 200", got)
+	}
+	// A fresh spoofed header must not escape the RemoteAddr bucket.
+	if got := postTelemetryXFF(t, srv.URL, "10.99.99.99:1"); got != http.StatusTooManyRequests {
+		t.Errorf("spoofed X-Forwarded-For escaped the rate limit: status %d, want 429", got)
+	}
+}
+
+// TestIngestHardeningErrorPaths pins the 401/429 contract of the telemetry
+// endpoint under a hardened configuration. Rows run in order: the auth
+// rejections must not consume rate-limit tokens, the one authorized POST
+// drains the single-token bucket, and the next authorized POST trips 429.
+func TestIngestHardeningErrorPaths(t *testing.T) {
+	svc := newTestService(t)
+	srv := httptest.NewServer(service.NewAPIWith(svc, service.APIOptions{
+		IngestToken:         "sekrit",
+		IngestRatePerSource: 0.0001, // effectively no refill within the test
+		IngestBurst:         1,
+	}))
+	defer srv.Close()
+
+	sample := `{"samples":[{"tenant":0,"utilization":0.5}]}`
+	cases := []struct {
+		name  string
+		token string
+		want  int
+	}{
+		{"missing token", "", http.StatusUnauthorized},
+		{"wrong token", "Bearer wrong", http.StatusUnauthorized},
+		{"wrong scheme", "Basic sekrit", http.StatusUnauthorized},
+		{"authorized", "Bearer sekrit", http.StatusOK},
+		{"rate limited", "Bearer sekrit", http.StatusTooManyRequests},
+		{"still rate limited", "Bearer sekrit", http.StatusTooManyRequests},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest("POST", srv.URL+"/v1/DC-9/telemetry", strings.NewReader(sample))
+			if err != nil {
+				t.Fatalf("new request: %v", err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if tc.token != "" {
+				req.Header.Set("Authorization", tc.token)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("token %q: status %d, want %d", tc.token, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}

@@ -2,17 +2,19 @@ package service
 
 import (
 	"bytes"
-	"crypto/subtle"
 	"encoding/json"
 	"errors"
+	"log"
 	"net"
 	"net/http"
+	"net/netip"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"harvest/internal/core"
+	"harvest/internal/httpjson"
 	"harvest/internal/ledger"
 	"harvest/internal/tenant"
 )
@@ -36,8 +38,9 @@ type API struct {
 	start time.Time
 	opts  APIOptions
 
-	ingestLimiter *rateLimiter
-	endpoints     map[string]*EndpointMetrics
+	ingestLimiter  *rateLimiter
+	trustedProxies []netip.Prefix
+	endpoints      map[string]*EndpointMetrics
 }
 
 // APIOptions hardens the ingest surface. The query endpoints stay open —
@@ -53,6 +56,15 @@ type APIOptions struct {
 	// IngestBurst is the token bucket depth. Zero means 2 seconds' worth
 	// (minimum 1).
 	IngestBurst int
+	// TrustedProxies lists addresses (IPs or CIDRs) of harvestrouter
+	// instances fronting this daemon. For connections from one of them, the
+	// per-source rate limit keys on X-Forwarded-For (the original client)
+	// instead of the connection's remote address — otherwise every emitter
+	// proxied through the router would share the router's one bucket. The
+	// header is only honored from these addresses: X-Forwarded-For is
+	// client-controlled, so trusting it from arbitrary peers would let a
+	// directly connected abuser mint a fresh bucket per request.
+	TrustedProxies []string
 }
 
 // apiEndpoints names the instrumented endpoints, in /metrics display order.
@@ -79,6 +91,23 @@ func NewAPIWith(svc *Service, opts APIOptions) *API {
 			}
 		}
 		a.ingestLimiter = newRateLimiter(opts.IngestRatePerSource, float64(burst))
+	}
+	for _, s := range opts.TrustedProxies {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if p, err := netip.ParsePrefix(s); err == nil {
+			a.trustedProxies = append(a.trustedProxies, p.Masked())
+			continue
+		}
+		if ip, err := netip.ParseAddr(s); err == nil {
+			ip = ip.Unmap()
+			a.trustedProxies = append(a.trustedProxies, netip.PrefixFrom(ip, ip.BitLen()))
+			continue
+		}
+		// Skipping fails closed — the header just is not honored from here.
+		log.Printf("service: ignoring invalid trusted proxy %q", s)
 	}
 	for _, name := range apiEndpoints {
 		a.endpoints[name] = &EndpointMetrics{}
@@ -122,10 +151,6 @@ func (a *API) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		sw.ResponseWriter = nil
 		statusWriters.Put(sw)
 	}
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
 }
 
 // rateLimiter is a per-source token bucket. Telemetry ingestion is far off
@@ -185,6 +210,36 @@ func sourceKey(remoteAddr string) string {
 	return remoteAddr
 }
 
+// sourceKeyFor resolves the rate-limit key for a request: the X-Forwarded-For
+// client (first hop — what harvestrouter sets) when the connection comes from
+// a configured trusted proxy, the connection's remote address otherwise.
+func (a *API) sourceKeyFor(r *http.Request) string {
+	if len(a.trustedProxies) > 0 && a.fromTrustedProxy(r.RemoteAddr) {
+		if fwd := r.Header.Get("X-Forwarded-For"); fwd != "" {
+			if first, _, ok := strings.Cut(fwd, ","); ok {
+				fwd = first
+			}
+			return sourceKey(strings.TrimSpace(fwd))
+		}
+	}
+	return sourceKey(r.RemoteAddr)
+}
+
+// fromTrustedProxy reports whether the connection's peer is one of the
+// configured router addresses.
+func (a *API) fromTrustedProxy(remoteAddr string) bool {
+	addr, err := netip.ParseAddr(sourceKey(remoteAddr))
+	if err != nil {
+		return false
+	}
+	for _, p := range a.trustedProxies {
+		if p.Contains(addr.Unmap()) {
+			return true
+		}
+	}
+	return false
+}
+
 var bodyBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // maxBodyBytes caps POST bodies: the select/place requests are tens of
@@ -207,39 +262,14 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return err
 }
 
-// jsonScratch pools the encoder and its backing buffer so the hot query
-// endpoints serialize without a per-response allocation of either.
-type jsonScratch struct {
-	buf bytes.Buffer
-	enc *json.Encoder
-}
-
-var jsonScratches = sync.Pool{New: func() any {
-	s := &jsonScratch{}
-	s.enc = json.NewEncoder(&s.buf)
-	return s
-}}
-
-// writeJSON serializes v up front so every response carries an explicit
-// Content-Length and goes out in one write — never chunked, which keeps
-// pipelined clients (cmd/loadgen) trivial to parse against.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	s := jsonScratches.Get().(*jsonScratch)
-	s.buf.Reset()
-	if err := s.enc.Encode(v); err != nil {
-		jsonScratches.Put(s)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", strconv.Itoa(s.buf.Len()))
-	w.WriteHeader(status)
-	w.Write(s.buf.Bytes())
-	jsonScratches.Put(s)
-}
+// writeJSON and writeError are the serving tier's shared response
+// convention — pre-serialized, explicit Content-Length, never chunked, so
+// pipelined clients (cmd/loadgen) parse harvestd and harvestrouter
+// responses identically. The one implementation lives in internal/httpjson.
+func writeJSON(w http.ResponseWriter, status int, v any) { httpjson.Write(w, status, v) }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+	httpjson.WriteError(w, status, msg)
 }
 
 // snapshotFor resolves the {dc} path segment, writing the 404 itself when the
@@ -312,13 +342,14 @@ func classInfoOf(cls *core.UtilizationClass, usage map[core.ClassID]core.ClassUs
 }
 
 // ledgerAllocFor fetches the per-class occupancy aligned to a snapshot's
-// class ids, or nil while a re-key is in flight.
+// class ids, or nil while a re-key is in flight. Lock-free: this runs on the
+// hot query paths, which must not serialize against lease bookkeeping.
 func (a *API) ledgerAllocFor(snap *Snapshot) []int64 {
-	ls, ok := a.svc.LedgerStats(snap.Datacenter)
-	if !ok || ls.Generation != snap.Generation {
+	gen, alloc, ok := a.svc.LedgerOccupancy(snap.Datacenter)
+	if !ok || gen != snap.Generation {
 		return nil
 	}
-	return ls.AllocatedMillisByClass
+	return alloc
 }
 
 func (a *API) handleClasses(w http.ResponseWriter, r *http.Request) {
@@ -401,16 +432,11 @@ type telemetryResponse struct {
 }
 
 func (a *API) handleTelemetry(w http.ResponseWriter, r *http.Request) {
-	if a.opts.IngestToken != "" {
-		// subtle.ConstantTimeCompare is overkill for a shared cluster token,
-		// but the comparison is still written to not leak the prefix length.
-		if got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); !ok ||
-			subtle.ConstantTimeCompare([]byte(got), []byte(a.opts.IngestToken)) != 1 {
-			writeError(w, http.StatusUnauthorized, "missing or invalid ingest token")
-			return
-		}
+	if !httpjson.BearerAuthorized(r, a.opts.IngestToken) {
+		writeError(w, http.StatusUnauthorized, "missing or invalid ingest token")
+		return
 	}
-	if a.ingestLimiter != nil && !a.ingestLimiter.allow(sourceKey(r.RemoteAddr), time.Now()) {
+	if a.ingestLimiter != nil && !a.ingestLimiter.allow(a.sourceKeyFor(r), time.Now()) {
 		writeError(w, http.StatusTooManyRequests, "ingest rate limit exceeded for this source")
 		return
 	}

@@ -446,6 +446,17 @@ func (s *Service) Refresh(dc string) error {
 // Datacenters returns the served datacenter names in configuration order.
 func (s *Service) Datacenters() []string { return s.order }
 
+// Generations reports each datacenter's current snapshot generation — what a
+// registration beat announces to the router, so operators can spot a shard
+// whose characterization stopped advancing from the router's /metrics alone.
+func (s *Service) Generations() map[string]uint64 {
+	out := make(map[string]uint64, len(s.order))
+	for _, dc := range s.order {
+		out[dc] = s.shards[dc].snap.Load().Generation
+	}
+	return out
+}
+
 // Snapshot returns the current snapshot for a datacenter. The result is
 // immutable and remains valid (if stale) indefinitely.
 func (s *Service) Snapshot(dc string) (*Snapshot, bool) {
@@ -761,6 +772,19 @@ func (s *Service) LedgerStats(dc string) (ledger.Stats, bool) {
 		return ledger.Stats{}, false
 	}
 	return sh.led.Snapshot(), true
+}
+
+// LedgerOccupancy returns the ledger's generation and per-class occupancy
+// without touching the lease mutex — what the hot /classes and
+// /servers/{id}/class paths read, so they never serialize against
+// reservation bookkeeping.
+func (s *Service) LedgerOccupancy(dc string) (generation uint64, allocMillisByClass []int64, ok bool) {
+	sh, found := s.shards[dc]
+	if !found {
+		return 0, nil, false
+	}
+	generation, allocMillisByClass = sh.led.Occupancy()
+	return generation, allocMillisByClass, true
 }
 
 // PlaceOn runs replica placement (Alg. 2) against a snapshot the caller

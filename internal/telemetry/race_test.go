@@ -1,0 +1,153 @@
+package telemetry_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"harvest/internal/telemetry"
+	"harvest/internal/tenant"
+	"harvest/internal/timeseries"
+)
+
+// TestEvictStaleRaceWithIngestAndReaders hammers the ring-replacement path:
+// one writer ingests continuously (regrowing evicted rings), one evictor
+// calls EvictStale in a tight loop with a near-zero staleness window, and
+// lock-free readers snapshot/read throughout — under -race (CI runs the
+// whole suite with it) this pins the swap's memory safety, and the value↔
+// timestamp coupling below pins torn-read freedom and cursor monotonicity:
+//
+//   - every sample's value must equal valueFor(its own timestamp) — a reader
+//     pairing a new value with an old timestamp (or vice versa) fails this;
+//   - timestamps within one snapshot must be strictly increasing (the
+//     published cursor never runs backwards, through any number of evictions
+//     and regrows);
+//   - Last / LastValue / SeriesFor must never observe a value outside what
+//     the writer produced.
+func TestEvictStaleRaceWithIngestAndReaders(t *testing.T) {
+	const (
+		tenants    = 4
+		capacity   = 48
+		appendsPer = 4000
+		readers    = 3
+	)
+	interval := timeseries.SlotDuration
+	ids := make([]tenant.ID, tenants)
+	for i := range ids {
+		ids[i] = tenant.ID(i)
+	}
+	st := telemetry.NewStore(ids, interval, capacity)
+
+	// valueFor derives a sample's value from its slot index, so any
+	// value/timestamp mismatch a reader observes is a torn read.
+	valueFor := func(slot int64) float64 { return float64(slot%997) / 997 }
+	atOf := func(slot int64) time.Duration { return time.Duration(slot) * interval }
+
+	var stop atomic.Bool
+	var wg, writers sync.WaitGroup
+
+	// Writer: one goroutine per tenant, globally increasing slot offsets.
+	for _, id := range ids {
+		writers.Add(1)
+		go func(id tenant.ID) {
+			defer writers.Done()
+			for slot := int64(1); slot <= appendsPer; slot++ {
+				if _, err := st.Ingest(id, atOf(slot), valueFor(slot)); err != nil {
+					t.Errorf("Ingest(%v, slot %d): %v", id, slot, err)
+					return
+				}
+			}
+		}(id)
+	}
+
+	// Evictor: constant churn — with a 1ns staleness window nearly every
+	// pass evicts whatever rings hold data, and the next ingest regrows them.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			st.EvictStale(time.Nanosecond, time.Now().Add(time.Second))
+		}
+	}()
+
+	// Readers: lock-free snapshots and point reads, validated continuously.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var buf []telemetry.Sample
+			for !stop.Load() {
+				id := ids[r%tenants]
+				ring := st.Ring(id)
+				if ring == nil {
+					t.Errorf("Ring(%v) = nil for a known tenant", id)
+					return
+				}
+				buf = ring.Snapshot(buf[:0])
+				prev := time.Duration(-1)
+				for _, s := range buf {
+					if s.At <= prev {
+						t.Errorf("snapshot timestamps not strictly increasing: %v after %v", s.At, prev)
+						return
+					}
+					prev = s.At
+					slot := int64(s.At / interval)
+					if want := valueFor(slot); s.Value != want {
+						t.Errorf("torn read: slot %d has value %v, want %v", slot, s.Value, want)
+						return
+					}
+				}
+				if last, ok := ring.Last(); ok {
+					slot := int64(last.At / interval)
+					if want := valueFor(slot); last.Value != want {
+						t.Errorf("torn Last: slot %d has value %v, want %v", slot, last.Value, want)
+						return
+					}
+				}
+				if v := st.LastValue(id, -1); v != -1 {
+					if v < 0 || v >= 1 {
+						t.Errorf("LastValue = %v, outside the writer's range", v)
+						return
+					}
+				}
+				if s := st.SeriesFor(id); s != nil {
+					for _, v := range s.Values {
+						if v < 0 || v >= 1 {
+							t.Errorf("SeriesFor value %v outside the writer's range", v)
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Stop the churn once every writer has finished its appends, then let the
+	// evictor and readers drain.
+	writers.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	// The store-wide clocks survived the churn monotonically.
+	if got := st.Horizon(); got != atOf(appendsPer) {
+		t.Errorf("Horizon = %v, want %v", got, atOf(appendsPer))
+	}
+	if _, ok := st.LastIngestAt(); !ok {
+		t.Error("LastIngestAt unset after live ingest")
+	}
+	// Deterministic eviction coverage even if the churn loop lost every
+	// scheduling race: regrow each ring with one fresh sample, then a single
+	// explicit pass must reclaim all of them.
+	for _, id := range ids {
+		if _, err := st.Ingest(id, atOf(appendsPer+1), valueFor(appendsPer+1)); err != nil {
+			t.Fatalf("final Ingest(%v): %v", id, err)
+		}
+	}
+	if n := st.EvictStale(time.Nanosecond, time.Now().Add(time.Second)); n != tenants {
+		t.Errorf("final EvictStale evicted %d rings, want %d", n, tenants)
+	}
+	if st.Evictions() < tenants {
+		t.Errorf("Evictions = %d, want at least %d", st.Evictions(), tenants)
+	}
+}
