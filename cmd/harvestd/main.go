@@ -13,8 +13,8 @@
 //
 // Usage:
 //
-//	harvestd [-listen :7077] [-dcs DC-9,DC-3 | -dcs all] [-scale 0.05]
-//	         [-refresh 30s] [-ring-slots 21600] [-full-every 24]
+//	harvestd [-listen :7077] [-binary-addr :7078] [-dcs DC-9,DC-3 | -dcs all]
+//	         [-scale 0.05] [-refresh 30s] [-ring-slots 21600] [-full-every 24]
 //	         [-persist DIR] [-seed 1]
 //	         [-lease-ttl 2m] [-tenant-stale-after 0]
 //	         [-ingest-token TOKEN] [-ingest-rate 0]
@@ -27,6 +27,12 @@
 // one trace can be split across nodes (-dcs picks this node's subset) behind
 // one routing surface.
 //
+// With -binary-addr, a second listener speaks the binary frame protocol
+// (internal/wire) for the select/release/place/classes hot path — same
+// semantics as the JSON API at a fraction of the per-request cost. The
+// address is advertised on /v1/datacenters (and, with -announce, to the
+// router) so clients and routers discover it instead of configuring it.
+//
 // See README.md for the API routes; `cmd/loadgen` drives it (and its
 // -telemetry mode feeds it live samples).
 package main
@@ -37,6 +43,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -74,8 +81,36 @@ func advertisedURL(addr net.Addr) string {
 	return "http://" + net.JoinHostPort(host, port)
 }
 
+// advertisedHostPort derives an externally reachable host:port for a bound
+// auxiliary listener: the host comes from -advertise when set (the node
+// already knows its public name), otherwise from the listener with wildcard
+// hosts mapped to loopback; the port is always the bound one.
+func advertisedHostPort(bound net.Addr, advertise string) string {
+	_, port, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return bound.String()
+	}
+	host := ""
+	if advertise != "" {
+		if u, err := url.Parse(advertise); err == nil {
+			host = u.Hostname()
+		}
+	}
+	if host == "" {
+		if h, _, err := net.SplitHostPort(bound.String()); err == nil {
+			host = h
+		}
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
 func main() {
 	listen := flag.String("listen", ":7077", "address to serve the HTTP API on")
+	binaryAddr := flag.String("binary-addr", "", "address to serve the binary frame protocol on (empty disables)")
 	dcs := flag.String("dcs", "all", "comma-separated datacenters to serve, or \"all\"")
 	scaleFactor := flag.Float64("scale", 0.05, "datacenter scale relative to the paper's setup")
 	refresh := flag.Duration("refresh", 30*time.Second, "wall-clock period between snapshot rebuilds (0 disables)")
@@ -132,6 +167,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("harvestd: %v", err)
 	}
+	api := service.NewAPIWith(svc, service.APIOptions{
+		IngestToken:         *ingestToken,
+		IngestRatePerSource: *ingestRate,
+		TrustedProxies:      splitNonEmpty(*trustedProxies),
+	})
+	var binAdvertise string
+	if *binaryAddr != "" {
+		bs := service.NewBinaryServer(svc)
+		bound, _, err := bs.ListenAndServe(*binaryAddr)
+		if err != nil {
+			log.Fatalf("harvestd: binary listener: %v", err)
+		}
+		defer bs.Close()
+		binAdvertise = advertisedHostPort(bound, *advertise)
+		api.AttachBinary(bs, binAdvertise)
+		log.Printf("harvestd: binary protocol on %s (advertised as %s)", bound, binAdvertise)
+	}
 	if *announce != "" {
 		selfURL := *advertise
 		if selfURL == "" {
@@ -143,11 +195,12 @@ func main() {
 		}
 		for _, routerURL := range routers {
 			ann, err := service.StartAnnouncer(svc, service.AnnouncerConfig{
-				RouterURL: strings.TrimRight(routerURL, "/"),
-				SelfURL:   selfURL,
-				ID:        *nodeID,
-				Interval:  *announceEvery,
-				Token:     *announceToken,
+				RouterURL:  strings.TrimRight(routerURL, "/"),
+				SelfURL:    selfURL,
+				BinaryAddr: binAdvertise,
+				ID:         *nodeID,
+				Interval:   *announceEvery,
+				Token:      *announceToken,
 			})
 			if err != nil {
 				log.Fatalf("harvestd: %v", err)
@@ -161,11 +214,7 @@ func main() {
 	// batch; see internal/service/batchconn.go. The timeouts reclaim
 	// goroutines from clients that stall mid-header or idle forever.
 	server := &http.Server{
-		Handler: service.NewAPIWith(svc, service.APIOptions{
-			IngestToken:         *ingestToken,
-			IngestRatePerSource: *ingestRate,
-			TrustedProxies:      splitNonEmpty(*trustedProxies),
-		}),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

@@ -8,14 +8,22 @@
 //
 // Usage:
 //
-//	harvestrouter [-listen :7070] [-stale-after 10s] [-retry-after 2s]
+//	harvestrouter [-listen :7070] [-binary-listen :7071]
+//	              [-stale-after 10s] [-retry-after 2s]
 //	              [-breaker-fails 3] [-breaker-cooldown 2s]
 //	              [-register-token TOKEN]
 //
 // Pair it with backends like:
 //
-//	harvestd -listen :7081 -dcs DC-9 -announce http://127.0.0.1:7070
+//	harvestd -listen :7081 -binary-addr :7091 -dcs DC-9 -announce http://127.0.0.1:7070
 //	harvestd -listen :7082 -dcs DC-8 -announce http://127.0.0.1:7070
+//
+// -binary-listen adds a second listener speaking the length-prefixed binary
+// frame dialect (internal/wire) for the data-plane endpoints; it is
+// advertised as binary_addr on /v1/datacenters. Frames for backends that
+// announced their own binary listener are relayed natively over pooled
+// connections; frames for JSON-only backends are translated onto their HTTP
+// API, so a mixed fleet keeps working mid-rollout.
 package main
 
 import (
@@ -35,6 +43,8 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":7070", "address to serve on")
+	binaryListen := flag.String("binary-listen", "", "also serve the binary frame dialect on this address (empty disables)")
+	binaryAdvertise := flag.String("binary-advertise", "", "host:port to advertise as binary_addr on /v1/datacenters (default: derived from -binary-listen)")
 	staleAfter := flag.Duration("stale-after", 10*time.Second, "mark a backend stale (503 its datacenters) after this long without a heartbeat")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on stale-backend 503s")
 	breakerFails := flag.Int("breaker-fails", 3, "consecutive transport failures that open a backend's circuit (negative disables)")
@@ -53,6 +63,22 @@ func main() {
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("harvestrouter: %v", err)
+	}
+
+	var binErrs <-chan error
+	if *binaryListen != "" {
+		binAddr, errc, err := rt.ListenAndServeBinary(*binaryListen)
+		if err != nil {
+			log.Fatalf("harvestrouter: binary listener: %v", err)
+		}
+		defer rt.CloseBinary()
+		binErrs = errc
+		advertise := *binaryAdvertise
+		if advertise == "" {
+			advertise = localHostPort(binAddr)
+		}
+		rt.SetBinaryAdvertise(advertise)
+		log.Printf("harvestrouter: binary dialect on %s (advertised as %s)", binAddr, advertise)
 	}
 	server := &http.Server{
 		Handler:           rt,
@@ -73,5 +99,22 @@ func main() {
 	case err := <-errs:
 		fmt.Fprintf(os.Stderr, "harvestrouter: %v\n", err)
 		os.Exit(1)
+	case err := <-binErrs:
+		fmt.Fprintf(os.Stderr, "harvestrouter: binary listener: %v\n", err)
+		os.Exit(1)
 	}
+}
+
+// localHostPort renders a bound address as something dialable: a wildcard
+// host (":7071", "0.0.0.0", "::") becomes 127.0.0.1 — right for local
+// deployments; use -binary-advertise when clients connect from elsewhere.
+func localHostPort(bound net.Addr) string {
+	host, port, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return bound.String()
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }

@@ -25,9 +25,16 @@
 // Usage:
 //
 //	loadgen [-target http://127.0.0.1:7077] [-workers 2] [-pipeline 64]
-//	        [-duration 5s] [-rate 0] [-wait 0]
+//	        [-duration 5s] [-rate 0] [-wait 0] [-proto json|binary]
 //	        [-mix select=30,release=30,place=30,classes=5,server=5]
 //	        [-json]
+//
+// -proto binary drives the same mix over the length-prefixed binary frame
+// dialect (internal/wire) instead of HTTP/JSON. Discovery stays on the JSON
+// control plane: the target's /v1/datacenters must advertise binary_addr (a
+// harvestd started with -binary-addr, or a harvestrouter with
+// -binary-listen), and the query connections dial that address. Both pacing
+// modes work over either protocol.
 //
 // The target can equally be a harvestrouter front end: leases round-trip
 // through the router unchanged (the select response names the owning
@@ -81,6 +88,7 @@ import (
 	"harvest/internal/service"
 	"harvest/internal/tenant"
 	"harvest/internal/timeseries"
+	"harvest/internal/wire"
 )
 
 type op int
@@ -103,6 +111,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
 	rate := flag.Float64("rate", 0, "open-loop mode: scheduled requests/second across all workers (0 = closed loop)")
 	mix := flag.String("mix", "select=30,release=30,place=30,classes=5,server=5", "operation mix (weights)")
+	proto := flag.String("proto", "json", "query protocol: json (HTTP/1.1) or binary (length-prefixed frames; the target must advertise binary_addr)")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 	telemetry := flag.Bool("telemetry", false, "run as a telemetry emitter instead of a query load generator")
@@ -124,24 +133,42 @@ func main() {
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
+	if *proto != "json" && *proto != "binary" {
+		log.Fatalf("loadgen: -proto must be json or binary, got %q", *proto)
+	}
 	dcs, err := fetchSetupWait(baseURL, *wait)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
+	}
+	if *proto == "binary" {
+		// Capability discovery rides the JSON control plane; only the query
+		// connections switch dialects.
+		binAddr, err := retryUntil(*wait, func() (string, error) { return discoverBinaryAddr(baseURL) })
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		addr = binAddr
 	}
 	if *pipeline < 1 {
 		*pipeline = 1
 	}
 
 	results := make([]*workerStats, *workers)
-	var wg sync.WaitGroup
+	// Two barriers: runWG closes the measured clock the moment every worker's
+	// schedule (and its in-flight window) finishes; drainWG additionally
+	// covers the post-run lease drain. The drain is bookkeeping — releasing
+	// leases so the server's ledger balances — and must not stretch the wall
+	// time QPS divides by.
+	var runWG, drainWG sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(*duration)
 	for i := 0; i < *workers; i++ {
-		w := newWorker(addr, dcs, weights, *pipeline, rand.New(rand.NewSource(*seed+int64(i))))
+		w := newWorker(addr, *proto == "binary", dcs, weights, *pipeline, rand.New(rand.NewSource(*seed+int64(i))))
 		results[i] = &w.stats
-		wg.Add(1)
+		runWG.Add(1)
+		drainWG.Add(1)
 		go func(i int) {
-			defer wg.Done()
+			defer drainWG.Done()
 			if *rate > 0 {
 				// Worker i owns schedule ticks i, i+W, i+2W, … of the global
 				// 1/rate grid, so the union is exactly -rate requests/second.
@@ -150,14 +177,17 @@ func main() {
 			} else {
 				w.run(deadline)
 			}
+			runWG.Done()
 			w.drainLeases()
 		}(i)
 	}
-	wg.Wait()
-
+	runWG.Wait()
 	// Workers drain their in-flight window past the deadline, so throughput
-	// divides by the measured wall time, not the nominal -duration.
-	report(results, time.Since(start), *workers, *pipeline, *rate, *jsonOut)
+	// divides by the measured wall time — captured here, before the lease
+	// drain starts its own (unmeasured) connections.
+	elapsed := time.Since(start)
+	drainWG.Wait()
+	report(results, *proto, elapsed, *workers, *pipeline, *rate, *jsonOut)
 }
 
 // parseMix turns "select=40,place=40,..." into per-op weights. A repeated
@@ -255,6 +285,22 @@ func discoverDatacenters(baseURL string) ([]string, error) {
 	return dcl.Datacenters, nil
 }
 
+// discoverBinaryAddr reads the target's advertised binary frame listener
+// from the JSON control plane. Its absence is an error in -proto binary:
+// the operator asked for a dialect the target does not serve.
+func discoverBinaryAddr(baseURL string) (string, error) {
+	var dcl struct {
+		BinaryAddr string `json:"binary_addr"`
+	}
+	if err := getJSON(baseURL+"/v1/datacenters", &dcl); err != nil {
+		return "", err
+	}
+	if dcl.BinaryAddr == "" {
+		return "", fmt.Errorf("target does not advertise a binary listener (start harvestd with -binary-addr or harvestrouter with -binary-listen)")
+	}
+	return dcl.BinaryAddr, nil
+}
+
 // dcSetup is what the generator learns about one datacenter up front.
 type dcSetup struct {
 	name    string
@@ -318,14 +364,19 @@ type workerStats struct {
 	latency   service.Histogram
 }
 
-// inflight is one pipelined request awaiting its response.
+// inflight is one pipelined request awaiting its response. dc is the index
+// into worker.dcs the request targeted — the binary dialect's responses do
+// not name their datacenter (the JSON ones do), so lease and server
+// harvesting resolves the DC through the window entry instead.
 type inflight struct {
 	op     op
+	dc     int
 	sentAt time.Time
 }
 
 type worker struct {
 	addr    string
+	bin     bool // drive the binary frame dialect instead of HTTP/JSON
 	dcs     []dcSetup
 	rng     *rand.Rand
 	depth   int
@@ -350,11 +401,17 @@ type worker struct {
 	bodyBuf     []byte
 	window      []inflight
 	deadline    time.Time
+
+	// Binary-dialect decode scratch: the typed decoders reuse their slices,
+	// so steady-state response parsing allocates nothing.
+	selResp   wire.SelectResp
+	placeResp wire.PlaceResp
 }
 
-func newWorker(addr string, dcs []dcSetup, weights [numOps]int, depth int, rng *rand.Rand) *worker {
+func newWorker(addr string, bin bool, dcs []dcSetup, weights [numOps]int, depth int, rng *rand.Rand) *worker {
 	w := &worker{
 		addr:    addr,
+		bin:     bin,
 		dcs:     dcs,
 		rng:     rng,
 		depth:   depth,
@@ -370,18 +427,31 @@ func newWorker(addr string, dcs []dcSetup, weights [numOps]int, depth int, rng *
 			w.opTable = append(w.opTable, i)
 		}
 	}
-	jobTypes := []string{"short", "medium", "long"}
+	coreSizes := []int{2, 8, 32, 128}
 	for _, dc := range dcs {
 		// A spread of select shapes: every job type at several demand sizes.
-		for _, jt := range jobTypes {
-			for _, cores := range []int{2, 8, 32, 128} {
-				body := fmt.Sprintf(`{"job_type":%q,"max_concurrent_cores":%d}`, jt, cores)
-				w.selects[dc.name] = append(w.selects[dc.name],
-					buildRequest("POST", "/v1/"+dc.name+"/select", body))
+		// Pipelined responses return in order, so the request id carries no
+		// information; every frame uses id 0.
+		if bin {
+			for _, job := range []uint8{wire.JobShort, wire.JobMedium, wire.JobLong} {
+				for _, cores := range coreSizes {
+					w.selects[dc.name] = append(w.selects[dc.name],
+						wire.AppendSelectReq(nil, 0, dc.name, wire.SelectReq{Job: job, MaxCores: float64(cores)}))
+				}
 			}
+			w.places[dc.name] = wire.AppendPlaceReq(nil, 0, dc.name, wire.PlaceReq{Replication: 3, Writer: -1})
+			w.classes[dc.name] = wire.AppendClassesReq(nil, 0, dc.name)
+		} else {
+			for _, jt := range []string{"short", "medium", "long"} {
+				for _, cores := range coreSizes {
+					body := fmt.Sprintf(`{"job_type":%q,"max_concurrent_cores":%d}`, jt, cores)
+					w.selects[dc.name] = append(w.selects[dc.name],
+						buildRequest("POST", "/v1/"+dc.name+"/select", body))
+				}
+			}
+			w.places[dc.name] = buildRequest("POST", "/v1/"+dc.name+"/place", `{"replication":3}`)
+			w.classes[dc.name] = buildRequest("GET", "/v1/"+dc.name+"/classes", "")
 		}
-		w.places[dc.name] = buildRequest("POST", "/v1/"+dc.name+"/place", `{"replication":3}`)
-		w.classes[dc.name] = buildRequest("GET", "/v1/"+dc.name+"/classes", "")
 		w.pool[dc.name] = append([]int64(nil), dc.servers...)
 	}
 	return w
@@ -454,40 +524,46 @@ func (w *worker) reconnect() {
 // pickRequest draws the next operation from the mix and serializes it into
 // the worker's request buffer (or returns a preserialized one). A release
 // with no lease to release, or a server-class query with an empty server
-// pool, degrades to a classes query so the schedule never stalls.
-func (w *worker) pickRequest() (op, []byte) {
+// pool, degrades to a classes query so the schedule never stalls. The
+// returned index names the targeted datacenter in w.dcs.
+func (w *worker) pickRequest() (op, int, []byte) {
 	o := w.opTable[w.rng.Intn(len(w.opTable))]
-	dc := w.dcs[w.rng.Intn(len(w.dcs))]
+	dci := w.rng.Intn(len(w.dcs))
+	dc := w.dcs[dci]
 	switch o {
 	case opSelect:
 		variants := w.selects[dc.name]
-		return o, variants[w.rng.Intn(len(variants))]
+		return o, dci, variants[w.rng.Intn(len(variants))]
 	case opRelease:
 		id, ok := w.popLease(dc.name)
 		if !ok {
-			return opClasses, w.classes[dc.name]
+			return opClasses, dci, w.classes[dc.name]
 		}
-		return o, w.buildReleaseRequest(dc.name, id)
+		return o, dci, w.buildReleaseRequest(dc.name, id)
 	case opPlace:
-		return o, w.places[dc.name]
+		return o, dci, w.places[dc.name]
 	case opServer:
 		w.mu.Lock()
 		pool := w.pool[dc.name]
 		if len(pool) == 0 {
 			w.mu.Unlock()
-			return opClasses, w.classes[dc.name]
+			return opClasses, dci, w.classes[dc.name]
 		}
 		id := pool[w.rng.Intn(len(pool))]
 		w.mu.Unlock()
+		if w.bin {
+			w.reqBuf = wire.AppendServerClassReq(w.reqBuf[:0], 0, dc.name, id)
+			return o, dci, w.reqBuf
+		}
 		w.reqBuf = w.reqBuf[:0]
 		w.reqBuf = append(w.reqBuf, "GET /v1/"...)
 		w.reqBuf = append(w.reqBuf, dc.name...)
 		w.reqBuf = append(w.reqBuf, "/servers/"...)
 		w.reqBuf = strconv.AppendInt(w.reqBuf, id, 10)
 		w.reqBuf = append(w.reqBuf, "/class HTTP/1.1\r\nHost: harvestd\r\n\r\n"...)
-		return o, w.reqBuf
+		return o, dci, w.reqBuf
 	}
-	return opClasses, w.classes[dc.name]
+	return opClasses, dci, w.classes[dc.name]
 }
 
 // popLease takes the oldest held lease for a datacenter (FIFO, so holds have
@@ -510,9 +586,13 @@ func (w *worker) popLease(dc string) (uint64, bool) {
 // books count as expired, keeping the invariant intact).
 const maxHeldLeases = 1 << 16
 
-// buildReleaseRequest serializes a release POST into the worker's request
+// buildReleaseRequest serializes a release request into the worker's request
 // buffer — shared by the in-mix release op and the end-of-run drain.
 func (w *worker) buildReleaseRequest(dc string, id uint64) []byte {
+	if w.bin {
+		w.reqBuf = wire.AppendReleaseReq(w.reqBuf[:0], 0, dc, id)
+		return w.reqBuf
+	}
 	w.bodyScratch = append(w.bodyScratch[:0], `{"lease":`...)
 	w.bodyScratch = strconv.AppendUint(w.bodyScratch, id, 10)
 	w.bodyScratch = append(w.bodyScratch, '}')
@@ -569,26 +649,39 @@ func (w *worker) harvestLease(body []byte) {
 // enqueue writes one request into the batch buffer and records it in the
 // window.
 func (w *worker) enqueue() error {
-	o, req := w.pickRequest()
+	o, dci, req := w.pickRequest()
 	if _, err := w.bw.Write(req); err != nil {
 		return err
 	}
-	w.window = append(w.window, inflight{op: o, sentAt: time.Now()})
+	w.window = append(w.window, inflight{op: o, dc: dci, sentAt: time.Now()})
 	return nil
 }
 
 // readOne parses the next pipelined response, accounts it against the oldest
 // window entry, and feeds the server pool from place responses.
 func (w *worker) readOne() error {
+	entry := w.window[0]
+	var err error
+	if w.bin {
+		err = w.readOneBinary(entry)
+	} else {
+		err = w.readOneJSON(entry)
+	}
+	if err != nil {
+		return err
+	}
+	copy(w.window, w.window[1:])
+	w.window = w.window[:len(w.window)-1]
+	w.stats.latency.Observe(time.Since(entry.sentAt))
+	return nil
+}
+
+func (w *worker) readOneJSON(entry inflight) error {
 	status, body, err := readResponse(w.br, w.bodyBuf[:0])
 	if err != nil {
 		return err
 	}
 	w.bodyBuf = body[:0]
-	entry := w.window[0]
-	copy(w.window, w.window[1:])
-	w.window = w.window[:len(w.window)-1]
-
 	w.stats.requests[entry.op]++
 	if status >= 400 {
 		w.stats.errors[entry.op]++
@@ -597,8 +690,52 @@ func (w *worker) readOne() error {
 	} else if entry.op == opSelect {
 		w.harvestLease(body)
 	}
-	w.stats.latency.Observe(time.Since(entry.sentAt))
 	return nil
+}
+
+// readOneBinary consumes one response frame. An error frame counts as an
+// error against the entry's op, mirroring the JSON path's status>=400.
+func (w *worker) readOneBinary(entry inflight) error {
+	h, payload, err := wire.ReadFrame(w.br, &w.bodyBuf)
+	if err != nil {
+		return err
+	}
+	w.stats.requests[entry.op]++
+	if h.Op == wire.OpError {
+		w.stats.errors[entry.op]++
+		return nil
+	}
+	switch entry.op {
+	case opSelect:
+		if w.selResp.Decode(payload) == nil && w.selResp.Lease != 0 {
+			w.holdLease(w.dcs[entry.dc].name, w.selResp.Lease)
+		}
+	case opPlace:
+		if w.placeResp.Decode(payload) == nil {
+			w.addServers(w.dcs[entry.dc].name, w.placeResp.Replicas)
+		}
+	}
+	return nil
+}
+
+// holdLease adds a reserved lease to the held pool for a later release.
+func (w *worker) holdLease(dc string, id uint64) {
+	w.mu.Lock()
+	if len(w.held[dc]) < maxHeldLeases {
+		w.held[dc] = append(w.held[dc], id)
+	}
+	w.mu.Unlock()
+}
+
+// addServers tops up the server pool the server-class queries draw from.
+func (w *worker) addServers(dc string, ids []int64) {
+	w.mu.Lock()
+	pool := w.pool[dc]
+	if len(pool) < 1024 {
+		pool = append(pool, ids...)
+		w.pool[dc] = pool
+	}
+	w.mu.Unlock()
 }
 
 // runOpen is the open-loop mode: requests fire at fixed scheduled instants
@@ -627,6 +764,28 @@ func (w *worker) runOpen(first, deadline time.Time, interval time.Duration) {
 				w.stats.transport.Add(1)
 				continue
 			}
+			if w.bin {
+				h, payload, err := wire.ReadFrame(w.br, &bodyBuf)
+				if err != nil {
+					w.stats.transport.Add(1)
+					dead = true
+					continue
+				}
+				w.stats.requests[entry.op]++
+				if h.Op == wire.OpError {
+					w.stats.errors[entry.op]++
+				} else if entry.op == opSelect {
+					if w.selResp.Decode(payload) == nil && w.selResp.Lease != 0 {
+						w.holdLease(w.dcs[entry.dc].name, w.selResp.Lease)
+					}
+				} else if entry.op == opPlace {
+					if w.placeResp.Decode(payload) == nil {
+						w.addServers(w.dcs[entry.dc].name, w.placeResp.Replicas)
+					}
+				}
+				w.stats.latency.Observe(time.Since(entry.sentAt))
+				continue
+			}
 			status, body, err := readResponse(w.br, bodyBuf[:0])
 			if err != nil {
 				w.stats.transport.Add(1)
@@ -649,7 +808,7 @@ func (w *worker) runOpen(first, deadline time.Time, interval time.Duration) {
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		o, req := w.pickRequest()
+		o, dci, req := w.pickRequest()
 		if _, err := w.bw.Write(req); err != nil {
 			w.stats.transport.Add(1)
 			break
@@ -659,7 +818,7 @@ func (w *worker) runOpen(first, deadline time.Time, interval time.Duration) {
 			break
 		}
 		// Latency clock starts at the scheduled instant, not the send.
-		sched <- inflight{op: o, sentAt: next}
+		sched <- inflight{op: o, dc: dci, sentAt: next}
 	}
 	close(sched)
 	<-readerDone
@@ -692,6 +851,13 @@ func (w *worker) drainLeases() {
 			return false
 		}
 		for ; inFlight > 0; inFlight-- {
+			if w.bin {
+				if _, _, err := wire.ReadFrame(w.br, &w.bodyBuf); err != nil {
+					w.stats.transport.Add(1)
+					return false
+				}
+				continue
+			}
 			if _, body, err := readResponse(w.br, w.bodyBuf[:0]); err != nil {
 				w.stats.transport.Add(1)
 				return false
@@ -935,6 +1101,7 @@ func runTelemetryEmitter(baseURL string, scale float64, seed int64, duration, in
 // the CI smoke step consume it.
 type jsonReport struct {
 	Mode            string            `json:"mode"`
+	Proto           string            `json:"proto"`
 	DurationSeconds float64           `json:"duration_seconds"`
 	Workers         int               `json:"workers"`
 	Pipeline        int               `json:"pipeline"`
@@ -960,11 +1127,12 @@ type opStat struct {
 	Errors   uint64 `json:"errors"`
 }
 
-func report(results []*workerStats, duration time.Duration, workers, pipeline int, rate float64, jsonOut bool) {
+func report(results []*workerStats, proto string, duration time.Duration, workers, pipeline int, rate float64, jsonOut bool) {
 	// Merge worker histograms into one for the global percentiles.
 	var merged service.Histogram
 	rep := jsonReport{
 		Mode:            "closed-loop",
+		Proto:           proto,
 		DurationSeconds: duration.Seconds(),
 		Workers:         workers,
 		Pipeline:        pipeline,
@@ -1004,9 +1172,9 @@ func report(results []*workerStats, duration time.Duration, workers, pipeline in
 		return
 	}
 	if rate > 0 {
-		fmt.Printf("loadgen: open loop at %.0f req/s across %d workers for %v\n", rate, workers, duration)
+		fmt.Printf("loadgen: open loop at %.0f req/s across %d workers for %v (%s)\n", rate, workers, duration, proto)
 	} else {
-		fmt.Printf("loadgen: %d workers x pipeline %d for %v\n", workers, pipeline, duration)
+		fmt.Printf("loadgen: %d workers x pipeline %d for %v (%s)\n", workers, pipeline, duration, proto)
 	}
 	fmt.Printf("  %d requests, %d errors, %d reconnects\n", rep.Requests, rep.Errors, rep.Reconnects)
 	fmt.Printf("  throughput: %.0f queries/sec\n", rep.QPS)

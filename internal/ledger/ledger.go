@@ -22,9 +22,11 @@
 package ledger
 
 import (
+	crand "crypto/rand"
 	"errors"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -126,9 +128,9 @@ type lease struct {
 type Ledger struct {
 	tab atomic.Pointer[table]
 
-	mu     sync.Mutex // guards leases, nextID, and table swaps
+	mu     sync.Mutex // guards leases, idrng, and table swaps
 	leases map[uint64]*lease
-	nextID uint64
+	idrng  *rand.ChaCha8
 
 	// Cumulative counters. The conservation invariant is
 	//   reserved == released + expired + forfeited + outstanding
@@ -145,9 +147,39 @@ type Ledger struct {
 
 // New creates an empty ledger for the given clustering generation.
 func New(generation uint64, numClasses int) *Ledger {
-	l := &Ledger{leases: make(map[uint64]*lease)}
+	var seed [32]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		// The platform CSPRNG failing is unrecoverable (crypto/rand panics on
+		// its own read paths for the same reason): lease ids would be
+		// guessable, which release turns into a capability.
+		panic("ledger: reading CSPRNG seed: " + err.Error())
+	}
+	l := &Ledger{leases: make(map[uint64]*lease), idrng: rand.NewChaCha8(seed)}
 	l.tab.Store(newTable(generation, numClasses))
 	return l
+}
+
+// maxJSONSafeID bounds lease ids to 53 bits: the JSON API carries them as
+// numbers, and float64-backed consumers (JavaScript, jq) silently round
+// integers past 2^53 — a client would then release a lease id the server
+// never issued. 2^53 random values are still far beyond enumerable.
+const maxJSONSafeID = 1<<53 - 1
+
+// newLeaseID draws an unguessable nonzero lease id, retrying the (vanishing)
+// zero and collision cases. Ids double as release capabilities once they
+// cross process boundaries — the binary wire protocol freezes them as opaque
+// 64-bit values — so they must not be enumerable the way a counter is.
+// Called with l.mu held.
+func (l *Ledger) newLeaseID() uint64 {
+	for {
+		id := l.idrng.Uint64() & maxJSONSafeID
+		if id == 0 {
+			continue
+		}
+		if _, taken := l.leases[id]; !taken {
+			return id
+		}
+	}
 }
 
 // Generation returns the clustering generation the ledger is keyed to.
@@ -235,8 +267,7 @@ func (l *Ledger) Reserve(generation uint64, reqs []Request, ttl time.Duration, n
 		l.conflicts.Add(1)
 		return Lease{}, ErrStaleGeneration
 	}
-	l.nextID++
-	ls := &lease{id: l.nextID, grants: grants}
+	ls := &lease{id: l.newLeaseID(), grants: grants}
 	if ttl > 0 {
 		ls.expiresAt = now.Add(ttl)
 	}
@@ -447,7 +478,6 @@ type PersistedLease struct {
 // State is the ledger's full persistable state.
 type State struct {
 	Generation      uint64           `json:"generation"`
-	NextID          uint64           `json:"next_id"`
 	ReservedMillis  int64            `json:"reserved_millis"`
 	ReleasedMillis  int64            `json:"released_millis"`
 	ExpiredMillis   int64            `json:"expired_millis"`
@@ -465,7 +495,6 @@ func (l *Ledger) Export() State {
 	defer l.mu.Unlock()
 	st := State{
 		Generation:      l.tab.Load().generation,
-		NextID:          l.nextID,
 		ReservedMillis:  l.reservedMillis.Load(),
 		ReleasedMillis:  l.releasedMillis.Load(),
 		ExpiredMillis:   l.expiredMillis.Load(),
@@ -493,7 +522,6 @@ func Restore(st State, generation uint64, numClasses int) (*Ledger, error) {
 	}
 	l := New(generation, numClasses)
 	t := l.tab.Load()
-	l.nextID = st.NextID
 	l.reservedMillis.Store(st.ReservedMillis)
 	l.releasedMillis.Store(st.ReleasedMillis)
 	l.expiredMillis.Store(st.ExpiredMillis)
@@ -503,8 +531,8 @@ func Restore(st State, generation uint64, numClasses int) (*Ledger, error) {
 	l.expiries.Store(st.Expiries)
 	l.conflicts.Store(st.Conflicts)
 	for _, pl := range st.Leases {
-		if pl.ID == 0 || pl.ID > st.NextID {
-			return nil, fmt.Errorf("ledger: lease id %d out of range", pl.ID)
+		if pl.ID == 0 {
+			return nil, fmt.Errorf("ledger: zero lease id")
 		}
 		if _, dup := l.leases[pl.ID]; dup {
 			return nil, fmt.Errorf("ledger: duplicate lease id %d", pl.ID)

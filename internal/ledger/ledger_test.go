@@ -315,13 +315,14 @@ func TestExportRestore(t *testing.T) {
 	if got, _ := restored.AllocatedCores(3, 0); got != 2 {
 		t.Errorf("restored allocation = %v, want 2", got)
 	}
-	// The restored ledger keeps issuing fresh ids past the persisted ones.
+	// The restored ledger keeps issuing fresh unique ids alongside the
+	// persisted ones (ids are random draws, not a resumed counter).
 	next, err := restored.Reserve(3, []ledger.Request{{Class: 0, Cores: 1, Capacity: 10}}, 0, now)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if next.ID <= keep.ID {
-		t.Errorf("restored id %d not past persisted %d", next.ID, keep.ID)
+	if next.ID == 0 || next.ID == keep.ID || next.ID == gone.ID {
+		t.Errorf("restored id %d collides or is zero (persisted %d, %d)", next.ID, keep.ID, gone.ID)
 	}
 	if _, err := restored.Release(keep.ID); err != nil {
 		t.Errorf("restored lease not releasable: %v", err)
@@ -338,4 +339,41 @@ func TestExportRestore(t *testing.T) {
 		t.Fatalf("shrunk Restore: %v", err)
 	}
 	checkConservation(t, shrunk)
+}
+
+// TestLeaseIDsUnguessable pins the lease-id hardening: ids are random
+// 53-bit draws (capped so float64-backed JSON consumers round-trip them
+// exactly), per-ledger independent, never zero, and nothing like the old
+// enumerable counter. (A sequential ledger would hand out 1, 2, 3 here.)
+func TestLeaseIDsUnguessable(t *testing.T) {
+	now := time.Now()
+	ids := make(map[uint64]bool)
+	small := 0
+	for range 2 {
+		l := ledger.New(1, 1)
+		for range 8 {
+			ls, err := l.Reserve(1, []ledger.Request{{Class: 0, Cores: 0.001, Capacity: 1000}}, 0, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ls.ID == 0 {
+				t.Fatal("zero lease id issued")
+			}
+			if ids[ls.ID] {
+				t.Fatalf("duplicate lease id %d across ledgers", ls.ID)
+			}
+			ids[ls.ID] = true
+			if ls.ID >= 1<<53 {
+				t.Fatalf("lease id %d exceeds the float64-exact JSON range", ls.ID)
+			}
+			if ls.ID <= 1<<32 {
+				small++
+			}
+		}
+	}
+	// 16 uniform draws from 2^53 each land under 2^32 with probability
+	// ~2^-21. Allow one for paranoia's sake.
+	if small > 1 {
+		t.Fatalf("%d of 16 ids in the low 32-bit range — not uniform draws", small)
+	}
 }

@@ -18,8 +18,14 @@ type RegisterDatacenter struct {
 // The same body re-registers: ID is the stable identity, URL and the
 // datacenter set are updated on every beat.
 type RegisterRequest struct {
-	ID          string               `json:"id"`
-	URL         string               `json:"url"`
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// BinaryAddr is the backend's binary frame listener (host:port), empty
+	// for a JSON-only backend. Its presence is the capability negotiation:
+	// the router forwards data-plane frames natively to backends that
+	// advertise it and translates to JSON for the rest, so mixed fleets
+	// keep working mid-rollout.
+	BinaryAddr  string               `json:"binary_addr,omitempty"`
 	Datacenters []RegisterDatacenter `json:"datacenters"`
 }
 

@@ -1,0 +1,678 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"harvest/internal/ledger"
+	"harvest/internal/signalproc"
+	"harvest/internal/wire"
+)
+
+// The router's binary data plane. The front end accepts the same
+// length-prefixed frame dialect harvestd serves (internal/wire) and relays
+// each data-plane request to the shard owning its datacenter:
+//
+//   - A backend that advertised binary_addr in its register heartbeat gets
+//     the frame verbatim over a pooled TCP connection — no decode, no
+//     re-encode, no HTTP. The response frame is relayed back the same way
+//     after its echoed request id is validated.
+//   - A JSON-only backend gets the frame translated onto its HTTP API and
+//     the JSON response translated back into a frame, so a binary client
+//     works against a mixed fleet mid-rollout; the extra cost lands only on
+//     backends that haven't upgraded.
+//
+// Registration, discovery, and metrics stay on the JSON control plane: the
+// binary listener serves data-plane opcodes only.
+
+const (
+	// binFrontIdleTimeout mirrors harvestd's binary server: an idle client
+	// conn is dropped after this long.
+	binFrontIdleTimeout = 2 * time.Minute
+	// binPoolIdleMax discards pooled backend conns idle this long — well
+	// below the backends' 2-minute server-side idle timeout, so the router
+	// drops a conn before the backend does (a reuse racing the backend's
+	// close would read as a spurious transport failure, same reasoning as
+	// the HTTP transport's IdleConnTimeout).
+	binPoolIdleMax = 30 * time.Second
+	// binPoolCap bounds pooled conns per backend; extras are closed on
+	// return rather than kept.
+	binPoolCap = 16
+	// binFlushLimit force-flushes a response batch even while more pipelined
+	// requests are buffered, bounding client-visible latency and router
+	// memory under a pathological burst.
+	binFlushLimit = 64 << 10
+)
+
+// pooledBin is one idle connection to a backend's binary listener, with its
+// read buffer and response scratch kept alongside so reuse is allocation-free.
+type pooledBin struct {
+	c       net.Conn
+	br      *bufio.Reader
+	scratch []byte
+	idleAt  time.Time
+}
+
+// getBin pops a pooled connection to addr or dials a fresh one. Conns idle
+// past binPoolIdleMax are discarded on the way.
+func (b *backend) getBin(addr string, dialTimeout time.Duration) (*pooledBin, error) {
+	now := time.Now()
+	b.binMu.Lock()
+	for len(b.binIdle) > 0 {
+		pc := b.binIdle[len(b.binIdle)-1]
+		b.binIdle = b.binIdle[:len(b.binIdle)-1]
+		if now.Sub(pc.idleAt) > binPoolIdleMax {
+			pc.c.Close()
+			continue
+		}
+		b.binMu.Unlock()
+		return pc, nil
+	}
+	b.binMu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &pooledBin{c: c, br: bufio.NewReaderSize(c, 64<<10)}, nil
+}
+
+// putBin returns a healthy connection to the pool (or closes it when the
+// pool is full). Only conns whose last exchange fully completed may be
+// returned — a half-read response would corrupt the next exchange.
+func (b *backend) putBin(pc *pooledBin) {
+	pc.idleAt = time.Now()
+	b.binMu.Lock()
+	if len(b.binIdle) < binPoolCap {
+		b.binIdle = append(b.binIdle, pc)
+		b.binMu.Unlock()
+		return
+	}
+	b.binMu.Unlock()
+	pc.c.Close()
+}
+
+// closeBinPool drops every pooled connection; called when the backend's
+// binary address changes or the backend is collected.
+func (b *backend) closeBinPool() {
+	b.binMu.Lock()
+	idle := b.binIdle
+	b.binIdle = nil
+	b.binMu.Unlock()
+	for _, pc := range idle {
+		pc.c.Close()
+	}
+}
+
+// SetBinaryAdvertise records the host:port published as binary_addr on
+// /v1/datacenters and /metrics. Call before serving traffic.
+func (rt *Router) SetBinaryAdvertise(addr string) { rt.binAdvertise = addr }
+
+// ListenAndServeBinary binds addr and serves the binary dialect on it. The
+// returned channel yields the accept loop's exit error (nil on Close).
+func (rt *Router) ListenAndServeBinary(addr string) (net.Addr, <-chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- rt.ServeBinary(ln) }()
+	return ln.Addr(), errc, nil
+}
+
+// ServeBinary accepts frame connections on ln until CloseBinary. Returns nil
+// on a close-initiated exit, the accept error otherwise.
+func (rt *Router) ServeBinary(ln net.Listener) error {
+	rt.binMu.Lock()
+	if rt.binClosed {
+		rt.binMu.Unlock()
+		ln.Close()
+		return nil
+	}
+	rt.binLn = ln
+	if rt.binConns == nil {
+		rt.binConns = make(map[net.Conn]struct{})
+	}
+	rt.binMu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			rt.binMu.Lock()
+			closed := rt.binClosed
+			rt.binMu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		rt.binMu.Lock()
+		if rt.binClosed {
+			rt.binMu.Unlock()
+			c.Close()
+			return nil
+		}
+		rt.binConns[c] = struct{}{}
+		rt.binWG.Add(1)
+		rt.binMu.Unlock()
+		rt.binAccepted.Add(1)
+		rt.binOpenConns.Add(1)
+		go rt.serveBinaryConn(c)
+	}
+}
+
+// CloseBinary stops the binary listener and closes every client connection,
+// then waits for their handlers. Safe to call with no listener serving.
+func (rt *Router) CloseBinary() {
+	rt.binMu.Lock()
+	rt.binClosed = true
+	ln := rt.binLn
+	conns := make([]net.Conn, 0, len(rt.binConns))
+	for c := range rt.binConns {
+		conns = append(conns, c)
+	}
+	rt.binMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	rt.binWG.Wait()
+}
+
+func (rt *Router) dropBinConn(c net.Conn) {
+	c.Close()
+	rt.binMu.Lock()
+	delete(rt.binConns, c)
+	rt.binMu.Unlock()
+	rt.binOpenConns.Add(-1)
+	rt.binWG.Done()
+}
+
+// readRawFrame reads one whole frame — header and payload — into *scratch and
+// returns the parsed header plus the raw bytes, ready to forward verbatim.
+func readRawFrame(br *bufio.Reader, scratch *[]byte) (wire.Header, []byte, error) {
+	buf := *scratch
+	if cap(buf) < wire.HeaderSize {
+		buf = make([]byte, wire.HeaderSize, 4096)
+	}
+	buf = buf[:wire.HeaderSize]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = wire.ErrBadFrame
+		}
+		return wire.Header{}, nil, err
+	}
+	h, err := wire.ParseHeader(buf)
+	if err != nil {
+		return wire.Header{}, nil, err
+	}
+	total := wire.HeaderSize + int(h.Len)
+	if cap(buf) < total {
+		nb := make([]byte, total)
+		copy(nb, buf[:wire.HeaderSize])
+		buf = nb
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(br, buf[wire.HeaderSize:]); err != nil {
+		return wire.Header{}, nil, wire.ErrBadFrame
+	}
+	*scratch = buf
+	return h, buf, nil
+}
+
+// serveBinaryConn is one client connection's loop: read a frame, relay it,
+// flush responses whenever the input goes quiet (pipelined bursts get their
+// responses in one write, same discipline as the backends' binary server).
+func (rt *Router) serveBinaryConn(c net.Conn) {
+	defer rt.dropBinConn(c)
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var raw []byte
+	for {
+		if br.Buffered() < wire.HeaderSize {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+		c.SetReadDeadline(time.Now().Add(binFrontIdleTimeout))
+		h, frame, err := readRawFrame(br, &raw)
+		if err != nil {
+			if err != io.EOF {
+				// Garbage framing: nothing on this conn can be trusted
+				// anymore (we may be mid-stream). Close without answering.
+				rt.binFramingErrors.Add(1)
+			}
+			bw.Flush()
+			return
+		}
+		rt.relayBinary(bw, h, frame)
+		if bw.Buffered() >= binFlushLimit {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// binReject appends a router-originated error frame (bad request, unknown
+// datacenter, shard unavailable).
+func (rt *Router) binReject(bw *bufio.Writer, id uint64, code uint16, msg string) {
+	rt.binRejected.Add(1)
+	bw.Write(wire.AppendErrorResp(nil, id, code, msg))
+}
+
+// relayBinary routes one request frame: resolve the datacenter, apply the
+// same staleness and breaker gates as the HTTP proxy, then forward natively
+// or translate to JSON depending on what the backend advertised.
+func (rt *Router) relayBinary(bw *bufio.Writer, h wire.Header, frame []byte) {
+	payload := frame[wire.HeaderSize:]
+	if !h.Op.IsRequest() {
+		rt.binReject(bw, h.ID, 400, "unknown opcode "+strconv.Itoa(int(h.Op)))
+		return
+	}
+	dcb, ok := wire.PeekDC(payload)
+	if !ok {
+		rt.binReject(bw, h.ID, 400, "bad request payload")
+		return
+	}
+	rt.mu.RLock()
+	b := rt.table[string(dcb)]
+	var baseURL, binAddr string
+	if b != nil {
+		// Copied under the lock, like the HTTP path: registration beats
+		// rewrite these under the write lock.
+		baseURL, binAddr = b.url, b.binAddr
+	}
+	rt.mu.RUnlock()
+	dc := string(dcb)
+	if b == nil {
+		rt.binReject(bw, h.ID, 404, "unknown datacenter "+strconv.Quote(dc))
+		return
+	}
+	now := rt.now()
+	if !rt.alive(b, now) {
+		if cutoff := now.Add(-10 * rt.cfg.StaleAfter).UnixNano(); b.lastBeat.Load() <= cutoff {
+			rt.collectBackend(b, cutoff)
+			rt.binReject(bw, h.ID, 404, "unknown datacenter "+strconv.Quote(dc))
+			return
+		}
+		rt.unavailable.Add(1)
+		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" missed heartbeats")
+		return
+	}
+	// Breaker gate, same shape as the HTTP path: open → fast 503 frame;
+	// half-open → exactly one CAS winner probes.
+	probe := false
+	if openUntil := b.openUntil.Load(); openUntil != 0 {
+		if openUntil > now.UnixNano() {
+			rt.unavailable.Add(1)
+			rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" circuit open")
+			return
+		}
+		if !b.probing.CompareAndSwap(false, true) {
+			rt.unavailable.Add(1)
+			rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" probe in flight")
+			return
+		}
+		probe = true
+	}
+	// settle records the transport outcome (success closes the circuit,
+	// failure feeds the breaker); cancel releases the probe slot without
+	// recording evidence (client-side errors say nothing about the backend).
+	settle := func(ok bool) {
+		if ok {
+			b.consecFails.Store(0)
+			b.openUntil.Store(0)
+		} else {
+			rt.proxyFailed(b)
+		}
+		if probe {
+			b.probing.Store(false)
+		}
+	}
+	cancel := func() {
+		if probe {
+			b.probing.Store(false)
+		}
+	}
+	if binAddr != "" {
+		rt.forwardBinary(bw, b, binAddr, dc, h, frame, settle)
+	} else {
+		rt.translateBinary(bw, baseURL, dc, h, payload, settle, cancel)
+	}
+}
+
+// forwardBinary relays the frame verbatim over a pooled connection to the
+// backend's binary listener and relays the response frame back.
+func (rt *Router) forwardBinary(bw *bufio.Writer, b *backend, addr, dc string, h wire.Header, frame []byte, settle func(bool)) {
+	pc, err := b.getBin(addr, rt.cfg.ProxyTimeout)
+	if err != nil {
+		settle(false)
+		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
+		return
+	}
+	healthy := false
+	defer func() {
+		if healthy {
+			b.putBin(pc)
+		} else {
+			pc.c.Close()
+		}
+	}()
+	pc.c.SetDeadline(time.Now().Add(rt.cfg.ProxyTimeout))
+	if _, err := pc.c.Write(frame); err != nil {
+		settle(false)
+		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
+		return
+	}
+	rh, resp, err := readRawFrame(pc.br, &pc.scratch)
+	if err != nil || rh.ID != h.ID {
+		// A wrong echoed id means the conn is desynchronized (a previous
+		// exchange left bytes behind); it is closed either way via healthy.
+		settle(false)
+		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" sent a bad response frame")
+		return
+	}
+	pc.c.SetDeadline(time.Time{})
+	settle(true)
+	healthy = true
+	b.proxied.Add(1)
+	rt.proxiedTotal.Add(1)
+	rt.binForwarded.Add(1)
+	bw.Write(resp)
+}
+
+// patternOrdinals maps the JSON API's pattern names back to wire ordinals
+// for the translation bridge.
+var patternOrdinals = func() map[string]uint8 {
+	m := make(map[string]uint8, signalproc.NumPatterns)
+	for p := 0; p < signalproc.NumPatterns; p++ {
+		m[signalproc.Pattern(p).String()] = uint8(p)
+	}
+	return m
+}()
+
+var jobNames = map[uint8]string{
+	wire.JobShort:  "short",
+	wire.JobMedium: "medium",
+	wire.JobLong:   "long",
+	// JobFromLastRun: empty job_type lets the backend classify from
+	// last_run_seconds, same as the JSON dialect.
+	wire.JobFromLastRun: "",
+}
+
+var jobOrdinals = map[string]uint8{
+	"short":  wire.JobShort,
+	"medium": wire.JobMedium,
+	"long":   wire.JobLong,
+}
+
+// jsonClassInfo mirrors the backends' JSON class shape (internal/service
+// classInfo) for the translation bridge.
+type jsonClassInfo struct {
+	ID                 int     `json:"id"`
+	Pattern            string  `json:"pattern"`
+	NumTenants         int     `json:"num_tenants"`
+	NumServers         int     `json:"num_servers"`
+	AvgUtilization     float64 `json:"avg_utilization"`
+	PeakUtilization    float64 `json:"peak_utilization"`
+	CurrentUtilization float64 `json:"current_utilization"`
+	AllocatedCores     float64 `json:"allocated_cores"`
+	ExampleServer      int64   `json:"example_server"`
+}
+
+func classRecOf(c jsonClassInfo) wire.ClassRec {
+	return wire.ClassRec{
+		ID:            uint32(c.ID),
+		Pattern:       patternOrdinals[c.Pattern],
+		NumTenants:    uint32(c.NumTenants),
+		NumServers:    uint32(c.NumServers),
+		Avg:           c.AvgUtilization,
+		Peak:          c.PeakUtilization,
+		Current:       c.CurrentUtilization,
+		AllocMillis:   ledger.ToMillis(c.AllocatedCores),
+		ExampleServer: c.ExampleServer,
+	}
+}
+
+// translateBinary bridges one frame onto a JSON-only backend's HTTP API and
+// encodes the JSON response back into a frame. This is the mixed-fleet
+// compatibility path — correctness over speed; upgraded backends never pay
+// it.
+func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.Header, payload []byte, settle func(bool), cancel func()) {
+	var (
+		method = http.MethodPost
+		path   string
+		body   []byte
+		selReq wire.SelectReq
+	)
+	switch h.Op {
+	case wire.OpSelect:
+		if err := selReq.Decode(payload); err != nil {
+			cancel()
+			rt.binReject(bw, h.ID, 400, "bad select payload")
+			return
+		}
+		name, ok := jobNames[selReq.Job]
+		if !ok {
+			cancel()
+			rt.binReject(bw, h.ID, 400, "bad job type")
+			return
+		}
+		body, _ = json.Marshal(map[string]any{
+			"job_type":             name,
+			"last_run_seconds":     selReq.LastRunSeconds,
+			"max_concurrent_cores": selReq.MaxCores,
+			"hold_seconds":         float64(selReq.HoldMillis) / 1000,
+			"dry_run":              selReq.Flags&wire.SelectFlagDryRun != 0,
+		})
+		path = "/v1/" + dc + "/select"
+	case wire.OpRelease:
+		var m wire.ReleaseReq
+		if err := m.Decode(payload); err != nil {
+			cancel()
+			rt.binReject(bw, h.ID, 400, "bad release payload")
+			return
+		}
+		body, _ = json.Marshal(map[string]any{"lease": m.Lease})
+		path = "/v1/" + dc + "/release"
+	case wire.OpPlace:
+		var m wire.PlaceReq
+		if err := m.Decode(payload); err != nil {
+			cancel()
+			rt.binReject(bw, h.ID, 400, "bad place payload")
+			return
+		}
+		body, _ = json.Marshal(map[string]any{
+			"replication":         m.Replication,
+			"writer":              m.Writer,
+			"relaxed_environment": m.Flags&wire.PlaceFlagRelaxed != 0,
+		})
+		path = "/v1/" + dc + "/place"
+	case wire.OpClasses:
+		method, path = http.MethodGet, "/v1/"+dc+"/classes"
+	case wire.OpServerClass:
+		var m wire.ServerClassReq
+		if err := m.Decode(payload); err != nil {
+			cancel()
+			rt.binReject(bw, h.ID, 400, "bad server class payload")
+			return
+		}
+		method, path = http.MethodGet, fmt.Sprintf("/v1/%s/servers/%d/class", dc, m.Server)
+	default:
+		cancel()
+		rt.binReject(bw, h.ID, 400, "unknown opcode "+strconv.Itoa(int(h.Op)))
+		return
+	}
+
+	var outBody io.Reader = http.NoBody
+	if len(body) > 0 {
+		outBody = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, baseURL+path, outBody)
+	if err != nil {
+		cancel()
+		rt.binReject(bw, h.ID, 500, "bad proxy request: "+err.Error())
+		return
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(hopHeader, "1")
+	res, err := rt.client.Do(req)
+	if err != nil {
+		settle(false)
+		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend unreachable")
+		return
+	}
+	defer res.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(res.Body, maxProxyResponse+1))
+	if err != nil || len(rb) > maxProxyResponse {
+		settle(false)
+		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend sent a truncated or oversized response")
+		return
+	}
+	settle(true)
+	rt.proxiedTotal.Add(1)
+	rt.binTranslated.Add(1)
+
+	if res.StatusCode != http.StatusOK {
+		// Relay the backend's own error with its status, exactly as the HTTP
+		// proxy relays status codes verbatim. Not counted as a router
+		// rejection — the backend answered.
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(rb, &e)
+		if e.Error == "" {
+			e.Error = http.StatusText(res.StatusCode)
+		}
+		bw.Write(wire.AppendErrorResp(nil, h.ID, uint16(res.StatusCode), e.Error))
+		return
+	}
+
+	frame, err := encodeTranslated(h, rb, selReq)
+	if err != nil {
+		rt.binReject(bw, h.ID, 500, "bad backend response: "+err.Error())
+		return
+	}
+	bw.Write(frame)
+}
+
+// encodeTranslated converts a 200 JSON response body into the equivalent
+// response frame for the request's opcode.
+func encodeTranslated(h wire.Header, body []byte, selReq wire.SelectReq) ([]byte, error) {
+	switch h.Op {
+	case wire.OpSelect:
+		var r struct {
+			Generation       uint64    `json:"generation"`
+			JobType          string    `json:"job_type"`
+			Satisfiable      bool      `json:"satisfiable"`
+			Classes          []int     `json:"classes"`
+			Headrooms        []float64 `json:"headrooms"`
+			Lease            uint64    `json:"lease"`
+			Granted          []float64 `json:"granted"`
+			ExpiresInSeconds float64   `json:"expires_in_seconds"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, err
+		}
+		m := wire.SelectResp{
+			Generation:  r.Generation,
+			Lease:       r.Lease,
+			ExpiresIn:   r.ExpiresInSeconds,
+			Job:         jobOrdinals[r.JobType],
+			Satisfiable: r.Satisfiable,
+			Classes:     make([]wire.SelectGrant, len(r.Classes)),
+		}
+		for i, cls := range r.Classes {
+			g := wire.SelectGrant{Class: uint32(cls)}
+			if i < len(r.Headrooms) {
+				g.Headroom = r.Headrooms[i]
+			}
+			if i < len(r.Granted) {
+				g.Granted = r.Granted[i]
+			}
+			m.Classes[i] = g
+		}
+		return wire.AppendSelectResp(nil, h.ID, &m), nil
+	case wire.OpRelease:
+		var r struct {
+			Lease         uint64    `json:"lease"`
+			ReleasedCores float64   `json:"released_cores"`
+			Classes       []int     `json:"classes"`
+			Cores         []float64 `json:"cores"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, err
+		}
+		m := wire.ReleaseResp{
+			Lease:       r.Lease,
+			TotalMillis: ledger.ToMillis(r.ReleasedCores),
+			Grants:      make([]wire.ReleaseGrant, len(r.Classes)),
+		}
+		for i, cls := range r.Classes {
+			g := wire.ReleaseGrant{Class: uint32(cls)}
+			if i < len(r.Cores) {
+				g.Millis = ledger.ToMillis(r.Cores[i])
+			}
+			m.Grants[i] = g
+		}
+		return wire.AppendReleaseResp(nil, h.ID, &m), nil
+	case wire.OpPlace:
+		var r struct {
+			Generation uint64  `json:"generation"`
+			Replicas   []int64 `json:"replicas"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, err
+		}
+		return wire.AppendPlaceResp(nil, h.ID, &wire.PlaceResp{Generation: r.Generation, Replicas: r.Replicas}), nil
+	case wire.OpClasses:
+		var r struct {
+			Generation  uint64          `json:"generation"`
+			AsOfSeconds float64         `json:"as_of_seconds"`
+			Classes     []jsonClassInfo `json:"classes"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, err
+		}
+		m := wire.ClassesResp{
+			Generation:  r.Generation,
+			AsOfSeconds: r.AsOfSeconds,
+			Classes:     make([]wire.ClassRec, len(r.Classes)),
+		}
+		for i, c := range r.Classes {
+			m.Classes[i] = classRecOf(c)
+		}
+		return wire.AppendClassesResp(nil, h.ID, &m), nil
+	case wire.OpServerClass:
+		var r struct {
+			Generation uint64        `json:"generation"`
+			Server     int64         `json:"server"`
+			Class      jsonClassInfo `json:"class"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, err
+		}
+		return wire.AppendServerClassResp(nil, h.ID, &wire.ServerClassResp{
+			Generation: r.Generation,
+			Server:     r.Server,
+			Class:      classRecOf(r.Class),
+		}), nil
+	}
+	return nil, fmt.Errorf("unreachable opcode %d", h.Op)
+}

@@ -1,0 +1,207 @@
+package router_test
+
+import (
+	"bufio"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"harvest/internal/router"
+	"harvest/internal/service"
+	"harvest/internal/wire"
+)
+
+// binConn is a minimal sequential binary client for router tests.
+type binConn struct {
+	t       *testing.T
+	c       net.Conn
+	br      *bufio.Reader
+	scratch []byte
+}
+
+func dialBin(t *testing.T, addr string) *binConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &binConn{t: t, c: c, br: bufio.NewReader(c)}
+}
+
+func (b *binConn) roundTrip(frame []byte) (wire.Header, []byte) {
+	b.t.Helper()
+	if _, err := b.c.Write(frame); err != nil {
+		b.t.Fatalf("write: %v", err)
+	}
+	h, payload, err := wire.ReadFrame(b.br, &b.scratch)
+	if err != nil {
+		b.t.Fatalf("read frame: %v", err)
+	}
+	return h, payload
+}
+
+// startRouterBinary attaches a binary front end to rt on a loopback port.
+func startRouterBinary(t *testing.T, rt *router.Router) string {
+	t.Helper()
+	addr, _, err := rt.ListenAndServeBinary("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("binary listen: %v", err)
+	}
+	t.Cleanup(rt.CloseBinary)
+	rt.SetBinaryAdvertise(addr.String())
+	return addr.String()
+}
+
+// TestBinaryMixedFleet drives the binary dialect through the router against
+// a mixed fleet: DC-9 on a backend with its own binary listener (native
+// forwarding), DC-8 on a JSON-only backend (translation bridge). Both must
+// behave identically from the client's side, and each shard's books must
+// balance afterwards.
+func TestBinaryMixedFleet(t *testing.T) {
+	rt, srv := newTestRouter(t, nil)
+	binFront := startRouterBinary(t, rt)
+
+	// DC-9: binary-capable backend.
+	svcBin := newBackendService(t, "DC-9")
+	apiBin := httptest.NewServer(service.NewAPI(svcBin))
+	t.Cleanup(apiBin.Close)
+	bs := service.NewBinaryServer(svcBin)
+	bsAddr, _, err := bs.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("backend binary listen: %v", err)
+	}
+	t.Cleanup(bs.Close)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-bin", URL: apiBin.URL, BinaryAddr: bsAddr.String(),
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-9", Generation: 1}},
+	})
+
+	// DC-8: JSON-only backend.
+	svcJSON := newBackendService(t, "DC-8")
+	apiJSON := httptest.NewServer(service.NewAPI(svcJSON))
+	t.Cleanup(apiJSON.Close)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-json", URL: apiJSON.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-8", Generation: 1}},
+	})
+
+	c := dialBin(t, binFront)
+	for i, dc := range []string{"DC-9", "DC-8"} {
+		id := uint64(100 + i)
+		h, payload := c.roundTrip(wire.AppendSelectReq(nil, id, dc,
+			wire.SelectReq{Job: wire.JobShort, MaxCores: 2}))
+		if h.Op != wire.OpSelectResp || h.ID != id {
+			t.Fatalf("%s select: header %+v payload %x", dc, h, payload)
+		}
+		var sel wire.SelectResp
+		if err := sel.Decode(payload); err != nil {
+			t.Fatalf("%s select decode: %v", dc, err)
+		}
+		if !sel.Satisfiable || sel.Lease == 0 {
+			t.Fatalf("%s select unsatisfied: %+v", dc, sel)
+		}
+
+		h, payload = c.roundTrip(wire.AppendClassesReq(nil, id+10, dc))
+		if h.Op != wire.OpClassesResp {
+			t.Fatalf("%s classes: op %v", dc, h.Op)
+		}
+		var classes wire.ClassesResp
+		if err := classes.Decode(payload); err != nil || len(classes.Classes) == 0 {
+			t.Fatalf("%s classes: %+v err %v", dc, classes, err)
+		}
+
+		h, payload = c.roundTrip(wire.AppendReleaseReq(nil, id+20, dc, sel.Lease))
+		if h.Op != wire.OpReleaseResp {
+			t.Fatalf("%s release: op %v payload %x", dc, h.Op, payload)
+		}
+		var rel wire.ReleaseResp
+		if err := rel.Decode(payload); err != nil || rel.TotalMillis <= 0 {
+			t.Fatalf("%s release: %+v err %v", dc, rel, err)
+		}
+	}
+
+	// A frame for a datacenter nobody serves answers 404 without closing.
+	h, payload := c.roundTrip(wire.AppendClassesReq(nil, 999, "DC-0"))
+	var e wire.ErrorResp
+	if h.Op != wire.OpError || e.Decode(payload) != nil || e.Code != 404 {
+		t.Fatalf("unknown dc: op %v code %d", h.Op, e.Code)
+	}
+
+	// Books balance on both shards: everything reserved came back.
+	for dc, svc := range map[string]*service.Service{"DC-9": svcBin, "DC-8": svcJSON} {
+		st, ok := svc.LedgerStats(dc)
+		if !ok {
+			t.Fatalf("%s: no ledger stats", dc)
+		}
+		if st.OutstandingMillis != 0 || st.ReservedMillis == 0 || st.ReservedMillis != st.ReleasedMillis {
+			t.Fatalf("%s books unbalanced: %+v", dc, st)
+		}
+	}
+}
+
+// TestBinaryBackendDesyncDetected proves the router validates the echoed
+// request id on natively forwarded frames: a backend answering with the
+// wrong id gets its pooled conn dropped and the client sees an error frame,
+// not a mismatched response.
+func TestBinaryBackendDesyncDetected(t *testing.T) {
+	rt, srv := newTestRouter(t, nil)
+	binFront := startRouterBinary(t, rt)
+
+	// A fake binary backend that echoes every frame with id+1.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				var scratch []byte
+				for {
+					h, payload, err := wire.ReadFrame(br, &scratch)
+					if err != nil {
+						return
+					}
+					c.Write(wire.AppendFrame(nil, h.Op.Resp(), h.ID+1, payload))
+				}
+			}(c)
+		}
+	}()
+
+	fb := newFakeBackend(t)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-desync", URL: fb.srv.URL, BinaryAddr: ln.Addr().String(),
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-1", Generation: 1}},
+	})
+
+	c := dialBin(t, binFront)
+	h, payload := c.roundTrip(wire.AppendClassesReq(nil, 7, "DC-1"))
+	var e wire.ErrorResp
+	if h.Op != wire.OpError || h.ID != 7 || e.Decode(payload) != nil || e.Code != 503 {
+		t.Fatalf("desync response: op %v id %d code %d", h.Op, h.ID, e.Code)
+	}
+}
+
+// TestBinaryFrontClosesOnGarbage mirrors the backend server's framing
+// discipline: a non-frame byte stream is dropped without a response.
+func TestBinaryFrontClosesOnGarbage(t *testing.T) {
+	rt, _ := newTestRouter(t, nil)
+	binFront := startRouterBinary(t, rt)
+
+	c := dialBin(t, binFront)
+	if _, err := c.c.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	c.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if b, err := c.br.ReadByte(); err == nil {
+		t.Fatalf("router answered %#x to garbage instead of closing", b)
+	}
+}

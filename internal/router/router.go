@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
@@ -95,6 +96,20 @@ type backend struct {
 	url string            // base URL, no trailing slash
 	dcs map[string]uint64 // datacenter → announced generation (guarded by Router.mu)
 
+	// binAddr is the backend's advertised binary frame listener (host:port),
+	// empty for a JSON-only backend. Guarded by Router.mu like url; it decides
+	// per-backend whether data-plane frames are forwarded natively or
+	// translated to the JSON API.
+	binAddr string
+
+	// The pooled binary connections feeding native forwarding. Guarded by
+	// binMu, never Router.mu — the pool is touched on every forwarded frame
+	// and must not contend with the routing table. Lock order: Router.mu may
+	// be held when binMu is taken (register closes the pool), never the
+	// reverse.
+	binMu   sync.Mutex
+	binIdle []*pooledBin
+
 	lastBeat    atomic.Int64 // unix nanos of the last register
 	consecFails atomic.Int32 // consecutive proxy transport failures
 	openUntil   atomic.Int64 // unix nanos; breaker open while now < openUntil, half-open once past it
@@ -120,6 +135,23 @@ type Router struct {
 	proxiedTotal  atomic.Uint64
 	proxyErrors   atomic.Uint64
 	unavailable   atomic.Uint64 // 503s rejected without touching a backend (stale / circuit open / probe held)
+
+	// Binary front-end state (see binary.go). binAdvertise is set once before
+	// serving and published on /v1/datacenters so binary-capable clients can
+	// discover the frame listener from the JSON control plane.
+	binAdvertise string
+	binMu        sync.Mutex
+	binLn        net.Listener
+	binClosed    bool
+	binConns     map[net.Conn]struct{}
+	binWG        sync.WaitGroup
+
+	binAccepted      atomic.Uint64
+	binOpenConns     atomic.Int64
+	binFramingErrors atomic.Uint64
+	binForwarded     atomic.Uint64 // frames relayed natively to a binary backend
+	binTranslated    atomic.Uint64 // frames bridged to a JSON-only backend
+	binRejected      atomic.Uint64 // error frames originated by the router itself
 }
 
 // New builds a router with no backends; they arrive via /v1/register.
@@ -252,6 +284,12 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "register url must be a bare base URL (no path, query, or fragment)")
 		return
 	}
+	if req.BinaryAddr != "" {
+		if _, _, err := net.SplitHostPort(req.BinaryAddr); err != nil {
+			writeError(w, http.StatusBadRequest, "register binary_addr must be host:port: "+err.Error())
+			return
+		}
+	}
 	if len(req.Datacenters) == 0 {
 		writeError(w, http.StatusBadRequest, "register requires at least one datacenter")
 		return
@@ -282,6 +320,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		delete(rt.backends, id)
+		old.closeBinPool()
 		log.Printf("router: backend %s aged out after %v without a heartbeat", id, 10*rt.cfg.StaleAfter)
 	}
 	b := rt.backends[req.ID]
@@ -298,6 +337,17 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 			req.ID, b.url, baseURL)
 	}
 	b.url = baseURL
+	if b.binAddr != req.BinaryAddr {
+		if b.binAddr != "" {
+			// The old listener's pooled conns point at an address the backend
+			// no longer serves (restart on a new port, or the capability was
+			// turned off); reusing them would forward frames into the void.
+			log.Printf("router: backend %s binary listener %q -> %q, dropping pooled conns",
+				b.id, b.binAddr, req.BinaryAddr)
+		}
+		b.binAddr = req.BinaryAddr
+		b.closeBinPool()
+	}
 	next := make(map[string]uint64, len(req.Datacenters))
 	for _, dc := range req.Datacenters {
 		next[dc.Name] = dc.Generation
@@ -366,6 +416,7 @@ func (rt *Router) collectBackend(b *backend, cutoff int64) {
 		}
 	}
 	delete(rt.backends, b.id)
+	b.closeBinPool()
 	log.Printf("router: backend %s aged out after %v without a heartbeat", b.id, 10*rt.cfg.StaleAfter)
 }
 
@@ -606,6 +657,10 @@ func (rt *Router) proxyFailed(b *backend) {
 
 type datacentersResponse struct {
 	Datacenters []string `json:"datacenters"`
+	// BinaryAddr is the router's own binary frame listener, present when one
+	// is serving: clients that speak the binary dialect discover it here and
+	// keep using JSON for everything else.
+	BinaryAddr string `json:"binary_addr,omitempty"`
 }
 
 // liveDatacenters returns the sorted union of datacenters across backends
@@ -624,7 +679,10 @@ func (rt *Router) liveDatacenters(now time.Time) []string {
 }
 
 func (rt *Router) handleDatacenters(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, datacentersResponse{Datacenters: rt.liveDatacenters(rt.now())})
+	writeJSON(w, http.StatusOK, datacentersResponse{
+		Datacenters: rt.liveDatacenters(rt.now()),
+		BinaryAddr:  rt.binAdvertise,
+	})
 }
 
 type healthzResponse struct {
@@ -656,6 +714,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // BackendStats is one backend's row in /metrics.
 type BackendStats struct {
 	URL                 string            `json:"url"`
+	BinaryAddr          string            `json:"binary_addr,omitempty"`
 	Alive               bool              `json:"alive"`
 	LastBeatAgeSeconds  float64           `json:"last_beat_age_seconds"`
 	Datacenters         map[string]uint64 `json:"datacenters"` // name → announced generation
@@ -671,7 +730,20 @@ type RouterStats struct {
 	Proxied       uint64                  `json:"proxied"`
 	ProxyErrors   uint64                  `json:"proxy_errors"`
 	Unavailable   uint64                  `json:"unavailable_503s"`
+	Binary        *BinaryFrontStats       `json:"binary,omitempty"`
 	Backends      map[string]BackendStats `json:"backends"`
+}
+
+// BinaryFrontStats is the binary listener's section of /metrics, present only
+// when the router serves the binary dialect.
+type BinaryFrontStats struct {
+	Addr          string `json:"addr,omitempty"`
+	AcceptedConns uint64 `json:"accepted_conns"`
+	OpenConns     int64  `json:"open_conns"`
+	FramingErrors uint64 `json:"framing_errors"`
+	Forwarded     uint64 `json:"forwarded"`  // frames relayed natively
+	Translated    uint64 `json:"translated"` // frames bridged to JSON-only backends
+	Rejected      uint64 `json:"rejected"`   // error frames originated by the router
 }
 
 type metricsResponse struct {
@@ -704,6 +776,20 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		Datacenters: make(map[string]json.RawMessage),
 	}
+	rt.binMu.Lock()
+	binServing := rt.binLn != nil && !rt.binClosed
+	rt.binMu.Unlock()
+	if binServing {
+		resp.Router.Binary = &BinaryFrontStats{
+			Addr:          rt.binAdvertise,
+			AcceptedConns: rt.binAccepted.Load(),
+			OpenConns:     rt.binOpenConns.Load(),
+			FramingErrors: rt.binFramingErrors.Load(),
+			Forwarded:     rt.binForwarded.Load(),
+			Translated:    rt.binTranslated.Load(),
+			Rejected:      rt.binRejected.Load(),
+		}
+	}
 
 	type fetchTarget struct {
 		url  string
@@ -714,6 +800,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for id, b := range rt.backends {
 		st := BackendStats{
 			URL:                 b.url,
+			BinaryAddr:          b.binAddr,
 			Alive:               rt.alive(b, now),
 			LastBeatAgeSeconds:  time.Duration(now.UnixNano() - b.lastBeat.Load()).Seconds(),
 			Datacenters:         make(map[string]uint64, len(b.dcs)),

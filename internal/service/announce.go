@@ -21,6 +21,11 @@ type AnnouncerConfig struct {
 	// SelfURL is this node's externally reachable base URL — what the router
 	// proxies to.
 	SelfURL string
+	// BinaryAddr is this node's binary frame listener (host:port), when one
+	// is serving. The router negotiates per-backend from this: beats carrying
+	// it get data-plane frames forwarded natively, beats without it fall back
+	// to JSON translation.
+	BinaryAddr string
 	// ID is the stable backend identity; re-registrations under the same ID
 	// update the existing entry. Empty means SelfURL.
 	ID string
@@ -115,6 +120,7 @@ func (a *Announcer) announce() error {
 	req := regproto.RegisterRequest{
 		ID:          a.cfg.ID,
 		URL:         a.cfg.SelfURL,
+		BinaryAddr:  a.cfg.BinaryAddr,
 		Datacenters: make([]regproto.RegisterDatacenter, 0, len(gens)),
 	}
 	for _, dc := range a.svc.Datacenters() {

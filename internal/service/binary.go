@@ -1,0 +1,571 @@
+package service
+
+import (
+	"errors"
+	"log"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/ledger"
+	"harvest/internal/tenant"
+	"harvest/internal/wire"
+)
+
+// Binary server tuning. The idle timeout matches the JSON server's; the
+// write timeout bounds how long a flush may block on a stalled client before
+// the connection is abandoned.
+const (
+	binaryIdleTimeout  = 2 * time.Minute
+	binaryWriteTimeout = 30 * time.Second
+	// binaryFlushLimit mirrors batchFlushLimit: responses park in the output
+	// buffer until the connection turns to read, but a burst of large
+	// responses flushes eagerly so the buffer cannot grow without bound.
+	binaryFlushLimit = 64 << 10
+	// binaryReadBuffer sizes the per-connection read buffer: big enough that
+	// a full pipeline window of requests (~64 × ~50 bytes) arrives in one
+	// read syscall.
+	binaryReadBuffer = 64 << 10
+)
+
+// binaryOps maps an opcode to its dense metrics index; see opIndex.
+var binaryOps = []wire.Op{wire.OpSelect, wire.OpRelease, wire.OpPlace, wire.OpClasses, wire.OpServerClass}
+
+func opIndex(op wire.Op) int {
+	i := int(op) - 1
+	if i < 0 || i >= len(binaryOps) {
+		return -1
+	}
+	return i
+}
+
+// BinaryServer serves the wire package's binary frame dialect of the query
+// API: the same select/release/place/classes/server-class semantics as the
+// JSON handlers in http.go, minus net/http and encoding/json. Each accepted
+// connection gets one goroutine running a read–dispatch–append loop straight
+// against the service's snapshot/ledger fast paths; responses accumulate in
+// a per-connection buffer and flush when the connection turns to read (the
+// BatchListener write-behind discipline, here without the net/http
+// indirection), so a pipelining client costs roughly one syscall pair per
+// batch rather than per request.
+//
+// The dispatch loop distinguishes two failure classes: a well-framed request
+// the service rejects (unknown datacenter, bad parameters) answers with an
+// OpError frame carrying the JSON API's status code for the same failure and
+// the connection lives on; a framing violation (bad magic, absurd length)
+// means the peer is desynced or not speaking the protocol, and the
+// connection closes immediately.
+type BinaryServer struct {
+	svc *Service
+
+	// metrics is indexed by opIndex; same counters as the JSON endpoints so
+	// /metrics reports both dialects side by side.
+	metrics [5]EndpointMetrics
+
+	accepted      atomic.Uint64
+	open          atomic.Int64
+	framingErrors atomic.Uint64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewBinaryServer returns a binary frame server over svc. Call Serve with a
+// listener to start accepting.
+func NewBinaryServer(svc *Service) *BinaryServer {
+	return &BinaryServer{svc: svc, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close, blocking like http.Serve.
+func (b *BinaryServer) Serve(ln net.Listener) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		ln.Close()
+		return errors.New("binary server closed")
+	}
+	b.ln = ln
+	b.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			b.mu.Lock()
+			closed := b.closed
+			b.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		b.conns[c] = struct{}{}
+		b.mu.Unlock()
+		b.accepted.Add(1)
+		b.open.Add(1)
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.handleConn(c)
+		}()
+	}
+}
+
+// Close stops accepting, closes every open connection, and waits for the
+// per-connection goroutines to drain.
+func (b *BinaryServer) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	if b.ln != nil {
+		b.ln.Close()
+	}
+	for c := range b.conns {
+		c.Close()
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+func (b *BinaryServer) dropConn(c net.Conn) {
+	c.Close()
+	b.mu.Lock()
+	delete(b.conns, c)
+	b.mu.Unlock()
+	b.open.Add(-1)
+}
+
+// connReader is the minimal buffered reader the frame loop needs: unlike
+// bufio.Reader it exposes its buffer fill directly, and ReadFull-style frame
+// reads come straight off the buffer without interface indirection.
+type connReader struct {
+	c   net.Conn
+	buf []byte
+	r   int // next unread byte
+	w   int // buffer fill
+}
+
+// buffered reports bytes already read from the socket but not yet consumed —
+// the "more requests in this pipeline turn?" signal the flush discipline
+// keys on.
+func (cr *connReader) buffered() int { return cr.w - cr.r }
+
+// fill reads at least n unconsumed bytes into the buffer, compacting first.
+// Returns false on EOF/error.
+func (cr *connReader) fill(n int, deadline time.Time) bool {
+	if cr.buffered() >= n {
+		return true
+	}
+	if cr.r > 0 {
+		copy(cr.buf, cr.buf[cr.r:cr.w])
+		cr.w -= cr.r
+		cr.r = 0
+	}
+	if n > len(cr.buf) {
+		grown := make([]byte, n)
+		copy(grown, cr.buf[:cr.w])
+		cr.buf = grown
+	}
+	for cr.w < n {
+		cr.c.SetReadDeadline(deadline)
+		m, err := cr.c.Read(cr.buf[cr.w:])
+		cr.w += m
+		if err != nil {
+			return cr.w >= n
+		}
+	}
+	return true
+}
+
+// take consumes n buffered bytes. Caller must have ensured them via fill.
+func (cr *connReader) take(n int) []byte {
+	p := cr.buf[cr.r : cr.r+n]
+	cr.r += n
+	return p
+}
+
+func (b *BinaryServer) handleConn(c net.Conn) {
+	defer b.dropConn(c)
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cr := &connReader{c: c, buf: make([]byte, binaryReadBuffer)}
+	out := make([]byte, 0, binaryFlushLimit)
+	// dcNames interns datacenter names so steady-state dispatch makes no
+	// string allocations: a connection talks to a handful of datacenters,
+	// each paying one allocation on first sight.
+	dcNames := make(map[string]string, 4)
+
+	flush := func() bool {
+		if len(out) == 0 {
+			return true
+		}
+		c.SetWriteDeadline(time.Now().Add(binaryWriteTimeout))
+		_, err := c.Write(out)
+		out = out[:0]
+		return err == nil
+	}
+
+	for {
+		// The write-behind turn: responses drain only once the input buffer
+		// is empty (the client is done with this pipeline burst), or above
+		// the flush limit below.
+		if cr.buffered() < wire.HeaderSize {
+			if !flush() {
+				return
+			}
+			if !cr.fill(wire.HeaderSize, time.Now().Add(binaryIdleTimeout)) {
+				return
+			}
+		}
+		h, err := wire.ParseHeader(cr.buf[cr.r : cr.r+wire.HeaderSize])
+		if err != nil {
+			// Desynced or not our protocol: nothing sane can follow.
+			b.framingErrors.Add(1)
+			flush()
+			return
+		}
+		if !cr.fill(wire.HeaderSize+int(h.Len), time.Now().Add(binaryIdleTimeout)) {
+			b.framingErrors.Add(1)
+			flush()
+			return
+		}
+		cr.take(wire.HeaderSize)
+		payload := cr.take(int(h.Len))
+		out = b.dispatch(out, h, payload, dcNames)
+		if len(out) >= binaryFlushLimit {
+			if !flush() {
+				return
+			}
+		}
+	}
+}
+
+// internDC maps the payload's datacenter bytes to a stable string without
+// allocating on the hit path (the map index with an inline []byte→string
+// conversion compiles to an allocation-free lookup).
+func internDC(names map[string]string, b []byte) string {
+	if s, ok := names[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	names[s] = s
+	return s
+}
+
+// dispatch decodes one request frame, executes it, and appends the response
+// frame to out. Semantic failures append an OpError frame with the status
+// code the JSON API would have used.
+func (b *BinaryServer) dispatch(out []byte, h wire.Header, payload []byte, dcNames map[string]string) []byte {
+	start := time.Now()
+	status := 200
+	switch h.Op {
+	case wire.OpSelect:
+		out, status = b.doSelect(out, h.ID, payload, dcNames)
+	case wire.OpRelease:
+		out, status = b.doRelease(out, h.ID, payload, dcNames)
+	case wire.OpPlace:
+		out, status = b.doPlace(out, h.ID, payload)
+	case wire.OpClasses:
+		out, status = b.doClasses(out, h.ID, payload)
+	case wire.OpServerClass:
+		out, status = b.doServerClass(out, h.ID, payload)
+	default:
+		return wire.AppendErrorResp(out, h.ID, 400, "unknown opcode")
+	}
+	if i := opIndex(h.Op); i >= 0 {
+		b.metrics[i].observe(time.Since(start), status)
+	}
+	return out
+}
+
+// fail appends an error frame and returns the status for metrics.
+func fail(out []byte, id uint64, code uint16, msg string) ([]byte, int) {
+	return wire.AppendErrorResp(out, id, code, msg), int(code)
+}
+
+func (b *BinaryServer) snapshotFor(dc []byte) (*Snapshot, bool) {
+	sh, ok := b.svc.shards[string(dc)]
+	if !ok {
+		return nil, false
+	}
+	return sh.snap.Load(), true
+}
+
+func (b *BinaryServer) doSelect(out []byte, id uint64, payload []byte, dcNames map[string]string) ([]byte, int) {
+	var m wire.SelectReq
+	if err := m.Decode(payload); err != nil {
+		return fail(out, id, 400, "bad select payload")
+	}
+	snap, ok := b.snapshotFor(m.DC)
+	if !ok {
+		return fail(out, id, 404, "unknown datacenter")
+	}
+	if !(m.MaxCores > 0) || math.IsInf(m.MaxCores, 1) {
+		return fail(out, id, 400, "max cores must be positive and finite")
+	}
+	if m.HoldMillis > maxHoldSeconds*1000 {
+		return fail(out, id, 400, "hold exceeds the one-hour cap")
+	}
+	var jobType core.JobType
+	switch m.Job {
+	case wire.JobShort:
+		jobType = core.JobShort
+	case wire.JobMedium:
+		jobType = core.JobMedium
+	case wire.JobLong:
+		jobType = core.JobLong
+	case wire.JobFromLastRun:
+		if !(m.LastRunSeconds >= 0 && m.LastRunSeconds <= maxTelemetryOffsetSeconds) {
+			return fail(out, id, 400, "bad last-run duration")
+		}
+		jobType = core.ClassifyLength(time.Duration(m.LastRunSeconds*float64(time.Second)), snap.Thresholds)
+	default:
+		return fail(out, id, 400, "bad job type")
+	}
+	job := core.JobRequest{Type: jobType, MaxConcurrentCores: m.MaxCores}
+
+	mark := len(out)
+	out = wire.BeginFrame(out, wire.OpSelectResp, id)
+	if m.Flags&wire.SelectFlagDryRun != 0 {
+		sel := b.svc.SelectOn(snap, job)
+		out = wire.AppendU64(out, snap.Generation)
+		out = wire.AppendU64(out, 0) // no lease
+		out = wire.AppendF64(out, 0)
+		out = wire.AppendU8(out, uint8(jobType))
+		out = wire.AppendU8(out, boolByte(!sel.Empty()))
+		out = wire.AppendU16(out, uint16(len(sel.Classes)))
+		for i, cls := range sel.Classes {
+			out = wire.AppendU32(out, uint32(cls))
+			out = wire.AppendF64(out, sel.Headrooms[i])
+			out = wire.AppendF64(out, 0)
+		}
+		return wire.EndFrame(out, mark), 200
+	}
+	grant, at, err := b.svc.SelectReserve(internDC(dcNames, m.DC), job, time.Duration(m.HoldMillis)*time.Millisecond)
+	if err != nil {
+		out = out[:mark] // drop the half-built frame
+		return fail(out, id, 500, err.Error())
+	}
+	var expiresIn float64
+	if !grant.ExpiresAt.IsZero() {
+		expiresIn = time.Until(grant.ExpiresAt).Seconds()
+	}
+	out = wire.AppendU64(out, at.Generation)
+	out = wire.AppendU64(out, grant.Lease)
+	out = wire.AppendF64(out, expiresIn)
+	out = wire.AppendU8(out, uint8(jobType))
+	out = wire.AppendU8(out, boolByte(grant.Reserved()))
+	out = wire.AppendU16(out, uint16(len(grant.Selection.Classes)))
+	for i, cls := range grant.Selection.Classes {
+		out = wire.AppendU32(out, uint32(cls))
+		out = wire.AppendF64(out, grant.Selection.Headrooms[i])
+		if i < len(grant.Granted) {
+			out = wire.AppendF64(out, grant.Granted[i])
+		} else {
+			out = wire.AppendF64(out, 0)
+		}
+	}
+	return wire.EndFrame(out, mark), 200
+}
+
+func (b *BinaryServer) doRelease(out []byte, id uint64, payload []byte, dcNames map[string]string) ([]byte, int) {
+	var m wire.ReleaseReq
+	if err := m.Decode(payload); err != nil {
+		return fail(out, id, 400, "bad release payload")
+	}
+	if _, ok := b.svc.shards[string(m.DC)]; !ok {
+		return fail(out, id, 404, "unknown datacenter")
+	}
+	if m.Lease == 0 {
+		return fail(out, id, 400, "lease must be a nonzero id")
+	}
+	lease, err := b.svc.Release(internDC(dcNames, m.DC), m.Lease)
+	if err != nil {
+		if errors.Is(err, ledger.ErrUnknownLease) {
+			return fail(out, id, 404, "unknown lease")
+		}
+		return fail(out, id, 500, err.Error())
+	}
+	mark := len(out)
+	out = wire.BeginFrame(out, wire.OpReleaseResp, id)
+	out = wire.AppendU64(out, lease.ID)
+	out = wire.AppendI64(out, lease.TotalMillis())
+	out = wire.AppendU16(out, uint16(len(lease.Grants)))
+	for _, g := range lease.Grants {
+		out = wire.AppendU32(out, uint32(g.Class))
+		out = wire.AppendI64(out, g.Millis)
+	}
+	return wire.EndFrame(out, mark), 200
+}
+
+func (b *BinaryServer) doPlace(out []byte, id uint64, payload []byte) ([]byte, int) {
+	var m wire.PlaceReq
+	if err := m.Decode(payload); err != nil {
+		return fail(out, id, 400, "bad place payload")
+	}
+	snap, ok := b.snapshotFor(m.DC)
+	if !ok {
+		return fail(out, id, 404, "unknown datacenter")
+	}
+	if m.Replication == 0 || int(m.Replication) > maxReplication {
+		return fail(out, id, 400, "bad replication factor")
+	}
+	replicas, err := b.svc.PlaceOn(snap, core.PlacementConstraints{
+		Replication:        int(m.Replication),
+		Writer:             tenant.ServerID(m.Writer),
+		EnforceEnvironment: m.Flags&wire.PlaceFlagRelaxed == 0,
+	})
+	if err != nil {
+		return fail(out, id, 409, err.Error())
+	}
+	mark := len(out)
+	out = wire.BeginFrame(out, wire.OpPlaceResp, id)
+	out = wire.AppendU64(out, snap.Generation)
+	out = wire.AppendU16(out, uint16(len(replicas)))
+	for _, s := range replicas {
+		out = wire.AppendI64(out, int64(s))
+	}
+	return wire.EndFrame(out, mark), 200
+}
+
+// appendClassRec encodes one class against the live usage view and ledger
+// occupancy — the binary twin of classInfoOf.
+func appendClassRec(out []byte, cls *core.UtilizationClass, usage map[core.ClassID]core.ClassUsage, allocMillis []int64) []byte {
+	out = wire.AppendU32(out, uint32(cls.ID))
+	out = wire.AppendU8(out, uint8(cls.Pattern))
+	out = wire.AppendU32(out, uint32(len(cls.Tenants)))
+	out = wire.AppendU32(out, uint32(cls.NumServers()))
+	out = wire.AppendF64(out, cls.AvgUtilization)
+	out = wire.AppendF64(out, cls.PeakUtilization)
+	out = wire.AppendF64(out, usage[cls.ID].CurrentUtilization)
+	var millis int64
+	if i := int(cls.ID); i >= 0 && i < len(allocMillis) {
+		millis = allocMillis[i]
+	}
+	out = wire.AppendI64(out, millis)
+	example := int64(-1)
+	if len(cls.Servers) > 0 {
+		example = int64(cls.Servers[0])
+	}
+	return wire.AppendI64(out, example)
+}
+
+// ledgerAllocFor is the binary twin of API.ledgerAllocFor: per-class
+// occupancy aligned to the snapshot, nil around a re-key.
+func (b *BinaryServer) ledgerAllocFor(snap *Snapshot) []int64 {
+	gen, alloc, ok := b.svc.LedgerOccupancy(snap.Datacenter)
+	if !ok || gen != snap.Generation {
+		return nil
+	}
+	return alloc
+}
+
+func (b *BinaryServer) doClasses(out []byte, id uint64, payload []byte) ([]byte, int) {
+	var m wire.ClassesReq
+	if err := m.Decode(payload); err != nil {
+		return fail(out, id, 400, "bad classes payload")
+	}
+	snap, ok := b.snapshotFor(m.DC)
+	if !ok {
+		return fail(out, id, 404, "unknown datacenter")
+	}
+	usage := b.svc.UsageFor(snap)
+	alloc := b.ledgerAllocFor(snap)
+	mark := len(out)
+	out = wire.BeginFrame(out, wire.OpClassesResp, id)
+	out = wire.AppendU64(out, snap.Generation)
+	out = wire.AppendF64(out, snap.AsOf.Seconds())
+	out = wire.AppendU16(out, uint16(len(snap.Clustering.Classes)))
+	for _, cls := range snap.Clustering.Classes {
+		out = appendClassRec(out, cls, usage, alloc)
+	}
+	return wire.EndFrame(out, mark), 200
+}
+
+func (b *BinaryServer) doServerClass(out []byte, id uint64, payload []byte) ([]byte, int) {
+	var m wire.ServerClassReq
+	if err := m.Decode(payload); err != nil {
+		return fail(out, id, 400, "bad server-class payload")
+	}
+	snap, ok := b.snapshotFor(m.DC)
+	if !ok {
+		return fail(out, id, 404, "unknown datacenter")
+	}
+	cls, ok := snap.ClassOfServer(tenant.ServerID(m.Server))
+	if !ok {
+		return fail(out, id, 404, "unknown server")
+	}
+	mark := len(out)
+	out = wire.BeginFrame(out, wire.OpServerClassResp, id)
+	out = wire.AppendU64(out, snap.Generation)
+	out = wire.AppendI64(out, m.Server)
+	out = appendClassRec(out, cls, b.svc.UsageFor(snap), b.ledgerAllocFor(snap))
+	return wire.EndFrame(out, mark), 200
+}
+
+func boolByte(v bool) uint8 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BinaryStats is the /metrics view of the binary listener.
+type BinaryStats struct {
+	Accepted      uint64
+	Open          int64
+	FramingErrors uint64
+}
+
+// Stats returns connection counters for /metrics.
+func (b *BinaryServer) Stats() BinaryStats {
+	return BinaryStats{
+		Accepted:      b.accepted.Load(),
+		Open:          b.open.Load(),
+		FramingErrors: b.framingErrors.Load(),
+	}
+}
+
+// endpointMetric exposes one opcode's counters for /metrics; nil for
+// non-request opcodes.
+func (b *BinaryServer) endpointMetric(op wire.Op) *EndpointMetrics {
+	i := opIndex(op)
+	if i < 0 {
+		return nil
+	}
+	return &b.metrics[i]
+}
+
+// ListenAndServe binds addr and serves until Close — the cmd/harvestd entry
+// point. The returned channel yields the terminal Serve error (nil on a
+// clean Close).
+func (b *BinaryServer) ListenAndServe(addr string) (net.Addr, <-chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := b.Serve(ln); err != nil {
+			log.Printf("binary server: %v", err)
+			errc <- err
+		}
+		close(errc)
+	}()
+	return ln.Addr(), errc, nil
+}

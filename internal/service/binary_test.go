@@ -1,0 +1,548 @@
+package service_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/ledger"
+	"harvest/internal/service"
+	"harvest/internal/signalproc"
+	"harvest/internal/wire"
+)
+
+// binClient is a minimal sequential binary-dialect client for tests: one
+// frame out, one frame in.
+type binClient struct {
+	t       *testing.T
+	conn    net.Conn
+	br      *bufio.Reader
+	scratch []byte
+	nextID  uint64
+}
+
+func dialBinary(t *testing.T, addr string) *binClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial binary %s: %v", addr, err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &binClient{t: t, conn: conn, br: bufio.NewReader(conn)}
+}
+
+// roundTrip sends one pre-built frame and reads one response frame.
+func (c *binClient) roundTrip(frame []byte) (wire.Header, []byte) {
+	c.t.Helper()
+	if _, err := c.conn.Write(frame); err != nil {
+		c.t.Fatalf("write frame: %v", err)
+	}
+	h, payload, err := wire.ReadFrame(c.br, &c.scratch)
+	if err != nil {
+		c.t.Fatalf("read frame: %v", err)
+	}
+	return h, payload
+}
+
+func (c *binClient) id() uint64 {
+	c.nextID++
+	return c.nextID
+}
+
+func startBinaryServer(t *testing.T, svc *service.Service) string {
+	t.Helper()
+	bs := service.NewBinaryServer(svc)
+	addr, _, err := bs.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("binary listen: %v", err)
+	}
+	t.Cleanup(bs.Close)
+	return addr.String()
+}
+
+func TestBinaryServerBasics(t *testing.T) {
+	svc := newTestService(t)
+	defer svc.Close()
+	addr := startBinaryServer(t, svc)
+	c := dialBinary(t, addr)
+
+	// Request id echo + classes round trip.
+	h, payload := c.roundTrip(wire.AppendClassesReq(nil, 42, "DC-9"))
+	if h.Op != wire.OpClassesResp || h.ID != 42 {
+		t.Fatalf("classes response header %+v", h)
+	}
+	var classes wire.ClassesResp
+	if err := classes.Decode(payload); err != nil {
+		t.Fatalf("decode classes: %v", err)
+	}
+	if len(classes.Classes) == 0 || classes.Generation == 0 {
+		t.Fatalf("empty classes response %+v", classes)
+	}
+
+	// Unknown datacenter answers an error frame, connection stays usable.
+	h, payload = c.roundTrip(wire.AppendClassesReq(nil, c.id(), "DC-404"))
+	var e wire.ErrorResp
+	if h.Op != wire.OpError || e.Decode(payload) != nil || e.Code != 404 {
+		t.Fatalf("unknown dc: op %v payload %x", h.Op, payload)
+	}
+
+	// Select reserves a lease; release over the same dialect returns it with
+	// exact-millicore conservation.
+	h, payload = c.roundTrip(wire.AppendSelectReq(nil, c.id(), "DC-9",
+		wire.SelectReq{Job: wire.JobShort, MaxCores: 2}))
+	if h.Op != wire.OpSelectResp {
+		t.Fatalf("select: op %v", h.Op)
+	}
+	var sel wire.SelectResp
+	if err := sel.Decode(payload); err != nil {
+		t.Fatalf("decode select: %v", err)
+	}
+	if !sel.Satisfiable || sel.Lease == 0 || len(sel.Classes) == 0 {
+		t.Fatalf("select not satisfied: %+v", sel)
+	}
+	h, payload = c.roundTrip(wire.AppendReleaseReq(nil, c.id(), "DC-9", sel.Lease))
+	if h.Op != wire.OpReleaseResp {
+		t.Fatalf("release: op %v payload %x", h.Op, payload)
+	}
+	var rel wire.ReleaseResp
+	if err := rel.Decode(payload); err != nil {
+		t.Fatalf("decode release: %v", err)
+	}
+	var granted float64
+	for _, g := range sel.Classes {
+		granted += g.Granted
+	}
+	if rel.TotalMillis != ledger.ToMillis(granted) {
+		t.Fatalf("released %d millis, granted %v cores", rel.TotalMillis, granted)
+	}
+
+	// Double release of the same lease is 404, like the JSON API.
+	h, payload = c.roundTrip(wire.AppendReleaseReq(nil, c.id(), "DC-9", sel.Lease))
+	if h.Op != wire.OpError || e.Decode(payload) != nil || e.Code != 404 {
+		t.Fatalf("double release: op %v code %d", h.Op, e.Code)
+	}
+
+	// Place.
+	h, payload = c.roundTrip(wire.AppendPlaceReq(nil, c.id(), "DC-9",
+		wire.PlaceReq{Replication: 3, Writer: -1}))
+	if h.Op != wire.OpPlaceResp {
+		t.Fatalf("place: op %v payload %x", h.Op, payload)
+	}
+	var place wire.PlaceResp
+	if err := place.Decode(payload); err != nil || len(place.Replicas) != 3 {
+		t.Fatalf("place response %+v err %v", place, err)
+	}
+
+	// Server class on a class's example server.
+	h, payload = c.roundTrip(wire.AppendServerClassReq(nil, c.id(), "DC-9", classes.Classes[0].ExampleServer))
+	if h.Op != wire.OpServerClassResp {
+		t.Fatalf("server class: op %v", h.Op)
+	}
+	var sc wire.ServerClassResp
+	if err := sc.Decode(payload); err != nil || sc.Class.ID != classes.Classes[0].ID {
+		t.Fatalf("server class response %+v err %v", sc, err)
+	}
+}
+
+func TestBinaryServerPipelining(t *testing.T) {
+	svc := newTestService(t)
+	defer svc.Close()
+	addr := startBinaryServer(t, svc)
+	c := dialBinary(t, addr)
+
+	// A pipelined burst: many frames in one write, responses read back in
+	// order with matching ids.
+	const n = 32
+	var batch []byte
+	for i := uint64(1); i <= n; i++ {
+		batch = wire.AppendClassesReq(batch, i, "DC-9")
+	}
+	if _, err := c.conn.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= n; i++ {
+		h, _, err := wire.ReadFrame(c.br, &c.scratch)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if h.ID != i || h.Op != wire.OpClassesResp {
+			t.Fatalf("response %d: header %+v", i, h)
+		}
+	}
+}
+
+func TestBinaryServerClosesOnGarbage(t *testing.T) {
+	svc := newTestService(t)
+	defer svc.Close()
+	addr := startBinaryServer(t, svc)
+	c := dialBinary(t, addr)
+
+	// An accidental HTTP request fails the magic byte: the server must close
+	// without writing anything.
+	if _, err := c.conn.Write([]byte("POST /v1/DC-9/select HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if b, err := c.br.ReadByte(); err == nil {
+		t.Fatalf("server responded %#x to garbage instead of closing", b)
+	}
+}
+
+// jsonDialect / binDialect execute the same logical requests over the two
+// protocols, normalizing responses into comparable shapes.
+type dialectClass struct {
+	ID      int
+	Pattern string
+	Tenants int
+	Servers int
+	Avg     float64
+	Peak    float64
+	Current float64
+	Alloc   float64
+	Example int64
+}
+
+type dialectSelect struct {
+	Generation  uint64
+	JobType     string
+	Satisfiable bool
+	Classes     []int
+	Headrooms   []float64
+	Granted     []float64
+	Lease       uint64 // compared only for zero/nonzero — ids are random
+}
+
+type dialectRelease struct {
+	TotalCores float64
+	Classes    []int
+	Cores      []float64
+}
+
+// TestCrossProtocolEquivalence drives the same request sequence over the
+// JSON API and the binary dialect against two identically seeded services
+// and asserts the responses and final ledger books are identical.
+//
+// Selection and placement consume pooled per-request RNGs, so equivalence
+// of outcomes needs both services to draw identical RNG sequences: with
+// GOMAXPROCS=1 and GC disabled, each service's pool degenerates to a single
+// deterministic RNG reused by its strictly sequential requests.
+func TestCrossProtocolEquivalence(t *testing.T) {
+	if raceEnabled {
+		// sync.Pool deliberately randomizes reuse under the race detector,
+		// so the two services' RNG draws cannot be aligned there.
+		t.Skip("pooled-RNG determinism is unavailable under -race")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	svcJSON := newTestService(t)
+	defer svcJSON.Close()
+	srv := httptest.NewServer(service.NewAPI(svcJSON))
+	defer srv.Close()
+
+	svcBin := newTestService(t)
+	defer svcBin.Close()
+	bin := dialBinary(t, startBinaryServer(t, svcBin))
+
+	// --- classes ---
+	jc := jsonClasses(t, srv.URL, "DC-9")
+	bc := binClasses(t, bin, "DC-9")
+	if !reflect.DeepEqual(jc, bc) {
+		t.Fatalf("classes diverge:\njson %+v\nbin  %+v", jc, bc)
+	}
+
+	// --- a deterministic select sequence, half released ---
+	selects := []wire.SelectReq{
+		{Job: wire.JobShort, MaxCores: 2},
+		{Job: wire.JobFromLastRun, LastRunSeconds: 45, MaxCores: 1.5},
+		{Job: wire.JobLong, MaxCores: 4, HoldMillis: 30_000},
+		{Job: wire.JobMedium, MaxCores: 0.5},
+		{Job: wire.JobMedium, MaxCores: 2, Flags: wire.SelectFlagDryRun},
+		{Job: wire.JobShort, MaxCores: 3},
+	}
+	var jsonLeases, binLeases []uint64
+	for i, req := range selects {
+		js := jsonSelect(t, srv.URL, "DC-9", req)
+		bs := binSelect(t, bin, "DC-9", req)
+		if (js.Lease == 0) != (bs.Lease == 0) {
+			t.Fatalf("select %d: lease presence diverges (%d vs %d)", i, js.Lease, bs.Lease)
+		}
+		jsonLeases, binLeases = append(jsonLeases, js.Lease), append(binLeases, bs.Lease)
+		js.Lease, bs.Lease = 0, 0 // ids are random by design; compared above
+		if !reflect.DeepEqual(js, bs) {
+			t.Fatalf("select %d diverges:\njson %+v\nbin  %+v", i, js, bs)
+		}
+	}
+	for i := 0; i < len(selects); i += 2 {
+		if jsonLeases[i] == 0 {
+			continue
+		}
+		jr := jsonRelease(t, srv.URL, "DC-9", jsonLeases[i])
+		br := binRelease(t, bin, "DC-9", binLeases[i])
+		if !reflect.DeepEqual(jr, br) {
+			t.Fatalf("release %d diverges:\njson %+v\nbin  %+v", i, jr, br)
+		}
+	}
+
+	// --- placement (same RNG discipline ⇒ identical replicas) ---
+	for _, rep := range []int{3, 4} {
+		jp := jsonPlace(t, srv.URL, "DC-9", rep)
+		bp := binPlace(t, bin, "DC-9", rep)
+		if !reflect.DeepEqual(jp, bp) {
+			t.Fatalf("place r=%d diverges: json %v bin %v", rep, jp, bp)
+		}
+	}
+
+	// --- server class ---
+	jsc := jsonServerClass(t, srv.URL, "DC-9", jc[0].Example)
+	bsc := binServerClass(t, bin, "DC-9", bc[0].Example)
+	if !reflect.DeepEqual(jsc, bsc) {
+		t.Fatalf("server class diverges:\njson %+v\nbin  %+v", jsc, bsc)
+	}
+
+	// --- final books: the sequences must have written identical ledgers ---
+	jb, ok1 := svcJSON.LedgerStats("DC-9")
+	bb, ok2 := svcBin.LedgerStats("DC-9")
+	if !ok1 || !ok2 {
+		t.Fatal("missing ledger stats")
+	}
+	if !reflect.DeepEqual(jb, bb) {
+		t.Fatalf("ledger books diverge:\njson %+v\nbin  %+v", jb, bb)
+	}
+	if jb.ReservedMillis != jb.ReleasedMillis+jb.ExpiredMillis+jb.ForfeitedMillis+jb.OutstandingMillis {
+		t.Fatalf("conservation violated: %+v", jb)
+	}
+	jg, ja, _ := svcJSON.LedgerOccupancy("DC-9")
+	bg, ba, _ := svcBin.LedgerOccupancy("DC-9")
+	if jg != bg || !reflect.DeepEqual(ja, ba) {
+		t.Fatalf("occupancy diverges: gen %d/%d %v vs %v", jg, bg, ja, ba)
+	}
+}
+
+// --- JSON dialect executors ---
+
+func jsonClasses(t *testing.T, base, dc string) []dialectClass {
+	t.Helper()
+	resp, body := get(t, base+"/v1/"+dc+"/classes")
+	if resp.StatusCode != 200 {
+		t.Fatalf("classes: %d %s", resp.StatusCode, body)
+	}
+	var r struct {
+		Classes []struct {
+			ID                 int     `json:"id"`
+			Pattern            string  `json:"pattern"`
+			NumTenants         int     `json:"num_tenants"`
+			NumServers         int     `json:"num_servers"`
+			AvgUtilization     float64 `json:"avg_utilization"`
+			PeakUtilization    float64 `json:"peak_utilization"`
+			CurrentUtilization float64 `json:"current_utilization"`
+			AllocatedCores     float64 `json:"allocated_cores"`
+			ExampleServer      int64   `json:"example_server"`
+		} `json:"classes"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]dialectClass, len(r.Classes))
+	for i, c := range r.Classes {
+		out[i] = dialectClass{c.ID, c.Pattern, c.NumTenants, c.NumServers,
+			c.AvgUtilization, c.PeakUtilization, c.CurrentUtilization, c.AllocatedCores, c.ExampleServer}
+	}
+	return out
+}
+
+func recToDialect(c wire.ClassRec) dialectClass {
+	return dialectClass{int(c.ID), signalproc.Pattern(c.Pattern).String(), int(c.NumTenants), int(c.NumServers),
+		c.Avg, c.Peak, c.Current, ledger.CoresOf(c.AllocMillis), c.ExampleServer}
+}
+
+func binClasses(t *testing.T, c *binClient, dc string) []dialectClass {
+	t.Helper()
+	h, payload := c.roundTrip(wire.AppendClassesReq(nil, c.id(), dc))
+	if h.Op != wire.OpClassesResp {
+		t.Fatalf("classes: op %v", h.Op)
+	}
+	var m wire.ClassesResp
+	if err := m.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]dialectClass, len(m.Classes))
+	for i, cl := range m.Classes {
+		out[i] = recToDialect(cl)
+	}
+	return out
+}
+
+func jsonSelect(t *testing.T, base, dc string, req wire.SelectReq) dialectSelect {
+	t.Helper()
+	jobNames := map[uint8]string{wire.JobShort: "short", wire.JobMedium: "medium", wire.JobLong: "long", wire.JobFromLastRun: ""}
+	body := fmt.Sprintf(`{"job_type":%q,"last_run_seconds":%v,"max_concurrent_cores":%v,"hold_seconds":%v,"dry_run":%v}`,
+		jobNames[req.Job], req.LastRunSeconds, req.MaxCores, float64(req.HoldMillis)/1000, req.Flags&wire.SelectFlagDryRun != 0)
+	resp, b := postJSON(t, base+"/v1/"+dc+"/select", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("select: %d %s", resp.StatusCode, b)
+	}
+	var r struct {
+		Generation  uint64    `json:"generation"`
+		JobType     string    `json:"job_type"`
+		Satisfiable bool      `json:"satisfiable"`
+		Classes     []int     `json:"classes"`
+		Headrooms   []float64 `json:"headrooms"`
+		Lease       uint64    `json:"lease"`
+		Granted     []float64 `json:"granted"`
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatal(err)
+	}
+	return dialectSelect{r.Generation, r.JobType, r.Satisfiable, r.Classes, r.Headrooms, r.Granted, r.Lease}
+}
+
+func binSelect(t *testing.T, c *binClient, dc string, req wire.SelectReq) dialectSelect {
+	t.Helper()
+	h, payload := c.roundTrip(wire.AppendSelectReq(nil, c.id(), dc, req))
+	if h.Op != wire.OpSelectResp {
+		t.Fatalf("select: op %v payload %x", h.Op, payload)
+	}
+	var m wire.SelectResp
+	if err := m.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	out := dialectSelect{
+		Generation:  m.Generation,
+		JobType:     core.JobType(m.Job).String(),
+		Satisfiable: m.Satisfiable,
+		Lease:       m.Lease,
+	}
+	for _, g := range m.Classes {
+		out.Classes = append(out.Classes, int(g.Class))
+		out.Headrooms = append(out.Headrooms, g.Headroom)
+	}
+	// The JSON dialect omits granted on dry-run/unsatisfiable; the binary
+	// dialect always carries a granted column. Normalize: keep it only when
+	// a lease exists.
+	if m.Lease != 0 {
+		for _, g := range m.Classes {
+			out.Granted = append(out.Granted, g.Granted)
+		}
+	}
+	// The JSON dialect always materializes classes/headrooms as [] arrays.
+	if out.Classes == nil {
+		out.Classes = []int{}
+	}
+	if out.Headrooms == nil {
+		out.Headrooms = []float64{}
+	}
+	return out
+}
+
+func jsonRelease(t *testing.T, base, dc string, lease uint64) dialectRelease {
+	t.Helper()
+	resp, b := postJSON(t, base+"/v1/"+dc+"/release", fmt.Sprintf(`{"lease":%d}`, lease))
+	if resp.StatusCode != 200 {
+		t.Fatalf("release: %d %s", resp.StatusCode, b)
+	}
+	var r struct {
+		ReleasedCores float64   `json:"released_cores"`
+		Classes       []int     `json:"classes"`
+		Cores         []float64 `json:"cores"`
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatal(err)
+	}
+	return dialectRelease{r.ReleasedCores, r.Classes, r.Cores}
+}
+
+func binRelease(t *testing.T, c *binClient, dc string, lease uint64) dialectRelease {
+	t.Helper()
+	h, payload := c.roundTrip(wire.AppendReleaseReq(nil, c.id(), dc, lease))
+	if h.Op != wire.OpReleaseResp {
+		t.Fatalf("release: op %v payload %x", h.Op, payload)
+	}
+	var m wire.ReleaseResp
+	if err := m.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	out := dialectRelease{TotalCores: ledger.CoresOf(m.TotalMillis)}
+	for _, g := range m.Grants {
+		out.Classes = append(out.Classes, int(g.Class))
+		out.Cores = append(out.Cores, ledger.CoresOf(g.Millis))
+	}
+	return out
+}
+
+func jsonPlace(t *testing.T, base, dc string, replication int) []int64 {
+	t.Helper()
+	resp, b := postJSON(t, base+"/v1/"+dc+"/place", fmt.Sprintf(`{"replication":%d,"writer":-1}`, replication))
+	if resp.StatusCode != 200 {
+		t.Fatalf("place: %d %s", resp.StatusCode, b)
+	}
+	var r struct {
+		Replicas []int64 `json:"replicas"`
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatal(err)
+	}
+	return r.Replicas
+}
+
+func binPlace(t *testing.T, c *binClient, dc string, replication int) []int64 {
+	t.Helper()
+	h, payload := c.roundTrip(wire.AppendPlaceReq(nil, c.id(), dc,
+		wire.PlaceReq{Replication: uint8(replication), Writer: -1}))
+	if h.Op != wire.OpPlaceResp {
+		t.Fatalf("place: op %v payload %x", h.Op, payload)
+	}
+	var m wire.PlaceResp
+	if err := m.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	return m.Replicas
+}
+
+func jsonServerClass(t *testing.T, base, dc string, server int64) dialectClass {
+	t.Helper()
+	resp, b := get(t, fmt.Sprintf("%s/v1/%s/servers/%d/class", base, dc, server))
+	if resp.StatusCode != 200 {
+		t.Fatalf("server class: %d %s", resp.StatusCode, b)
+	}
+	var r struct {
+		Class struct {
+			ID                 int     `json:"id"`
+			Pattern            string  `json:"pattern"`
+			NumTenants         int     `json:"num_tenants"`
+			NumServers         int     `json:"num_servers"`
+			AvgUtilization     float64 `json:"avg_utilization"`
+			PeakUtilization    float64 `json:"peak_utilization"`
+			CurrentUtilization float64 `json:"current_utilization"`
+			AllocatedCores     float64 `json:"allocated_cores"`
+			ExampleServer      int64   `json:"example_server"`
+		} `json:"class"`
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatal(err)
+	}
+	c := r.Class
+	return dialectClass{c.ID, c.Pattern, c.NumTenants, c.NumServers,
+		c.AvgUtilization, c.PeakUtilization, c.CurrentUtilization, c.AllocatedCores, c.ExampleServer}
+}
+
+func binServerClass(t *testing.T, c *binClient, dc string, server int64) dialectClass {
+	t.Helper()
+	h, payload := c.roundTrip(wire.AppendServerClassReq(nil, c.id(), dc, server))
+	if h.Op != wire.OpServerClassResp {
+		t.Fatalf("server class: op %v payload %x", h.Op, payload)
+	}
+	var m wire.ServerClassResp
+	if err := m.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	return recToDialect(m.Class)
+}

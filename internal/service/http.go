@@ -41,6 +41,20 @@ type API struct {
 	ingestLimiter  *rateLimiter
 	trustedProxies []netip.Prefix
 	endpoints      map[string]*EndpointMetrics
+
+	// binary, when attached, is the sibling binary-dialect listener: its
+	// advertised address rides on /v1/datacenters (how clients discover the
+	// fast path) and its per-opcode counters ride on /metrics.
+	binary     *BinaryServer
+	binaryAddr string
+}
+
+// AttachBinary advertises a binary frame server alongside the JSON API:
+// addr (host:port) is published on /v1/datacenters as binary_addr, and the
+// server's per-opcode metrics appear on /metrics. Call before serving.
+func (a *API) AttachBinary(b *BinaryServer, addr string) {
+	a.binary = b
+	a.binaryAddr = addr
 }
 
 // APIOptions hardens the ingest surface. The query endpoints stay open —
@@ -286,10 +300,17 @@ func (a *API) snapshotFor(w http.ResponseWriter, r *http.Request) (*Snapshot, bo
 
 type datacentersResponse struct {
 	Datacenters []string `json:"datacenters"`
+	// BinaryAddr, when present, is the host:port of this node's binary
+	// frame listener (internal/wire) — the discovery hook -proto binary
+	// clients use. Absent means the node speaks JSON only.
+	BinaryAddr string `json:"binary_addr,omitempty"`
 }
 
 func (a *API) handleDatacenters(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, datacentersResponse{Datacenters: a.svc.Datacenters()})
+	writeJSON(w, http.StatusOK, datacentersResponse{
+		Datacenters: a.svc.Datacenters(),
+		BinaryAddr:  a.binaryAddr,
+	})
 }
 
 // classInfo is the wire form of one utilization class plus its live usage.
@@ -783,11 +804,23 @@ type ledgerStatsJSON struct {
 	AllocatedCoresByClass []float64 `json:"allocated_cores_by_class"`
 }
 
+// binaryStatsJSON is the binary listener's /metrics section: the same
+// per-endpoint counters as the JSON dialect, keyed by opcode name, plus
+// connection accounting.
+type binaryStatsJSON struct {
+	Addr          string                   `json:"addr"`
+	Accepted      uint64                   `json:"accepted_conns"`
+	Open          int64                    `json:"open_conns"`
+	FramingErrors uint64                   `json:"framing_errors"`
+	Endpoints     map[string]endpointStats `json:"endpoints"`
+}
+
 type metricsResponse struct {
 	UptimeSeconds float64                   `json:"uptime_seconds"`
 	TotalRequests uint64                    `json:"total_requests"`
 	QPS           float64                   `json:"qps"`
 	Endpoints     map[string]endpointStats  `json:"endpoints"`
+	Binary        *binaryStatsJSON          `json:"binary,omitempty"`
 	Datacenters   map[string]shardStatsJSON `json:"datacenters"`
 }
 
@@ -809,6 +842,29 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			P99Us:    m.Latency.QuantileMicros(0.99),
 			MaxUs:    m.Latency.MaxMicros(),
 		}
+	}
+	if a.binary != nil {
+		st := a.binary.Stats()
+		bin := &binaryStatsJSON{
+			Addr:          a.binaryAddr,
+			Accepted:      st.Accepted,
+			Open:          st.Open,
+			FramingErrors: st.FramingErrors,
+			Endpoints:     make(map[string]endpointStats, len(binaryOps)),
+		}
+		for _, op := range binaryOps {
+			m := a.binary.endpointMetric(op)
+			resp.TotalRequests += m.Requests.Load()
+			bin.Endpoints[op.String()] = endpointStats{
+				Requests: m.Requests.Load(),
+				Errors:   m.Errors.Load(),
+				MeanUs:   m.Latency.MeanMicros(),
+				P50Us:    m.Latency.QuantileMicros(0.50),
+				P99Us:    m.Latency.QuantileMicros(0.99),
+				MaxUs:    m.Latency.MaxMicros(),
+			}
+		}
+		resp.Binary = bin
 	}
 	if uptime > 0 {
 		resp.QPS = float64(resp.TotalRequests) / uptime

@@ -24,7 +24,10 @@ import (
 // scale/seed flags discards the stale file and re-clusters.
 
 // persistVersion guards the file format; bump on incompatible changes.
-const persistVersion = 1
+// v2: lease ids became random values — the ledger state lost its
+// next_id counter, and sequential ids from v1 files must not survive onto
+// the binary wire, so v1 files are discarded wholesale.
+const persistVersion = 2
 
 type persistedClass struct {
 	ID                 int       `json:"id"`

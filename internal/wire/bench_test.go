@@ -1,0 +1,67 @@
+package wire
+
+import "testing"
+
+// The encode/decode paths are the per-frame cost the binary dialect pays
+// where JSON pays encoding/json — they must stay allocation-free against
+// reused buffers (appending into a capacity-retaining slice, decoding into
+// a struct whose slices are reused via sized()).
+
+var benchSelectResp = SelectResp{
+	Generation:  42,
+	Lease:       0xfeedface,
+	ExpiresIn:   120,
+	Job:         JobLong,
+	Satisfiable: true,
+	Classes: []SelectGrant{
+		{Class: 0, Headroom: 512.5, Granted: 64},
+		{Class: 1, Headroom: 120.25, Granted: 0},
+		{Class: 2, Headroom: 33, Granted: 0},
+	},
+}
+
+func BenchmarkAppendSelectReq(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendSelectReq(buf[:0], uint64(i), "DC-9",
+			SelectReq{Job: JobLong, MaxCores: 64, HoldMillis: 120000})
+	}
+}
+
+func BenchmarkAppendSelectResp(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendSelectResp(buf[:0], uint64(i), &benchSelectResp)
+	}
+}
+
+func BenchmarkDecodeSelectResp(b *testing.B) {
+	frame := AppendSelectResp(nil, 1, &benchSelectResp)
+	payload := frame[HeaderSize:]
+	var out SelectResp
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := out.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeReleaseResp(b *testing.B) {
+	frame := AppendReleaseResp(nil, 1, &ReleaseResp{
+		Lease: 7, TotalMillis: 64000,
+		Grants: []ReleaseGrant{{Class: 0, Millis: 64000}},
+	})
+	payload := frame[HeaderSize:]
+	var out ReleaseResp
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := out.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package wire is the binary frame protocol for the serving hot path: the
+// same select/release/place/classes semantics as the JSON API, reframed as
+// length-prefixed binary messages so a pipelining client pays bytes and
+// branch-light parsing instead of net/http and encoding/json. BENCH_PR4 put
+// the in-process select at ~278 ns while the end-to-end JSON request costs
+// ~20 µs — the difference is almost entirely transport, and this package is
+// the transport that doesn't.
+//
+// Framing: every message is a fixed 16-byte header followed by a payload of
+// Header.Len bytes.
+//
+//	offset  size  field
+//	0       1     magic (0xA7)
+//	1       1     protocol version (1)
+//	2       1     opcode
+//	3       1     flags (reserved, 0 in version 1)
+//	4       4     payload length, uint32 little-endian (≤ MaxPayload)
+//	8       8     request id, uint64 little-endian (echoed in the response)
+//
+// All multi-byte payload fields are fixed-width little-endian — no varints,
+// so decoding is a bounds check and an unaligned load, never a loop.
+// Strings (datacenter names) are a one-byte length followed by raw bytes.
+// Request ids are opaque to the server: responses echo them verbatim, which
+// is what lets a router interleave frames from many clients over one
+// backend connection and still hand each response back correctly.
+//
+// Encoding is append-style into caller-owned buffers (BeginFrame /
+// Append* / EndFrame back-patches the length), decoding is a sticky-error
+// Reader over the payload slice — both sides run allocation-free against
+// reused scratch buffers.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+const (
+	// Magic is the first byte of every frame. A JSON client that accidentally
+	// connects to the binary port fails the magic check on its first byte
+	// ('P' of POST is 0x50) and the connection closes immediately.
+	Magic = 0xA7
+	// Version is the protocol version this package speaks.
+	Version = 1
+	// HeaderSize is the fixed frame header length.
+	HeaderSize = 16
+	// MaxPayload caps a frame payload, mirroring the JSON API's request body
+	// cap. A length field past this is treated as a framing error (desynced
+	// or hostile peer), not a large message.
+	MaxPayload = 1 << 20
+	// MaxStr8 is the longest string a one-byte-length field can carry.
+	MaxStr8 = 255
+)
+
+// Op identifies a frame's message type. Requests have the high bit clear;
+// each response opcode is its request's opcode with RespBit set. OpError is
+// the error response to any request.
+type Op uint8
+
+// RespBit distinguishes responses from requests.
+const RespBit Op = 0x80
+
+const (
+	OpSelect      Op = 0x01
+	OpRelease     Op = 0x02
+	OpPlace       Op = 0x03
+	OpClasses     Op = 0x04
+	OpServerClass Op = 0x05
+
+	OpSelectResp      = OpSelect | RespBit
+	OpReleaseResp     = OpRelease | RespBit
+	OpPlaceResp       = OpPlace | RespBit
+	OpClassesResp     = OpClasses | RespBit
+	OpServerClassResp = OpServerClass | RespBit
+
+	// OpError carries a status code (the JSON API's HTTP status for the same
+	// failure) and a message. Sent in place of any response frame.
+	OpError Op = 0xFF
+)
+
+// String names an opcode for metrics and logs.
+func (o Op) String() string {
+	switch o {
+	case OpSelect:
+		return "select"
+	case OpRelease:
+		return "release"
+	case OpPlace:
+		return "place"
+	case OpClasses:
+		return "classes"
+	case OpServerClass:
+		return "server_class"
+	case OpSelectResp:
+		return "select_resp"
+	case OpReleaseResp:
+		return "release_resp"
+	case OpPlaceResp:
+		return "place_resp"
+	case OpClassesResp:
+		return "classes_resp"
+	case OpServerClassResp:
+		return "server_class_resp"
+	case OpError:
+		return "error"
+	}
+	return fmt.Sprintf("op(0x%02x)", uint8(o))
+}
+
+// IsRequest reports whether the opcode is a client-to-server request.
+func (o Op) IsRequest() bool {
+	switch o {
+	case OpSelect, OpRelease, OpPlace, OpClasses, OpServerClass:
+		return true
+	}
+	return false
+}
+
+// Resp returns the response opcode for a request opcode.
+func (o Op) Resp() Op { return o | RespBit }
+
+// Select request flag bits (payload-level, not the header flags byte).
+const (
+	// SelectFlagDryRun asks the advisory behaviour: run selection, reserve
+	// nothing, return no lease.
+	SelectFlagDryRun = 1 << 0
+)
+
+// Place request flag bits.
+const (
+	// PlaceFlagRelaxed drops the harvesting-environment constraint, the JSON
+	// API's relaxed_environment.
+	PlaceFlagRelaxed = 1 << 0
+)
+
+// Select job-type codes. 0-2 mirror core.JobType; JobFromLastRun asks the
+// server to classify LastRunSeconds against the snapshot's thresholds (the
+// JSON API's empty job_type).
+const (
+	JobShort       = 0
+	JobMedium      = 1
+	JobLong        = 2
+	JobFromLastRun = 3
+)
+
+// Header is a parsed frame header.
+type Header struct {
+	Op    Op
+	Flags uint8
+	Len   uint32
+	ID    uint64
+}
+
+// Framing errors. ErrBadFrame means the byte stream is not speaking this
+// protocol (wrong magic or an absurd length): the connection is desynced and
+// must be closed. ErrBadVersion is a well-formed frame from a future
+// protocol revision.
+var (
+	ErrBadFrame   = errors.New("wire: bad frame")
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	// ErrShortPayload is returned by message decoders when the payload ends
+	// before the message does (or carries trailing bytes — both are framing
+	// bugs, not semantic errors).
+	ErrShortPayload = errors.New("wire: truncated or malformed payload")
+)
+
+// ParseHeader decodes a frame header from b[:HeaderSize].
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, ErrBadFrame
+	}
+	if b[0] != Magic {
+		return Header{}, ErrBadFrame
+	}
+	if b[1] != Version {
+		return Header{}, ErrBadVersion
+	}
+	h := Header{
+		Op:    Op(b[2]),
+		Flags: b[3],
+		Len:   binary.LittleEndian.Uint32(b[4:8]),
+		ID:    binary.LittleEndian.Uint64(b[8:16]),
+	}
+	if h.Len > MaxPayload {
+		return Header{}, ErrBadFrame
+	}
+	return h, nil
+}
+
+// ReadFrame reads one full frame from r, growing *scratch as needed, and
+// returns the header plus the payload slice (aliasing *scratch — valid until
+// the next call with the same scratch). Errors are io errors, ErrBadFrame,
+// or ErrBadVersion; a clean EOF before any header byte returns io.EOF.
+func ReadFrame(r io.Reader, scratch *[]byte) (Header, []byte, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Header{}, nil, ErrBadFrame
+		}
+		return Header{}, nil, err
+	}
+	h, err := ParseHeader(hdr[:])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if cap(*scratch) < int(h.Len) {
+		*scratch = make([]byte, h.Len)
+	}
+	payload := (*scratch)[:h.Len]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Header{}, nil, ErrBadFrame
+	}
+	return h, payload, nil
+}
+
+// BeginFrame appends a frame header with a zero length field to dst and
+// returns the extended buffer. The caller appends the payload and then calls
+// EndFrame with the offset BeginFrame started at (len(dst) before the call)
+// to back-patch the length.
+func BeginFrame(dst []byte, op Op, id uint64) []byte {
+	dst = append(dst, Magic, Version, byte(op), 0)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	return binary.LittleEndian.AppendUint64(dst, id)
+}
+
+// EndFrame back-patches the payload length of the frame that started at
+// offset mark in buf. Panics if the payload exceeds MaxPayload — frames are
+// built by this codebase, so an oversized one is a bug, not input.
+func EndFrame(buf []byte, mark int) []byte {
+	n := len(buf) - mark - HeaderSize
+	if n < 0 || n > MaxPayload {
+		panic("wire: EndFrame on a frame exceeding MaxPayload")
+	}
+	binary.LittleEndian.PutUint32(buf[mark+4:mark+8], uint32(n))
+	return buf
+}
+
+// AppendFrame appends a complete frame with the given payload.
+func AppendFrame(dst []byte, op Op, id uint64, payload []byte) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, op, id)
+	dst = append(dst, payload...)
+	return EndFrame(dst, mark)
+}
+
+// Append* primitives: fixed-width little-endian scalar encoders.
+
+func AppendU8(dst []byte, v uint8) []byte   { return append(dst, v) }
+func AppendU16(dst []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(dst, v) }
+func AppendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func AppendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func AppendI64(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+func AppendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendStr8 appends a one-byte-length string. Panics past MaxStr8: the only
+// strings on the wire are datacenter names, which come from configuration —
+// a longer one is an operator error surfaced at startup, not silently
+// truncated onto the wire.
+func AppendStr8(dst []byte, s string) []byte {
+	if len(s) > MaxStr8 {
+		panic("wire: string exceeds one-byte length prefix: " + s[:32] + "...")
+	}
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...)
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Reader decodes a payload with a sticky error: any read past the end sets
+// the error flag and returns zero values, so a decode sequence needs exactly
+// one error check at the end — branch-light, and garbage input can never
+// over-read or panic.
+type Reader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+// NewReader returns a Reader over payload.
+func NewReader(payload []byte) Reader { return Reader{b: payload} }
+
+func (r *Reader) take(n int) []byte {
+	if r.bad || len(r.b)-r.off < n {
+		r.bad = true
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Str8 reads a one-byte-length string, returning a subslice of the payload
+// (no copy — valid as long as the payload is).
+func (r *Reader) Str8() []byte {
+	n := int(r.U8())
+	return r.take(n)
+}
+
+// Bytes reads n raw bytes as a payload subslice.
+func (r *Reader) Bytes(n int) []byte { return r.take(n) }
+
+// Remaining reports unread payload bytes.
+func (r *Reader) Remaining() int {
+	if r.bad {
+		return 0
+	}
+	return len(r.b) - r.off
+}
+
+// Err reports whether any read ran past the payload.
+func (r *Reader) Err() error {
+	if r.bad {
+		return ErrShortPayload
+	}
+	return nil
+}
+
+// Done is the strict end-of-message check: an error if the payload was
+// over-read or has trailing bytes. Message decoders end with it so a frame
+// is either exactly one message or rejected.
+func (r *Reader) Done() error {
+	if r.bad || r.off != len(r.b) {
+		return ErrShortPayload
+	}
+	return nil
+}
+
+// PeekDC extracts the leading datacenter name every request payload starts
+// with — the router's routing key, readable without decoding the rest of the
+// message.
+func PeekDC(payload []byte) ([]byte, bool) {
+	if len(payload) < 1 {
+		return nil, false
+	}
+	n := int(payload[0])
+	if len(payload) < 1+n {
+		return nil, false
+	}
+	return payload[1 : 1+n], true
+}
