@@ -6,13 +6,15 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"time"
 
+	"harvest/internal/obs"
 	"harvest/internal/signalproc"
 	"harvest/internal/stats"
 	"harvest/internal/trace"
 )
+
+var logger = obs.NewLogger("characterize")
 
 func main() {
 	dc := flag.String("dc", "DC-9", "datacenter profile name (DC-0 ... DC-9)")
@@ -22,12 +24,12 @@ func main() {
 
 	profile, ok := trace.ProfileByName(*dc)
 	if !ok {
-		log.Fatalf("unknown datacenter %q", *dc)
+		obs.Fatal(logger, "unknown datacenter", "dc", *dc)
 	}
 	gen := trace.NewGenerator(profile.Scaled(*scale), *seed)
 	pop, err := gen.Generate()
 	if err != nil {
-		log.Fatalf("generating telemetry: %v", err)
+		obs.Fatal(logger, "generating telemetry failed", "dc", *dc, "err", err)
 	}
 
 	tenantShare, serverShare := pop.PatternShares()
@@ -61,7 +63,7 @@ func main() {
 
 	groups, err := trace.MonthlyGroups(pop)
 	if err != nil {
-		log.Fatalf("grouping: %v", err)
+		obs.Fatal(logger, "grouping failed", "dc", *dc, "err", err)
 	}
 	changes := trace.GroupChanges(groups)
 	var changeCounts []float64

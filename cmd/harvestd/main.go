@@ -20,7 +20,7 @@
 //	         [-ingest-token TOKEN] [-ingest-rate 0]
 //	         [-announce http://router:7070] [-announce-interval 2s]
 //	         [-advertise http://host:7077] [-node-id NAME]
-//	         [-announce-token TOKEN]
+//	         [-announce-token TOKEN] [-debug-addr 127.0.0.1:7177]
 //
 // With -announce, the daemon heartbeats its datacenter set and per-DC
 // snapshot generations to a harvestrouter front end (cmd/harvestrouter), so
@@ -39,8 +39,6 @@ package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"net/url"
@@ -51,8 +49,12 @@ import (
 	"time"
 
 	"harvest/internal/experiments"
+	"harvest/internal/obs"
 	"harvest/internal/service"
 )
+
+// logger is the daemon's structured logger (component=harvestd).
+var logger = obs.NewLogger("harvestd")
 
 // splitNonEmpty splits a comma-separated flag value, dropping empty entries
 // (so an unset flag yields nil, not [""]).
@@ -128,6 +130,7 @@ func main() {
 	nodeID := flag.String("node-id", "", "stable backend identity for router registration (default: the advertised URL)")
 	announceToken := flag.String("announce-token", "", "bearer token for router registration (must match the router's -register-token)")
 	trustedProxies := flag.String("trusted-proxies", "", "comma-separated router IPs/CIDRs whose X-Forwarded-For keys the per-source ingest rate limit (the header is ignored from all other peers)")
+	debugAddr := flag.String("debug-addr", "", "address for the operator debug listener (pprof, expvar, /debug/traces); empty disables. Keep it off the data-plane address.")
 	flag.Parse()
 
 	cfg := service.DefaultConfig()
@@ -144,28 +147,28 @@ func main() {
 		if len(cfg.Datacenters) == 0 {
 			// An empty cfg.Datacenters means "serve everything" — a typo'd
 			// -dcs must not silently boot (and announce) every datacenter.
-			log.Fatalf("harvestd: -dcs %q selects no datacenters", *dcs)
+			obs.Fatal(logger, "-dcs selects no datacenters", "dcs", *dcs)
 		}
 	}
 
 	start := time.Now()
 	svc, err := service.New(cfg)
 	if err != nil {
-		log.Fatalf("harvestd: %v", err)
+		obs.Fatal(logger, "boot failed", "err", err)
 	}
 	for _, dc := range svc.Datacenters() {
 		st, _ := svc.Stats(dc)
-		log.Printf("harvestd: %s ready: %d classes over %d servers (%d tenants, generation %d, built in %v)",
-			dc, st.Classes, st.Servers, st.Tenants, st.Generation, st.BuildDuration.Round(time.Millisecond))
+		logger.Info("datacenter ready", "dc", dc, "classes", st.Classes, "servers", st.Servers,
+			"tenants", st.Tenants, "generation", st.Generation, "build", st.BuildDuration.Round(time.Millisecond))
 	}
 	svc.Start()
 	defer svc.Close()
-	log.Printf("harvestd: %d datacenters bootstrapped in %v, refresh every %v (full rebuild every %d refreshes)",
-		len(svc.Datacenters()), time.Since(start).Round(time.Millisecond), *refresh, *fullEvery)
+	logger.Info("bootstrapped", "datacenters", len(svc.Datacenters()),
+		"took", time.Since(start).Round(time.Millisecond), "refresh", *refresh, "full_every", *fullEvery)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("harvestd: %v", err)
+		obs.Fatal(logger, "listen failed", "addr", *listen, "err", err)
 	}
 	api := service.NewAPIWith(svc, service.APIOptions{
 		IngestToken:         *ingestToken,
@@ -177,12 +180,22 @@ func main() {
 		bs := service.NewBinaryServer(svc)
 		bound, _, err := bs.ListenAndServe(*binaryAddr)
 		if err != nil {
-			log.Fatalf("harvestd: binary listener: %v", err)
+			obs.Fatal(logger, "binary listener failed", "addr", *binaryAddr, "err", err)
 		}
 		defer bs.Close()
 		binAdvertise = advertisedHostPort(bound, *advertise)
 		api.AttachBinary(bs, binAdvertise)
-		log.Printf("harvestd: binary protocol on %s (advertised as %s)", bound, binAdvertise)
+		logger.Info("binary protocol listening", "addr", bound.String(), "advertised", binAdvertise)
+	}
+	if *debugAddr != "" {
+		// The debug surface (pprof, expvar, build info, the trace viewer)
+		// lives on its own listener so it is never reachable through the
+		// data-plane address a router or client is pointed at.
+		bound, err := obs.ServeDebug(*debugAddr, "harvestd", api.Recorder())
+		if err != nil {
+			obs.Fatal(logger, "debug listener failed", "addr", *debugAddr, "err", err)
+		}
+		logger.Info("debug listener on", "addr", bound)
 	}
 	if *announce != "" {
 		selfURL := *advertise
@@ -191,7 +204,7 @@ func main() {
 		}
 		routers := splitNonEmpty(*announce)
 		if len(routers) == 0 {
-			log.Fatalf("harvestd: -announce %q selects no routers", *announce)
+			obs.Fatal(logger, "-announce selects no routers", "announce", *announce)
 		}
 		for _, routerURL := range routers {
 			ann, err := service.StartAnnouncer(svc, service.AnnouncerConfig{
@@ -203,12 +216,12 @@ func main() {
 				Token:      *announceToken,
 			})
 			if err != nil {
-				log.Fatalf("harvestd: %v", err)
+				obs.Fatal(logger, "announcer failed", "router", routerURL, "err", err)
 			}
 			defer ann.Close()
 		}
-		log.Printf("harvestd: announcing %s as %s to %s every %v",
-			strings.Join(svc.Datacenters(), ","), selfURL, *announce, *announceEvery)
+		logger.Info("announcing", "datacenters", strings.Join(svc.Datacenters(), ","),
+			"self", selfURL, "routers", *announce, "interval", *announceEvery)
 	}
 	// BatchListener coalesces pipelined responses into one write syscall per
 	// batch; see internal/service/batchconn.go. The timeouts reclaim
@@ -220,16 +233,15 @@ func main() {
 	}
 	errs := make(chan error, 1)
 	go func() { errs <- server.Serve(service.BatchListener{Listener: ln}) }()
-	log.Printf("harvestd: serving on %s", *listen)
+	logger.Info("serving", "addr", *listen)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigs:
-		log.Printf("harvestd: %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		server.Close()
 	case err := <-errs:
-		fmt.Fprintf(os.Stderr, "harvestd: %v\n", err)
-		os.Exit(1)
+		obs.Fatal(logger, "server failed", "err", err)
 	}
 }

@@ -11,7 +11,7 @@
 //	harvestrouter [-listen :7070] [-binary-listen :7071]
 //	              [-stale-after 10s] [-retry-after 2s]
 //	              [-breaker-fails 3] [-breaker-cooldown 2s]
-//	              [-register-token TOKEN]
+//	              [-register-token TOKEN] [-debug-addr 127.0.0.1:7170]
 //
 // Pair it with backends like:
 //
@@ -28,8 +28,6 @@ package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -37,9 +35,13 @@ import (
 	"syscall"
 	"time"
 
+	"harvest/internal/obs"
 	"harvest/internal/router"
 	"harvest/internal/service"
 )
+
+// logger is the daemon's structured logger (component=harvestrouter).
+var logger = obs.NewLogger("harvestrouter")
 
 func main() {
 	listen := flag.String("listen", ":7070", "address to serve on")
@@ -50,6 +52,7 @@ func main() {
 	breakerFails := flag.Int("breaker-fails", 3, "consecutive transport failures that open a backend's circuit (negative disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long an open circuit rejects requests before a probe")
 	registerToken := flag.String("register-token", "", "require this bearer token on POST /v1/register (registration moves routing — protect it on shared networks)")
+	debugAddr := flag.String("debug-addr", "", "address for the operator debug listener (pprof, expvar, /debug/traces); empty disables. Keep it off the data-plane address.")
 	flag.Parse()
 
 	rt := router.New(router.Config{
@@ -62,14 +65,23 @@ func main() {
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("harvestrouter: %v", err)
+		obs.Fatal(logger, "listen failed", "addr", *listen, "err", err)
+	}
+	if *debugAddr != "" {
+		// The debug surface stays off the data-plane listener: routing and
+		// registration share -listen, operators get their own port.
+		bound, err := obs.ServeDebug(*debugAddr, "harvestrouter", rt.Recorder())
+		if err != nil {
+			obs.Fatal(logger, "debug listener failed", "addr", *debugAddr, "err", err)
+		}
+		logger.Info("debug listener on", "addr", bound)
 	}
 
 	var binErrs <-chan error
 	if *binaryListen != "" {
 		binAddr, errc, err := rt.ListenAndServeBinary(*binaryListen)
 		if err != nil {
-			log.Fatalf("harvestrouter: binary listener: %v", err)
+			obs.Fatal(logger, "binary listener failed", "addr", *binaryListen, "err", err)
 		}
 		defer rt.CloseBinary()
 		binErrs = errc
@@ -78,7 +90,7 @@ func main() {
 			advertise = localHostPort(binAddr)
 		}
 		rt.SetBinaryAdvertise(advertise)
-		log.Printf("harvestrouter: binary dialect on %s (advertised as %s)", binAddr, advertise)
+		logger.Info("binary dialect listening", "addr", binAddr.String(), "advertised", advertise)
 	}
 	server := &http.Server{
 		Handler:           rt,
@@ -87,21 +99,18 @@ func main() {
 	}
 	errs := make(chan error, 1)
 	go func() { errs <- server.Serve(service.BatchListener{Listener: ln}) }()
-	log.Printf("harvestrouter: serving on %s (backends register via POST /v1/register, stale after %v)",
-		*listen, *staleAfter)
+	logger.Info("serving", "addr", *listen, "stale_after", *staleAfter)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigs:
-		log.Printf("harvestrouter: %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		server.Close()
 	case err := <-errs:
-		fmt.Fprintf(os.Stderr, "harvestrouter: %v\n", err)
-		os.Exit(1)
+		obs.Fatal(logger, "server failed", "err", err)
 	case err := <-binErrs:
-		fmt.Fprintf(os.Stderr, "harvestrouter: binary listener: %v\n", err)
-		os.Exit(1)
+		obs.Fatal(logger, "binary listener failed", "err", err)
 	}
 }
 

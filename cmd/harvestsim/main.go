@@ -13,12 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 
 	"harvest/internal/experiments"
+	"harvest/internal/obs"
 )
+
+var logger = obs.NewLogger("harvestsim")
 
 // experimentIndex maps each runnable experiment name to the paper artifact it
 // reproduces; `-experiment list` prints it and unknown names suggest from it.
@@ -67,7 +69,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*experiment, scale); err != nil {
-		log.Fatalf("%s: %v", *experiment, err)
+		obs.Fatal(logger, "experiment failed", "experiment", *experiment, "err", err)
 	}
 }
 

@@ -27,7 +27,7 @@
 //	loadgen [-target http://127.0.0.1:7077] [-workers 2] [-pipeline 64]
 //	        [-duration 5s] [-rate 0] [-wait 0] [-proto json|binary]
 //	        [-mix select=30,release=30,place=30,classes=5,server=5]
-//	        [-json]
+//	        [-json] [-out report.json]
 //
 // -proto binary drives the same mix over the length-prefixed binary frame
 // dialect (internal/wire) instead of HTTP/JSON. Discovery stays on the JSON
@@ -72,7 +72,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"math/rand"
 	"net"
 	"net/http"
@@ -85,6 +84,7 @@ import (
 	"time"
 
 	"harvest/internal/experiments"
+	"harvest/internal/obs"
 	"harvest/internal/service"
 	"harvest/internal/tenant"
 	"harvest/internal/timeseries"
@@ -104,6 +104,10 @@ const (
 
 var opNames = [numOps]string{"select", "release", "place", "classes", "server"}
 
+// logger covers the pre-run setup path (flag validation, discovery); the
+// measured loop itself never logs.
+var logger = obs.NewLogger("loadgen")
+
 func main() {
 	target := flag.String("target", "http://127.0.0.1:7077", "harvestd base URL or host:port")
 	workers := flag.Int("workers", 2, "concurrent connections")
@@ -118,11 +122,12 @@ func main() {
 	wait := flag.Duration("wait", 0, "keep retrying the initial datacenter discovery for this long (a router front end lists no datacenters until its backends register)")
 	emitInterval := flag.Duration("emit-interval", 200*time.Millisecond, "telemetry mode: wall-clock pause between slot batches")
 	scale := flag.Float64("scale", 0.05, "telemetry mode: datacenter scale (must match the harvestd flags)")
+	out := flag.String("out", "", "also write the JSON report, with the full latency bucket vector and run config, to this file")
 	flag.Parse()
 
 	baseURL, addr, err := parseTarget(*target)
 	if err != nil {
-		log.Fatalf("loadgen: %v", err)
+		obs.Fatal(logger, "bad target", "target", *target, "err", err)
 	}
 	if *telemetry {
 		runTelemetryEmitter(baseURL, *scale, *seed, *duration, *emitInterval, *wait, *jsonOut)
@@ -131,21 +136,21 @@ func main() {
 
 	weights, err := parseMix(*mix)
 	if err != nil {
-		log.Fatalf("loadgen: %v", err)
+		obs.Fatal(logger, "bad -mix", "mix", *mix, "err", err)
 	}
 	if *proto != "json" && *proto != "binary" {
-		log.Fatalf("loadgen: -proto must be json or binary, got %q", *proto)
+		obs.Fatal(logger, "-proto must be json or binary", "proto", *proto)
 	}
 	dcs, err := fetchSetupWait(baseURL, *wait)
 	if err != nil {
-		log.Fatalf("loadgen: %v", err)
+		obs.Fatal(logger, "discovery failed", "target", baseURL, "err", err)
 	}
 	if *proto == "binary" {
 		// Capability discovery rides the JSON control plane; only the query
 		// connections switch dialects.
 		binAddr, err := retryUntil(*wait, func() (string, error) { return discoverBinaryAddr(baseURL) })
 		if err != nil {
-			log.Fatalf("loadgen: %v", err)
+			obs.Fatal(logger, "binary discovery failed", "target", baseURL, "err", err)
 		}
 		addr = binAddr
 	}
@@ -163,7 +168,12 @@ func main() {
 	start := time.Now()
 	deadline := start.Add(*duration)
 	for i := 0; i < *workers; i++ {
-		w := newWorker(addr, *proto == "binary", dcs, weights, *pipeline, rand.New(rand.NewSource(*seed+int64(i))))
+		// Frame id i+1: nonzero and unique per worker, so binary-dialect
+		// traces in the server's /debug/traces ring correlate back to the
+		// worker that sent them (the JSON dialect gets the same linkage from
+		// the X-Harvest-Trace response header).
+		w := newWorker(addr, *proto == "binary", dcs, weights, *pipeline, uint64(i+1),
+			rand.New(rand.NewSource(*seed+int64(i))))
 		results[i] = &w.stats
 		runWG.Add(1)
 		drainWG.Add(1)
@@ -187,7 +197,16 @@ func main() {
 	// drain starts its own (unmeasured) connections.
 	elapsed := time.Since(start)
 	drainWG.Wait()
-	report(results, *proto, elapsed, *workers, *pipeline, *rate, *jsonOut)
+	report(results, runConfig{
+		target:   baseURL,
+		proto:    *proto,
+		workers:  *workers,
+		pipeline: *pipeline,
+		rate:     *rate,
+		mix:      *mix,
+		seed:     *seed,
+		out:      *out,
+	}, elapsed, *jsonOut)
 }
 
 // parseMix turns "select=40,place=40,..." into per-op weights. A repeated
@@ -362,6 +381,14 @@ type workerStats struct {
 	errors    [numOps]uint64
 	transport atomic.Uint64 // connection-level failures (reconnects)
 	latency   service.Histogram
+
+	// trace is the 16-hex-digit trace id of the worker's most recent traced
+	// request — the X-Harvest-Trace header of the last parsed JSON response,
+	// or (binary dialect) the worker's fixed frame id, set once at
+	// construction. A zero first byte means no trace was ever seen. Only the
+	// response-reading goroutine writes it; the report reads it after the
+	// run barrier.
+	trace [16]byte
 }
 
 // inflight is one pipelined request awaiting its response. dc is the index
@@ -393,6 +420,8 @@ type worker struct {
 	pool map[string][]int64  // live server-id pool per DC
 	held map[string][]uint64 // outstanding lease ids per DC (select → hold → release)
 
+	frameID uint64 // binary dialect: this worker's frame id (nonzero, unique per worker)
+
 	conn        net.Conn
 	br          *bufio.Reader
 	bw          *bufio.Writer
@@ -408,13 +437,14 @@ type worker struct {
 	placeResp wire.PlaceResp
 }
 
-func newWorker(addr string, bin bool, dcs []dcSetup, weights [numOps]int, depth int, rng *rand.Rand) *worker {
+func newWorker(addr string, bin bool, dcs []dcSetup, weights [numOps]int, depth int, frameID uint64, rng *rand.Rand) *worker {
 	w := &worker{
 		addr:    addr,
 		bin:     bin,
 		dcs:     dcs,
 		rng:     rng,
 		depth:   depth,
+		frameID: frameID,
 		selects: make(map[string][][]byte, len(dcs)),
 		places:  make(map[string][]byte, len(dcs)),
 		classes: make(map[string][]byte, len(dcs)),
@@ -427,20 +457,25 @@ func newWorker(addr string, bin bool, dcs []dcSetup, weights [numOps]int, depth 
 			w.opTable = append(w.opTable, i)
 		}
 	}
+	if bin {
+		// Every one of this worker's frames carries its fixed id: pipelined
+		// responses return in order, so the id disambiguates nothing on the
+		// wire — but the servers adopt it as the trace id, which is what
+		// makes a worker's requests findable in /debug/traces.
+		copy(w.stats.trace[:], obs.FormatTraceID(frameID))
+	}
 	coreSizes := []int{2, 8, 32, 128}
 	for _, dc := range dcs {
 		// A spread of select shapes: every job type at several demand sizes.
-		// Pipelined responses return in order, so the request id carries no
-		// information; every frame uses id 0.
 		if bin {
 			for _, job := range []uint8{wire.JobShort, wire.JobMedium, wire.JobLong} {
 				for _, cores := range coreSizes {
 					w.selects[dc.name] = append(w.selects[dc.name],
-						wire.AppendSelectReq(nil, 0, dc.name, wire.SelectReq{Job: job, MaxCores: float64(cores)}))
+						wire.AppendSelectReq(nil, frameID, dc.name, wire.SelectReq{Job: job, MaxCores: float64(cores)}))
 				}
 			}
-			w.places[dc.name] = wire.AppendPlaceReq(nil, 0, dc.name, wire.PlaceReq{Replication: 3, Writer: -1})
-			w.classes[dc.name] = wire.AppendClassesReq(nil, 0, dc.name)
+			w.places[dc.name] = wire.AppendPlaceReq(nil, frameID, dc.name, wire.PlaceReq{Replication: 3, Writer: -1})
+			w.classes[dc.name] = wire.AppendClassesReq(nil, frameID, dc.name)
 		} else {
 			for _, jt := range []string{"short", "medium", "long"} {
 				for _, cores := range coreSizes {
@@ -552,7 +587,7 @@ func (w *worker) pickRequest() (op, int, []byte) {
 		id := pool[w.rng.Intn(len(pool))]
 		w.mu.Unlock()
 		if w.bin {
-			w.reqBuf = wire.AppendServerClassReq(w.reqBuf[:0], 0, dc.name, id)
+			w.reqBuf = wire.AppendServerClassReq(w.reqBuf[:0], w.frameID, dc.name, id)
 			return o, dci, w.reqBuf
 		}
 		w.reqBuf = w.reqBuf[:0]
@@ -590,7 +625,7 @@ const maxHeldLeases = 1 << 16
 // buffer — shared by the in-mix release op and the end-of-run drain.
 func (w *worker) buildReleaseRequest(dc string, id uint64) []byte {
 	if w.bin {
-		w.reqBuf = wire.AppendReleaseReq(w.reqBuf[:0], 0, dc, id)
+		w.reqBuf = wire.AppendReleaseReq(w.reqBuf[:0], w.frameID, dc, id)
 		return w.reqBuf
 	}
 	w.bodyScratch = append(w.bodyScratch[:0], `{"lease":`...)
@@ -677,7 +712,7 @@ func (w *worker) readOne() error {
 }
 
 func (w *worker) readOneJSON(entry inflight) error {
-	status, body, err := readResponse(w.br, w.bodyBuf[:0])
+	status, body, err := readResponse(w.br, w.bodyBuf[:0], &w.stats.trace)
 	if err != nil {
 		return err
 	}
@@ -786,7 +821,7 @@ func (w *worker) runOpen(first, deadline time.Time, interval time.Duration) {
 				w.stats.latency.Observe(time.Since(entry.sentAt))
 				continue
 			}
-			status, body, err := readResponse(w.br, bodyBuf[:0])
+			status, body, err := readResponse(w.br, bodyBuf[:0], &w.stats.trace)
 			if err != nil {
 				w.stats.transport.Add(1)
 				dead = true
@@ -858,7 +893,7 @@ func (w *worker) drainLeases() {
 				}
 				continue
 			}
-			if _, body, err := readResponse(w.br, w.bodyBuf[:0]); err != nil {
+			if _, body, err := readResponse(w.br, w.bodyBuf[:0], nil); err != nil {
 				w.stats.transport.Add(1)
 				return false
 			} else {
@@ -936,13 +971,17 @@ func (w *worker) harvestServers(body []byte) {
 var (
 	statusPrefix  = []byte("HTTP/1.1 ")
 	contentLenHdr = []byte("Content-Length: ")
+	traceHdr      = []byte(obs.TraceHeader + ": ")
 )
 
 // readResponse parses one HTTP/1.1 response with an explicit Content-Length
 // (which harvestd guarantees) and returns the status code and body. It reads
 // header lines with ReadSlice, so the per-response hot path allocates nothing
-// once the body buffer has grown to its steady-state size.
-func readResponse(br *bufio.Reader, bodyBuf []byte) (int, []byte, error) {
+// once the body buffer has grown to its steady-state size. When trace is
+// non-nil and the response carries an X-Harvest-Trace header of the expected
+// width, its value is copied in — each response overwrites the last, so the
+// caller ends the run holding its most recent trace id.
+func readResponse(br *bufio.Reader, bodyBuf []byte, trace *[16]byte) (int, []byte, error) {
 	line, err := br.ReadSlice('\n')
 	if err != nil {
 		return 0, nil, err
@@ -973,6 +1012,10 @@ func readResponse(br *bufio.Reader, bodyBuf []byte) (int, []byte, error) {
 					return 0, nil, fmt.Errorf("malformed Content-Length %q", line)
 				}
 				contentLength = contentLength*10 + int(c-'0')
+			}
+		} else if trace != nil && bytes.HasPrefix(line, traceHdr) {
+			if v := bytes.TrimSpace(line[len(traceHdr):]); len(v) == len(trace) {
+				copy(trace[:], v)
 			}
 		}
 	}
@@ -1010,20 +1053,20 @@ func runTelemetryEmitter(baseURL string, scale float64, seed int64, duration, in
 	// backends register.
 	names, err := retryUntil(wait, func() ([]string, error) { return discoverDatacenters(baseURL) })
 	if err != nil {
-		log.Fatalf("loadgen: %v", err)
+		obs.Fatal(logger, "discovery failed", "target", baseURL, "err", err)
 	}
 	replays := make([]*dcReplay, 0, len(names))
 	for _, dc := range names {
 		pop, _, err := experiments.BuildPopulation(dc, experiments.Scale{Datacenter: scale, Seed: seed})
 		if err != nil {
-			log.Fatalf("loadgen: regenerating %s: %v", dc, err)
+			obs.Fatal(logger, "regenerating population failed", "dc", dc, "err", err)
 		}
 		// Resume the replay where the daemon's bootstrap window ends.
 		var classes struct {
 			AsOfSeconds float64 `json:"as_of_seconds"`
 		}
 		if err := getJSON(baseURL+"/v1/"+dc+"/classes", &classes); err != nil {
-			log.Fatalf("loadgen: %v", err)
+			obs.Fatal(logger, "reading classes failed", "dc", dc, "err", err)
 		}
 		replays = append(replays, &dcReplay{
 			name:   dc,
@@ -1097,11 +1140,17 @@ func runTelemetryEmitter(baseURL string, scale float64, seed int64, duration, in
 		rep.Batches, rep.Samples, rep.Rejected, rep.Errors)
 }
 
-// jsonReport is the machine-readable run summary (-json); BENCH_PR2.json and
-// the CI smoke step consume it.
+// jsonReport is the machine-readable run summary (-json and -out);
+// BENCH_PR2.json and the CI smoke step consume it. trace_sample is the trace
+// id of the newest traced response any worker saw — recent enough to still be
+// resolvable in the target's /debug/traces ring right after the run, which is
+// exactly how the CI smoke job reconstructs a request across tiers.
 type jsonReport struct {
 	Mode            string            `json:"mode"`
 	Proto           string            `json:"proto"`
+	Target          string            `json:"target"`
+	Mix             string            `json:"mix"`
+	Seed            int64             `json:"seed"`
 	DurationSeconds float64           `json:"duration_seconds"`
 	Workers         int               `json:"workers"`
 	Pipeline        int               `json:"pipeline"`
@@ -1110,7 +1159,9 @@ type jsonReport struct {
 	Errors          uint64            `json:"errors"`
 	Reconnects      uint64            `json:"reconnects"`
 	QPS             float64           `json:"qps"`
+	TraceSample     string            `json:"trace_sample,omitempty"`
 	LatencyUs       latencyReport     `json:"latency_us"`
+	Buckets         []bucketRow       `json:"latency_buckets_us"`
 	Ops             map[string]opStat `json:"ops"`
 }
 
@@ -1122,25 +1173,48 @@ type latencyReport struct {
 	Max  uint64  `json:"max"`
 }
 
+// bucketRow is one merged-histogram bucket: count observations at ≤ le_us
+// microseconds and above the previous row's bound (non-cumulative, unlike the
+// Prometheus exposition of the same histogram).
+type bucketRow struct {
+	LeUs  uint64 `json:"le_us"`
+	Count uint64 `json:"count"`
+}
+
 type opStat struct {
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`
 }
 
-func report(results []*workerStats, proto string, duration time.Duration, workers, pipeline int, rate float64, jsonOut bool) {
+// runConfig carries the run's identifying flags into the report.
+type runConfig struct {
+	target   string
+	proto    string
+	workers  int
+	pipeline int
+	rate     float64
+	mix      string
+	seed     int64
+	out      string // write the report here too ("" disables)
+}
+
+func report(results []*workerStats, cfg runConfig, duration time.Duration, jsonOut bool) {
 	// Merge worker histograms into one for the global percentiles.
 	var merged service.Histogram
 	rep := jsonReport{
 		Mode:            "closed-loop",
-		Proto:           proto,
+		Proto:           cfg.proto,
+		Target:          cfg.target,
+		Mix:             cfg.mix,
+		Seed:            cfg.seed,
 		DurationSeconds: duration.Seconds(),
-		Workers:         workers,
-		Pipeline:        pipeline,
+		Workers:         cfg.workers,
+		Pipeline:        cfg.pipeline,
 		Ops:             make(map[string]opStat, numOps),
 	}
-	if rate > 0 {
+	if cfg.rate > 0 {
 		rep.Mode = "open-loop"
-		rep.TargetRate = rate
+		rep.TargetRate = cfg.rate
 	}
 	for i := op(0); i < numOps; i++ {
 		var s opStat
@@ -1155,6 +1229,9 @@ func report(results []*workerStats, proto string, duration time.Duration, worker
 	for _, ws := range results {
 		rep.Reconnects += ws.transport.Load()
 		merged.Merge(&ws.latency)
+		if ws.trace[0] != 0 {
+			rep.TraceSample = string(ws.trace[:])
+		}
 	}
 	rep.QPS = float64(rep.Requests) / duration.Seconds()
 	rep.LatencyUs = latencyReport{
@@ -1164,17 +1241,31 @@ func report(results []*workerStats, proto string, duration time.Duration, worker
 		P99:  merged.QuantileMicros(0.99),
 		Max:  merged.MaxMicros(),
 	}
+	counts := merged.BucketCounts(nil)
+	rep.Buckets = make([]bucketRow, len(counts))
+	for i, c := range counts {
+		rep.Buckets[i] = bucketRow{LeUs: obs.BucketUpperMicros(i), Count: c}
+	}
 
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(cfg.out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			obs.Fatal(logger, "writing report failed", "path", cfg.out, "err", err)
+		}
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		enc.Encode(rep)
 		return
 	}
-	if rate > 0 {
-		fmt.Printf("loadgen: open loop at %.0f req/s across %d workers for %v (%s)\n", rate, workers, duration, proto)
+	if cfg.rate > 0 {
+		fmt.Printf("loadgen: open loop at %.0f req/s across %d workers for %v (%s)\n", cfg.rate, cfg.workers, duration, cfg.proto)
 	} else {
-		fmt.Printf("loadgen: %d workers x pipeline %d for %v (%s)\n", workers, pipeline, duration, proto)
+		fmt.Printf("loadgen: %d workers x pipeline %d for %v (%s)\n", cfg.workers, cfg.pipeline, duration, cfg.proto)
 	}
 	fmt.Printf("  %d requests, %d errors, %d reconnects\n", rep.Requests, rep.Errors, rep.Reconnects)
 	fmt.Printf("  throughput: %.0f queries/sec\n", rep.QPS)

@@ -9,11 +9,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"harvest/internal/obs"
 	"harvest/internal/trace"
 )
+
+var logger = obs.NewLogger("tracegen")
 
 // tenantRecord is the exported per-tenant JSON shape.
 type tenantRecord struct {
@@ -37,11 +39,11 @@ func main() {
 
 	profile, ok := trace.ProfileByName(*dc)
 	if !ok {
-		log.Fatalf("unknown datacenter %q", *dc)
+		obs.Fatal(logger, "unknown datacenter", "dc", *dc)
 	}
 	pop, err := trace.NewGenerator(profile.Scaled(*scale), *seed).Generate()
 	if err != nil {
-		log.Fatalf("generating telemetry: %v", err)
+		obs.Fatal(logger, "generating telemetry failed", "dc", *dc, "err", err)
 	}
 
 	records := make([]tenantRecord, 0, len(pop.Tenants))
@@ -63,7 +65,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("creating %s: %v", *out, err)
+			obs.Fatal(logger, "creating output file failed", "path", *out, "err", err)
 		}
 		defer f.Close()
 		w = f
@@ -71,7 +73,7 @@ func main() {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(records); err != nil {
-		log.Fatalf("encoding: %v", err)
+		obs.Fatal(logger, "encoding failed", "err", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d tenants (%d servers) for %s\n",
 		len(records), pop.NumServers(), pop.Datacenter)

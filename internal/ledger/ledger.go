@@ -82,11 +82,20 @@ type Grant struct {
 	Millis int64        `json:"millis"`
 }
 
+// Meta is optional operator-supplied lease metadata: which job holds the
+// cores and who owns the job. It is bookkeeping for humans — admission and
+// conservation ignore it entirely.
+type Meta struct {
+	JobID string
+	Owner string
+}
+
 // Lease is the caller's view of one successful reservation.
 type Lease struct {
 	ID        uint64
 	ExpiresAt time.Time // zero when the lease never expires
 	Grants    []Grant
+	Meta      Meta
 }
 
 // TotalMillis sums the lease's grants.
@@ -122,6 +131,7 @@ type lease struct {
 	id        uint64
 	expiresAt time.Time
 	grants    []Grant
+	meta      Meta
 }
 
 // Ledger tracks one datacenter's live allocations.
@@ -218,6 +228,12 @@ func (l *Ledger) Occupancy() (generation uint64, allocMillisByClass []int64) {
 // sweep. Zero-core requests are skipped; a reservation that skips everything
 // fails.
 func (l *Ledger) Reserve(generation uint64, reqs []Request, ttl time.Duration, now time.Time) (Lease, error) {
+	return l.ReserveMeta(generation, reqs, ttl, now, Meta{})
+}
+
+// ReserveMeta is Reserve with operator metadata attached to the resulting
+// lease (surfaced on /debug/traces and the /v1/{dc}/leases listing).
+func (l *Ledger) ReserveMeta(generation uint64, reqs []Request, ttl time.Duration, now time.Time, meta Meta) (Lease, error) {
 	t := l.tab.Load()
 	if t.generation != generation {
 		l.conflicts.Add(1)
@@ -267,7 +283,7 @@ func (l *Ledger) Reserve(generation uint64, reqs []Request, ttl time.Duration, n
 		l.conflicts.Add(1)
 		return Lease{}, ErrStaleGeneration
 	}
-	ls := &lease{id: l.newLeaseID(), grants: grants}
+	ls := &lease{id: l.newLeaseID(), grants: grants, meta: meta}
 	if ttl > 0 {
 		ls.expiresAt = now.Add(ttl)
 	}
@@ -280,7 +296,7 @@ func (l *Ledger) Reserve(generation uint64, reqs []Request, ttl time.Duration, n
 	l.reservedMillis.Add(total)
 	l.mu.Unlock()
 
-	return Lease{ID: ls.id, ExpiresAt: ls.expiresAt, Grants: append([]Grant(nil), grants...)}, nil
+	return Lease{ID: ls.id, ExpiresAt: ls.expiresAt, Grants: append([]Grant(nil), grants...), Meta: meta}, nil
 }
 
 func (l *Ledger) rollback(t *table, grants []Grant) {
@@ -307,7 +323,42 @@ func (l *Ledger) Release(id uint64) (Lease, error) {
 	l.releases.Add(1)
 	l.releasedMillis.Add(total) // under l.mu — see Reserve
 	l.mu.Unlock()
-	return Lease{ID: id, ExpiresAt: ls.expiresAt, Grants: ls.grants}, nil
+	return Lease{ID: id, ExpiresAt: ls.expiresAt, Grants: ls.grants, Meta: ls.meta}, nil
+}
+
+// List returns one page of live leases ordered by id (a stable order for
+// pagination), plus the total live count. It walks the lease map under the
+// mutex — an operator-endpoint cost, not a hot-path one.
+func (l *Ledger) List(offset, limit int) (page []Lease, total int) {
+	if limit <= 0 {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total = len(l.leases)
+	if offset >= total {
+		return nil, total
+	}
+	ids := make([]uint64, 0, total)
+	for id := range l.leases {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	page = make([]Lease, 0, end-offset)
+	for _, id := range ids[offset:end] {
+		ls := l.leases[id]
+		page = append(page, Lease{
+			ID:        ls.id,
+			ExpiresAt: ls.expiresAt,
+			Grants:    append([]Grant(nil), ls.grants...),
+			Meta:      ls.meta,
+		})
+	}
+	return page, total
 }
 
 // ExpireBefore reclaims every lease whose deadline is at or before now —
@@ -469,10 +520,14 @@ func (l *Ledger) Snapshot() Stats {
 }
 
 // PersistedLease is the wire form of one lease for the persistence file.
+// JobID/Owner are optional operator metadata; files written before the
+// fields existed restore with them empty.
 type PersistedLease struct {
 	ID        uint64    `json:"id"`
 	ExpiresAt time.Time `json:"expires_at,omitempty"`
 	Grants    []Grant   `json:"grants"`
+	JobID     string    `json:"job_id,omitempty"`
+	Owner     string    `json:"owner,omitempty"`
 }
 
 // State is the ledger's full persistable state.
@@ -506,7 +561,13 @@ func (l *Ledger) Export() State {
 		Leases:          make([]PersistedLease, 0, len(l.leases)),
 	}
 	for _, ls := range l.leases {
-		st.Leases = append(st.Leases, PersistedLease{ID: ls.id, ExpiresAt: ls.expiresAt, Grants: append([]Grant(nil), ls.grants...)})
+		st.Leases = append(st.Leases, PersistedLease{
+			ID:        ls.id,
+			ExpiresAt: ls.expiresAt,
+			Grants:    append([]Grant(nil), ls.grants...),
+			JobID:     ls.meta.JobID,
+			Owner:     ls.meta.Owner,
+		})
 	}
 	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
 	return st
@@ -552,7 +613,7 @@ func Restore(st State, generation uint64, numClasses int) (*Ledger, error) {
 		if len(grants) == 0 {
 			continue
 		}
-		l.leases[pl.ID] = &lease{id: pl.ID, expiresAt: pl.ExpiresAt, grants: grants}
+		l.leases[pl.ID] = &lease{id: pl.ID, expiresAt: pl.ExpiresAt, grants: grants, meta: Meta{JobID: pl.JobID, Owner: pl.Owner}}
 	}
 	return l, nil
 }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// DebugMux builds the off-data-plane debug surface: pprof, expvar, build
+// info, and the trace viewer. Daemons serve it on a dedicated -debug-addr
+// listener so profiling and trace dumps never contend with (or get proxied
+// like) data-plane requests.
+func DebugMux(component string, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/build", func(w http.ResponseWriter, r *http.Request) {
+		writeBuildInfo(w, component)
+	})
+	mux.Handle("/debug/traces", TracesHandler(rec))
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(component + " debug plane:\n" +
+			"  /debug/traces   last-N + slowest-since-boot request traces (?trace=, ?dc=, ?min_us=, ?limit=)\n" +
+			"  /debug/pprof/   live profiling\n" +
+			"  /debug/vars     expvar\n" +
+			"  /debug/build    build info\n"))
+	})
+	return mux
+}
+
+// ServeDebug binds addr and serves the debug mux in the background,
+// returning the bound address (useful with ":0").
+func ServeDebug(addr, component string, rec *Recorder) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, DebugMux(component, rec)) //nolint — debug plane lives for the process
+	return ln.Addr().String(), nil
+}
+
+func writeBuildInfo(w http.ResponseWriter, component string) {
+	type buildJSON struct {
+		Component string            `json:"component"`
+		GoVersion string            `json:"go_version"`
+		Path      string            `json:"path,omitempty"`
+		Version   string            `json:"version,omitempty"`
+		Settings  map[string]string `json:"settings,omitempty"`
+	}
+	out := buildJSON{Component: component}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out.GoVersion = bi.GoVersion
+		out.Path = bi.Path
+		out.Version = bi.Main.Version
+		out.Settings = make(map[string]string, len(bi.Settings))
+		for _, s := range bi.Settings {
+			out.Settings[s.Key] = s.Value
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// spanJSON / traceJSON are the /debug/traces wire shapes.
+type spanJSON struct {
+	Name    string `json:"name"`
+	StartUs int64  `json:"start_us"`
+	DurUs   int64  `json:"duration_us"`
+}
+
+type traceJSON struct {
+	ID      string     `json:"id"`
+	Dialect string     `json:"dialect"`
+	Op      string     `json:"op"`
+	DC      string     `json:"dc,omitempty"`
+	JobID   string     `json:"job_id,omitempty"`
+	Owner   string     `json:"owner,omitempty"`
+	Status  int        `json:"status"`
+	Start   time.Time  `json:"start"`
+	DurUs   int64      `json:"duration_us"`
+	Spans   []spanJSON `json:"spans"`
+}
+
+// TracesHandler serves GET /debug/traces: the ring plus the slow reservoir,
+// newest first, filterable by ?trace= (16-hex-digit wire form, or a decimal
+// u64 for binary-dialect clients that picked their own request ids), ?dc=,
+// ?min_us= / ?min_ms= (minimum total latency), and ?limit=.
+func TracesHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		f := TraceFilter{DC: q.Get("dc")}
+		if v := q.Get("limit"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				f.Limit = n
+			}
+		}
+		if v := q.Get("min_us"); v != "" {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+				f.MinDur = time.Duration(n) * time.Microsecond
+			}
+		}
+		if v := q.Get("min_ms"); v != "" {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+				f.MinDur = time.Duration(n) * time.Millisecond
+			}
+		}
+		var traces []*Trace
+		if s := q.Get("trace"); s != "" {
+			// A trace id printed from the JSON dialect is hex; a binary
+			// client may know its id as the decimal u64 it sent. Accept both
+			// readings and merge (ids are random, collisions don't matter).
+			seen := map[uint64]bool{}
+			if id, ok := ParseTraceID(s); ok {
+				seen[id] = true
+				f.ID = id
+				traces = append(traces, rec.Query(f)...)
+			}
+			if id, err := strconv.ParseUint(s, 10, 64); err == nil && id != 0 && !seen[id] {
+				f.ID = id
+				traces = append(traces, rec.Query(f)...)
+			}
+		} else {
+			traces = rec.Query(f)
+		}
+		out := struct {
+			Traces []traceJSON `json:"traces"`
+		}{Traces: make([]traceJSON, 0, len(traces))}
+		for _, t := range traces {
+			tj := traceJSON{
+				ID:      FormatTraceID(t.ID),
+				Dialect: t.Dialect,
+				Op:      t.Op,
+				DC:      t.DC,
+				JobID:   t.JobID,
+				Owner:   t.Owner,
+				Status:  t.Status,
+				Start:   t.Start,
+				DurUs:   t.DurUs,
+				Spans:   make([]spanJSON, 0, len(t.Spans())),
+			}
+			for _, s := range t.Spans() {
+				tj.Spans = append(tj.Spans, spanJSON{Name: s.Name, StartUs: s.StartUs, DurUs: s.DurUs})
+			}
+			out.Traces = append(out.Traces, tj)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+}

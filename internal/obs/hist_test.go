@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.QuantileMicros(q); got != 0 {
+			t.Fatalf("empty histogram QuantileMicros(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.MeanMicros() != 0 || h.MaxMicros() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram has nonzero summary stats")
+	}
+
+	// A single sample lands every quantile in its bucket.
+	h.Observe(100 * time.Microsecond) // bucket 7 (64..127µs)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.QuantileMicros(q); got != 128 {
+			t.Fatalf("single-sample QuantileMicros(%v) = %d, want 128", q, got)
+		}
+	}
+	if h.Count() != 1 || h.SumMicros() != 100 || h.MaxMicros() != 100 {
+		t.Fatalf("single-sample stats: count=%d sum=%d max=%d", h.Count(), h.SumMicros(), h.MaxMicros())
+	}
+
+	// q=0 resolves to the lowest occupied bucket, q=1 to the highest.
+	var h2 Histogram
+	h2.Observe(1 * time.Microsecond)    // bucket 1
+	h2.Observe(1000 * time.Microsecond) // bucket 10
+	if got := h2.QuantileMicros(0); got != 2 {
+		t.Fatalf("QuantileMicros(0) = %d, want 2", got)
+	}
+	if got := h2.QuantileMicros(1); got != 1024 {
+		t.Fatalf("QuantileMicros(1) = %d, want 1024", got)
+	}
+
+	// Sub-microsecond samples occupy bucket 0, reported as ≤1µs.
+	var h3 Histogram
+	h3.Observe(500 * time.Nanosecond)
+	if got := h3.QuantileMicros(0.5); got != 1 {
+		t.Fatalf("sub-µs QuantileMicros = %d, want 1", got)
+	}
+
+	// Absurdly large samples clamp into the top bucket instead of indexing
+	// out of range.
+	var h4 Histogram
+	h4.Observe(24 * time.Hour)
+	if got := h4.QuantileMicros(1); got != 1<<(HistBuckets-1) {
+		t.Fatalf("overflow QuantileMicros = %d, want %d", got, uint64(1)<<(HistBuckets-1))
+	}
+}
+
+func TestBucketUpperMicros(t *testing.T) {
+	cases := []struct {
+		i    int
+		want uint64
+	}{{0, 0}, {1, 1}, {2, 3}, {5, 31}, {10, 1023}}
+	for _, c := range cases {
+		if got := BucketUpperMicros(c.i); got != c.want {
+			t.Fatalf("BucketUpperMicros(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+	// The bounds must be strictly increasing — the Prometheus rendering and
+	// the CI monotonicity check both lean on this.
+	prev := BucketUpperMicros(0)
+	for i := 1; i < HistBuckets; i++ {
+		cur := BucketUpperMicros(i)
+		if cur <= prev {
+			t.Fatalf("BucketUpperMicros not monotone at %d: %d <= %d", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHistogramMergeAccumulates(t *testing.T) {
+	var a, b Histogram
+	a.Observe(10 * time.Microsecond)
+	b.Observe(20 * time.Microsecond)
+	b.Observe(5 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d, want 3", a.Count())
+	}
+	if a.SumMicros() != 10+20+5000 {
+		t.Fatalf("merged sum = %d, want 5030", a.SumMicros())
+	}
+	if a.MaxMicros() != 5000 {
+		t.Fatalf("merged max = %d, want 5000", a.MaxMicros())
+	}
+}
+
+// TestHistogramConcurrentObserveMerge exercises Observe, Merge, and the
+// readers concurrently; it exists for the -race run.
+func TestHistogramConcurrentObserveMerge(t *testing.T) {
+	var src, dst Histogram
+	var observers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		observers.Add(1)
+		go func(g int) {
+			defer observers.Done()
+			for i := 0; i < 2000; i++ {
+				src.Observe(time.Duration(g*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				dst.Merge(&src)
+				_ = dst.QuantileMicros(0.99)
+				_ = dst.MeanMicros()
+			}
+		}
+	}()
+	observers.Add(1)
+	go func() {
+		defer observers.Done()
+		var m EndpointMetrics
+		for i := 0; i < 2000; i++ {
+			m.Observe(time.Duration(i)*time.Microsecond, 200+(i%2)*300)
+		}
+		if m.Requests.Load() != 2000 || m.Errors.Load() != 1000 {
+			t.Errorf("EndpointMetrics: requests=%d errors=%d", m.Requests.Load(), m.Errors.Load())
+		}
+	}()
+	observers.Wait()
+	close(stop)
+	readers.Wait()
+	// One quiescent merge so the final tallies are exact.
+	var final Histogram
+	final.Merge(&src)
+	if final.Count() != 8000 {
+		t.Fatalf("final count = %d, want 8000", final.Count())
+	}
+}

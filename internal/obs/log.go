@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLogger builds the fleet's standard structured logger: slog text to
+// stderr with a `component` attribute on every line. Call sites add `dc`,
+// `trace_id`, `err`, etc. as key/value pairs. Level comes from
+// HARVEST_LOG_LEVEL (debug|info|warn|error, default info) so a daemon can
+// be turned chatty without a rebuild.
+func NewLogger(component string) *slog.Logger {
+	level := slog.LevelInfo
+	switch strings.ToLower(os.Getenv("HARVEST_LOG_LEVEL")) {
+	case "debug":
+		level = slog.LevelDebug
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	return slog.New(h).With("component", component)
+}
+
+// Fatal logs at error level and exits — the slog replacement for
+// log.Fatalf in daemon mains.
+func Fatal(l *slog.Logger, msg string, args ...any) {
+	l.Error(msg, args...)
+	os.Exit(1)
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"harvest/internal/ledger"
+	"harvest/internal/obs"
 	"harvest/internal/signalproc"
 	"harvest/internal/wire"
 )
@@ -288,8 +289,21 @@ func (rt *Router) relayBinary(bw *bufio.Writer, h wire.Header, frame []byte) {
 		rt.binReject(bw, h.ID, 400, "bad request payload")
 		return
 	}
+	dc := string(dcb)
+	// Per-frame trace + per-opcode latency. The echoed request id doubles as
+	// the trace id — a binary client can look its own frames up on
+	// /debug/traces with no wire change (id 0 gets a router-assigned one).
+	tr := rt.rec.Begin(h.ID, obs.DialectBinary, h.Op.String(), dc)
+	status := http.StatusOK
+	opStart := time.Now()
+	defer func() {
+		if i := int(h.Op) - 1; i >= 0 && i < len(rt.binOps) {
+			rt.binOps[i].Observe(time.Since(opStart), status)
+		}
+		tr.Finish(status)
+	}()
 	rt.mu.RLock()
-	b := rt.table[string(dcb)]
+	b := rt.table[dc]
 	var baseURL, binAddr string
 	if b != nil {
 		// Copied under the lock, like the HTTP path: registration beats
@@ -297,8 +311,8 @@ func (rt *Router) relayBinary(bw *bufio.Writer, h wire.Header, frame []byte) {
 		baseURL, binAddr = b.url, b.binAddr
 	}
 	rt.mu.RUnlock()
-	dc := string(dcb)
 	if b == nil {
+		status = 404
 		rt.binReject(bw, h.ID, 404, "unknown datacenter "+strconv.Quote(dc))
 		return
 	}
@@ -306,29 +320,35 @@ func (rt *Router) relayBinary(bw *bufio.Writer, h wire.Header, frame []byte) {
 	if !rt.alive(b, now) {
 		if cutoff := now.Add(-10 * rt.cfg.StaleAfter).UnixNano(); b.lastBeat.Load() <= cutoff {
 			rt.collectBackend(b, cutoff)
+			status = 404
 			rt.binReject(bw, h.ID, 404, "unknown datacenter "+strconv.Quote(dc))
 			return
 		}
 		rt.unavailable.Add(1)
+		status = 503
 		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" missed heartbeats")
 		return
 	}
 	// Breaker gate, same shape as the HTTP path: open → fast 503 frame;
 	// half-open → exactly one CAS winner probes.
+	gateStart := time.Now()
 	probe := false
 	if openUntil := b.openUntil.Load(); openUntil != 0 {
 		if openUntil > now.UnixNano() {
 			rt.unavailable.Add(1)
+			status = 503
 			rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" circuit open")
 			return
 		}
 		if !b.probing.CompareAndSwap(false, true) {
 			rt.unavailable.Add(1)
+			status = 503
 			rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" probe in flight")
 			return
 		}
 		probe = true
 	}
+	tr.Span("breaker_wait", gateStart)
 	// settle records the transport outcome (success closes the circuit,
 	// failure feeds the breaker); cancel releases the probe slot without
 	// recording evidence (client-side errors say nothing about the backend).
@@ -348,21 +368,24 @@ func (rt *Router) relayBinary(bw *bufio.Writer, h wire.Header, frame []byte) {
 			b.probing.Store(false)
 		}
 	}
+	legStart := time.Now()
 	if binAddr != "" {
-		rt.forwardBinary(bw, b, binAddr, dc, h, frame, settle)
+		status = rt.forwardBinary(bw, b, binAddr, dc, h, frame, settle)
 	} else {
-		rt.translateBinary(bw, baseURL, dc, h, payload, settle, cancel)
+		status = rt.translateBinary(bw, baseURL, dc, h, payload, settle, cancel)
 	}
+	tr.Span("backend_leg", legStart)
 }
 
 // forwardBinary relays the frame verbatim over a pooled connection to the
-// backend's binary listener and relays the response frame back.
-func (rt *Router) forwardBinary(bw *bufio.Writer, b *backend, addr, dc string, h wire.Header, frame []byte, settle func(bool)) {
+// backend's binary listener and relays the response frame back. Returns the
+// HTTP-equivalent status for the op metrics and trace.
+func (rt *Router) forwardBinary(bw *bufio.Writer, b *backend, addr, dc string, h wire.Header, frame []byte, settle func(bool)) int {
 	pc, err := b.getBin(addr, rt.cfg.ProxyTimeout)
 	if err != nil {
 		settle(false)
 		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
-		return
+		return 503
 	}
 	healthy := false
 	defer func() {
@@ -376,7 +399,7 @@ func (rt *Router) forwardBinary(bw *bufio.Writer, b *backend, addr, dc string, h
 	if _, err := pc.c.Write(frame); err != nil {
 		settle(false)
 		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
-		return
+		return 503
 	}
 	rh, resp, err := readRawFrame(pc.br, &pc.scratch)
 	if err != nil || rh.ID != h.ID {
@@ -384,7 +407,7 @@ func (rt *Router) forwardBinary(bw *bufio.Writer, b *backend, addr, dc string, h
 		// exchange left bytes behind); it is closed either way via healthy.
 		settle(false)
 		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" sent a bad response frame")
-		return
+		return 503
 	}
 	pc.c.SetDeadline(time.Time{})
 	settle(true)
@@ -393,6 +416,12 @@ func (rt *Router) forwardBinary(bw *bufio.Writer, b *backend, addr, dc string, h
 	rt.proxiedTotal.Add(1)
 	rt.binForwarded.Add(1)
 	bw.Write(resp)
+	if rh.Op == wire.OpError {
+		// Relayed backend error frames count as errors in the op metrics,
+		// matching how the shard's own dispatch counts them.
+		return 500
+	}
+	return http.StatusOK
 }
 
 // patternOrdinals maps the JSON API's pattern names back to wire ordinals
@@ -452,7 +481,7 @@ func classRecOf(c jsonClassInfo) wire.ClassRec {
 // encodes the JSON response back into a frame. This is the mixed-fleet
 // compatibility path — correctness over speed; upgraded backends never pay
 // it.
-func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.Header, payload []byte, settle func(bool), cancel func()) {
+func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.Header, payload []byte, settle func(bool), cancel func()) int {
 	var (
 		method = http.MethodPost
 		path   string
@@ -464,13 +493,13 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 		if err := selReq.Decode(payload); err != nil {
 			cancel()
 			rt.binReject(bw, h.ID, 400, "bad select payload")
-			return
+			return 400
 		}
 		name, ok := jobNames[selReq.Job]
 		if !ok {
 			cancel()
 			rt.binReject(bw, h.ID, 400, "bad job type")
-			return
+			return 400
 		}
 		body, _ = json.Marshal(map[string]any{
 			"job_type":             name,
@@ -485,7 +514,7 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 		if err := m.Decode(payload); err != nil {
 			cancel()
 			rt.binReject(bw, h.ID, 400, "bad release payload")
-			return
+			return 400
 		}
 		body, _ = json.Marshal(map[string]any{"lease": m.Lease})
 		path = "/v1/" + dc + "/release"
@@ -494,7 +523,7 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 		if err := m.Decode(payload); err != nil {
 			cancel()
 			rt.binReject(bw, h.ID, 400, "bad place payload")
-			return
+			return 400
 		}
 		body, _ = json.Marshal(map[string]any{
 			"replication":         m.Replication,
@@ -509,13 +538,13 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 		if err := m.Decode(payload); err != nil {
 			cancel()
 			rt.binReject(bw, h.ID, 400, "bad server class payload")
-			return
+			return 400
 		}
 		method, path = http.MethodGet, fmt.Sprintf("/v1/%s/servers/%d/class", dc, m.Server)
 	default:
 		cancel()
 		rt.binReject(bw, h.ID, 400, "unknown opcode "+strconv.Itoa(int(h.Op)))
-		return
+		return 400
 	}
 
 	var outBody io.Reader = http.NoBody
@@ -526,24 +555,27 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 	if err != nil {
 		cancel()
 		rt.binReject(bw, h.ID, 500, "bad proxy request: "+err.Error())
-		return
+		return 500
 	}
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(hopHeader, "1")
+	// The bridged JSON request carries the frame id as its trace id so the
+	// shard's trace joins the router's even across the translation path.
+	req.Header.Set(obs.TraceHeader, obs.FormatTraceID(h.ID))
 	res, err := rt.client.Do(req)
 	if err != nil {
 		settle(false)
 		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend unreachable")
-		return
+		return 503
 	}
 	defer res.Body.Close()
 	rb, err := io.ReadAll(io.LimitReader(res.Body, maxProxyResponse+1))
 	if err != nil || len(rb) > maxProxyResponse {
 		settle(false)
 		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend sent a truncated or oversized response")
-		return
+		return 503
 	}
 	settle(true)
 	rt.proxiedTotal.Add(1)
@@ -561,15 +593,16 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 			e.Error = http.StatusText(res.StatusCode)
 		}
 		bw.Write(wire.AppendErrorResp(nil, h.ID, uint16(res.StatusCode), e.Error))
-		return
+		return res.StatusCode
 	}
 
 	frame, err := encodeTranslated(h, rb, selReq)
 	if err != nil {
 		rt.binReject(bw, h.ID, 500, "bad backend response: "+err.Error())
-		return
+		return 500
 	}
 	bw.Write(frame)
+	return http.StatusOK
 }
 
 // encodeTranslated converts a 200 JSON response body into the equivalent

@@ -35,7 +35,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"net/url"
@@ -47,8 +46,12 @@ import (
 	"time"
 
 	"harvest/internal/httpjson"
+	"harvest/internal/obs"
 	"harvest/internal/regproto"
 )
+
+// rlog is the router's structured logger: component=router on every line.
+var rlog = obs.NewLogger("router")
 
 // The registration wire types live in internal/regproto so the backends'
 // registration client (internal/service.Announcer) shares them without the
@@ -152,7 +155,21 @@ type Router struct {
 	binForwarded     atomic.Uint64 // frames relayed natively to a binary backend
 	binTranslated    atomic.Uint64 // frames bridged to a JSON-only backend
 	binRejected      atomic.Uint64 // error frames originated by the router itself
+
+	// binOps is the per-opcode request/error/latency breakdown of the binary
+	// front end (the counters above say how much; these say how fast),
+	// indexed like service.opIndex: op byte - 1.
+	binOps [5]obs.EndpointMetrics
+
+	// rec is the per-process trace recorder behind GET /debug/traces: every
+	// proxied request and relayed frame records its ingress/breaker/backend
+	// spans here under the trace id it carried (or was assigned).
+	rec *obs.Recorder
 }
+
+// Recorder exposes the router's trace recorder for the debug listener and
+// tests.
+func (rt *Router) Recorder() *obs.Recorder { return rt.rec }
 
 // New builds a router with no backends; they arrive via /v1/register.
 func New(cfg Config) *Router {
@@ -202,6 +219,7 @@ func New(cfg Config) *Router {
 		},
 		backends: make(map[string]*backend),
 		table:    make(map[string]*backend),
+		rec:      obs.NewRecorder(obs.DefaultRingTraces),
 	}
 	r.mux.HandleFunc("POST /v1/register", r.handleRegister)
 	r.mux.HandleFunc("GET /v1/datacenters", r.handleDatacenters)
@@ -321,20 +339,20 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 		delete(rt.backends, id)
 		old.closeBinPool()
-		log.Printf("router: backend %s aged out after %v without a heartbeat", id, 10*rt.cfg.StaleAfter)
+		rlog.Info("backend aged out without a heartbeat", "backend", id, "after", 10*rt.cfg.StaleAfter)
 	}
 	b := rt.backends[req.ID]
 	if b == nil {
 		b = &backend{id: req.ID}
 		rt.backends[req.ID] = b
-		log.Printf("router: backend %s registered at %s (%d datacenters)", req.ID, baseURL, len(req.Datacenters))
+		rlog.Info("backend registered", "backend", req.ID, "url", baseURL, "datacenters", len(req.Datacenters))
 	} else if b.url != baseURL {
 		// A URL change under an existing ID is either a legitimate restart on
 		// a new address or two nodes sharing one -node-id — the latter flaps
 		// the route at heartbeat cadence and strands leases, so make every
 		// flip visible.
-		log.Printf("router: backend %s changed URL %s -> %s (two nodes sharing one -node-id would flap here every beat)",
-			req.ID, b.url, baseURL)
+		rlog.Warn("backend changed URL (two nodes sharing one -node-id would flap here every beat)",
+			"backend", req.ID, "from", b.url, "to", baseURL)
 	}
 	b.url = baseURL
 	if b.binAddr != req.BinaryAddr {
@@ -342,8 +360,8 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 			// The old listener's pooled conns point at an address the backend
 			// no longer serves (restart on a new port, or the capability was
 			// turned off); reusing them would forward frames into the void.
-			log.Printf("router: backend %s binary listener %q -> %q, dropping pooled conns",
-				b.id, b.binAddr, req.BinaryAddr)
+			rlog.Info("backend binary listener changed, dropping pooled conns",
+				"backend", b.id, "from", b.binAddr, "to", req.BinaryAddr)
 		}
 		b.binAddr = req.BinaryAddr
 		b.closeBinPool()
@@ -357,7 +375,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 		if _, still := next[name]; !still {
 			if rt.table[name] == b {
 				delete(rt.table, name)
-				log.Printf("router: backend %s dropped %s", b.id, name)
+				rlog.Info("backend dropped datacenter", "backend", b.id, "dc", name)
 			}
 		}
 	}
@@ -372,7 +390,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 			if rt.alive(prev, now) {
 				continue
 			}
-			log.Printf("router: %s moved from stale backend %s to %s", name, prev.id, b.id)
+			rlog.Info("datacenter moved from stale backend", "dc", name, "from", prev.id, "to", b.id)
 		}
 		rt.table[name] = b
 	}
@@ -417,7 +435,7 @@ func (rt *Router) collectBackend(b *backend, cutoff int64) {
 	}
 	delete(rt.backends, b.id)
 	b.closeBinPool()
-	log.Printf("router: backend %s aged out after %v without a heartbeat", b.id, 10*rt.cfg.StaleAfter)
+	rlog.Info("backend aged out without a heartbeat", "backend", b.id, "after", 10*rt.cfg.StaleAfter)
 }
 
 // hopByHopHeaders are stripped when forwarding in either direction (RFC 9110
@@ -444,6 +462,18 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dc := r.PathValue("dc")
+	// Trace ingress: adopt the client's trace id (header) or assign one, echo
+	// it to the client up front (headers set before WriteHeader apply to every
+	// response path below), and publish the trace whichever way the request
+	// resolves. The status is captured by a thin writer wrapper.
+	upstreamID, _ := obs.ParseTraceID(r.Header.Get(obs.TraceHeader))
+	tr := rt.rec.Begin(upstreamID, obs.DialectJSON, r.PathValue("rest"), dc)
+	sc := &statusCapture{ResponseWriter: w, status: http.StatusOK}
+	w = sc
+	if tr != nil {
+		w.Header().Set(obs.TraceHeader, obs.FormatTraceID(tr.ID))
+		defer func() { tr.Finish(sc.status) }()
+	}
 	rt.mu.RLock()
 	b := rt.table[dc]
 	var baseURL string
@@ -511,6 +541,10 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	// winner — may probe the backend; everyone else keeps getting 503 until
 	// the probe's outcome decides the state. The slot is held only across
 	// the outbound call, which ProxyTimeout bounds.
+	var gateStart time.Time
+	if tr != nil {
+		gateStart = time.Now()
+	}
 	probe := false
 	if openUntil := b.openUntil.Load(); openUntil != 0 {
 		if openUntil > now.UnixNano() {
@@ -527,6 +561,7 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		}
 		probe = true
 	}
+	tr.Span("breaker_wait", gateStart)
 
 	// The outbound path is the *escaped* original, verbatim: PathValue
 	// returns percent-decoded segments, and re-joining those would let an
@@ -585,6 +620,13 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	req.Header.Set("X-Forwarded-For", r.RemoteAddr)
 	req.Header.Set(hopHeader, "1")
+	var legStart time.Time
+	if tr != nil {
+		// The backend sees the router's trace id so the two tiers' /debug/traces
+		// entries join on one value end to end.
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceID(tr.ID))
+		legStart = time.Now()
+	}
 
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -608,6 +650,7 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	settle(true)
+	tr.Span("backend_leg", legStart)
 	b.proxied.Add(1)
 	rt.proxiedTotal.Add(1)
 
@@ -624,6 +667,19 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	hdr.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(resp.StatusCode)
 	w.Write(body)
+}
+
+// statusCapture remembers the status code a handler wrote so the deferred
+// trace Finish can publish it. Write without WriteHeader keeps the 200
+// default, matching net/http.
+type statusCapture struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusCapture) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
 }
 
 func isHopByHop(k string) bool {
@@ -651,7 +707,7 @@ func (rt *Router) proxyFailed(b *backend) {
 		b.openUntil.Store(rt.now().Add(rt.cfg.BreakerCooldown).UnixNano())
 		// Leave consecFails at the threshold: the post-cooldown probe either
 		// resets it on success or immediately re-opens on failure.
-		log.Printf("router: backend %s circuit opened for %v", b.id, rt.cfg.BreakerCooldown)
+		rlog.Warn("backend circuit opened", "backend", b.id, "cooldown", rt.cfg.BreakerCooldown)
 	}
 }
 
@@ -744,6 +800,21 @@ type BinaryFrontStats struct {
 	Forwarded     uint64 `json:"forwarded"`  // frames relayed natively
 	Translated    uint64 `json:"translated"` // frames bridged to JSON-only backends
 	Rejected      uint64 `json:"rejected"`   // error frames originated by the router
+	// Ops is the per-opcode latency and error breakdown at the router's frame
+	// dispatch — the same row shape as the shards' binary endpoints, so a
+	// dashboard can subtract the two and see the relay's own cost.
+	Ops map[string]OpStats `json:"ops"`
+}
+
+// OpStats is one opcode's row in the binary front's /metrics section,
+// mirroring the shards' per-endpoint counters.
+type OpStats struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	MeanUs   float64 `json:"mean_us"`
+	P50Us    uint64  `json:"p50_us"`
+	P99Us    uint64  `json:"p99_us"`
+	MaxUs    uint64  `json:"max_us"`
 }
 
 type metricsResponse struct {
@@ -762,6 +833,13 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Header.Get(hopHeader) != "" {
 		writeError(w, http.StatusLoopDetected,
 			"routing loop: this backend resolves to a router (check its advertised URL)")
+		return
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		// Prometheus scrapes are router-local by design: no backend fan-out,
+		// so a scrape never blocks on a slow shard. Scrapers that want shard
+		// books hit each shard's own /metrics?format=prometheus directly.
+		rt.writeProm(w)
 		return
 	}
 	now := rt.now()
@@ -788,6 +866,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Forwarded:     rt.binForwarded.Load(),
 			Translated:    rt.binTranslated.Load(),
 			Rejected:      rt.binRejected.Load(),
+			Ops:           rt.binOpStats(),
 		}
 	}
 

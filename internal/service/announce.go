@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -88,8 +87,8 @@ func StartAnnouncer(svc *Service, cfg AnnouncerConfig) (*Announcer, error) {
 func (a *Announcer) loop() {
 	defer a.wg.Done()
 	if err := a.announce(); err != nil {
-		log.Printf("announcer: initial registration with %s failed (will retry every %v): %v",
-			a.cfg.RouterURL, a.cfg.Interval, err)
+		slogger.Warn("initial registration failed, will retry",
+			"router", a.cfg.RouterURL, "interval", a.cfg.Interval, "err", err)
 	}
 	ticker := time.NewTicker(a.cfg.Interval)
 	defer ticker.Stop()
@@ -104,10 +103,10 @@ func (a *Announcer) loop() {
 			wasFailing := a.lastErr.Load() != nil
 			if err := a.announce(); err != nil {
 				if !wasFailing {
-					log.Printf("announcer: registration with %s failing: %v", a.cfg.RouterURL, err)
+					slogger.Warn("registration failing", "router", a.cfg.RouterURL, "err", err)
 				}
 			} else if wasFailing {
-				log.Printf("announcer: registration with %s recovered", a.cfg.RouterURL)
+				slogger.Info("registration recovered", "router", a.cfg.RouterURL)
 			}
 		}
 	}

@@ -2,7 +2,6 @@ package service
 
 import (
 	"errors"
-	"log"
 	"math"
 	"net"
 	"sync"
@@ -11,6 +10,7 @@ import (
 
 	"harvest/internal/core"
 	"harvest/internal/ledger"
+	"harvest/internal/obs"
 	"harvest/internal/tenant"
 	"harvest/internal/wire"
 )
@@ -64,6 +64,10 @@ type BinaryServer struct {
 	// metrics is indexed by opIndex; same counters as the JSON endpoints so
 	// /metrics reports both dialects side by side.
 	metrics [5]EndpointMetrics
+
+	// rec, when set (AttachBinary shares the API's), records one trace per
+	// dispatched frame; nil keeps the dispatch path trace-free.
+	rec *obs.Recorder
 
 	accepted      atomic.Uint64
 	open          atomic.Int64
@@ -273,9 +277,16 @@ func internDC(names map[string]string, b []byte) string {
 func (b *BinaryServer) dispatch(out []byte, h wire.Header, payload []byte, dcNames map[string]string) []byte {
 	start := time.Now()
 	status := 200
+	// The echoed frame id doubles as the trace id — the same value the
+	// fronting router traced this frame under, so /debug/traces joins the two
+	// tiers with no extra wire bytes (id 0 gets a server-assigned one).
+	var tr *obs.Trace
+	if h.Op.IsRequest() {
+		tr = b.rec.Begin(h.ID, obs.DialectBinary, h.Op.String(), "")
+	}
 	switch h.Op {
 	case wire.OpSelect:
-		out, status = b.doSelect(out, h.ID, payload, dcNames)
+		out, status = b.doSelect(out, h.ID, payload, dcNames, tr)
 	case wire.OpRelease:
 		out, status = b.doRelease(out, h.ID, payload, dcNames)
 	case wire.OpPlace:
@@ -288,8 +299,9 @@ func (b *BinaryServer) dispatch(out []byte, h wire.Header, payload []byte, dcNam
 		return wire.AppendErrorResp(out, h.ID, 400, "unknown opcode")
 	}
 	if i := opIndex(h.Op); i >= 0 {
-		b.metrics[i].observe(time.Since(start), status)
+		b.metrics[i].Observe(time.Since(start), status)
 	}
+	tr.Finish(status)
 	return out
 }
 
@@ -306,7 +318,7 @@ func (b *BinaryServer) snapshotFor(dc []byte) (*Snapshot, bool) {
 	return sh.snap.Load(), true
 }
 
-func (b *BinaryServer) doSelect(out []byte, id uint64, payload []byte, dcNames map[string]string) ([]byte, int) {
+func (b *BinaryServer) doSelect(out []byte, id uint64, payload []byte, dcNames map[string]string, tr *obs.Trace) ([]byte, int) {
 	var m wire.SelectReq
 	if err := m.Decode(payload); err != nil {
 		return fail(out, id, 400, "bad select payload")
@@ -315,6 +327,7 @@ func (b *BinaryServer) doSelect(out []byte, id uint64, payload []byte, dcNames m
 	if !ok {
 		return fail(out, id, 404, "unknown datacenter")
 	}
+	tr.SetDC(snap.Datacenter)
 	if !(m.MaxCores > 0) || math.IsInf(m.MaxCores, 1) {
 		return fail(out, id, 400, "max cores must be positive and finite")
 	}
@@ -356,7 +369,8 @@ func (b *BinaryServer) doSelect(out []byte, id uint64, payload []byte, dcNames m
 		}
 		return wire.EndFrame(out, mark), 200
 	}
-	grant, at, err := b.svc.SelectReserve(internDC(dcNames, m.DC), job, time.Duration(m.HoldMillis)*time.Millisecond)
+	grant, at, err := b.svc.SelectReserveTraced(internDC(dcNames, m.DC), job,
+		time.Duration(m.HoldMillis)*time.Millisecond, ledger.Meta{}, tr)
 	if err != nil {
 		out = out[:mark] // drop the half-built frame
 		return fail(out, id, 500, err.Error())
@@ -562,7 +576,7 @@ func (b *BinaryServer) ListenAndServe(addr string) (net.Addr, <-chan error, erro
 	errc := make(chan error, 1)
 	go func() {
 		if err := b.Serve(ln); err != nil {
-			log.Printf("binary server: %v", err)
+			slogger.Warn("binary server accept failed", "err", err)
 			errc <- err
 		}
 		close(errc)

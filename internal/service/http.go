@@ -2,9 +2,9 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
-	"log"
 	"net"
 	"net/http"
 	"net/netip"
@@ -16,6 +16,7 @@ import (
 	"harvest/internal/core"
 	"harvest/internal/httpjson"
 	"harvest/internal/ledger"
+	"harvest/internal/obs"
 	"harvest/internal/tenant"
 )
 
@@ -47,15 +48,27 @@ type API struct {
 	// fast path) and its per-opcode counters ride on /metrics.
 	binary     *BinaryServer
 	binaryAddr string
+
+	// rec holds the daemon's request traces (JSON dialect; the attached
+	// binary server shares it so both dialects land in one ring).
+	rec *obs.Recorder
 }
 
 // AttachBinary advertises a binary frame server alongside the JSON API:
 // addr (host:port) is published on /v1/datacenters as binary_addr, and the
-// server's per-opcode metrics appear on /metrics. Call before serving.
+// server's per-opcode metrics appear on /metrics. Call before serving. The
+// binary server inherits the API's trace recorder unless it already has one,
+// so /debug/traces shows both dialects.
 func (a *API) AttachBinary(b *BinaryServer, addr string) {
 	a.binary = b
 	a.binaryAddr = addr
+	if b.rec == nil {
+		b.rec = a.rec
+	}
 }
+
+// Recorder exposes the API's trace recorder for the -debug-addr listener.
+func (a *API) Recorder() *obs.Recorder { return a.rec }
 
 // APIOptions hardens the ingest surface. The query endpoints stay open —
 // they are read-mostly and cheap; telemetry ingestion mutates history that
@@ -82,7 +95,7 @@ type APIOptions struct {
 }
 
 // apiEndpoints names the instrumented endpoints, in /metrics display order.
-var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "release", "place", "telemetry", "healthz", "metrics"}
+var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "release", "place", "telemetry", "leases", "healthz", "metrics"}
 
 // NewAPI wraps a service in its HTTP handler with default (open) options.
 func NewAPI(svc *Service) *API { return NewAPIWith(svc, APIOptions{}) }
@@ -95,6 +108,7 @@ func NewAPIWith(svc *Service, opts APIOptions) *API {
 		start:     time.Now(),
 		opts:      opts,
 		endpoints: make(map[string]*EndpointMetrics, len(apiEndpoints)),
+		rec:       obs.NewRecorder(obs.DefaultRingTraces),
 	}
 	if opts.IngestRatePerSource > 0 {
 		burst := opts.IngestBurst
@@ -121,7 +135,7 @@ func NewAPIWith(svc *Service, opts APIOptions) *API {
 			continue
 		}
 		// Skipping fails closed — the header just is not honored from here.
-		log.Printf("service: ignoring invalid trusted proxy %q", s)
+		slogger.Warn("ignoring invalid trusted proxy", "proxy", s)
 	}
 	for _, name := range apiEndpoints {
 		a.endpoints[name] = &EndpointMetrics{}
@@ -133,6 +147,7 @@ func NewAPIWith(svc *Service, opts APIOptions) *API {
 	a.mux.HandleFunc("POST /v1/{dc}/release", a.instrument("release", a.handleRelease))
 	a.mux.HandleFunc("POST /v1/{dc}/place", a.instrument("place", a.handlePlace))
 	a.mux.HandleFunc("POST /v1/{dc}/telemetry", a.instrument("telemetry", a.handleTelemetry))
+	a.mux.HandleFunc("GET /v1/{dc}/leases", a.instrument("leases", a.handleLeases))
 	a.mux.HandleFunc("GET /healthz", a.instrument("healthz", a.handleHealthz))
 	a.mux.HandleFunc("GET /metrics", a.instrument("metrics", a.handleMetrics))
 	return a
@@ -154,16 +169,41 @@ func (w *statusWriter) WriteHeader(status int) {
 
 var statusWriters = sync.Pool{New: func() any { return &statusWriter{} }}
 
+// traceKey carries the request's *obs.Trace through the context; handlers
+// that record extra spans or metadata fetch it with traceFrom.
+type traceKey struct{}
+
+func traceFrom(ctx context.Context) *obs.Trace {
+	tr, _ := ctx.Value(traceKey{}).(*obs.Trace)
+	return tr
+}
+
 func (a *API) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	m := a.endpoints[name]
+	// The data-plane endpoints get request traces; the scrape endpoints stay
+	// out of the ring so a tight Prometheus or health poll cannot churn real
+	// request traces out of it.
+	traced := name != "healthz" && name != "metrics"
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := statusWriters.Get().(*statusWriter)
 		sw.ResponseWriter, sw.status = w, http.StatusOK
+		var tr *obs.Trace
+		if traced {
+			// Adopt the caller's trace id (the router's, or a client's own) or
+			// assign one, and echo it so the chain is followable end to end.
+			id, _ := obs.ParseTraceID(r.Header.Get(obs.TraceHeader))
+			if tr = a.rec.Begin(id, obs.DialectJSON, name, r.PathValue("dc")); tr != nil {
+				w.Header().Set(obs.TraceHeader, obs.FormatTraceID(tr.ID))
+				r = r.WithContext(context.WithValue(r.Context(), traceKey{}, tr))
+			}
+		}
 		h(sw, r)
-		m.observe(time.Since(start), sw.status)
+		status := sw.status
+		m.Observe(time.Since(start), status)
 		sw.ResponseWriter = nil
 		statusWriters.Put(sw)
+		tr.Finish(status)
 	}
 }
 
@@ -525,7 +565,17 @@ type selectRequest struct {
 	MaxConcurrentCores float64 `json:"max_concurrent_cores"`
 	HoldSeconds        float64 `json:"hold_seconds"`
 	DryRun             bool    `json:"dry_run"`
+	// JobID and Owner are optional operator-facing metadata: they ride on the
+	// lease through the ledger and surface on GET /v1/{dc}/leases and
+	// /debug/traces, answering "whose lease is this" without a side channel.
+	// They never influence selection.
+	JobID string `json:"job_id,omitempty"`
+	Owner string `json:"owner,omitempty"`
 }
+
+// maxLeaseMetaLen caps job_id/owner: identification tags, not a document
+// store riding on the ledger.
+const maxLeaseMetaLen = 128
 
 type selectResponse struct {
 	Datacenter  string    `json:"datacenter"`
@@ -566,6 +616,11 @@ func (a *API) handleSelect(w http.ResponseWriter, r *http.Request) {
 			"hold_seconds must be in [0, "+strconv.Itoa(maxHoldSeconds)+"]")
 		return
 	}
+	if len(req.JobID) > maxLeaseMetaLen || len(req.Owner) > maxLeaseMetaLen {
+		writeError(w, http.StatusBadRequest,
+			"job_id and owner must be at most "+strconv.Itoa(maxLeaseMetaLen)+" bytes")
+		return
+	}
 	var jobType core.JobType
 	switch req.JobType {
 	case "short":
@@ -591,7 +646,11 @@ func (a *API) handleSelect(w http.ResponseWriter, r *http.Request) {
 		resp.Classes = classIDsOf(sel.Classes)
 		resp.Headrooms = sel.Headrooms
 	} else {
-		grant, at, err := a.svc.SelectReserve(snap.Datacenter, job, time.Duration(req.HoldSeconds*float64(time.Second)))
+		tr := traceFrom(r.Context())
+		tr.SetMeta(req.JobID, req.Owner)
+		grant, at, err := a.svc.SelectReserveTraced(snap.Datacenter, job,
+			time.Duration(req.HoldSeconds*float64(time.Second)),
+			ledger.Meta{JobID: req.JobID, Owner: req.Owner}, tr)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -621,6 +680,82 @@ func classIDsOf(ids []core.ClassID) []int {
 		out[i] = int(id)
 	}
 	return out
+}
+
+// leaseInfo is one live lease on GET /v1/{dc}/leases.
+type leaseInfo struct {
+	Lease            uint64    `json:"lease"`
+	JobID            string    `json:"job_id,omitempty"`
+	Owner            string    `json:"owner,omitempty"`
+	ExpiresInSeconds float64   `json:"expires_in_seconds,omitempty"`
+	TotalCores       float64   `json:"total_cores"`
+	Classes          []int     `json:"classes"`
+	Cores            []float64 `json:"cores"`
+}
+
+type leasesResponse struct {
+	Datacenter string      `json:"datacenter"`
+	Total      int         `json:"total"`
+	Offset     int         `json:"offset"`
+	Leases     []leaseInfo `json:"leases"`
+}
+
+// maxLeasePage caps one page of GET /v1/{dc}/leases.
+const maxLeasePage = 1000
+
+// handleLeases pages through the DC's live leases — the operator's answer to
+// "who is holding the harvested cores right now". It shares the ingest bearer
+// token: lease metadata names jobs and owners, which is more than the open
+// query surface should reveal.
+func (a *API) handleLeases(w http.ResponseWriter, r *http.Request) {
+	if !httpjson.BearerAuthorized(r, a.opts.IngestToken) {
+		writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+		return
+	}
+	dc := r.PathValue("dc")
+	offset, limit := 0, 100
+	if s := r.URL.Query().Get("offset"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "offset must be a non-negative integer")
+			return
+		}
+		offset = v
+	}
+	if s := r.URL.Query().Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 || v > maxLeasePage {
+			writeError(w, http.StatusBadRequest,
+				"limit must be in [1, "+strconv.Itoa(maxLeasePage)+"]")
+			return
+		}
+		limit = v
+	}
+	page, total, ok := a.svc.Leases(dc, offset, limit)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
+		return
+	}
+	resp := leasesResponse{Datacenter: dc, Total: total, Offset: offset, Leases: make([]leaseInfo, len(page))}
+	for i, ls := range page {
+		li := leaseInfo{
+			Lease:      ls.ID,
+			JobID:      ls.Meta.JobID,
+			Owner:      ls.Meta.Owner,
+			TotalCores: ledger.CoresOf(ls.TotalMillis()),
+			Classes:    make([]int, len(ls.Grants)),
+			Cores:      make([]float64, len(ls.Grants)),
+		}
+		if !ls.ExpiresAt.IsZero() {
+			li.ExpiresInSeconds = time.Until(ls.ExpiresAt).Seconds()
+		}
+		for j, g := range ls.Grants {
+			li.Classes[j] = int(g.Class)
+			li.Cores[j] = ledger.CoresOf(g.Millis)
+		}
+		resp.Leases[i] = li
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // releaseRequest returns a lease's cores to their classes.
@@ -825,6 +960,12 @@ type metricsResponse struct {
 }
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		// Same numbers, scraper rendering; the JSON shape stays the source of
+		// truth and is untouched.
+		a.writeProm(w)
+		return
+	}
 	uptime := time.Since(a.start).Seconds()
 	resp := metricsResponse{
 		UptimeSeconds: uptime,

@@ -3,7 +3,6 @@ package service
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"time"
@@ -85,7 +84,7 @@ func (s *Service) persistSnapshot(sh *shard, snap *Snapshot) {
 	}
 	if err := s.writeSnapshotFile(sh, snap); err != nil {
 		sh.persistErrors.Add(1)
-		log.Printf("service: %s: snapshot persist failed: %v", sh.dc, err)
+		slogger.Warn("snapshot persist failed", "dc", sh.dc, "err", err)
 	}
 	s.persistLedger(sh)
 }
@@ -117,7 +116,7 @@ func (s *Service) persistLedger(sh *shard) {
 	}
 	if err != nil {
 		sh.persistErrors.Add(1)
-		log.Printf("service: %s: ledger persist failed: %v", sh.dc, err)
+		slogger.Warn("ledger persist failed", "dc", sh.dc, "err", err)
 	}
 }
 
@@ -138,21 +137,21 @@ func (s *Service) restoreLedger(sh *shard, snap *Snapshot) *ledger.Ledger {
 	}
 	var p persistedLedger
 	if err := json.Unmarshal(data, &p); err != nil {
-		log.Printf("service: %s: ignoring persisted ledger: corrupt file: %v", sh.dc, err)
+		slogger.Warn("ignoring persisted ledger: corrupt file", "dc", sh.dc, "err", err)
 		return nil
 	}
 	if p.Version != persistVersion || p.Datacenter != sh.dc ||
 		p.Seed != s.cfg.Scale.Seed || p.ScaleDatacenter != s.cfg.Scale.Datacenter {
-		log.Printf("service: %s: ignoring persisted ledger: fingerprint mismatch", sh.dc)
+		slogger.Warn("ignoring persisted ledger: fingerprint mismatch", "dc", sh.dc)
 		return nil
 	}
 	led, err := ledger.Restore(p.State, snap.Generation, len(snap.Clustering.Classes))
 	if err != nil {
-		log.Printf("service: %s: ignoring persisted ledger: %v", sh.dc, err)
+		slogger.Warn("ignoring persisted ledger", "dc", sh.dc, "err", err)
 		return nil
 	}
 	if n, millis := led.ExpireBefore(time.Now()); n > 0 {
-		log.Printf("service: %s: restored ledger: expired %d leases (%.3f cores) from downtime", sh.dc, n, ledger.CoresOf(millis))
+		slogger.Info("restored ledger, expired stale leases from downtime", "dc", sh.dc, "leases", n, "cores", ledger.CoresOf(millis))
 	}
 	return led
 }
@@ -217,7 +216,7 @@ func (s *Service) restoreSnapshot(sh *shard) (*Snapshot, bool) {
 	snap, err := s.loadSnapshotFile(sh)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			log.Printf("service: %s: ignoring persisted snapshot: %v", sh.dc, err)
+			slogger.Warn("ignoring persisted snapshot", "dc", sh.dc, "err", err)
 		}
 		return nil, false
 	}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"harvest/internal/ledger"
+	"harvest/internal/obs"
+)
+
+// writeProm renders the daemon's /metrics numbers in Prometheus text
+// exposition: per-endpoint counters and latency histograms for both dialects,
+// plus each datacenter's snapshot staleness and ledger books. Latency metrics
+// are in microseconds — the histograms' native power-of-two resolution —
+// rather than the conventional seconds, so the `le` bounds stay exact
+// integers (see obs.BucketUpperMicros).
+func (a *API) writeProm(w http.ResponseWriter) {
+	var p obs.Prom
+
+	p.Metric("harvestd_uptime_seconds", "gauge", "Seconds since the daemon started.")
+	p.Float("harvestd_uptime_seconds", "", time.Since(a.start).Seconds())
+
+	p.Metric("harvestd_requests_total", "counter", "Requests served, by endpoint and dialect.")
+	p.Metric("harvestd_request_errors_total", "counter", "4xx/5xx responses, by endpoint and dialect.")
+	for _, name := range apiEndpoints {
+		m := a.endpoints[name]
+		ls := obs.Labels("endpoint", name, "dialect", obs.DialectJSON)
+		p.Uint("harvestd_requests_total", ls, m.Requests.Load())
+		p.Uint("harvestd_request_errors_total", ls, m.Errors.Load())
+	}
+	if a.binary != nil {
+		for _, op := range binaryOps {
+			m := a.binary.endpointMetric(op)
+			ls := obs.Labels("endpoint", op.String(), "dialect", obs.DialectBinary)
+			p.Uint("harvestd_requests_total", ls, m.Requests.Load())
+			p.Uint("harvestd_request_errors_total", ls, m.Errors.Load())
+		}
+	}
+	p.Metric("harvestd_request_latency_microseconds", "histogram", "Request latency by endpoint and dialect, in microseconds.")
+	for _, name := range apiEndpoints {
+		p.Histogram("harvestd_request_latency_microseconds",
+			obs.Labels("endpoint", name, "dialect", obs.DialectJSON), &a.endpoints[name].Latency)
+	}
+	if a.binary != nil {
+		st := a.binary.Stats()
+		for _, op := range binaryOps {
+			p.Histogram("harvestd_request_latency_microseconds",
+				obs.Labels("endpoint", op.String(), "dialect", obs.DialectBinary),
+				&a.binary.endpointMetric(op).Latency)
+		}
+		p.Metric("harvestd_binary_accepted_conns_total", "counter", "Binary client connections accepted.")
+		p.Uint("harvestd_binary_accepted_conns_total", "", st.Accepted)
+		p.Metric("harvestd_binary_open_conns", "gauge", "Binary client connections currently open.")
+		p.Int("harvestd_binary_open_conns", "", st.Open)
+		p.Metric("harvestd_binary_framing_errors_total", "counter", "Connections dropped for bad framing.")
+		p.Uint("harvestd_binary_framing_errors_total", "", st.FramingErrors)
+	}
+
+	dcs := a.svc.Datacenters()
+	type dcStats struct {
+		dc string
+		st ShardStats
+	}
+	rows := make([]dcStats, 0, len(dcs))
+	for _, dc := range dcs {
+		if st, ok := a.svc.Stats(dc); ok {
+			rows = append(rows, dcStats{dc, st})
+		}
+	}
+
+	p.Metric("harvestd_snapshot_generation", "gauge", "Current snapshot generation.")
+	p.Metric("harvestd_snapshot_age_seconds", "gauge", "Age of the serving snapshot.")
+	p.Metric("harvestd_snapshot_refreshes_total", "counter", "Snapshot refreshes.")
+	p.Metric("harvestd_snapshot_refresh_errors_total", "counter", "Snapshot refresh failures.")
+	p.Metric("harvestd_classes", "gauge", "Utilization classes in the serving snapshot.")
+	p.Metric("harvestd_servers", "gauge", "Servers in the serving snapshot.")
+	p.Metric("harvestd_tenants", "gauge", "Tenants in the serving snapshot.")
+	p.Metric("harvestd_ingested_samples_total", "counter", "Telemetry samples accepted.")
+	for _, row := range rows {
+		ls := obs.Labels("dc", row.dc)
+		p.Uint("harvestd_snapshot_generation", ls, row.st.Generation)
+		p.Float("harvestd_snapshot_age_seconds", ls, row.st.Age.Seconds())
+		p.Uint("harvestd_snapshot_refreshes_total", ls, row.st.Refreshes)
+		p.Uint("harvestd_snapshot_refresh_errors_total", ls, row.st.RefreshErrors)
+		p.Int("harvestd_classes", ls, int64(row.st.Classes))
+		p.Int("harvestd_servers", ls, int64(row.st.Servers))
+		p.Int("harvestd_tenants", ls, int64(row.st.Tenants))
+		p.Uint("harvestd_ingested_samples_total", ls, row.st.IngestedSamples)
+	}
+
+	// The ledger books: exact milli-core integers, same conservation invariant
+	// as the JSON shape (reserved == released + expired + forfeited + outstanding).
+	p.Metric("harvestd_ledger_active_leases", "gauge", "Live leases.")
+	p.Metric("harvestd_ledger_outstanding_cores", "gauge", "Cores currently reserved.")
+	p.Metric("harvestd_ledger_reserved_millis_total", "counter", "Milli-cores ever reserved.")
+	p.Metric("harvestd_ledger_released_millis_total", "counter", "Milli-cores returned by release.")
+	p.Metric("harvestd_ledger_expired_millis_total", "counter", "Milli-cores reclaimed by expiry.")
+	p.Metric("harvestd_ledger_forfeited_millis_total", "counter", "Milli-cores forfeited on snapshot change.")
+	p.Metric("harvestd_ledger_reserves_total", "counter", "Successful reservations.")
+	p.Metric("harvestd_ledger_releases_total", "counter", "Successful releases.")
+	p.Metric("harvestd_ledger_expiries_total", "counter", "Lease expiries.")
+	p.Metric("harvestd_ledger_conflicts_total", "counter", "Reservations lost to capacity conflicts.")
+	for _, row := range rows {
+		ls := obs.Labels("dc", row.dc)
+		led := row.st.Ledger
+		p.Int("harvestd_ledger_active_leases", ls, int64(led.ActiveLeases))
+		p.Float("harvestd_ledger_outstanding_cores", ls, ledger.CoresOf(led.OutstandingMillis))
+		p.Int("harvestd_ledger_reserved_millis_total", ls, led.ReservedMillis)
+		p.Int("harvestd_ledger_released_millis_total", ls, led.ReleasedMillis)
+		p.Int("harvestd_ledger_expired_millis_total", ls, led.ExpiredMillis)
+		p.Int("harvestd_ledger_forfeited_millis_total", ls, led.ForfeitedMillis)
+		p.Uint("harvestd_ledger_reserves_total", ls, led.Reserves)
+		p.Uint("harvestd_ledger_releases_total", ls, led.Releases)
+		p.Uint("harvestd_ledger_expiries_total", ls, led.Expiries)
+		p.Uint("harvestd_ledger_conflicts_total", ls, led.Conflicts)
+	}
+
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.Write(p.Bytes())
+}

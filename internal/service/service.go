@@ -3,7 +3,6 @@ package service
 import (
 	"errors"
 	"fmt"
-	"log"
 	"math"
 	"math/rand"
 	"runtime"
@@ -14,12 +13,17 @@ import (
 	"harvest/internal/core"
 	"harvest/internal/experiments"
 	"harvest/internal/ledger"
+	"harvest/internal/obs"
 	"harvest/internal/signalproc"
 	"harvest/internal/telemetry"
 	"harvest/internal/tenant"
 	"harvest/internal/timeseries"
 	"harvest/internal/trace"
 )
+
+// slogger is the serving layer's structured logger: every line carries
+// component=service plus dc/err fields per call site.
+var slogger = obs.NewLogger("service")
 
 // Config parameterizes the characterization service.
 type Config struct {
@@ -231,7 +235,7 @@ func New(cfg Config) (*Service, error) {
 			s.persistSnapshot(sh, snap)
 		}
 		if restored {
-			log.Printf("service: %s: restored persisted snapshot generation %d", dc, snap.Generation)
+			slogger.Info("restored persisted snapshot", "dc", dc, "generation", snap.Generation)
 		}
 		// The ledger starts empty at the boot generation unless a persisted
 		// one matches the restored snapshot — then outstanding leases (minus
@@ -344,7 +348,7 @@ func (s *Service) refreshLoop(sh *shard) {
 			// counts the error, and the log line makes the staleness visible
 			// without watching /metrics.
 			if err := s.refreshShard(sh); err != nil {
-				log.Printf("service: %s: refresh failed, serving previous snapshot: %v", sh.dc, err)
+				slogger.Warn("refresh failed, serving previous snapshot", "dc", sh.dc, "err", err)
 			}
 		}
 	}
@@ -366,7 +370,7 @@ func (s *Service) refreshShard(sh *shard) error {
 	// tenant's servers in the serving set.
 	if s.cfg.TenantStaleAfter > 0 {
 		if n := sh.rings.EvictStale(s.cfg.TenantStaleAfter, start); n > 0 {
-			log.Printf("service: %s: evicted %d stale tenant rings", sh.dc, n)
+			slogger.Info("evicted stale tenant rings", "dc", sh.dc, "rings", n)
 		}
 	}
 	full := s.cfg.FullRebuildEvery > 0 && sh.sinceFull >= s.cfg.FullRebuildEvery-1
@@ -684,6 +688,13 @@ const selectReserveAttempts = 8
 // at the same usage view the selection ran against. An unsatisfiable job
 // returns an empty selection and no lease, not an error.
 func (s *Service) SelectReserve(dc string, job core.JobRequest, ttl time.Duration) (Grant, *Snapshot, error) {
+	return s.SelectReserveTraced(dc, job, ttl, ledger.Meta{}, nil)
+}
+
+// SelectReserveTraced is SelectReserve with operator metadata on the
+// resulting lease and optional span recording into tr (nil skips all trace
+// bookkeeping — the untraced path pays only nil checks).
+func (s *Service) SelectReserveTraced(dc string, job core.JobRequest, ttl time.Duration, meta ledger.Meta, tr *obs.Trace) (Grant, *Snapshot, error) {
 	sh, ok := s.shards[dc]
 	if !ok {
 		return Grant{}, nil, fmt.Errorf("service: unknown datacenter %q", dc)
@@ -696,11 +707,18 @@ func (s *Service) SelectReserve(dc string, job core.JobRequest, ttl time.Duratio
 	}
 	var snap *Snapshot
 	for attempt := 0; attempt < selectReserveAttempts; attempt++ {
+		var spanStart time.Time
+		if tr != nil {
+			spanStart = time.Now()
+		}
 		snap = sh.snap.Load()
 		v := s.usageViewFor(snap)
 		rng := s.rngs.Get().(*rand.Rand)
 		sel := snap.SelectSource(rng, job, v.src)
 		s.rngs.Put(rng)
+		if tr != nil {
+			tr.Span("snapshot_read", spanStart)
+		}
 		if sel.Empty() {
 			return Grant{Selection: sel}, snap, nil
 		}
@@ -733,7 +751,14 @@ func (s *Service) SelectReserve(dc string, job core.JobRequest, ttl time.Duratio
 			granted[i] = want
 			remaining -= want
 		}
-		lease, err := sh.led.Reserve(snap.Generation, reqs, ttl, time.Now())
+		var reserveStart time.Time
+		if tr != nil {
+			reserveStart = time.Now()
+		}
+		lease, err := sh.led.ReserveMeta(snap.Generation, reqs, ttl, time.Now(), meta)
+		if tr != nil {
+			tr.Span("ledger_reserve", reserveStart)
+		}
 		if err == nil {
 			return Grant{Selection: sel, Lease: lease.ID, ExpiresAt: lease.ExpiresAt, Granted: granted}, snap, nil
 		}
@@ -763,6 +788,17 @@ func (s *Service) Release(dc string, id uint64) (ledger.Lease, error) {
 		return ledger.Lease{}, fmt.Errorf("service: unknown datacenter %q", dc)
 	}
 	return sh.led.Release(id)
+}
+
+// Leases returns one page of dc's live leases (ordered by id) plus the total
+// live count; ok is false for an unknown datacenter.
+func (s *Service) Leases(dc string, offset, limit int) (page []ledger.Lease, total int, ok bool) {
+	sh, found := s.shards[dc]
+	if !found {
+		return nil, 0, false
+	}
+	page, total = sh.led.List(offset, limit)
+	return page, total, true
 }
 
 // LedgerStats returns the allocation ledger's counters for a datacenter.
