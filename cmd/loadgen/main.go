@@ -1,7 +1,7 @@
 // Command loadgen is a load generator for harvestd: N workers each drive a
 // private keep-alive connection, drawing operations from a configurable mix
-// of select / release / place / classes / server-class queries, and report
-// throughput and latency percentiles at the end.
+// of select / release / renew / place / classes / server-class queries, and
+// report throughput and latency percentiles at the end.
 //
 // Selects reserve cores server-side and return a lease; each worker holds
 // its leases in a pool the release operation drains (oldest first), so the
@@ -26,7 +26,7 @@
 //
 //	loadgen [-target http://127.0.0.1:7077] [-workers 2] [-pipeline 64]
 //	        [-duration 5s] [-rate 0] [-wait 0] [-proto json|binary]
-//	        [-mix select=30,release=30,place=30,classes=5,server=5]
+//	        [-mix select=30,release=25,renew=5,place=30,classes=5,server=5]
 //	        [-json] [-out report.json]
 //
 // -proto binary drives the same mix over the length-prefixed binary frame
@@ -96,13 +96,14 @@ type op int
 const (
 	opSelect op = iota
 	opRelease
+	opRenew
 	opPlace
 	opClasses
 	opServer
 	numOps
 )
 
-var opNames = [numOps]string{"select", "release", "place", "classes", "server"}
+var opNames = [numOps]string{"select", "release", "renew", "place", "classes", "server"}
 
 // logger covers the pre-run setup path (flag validation, discovery); the
 // measured loop itself never logs.
@@ -114,7 +115,7 @@ func main() {
 	pipeline := flag.Int("pipeline", 64, "requests kept in flight per connection")
 	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
 	rate := flag.Float64("rate", 0, "open-loop mode: scheduled requests/second across all workers (0 = closed loop)")
-	mix := flag.String("mix", "select=30,release=30,place=30,classes=5,server=5", "operation mix (weights)")
+	mix := flag.String("mix", "select=30,release=25,renew=5,place=30,classes=5,server=5", "operation mix (weights)")
 	proto := flag.String("proto", "json", "query protocol: json (HTTP/1.1) or binary (length-prefixed frames; the target must advertise binary_addr)")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
@@ -234,7 +235,7 @@ func parseMix(s string) ([numOps]int, error) {
 			}
 		}
 		if !found {
-			return weights, fmt.Errorf("unknown mix operation %q (want select, release, place, classes, server)", name)
+			return weights, fmt.Errorf("unknown mix operation %q (want select, release, renew, place, classes, server)", name)
 		}
 	}
 	total := 0
@@ -575,6 +576,12 @@ func (w *worker) pickRequest() (op, int, []byte) {
 			return opClasses, dci, w.classes[dc.name]
 		}
 		return o, dci, w.buildReleaseRequest(dc.name, id)
+	case opRenew:
+		id, ok := w.peekLease(dc.name)
+		if !ok {
+			return opClasses, dci, w.classes[dc.name]
+		}
+		return o, dci, w.buildRenewRequest(dc.name, id)
 	case opPlace:
 		return o, dci, w.places[dc.name]
 	case opServer:
@@ -616,6 +623,20 @@ func (w *worker) popLease(dc string) (uint64, bool) {
 	return id, true
 }
 
+// peekLease reads the newest held lease for a datacenter without taking it —
+// a renew keeps the lease outstanding, so the later release still happens.
+// Newest first: releases drain oldest first, so the newest lease is the one
+// least likely to already have a release racing it through the pipeline.
+func (w *worker) peekLease(dc string) (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	held := w.held[dc]
+	if len(held) == 0 {
+		return 0, false
+	}
+	return held[len(held)-1], true
+}
+
 // maxHeldLeases caps the per-DC lease pool; a lease arriving at the cap is
 // simply forgotten and left to the server's TTL sweep (which the /metrics
 // books count as expired, keeping the invariant intact).
@@ -635,6 +656,28 @@ func (w *worker) buildReleaseRequest(dc string, id uint64) []byte {
 	w.reqBuf = append(w.reqBuf, "POST /v1/"...)
 	w.reqBuf = append(w.reqBuf, dc...)
 	w.reqBuf = append(w.reqBuf, "/release HTTP/1.1\r\nHost: harvestd\r\nContent-Type: application/json\r\nContent-Length: "...)
+	w.reqBuf = strconv.AppendInt(w.reqBuf, int64(len(w.bodyScratch)), 10)
+	w.reqBuf = append(w.reqBuf, "\r\n\r\n"...)
+	w.reqBuf = append(w.reqBuf, w.bodyScratch...)
+	return w.reqBuf
+}
+
+// buildRenewRequest serializes a renew request into the worker's request
+// buffer. The 30-second hold is long enough that a renewed lease never
+// expires mid-run but short enough that leaked leases age out quickly after.
+func (w *worker) buildRenewRequest(dc string, id uint64) []byte {
+	if w.bin {
+		w.reqBuf = wire.AppendRenewReq(w.reqBuf[:0], w.frameID, dc,
+			wire.RenewReq{Lease: id, HoldMillis: 30_000})
+		return w.reqBuf
+	}
+	w.bodyScratch = append(w.bodyScratch[:0], `{"lease":`...)
+	w.bodyScratch = strconv.AppendUint(w.bodyScratch, id, 10)
+	w.bodyScratch = append(w.bodyScratch, `,"hold_seconds":30}`...)
+	w.reqBuf = w.reqBuf[:0]
+	w.reqBuf = append(w.reqBuf, "POST /v1/"...)
+	w.reqBuf = append(w.reqBuf, dc...)
+	w.reqBuf = append(w.reqBuf, "/renew HTTP/1.1\r\nHost: harvestd\r\nContent-Type: application/json\r\nContent-Length: "...)
 	w.reqBuf = strconv.AppendInt(w.reqBuf, int64(len(w.bodyScratch)), 10)
 	w.reqBuf = append(w.reqBuf, "\r\n\r\n"...)
 	w.reqBuf = append(w.reqBuf, w.bodyScratch...)

@@ -55,8 +55,20 @@ type Clustering struct {
 	Classes []*UtilizationClass
 
 	tenantClass map[tenant.ID]ClassID
+	// serverClass maps every server to its class. An incremental generation
+	// (Recluster) shares the previous generation's map unchanged and layers
+	// serverDelta over it: the delta holds only the servers whose tenant was
+	// reassigned (or dropped — classNone tombstones), so a refresh writes
+	// O(moved tenants' servers) map entries instead of O(servers). Both maps
+	// are immutable once the clustering is published.
 	serverClass map[tenant.ServerID]ClassID
+	serverDelta map[tenant.ServerID]ClassID
 }
+
+// classNone tombstones a server in serverDelta: its tenant dropped out of
+// the incremental generation (e.g. an evicted telemetry ring), so lookups
+// must fail even though the shared base map still holds an older assignment.
+const classNone ClassID = -1
 
 // ClassOfTenant returns the class a tenant belongs to.
 func (c *Clustering) ClassOfTenant(id tenant.ID) (ClassID, bool) {
@@ -64,11 +76,20 @@ func (c *Clustering) ClassOfTenant(id tenant.ID) (ClassID, bool) {
 	return cid, ok
 }
 
-// ClassOfServer returns the class a server belongs to.
+// ClassOfServer returns the class a server belongs to. The delta (servers
+// reassigned since the shared base generation) shadows the base map.
 func (c *Clustering) ClassOfServer(id tenant.ServerID) (ClassID, bool) {
+	if cid, ok := c.serverDelta[id]; ok {
+		return cid, cid != classNone
+	}
 	cid, ok := c.serverClass[id]
 	return cid, ok
 }
+
+// SplicedServers reports how many server assignments this generation carries
+// as a delta over a shared base map — zero for a from-scratch clustering or
+// a fully-shared (no membership change) incremental one.
+func (c *Clustering) SplicedServers() int { return len(c.serverDelta) }
 
 // Class returns the class with the given id, or nil.
 func (c *Clustering) Class(id ClassID) *UtilizationClass {
@@ -273,6 +294,22 @@ func featureVectors(tenants []*tenant.Tenant) [][]float64 {
 // tenant making the whole class unusable for long jobs.
 func (s *ClusteringService) appendClasses(clustering *Clustering, pop *tenant.Population,
 	pattern signalproc.Pattern, tenants []*tenant.Tenant, result *kmeans.Result) {
+	s.appendClassesLite(clustering, pop, pattern, tenants, result)
+	for _, t := range tenants {
+		cls := clustering.Classes[clustering.tenantClass[t.ID]]
+		cls.Servers = append(cls.Servers, t.Servers...)
+		for _, srv := range t.Servers {
+			clustering.serverClass[srv] = cls.ID
+		}
+	}
+}
+
+// appendClassesLite is appendClasses without the per-server work: classes,
+// tenant membership, and class statistics only. The incremental path
+// (Recluster) uses it and then splices server lists and assignments from the
+// previous generation instead of rebuilding them per server.
+func (s *ClusteringService) appendClassesLite(clustering *Clustering, pop *tenant.Population,
+	pattern signalproc.Pattern, tenants []*tenant.Tenant, result *kmeans.Result) {
 	classIndex := make(map[int]*UtilizationClass, len(result.Centroids))
 	for i, t := range tenants {
 		ci := result.Assignments[i]
@@ -287,11 +324,7 @@ func (s *ClusteringService) appendClasses(clustering *Clustering, pop *tenant.Po
 			clustering.Classes = append(clustering.Classes, cls)
 		}
 		cls.Tenants = append(cls.Tenants, t.ID)
-		cls.Servers = append(cls.Servers, t.Servers...)
 		clustering.tenantClass[t.ID] = cls.ID
-		for _, srv := range t.Servers {
-			clustering.serverClass[srv] = cls.ID
-		}
 	}
 	for _, cls := range classIndex {
 		totalServers := 0.0

@@ -26,6 +26,25 @@ type ReclusterStats struct {
 	// PatternChanged counts reclassified tenants whose pattern flipped
 	// (e.g. periodic -> unpredictable), forcing them into another group.
 	PatternChanged int
+	// Drifted lists the tenants that drifted past the threshold this round
+	// (the reclassified set), in population order. Nil on a full rebuild,
+	// where every tenant is re-run by definition.
+	Drifted []tenant.ID
+	// Quiet counts tenants whose history window was provably unchanged since
+	// their last drift evaluation (tenant.HistoryStats change mark), letting
+	// the drift check skip the window copy and summary entirely.
+	Quiet int
+	// MovedTenants counts tenants whose class assignment changed from the
+	// previous generation (drifted movers, K-Means reshuffles, and drop-outs).
+	MovedTenants int
+	// ReusedClasses counts classes whose tenant membership is unchanged and
+	// which therefore share the previous generation's server list instead of
+	// rebuilding it.
+	ReusedClasses int
+	// SplicedServers is the size of the server→class delta this generation
+	// layers over the previous generation's shared assignment map — zero
+	// when the map is shared outright (steady state) or was flattened fresh.
+	SplicedServers int
 	// WarmPatterns and ColdPatterns count pattern groups whose K-Means was
 	// seeded from the previous generation's centroids vs. re-seeded from
 	// scratch (class count changed, or the group is new).
@@ -73,8 +92,31 @@ func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, 
 	if thr <= 0 {
 		thr = DefaultDriftThreshold
 	}
+	hist, _ := src.(tenant.HistoryStats)
 	active := make([]*tenant.Tenant, 0, len(pop.Tenants))
 	for _, t := range pop.Tenants {
+		_, hadClass := prev.ClassOfTenant(t.ID)
+		var mark uint64
+		haveMark := false
+		if hist != nil {
+			n, m, ok := hist.HistoryStats(t.ID)
+			if !ok || n < signalproc.MinClassifySamples {
+				st.Skipped++
+				continue
+			}
+			if hadClass && m == t.HistoryMark {
+				// The window is bit-identical to the tenant's last drift
+				// evaluation, so the verdict is too — and an evaluation
+				// always ends "not drifted" (one that drifted reclassified,
+				// rebasing the profile on this very window). Skip the O(window)
+				// copy and summary. The mark is read before the copy below, so
+				// a racing ingest at worst forces a redundant check next round.
+				st.Quiet++
+				active = append(active, t)
+				continue
+			}
+			mark, haveMark = m, true
+		}
 		series := src.SeriesFor(t.ID)
 		if series == nil || series.Len() < signalproc.MinClassifySamples {
 			// Same contract as ClusterFrom: a tenant the source holds too
@@ -84,8 +126,10 @@ func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, 
 			continue
 		}
 		active = append(active, t)
+		if haveMark {
+			t.HistoryMark = mark
+		}
 		mean, peak, cv := stats.Summary(series.Values)
-		_, hadClass := prev.ClassOfTenant(t.ID)
 		// The baseline is the summary captured at the tenant's last FFT
 		// classification — it is deliberately NOT refreshed on undrifted
 		// rounds, so slow cumulative drift accumulates against the last
@@ -101,6 +145,7 @@ func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, 
 				return nil, st, err
 			}
 			st.Reclassified++
+			st.Drifted = append(st.Drifted, t.ID)
 			if hadClass && t.Profile.Pattern != oldPattern {
 				st.PatternChanged++
 			}
@@ -115,7 +160,10 @@ func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, 
 		prevCentroids[cls.Pattern] = append(prevCentroids[cls.Pattern], cls.Centroid)
 	}
 
-	clustering := newClustering(pop)
+	// Server membership is spliced from the previous generation after the
+	// K-Means passes, so the clustering is built without the per-server map
+	// prealloc a from-scratch build pays.
+	clustering := &Clustering{tenantClass: make(map[tenant.ID]ClassID, len(pop.Tenants))}
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	byPattern := groupByPattern(active)
 	for _, pattern := range patternOrder {
@@ -141,8 +189,102 @@ func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, 
 			return nil, st, fmt.Errorf("core: reclustering %v tenants: %w", pattern, err)
 		}
 		st.Iterations += result.Iterations
-		s.appendClasses(clustering, pop, pattern, tenants, result)
+		s.appendClassesLite(clustering, pop, pattern, tenants, result)
 	}
+	s.spliceMembership(clustering, prev, pop, &st)
 	sortClasses(clustering)
 	return clustering, st, nil
+}
+
+// spliceMembership fills the incremental generation's server membership from
+// the previous one instead of rebuilding it per server:
+//
+//   - a class whose tenant membership is unchanged shares the previous
+//     generation's Servers slice (immutable once published), and
+//   - the server→class map is the previous generation's map shared outright,
+//     shadowed by a delta holding only the servers of tenants whose
+//     assignment changed (classNone tombstones for drop-outs).
+//
+// The delta accumulates across warm generations and is flattened into a
+// fresh full map once it outgrows a quarter of the fleet — and on every full
+// rebuild, which takes the from-scratch path entirely. In the steady state
+// (no drift, stable K-Means fixed point) nothing moved: every class reuses
+// its server list and the map is shared with zero delta, making the whole
+// refresh independent of server count.
+func (s *ClusteringService) spliceMembership(clustering, prev *Clustering, pop *tenant.Population, st *ReclusterStats) {
+	for _, cls := range clustering.Classes {
+		if p := prevClassMatching(prev, cls); p != nil {
+			cls.Servers = p.Servers
+			st.ReusedClasses++
+			continue
+		}
+		for _, tid := range cls.Tenants {
+			if t := pop.ByID(tid); t != nil {
+				cls.Servers = append(cls.Servers, t.Servers...)
+			}
+		}
+	}
+
+	delta := make(map[tenant.ServerID]ClassID, len(prev.serverDelta))
+	for srv, cid := range prev.serverDelta {
+		delta[srv] = cid
+	}
+	for _, t := range pop.Tenants {
+		newCID, inNew := clustering.tenantClass[t.ID]
+		prevCID, inPrev := prev.ClassOfTenant(t.ID)
+		if inNew == inPrev && (!inNew || newCID == prevCID) {
+			continue // any inherited delta entries for this tenant still hold
+		}
+		st.MovedTenants++
+		target := classNone
+		if inNew {
+			target = newCID
+		}
+		for _, srv := range t.Servers {
+			delta[srv] = target
+		}
+	}
+
+	switch total := pop.NumServers(); {
+	case len(prev.serverClass) == 0 || len(delta)*4 > total:
+		// No base to share, or the splice stopped paying for itself:
+		// flatten into a fresh full map and drop the chain.
+		flat := make(map[tenant.ServerID]ClassID, total)
+		for _, cls := range clustering.Classes {
+			for _, srv := range cls.Servers {
+				flat[srv] = cls.ID
+			}
+		}
+		clustering.serverClass = flat
+	case len(delta) == 0:
+		clustering.serverClass = prev.serverClass
+	default:
+		clustering.serverClass = prev.serverClass
+		clustering.serverDelta = delta
+	}
+	st.SplicedServers = len(clustering.serverDelta)
+}
+
+// prevClassMatching returns the previous generation's class with the exact
+// same tenant membership (same tenants, same order) as cls, or nil. The
+// candidate is found through the first member's previous assignment, so the
+// check is O(members).
+func prevClassMatching(prev *Clustering, cls *UtilizationClass) *UtilizationClass {
+	if len(cls.Tenants) == 0 {
+		return nil
+	}
+	pid, ok := prev.ClassOfTenant(cls.Tenants[0])
+	if !ok {
+		return nil
+	}
+	p := prev.Class(pid)
+	if p == nil || len(p.Tenants) != len(cls.Tenants) {
+		return nil
+	}
+	for i, tid := range cls.Tenants {
+		if p.Tenants[i] != tid {
+			return nil
+		}
+	}
+	return p
 }

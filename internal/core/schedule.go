@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"harvest/internal/signalproc"
@@ -334,6 +335,188 @@ func (s *Selector) SelectFrom(rng *rand.Rand, job JobRequest, usage UsageSource)
 	}
 
 	// Line 16: not enough resources anywhere right now.
+	return Selection{}
+}
+
+// AllocSource supplies the one per-class quantity that changes between
+// snapshot refreshes: the cores currently allocated to secondary work. The
+// serving layer implements it directly on the allocation ledger's atomic
+// occupancy counters, so the indexed select path reads live headroom without
+// composing a full ClassUsage per class. Implementations must be safe for
+// concurrent readers.
+type AllocSource interface {
+	AllocatedCoresOf(ClassID) float64
+}
+
+// indexEntry is one class's precomputed select state for one job type: the
+// gross capacity bound (fixed for a given utilization view — see Capacity)
+// and the pattern ranking weight. Headroom at query time is capacity minus
+// the live allocation, clamped at zero.
+type indexEntry struct {
+	id       ClassID
+	capacity float64
+	weight   float64
+}
+
+// SelectIndex is the headroom index behind SelectIndexed: per job type, the
+// classes with positive capacity, stored once in descending-capacity order
+// (the phase-1 scan order, enabling early exit) and once in ascending
+// class-ID order (the phase-2 spread order). Capacities depend only on the
+// utilization view the index was built from, so the index is immutable and
+// shared by every query against that view; live allocation enters through
+// the AllocSource at query time. Rebuilt whenever the view changes (snapshot
+// refresh or ingest progress); reserve/release traffic needs no rebuild —
+// those deltas flow through the ledger's occupancy counters.
+type SelectIndex struct {
+	byCap [NumJobTypes][]indexEntry
+	byID  [NumJobTypes][]indexEntry
+}
+
+// BuildIndex precomputes the select index for a utilization view. Classes
+// whose capacity bound is zero for a job type are dropped from that job
+// type's lists: their headroom is pinned at zero, so the naive scan can
+// never pick them either alone, in a spread, or through the zero-weight
+// fallback — and stats.WeightedChoice ignores non-positive weights, so their
+// absence changes neither the outcome nor the RNG stream.
+func (s *Selector) BuildIndex(usage map[ClassID]ClassUsage) *SelectIndex {
+	idx := &SelectIndex{}
+	for t := JobShort; t < NumJobTypes; t++ {
+		entries := make([]indexEntry, 0, len(s.clustering.Classes))
+		for _, cls := range s.clustering.Classes {
+			capacity := s.Capacity(t, cls, usage[cls.ID])
+			if capacity <= 0 {
+				continue
+			}
+			entries = append(entries, indexEntry{
+				id:       cls.ID,
+				capacity: capacity,
+				weight:   s.cfg.Weights[t][cls.Pattern],
+			})
+		}
+		byCap := make([]indexEntry, len(entries))
+		copy(byCap, entries)
+		sort.Slice(byCap, func(i, j int) bool {
+			if byCap[i].capacity != byCap[j].capacity {
+				return byCap[i].capacity > byCap[j].capacity
+			}
+			return byCap[i].id < byCap[j].id
+		})
+		idx.byID[t] = entries // clustering.Classes is ID-sorted
+		idx.byCap[t] = byCap
+	}
+	return idx
+}
+
+// SelectIndexed is SelectFrom against a precomputed SelectIndex: picks are
+// identical, draw for draw, to a naive scan over the same view (the property
+// TestSelectIndexedMatchesNaive pins), but the single-class phase inspects
+// only the classes whose capacity bound can possibly host the job — the scan
+// runs down the capacity-sorted list and stops at the first class whose
+// bound is below the demand, since live allocation only ever shrinks
+// headroom below that bound. The multi-class spread phase (which only runs
+// when no single class fits) still walks every positive-capacity class, as
+// the algorithm's without-replacement weighted draw requires.
+//
+// job.Type must be a valid JobType; out-of-range types return an empty
+// selection (the serving layer validates before calling).
+func (s *Selector) SelectIndexed(rng *rand.Rand, job JobRequest, idx *SelectIndex, alloc AllocSource) Selection {
+	if job.Type < 0 || job.Type >= NumJobTypes {
+		return Selection{}
+	}
+	type candidate struct {
+		id           ClassID
+		headroom     float64
+		weightedRoom float64
+	}
+
+	// Phase 1 (Algorithm 1 line 8): classes that can host the whole job
+	// alone, collected from the capacity-descending list with early exit.
+	byCap := idx.byCap[job.Type]
+	fits := make([]candidate, 0, len(byCap))
+	for i := range byCap {
+		e := &byCap[i]
+		if e.capacity < job.MaxConcurrentCores {
+			break // headroom ≤ capacity: nothing further down can fit alone
+		}
+		head := e.capacity - alloc.AllocatedCoresOf(e.id)
+		if head < 0 {
+			head = 0
+		}
+		room := head * e.weight
+		if head < job.MaxConcurrentCores || room <= 0 {
+			continue
+		}
+		// Insert in class-ID order: WeightedChoice walks the weights array
+		// in order, so draw-for-draw identity with the naive scan needs its
+		// (class-ID) ordering, not the index's capacity ordering.
+		at := len(fits)
+		for at > 0 && fits[at-1].id > e.id {
+			at--
+		}
+		fits = append(fits, candidate{})
+		copy(fits[at+1:], fits[at:])
+		fits[at] = candidate{id: e.id, headroom: head, weightedRoom: room}
+	}
+	if len(fits) > 0 {
+		weights := make([]float64, len(fits))
+		for i, c := range fits {
+			weights[i] = c.weightedRoom
+		}
+		if k := stats.WeightedChoice(rng, weights); k >= 0 {
+			return Selection{
+				Classes:   []ClassID{fits[k].id},
+				Headrooms: []float64{fits[k].headroom},
+			}
+		}
+	}
+
+	// Phase 2 (lines 12-14): the job may fit across multiple classes
+	// combined. Same weighted draw without replacement as the naive scan,
+	// over the positive-capacity classes in class-ID order.
+	byID := idx.byID[job.Type]
+	candidates := make([]candidate, 0, len(byID))
+	totalRoom := 0.0
+	for i := range byID {
+		e := &byID[i]
+		head := e.capacity - alloc.AllocatedCoresOf(e.id)
+		if head < 0 {
+			head = 0
+		}
+		candidates = append(candidates, candidate{id: e.id, headroom: head, weightedRoom: head * e.weight})
+		totalRoom += head
+	}
+	if totalRoom >= job.MaxConcurrentCores {
+		weights := make([]float64, len(candidates))
+		for i, c := range candidates {
+			weights[i] = c.weightedRoom
+		}
+		var sel Selection
+		remaining := job.MaxConcurrentCores
+		for remaining > 0 {
+			idx := stats.WeightedChoice(rng, weights)
+			if idx < 0 {
+				idx = -1
+				for i, c := range candidates {
+					if weights[i] == 0 && c.headroom > 0 && !containsClass(sel.Classes, c.id) {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					break
+				}
+			}
+			c := candidates[idx]
+			sel.Classes = append(sel.Classes, c.id)
+			sel.Headrooms = append(sel.Headrooms, c.headroom)
+			remaining -= c.headroom
+			weights[idx] = 0 // without replacement
+		}
+		if remaining <= 0 {
+			return sel
+		}
+	}
+
 	return Selection{}
 }
 

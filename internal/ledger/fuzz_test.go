@@ -17,16 +17,21 @@ import (
 //	reserved == released + expired + forfeited + outstanding
 //
 // — keep every per-class counter non-negative, and keep the counter table
-// equal to the sum of the live leases' grants. The fuzz inputs drive a
-// deterministic PRNG, so every failure reproduces from its corpus entry.
+// equal to the sum of the live leases' grants. Class counts run past the
+// lease-map shard count, so leases land on (and re-key across) every shard,
+// and renews are mixed in at every stage — a renew moves no millicores, so
+// the books must be bit-identical before and after one. The fuzz inputs
+// drive a deterministic PRNG, so every failure reproduces from its corpus
+// entry.
 func FuzzLedgerRekeyConservation(f *testing.F) {
 	f.Add(int64(1), uint8(4), uint8(3), uint8(12), uint8(2))
 	f.Add(int64(42), uint8(1), uint8(1), uint8(1), uint8(1))
-	f.Add(int64(-7), uint8(8), uint8(0), uint8(30), uint8(5))  // everything forfeits
-	f.Add(int64(99), uint8(2), uint8(16), uint8(40), uint8(3)) // classes split wide
+	f.Add(int64(-7), uint8(8), uint8(0), uint8(30), uint8(5))   // everything forfeits
+	f.Add(int64(99), uint8(2), uint8(16), uint8(40), uint8(3))  // classes split wide
+	f.Add(int64(17), uint8(31), uint8(11), uint8(47), uint8(4)) // more classes than shards
 	f.Fuzz(func(t *testing.T, seed int64, numOld8, numNew8, numLeases8, rounds8 uint8) {
 		rng := rand.New(rand.NewSource(seed))
-		numOld := int(numOld8%8) + 1
+		numOld := int(numOld8%32) + 1
 		numNew := int(numNew8 % 12) // 0 → every grant forfeits
 		numLeases := int(numLeases8 % 48)
 		rounds := int(rounds8%4) + 1
@@ -57,8 +62,12 @@ func FuzzLedgerRekeyConservation(f *testing.F) {
 			leaseIDs = append(leaseIDs, ls.ID)
 		}
 		// Release a random subset and run one expiry sweep so all four sinks
-		// of the equation are populated before the first re-key.
+		// of the equation are populated before the first re-key. Renews ride
+		// along: they reschedule expiry but must never move a millicore.
 		for _, id := range leaseIDs {
+			if rng.Intn(4) == 0 {
+				led.Renew(id, time.Duration(rng.Intn(240))*time.Second, now)
+			}
 			if rng.Intn(3) == 0 {
 				led.Release(id)
 			}
@@ -106,6 +115,9 @@ func FuzzLedgerRekeyConservation(f *testing.F) {
 			led.Rekey(uint64(2+round), numNew, remap)
 			check("after rekey")
 			for _, id := range leaseIDs {
+				if rng.Intn(5) == 0 {
+					led.Renew(id, time.Duration(rng.Intn(240))*time.Second, now)
+				}
 				if rng.Intn(4) == 0 {
 					led.Release(id)
 				}

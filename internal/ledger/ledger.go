@@ -11,10 +11,15 @@
 // atomic millicore counters behind an atomic pointer. Reserve admits with a
 // CAS loop bounded by the caller-supplied capacity, so any number of
 // concurrent reservations can never jointly over-promise a class. Lease
-// bookkeeping (the id → grants map) takes a small mutex off the CAS path;
-// re-keying to a new clustering generation swaps in a freshly summed table
-// under that same mutex, and a reservation racing the swap detects it and
-// retries against the new generation instead of landing on the dead table.
+// bookkeeping (the id → grants map) is sharded: a lease lands on the shard
+// of its first granted class, and its id carries the shard index in its low
+// bits so Release and Renew route without a global lock. Reserve/Release
+// traffic on different classes therefore never contends on a mutex — only
+// the global operations (Rekey, Export, Snapshot, List) still quiesce the
+// whole ledger, by taking every shard lock in ascending order. Re-keying to
+// a new clustering generation swaps in a freshly summed table while holding
+// all shard locks, and a reservation racing the swap detects it and retries
+// against the new generation instead of landing on the dead table.
 //
 // Fixed-point: cores are tracked in integer millicores so the conservation
 // invariant — reserved == released + expired + forfeited + outstanding — is
@@ -50,8 +55,8 @@ func CoresOf(millis int64) float64 { return float64(millis) / MillisPerCore }
 // reload the current snapshot and retry.
 var ErrStaleGeneration = errors.New("ledger: stale snapshot generation")
 
-// ErrUnknownLease is returned by Release for an id that does not exist — never
-// issued, already released, or reclaimed by the expiry sweep.
+// ErrUnknownLease is returned by Release and Renew for an id that does not
+// exist — never issued, already released, or reclaimed by the expiry sweep.
 var ErrUnknownLease = errors.New("ledger: unknown lease")
 
 // InsufficientError reports a reservation that lost the admission race: by
@@ -134,39 +139,86 @@ type lease struct {
 	meta      Meta
 }
 
+// numShards is the lease-map shard count: a power of two so the shard index
+// is a mask of the lease id's low bits. 16 shards comfortably exceeds the
+// per-class contention a single machine generates while keeping the
+// lock-all operations (Rekey, Export) cheap.
+const (
+	numShards = 16
+	shardMask = numShards - 1
+)
+
+// shardOf routes a lease id to its owning shard: the shard index rides in
+// the id's low bits, stamped at issue time, so routing is O(1) with no
+// global state.
+func shardOf(id uint64) int { return int(id & shardMask) }
+
+// leaseShard is one lock-striped slice of the lease map. Each shard owns its
+// id RNG so issuing never crosses shard boundaries.
+type leaseShard struct {
+	mu     sync.Mutex
+	leases map[uint64]*lease
+	idrng  *rand.ChaCha8
+}
+
 // Ledger tracks one datacenter's live allocations.
 type Ledger struct {
 	tab atomic.Pointer[table]
 
-	mu     sync.Mutex // guards leases, idrng, and table swaps
-	leases map[uint64]*lease
-	idrng  *rand.ChaCha8
+	// shards hold the lease bookkeeping. Lock order: any single-shard
+	// operation takes exactly one shard lock; global operations take all of
+	// them in ascending index order. The table swap (Rekey) happens with all
+	// shard locks held, so any op holding one shard lock reads a stable
+	// table pointer.
+	shards [numShards]leaseShard
 
 	// Cumulative counters. The conservation invariant is
 	//   reserved == released + expired + forfeited + outstanding
 	// in exact millicores, where outstanding is the sum over live leases.
+	// Each counter moves while its lease's shard lock is held, so a
+	// lock-all reader (Export, Snapshot) sees books consistent with the
+	// lease maps.
 	reservedMillis  atomic.Int64
 	releasedMillis  atomic.Int64
 	expiredMillis   atomic.Int64
 	forfeitedMillis atomic.Int64
 	reserves        atomic.Uint64
 	releases        atomic.Uint64
+	renews          atomic.Uint64
 	expiries        atomic.Uint64 // leases reclaimed by the sweep
 	conflicts       atomic.Uint64 // failed reserves (insufficient or stale)
 }
 
 // New creates an empty ledger for the given clustering generation.
 func New(generation uint64, numClasses int) *Ledger {
-	var seed [32]byte
-	if _, err := crand.Read(seed[:]); err != nil {
-		// The platform CSPRNG failing is unrecoverable (crypto/rand panics on
-		// its own read paths for the same reason): lease ids would be
-		// guessable, which release turns into a capability.
-		panic("ledger: reading CSPRNG seed: " + err.Error())
+	l := &Ledger{}
+	for i := range l.shards {
+		var seed [32]byte
+		if _, err := crand.Read(seed[:]); err != nil {
+			// The platform CSPRNG failing is unrecoverable (crypto/rand panics
+			// on its own read paths for the same reason): lease ids would be
+			// guessable, which release turns into a capability.
+			panic("ledger: reading CSPRNG seed: " + err.Error())
+		}
+		l.shards[i].leases = make(map[uint64]*lease)
+		l.shards[i].idrng = rand.NewChaCha8(seed)
 	}
-	l := &Ledger{leases: make(map[uint64]*lease), idrng: rand.NewChaCha8(seed)}
 	l.tab.Store(newTable(generation, numClasses))
 	return l
+}
+
+// lockAll acquires every shard lock in ascending order — the global
+// quiescence point for Rekey, Export, Snapshot, and List.
+func (l *Ledger) lockAll() {
+	for i := range l.shards {
+		l.shards[i].mu.Lock()
+	}
+}
+
+func (l *Ledger) unlockAll() {
+	for i := range l.shards {
+		l.shards[i].mu.Unlock()
+	}
 }
 
 // maxJSONSafeID bounds lease ids to 53 bits: the JSON API carries them as
@@ -175,18 +227,19 @@ func New(generation uint64, numClasses int) *Ledger {
 // never issued. 2^53 random values are still far beyond enumerable.
 const maxJSONSafeID = 1<<53 - 1
 
-// newLeaseID draws an unguessable nonzero lease id, retrying the (vanishing)
-// zero and collision cases. Ids double as release capabilities once they
-// cross process boundaries — the binary wire protocol freezes them as opaque
-// 64-bit values — so they must not be enumerable the way a counter is.
-// Called with l.mu held.
-func (l *Ledger) newLeaseID() uint64 {
+// newLeaseID draws an unguessable nonzero lease id whose low bits carry the
+// shard index, retrying the (vanishing) zero and collision cases. Ids double
+// as release capabilities once they cross process boundaries — the binary
+// wire protocol freezes them as opaque 64-bit values — so the 49 bits above
+// the shard index stay CSPRNG-random, never a counter. Called with the
+// shard's lock held.
+func (sh *leaseShard) newLeaseID(shardIdx int) uint64 {
 	for {
-		id := l.idrng.Uint64() & maxJSONSafeID
+		id := sh.idrng.Uint64()&maxJSONSafeID&^uint64(shardMask) | uint64(shardIdx)
 		if id == 0 {
 			continue
 		}
-		if _, taken := l.leases[id]; !taken {
+		if _, taken := sh.leases[id]; !taken {
 			return id
 		}
 	}
@@ -207,10 +260,20 @@ func (l *Ledger) AllocatedCores(generation uint64, id core.ClassID) (float64, bo
 	return CoresOf(t.alloc[int(id)].Load()), true
 }
 
+// AllocatedMillis is AllocatedCores in the ledger's native fixed point, for
+// callers (the select index) that compare against exact occupancy deltas.
+func (l *Ledger) AllocatedMillis(generation uint64, id core.ClassID) (int64, bool) {
+	t := l.tab.Load()
+	if t.generation != generation || int(id) < 0 || int(id) >= len(t.alloc) {
+		return 0, false
+	}
+	return t.alloc[int(id)].Load(), true
+}
+
 // Occupancy returns the ledger's generation and current per-class occupancy
-// straight from the atomic counter table — no lease-map mutex, so hot query
+// straight from the atomic counter table — no lease-map locks, so hot query
 // paths can read it without serializing against Reserve/Release bookkeeping
-// (Snapshot scans every lease under the mutex; this does not).
+// (Snapshot scans every lease under the shard locks; this does not).
 func (l *Ledger) Occupancy() (generation uint64, allocMillisByClass []int64) {
 	t := l.tab.Load()
 	out := make([]int64, len(t.alloc))
@@ -273,28 +336,34 @@ func (l *Ledger) ReserveMeta(generation uint64, reqs []Request, ttl time.Duratio
 		return Lease{}, fmt.Errorf("ledger: nothing to reserve")
 	}
 
-	l.mu.Lock()
+	// The lease lands on its first class's shard, so reservations in
+	// different classes book-keep on different locks.
+	shardIdx := int(grants[0].Class) & shardMask
+	sh := &l.shards[shardIdx]
+	sh.mu.Lock()
 	if l.tab.Load() != t {
-		// A re-key swapped the table between our CASes and the insert: the
-		// summed-from-leases new table never saw these grants, so undoing them
-		// on the dead table is a no-op for the live one. Retry upstream.
-		l.mu.Unlock()
+		// A re-key swapped the table between our CASes and the insert (Rekey
+		// holds every shard lock across the swap, so taking ours ordered us
+		// after it): the summed-from-leases new table never saw these grants,
+		// so undoing them on the dead table is a no-op for the live one.
+		// Retry upstream.
+		sh.mu.Unlock()
 		l.rollback(t, grants)
 		l.conflicts.Add(1)
 		return Lease{}, ErrStaleGeneration
 	}
-	ls := &lease{id: l.newLeaseID(), grants: grants, meta: meta}
+	ls := &lease{id: sh.newLeaseID(shardIdx), grants: grants, meta: meta}
 	if ttl > 0 {
 		ls.expiresAt = now.Add(ttl)
 	}
-	l.leases[ls.id] = ls
-	// The cumulative counters move under the same mutex as the lease map:
-	// Export (persistence) reads both under l.mu, and a counter lagging its
-	// lease would persist a state that violates conservation across a
-	// restart.
+	sh.leases[ls.id] = ls
+	// The cumulative counters move under the same shard lock as the lease
+	// map entry: Export (persistence) reads both with all shard locks held,
+	// and a counter lagging its lease would persist a state that violates
+	// conservation across a restart.
 	l.reserves.Add(1)
 	l.reservedMillis.Add(total)
-	l.mu.Unlock()
+	sh.mu.Unlock()
 
 	return Lease{ID: ls.id, ExpiresAt: ls.expiresAt, Grants: append([]Grant(nil), grants...), Meta: meta}, nil
 }
@@ -307,41 +376,69 @@ func (l *Ledger) rollback(t *table, grants []Grant) {
 
 // Release returns a lease's cores to its classes and retires the lease.
 func (l *Ledger) Release(id uint64) (Lease, error) {
-	l.mu.Lock()
-	ls, ok := l.leases[id]
+	sh := &l.shards[shardOf(id)]
+	sh.mu.Lock()
+	ls, ok := sh.leases[id]
 	if !ok {
-		l.mu.Unlock()
+		sh.mu.Unlock()
 		return Lease{}, ErrUnknownLease
 	}
-	delete(l.leases, id)
-	t := l.tab.Load()
+	delete(sh.leases, id)
+	t := l.tab.Load() // stable: Rekey holds every shard lock across the swap
 	var total int64
 	for _, g := range ls.grants {
 		t.alloc[int(g.Class)].Add(-g.Millis)
 		total += g.Millis
 	}
 	l.releases.Add(1)
-	l.releasedMillis.Add(total) // under l.mu — see Reserve
-	l.mu.Unlock()
+	l.releasedMillis.Add(total) // under the shard lock — see ReserveMeta
+	sh.mu.Unlock()
 	return Lease{ID: id, ExpiresAt: ls.expiresAt, Grants: ls.grants, Meta: ls.meta}, nil
 }
 
+// Renew extends (or, with ttl <= 0, removes) a live lease's expiry deadline
+// without touching its grants: long jobs keep their cores without paying a
+// release + re-select round trip, and no millicores move, so the
+// conservation books are untouched by construction.
+func (l *Ledger) Renew(id uint64, ttl time.Duration, now time.Time) (Lease, error) {
+	sh := &l.shards[shardOf(id)]
+	sh.mu.Lock()
+	ls, ok := sh.leases[id]
+	if !ok {
+		sh.mu.Unlock()
+		return Lease{}, ErrUnknownLease
+	}
+	if ttl > 0 {
+		ls.expiresAt = now.Add(ttl)
+	} else {
+		ls.expiresAt = time.Time{}
+	}
+	out := Lease{ID: id, ExpiresAt: ls.expiresAt, Grants: append([]Grant(nil), ls.grants...), Meta: ls.meta}
+	l.renews.Add(1)
+	sh.mu.Unlock()
+	return out, nil
+}
+
 // List returns one page of live leases ordered by id (a stable order for
-// pagination), plus the total live count. It walks the lease map under the
-// mutex — an operator-endpoint cost, not a hot-path one.
+// pagination), plus the total live count. It walks every shard's lease map
+// with all locks held — an operator-endpoint cost, not a hot-path one.
 func (l *Ledger) List(offset, limit int) (page []Lease, total int) {
 	if limit <= 0 {
 		return nil, 0
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	total = len(l.leases)
+	l.lockAll()
+	defer l.unlockAll()
+	for i := range l.shards {
+		total += len(l.shards[i].leases)
+	}
 	if offset >= total {
 		return nil, total
 	}
 	ids := make([]uint64, 0, total)
-	for id := range l.leases {
-		ids = append(ids, id)
+	for i := range l.shards {
+		for id := range l.shards[i].leases {
+			ids = append(ids, id)
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	end := offset + limit
@@ -350,7 +447,7 @@ func (l *Ledger) List(offset, limit int) (page []Lease, total int) {
 	}
 	page = make([]Lease, 0, end-offset)
 	for _, id := range ids[offset:end] {
-		ls := l.leases[id]
+		ls := l.shards[shardOf(id)].leases[id]
 		page = append(page, Lease{
 			ID:        ls.id,
 			ExpiresAt: ls.expiresAt,
@@ -363,26 +460,34 @@ func (l *Ledger) List(offset, limit int) (page []Lease, total int) {
 
 // ExpireBefore reclaims every lease whose deadline is at or before now —
 // the sweep for clients that died holding a reservation. Leases with no
-// deadline never expire.
+// deadline never expire. The sweep walks one shard at a time, so it never
+// stalls reserve/release traffic on the other shards.
 func (l *Ledger) ExpireBefore(now time.Time) (leases int, millis int64) {
-	l.mu.Lock()
-	t := l.tab.Load()
-	for id, ls := range l.leases {
-		if ls.expiresAt.IsZero() || ls.expiresAt.After(now) {
-			continue
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		t := l.tab.Load() // stable while the shard lock is held
+		var shardLeases int
+		var shardMillis int64
+		for id, ls := range sh.leases {
+			if ls.expiresAt.IsZero() || ls.expiresAt.After(now) {
+				continue
+			}
+			delete(sh.leases, id)
+			for _, g := range ls.grants {
+				t.alloc[int(g.Class)].Add(-g.Millis)
+				shardMillis += g.Millis
+			}
+			shardLeases++
 		}
-		delete(l.leases, id)
-		for _, g := range ls.grants {
-			t.alloc[int(g.Class)].Add(-g.Millis)
-			millis += g.Millis
+		if shardLeases > 0 {
+			l.expiries.Add(uint64(shardLeases))
+			l.expiredMillis.Add(shardMillis) // under the shard lock — see ReserveMeta
 		}
-		leases++
+		sh.mu.Unlock()
+		leases += shardLeases
+		millis += shardMillis
 	}
-	if leases > 0 {
-		l.expiries.Add(uint64(leases))
-		l.expiredMillis.Add(millis) // under l.mu — see Reserve
-	}
-	l.mu.Unlock()
 	return leases, millis
 }
 
@@ -392,16 +497,20 @@ func (l *Ledger) ExpireBefore(now time.Time) (leases int, millis int64) {
 // largest-remainder apportioning so each grant's millicore total is conserved
 // exactly. Grants on an old class with no shares (every server left the
 // serving set) are forfeited and counted. The new table is summed from the
-// rewritten leases and published with one atomic swap; a reservation racing
-// the swap rolls itself back and retries (see Reserve).
+// rewritten leases and published with one atomic swap while every shard lock
+// is held; a reservation racing the swap rolls itself back and retries (see
+// ReserveMeta). Leases stay on their issuing shard — the id's shard bits are
+// immutable — even when a grant remap moves their classes.
 func (l *Ledger) Rekey(newGeneration uint64, numClasses int, remap map[core.ClassID][]Share) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockAll()
+	defer l.unlockAll()
 	nt := newTable(newGeneration, numClasses)
-	for _, ls := range l.leases {
-		ls.grants = l.remapGrants(ls.grants, remap, numClasses)
-		for _, g := range ls.grants {
-			nt.alloc[int(g.Class)].Add(g.Millis)
+	for i := range l.shards {
+		for _, ls := range l.shards[i].leases {
+			ls.grants = l.remapGrants(ls.grants, remap, numClasses)
+			for _, g := range ls.grants {
+				nt.alloc[int(g.Class)].Add(g.Millis)
+			}
 		}
 	}
 	l.tab.Store(nt)
@@ -467,7 +576,7 @@ func (l *Ledger) remapGrants(grants []Grant, remap map[core.ClassID][]Share, num
 }
 
 // Stats is a point-in-time summary for /metrics. OutstandingMillis and
-// ActiveLeases are read under the lease mutex, so together with the
+// ActiveLeases are read with every shard lock held, so together with the
 // cumulative counters they satisfy the conservation invariant exactly
 // whenever the ledger is quiescent (and within one in-flight reservation of
 // it otherwise).
@@ -481,6 +590,7 @@ type Stats struct {
 	ForfeitedMillis   int64
 	Reserves          uint64
 	Releases          uint64
+	Renews            uint64
 	Expiries          uint64
 	Conflicts         uint64
 	// AllocatedMillisByClass is the current table's occupancy, indexed by
@@ -490,19 +600,21 @@ type Stats struct {
 
 // Snapshot returns the ledger's counters and per-class occupancy.
 func (l *Ledger) Snapshot() Stats {
-	l.mu.Lock()
+	l.lockAll()
 	t := l.tab.Load()
 	st := Stats{
 		Generation:             t.generation,
-		ActiveLeases:           len(l.leases),
 		AllocatedMillisByClass: make([]int64, len(t.alloc)),
 	}
-	for _, ls := range l.leases {
-		for _, g := range ls.grants {
-			st.OutstandingMillis += g.Millis
+	for i := range l.shards {
+		st.ActiveLeases += len(l.shards[i].leases)
+		for _, ls := range l.shards[i].leases {
+			for _, g := range ls.grants {
+				st.OutstandingMillis += g.Millis
+			}
 		}
 	}
-	// Cumulative counters read under the same mutex their writers hold, so
+	// Cumulative counters read under the same locks their writers hold, so
 	// the outstanding sum and the books belong to one consistent instant.
 	st.ReservedMillis = l.reservedMillis.Load()
 	st.ReleasedMillis = l.releasedMillis.Load()
@@ -510,9 +622,10 @@ func (l *Ledger) Snapshot() Stats {
 	st.ForfeitedMillis = l.forfeitedMillis.Load()
 	st.Reserves = l.reserves.Load()
 	st.Releases = l.releases.Load()
+	st.Renews = l.renews.Load()
 	st.Expiries = l.expiries.Load()
 	st.Conflicts = l.conflicts.Load()
-	l.mu.Unlock()
+	l.unlockAll()
 	for i := range t.alloc {
 		st.AllocatedMillisByClass[i] = t.alloc[i].Load()
 	}
@@ -539,6 +652,7 @@ type State struct {
 	ForfeitedMillis int64            `json:"forfeited_millis"`
 	Reserves        uint64           `json:"reserves"`
 	Releases        uint64           `json:"releases"`
+	Renews          uint64           `json:"renews,omitempty"`
 	Expiries        uint64           `json:"expiries"`
 	Conflicts       uint64           `json:"conflicts"`
 	Leases          []PersistedLease `json:"leases"`
@@ -546,8 +660,12 @@ type State struct {
 
 // Export captures the ledger's state for persistence.
 func (l *Ledger) Export() State {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockAll()
+	defer l.unlockAll()
+	var count int
+	for i := range l.shards {
+		count += len(l.shards[i].leases)
+	}
 	st := State{
 		Generation:      l.tab.Load().generation,
 		ReservedMillis:  l.reservedMillis.Load(),
@@ -556,18 +674,21 @@ func (l *Ledger) Export() State {
 		ForfeitedMillis: l.forfeitedMillis.Load(),
 		Reserves:        l.reserves.Load(),
 		Releases:        l.releases.Load(),
+		Renews:          l.renews.Load(),
 		Expiries:        l.expiries.Load(),
 		Conflicts:       l.conflicts.Load(),
-		Leases:          make([]PersistedLease, 0, len(l.leases)),
+		Leases:          make([]PersistedLease, 0, count),
 	}
-	for _, ls := range l.leases {
-		st.Leases = append(st.Leases, PersistedLease{
-			ID:        ls.id,
-			ExpiresAt: ls.expiresAt,
-			Grants:    append([]Grant(nil), ls.grants...),
-			JobID:     ls.meta.JobID,
-			Owner:     ls.meta.Owner,
-		})
+	for i := range l.shards {
+		for _, ls := range l.shards[i].leases {
+			st.Leases = append(st.Leases, PersistedLease{
+				ID:        ls.id,
+				ExpiresAt: ls.expiresAt,
+				Grants:    append([]Grant(nil), ls.grants...),
+				JobID:     ls.meta.JobID,
+				Owner:     ls.meta.Owner,
+			})
+		}
 	}
 	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
 	return st
@@ -576,7 +697,8 @@ func (l *Ledger) Export() State {
 // Restore rebuilds a ledger from persisted state, keyed to the given
 // generation and class count (which must be the restored snapshot's). Grants
 // on out-of-range classes are forfeited rather than trusted — the file may
-// predate a re-key the process never got to persist.
+// predate a re-key the process never got to persist. Restored leases route
+// to the shard their id's low bits name, whatever process issued them.
 func Restore(st State, generation uint64, numClasses int) (*Ledger, error) {
 	if st.Generation != generation {
 		return nil, fmt.Errorf("ledger: state is for generation %d, snapshot is %d", st.Generation, generation)
@@ -589,13 +711,15 @@ func Restore(st State, generation uint64, numClasses int) (*Ledger, error) {
 	l.forfeitedMillis.Store(st.ForfeitedMillis)
 	l.reserves.Store(st.Reserves)
 	l.releases.Store(st.Releases)
+	l.renews.Store(st.Renews)
 	l.expiries.Store(st.Expiries)
 	l.conflicts.Store(st.Conflicts)
 	for _, pl := range st.Leases {
 		if pl.ID == 0 {
 			return nil, fmt.Errorf("ledger: zero lease id")
 		}
-		if _, dup := l.leases[pl.ID]; dup {
+		sh := &l.shards[shardOf(pl.ID)]
+		if _, dup := sh.leases[pl.ID]; dup {
 			return nil, fmt.Errorf("ledger: duplicate lease id %d", pl.ID)
 		}
 		grants := make([]Grant, 0, len(pl.Grants))
@@ -613,7 +737,7 @@ func Restore(st State, generation uint64, numClasses int) (*Ledger, error) {
 		if len(grants) == 0 {
 			continue
 		}
-		l.leases[pl.ID] = &lease{id: pl.ID, expiresAt: pl.ExpiresAt, grants: grants, meta: Meta{JobID: pl.JobID, Owner: pl.Owner}}
+		sh.leases[pl.ID] = &lease{id: pl.ID, expiresAt: pl.ExpiresAt, grants: grants, meta: Meta{JobID: pl.JobID, Owner: pl.Owner}}
 	}
 	return l, nil
 }

@@ -1,0 +1,153 @@
+package ledger_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/ledger"
+)
+
+// TestRenewExtendsWithoutMovingMillis pins the renew contract: the expiry
+// deadline moves, the grants and the conservation books do not.
+func TestRenewExtendsWithoutMovingMillis(t *testing.T) {
+	now := time.Unix(50_000, 0)
+	led := ledger.New(1, 4)
+	ls, err := led.Reserve(1, []ledger.Request{
+		{Class: 1, Cores: 2.5, Capacity: 100},
+		{Class: 3, Cores: 1.0, Capacity: 100},
+	}, time.Minute, now)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	before := led.Snapshot()
+
+	renewed, err := led.Renew(ls.ID, 10*time.Minute, now)
+	if err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	if want := now.Add(10 * time.Minute); !renewed.ExpiresAt.Equal(want) {
+		t.Fatalf("renewed expiry = %v, want %v", renewed.ExpiresAt, want)
+	}
+	if renewed.TotalMillis() != ls.TotalMillis() {
+		t.Fatalf("renew changed grant total: %d -> %d", ls.TotalMillis(), renewed.TotalMillis())
+	}
+
+	after := led.Snapshot()
+	if after.ReservedMillis != before.ReservedMillis || after.ReleasedMillis != before.ReleasedMillis ||
+		after.ExpiredMillis != before.ExpiredMillis || after.ForfeitedMillis != before.ForfeitedMillis ||
+		after.OutstandingMillis != before.OutstandingMillis {
+		t.Fatalf("renew moved millicores: before %+v after %+v", before, after)
+	}
+	if after.Renews != before.Renews+1 {
+		t.Fatalf("Renews = %d, want %d", after.Renews, before.Renews+1)
+	}
+
+	// The old deadline no longer reclaims the lease; the new one does.
+	if n, _ := led.ExpireBefore(now.Add(2 * time.Minute)); n != 0 {
+		t.Fatalf("expiry sweep reclaimed a renewed lease (%d)", n)
+	}
+	if n, millis := led.ExpireBefore(now.Add(11 * time.Minute)); n != 1 || millis != ls.TotalMillis() {
+		t.Fatalf("sweep after renewed deadline = (%d, %d), want (1, %d)", n, millis, ls.TotalMillis())
+	}
+	final := led.Snapshot()
+	if got := final.ReleasedMillis + final.ExpiredMillis + final.ForfeitedMillis + final.OutstandingMillis; got != final.ReservedMillis {
+		t.Fatalf("conservation violated after renew+expiry: %+v", final)
+	}
+}
+
+// TestRenewEdgeCases: unknown ids 404, a non-positive ttl removes the
+// deadline entirely, and a released lease cannot be renewed back to life.
+func TestRenewEdgeCases(t *testing.T) {
+	now := time.Unix(50_000, 0)
+	led := ledger.New(1, 2)
+	if _, err := led.Renew(12345, time.Minute, now); !errors.Is(err, ledger.ErrUnknownLease) {
+		t.Fatalf("Renew(unknown) = %v, want ErrUnknownLease", err)
+	}
+
+	ls, err := led.Reserve(1, []ledger.Request{{Class: 0, Cores: 1, Capacity: 10}}, time.Second, now)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	forever, err := led.Renew(ls.ID, 0, now)
+	if err != nil {
+		t.Fatalf("Renew(ttl=0): %v", err)
+	}
+	if !forever.ExpiresAt.IsZero() {
+		t.Fatalf("ttl<=0 renew left a deadline: %v", forever.ExpiresAt)
+	}
+	if n, _ := led.ExpireBefore(now.Add(time.Hour)); n != 0 {
+		t.Fatal("sweep reclaimed a never-expiring lease")
+	}
+
+	if _, err := led.Release(ls.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if _, err := led.Renew(ls.ID, time.Minute, now); !errors.Is(err, ledger.ErrUnknownLease) {
+		t.Fatalf("Renew(released) = %v, want ErrUnknownLease", err)
+	}
+}
+
+// TestShardedLeaseRouting drives more classes than the ledger has lease-map
+// shards, from many goroutines at once, then releases and renews every lease
+// by id alone — exercising the id-bit shard routing end to end. The books
+// must close exactly.
+func TestShardedLeaseRouting(t *testing.T) {
+	const classes = 37 // > the shard count, so class→shard wraps
+	now := time.Unix(50_000, 0)
+	led := ledger.New(7, classes)
+
+	var mu sync.Mutex
+	var ids []uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cls := core.ClassID((w*50 + i) % classes)
+				ls, err := led.Reserve(7, []ledger.Request{{Class: cls, Cores: 0.25, Capacity: 1 << 20}}, time.Hour, now)
+				if err != nil {
+					t.Errorf("Reserve: %v", err)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, ls.ID)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate lease id %d across shards", id)
+		}
+		seen[id] = true
+	}
+	for i, id := range ids {
+		if i%2 == 0 {
+			if _, err := led.Renew(id, time.Minute, now); err != nil {
+				t.Fatalf("Renew(%d): %v", id, err)
+			}
+		}
+		if _, err := led.Release(id); err != nil {
+			t.Fatalf("Release(%d): %v", id, err)
+		}
+	}
+	st := led.Snapshot()
+	if st.ActiveLeases != 0 || st.OutstandingMillis != 0 {
+		t.Fatalf("leases outstanding after draining: %+v", st)
+	}
+	if st.ReservedMillis != st.ReleasedMillis {
+		t.Fatalf("books did not close: reserved %d, released %d", st.ReservedMillis, st.ReleasedMillis)
+	}
+	for i, m := range st.AllocatedMillisByClass {
+		if m != 0 {
+			t.Fatalf("class %d occupancy %d after draining", i, m)
+		}
+	}
+}

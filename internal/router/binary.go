@@ -4,11 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"harvest/internal/ledger"
@@ -22,13 +26,20 @@ import (
 // each data-plane request to the shard owning its datacenter:
 //
 //   - A backend that advertised binary_addr in its register heartbeat gets
-//     the frame verbatim over a pooled TCP connection — no decode, no
-//     re-encode, no HTTP. The response frame is relayed back the same way
-//     after its echoed request id is validated.
+//     the frame over a pipelined connection (binPipe): many frames — from
+//     many client connections — are in flight on one backend conn at once,
+//     each travelling under a router-minted relay id and completed by the
+//     echoed id when its response frame arrives. No decode, no re-encode,
+//     no HTTP, and no lock-step round trip per frame.
 //   - A JSON-only backend gets the frame translated onto its HTTP API and
 //     the JSON response translated back into a frame, so a binary client
 //     works against a mixed fleet mid-rollout; the extra cost lands only on
 //     backends that haven't upgraded.
+//
+// Client-facing ordering: responses on a client connection go back in
+// request order even though relays complete out of order. The dialect's
+// pipelining clients (loadgen) reuse one frame id per connection and match
+// responses positionally, so per-connection FIFO is part of the contract.
 //
 // Registration, discovery, and metrics stay on the JSON control plane: the
 // binary listener serves data-plane opcodes only.
@@ -37,80 +48,327 @@ const (
 	// binFrontIdleTimeout mirrors harvestd's binary server: an idle client
 	// conn is dropped after this long.
 	binFrontIdleTimeout = 2 * time.Minute
-	// binPoolIdleMax discards pooled backend conns idle this long — well
-	// below the backends' 2-minute server-side idle timeout, so the router
-	// drops a conn before the backend does (a reuse racing the backend's
-	// close would read as a spurious transport failure, same reasoning as
-	// the HTTP transport's IdleConnTimeout).
-	binPoolIdleMax = 30 * time.Second
-	// binPoolCap bounds pooled conns per backend; extras are closed on
-	// return rather than kept.
-	binPoolCap = 16
-	// binFlushLimit force-flushes a response batch even while more pipelined
-	// requests are buffered, bounding client-visible latency and router
-	// memory under a pathological burst.
-	binFlushLimit = 64 << 10
+	// binPipeIdleMax reaps backend pipes idle this long — well below the
+	// backends' 2-minute server-side idle timeout, so the router drops a
+	// pipe before the backend does (a send racing the backend's close would
+	// read as a spurious transport failure, same reasoning as the HTTP
+	// transport's IdleConnTimeout).
+	binPipeIdleMax = 30 * time.Second
+	// binPipeCount bounds pipelined conns per backend. The backend serves
+	// each connection with one goroutine, so parallelism across its cores
+	// needs several pipes; beyond a handful the per-conn syscall batching
+	// wins flatten out.
+	binPipeCount = 4
+	// binRelayWindow bounds in-flight relays per client connection: the
+	// reader stops pulling frames when this many responses are pending, the
+	// writer releases a slot as each response drains.
+	binRelayWindow = 64
 )
 
-// pooledBin is one idle connection to a backend's binary listener, with its
-// read buffer and response scratch kept alongside so reuse is allocation-free.
-type pooledBin struct {
-	c       net.Conn
-	br      *bufio.Reader
-	scratch []byte
-	idleAt  time.Time
+var (
+	errPipeClosed = errors.New("binary pipe closed")
+	errPipeDesync = errors.New("backend sent a response frame nobody is waiting for")
+)
+
+// binCall is one in-flight relay on a pipe: the response frame (an owned
+// copy) or the pipe's terminal error arrives via done.
+type binCall struct {
+	done  chan struct{}
+	frame []byte
+	err   error
 }
 
-// getBin pops a pooled connection to addr or dials a fresh one. Conns idle
-// past binPoolIdleMax are discarded on the way.
-func (b *backend) getBin(addr string, dialTimeout time.Duration) (*pooledBin, error) {
-	now := time.Now()
+// binPipe is one pipelined connection to a backend's binary listener.
+// Senders — one per relayed frame, from any number of client connections —
+// enqueue onto sendq; the single writer goroutine drains the queue into a
+// buffered writer and flushes once per batch, so a burst of relays costs one
+// write syscall, not one each. The single reader goroutine completes waiters
+// by the echoed relay id. Any read error, timeout with frames in flight, or
+// unknown id is terminal: the stream can no longer be trusted, so every
+// waiter fails and the pipe is removed from its backend.
+type binPipe struct {
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
+
+	sendq chan []byte // frames queued for the writer goroutine
+
+	mu      sync.Mutex
+	waiters map[uint64]*binCall
+
+	// closed flips exactly once, in fail. It is read lock-free on the hot
+	// paths (getPipe scans every pipe per relayed frame); the waiters map is
+	// still guarded by mu, and fail orders the flip before the sweep.
+	closed atomic.Bool
+
+	kick chan struct{} // cap 1: wakes the parked reader when a frame is in flight
+	stop chan struct{} // closed on failure: unparks the reader and writer for exit
+
+	inFlight atomic.Int64
+	lastUse  atomic.Int64 // unix nanos of the last send or response
+}
+
+func newBinPipe(c net.Conn, timeout time.Duration) *binPipe {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	p := &binPipe{
+		c:       c,
+		br:      bufio.NewReaderSize(c, 64<<10),
+		bw:      bufio.NewWriterSize(c, 64<<10),
+		timeout: timeout,
+		sendq:   make(chan []byte, 4*binRelayWindow),
+		waiters: make(map[uint64]*binCall, binRelayWindow),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	p.lastUse.Store(time.Now().UnixNano())
+	return p
+}
+
+func (p *binPipe) dead() bool { return p.closed.Load() }
+
+// send registers call under relayID (which the caller already stamped into
+// the frame header) and queues the frame for the writer. The response (or
+// the pipe's failure) arrives via call.done; on a send error the pipe has
+// already failed, which completed the call.
+func (p *binPipe) send(relayID uint64, frame []byte, call *binCall) error {
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		return errPipeClosed
+	}
+	p.waiters[relayID] = call
+	p.mu.Unlock()
+	p.inFlight.Add(1)
+	p.lastUse.Store(time.Now().UnixNano())
+	select {
+	case p.sendq <- frame:
+	case <-p.stop:
+		// fail already swept the waiters map — this call included.
+		return errPipeClosed
+	}
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// writeLoop is the pipe's single writer: it drains every queued frame into
+// the buffered writer and flushes once the queue runs dry, so relays arriving
+// together share a syscall. Relay goroutines trickle onto the queue one
+// scheduler slice at a time, so an empty queue right after a write usually
+// means the batch is still forming, not that it is over — the loop yields
+// once and re-drains before paying the flush syscall. A write or flush error
+// is terminal: the stream may hold a partial frame and nothing sane can
+// follow.
+func (p *binPipe) writeLoop() {
+	for {
+		var frame []byte
+		select {
+		case frame = <-p.sendq:
+		case <-p.stop:
+			return
+		}
+		p.c.SetWriteDeadline(time.Now().Add(p.timeout))
+		yielded := false
+		for {
+			if _, err := p.bw.Write(frame); err != nil {
+				p.fail(err)
+				return
+			}
+			select {
+			case frame = <-p.sendq:
+				continue
+			default:
+			}
+			if !yielded {
+				yielded = true
+				runtime.Gosched()
+				select {
+				case frame = <-p.sendq:
+					continue
+				default:
+				}
+			}
+			break
+		}
+		if err := p.bw.Flush(); err != nil {
+			p.fail(err)
+			return
+		}
+	}
+}
+
+// readLoop is the pipe's single reader. It parks while nothing is in flight
+// (no read deadline ticking against an idle backend), then reads response
+// frames under the relay timeout and completes waiters by echoed id.
+func (p *binPipe) readLoop(b *backend) {
+	defer b.removePipe(p)
+	var scratch []byte
+	for {
+		if p.closed.Load() {
+			return
+		}
+		p.mu.Lock()
+		pending := len(p.waiters)
+		p.mu.Unlock()
+		if pending == 0 {
+			select {
+			case <-p.kick:
+				continue
+			case <-p.stop:
+				return
+			}
+		}
+		p.c.SetReadDeadline(time.Now().Add(p.timeout))
+		h, frame, err := readRawFrame(p.br, &scratch)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		p.mu.Lock()
+		call, ok := p.waiters[h.ID]
+		delete(p.waiters, h.ID)
+		p.mu.Unlock()
+		if !ok {
+			p.fail(errPipeDesync)
+			return
+		}
+		p.lastUse.Store(time.Now().UnixNano())
+		// The scratch buffer is reused for the next frame; the waiter gets
+		// an owned copy.
+		call.frame = append([]byte(nil), frame...)
+		close(call.done)
+		p.inFlight.Add(-1)
+	}
+}
+
+// fail completes every waiter with err and closes the pipe. Idempotent. The
+// closed flip happens before the sweep takes mu, and send checks it under the
+// same mu before registering, so no waiter can slip in after the sweep.
+func (p *binPipe) fail(err error) {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	p.mu.Lock()
+	waiters := p.waiters
+	p.waiters = nil
+	p.mu.Unlock()
+	close(p.stop)
+	p.c.Close()
+	for _, call := range waiters {
+		call.err = err
+		close(call.done)
+		p.inFlight.Add(-1)
+	}
+}
+
+// getPipe returns a live pipe to the backend, dialing one if needed. The
+// pipe table is a fixed array of binPipeCount slots:
+//
+//   - Keyed frames (release/renew, keyed by lease id) always use slot
+//     key%binPipeCount. Two frames for the same lease therefore share a pipe,
+//     and since each pipe is strictly FIFO and the backend serves a conn
+//     sequentially, operations on one lease reach the ledger in the order
+//     the client issued them — a release can never overtake the renew it
+//     was pipelined behind.
+//   - Unkeyed frames take the least-loaded live slot, dialing an empty one
+//     when every live pipe is busy.
+//
+// Idle pipes older than binPipeIdleMax are reaped on the way (their server
+// side may be about to close them).
+func (b *backend) getPipe(addr string, dialTimeout time.Duration, key uint64, keyed bool) (*binPipe, error) {
+	now := time.Now().UnixNano()
+	slot := -1
 	b.binMu.Lock()
-	for len(b.binIdle) > 0 {
-		pc := b.binIdle[len(b.binIdle)-1]
-		b.binIdle = b.binIdle[:len(b.binIdle)-1]
-		if now.Sub(pc.idleAt) > binPoolIdleMax {
-			pc.c.Close()
+	for i, p := range b.binPipes {
+		if p == nil {
 			continue
 		}
-		b.binMu.Unlock()
-		return pc, nil
+		if p.dead() {
+			b.binPipes[i] = nil
+			continue
+		}
+		if p.inFlight.Load() == 0 && now-p.lastUse.Load() > int64(binPipeIdleMax) {
+			go p.fail(errPipeClosed)
+			b.binPipes[i] = nil
+		}
+	}
+	if keyed {
+		slot = int(key % binPipeCount)
+		if p := b.binPipes[slot]; p != nil {
+			b.binMu.Unlock()
+			return p, nil
+		}
+	} else {
+		var best *binPipe
+		empty := -1
+		for i, p := range b.binPipes {
+			if p == nil {
+				if empty < 0 {
+					empty = i
+				}
+				continue
+			}
+			if best == nil || p.inFlight.Load() < best.inFlight.Load() {
+				best = p
+			}
+		}
+		if best != nil && (best.inFlight.Load() == 0 || empty < 0) {
+			b.binMu.Unlock()
+			return best, nil
+		}
+		slot = empty
 	}
 	b.binMu.Unlock()
+	// The slot needs a pipe. The dial runs unlocked, so a racing relay for
+	// the same slot may dial too; the loser's conn is closed and the winner's
+	// pipe is used, keeping the slot→pipe mapping single-valued.
 	c, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	return &pooledBin{c: c, br: bufio.NewReaderSize(c, 64<<10)}, nil
-}
-
-// putBin returns a healthy connection to the pool (or closes it when the
-// pool is full). Only conns whose last exchange fully completed may be
-// returned — a half-read response would corrupt the next exchange.
-func (b *backend) putBin(pc *pooledBin) {
-	pc.idleAt = time.Now()
+	p := newBinPipe(c, dialTimeout)
 	b.binMu.Lock()
-	if len(b.binIdle) < binPoolCap {
-		b.binIdle = append(b.binIdle, pc)
+	if q := b.binPipes[slot]; q != nil && !q.dead() {
 		b.binMu.Unlock()
-		return
+		p.fail(errPipeClosed) // no loops started yet: just closes the conn
+		return q, nil
 	}
+	b.binPipes[slot] = p
 	b.binMu.Unlock()
-	pc.c.Close()
+	go p.readLoop(b)
+	go p.writeLoop()
+	return p, nil
 }
 
-// closeBinPool drops every pooled connection; called when the backend's
-// binary address changes or the backend is collected.
-func (b *backend) closeBinPool() {
+// removePipe clears a dead pipe's slot; called only by the pipe's own
+// readLoop on exit.
+func (b *backend) removePipe(p *binPipe) {
 	b.binMu.Lock()
-	idle := b.binIdle
-	b.binIdle = nil
+	for i, q := range b.binPipes {
+		if q == p {
+			b.binPipes[i] = nil
+			break
+		}
+	}
 	b.binMu.Unlock()
-	for _, pc := range idle {
-		pc.c.Close()
+}
+
+// closeBinPipes fails every pipe; called when the backend's binary address
+// changes or the backend is collected.
+func (b *backend) closeBinPipes() {
+	b.binMu.Lock()
+	pipes := b.binPipes
+	b.binPipes = [binPipeCount]*binPipe{}
+	b.binMu.Unlock()
+	for _, p := range pipes {
+		if p != nil {
+			p.fail(errPipeClosed)
+		}
 	}
 }
 
@@ -231,9 +489,31 @@ func readRawFrame(br *bufio.Reader, scratch *[]byte) (wire.Header, []byte, error
 	return h, buf, nil
 }
 
-// serveBinaryConn is one client connection's loop: read a frame, relay it,
-// flush responses whenever the input goes quiet (pipelined bursts get their
-// responses in one write, same discipline as the backends' binary server).
+// pendingBinResp is one client frame's slot in the connection's response
+// order: relays complete out of order, responses go back in request order.
+// Exactly one completion shape is set by relayStart:
+//
+//   - frame alone: the response is already built (a router reject);
+//   - call + finish: a native relay is in flight on a pipe — the writer waits
+//     on call.done, then finish turns the backend's frame into the client's
+//     (id re-stamp, metrics, trace, breaker evidence);
+//   - done: a translation bridge goroutine is filling frame.
+type pendingBinResp struct {
+	frame  []byte
+	call   *binCall
+	finish func() []byte
+	done   chan struct{}
+}
+
+// serveBinaryConn is one client connection's loop. The reader parses frames
+// and dispatches each relay synchronously — resolving the datacenter and
+// queueing the frame onto a backend pipe costs no goroutine and no copy — so
+// an entire pipelined burst is on its way to the backends before the reader
+// parks and the pipes' writers flush it as one batch. The writer goroutine
+// puts responses back in request order (per-connection FIFO is the dialect's
+// contract), flushing whenever it would otherwise block — the write-behind
+// discipline of the backends' own server. Up to binRelayWindow frames ride
+// between reader and writer at once.
 func (rt *Router) serveBinaryConn(c net.Conn) {
 	defer rt.dropBinConn(c)
 	if tc, ok := c.(*net.TCPConn); ok {
@@ -241,13 +521,58 @@ func (rt *Router) serveBinaryConn(c net.Conn) {
 	}
 	br := bufio.NewReaderSize(c, 64<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
-	var raw []byte
-	for {
-		if br.Buffered() < wire.HeaderSize {
+
+	order := make(chan *pendingBinResp, binRelayWindow)
+	slots := make(chan struct{}, binRelayWindow)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		flush := func() {
 			if bw.Flush() != nil {
-				return
+				// The client is gone. Closing the conn unparks the reader;
+				// the remaining relays drain into the sticky writer error.
+				c.Close()
 			}
 		}
+		for {
+			var pr *pendingBinResp
+			var ok bool
+			select {
+			case pr, ok = <-order:
+			default:
+				// Nothing queued: put buffered responses on the wire before
+				// parking.
+				flush()
+				pr, ok = <-order
+			}
+			if !ok {
+				return
+			}
+			wait := pr.done
+			if pr.call != nil {
+				wait = pr.call.done
+			}
+			if wait != nil {
+				select {
+				case <-wait:
+				default:
+					// The head relay is still out: flush what's complete,
+					// then wait for it.
+					flush()
+					<-wait
+				}
+			}
+			frame := pr.frame
+			if pr.finish != nil {
+				frame = pr.finish()
+			}
+			bw.Write(frame)
+			<-slots
+		}
+	}()
+
+	var raw []byte
+	for {
 		c.SetReadDeadline(time.Now().Add(binFrontIdleTimeout))
 		h, frame, err := readRawFrame(br, &raw)
 		if err != nil {
@@ -256,52 +581,60 @@ func (rt *Router) serveBinaryConn(c net.Conn) {
 				// anymore (we may be mid-stream). Close without answering.
 				rt.binFramingErrors.Add(1)
 			}
-			bw.Flush()
-			return
+			break
 		}
-		rt.relayBinary(bw, h, frame)
-		if bw.Buffered() >= binFlushLimit {
-			if bw.Flush() != nil {
-				return
-			}
-		}
+		slots <- struct{}{}
+		order <- rt.relayStart(h, frame)
 	}
+	// Every queued entry self-completes (native relays via their pipe,
+	// translations via their goroutine), so the writer drains the order and
+	// exits; nothing else to wait for.
+	close(order)
+	<-writerDone
+	bw.Flush()
 }
 
-// binReject appends a router-originated error frame (bad request, unknown
+// binReject builds a router-originated error frame (bad request, unknown
 // datacenter, shard unavailable).
-func (rt *Router) binReject(bw *bufio.Writer, id uint64, code uint16, msg string) {
+func (rt *Router) binReject(id uint64, code uint16, msg string) []byte {
 	rt.binRejected.Add(1)
-	bw.Write(wire.AppendErrorResp(nil, id, code, msg))
+	return wire.AppendErrorResp(nil, id, code, msg)
 }
 
-// relayBinary routes one request frame: resolve the datacenter, apply the
-// same staleness and breaker gates as the HTTP proxy, then forward natively
-// or translate to JSON depending on what the backend advertised.
-func (rt *Router) relayBinary(bw *bufio.Writer, h wire.Header, frame []byte) {
+// relayStart routes one request frame from the connection's reader: resolve
+// the datacenter, apply the same staleness and breaker gates as the HTTP
+// proxy, then dispatch — natively by queueing the frame onto a backend pipe
+// (no goroutine, no blocking wait; the writer collects the response), or via
+// the JSON translation bridge on its own goroutine (it blocks on HTTP).
+// Everything here runs on the reader goroutine, so a pipelined burst is fully
+// dispatched before the connection turns to its responses.
+func (rt *Router) relayStart(h wire.Header, frame []byte) *pendingBinResp {
 	payload := frame[wire.HeaderSize:]
 	if !h.Op.IsRequest() {
-		rt.binReject(bw, h.ID, 400, "unknown opcode "+strconv.Itoa(int(h.Op)))
-		return
+		return &pendingBinResp{frame: rt.binReject(h.ID, 400, "unknown opcode "+strconv.Itoa(int(h.Op)))}
 	}
 	dcb, ok := wire.PeekDC(payload)
 	if !ok {
-		rt.binReject(bw, h.ID, 400, "bad request payload")
-		return
+		return &pendingBinResp{frame: rt.binReject(h.ID, 400, "bad request payload")}
 	}
 	dc := string(dcb)
 	// Per-frame trace + per-opcode latency. The echoed request id doubles as
 	// the trace id — a binary client can look its own frames up on
 	// /debug/traces with no wire change (id 0 gets a router-assigned one).
 	tr := rt.rec.Begin(h.ID, obs.DialectBinary, h.Op.String(), dc)
-	status := http.StatusOK
 	opStart := time.Now()
-	defer func() {
+	// fin records the per-opcode latency and closes the trace — called exactly
+	// once per frame, on whichever goroutine learns the outcome.
+	fin := func(status int) {
 		if i := int(h.Op) - 1; i >= 0 && i < len(rt.binOps) {
 			rt.binOps[i].Observe(time.Since(opStart), status)
 		}
 		tr.Finish(status)
-	}()
+	}
+	reject := func(code uint16, msg string) *pendingBinResp {
+		fin(int(code))
+		return &pendingBinResp{frame: rt.binReject(h.ID, code, msg)}
+	}
 	rt.mu.RLock()
 	b := rt.table[dc]
 	var baseURL, binAddr string
@@ -312,22 +645,16 @@ func (rt *Router) relayBinary(bw *bufio.Writer, h wire.Header, frame []byte) {
 	}
 	rt.mu.RUnlock()
 	if b == nil {
-		status = 404
-		rt.binReject(bw, h.ID, 404, "unknown datacenter "+strconv.Quote(dc))
-		return
+		return reject(404, "unknown datacenter "+strconv.Quote(dc))
 	}
 	now := rt.now()
 	if !rt.alive(b, now) {
 		if cutoff := now.Add(-10 * rt.cfg.StaleAfter).UnixNano(); b.lastBeat.Load() <= cutoff {
 			rt.collectBackend(b, cutoff)
-			status = 404
-			rt.binReject(bw, h.ID, 404, "unknown datacenter "+strconv.Quote(dc))
-			return
+			return reject(404, "unknown datacenter "+strconv.Quote(dc))
 		}
 		rt.unavailable.Add(1)
-		status = 503
-		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" missed heartbeats")
-		return
+		return reject(503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" missed heartbeats")
 	}
 	// Breaker gate, same shape as the HTTP path: open → fast 503 frame;
 	// half-open → exactly one CAS winner probes.
@@ -336,15 +663,11 @@ func (rt *Router) relayBinary(bw *bufio.Writer, h wire.Header, frame []byte) {
 	if openUntil := b.openUntil.Load(); openUntil != 0 {
 		if openUntil > now.UnixNano() {
 			rt.unavailable.Add(1)
-			status = 503
-			rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" circuit open")
-			return
+			return reject(503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" circuit open")
 		}
 		if !b.probing.CompareAndSwap(false, true) {
 			rt.unavailable.Add(1)
-			status = 503
-			rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" probe in flight")
-			return
+			return reject(503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" probe in flight")
 		}
 		probe = true
 	}
@@ -369,59 +692,72 @@ func (rt *Router) relayBinary(bw *bufio.Writer, h wire.Header, frame []byte) {
 		}
 	}
 	legStart := time.Now()
-	if binAddr != "" {
-		status = rt.forwardBinary(bw, b, binAddr, dc, h, frame, settle)
-	} else {
-		status = rt.translateBinary(bw, baseURL, dc, h, payload, settle, cancel)
-	}
-	tr.Span("backend_leg", legStart)
-}
 
-// forwardBinary relays the frame verbatim over a pooled connection to the
-// backend's binary listener and relays the response frame back. Returns the
-// HTTP-equivalent status for the op metrics and trace.
-func (rt *Router) forwardBinary(bw *bufio.Writer, b *backend, addr, dc string, h wire.Header, frame []byte, settle func(bool)) int {
-	pc, err := b.getBin(addr, rt.cfg.ProxyTimeout)
+	if binAddr == "" {
+		// Translation bridge: blocks on the backend's HTTP API, so it gets a
+		// goroutine and an owned copy of the payload (the reader's scratch is
+		// reused by the next frame).
+		pl := append([]byte(nil), payload...)
+		pr := &pendingBinResp{done: make(chan struct{})}
+		go func() {
+			defer close(pr.done)
+			respFrame, status := rt.translateBinary(baseURL, dc, h, pl, settle, cancel)
+			tr.Span("backend_leg", legStart)
+			fin(status)
+			pr.frame = respFrame
+		}()
+		return pr
+	}
+
+	// Native relay. The backend leg travels under a router-minted relay id
+	// (unique across every client conn sharing the pipe — the dialect's
+	// pipelining clients reuse one id per conn); the client's id — the trace
+	// id on both tiers — rides as a FlagTrace payload prefix. Release and
+	// renew frames are keyed onto a pipe by lease id so operations on the
+	// same lease keep their client-issued order across the fan-out.
+	var pipeKey uint64
+	keyed := false
+	if h.Op == wire.OpRelease || h.Op == wire.OpRenew {
+		pipeKey, keyed = wire.PeekLease(payload)
+	}
+	p, err := b.getPipe(binAddr, rt.cfg.ProxyTimeout, pipeKey, keyed)
 	if err != nil {
 		settle(false)
-		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
-		return 503
+		return reject(503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
 	}
-	healthy := false
-	defer func() {
-		if healthy {
-			b.putBin(pc)
-		} else {
-			pc.c.Close()
+	relayID := rt.binRelayID.Add(1)
+	relayed := wire.AppendRelayFrame(make([]byte, 0, len(frame)+8), h, payload, relayID, h.ID)
+	call := &binCall{done: make(chan struct{})}
+	if err := p.send(relayID, relayed, call); err != nil {
+		settle(false)
+		return reject(503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
+	}
+	pr := &pendingBinResp{call: call}
+	pr.finish = func() []byte {
+		tr.Span("backend_leg", legStart)
+		if call.err != nil {
+			// Read failure, relay timeout, or a response id nobody was
+			// waiting for (a desynced backend): the pipe has already failed
+			// and every waiter on it — including this one — got the error.
+			settle(false)
+			fin(503)
+			return rt.binReject(h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" sent a bad response frame")
 		}
-	}()
-	pc.c.SetDeadline(time.Now().Add(rt.cfg.ProxyTimeout))
-	if _, err := pc.c.Write(frame); err != nil {
-		settle(false)
-		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
-		return 503
+		settle(true)
+		b.proxied.Add(1)
+		rt.proxiedTotal.Add(1)
+		rt.binForwarded.Add(1)
+		wire.SetFrameID(call.frame, h.ID)
+		if wire.Op(call.frame[2]) == wire.OpError {
+			// Relayed backend error frames count as errors in the op
+			// metrics, matching how the shard's own dispatch counts them.
+			fin(500)
+			return call.frame
+		}
+		fin(http.StatusOK)
+		return call.frame
 	}
-	rh, resp, err := readRawFrame(pc.br, &pc.scratch)
-	if err != nil || rh.ID != h.ID {
-		// A wrong echoed id means the conn is desynchronized (a previous
-		// exchange left bytes behind); it is closed either way via healthy.
-		settle(false)
-		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" sent a bad response frame")
-		return 503
-	}
-	pc.c.SetDeadline(time.Time{})
-	settle(true)
-	healthy = true
-	b.proxied.Add(1)
-	rt.proxiedTotal.Add(1)
-	rt.binForwarded.Add(1)
-	bw.Write(resp)
-	if rh.Op == wire.OpError {
-		// Relayed backend error frames count as errors in the op metrics,
-		// matching how the shard's own dispatch counts them.
-		return 500
-	}
-	return http.StatusOK
+	return pr
 }
 
 // patternOrdinals maps the JSON API's pattern names back to wire ordinals
@@ -481,7 +817,7 @@ func classRecOf(c jsonClassInfo) wire.ClassRec {
 // encodes the JSON response back into a frame. This is the mixed-fleet
 // compatibility path — correctness over speed; upgraded backends never pay
 // it.
-func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.Header, payload []byte, settle func(bool), cancel func()) int {
+func (rt *Router) translateBinary(baseURL, dc string, h wire.Header, payload []byte, settle func(bool), cancel func()) ([]byte, int) {
 	var (
 		method = http.MethodPost
 		path   string
@@ -492,14 +828,12 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 	case wire.OpSelect:
 		if err := selReq.Decode(payload); err != nil {
 			cancel()
-			rt.binReject(bw, h.ID, 400, "bad select payload")
-			return 400
+			return rt.binReject(h.ID, 400, "bad select payload"), 400
 		}
 		name, ok := jobNames[selReq.Job]
 		if !ok {
 			cancel()
-			rt.binReject(bw, h.ID, 400, "bad job type")
-			return 400
+			return rt.binReject(h.ID, 400, "bad job type"), 400
 		}
 		body, _ = json.Marshal(map[string]any{
 			"job_type":             name,
@@ -513,17 +847,26 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 		var m wire.ReleaseReq
 		if err := m.Decode(payload); err != nil {
 			cancel()
-			rt.binReject(bw, h.ID, 400, "bad release payload")
-			return 400
+			return rt.binReject(h.ID, 400, "bad release payload"), 400
 		}
 		body, _ = json.Marshal(map[string]any{"lease": m.Lease})
 		path = "/v1/" + dc + "/release"
+	case wire.OpRenew:
+		var m wire.RenewReq
+		if err := m.Decode(payload); err != nil {
+			cancel()
+			return rt.binReject(h.ID, 400, "bad renew payload"), 400
+		}
+		body, _ = json.Marshal(map[string]any{
+			"lease":        m.Lease,
+			"hold_seconds": float64(m.HoldMillis) / 1000,
+		})
+		path = "/v1/" + dc + "/renew"
 	case wire.OpPlace:
 		var m wire.PlaceReq
 		if err := m.Decode(payload); err != nil {
 			cancel()
-			rt.binReject(bw, h.ID, 400, "bad place payload")
-			return 400
+			return rt.binReject(h.ID, 400, "bad place payload"), 400
 		}
 		body, _ = json.Marshal(map[string]any{
 			"replication":         m.Replication,
@@ -537,14 +880,12 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 		var m wire.ServerClassReq
 		if err := m.Decode(payload); err != nil {
 			cancel()
-			rt.binReject(bw, h.ID, 400, "bad server class payload")
-			return 400
+			return rt.binReject(h.ID, 400, "bad server class payload"), 400
 		}
 		method, path = http.MethodGet, fmt.Sprintf("/v1/%s/servers/%d/class", dc, m.Server)
 	default:
 		cancel()
-		rt.binReject(bw, h.ID, 400, "unknown opcode "+strconv.Itoa(int(h.Op)))
-		return 400
+		return rt.binReject(h.ID, 400, "unknown opcode "+strconv.Itoa(int(h.Op))), 400
 	}
 
 	var outBody io.Reader = http.NoBody
@@ -554,8 +895,7 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 	req, err := http.NewRequest(method, baseURL+path, outBody)
 	if err != nil {
 		cancel()
-		rt.binReject(bw, h.ID, 500, "bad proxy request: "+err.Error())
-		return 500
+		return rt.binReject(h.ID, 500, "bad proxy request: "+err.Error()), 500
 	}
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
@@ -567,15 +907,13 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 	res, err := rt.client.Do(req)
 	if err != nil {
 		settle(false)
-		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend unreachable")
-		return 503
+		return rt.binReject(h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend unreachable"), 503
 	}
 	defer res.Body.Close()
 	rb, err := io.ReadAll(io.LimitReader(res.Body, maxProxyResponse+1))
 	if err != nil || len(rb) > maxProxyResponse {
 		settle(false)
-		rt.binReject(bw, h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend sent a truncated or oversized response")
-		return 503
+		return rt.binReject(h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend sent a truncated or oversized response"), 503
 	}
 	settle(true)
 	rt.proxiedTotal.Add(1)
@@ -592,17 +930,14 @@ func (rt *Router) translateBinary(bw *bufio.Writer, baseURL, dc string, h wire.H
 		if e.Error == "" {
 			e.Error = http.StatusText(res.StatusCode)
 		}
-		bw.Write(wire.AppendErrorResp(nil, h.ID, uint16(res.StatusCode), e.Error))
-		return res.StatusCode
+		return wire.AppendErrorResp(nil, h.ID, uint16(res.StatusCode), e.Error), res.StatusCode
 	}
 
 	frame, err := encodeTranslated(h, rb, selReq)
 	if err != nil {
-		rt.binReject(bw, h.ID, 500, "bad backend response: "+err.Error())
-		return 500
+		return rt.binReject(h.ID, 500, "bad backend response: "+err.Error()), 500
 	}
-	bw.Write(frame)
-	return http.StatusOK
+	return frame, http.StatusOK
 }
 
 // encodeTranslated converts a 200 JSON response body into the equivalent
@@ -665,6 +1000,20 @@ func encodeTranslated(h wire.Header, body []byte, selReq wire.SelectReq) ([]byte
 			m.Grants[i] = g
 		}
 		return wire.AppendReleaseResp(nil, h.ID, &m), nil
+	case wire.OpRenew:
+		var r struct {
+			Lease            uint64  `json:"lease"`
+			TotalCores       float64 `json:"total_cores"`
+			ExpiresInSeconds float64 `json:"expires_in_seconds"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, err
+		}
+		return wire.AppendRenewResp(nil, h.ID, &wire.RenewResp{
+			Lease:       r.Lease,
+			TotalMillis: ledger.ToMillis(r.TotalCores),
+			ExpiresIn:   r.ExpiresInSeconds,
+		}), nil
 	case wire.OpPlace:
 		var r struct {
 			Generation uint64  `json:"generation"`

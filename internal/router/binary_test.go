@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"net"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -137,6 +138,215 @@ func TestBinaryMixedFleet(t *testing.T) {
 		}
 		if st.OutstandingMillis != 0 || st.ReservedMillis == 0 || st.ReservedMillis != st.ReleasedMillis {
 			t.Fatalf("%s books unbalanced: %+v", dc, st)
+		}
+	}
+}
+
+// TestBinaryPipelinedRelay proves the native relay is no longer lock-step: a
+// client pipelining N frames on one connection has them in flight against
+// the backend concurrently, and the responses come back in request order
+// even though the backend completes them out of order. The fake backend also
+// asserts the relay discipline itself: every forwarded frame must carry a
+// router-minted unique id plus the client's original id as a FlagTrace
+// payload prefix (client ids may collide across the frames sharing a pipe,
+// so the header id cannot be the client's).
+func TestBinaryPipelinedRelay(t *testing.T) {
+	const (
+		frames = 8
+		delay  = 300 * time.Millisecond
+	)
+	rt, srv := newTestRouter(t, nil)
+	binFront := startRouterBinary(t, rt)
+
+	// A slow binary backend: each frame is answered after delay, on its own
+	// goroutine, so responses complete concurrently and out of order.
+	var (
+		mu       sync.Mutex
+		relayIDs = map[uint64]int{}
+		traceIDs = map[uint64]int{}
+	)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				var wmu sync.Mutex
+				var scratch []byte
+				for {
+					h, payload, err := wire.ReadFrame(br, &scratch)
+					if err != nil {
+						return
+					}
+					traceID, rest, ok := wire.SplitTrace(h, payload)
+					mu.Lock()
+					if !ok || h.Flags&wire.FlagTrace == 0 {
+						t.Errorf("forwarded frame id %d missing the trace prefix", h.ID)
+					}
+					relayIDs[h.ID]++
+					traceIDs[traceID]++
+					mu.Unlock()
+					resp := wire.AppendFrame(nil, h.Op.Resp(), h.ID, rest)
+					go func() {
+						time.Sleep(delay)
+						wmu.Lock()
+						defer wmu.Unlock()
+						c.Write(resp)
+					}()
+				}
+			}(c)
+		}
+	}()
+
+	fb := newFakeBackend(t)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-slow", URL: fb.srv.URL, BinaryAddr: ln.Addr().String(),
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-1", Generation: 1}},
+	})
+
+	c := dialBin(t, binFront)
+	var batch []byte
+	for i := 0; i < frames; i++ {
+		batch = wire.AppendClassesReq(batch, uint64(100+i), "DC-1")
+	}
+	start := time.Now()
+	if _, err := c.c.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		h, _, err := wire.ReadFrame(c.br, &c.scratch)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if h.Op != wire.OpClassesResp {
+			t.Fatalf("response %d: op %v", i, h.Op)
+		}
+		if h.ID != uint64(100+i) {
+			t.Fatalf("response %d carries id %d, want %d: client-facing responses must keep request order", i, h.ID, 100+i)
+		}
+	}
+	elapsed := time.Since(start)
+	// Lock-step relay would take frames×delay (2.4 s); concurrent in-flight
+	// frames overlap the waits. The generous bound keeps slow CI hosts green
+	// while still being impossible for a serial relay to meet.
+	if limit := frames * delay / 2; elapsed >= limit {
+		t.Fatalf("%d pipelined frames of %v backend latency took %v (≥ %v): relay is lock-step", frames, delay, elapsed, limit)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(relayIDs) != frames {
+		t.Fatalf("backend saw %d distinct relay ids for %d frames: %v", len(relayIDs), frames, relayIDs)
+	}
+	for i := 0; i < frames; i++ {
+		if traceIDs[uint64(100+i)] != 1 {
+			t.Fatalf("client id %d not carried as a trace prefix exactly once: %v", 100+i, traceIDs)
+		}
+	}
+}
+
+// TestBinaryPerLeaseOrdering pins the relay's ordering contract: release and
+// renew frames are keyed onto a backend pipe by lease id, so two operations
+// on the same lease arrive at the backend in the order the client issued
+// them even though unrelated frames fan out across pipes. A client that
+// pipelines renew(L) then release(L) must never have the backend observe the
+// release first (the race that made renews 404 against an already-released
+// lease).
+func TestBinaryPerLeaseOrdering(t *testing.T) {
+	const leases = 200
+	rt, srv := newTestRouter(t, nil)
+	binFront := startRouterBinary(t, rt)
+
+	// A recording binary backend: frames on each conn are handled
+	// sequentially (like the real shard server), and every renew/release is
+	// appended to one global arrival log.
+	type arrival struct {
+		op    wire.Op
+		lease uint64
+	}
+	var (
+		mu  sync.Mutex
+		log []arrival
+	)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				var scratch []byte
+				for {
+					h, payload, err := wire.ReadFrame(br, &scratch)
+					if err != nil {
+						return
+					}
+					_, rest, _ := wire.SplitTrace(h, payload)
+					if lease, ok := wire.PeekLease(rest); ok {
+						mu.Lock()
+						log = append(log, arrival{h.Op, lease})
+						mu.Unlock()
+					}
+					c.Write(wire.AppendFrame(nil, h.Op.Resp(), h.ID, rest))
+				}
+			}(c)
+		}
+	}()
+
+	fb := newFakeBackend(t)
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-order", URL: fb.srv.URL, BinaryAddr: ln.Addr().String(),
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-1", Generation: 1}},
+	})
+
+	c := dialBin(t, binFront)
+	var batch []byte
+	for l := uint64(1); l <= leases; l++ {
+		batch = wire.AppendRenewReq(batch, 2*l, "DC-1", wire.RenewReq{Lease: l, HoldMillis: 1000})
+		batch = wire.AppendReleaseReq(batch, 2*l+1, "DC-1", l)
+	}
+	if _, err := c.c.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*leases; i++ {
+		h, _, err := wire.ReadFrame(c.br, &c.scratch)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if h.Op == wire.OpError {
+			t.Fatalf("response %d: unexpected error frame", i)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(log) != 2*leases {
+		t.Fatalf("backend recorded %d frames, want %d", len(log), 2*leases)
+	}
+	renewSeen := map[uint64]bool{}
+	for i, a := range log {
+		switch a.op {
+		case wire.OpRenew:
+			renewSeen[a.lease] = true
+		case wire.OpRelease:
+			if !renewSeen[a.lease] {
+				t.Fatalf("arrival %d: release of lease %d overtook its renew — per-lease order violated", i, a.lease)
+			}
 		}
 	}
 }

@@ -105,13 +105,16 @@ type backend struct {
 	// translated to the JSON API.
 	binAddr string
 
-	// The pooled binary connections feeding native forwarding. Guarded by
-	// binMu, never Router.mu — the pool is touched on every forwarded frame
-	// and must not contend with the routing table. Lock order: Router.mu may
-	// be held when binMu is taken (register closes the pool), never the
-	// reverse.
-	binMu   sync.Mutex
-	binIdle []*pooledBin
+	// The pipelined binary connections feeding native forwarding: each pipe
+	// carries many in-flight frames keyed by relay id (binary.go). The table
+	// is a fixed array of slots so that frames keyed by lease id always map
+	// to the same pipe — the per-lease ordering guarantee (binary.go).
+	// Guarded by binMu, never Router.mu — the pipes are touched on every
+	// forwarded frame and must not contend with the routing table. Lock
+	// order: Router.mu may be held when binMu is taken (register closes the
+	// pipes), never the reverse.
+	binMu    sync.Mutex
+	binPipes [binPipeCount]*binPipe
 
 	lastBeat    atomic.Int64 // unix nanos of the last register
 	consecFails atomic.Int32 // consecutive proxy transport failures
@@ -159,7 +162,12 @@ type Router struct {
 	// binOps is the per-opcode request/error/latency breakdown of the binary
 	// front end (the counters above say how much; these say how fast),
 	// indexed like service.opIndex: op byte - 1.
-	binOps [5]obs.EndpointMetrics
+	binOps [6]obs.EndpointMetrics
+
+	// binRelayID mints the unique ids frames travel under on the backend leg
+	// of native forwarding; responses are matched back to their waiters by
+	// this id and re-stamped with the client's own before relay.
+	binRelayID atomic.Uint64
 
 	// rec is the per-process trace recorder behind GET /debug/traces: every
 	// proxied request and relayed frame records its ingress/breaker/backend
@@ -338,7 +346,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		delete(rt.backends, id)
-		old.closeBinPool()
+		old.closeBinPipes()
 		rlog.Info("backend aged out without a heartbeat", "backend", id, "after", 10*rt.cfg.StaleAfter)
 	}
 	b := rt.backends[req.ID]
@@ -364,7 +372,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 				"backend", b.id, "from", b.binAddr, "to", req.BinaryAddr)
 		}
 		b.binAddr = req.BinaryAddr
-		b.closeBinPool()
+		b.closeBinPipes()
 	}
 	next := make(map[string]uint64, len(req.Datacenters))
 	for _, dc := range req.Datacenters {
@@ -434,7 +442,7 @@ func (rt *Router) collectBackend(b *backend, cutoff int64) {
 		}
 	}
 	delete(rt.backends, b.id)
-	b.closeBinPool()
+	b.closeBinPipes()
 	rlog.Info("backend aged out without a heartbeat", "backend", b.id, "after", 10*rt.cfg.StaleAfter)
 }
 

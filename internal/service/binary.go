@@ -32,7 +32,7 @@ const (
 )
 
 // binaryOps maps an opcode to its dense metrics index; see opIndex.
-var binaryOps = []wire.Op{wire.OpSelect, wire.OpRelease, wire.OpPlace, wire.OpClasses, wire.OpServerClass}
+var binaryOps = []wire.Op{wire.OpSelect, wire.OpRelease, wire.OpPlace, wire.OpClasses, wire.OpServerClass, wire.OpRenew}
 
 func opIndex(op wire.Op) int {
 	i := int(op) - 1
@@ -63,7 +63,7 @@ type BinaryServer struct {
 
 	// metrics is indexed by opIndex; same counters as the JSON endpoints so
 	// /metrics reports both dialects side by side.
-	metrics [5]EndpointMetrics
+	metrics [6]EndpointMetrics
 
 	// rec, when set (AttachBinary shares the API's), records one trace per
 	// dispatched frame; nil keeps the dispatch path trace-free.
@@ -277,18 +277,25 @@ func internDC(names map[string]string, b []byte) string {
 func (b *BinaryServer) dispatch(out []byte, h wire.Header, payload []byte, dcNames map[string]string) []byte {
 	start := time.Now()
 	status := 200
-	// The echoed frame id doubles as the trace id — the same value the
-	// fronting router traced this frame under, so /debug/traces joins the two
-	// tiers with no extra wire bytes (id 0 gets a server-assigned one).
+	// The trace id joins the two tiers on /debug/traces: for a direct client
+	// it is the echoed frame id; a pipelining router rewrites the frame id
+	// for its own completion keying and carries the client's original id in
+	// a FlagTrace payload prefix instead (id 0 gets a server-assigned one).
+	traceID, payload, ok := wire.SplitTrace(h, payload)
+	if !ok {
+		return wire.AppendErrorResp(out, h.ID, 400, "bad trace prefix")
+	}
 	var tr *obs.Trace
 	if h.Op.IsRequest() {
-		tr = b.rec.Begin(h.ID, obs.DialectBinary, h.Op.String(), "")
+		tr = b.rec.Begin(traceID, obs.DialectBinary, h.Op.String(), "")
 	}
 	switch h.Op {
 	case wire.OpSelect:
 		out, status = b.doSelect(out, h.ID, payload, dcNames, tr)
 	case wire.OpRelease:
 		out, status = b.doRelease(out, h.ID, payload, dcNames)
+	case wire.OpRenew:
+		out, status = b.doRenew(out, h.ID, payload, dcNames)
 	case wire.OpPlace:
 		out, status = b.doPlace(out, h.ID, payload)
 	case wire.OpClasses:
@@ -425,6 +432,35 @@ func (b *BinaryServer) doRelease(out []byte, id uint64, payload []byte, dcNames 
 		out = wire.AppendI64(out, g.Millis)
 	}
 	return wire.EndFrame(out, mark), 200
+}
+
+func (b *BinaryServer) doRenew(out []byte, id uint64, payload []byte, dcNames map[string]string) ([]byte, int) {
+	var m wire.RenewReq
+	if err := m.Decode(payload); err != nil {
+		return fail(out, id, 400, "bad renew payload")
+	}
+	if _, ok := b.svc.shards[string(m.DC)]; !ok {
+		return fail(out, id, 404, "unknown datacenter")
+	}
+	if m.Lease == 0 {
+		return fail(out, id, 400, "lease must be a nonzero id")
+	}
+	if m.HoldMillis > maxHoldSeconds*1000 {
+		return fail(out, id, 400, "hold exceeds the one-hour cap")
+	}
+	lease, err := b.svc.Renew(internDC(dcNames, m.DC), m.Lease,
+		time.Duration(m.HoldMillis)*time.Millisecond)
+	if err != nil {
+		if errors.Is(err, ledger.ErrUnknownLease) {
+			return fail(out, id, 404, "unknown lease")
+		}
+		return fail(out, id, 500, err.Error())
+	}
+	resp := wire.RenewResp{Lease: lease.ID, TotalMillis: lease.TotalMillis()}
+	if !lease.ExpiresAt.IsZero() {
+		resp.ExpiresIn = time.Until(lease.ExpiresAt).Seconds()
+	}
+	return wire.AppendRenewResp(out, id, &resp), 200
 }
 
 func (b *BinaryServer) doPlace(out []byte, id uint64, payload []byte) ([]byte, int) {

@@ -95,7 +95,7 @@ type APIOptions struct {
 }
 
 // apiEndpoints names the instrumented endpoints, in /metrics display order.
-var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "release", "place", "telemetry", "leases", "healthz", "metrics"}
+var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "renew", "release", "place", "telemetry", "leases", "healthz", "metrics"}
 
 // NewAPI wraps a service in its HTTP handler with default (open) options.
 func NewAPI(svc *Service) *API { return NewAPIWith(svc, APIOptions{}) }
@@ -144,6 +144,7 @@ func NewAPIWith(svc *Service, opts APIOptions) *API {
 	a.mux.HandleFunc("GET /v1/{dc}/classes", a.instrument("classes", a.handleClasses))
 	a.mux.HandleFunc("GET /v1/{dc}/servers/{id}/class", a.instrument("server_class", a.handleServerClass))
 	a.mux.HandleFunc("POST /v1/{dc}/select", a.instrument("select", a.handleSelect))
+	a.mux.HandleFunc("POST /v1/{dc}/renew", a.instrument("renew", a.handleRenew))
 	a.mux.HandleFunc("POST /v1/{dc}/release", a.instrument("release", a.handleRelease))
 	a.mux.HandleFunc("POST /v1/{dc}/place", a.instrument("place", a.handlePlace))
 	a.mux.HandleFunc("POST /v1/{dc}/telemetry", a.instrument("telemetry", a.handleTelemetry))
@@ -758,6 +759,65 @@ func (a *API) handleLeases(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// renewRequest extends a live lease's expiry deadline. No cores move: the
+// grants and the conservation books are untouched, only the deadline the
+// sweeper enforces is rescheduled. hold_seconds follows select's convention —
+// 0 (or absent) means the server-side default TTL.
+type renewRequest struct {
+	Lease       uint64  `json:"lease"`
+	HoldSeconds float64 `json:"hold_seconds"`
+}
+
+type renewResponse struct {
+	Datacenter       string  `json:"datacenter"`
+	Lease            uint64  `json:"lease"`
+	TotalCores       float64 `json:"total_cores"`
+	ExpiresInSeconds float64 `json:"expires_in_seconds,omitempty"`
+}
+
+func (a *API) handleRenew(w http.ResponseWriter, r *http.Request) {
+	dc := r.PathValue("dc")
+	if _, ok := a.svc.Snapshot(dc); !ok {
+		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
+		return
+	}
+	var req renewRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Lease == 0 {
+		writeError(w, http.StatusBadRequest, "lease must be a nonzero id")
+		return
+	}
+	if !(req.HoldSeconds >= 0 && req.HoldSeconds <= maxHoldSeconds) {
+		writeError(w, http.StatusBadRequest,
+			"hold_seconds must be in [0, "+strconv.Itoa(maxHoldSeconds)+"]")
+		return
+	}
+	lease, err := a.svc.Renew(dc, req.Lease, time.Duration(req.HoldSeconds*float64(time.Second)))
+	if err != nil {
+		if errors.Is(err, ledger.ErrUnknownLease) {
+			// Never issued, already released, or reclaimed by the expiry
+			// sweep — a renew cannot resurrect a lease, it can only extend
+			// a live one.
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := renewResponse{
+		Datacenter: dc,
+		Lease:      lease.ID,
+		TotalCores: ledger.CoresOf(lease.TotalMillis()),
+	}
+	if !lease.ExpiresAt.IsZero() {
+		resp.ExpiresInSeconds = time.Until(lease.ExpiresAt).Seconds()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // releaseRequest returns a lease's cores to their classes.
 type releaseRequest struct {
 	Lease uint64 `json:"lease"`
@@ -908,7 +968,30 @@ type shardStatsJSON struct {
 	PersistErrors        uint64  `json:"persist_errors"`
 	EvictedTenants       uint64  `json:"evicted_tenants"`
 
+	// Refresh latency over successful snapshot refreshes (recluster + rekey +
+	// publish, excluding persistence I/O), and the most recent warm refresh's
+	// incremental-work breakdown — how much of the DC the engine actually
+	// touched.
+	RefreshMeanUs float64            `json:"refresh_mean_us"`
+	RefreshP99Us  uint64             `json:"refresh_p99_us"`
+	RefreshMaxUs  uint64             `json:"refresh_max_us"`
+	Recluster     reclusterStatsJSON `json:"recluster"`
+
 	Ledger ledgerStatsJSON `json:"ledger"`
+}
+
+// reclusterStatsJSON summarizes the last warm refresh's incremental work.
+// All zeros until the first warm refresh (boot is a full build).
+type reclusterStatsJSON struct {
+	Tenants        int  `json:"tenants"`
+	Quiet          int  `json:"quiet"`
+	Drifted        int  `json:"drifted"`
+	Reclassified   int  `json:"reclassified"`
+	PatternChanged int  `json:"pattern_changed"`
+	MovedTenants   int  `json:"moved_tenants"`
+	ReusedClasses  int  `json:"reused_classes"`
+	SplicedServers int  `json:"spliced_servers"`
+	FullRebuild    bool `json:"full_rebuild"`
 }
 
 // ledgerStatsJSON is the allocation ledger's books on /metrics. The *_millis
@@ -933,6 +1016,7 @@ type ledgerStatsJSON struct {
 	ForfeitedMillis       int64     `json:"forfeited_millis"`
 	Reserves              uint64    `json:"reserves"`
 	Releases              uint64    `json:"releases"`
+	Renews                uint64    `json:"renews"`
 	Expiries              uint64    `json:"expiries"`
 	Conflicts             uint64    `json:"conflicts"`
 	StaleRetries          uint64    `json:"stale_retries"`
@@ -1039,6 +1123,20 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			LastIngestAgeSeconds: ingestAge,
 			PersistErrors:        st.PersistErrors,
 			EvictedTenants:       st.EvictedTenants,
+			RefreshMeanUs:        st.RefreshMeanUs,
+			RefreshP99Us:         st.RefreshP99Us,
+			RefreshMaxUs:         st.RefreshMaxUs,
+			Recluster: reclusterStatsJSON{
+				Tenants:        st.Recluster.Tenants,
+				Quiet:          st.Recluster.Quiet,
+				Drifted:        len(st.Recluster.Drifted),
+				Reclassified:   st.Recluster.Reclassified,
+				PatternChanged: st.Recluster.PatternChanged,
+				MovedTenants:   st.Recluster.MovedTenants,
+				ReusedClasses:  st.Recluster.ReusedClasses,
+				SplicedServers: st.Recluster.SplicedServers,
+				FullRebuild:    st.Recluster.FullRebuild,
+			},
 			Ledger: ledgerStatsJSON{
 				ActiveLeases:          st.Ledger.ActiveLeases,
 				OutstandingCores:      ledger.CoresOf(st.Ledger.OutstandingMillis),
@@ -1053,6 +1151,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				ForfeitedMillis:       st.Ledger.ForfeitedMillis,
 				Reserves:              st.Ledger.Reserves,
 				Releases:              st.Ledger.Releases,
+				Renews:                st.Ledger.Renews,
 				Expiries:              st.Ledger.Expiries,
 				Conflicts:             st.Ledger.Conflicts,
 				StaleRetries:          st.StaleRetries,

@@ -280,7 +280,7 @@ func (s *Service) loadSnapshotFile(sh *shard) (*Snapshot, error) {
 	}
 
 	start := time.Now()
-	snap, err := assembleSnapshot(sh.dc, sh.pop, sh.rings, s.cfg, p.Generation, clustering, start)
+	snap, err := assembleSnapshot(sh.dc, sh.pop, sh.rings, s.cfg, p.Generation, clustering, start, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -88,6 +88,16 @@ func (a *API) writeProm(w http.ResponseWriter) {
 		p.Uint("harvestd_ingested_samples_total", ls, row.st.IngestedSamples)
 	}
 
+	// Refresh latency as a full histogram (same microsecond convention as the
+	// request latencies) — the scale acceptance gate: steady-state warm
+	// refreshes must hold their p99 under the refresh interval at scale 1.0.
+	p.Metric("harvestd_snapshot_refresh_microseconds", "histogram", "Successful snapshot refresh latency (recluster + rekey + publish), in microseconds.")
+	for _, row := range rows {
+		if h := a.svc.RefreshLatency(row.dc); h != nil {
+			p.Histogram("harvestd_snapshot_refresh_microseconds", obs.Labels("dc", row.dc), h)
+		}
+	}
+
 	// The ledger books: exact milli-core integers, same conservation invariant
 	// as the JSON shape (reserved == released + expired + forfeited + outstanding).
 	p.Metric("harvestd_ledger_active_leases", "gauge", "Live leases.")
@@ -98,6 +108,7 @@ func (a *API) writeProm(w http.ResponseWriter) {
 	p.Metric("harvestd_ledger_forfeited_millis_total", "counter", "Milli-cores forfeited on snapshot change.")
 	p.Metric("harvestd_ledger_reserves_total", "counter", "Successful reservations.")
 	p.Metric("harvestd_ledger_releases_total", "counter", "Successful releases.")
+	p.Metric("harvestd_ledger_renews_total", "counter", "Successful lease renewals.")
 	p.Metric("harvestd_ledger_expiries_total", "counter", "Lease expiries.")
 	p.Metric("harvestd_ledger_conflicts_total", "counter", "Reservations lost to capacity conflicts.")
 	for _, row := range rows {
@@ -111,6 +122,7 @@ func (a *API) writeProm(w http.ResponseWriter) {
 		p.Int("harvestd_ledger_forfeited_millis_total", ls, led.ForfeitedMillis)
 		p.Uint("harvestd_ledger_reserves_total", ls, led.Reserves)
 		p.Uint("harvestd_ledger_releases_total", ls, led.Releases)
+		p.Uint("harvestd_ledger_renews_total", ls, led.Renews)
 		p.Uint("harvestd_ledger_expiries_total", ls, led.Expiries)
 		p.Uint("harvestd_ledger_conflicts_total", ls, led.Conflicts)
 	}

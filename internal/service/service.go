@@ -88,11 +88,15 @@ func DefaultConfig() Config {
 // behind an atomic pointer and invalidated by generation or ingest progress.
 // src overlays the cached utilization with the ledger's live allocation
 // counters, so selections read current AllocatedCores without a rebuild.
+// idx is the headroom index built over the same view: per-class capacity
+// bounds are fixed for the view's lifetime, so every select against the view
+// shares one index and only reads live occupancy through src.
 type usageView struct {
 	generation uint64
 	samples    uint64 // rings.TotalSamples() at build time
 	usage      map[core.ClassID]core.ClassUsage
 	src        *ledgerUsage
+	idx        *core.SelectIndex
 }
 
 // ledgerUsage is the core.UsageSource the query path runs against:
@@ -112,6 +116,16 @@ func (u *ledgerUsage) UsageOf(id core.ClassID) core.ClassUsage {
 		cu.AllocatedCores = a
 	}
 	return cu
+}
+
+// AllocatedCoresOf implements core.AllocSource for the indexed select path:
+// one atomic load per class, no base-map composition. A generation mismatch
+// (re-key racing the read) reads as zero, same as UsageOf's fallback.
+func (u *ledgerUsage) AllocatedCoresOf(id core.ClassID) float64 {
+	if a, ok := u.led.AllocatedCores(u.generation, id); ok {
+		return a
+	}
+	return u.base[id].AllocatedCores
 }
 
 // shard is one datacenter's slot: the published snapshot, the telemetry
@@ -137,6 +151,14 @@ type shard struct {
 	ingested      atomic.Uint64 // live samples accepted via Ingest
 	persistErrors atomic.Uint64
 	staleRetries  atomic.Uint64 // SelectReserve retries due to a re-key in flight
+
+	// refreshLatency observes every successful refreshShard's end-to-end
+	// duration (recluster + assemble + rekey + publish) — the scale metric
+	// the incremental snapshot path exists to hold down.
+	refreshLatency Histogram
+	// lastRecluster is the most recent warm refresh's stats: how much of the
+	// pipeline the incremental path skipped (drift, splice, reuse counters).
+	lastRecluster atomic.Pointer[core.ReclusterStats]
 }
 
 // Service is the characterization service: per-datacenter snapshot shards
@@ -387,7 +409,7 @@ func (s *Service) refreshShard(sh *shard) error {
 	}
 	if err == nil {
 		var next *Snapshot
-		next, err = assembleSnapshot(sh.dc, sh.pop, sh.rings, s.cfg, prev.Generation+1, clustering, start)
+		next, err = assembleSnapshot(sh.dc, sh.pop, sh.rings, s.cfg, prev.Generation+1, clustering, start, prev)
 		if err == nil {
 			// Carry the allocation ledger into the new generation before the
 			// snapshot is visible: re-key each lease's grants to where its old
@@ -395,7 +417,7 @@ func (s *Service) refreshShard(sh *shard) error {
 			// against the previous clustering keep holding real cores in the
 			// new one. A reservation racing the swap detects the generation
 			// change and retries (SelectReserve).
-			rekeyLedger(sh.led, prev.Clustering, next.Clustering, next.Generation)
+			rekeyLedger(sh.led, sh.pop, prev.Clustering, next.Clustering, next.Generation)
 			sh.snap.Store(next)
 			sh.refreshes.Add(1)
 			if rst.FullRebuild {
@@ -405,6 +427,8 @@ func (s *Service) refreshShard(sh *shard) error {
 				sh.warmRefreshes.Add(1)
 				sh.sinceFull++
 			}
+			sh.lastRecluster.Store(&rst)
+			sh.refreshLatency.Observe(time.Since(start))
 			s.persistSnapshot(sh, next)
 			return nil
 		}
@@ -415,17 +439,24 @@ func (s *Service) refreshShard(sh *shard) error {
 
 // rekeyLedger carries the allocation ledger from one clustering generation
 // to the next: each old class's allocation follows its servers — the shares
-// are how many of the class's servers landed in each new class. Servers that
-// left the serving set entirely (e.g. their tenant's ring was evicted)
-// contribute no share; an old class whose servers all left forfeits its
-// grants, which the ledger counts rather than hides.
-func rekeyLedger(led *ledger.Ledger, prev, next *core.Clustering, nextGeneration uint64) {
+// are how many of the class's servers landed in each new class. A tenant's
+// servers always move together (class membership is per tenant), so the
+// shares are accumulated per member tenant — O(tenants), not O(servers) —
+// weighting each destination by the tenant's server count. Tenants that left
+// the serving set entirely (e.g. an evicted telemetry ring) contribute no
+// share; an old class whose servers all left forfeits its grants, which the
+// ledger counts rather than hides.
+func rekeyLedger(led *ledger.Ledger, pop *tenant.Population, prev, next *core.Clustering, nextGeneration uint64) {
 	remap := make(map[core.ClassID][]ledger.Share, len(prev.Classes))
 	for _, cls := range prev.Classes {
 		counts := make(map[core.ClassID]int)
-		for _, srv := range cls.Servers {
-			if nid, ok := next.ClassOfServer(srv); ok {
-				counts[nid]++
+		for _, tid := range cls.Tenants {
+			nid, ok := next.ClassOfTenant(tid)
+			if !ok {
+				continue
+			}
+			if t := pop.ByID(tid); t != nil {
+				counts[nid] += t.NumServers()
 			}
 		}
 		shares := make([]ledger.Share, 0, len(counts))
@@ -557,6 +588,7 @@ func (s *Service) usageViewFor(snap *Snapshot) *usageView {
 		samples:    total,
 		usage:      usage,
 		src:        &ledgerUsage{generation: snap.Generation, base: usage, led: sh.led},
+		idx:        snap.BuildSelectIndex(usage),
 	}
 	sh.liveUsage.Store(v)
 	return v
@@ -600,6 +632,17 @@ type ShardStats struct {
 	// raced a ledger re-key and re-ran.
 	EvictedTenants uint64
 	StaleRetries   uint64
+	// RefreshMeanUs, RefreshP99Us and RefreshMaxUs summarize successful
+	// refresh durations since boot (microseconds) — the latency the
+	// incremental snapshot path is sized by.
+	RefreshMeanUs float64
+	RefreshP99Us  uint64
+	RefreshMaxUs  uint64
+	// Recluster is the most recent warm refresh's incremental stats (zero
+	// value until the first warm refresh): how many tenants drifted, how
+	// many were provably quiet, and how much membership was spliced rather
+	// than rebuilt.
+	Recluster core.ReclusterStats
 	// Ledger is the allocation ledger's point-in-time summary.
 	Ledger ledger.Stats
 }
@@ -631,12 +674,28 @@ func (s *Service) Stats(dc string) (ShardStats, bool) {
 		PersistErrors:   sh.persistErrors.Load(),
 		EvictedTenants:  sh.rings.Evictions(),
 		StaleRetries:    sh.staleRetries.Load(),
+		RefreshMeanUs:   sh.refreshLatency.MeanMicros(),
+		RefreshP99Us:    sh.refreshLatency.QuantileMicros(0.99),
+		RefreshMaxUs:    sh.refreshLatency.MaxMicros(),
 		Ledger:          sh.led.Snapshot(),
+	}
+	if rst := sh.lastRecluster.Load(); rst != nil {
+		st.Recluster = *rst
 	}
 	if at, ok := sh.rings.LastIngestAt(); ok {
 		st.LastIngest = at
 	}
 	return st, true
+}
+
+// RefreshLatency returns the shard's refresh-duration histogram for metric
+// exposition, or nil for an unknown datacenter.
+func (s *Service) RefreshLatency(dc string) *Histogram {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return nil
+	}
+	return &sh.refreshLatency
 }
 
 // SelectOn runs class selection (Alg. 1) against a snapshot the caller
@@ -649,7 +708,7 @@ func (s *Service) SelectOn(snap *Snapshot, job core.JobRequest) core.Selection {
 	rng := s.rngs.Get().(*rand.Rand)
 	var sel core.Selection
 	if v := s.usageViewFor(snap); v != nil {
-		sel = snap.SelectSource(rng, job, v.src)
+		sel = snap.SelectIndexed(rng, job, v.idx, v.src)
 	} else {
 		sel = snap.SelectUsage(rng, job, snap.Usage)
 	}
@@ -714,7 +773,7 @@ func (s *Service) SelectReserveTraced(dc string, job core.JobRequest, ttl time.D
 		snap = sh.snap.Load()
 		v := s.usageViewFor(snap)
 		rng := s.rngs.Get().(*rand.Rand)
-		sel := snap.SelectSource(rng, job, v.src)
+		sel := snap.SelectIndexed(rng, job, v.idx, v.src)
 		s.rngs.Put(rng)
 		if tr != nil {
 			tr.Span("snapshot_read", spanStart)
@@ -788,6 +847,25 @@ func (s *Service) Release(dc string, id uint64) (ledger.Lease, error) {
 		return ledger.Lease{}, fmt.Errorf("service: unknown datacenter %q", dc)
 	}
 	return sh.led.Release(id)
+}
+
+// Renew extends a live lease's expiry deadline without moving any cores:
+// the grants and the conservation books are untouched, only the deadline the
+// sweeper enforces is rescheduled. ttl zero means the configured LeaseTTL;
+// negative means the lease never expires. Unknown (or already released or
+// expired) leases return ledger.ErrUnknownLease.
+func (s *Service) Renew(dc string, id uint64, ttl time.Duration) (ledger.Lease, error) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return ledger.Lease{}, fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	if ttl == 0 {
+		ttl = s.cfg.LeaseTTL
+	}
+	if ttl < 0 {
+		ttl = 0 // ledger: no expiry
+	}
+	return sh.led.Renew(id, ttl, time.Now())
 }
 
 // Leases returns one page of dc's live leases (ordered by id) plus the total

@@ -78,7 +78,7 @@ func buildSnapshot(dc string, pop *tenant.Population, src tenant.HistorySource, 
 	if err != nil {
 		return nil, fmt.Errorf("service: %s: %w", dc, err)
 	}
-	return assembleSnapshot(dc, pop, src, cfg, generation, clustering, start)
+	return assembleSnapshot(dc, pop, src, cfg, generation, clustering, start, nil)
 }
 
 // assembleSnapshot wraps a ready clustering in a queryable snapshot: the
@@ -86,15 +86,27 @@ func buildSnapshot(dc string, pop *tenant.Population, src tenant.HistorySource, 
 // horizon. The caller (one refresher goroutine per shard, serialized by the
 // shard mutex) is the only writer of pop; the returned snapshot copies or
 // shares only state that is never written afterwards.
+//
+// When prev is non-nil its placement scheme is shared instead of rebuilt:
+// the scheme is a pure function of the population (replica cells are formed
+// from tenant reimaging and peak behaviour, not from the clustering), the
+// population is fixed for the life of the shard, and published schemes are
+// immutable — queries run on pooled clones. This removes the one remaining
+// O(servers) stage from the warm refresh path.
 func assembleSnapshot(dc string, pop *tenant.Population, src tenant.HistorySource, cfg Config,
-	generation uint64, clustering *core.Clustering, start time.Time) (*Snapshot, error) {
+	generation uint64, clustering *core.Clustering, start time.Time, prev *Snapshot) (*Snapshot, error) {
 	selector, err := core.NewSelector(cfg.Selector, clustering, nil)
 	if err != nil {
 		return nil, fmt.Errorf("service: %s: %w", dc, err)
 	}
-	scheme, err := core.BuildPlacementScheme(experiments.PlacementInfos(pop))
-	if err != nil {
-		return nil, fmt.Errorf("service: %s: %w", dc, err)
+	var scheme *core.PlacementScheme
+	if prev != nil && prev.scheme != nil {
+		scheme = prev.scheme
+	} else {
+		scheme, err = core.BuildPlacementScheme(experiments.PlacementInfos(pop))
+		if err != nil {
+			return nil, fmt.Errorf("service: %s: %w", dc, err)
+		}
 	}
 
 	// The usage view: each class's server-weighted utilization at the
@@ -166,6 +178,20 @@ func (s *Snapshot) SelectUsage(rng *rand.Rand, job core.JobRequest, usage map[co
 // selects have already reserved.
 func (s *Snapshot) SelectSource(rng *rand.Rand, job core.JobRequest, usage core.UsageSource) core.Selection {
 	return s.selector.SelectFrom(rng, job, usage)
+}
+
+// BuildSelectIndex precomputes the headroom index for a utilization view —
+// one build per (snapshot generation, ingest progress) pair, shared by every
+// query until the view moves.
+func (s *Snapshot) BuildSelectIndex(usage map[core.ClassID]core.ClassUsage) *core.SelectIndex {
+	return s.selector.BuildIndex(usage)
+}
+
+// SelectIndexed runs class selection through a precomputed index, with live
+// per-class allocation from alloc. Picks are draw-for-draw identical to
+// SelectSource over the view the index was built from.
+func (s *Snapshot) SelectIndexed(rng *rand.Rand, job core.JobRequest, idx *core.SelectIndex, alloc core.AllocSource) core.Selection {
+	return s.selector.SelectIndexed(rng, job, idx, alloc)
 }
 
 // CapacityCores returns a class's gross spare-core bound for a job type at

@@ -164,7 +164,8 @@ func (r *Ring) Snapshot(dst []Sample) []Sample {
 type tenantRing struct {
 	mu         sync.Mutex // serializes writes and ring replacement
 	p          atomic.Pointer[Ring]
-	lastAppend atomic.Int64 // wall-clock unix nanos of the last append (bootstrap included)
+	lastAppend atomic.Int64  // wall-clock unix nanos of the last append (bootstrap included)
+	mark       atomic.Uint64 // bumped on every window change: append, bootstrap, eviction
 }
 
 // Store holds one ring per tenant of a datacenter plus the store-wide
@@ -256,6 +257,7 @@ func (st *Store) Bootstrap(id tenant.ID, s *timeseries.Series, endAt time.Durati
 		r.Append(at, tail.Values[i])
 	}
 	tr.lastAppend.Store(time.Now().UnixNano())
+	tr.mark.Add(1)
 	st.total.Add(uint64(n))
 	st.advanceHorizon(endAt)
 	return nil
@@ -302,6 +304,7 @@ func (st *Store) Ingest(id tenant.ID, at time.Duration, value float64) (time.Dur
 	at, err := r.appendAfter(at, value, st.interval)
 	if err == nil {
 		tr.lastAppend.Store(time.Now().UnixNano())
+		tr.mark.Add(1)
 	}
 	tr.mu.Unlock()
 	if err != nil {
@@ -333,6 +336,7 @@ func (st *Store) EvictStale(staleAfter time.Duration, now time.Time) int {
 		tr.mu.Lock()
 		if tr.p.Load().Len() > 0 && tr.lastAppend.Load() <= cutoff {
 			tr.p.Store(NewRing(1))
+			tr.mark.Add(1)
 			evicted++
 		}
 		tr.mu.Unlock()
@@ -366,6 +370,19 @@ func (st *Store) Horizon() time.Duration { return time.Duration(st.horizon.Load(
 // persisted snapshot was built from live samples newer than the bootstrap
 // window, so the published AsOf stays monotonic across a daemon restart.
 func (st *Store) AdvanceClock(at time.Duration) { st.advanceHorizon(at) }
+
+// HistoryStats implements tenant.HistoryStats: the retained sample count and
+// the per-tenant change mark the incremental re-clustering uses to skip
+// tenants whose window has not moved. The mark is read before any window
+// copy a caller makes, so a racing ingest at worst invalidates the mark a
+// round early — never late.
+func (st *Store) HistoryStats(id tenant.ID) (samples int, mark uint64, ok bool) {
+	tr := st.rings[id]
+	if tr == nil {
+		return 0, 0, false
+	}
+	return tr.p.Load().Len(), tr.mark.Load(), true
+}
 
 // SeriesFor implements tenant.HistorySource: it materializes the tenant's
 // ring as a fixed-interval series (samples are treated as uniformly spaced

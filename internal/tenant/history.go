@@ -27,6 +27,20 @@ type HistorySource interface {
 	Horizon() time.Duration
 }
 
+// HistoryStats is an optional HistorySource extension: a source that can
+// report a cheap per-tenant change mark lets the incremental re-clustering
+// skip the O(window) copy and summary for tenants whose history provably
+// did not move since their last drift evaluation. telemetry.Store implements
+// it; the trace-backed source does not (its windows never change between
+// explicit AsOf advances, which re-run the full pipeline anyway).
+type HistoryStats interface {
+	// HistoryStats returns how many samples the source currently retains for
+	// the tenant and a monotonic mark that changes whenever the tenant's
+	// window does (ingest, bootstrap, eviction, regrowth). ok is false for
+	// unknown tenants.
+	HistoryStats(id ID) (samples int, mark uint64, ok bool)
+}
+
 // TraceHistory is the trace-backed HistorySource: each tenant's generated
 // one-month series replayed cyclically, with AsOf marking the current
 // position. This is exactly the pre-refactor behaviour of the serving layer

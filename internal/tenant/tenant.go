@@ -68,6 +68,13 @@ type Tenant struct {
 	// Profile is the frequency-domain profile derived from Utilization.
 	Profile signalproc.Profile
 
+	// HistoryMark caches the history source's change mark (HistoryStats) at
+	// the tenant's last drift evaluation. Like Profile it is re-clustering
+	// state living on the tenant: when the source reports the same mark
+	// again, the tenant's window is unchanged and the drift check can be
+	// skipped. Written only under the owning shard's rebuild lock.
+	HistoryMark uint64
+
 	// ReimagesPerServerMonth is the historical average number of disk
 	// reimages per server per month for this tenant.
 	ReimagesPerServerMonth float64

@@ -174,6 +174,61 @@ func (m *ReleaseResp) Decode(payload []byte) error {
 	return r.Done()
 }
 
+// RenewReq extends a lease's TTL without releasing it, mirroring the JSON
+// renewRequest. HoldMillis is the new TTL (0 means the server default; the
+// JSON API's hold_seconds cap applies).
+type RenewReq struct {
+	DC         []byte
+	Lease      uint64
+	HoldMillis uint32
+}
+
+// AppendRenewReq appends a complete renew request frame.
+func AppendRenewReq(dst []byte, id uint64, dc string, m RenewReq) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, OpRenew, id)
+	dst = AppendStr8(dst, dc)
+	dst = AppendU64(dst, m.Lease)
+	dst = AppendU32(dst, m.HoldMillis)
+	return EndFrame(dst, mark)
+}
+
+// Decode parses a renew request payload. DC aliases the payload.
+func (m *RenewReq) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.DC = r.Str8()
+	m.Lease = r.U64()
+	m.HoldMillis = r.U32()
+	return r.Done()
+}
+
+// RenewResp mirrors the JSON renewResponse. ExpiresIn is seconds until the
+// renewed expiry (0 when the server holds leases forever).
+type RenewResp struct {
+	Lease       uint64
+	TotalMillis int64
+	ExpiresIn   float64
+}
+
+// AppendRenewResp appends a complete renew response frame.
+func AppendRenewResp(dst []byte, id uint64, m *RenewResp) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, OpRenewResp, id)
+	dst = AppendU64(dst, m.Lease)
+	dst = AppendI64(dst, m.TotalMillis)
+	dst = AppendF64(dst, m.ExpiresIn)
+	return EndFrame(dst, mark)
+}
+
+// Decode parses a renew response payload.
+func (m *RenewResp) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.Lease = r.U64()
+	m.TotalMillis = r.I64()
+	m.ExpiresIn = r.F64()
+	return r.Done()
+}
+
 // PlaceReq asks for replica targets, mirroring the JSON placeRequest.
 // Writer is the creating server (-1 for an external writer).
 type PlaceReq struct {

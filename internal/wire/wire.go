@@ -13,7 +13,7 @@
 //	0       1     magic (0xA7)
 //	1       1     protocol version (1)
 //	2       1     opcode
-//	3       1     flags (reserved, 0 in version 1)
+//	3       1     flags (FlagTrace; other bits reserved, 0 in version 1)
 //	4       4     payload length, uint32 little-endian (≤ MaxPayload)
 //	8       8     request id, uint64 little-endian (echoed in the response)
 //
@@ -69,12 +69,14 @@ const (
 	OpPlace       Op = 0x03
 	OpClasses     Op = 0x04
 	OpServerClass Op = 0x05
+	OpRenew       Op = 0x06
 
 	OpSelectResp      = OpSelect | RespBit
 	OpReleaseResp     = OpRelease | RespBit
 	OpPlaceResp       = OpPlace | RespBit
 	OpClassesResp     = OpClasses | RespBit
 	OpServerClassResp = OpServerClass | RespBit
+	OpRenewResp       = OpRenew | RespBit
 
 	// OpError carries a status code (the JSON API's HTTP status for the same
 	// failure) and a message. Sent in place of any response frame.
@@ -94,6 +96,8 @@ func (o Op) String() string {
 		return "classes"
 	case OpServerClass:
 		return "server_class"
+	case OpRenew:
+		return "renew"
 	case OpSelectResp:
 		return "select_resp"
 	case OpReleaseResp:
@@ -104,6 +108,8 @@ func (o Op) String() string {
 		return "classes_resp"
 	case OpServerClassResp:
 		return "server_class_resp"
+	case OpRenewResp:
+		return "renew_resp"
 	case OpError:
 		return "error"
 	}
@@ -113,7 +119,7 @@ func (o Op) String() string {
 // IsRequest reports whether the opcode is a client-to-server request.
 func (o Op) IsRequest() bool {
 	switch o {
-	case OpSelect, OpRelease, OpPlace, OpClasses, OpServerClass:
+	case OpSelect, OpRelease, OpPlace, OpClasses, OpServerClass, OpRenew:
 		return true
 	}
 	return false
@@ -121,6 +127,17 @@ func (o Op) IsRequest() bool {
 
 // Resp returns the response opcode for a request opcode.
 func (o Op) Resp() Op { return o | RespBit }
+
+// Header flag bits (byte 3 of the frame header).
+const (
+	// FlagTrace marks a request frame whose payload is prefixed with an
+	// 8-byte trace id (uint64 little-endian) that is not part of the message
+	// payload. A relaying router multiplexing many clients over one backend
+	// connection must substitute its own unique id in the header (see
+	// SetFrameID), so the client's original id — the id both tiers trace the
+	// request under — rides in this prefix instead. Responses never carry it.
+	FlagTrace = 1 << 0
+)
 
 // Select request flag bits (payload-level, not the header flags byte).
 const (
@@ -238,12 +255,48 @@ func EndFrame(buf []byte, mark int) []byte {
 	return buf
 }
 
+// SetFrameID overwrites a complete frame's request id in place. This is the
+// relay hook: a router multiplexing many clients' frames over one backend
+// connection substitutes its own unique id on the backend leg (client ids may
+// collide across — or even within — connections) and restores the client's id
+// on the response before relaying it back.
+func SetFrameID(frame []byte, id uint64) {
+	binary.LittleEndian.PutUint64(frame[8:16], id)
+}
+
 // AppendFrame appends a complete frame with the given payload.
 func AppendFrame(dst []byte, op Op, id uint64, payload []byte) []byte {
 	mark := len(dst)
 	dst = BeginFrame(dst, op, id)
 	dst = append(dst, payload...)
 	return EndFrame(dst, mark)
+}
+
+// AppendRelayFrame re-frames a request for the backend leg of native
+// forwarding: same opcode and payload, relayID in the header, and traceID
+// carried as a FlagTrace prefix so the backend tier still traces the frame
+// under the id the client knows.
+func AppendRelayFrame(dst []byte, h Header, payload []byte, relayID, traceID uint64) []byte {
+	dst = append(dst, Magic, Version, byte(h.Op), h.Flags|FlagTrace)
+	dst = binary.LittleEndian.AppendUint32(dst, h.Len+8)
+	dst = binary.LittleEndian.AppendUint64(dst, relayID)
+	dst = binary.LittleEndian.AppendUint64(dst, traceID)
+	return append(dst, payload...)
+}
+
+// SplitTrace strips a request payload's FlagTrace prefix, returning the
+// carried trace id and the true message payload. Frames without the flag
+// yield h.ID (the id IS the trace id when nobody rewrote it) and the payload
+// unchanged. ok is false when the flag is set but the payload cannot carry
+// the prefix — a framing bug.
+func SplitTrace(h Header, payload []byte) (traceID uint64, rest []byte, ok bool) {
+	if h.Flags&FlagTrace == 0 {
+		return h.ID, payload, true
+	}
+	if len(payload) < 8 {
+		return 0, nil, false
+	}
+	return binary.LittleEndian.Uint64(payload[:8]), payload[8:], true
 }
 
 // Append* primitives: fixed-width little-endian scalar encoders.
@@ -385,4 +438,20 @@ func PeekDC(payload []byte) ([]byte, bool) {
 		return nil, false
 	}
 	return payload[1 : 1+n], true
+}
+
+// PeekLease extracts the lease id from a release or renew request payload
+// without a full decode: both encode the datacenter Str8 followed by the
+// 8-byte lease. The router keys these frames onto a backend pipe by lease so
+// operations on the same lease keep their client-issued order through the
+// relay.
+func PeekLease(payload []byte) (uint64, bool) {
+	if len(payload) < 1 {
+		return 0, false
+	}
+	n := int(payload[0])
+	if len(payload) < 1+n+8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(payload[1+n:]), true
 }

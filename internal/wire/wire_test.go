@@ -165,6 +165,24 @@ func TestMessageRoundTrips(t *testing.T) {
 		t.Fatalf("server class resp round trip: %+v err %v", screspOut, err)
 	}
 
+	rnreq := RenewReq{Lease: 777, HoldMillis: 30000}
+	h, p = readOne(t, AppendRenewReq(nil, 16, "DC-3", rnreq))
+	var rnreqOut RenewReq
+	if err := rnreqOut.Decode(p); err != nil {
+		t.Fatalf("RenewReq.Decode: %v", err)
+	}
+	rnreq.DC = []byte("DC-3")
+	if h.Op != OpRenew || h.ID != 16 || !reflect.DeepEqual(rnreq, rnreqOut) {
+		t.Fatalf("renew req round trip: %+v vs %+v", rnreq, rnreqOut)
+	}
+
+	rnresp := RenewResp{Lease: 777, TotalMillis: 2500, ExpiresIn: 29.75}
+	_, p = readOne(t, AppendRenewResp(nil, 17, &rnresp))
+	var rnrespOut RenewResp
+	if err := rnrespOut.Decode(p); err != nil || !reflect.DeepEqual(rnresp, rnrespOut) {
+		t.Fatalf("renew resp round trip: %+v err %v", rnrespOut, err)
+	}
+
 	_, p = readOne(t, AppendErrorResp(nil, 15, 404, "unknown datacenter"))
 	var eresp ErrorResp
 	if err := eresp.Decode(p); err != nil || eresp.Code != 404 || string(eresp.Message) != "unknown datacenter" {
@@ -237,6 +255,8 @@ func FuzzWireFrameRoundTrip(f *testing.F) {
 	f.Add(AppendClassesReq(nil, 7, "DC-9"))
 	f.Add(AppendClassesResp(nil, 8, &ClassesResp{Generation: 1, Classes: []ClassRec{{ID: 1, ExampleServer: -1}}}))
 	f.Add(AppendServerClassReq(nil, 9, "DC-9", 17))
+	f.Add(AppendRenewReq(nil, 11, "DC-9", RenewReq{Lease: 42, HoldMillis: 60000}))
+	f.Add(AppendRenewResp(nil, 12, &RenewResp{Lease: 42, TotalMillis: 1000, ExpiresIn: 60}))
 	f.Add(AppendErrorResp(nil, 10, 500, "boom"))
 	f.Add([]byte("GET /v1/datacenters HTTP/1.1\r\n\r\n"))
 	f.Add([]byte{Magic, Version, 0x01, 0, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0})
@@ -294,6 +314,18 @@ func checkDecoders(t *testing.T, h Header, payload []byte) {
 	if rresp.Decode(payload) == nil {
 		if got := AppendReleaseResp(nil, h.ID, &rresp); !bytes.Equal(got[HeaderSize:], payload) {
 			t.Fatalf("ReleaseResp not a fixed point")
+		}
+	}
+	var rnreq RenewReq
+	if rnreq.Decode(payload) == nil {
+		if got := AppendRenewReq(nil, h.ID, string(rnreq.DC), rnreq); !bytes.Equal(got[HeaderSize:], payload) {
+			t.Fatalf("RenewReq not a fixed point")
+		}
+	}
+	var rnresp RenewResp
+	if rnresp.Decode(payload) == nil {
+		if got := AppendRenewResp(nil, h.ID, &rnresp); !bytes.Equal(got[HeaderSize:], payload) {
+			t.Fatalf("RenewResp not a fixed point")
 		}
 	}
 	var preq PlaceReq
