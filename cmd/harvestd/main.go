@@ -21,11 +21,21 @@
 //	         [-announce http://router:7070] [-announce-interval 2s]
 //	         [-advertise http://host:7077] [-node-id NAME]
 //	         [-announce-token TOKEN] [-debug-addr 127.0.0.1:7177]
+//	         [-replicate-addr :7079 | -follow primary:7079] [-repl-interval 250ms]
 //
 // With -announce, the daemon heartbeats its datacenter set and per-DC
 // snapshot generations to a harvestrouter front end (cmd/harvestrouter), so
 // one trace can be split across nodes (-dcs picks this node's subset) behind
 // one routing surface.
+//
+// With -replicate-addr, the daemon is a replication primary: it streams
+// (snapshot, ledger-occupancy) generations to every follower that connects.
+// With -follow, it runs as a read-only follower of that primary instead —
+// it serves class queries, placement, and advisory dry-run selects from the
+// replicated state (writes get a retryable 503) until POST /v1/promote flips
+// it to primary. Both modes require an explicit -node-id: the follower
+// announces its primary's identity to the router, and the names must match
+// the primary's own registration for read spreading and failover to engage.
 //
 // With -binary-addr, a second listener speaks the binary frame protocol
 // (internal/wire) for the select/release/place/classes hot path — same
@@ -131,6 +141,9 @@ func main() {
 	announceToken := flag.String("announce-token", "", "bearer token for router registration (must match the router's -register-token)")
 	trustedProxies := flag.String("trusted-proxies", "", "comma-separated router IPs/CIDRs whose X-Forwarded-For keys the per-source ingest rate limit (the header is ignored from all other peers)")
 	debugAddr := flag.String("debug-addr", "", "address for the operator debug listener (pprof, expvar, /debug/traces); empty disables. Keep it off the data-plane address.")
+	replicateAddr := flag.String("replicate-addr", "", "address to stream replication frames to followers on (primary side; empty disables)")
+	follow := flag.String("follow", "", "primary's replication address (host:port) to follow as a read-only replica (mutually exclusive with -replicate-addr)")
+	replInterval := flag.Duration("repl-interval", 0, "replication ship cadence on the primary (0 = 250ms)")
 	flag.Parse()
 
 	cfg := service.DefaultConfig()
@@ -142,6 +155,26 @@ func main() {
 	cfg.Seed = *seed
 	cfg.LeaseTTL = *leaseTTL
 	cfg.TenantStaleAfter = *staleAfter
+	if *follow != "" && *replicateAddr != "" {
+		obs.Fatal(logger, "-follow and -replicate-addr are mutually exclusive (a follower re-shipping second-hand state would amplify staleness)")
+	}
+	if (*follow != "" || *replicateAddr != "") && *nodeID == "" {
+		// Replication identity rides the router's registration: the follower
+		// announces primary_id=<primary's -node-id>, and the router only
+		// spreads reads to (and promotes) followers whose primary id matches
+		// the primary's registration id. Without explicit names the two
+		// default to different strings and the mesh silently never engages.
+		obs.Fatal(logger, "-node-id is required with -follow or -replicate-addr")
+	}
+	if *nodeID != "" {
+		cfg.NodeID = *nodeID
+	}
+	cfg.FollowAddr = *follow
+	if *replInterval > 0 {
+		cfg.ReplInterval = *replInterval
+	} else {
+		cfg.ReplInterval = 250 * time.Millisecond
+	}
 	if *dcs != "" && *dcs != "all" {
 		cfg.Datacenters = splitNonEmpty(*dcs)
 		if len(cfg.Datacenters) == 0 {
@@ -186,6 +219,18 @@ func main() {
 		binAdvertise = advertisedHostPort(bound, *advertise)
 		api.AttachBinary(bs, binAdvertise)
 		logger.Info("binary protocol listening", "addr", bound.String(), "advertised", binAdvertise)
+	}
+	if *replicateAddr != "" {
+		rln, err := net.Listen("tcp", *replicateAddr)
+		if err != nil {
+			obs.Fatal(logger, "replication listener failed", "addr", *replicateAddr, "err", err)
+		}
+		// The service owns the listener from here; svc.Close shuts it down.
+		svc.ServeReplication(rln)
+		logger.Info("replicating to followers", "addr", rln.Addr().String(), "interval", cfg.ReplInterval)
+	}
+	if *follow != "" {
+		logger.Info("following primary", "addr", *follow, "node", cfg.NodeID)
 	}
 	if *debugAddr != "" {
 		// The debug surface (pprof, expvar, build info, the trace viewer)

@@ -12,11 +12,20 @@
 //	              [-stale-after 10s] [-retry-after 2s]
 //	              [-breaker-fails 3] [-breaker-cooldown 2s]
 //	              [-register-token TOKEN] [-debug-addr 127.0.0.1:7170]
+//	              [-max-gen-lag 2] [-promote-token TOKEN] [-promote-cooldown 5s]
 //
 // Pair it with backends like:
 //
 //	harvestd -listen :7081 -binary-addr :7091 -dcs DC-9 -announce http://127.0.0.1:7070
 //	harvestd -listen :7082 -dcs DC-8 -announce http://127.0.0.1:7070
+//
+// Backends that announce role=follower (harvestd -follow) never own routes;
+// the router spreads read-only requests — GETs, placement, dry-run selects —
+// across the primary and its generation-fresh followers (-max-gen-lag bounds
+// how far a follower may trail; negative pins all reads to the primary) and
+// pins every state-moving request to the primary. When a primary misses its
+// heartbeats, the router promotes the freshest follower via POST /v1/promote
+// authenticated with -promote-token (the backends' -ingest-token).
 //
 // -binary-listen adds a second listener speaking the length-prefixed binary
 // frame dialect (internal/wire) for the data-plane endpoints; it is
@@ -53,6 +62,9 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long an open circuit rejects requests before a probe")
 	registerToken := flag.String("register-token", "", "require this bearer token on POST /v1/register (registration moves routing — protect it on shared networks)")
 	debugAddr := flag.String("debug-addr", "", "address for the operator debug listener (pprof, expvar, /debug/traces); empty disables. Keep it off the data-plane address.")
+	maxGenLag := flag.Int("max-gen-lag", 2, "skip followers trailing the primary by more than this many generations for reads (negative pins all reads to the primary)")
+	promoteToken := flag.String("promote-token", "", "bearer token for POST /v1/promote on failover (the backends' -ingest-token)")
+	promoteCooldown := flag.Duration("promote-cooldown", 5*time.Second, "minimum interval between promotion attempts per datacenter")
 	flag.Parse()
 
 	rt := router.New(router.Config{
@@ -61,6 +73,9 @@ func main() {
 		BreakerThreshold: *breakerFails,
 		BreakerCooldown:  *breakerCooldown,
 		RegisterToken:    *registerToken,
+		MaxGenLag:        *maxGenLag,
+		PromoteToken:     *promoteToken,
+		PromoteCooldown:  *promoteCooldown,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

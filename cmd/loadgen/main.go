@@ -77,6 +77,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -95,6 +96,7 @@ type op int
 
 const (
 	opSelect op = iota
+	opDrySelect
 	opRelease
 	opRenew
 	opPlace
@@ -103,7 +105,7 @@ const (
 	numOps
 )
 
-var opNames = [numOps]string{"select", "release", "renew", "place", "classes", "server"}
+var opNames = [numOps]string{"select", "dryselect", "release", "renew", "place", "classes", "server"}
 
 // logger covers the pre-run setup path (flag validation, discovery); the
 // measured loop itself never logs.
@@ -115,7 +117,7 @@ func main() {
 	pipeline := flag.Int("pipeline", 64, "requests kept in flight per connection")
 	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
 	rate := flag.Float64("rate", 0, "open-loop mode: scheduled requests/second across all workers (0 = closed loop)")
-	mix := flag.String("mix", "select=30,release=25,renew=5,place=30,classes=5,server=5", "operation mix (weights)")
+	mix := flag.String("mix", "select=30,release=25,renew=5,place=30,classes=5,server=5", "operation mix (weights; dryselect issues advisory dry-run selects that reserve nothing — the read-heavy op a replicated fleet spreads across followers)")
 	proto := flag.String("proto", "json", "query protocol: json (HTTP/1.1) or binary (length-prefixed frames; the target must advertise binary_addr)")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
@@ -390,6 +392,36 @@ type workerStats struct {
 	// response-reading goroutine writes it; the report reads it after the
 	// run barrier.
 	trace [16]byte
+
+	// backends counts responses per serving replica, from the router's
+	// X-Harvest-Backend response header (JSON dialect; a direct harvestd
+	// target never sets it, and the binary relay has no header to carry it).
+	// Only the response-reading goroutine writes it; the report reads it
+	// after the run barrier.
+	backends backendTally
+}
+
+// backendTally counts responses by the backend id that served them. A run
+// sees a handful of replicas at most, so a linear scan over byte-compared
+// names beats a map: the hot path allocates only on a backend's first
+// response.
+type backendTally struct {
+	names  []string
+	counts []uint64
+}
+
+func (t *backendTally) bump(name []byte) {
+	if len(name) == 0 {
+		return
+	}
+	for i, n := range t.names {
+		if string(name) == n { // comparison only; no allocation
+			t.counts[i]++
+			return
+		}
+	}
+	t.names = append(t.names, string(name))
+	t.counts = append(t.counts, 1)
 }
 
 // inflight is one pipelined request awaiting its response. dc is the index
@@ -410,9 +442,10 @@ type worker struct {
 	depth   int
 	opTable []op // weighted op lookup table
 	stats   workerStats
-	selects map[string][][]byte // preserialized select requests per DC
-	places  map[string][]byte   // preserialized place request per DC
-	classes map[string][]byte   // preserialized classes request per DC
+	selects    map[string][][]byte // preserialized select requests per DC
+	dryselects map[string][][]byte // preserialized dry-run (advisory) selects per DC
+	places     map[string][]byte   // preserialized place request per DC
+	classes    map[string][]byte   // preserialized classes request per DC
 
 	// mu guards pool and held: in open-loop mode the response reader
 	// (harvest) and the scheduler (pick) are different goroutines. The
@@ -446,12 +479,13 @@ func newWorker(addr string, bin bool, dcs []dcSetup, weights [numOps]int, depth 
 		rng:     rng,
 		depth:   depth,
 		frameID: frameID,
-		selects: make(map[string][][]byte, len(dcs)),
-		places:  make(map[string][]byte, len(dcs)),
-		classes: make(map[string][]byte, len(dcs)),
-		pool:    make(map[string][]int64, len(dcs)),
-		held:    make(map[string][]uint64, len(dcs)),
-		bodyBuf: make([]byte, 0, 1<<16),
+		selects:    make(map[string][][]byte, len(dcs)),
+		dryselects: make(map[string][][]byte, len(dcs)),
+		places:     make(map[string][]byte, len(dcs)),
+		classes:    make(map[string][]byte, len(dcs)),
+		pool:       make(map[string][]int64, len(dcs)),
+		held:       make(map[string][]uint64, len(dcs)),
+		bodyBuf:    make([]byte, 0, 1<<16),
 	}
 	for i := op(0); i < numOps; i++ {
 		for j := 0; j < weights[i]; j++ {
@@ -473,6 +507,8 @@ func newWorker(addr string, bin bool, dcs []dcSetup, weights [numOps]int, depth 
 				for _, cores := range coreSizes {
 					w.selects[dc.name] = append(w.selects[dc.name],
 						wire.AppendSelectReq(nil, frameID, dc.name, wire.SelectReq{Job: job, MaxCores: float64(cores)}))
+					w.dryselects[dc.name] = append(w.dryselects[dc.name],
+						wire.AppendSelectReq(nil, frameID, dc.name, wire.SelectReq{Job: job, MaxCores: float64(cores), Flags: wire.SelectFlagDryRun}))
 				}
 			}
 			w.places[dc.name] = wire.AppendPlaceReq(nil, frameID, dc.name, wire.PlaceReq{Replication: 3, Writer: -1})
@@ -483,6 +519,9 @@ func newWorker(addr string, bin bool, dcs []dcSetup, weights [numOps]int, depth 
 					body := fmt.Sprintf(`{"job_type":%q,"max_concurrent_cores":%d}`, jt, cores)
 					w.selects[dc.name] = append(w.selects[dc.name],
 						buildRequest("POST", "/v1/"+dc.name+"/select", body))
+					dry := fmt.Sprintf(`{"job_type":%q,"max_concurrent_cores":%d,"dry_run":true}`, jt, cores)
+					w.dryselects[dc.name] = append(w.dryselects[dc.name],
+						buildRequest("POST", "/v1/"+dc.name+"/select", dry))
 				}
 			}
 			w.places[dc.name] = buildRequest("POST", "/v1/"+dc.name+"/place", `{"replication":3}`)
@@ -569,6 +608,12 @@ func (w *worker) pickRequest() (op, int, []byte) {
 	switch o {
 	case opSelect:
 		variants := w.selects[dc.name]
+		return o, dci, variants[w.rng.Intn(len(variants))]
+	case opDrySelect:
+		// Advisory: the server characterizes without reserving, so the
+		// response never feeds the lease pool and the request is safe on a
+		// read replica.
+		variants := w.dryselects[dc.name]
 		return o, dci, variants[w.rng.Intn(len(variants))]
 	case opRelease:
 		id, ok := w.popLease(dc.name)
@@ -755,7 +800,7 @@ func (w *worker) readOne() error {
 }
 
 func (w *worker) readOneJSON(entry inflight) error {
-	status, body, err := readResponse(w.br, w.bodyBuf[:0], &w.stats.trace)
+	status, body, err := readResponse(w.br, w.bodyBuf[:0], &w.stats.trace, &w.stats.backends)
 	if err != nil {
 		return err
 	}
@@ -864,7 +909,7 @@ func (w *worker) runOpen(first, deadline time.Time, interval time.Duration) {
 				w.stats.latency.Observe(time.Since(entry.sentAt))
 				continue
 			}
-			status, body, err := readResponse(w.br, bodyBuf[:0], &w.stats.trace)
+			status, body, err := readResponse(w.br, bodyBuf[:0], &w.stats.trace, &w.stats.backends)
 			if err != nil {
 				w.stats.transport.Add(1)
 				dead = true
@@ -936,7 +981,7 @@ func (w *worker) drainLeases() {
 				}
 				continue
 			}
-			if _, body, err := readResponse(w.br, w.bodyBuf[:0], nil); err != nil {
+			if _, body, err := readResponse(w.br, w.bodyBuf[:0], nil, nil); err != nil {
 				w.stats.transport.Add(1)
 				return false
 			} else {
@@ -1015,6 +1060,7 @@ var (
 	statusPrefix  = []byte("HTTP/1.1 ")
 	contentLenHdr = []byte("Content-Length: ")
 	traceHdr      = []byte(obs.TraceHeader + ": ")
+	backendHdr    = []byte("X-Harvest-Backend: ")
 )
 
 // readResponse parses one HTTP/1.1 response with an explicit Content-Length
@@ -1023,8 +1069,10 @@ var (
 // once the body buffer has grown to its steady-state size. When trace is
 // non-nil and the response carries an X-Harvest-Trace header of the expected
 // width, its value is copied in — each response overwrites the last, so the
-// caller ends the run holding its most recent trace id.
-func readResponse(br *bufio.Reader, bodyBuf []byte, trace *[16]byte) (int, []byte, error) {
+// caller ends the run holding its most recent trace id. When backends is
+// non-nil, an X-Harvest-Backend header (the router naming the replica that
+// served the request) bumps that backend's tally.
+func readResponse(br *bufio.Reader, bodyBuf []byte, trace *[16]byte, backends *backendTally) (int, []byte, error) {
 	line, err := br.ReadSlice('\n')
 	if err != nil {
 		return 0, nil, err
@@ -1060,6 +1108,8 @@ func readResponse(br *bufio.Reader, bodyBuf []byte, trace *[16]byte) (int, []byt
 			if v := bytes.TrimSpace(line[len(traceHdr):]); len(v) == len(trace) {
 				copy(trace[:], v)
 			}
+		} else if backends != nil && bytes.HasPrefix(line, backendHdr) {
+			backends.bump(bytes.TrimSpace(line[len(backendHdr):]))
 		}
 	}
 	if contentLength < 0 {
@@ -1206,6 +1256,12 @@ type jsonReport struct {
 	LatencyUs       latencyReport     `json:"latency_us"`
 	Buckets         []bucketRow       `json:"latency_buckets_us"`
 	Ops             map[string]opStat `json:"ops"`
+
+	// Backends counts responses per serving replica, attributed from the
+	// router's X-Harvest-Backend response header. Present only when the
+	// target is a router (JSON dialect) — it is how the replica-smoke CI job
+	// asserts followers actually absorbed read traffic.
+	Backends map[string]uint64 `json:"backends,omitempty"`
 }
 
 type latencyReport struct {
@@ -1275,6 +1331,12 @@ func report(results []*workerStats, cfg runConfig, duration time.Duration, jsonO
 		if ws.trace[0] != 0 {
 			rep.TraceSample = string(ws.trace[:])
 		}
+		for i, name := range ws.backends.names {
+			if rep.Backends == nil {
+				rep.Backends = make(map[string]uint64)
+			}
+			rep.Backends[name] += ws.backends.counts[i]
+		}
 	}
 	rep.QPS = float64(rep.Requests) / duration.Seconds()
 	rep.LatencyUs = latencyReport{
@@ -1316,6 +1378,22 @@ func report(results []*workerStats, cfg runConfig, duration time.Duration, jsonO
 		rep.LatencyUs.Mean, rep.LatencyUs.P50, rep.LatencyUs.P90, rep.LatencyUs.P99, rep.LatencyUs.Max)
 	for i := op(0); i < numOps; i++ {
 		s := rep.Ops[opNames[i]]
-		fmt.Printf("  %-8s %9d requests, %d errors\n", opNames[i], s.Requests, s.Errors)
+		fmt.Printf("  %-9s %9d requests, %d errors\n", opNames[i], s.Requests, s.Errors)
+	}
+	if len(rep.Backends) > 0 {
+		total := uint64(0)
+		for _, c := range rep.Backends {
+			total += c
+		}
+		names := make([]string, 0, len(rep.Backends))
+		for name := range rep.Backends {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("  served by:")
+		for _, name := range names {
+			fmt.Printf("  %s %.1f%%", name, 100*float64(rep.Backends[name])/float64(total))
+		}
+		fmt.Println()
 	}
 }

@@ -55,6 +55,15 @@ type ReclusterStats struct {
 	// FullRebuild is true when Recluster fell back to a from-scratch
 	// ClusterFrom (no usable previous generation).
 	FullRebuild bool
+	// DriftThreshold is the threshold this round's drift checks ran with —
+	// the configured value, or the auto-tuned override the serving layer
+	// feeds back from full-rebuild agreement (service.refreshShard).
+	DriftThreshold float64
+	// FullAgreement is the fraction of tenants whose pattern assignment a
+	// periodic full rebuild agreed with the previous warm generation on —
+	// the disagreement signal the drift-threshold auto-tuner consumes.
+	// Negative when not measured (warm rounds, boot).
+	FullAgreement float64
 }
 
 // Recluster derives the next clustering generation incrementally from the
@@ -78,6 +87,7 @@ type ReclusterStats struct {
 func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, src tenant.HistorySource) (*Clustering, ReclusterStats, error) {
 	var st ReclusterStats
 	st.Tenants = len(pop.Tenants)
+	st.FullAgreement = -1
 	if prev == nil || len(prev.Classes) == 0 {
 		st.FullRebuild = true
 		st.Reclassified = st.Tenants
@@ -92,6 +102,7 @@ func (s *ClusteringService) Recluster(prev *Clustering, pop *tenant.Population, 
 	if thr <= 0 {
 		thr = DefaultDriftThreshold
 	}
+	st.DriftThreshold = thr
 	hist, _ := src.(tenant.HistoryStats)
 	active := make([]*tenant.Tenant, 0, len(pop.Tenants))
 	for _, t := range pop.Tenants {

@@ -161,9 +161,24 @@ type leaseShard struct {
 	idrng  *rand.ChaCha8
 }
 
+// floorSet is one generation's per-class admission floors: millicores held
+// back from every class's capacity bound because the live usage view shows
+// utilization above the level the bound was derived from. Published whole
+// behind an atomic pointer by the service's usage-view refresh; a set keyed
+// to a generation the ledger has re-keyed past is ignored.
+type floorSet struct {
+	generation uint64
+	millis     []int64 // indexed by dense ClassID; missing classes floor at 0
+}
+
 // Ledger tracks one datacenter's live allocations.
 type Ledger struct {
 	tab atomic.Pointer[table]
+
+	// floors is the current admission-floor set (may lag or lead tab by one
+	// generation around a re-key; mismatches disable the floor rather than
+	// misapply it).
+	floors atomic.Pointer[floorSet]
 
 	// shards hold the lease bookkeeping. Lock order: any single-shard
 	// operation takes exactly one shard lock; global operations take all of
@@ -283,6 +298,42 @@ func (l *Ledger) Occupancy() (generation uint64, allocMillisByClass []int64) {
 	return t.generation, out
 }
 
+// SetFloors publishes per-class admission floors for the given generation:
+// Reserve subtracts floors[class] millicores from every capacity bound, so
+// admission tightens immediately when the live usage view shows utilization
+// above the level capacities were derived from — without waiting for the
+// next snapshot refresh. Floors for a generation the ledger is not keyed to
+// are stored but inert until a re-key aligns them (the service republishes
+// floors on every view refresh, so the window is one refresh at most). The
+// caller must not mutate floors after the call.
+func (l *Ledger) SetFloors(generation uint64, floors []int64) {
+	l.floors.Store(&floorSet{generation: generation, millis: floors})
+}
+
+// floorMillis returns the class's current admission floor, 0 when no floor
+// set matches the generation (boot, re-key windows) or the class is out of
+// the set's range.
+func (l *Ledger) floorMillis(generation uint64, class int) int64 {
+	fs := l.floors.Load()
+	if fs == nil || fs.generation != generation || class < 0 || class >= len(fs.millis) {
+		return 0
+	}
+	if f := fs.millis[class]; f > 0 {
+		return f
+	}
+	return 0
+}
+
+// Floors returns the current floor set when it matches the ledger's
+// generation (nil otherwise), for /metrics export.
+func (l *Ledger) Floors() []int64 {
+	fs := l.floors.Load()
+	if fs == nil || fs.generation != l.tab.Load().generation {
+		return nil
+	}
+	return fs.millis
+}
+
 // Reserve atomically reserves cores across the requested classes and records
 // a lease. Admission per class is a CAS loop bounded by the request's
 // Capacity, so concurrent reservations can never jointly push a class's total
@@ -314,8 +365,11 @@ func (l *Ledger) ReserveMeta(generation uint64, reqs []Request, ttl time.Duratio
 			l.conflicts.Add(1)
 			return Lease{}, fmt.Errorf("ledger: class %d out of range", rq.Class)
 		}
-		// Floor the bound so float noise can only under-admit, never over.
-		capMillis := int64(math.Floor(rq.Capacity * MillisPerCore))
+		// Floor the bound so float noise can only under-admit, never over —
+		// then subtract the class's admission floor, which tightens the bound
+		// further when live utilization has risen since the capacity was
+		// derived (see SetFloors).
+		capMillis := int64(math.Floor(rq.Capacity*MillisPerCore)) - l.floorMillis(t.generation, int(rq.Class))
 		a := &t.alloc[int(rq.Class)]
 		for {
 			cur := a.Load()
@@ -596,6 +650,9 @@ type Stats struct {
 	// AllocatedMillisByClass is the current table's occupancy, indexed by
 	// dense ClassID.
 	AllocatedMillisByClass []int64
+	// ReserveFloorMillisByClass is the current admission-floor set (nil when
+	// no floors are published for this generation), indexed by dense ClassID.
+	ReserveFloorMillisByClass []int64
 }
 
 // Snapshot returns the ledger's counters and per-class occupancy.
@@ -629,6 +686,7 @@ func (l *Ledger) Snapshot() Stats {
 	for i := range t.alloc {
 		st.AllocatedMillisByClass[i] = t.alloc[i].Load()
 	}
+	st.ReserveFloorMillisByClass = l.Floors()
 	return st
 }
 
@@ -692,6 +750,62 @@ func (l *Ledger) Export() State {
 	}
 	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
 	return st
+}
+
+// ApplyState overwrites the ledger's entire state in place from a
+// replicated primary's Export — the follower-side apply of the replication
+// stream. Unlike Restore it mutates an existing ledger (the shard's ledger
+// pointer must stay stable for concurrent readers) and re-keys to whatever
+// generation the state carries: the follower's snapshot apply and ledger
+// apply arrive as one frame, so the generations move together. Grants on
+// classes outside [0, numClasses) are forfeited rather than trusted, exactly
+// as in Restore. Lease ids keep their issuing primary's shard bits, so
+// Release routes identically after a promotion; fresh ids issued after
+// promotion come from this ledger's own CSPRNG streams and are collision-
+// checked against the applied set, so a handoff cannot double-grant an id.
+func (l *Ledger) ApplyState(st State, numClasses int) {
+	l.lockAll()
+	defer l.unlockAll()
+	nt := newTable(st.Generation, numClasses)
+	for i := range l.shards {
+		clear(l.shards[i].leases)
+	}
+	var forfeited int64
+	for _, pl := range st.Leases {
+		if pl.ID == 0 {
+			continue
+		}
+		sh := &l.shards[shardOf(pl.ID)]
+		if _, dup := sh.leases[pl.ID]; dup {
+			continue
+		}
+		grants := make([]Grant, 0, len(pl.Grants))
+		for _, g := range pl.Grants {
+			if g.Millis <= 0 {
+				continue
+			}
+			if int(g.Class) < 0 || int(g.Class) >= numClasses {
+				forfeited += g.Millis
+				continue
+			}
+			grants = append(grants, g)
+			nt.alloc[int(g.Class)].Add(g.Millis)
+		}
+		if len(grants) == 0 {
+			continue
+		}
+		sh.leases[pl.ID] = &lease{id: pl.ID, expiresAt: pl.ExpiresAt, grants: grants, meta: Meta{JobID: pl.JobID, Owner: pl.Owner}}
+	}
+	l.reservedMillis.Store(st.ReservedMillis)
+	l.releasedMillis.Store(st.ReleasedMillis)
+	l.expiredMillis.Store(st.ExpiredMillis)
+	l.forfeitedMillis.Store(st.ForfeitedMillis + forfeited)
+	l.reserves.Store(st.Reserves)
+	l.releases.Store(st.Releases)
+	l.renews.Store(st.Renews)
+	l.expiries.Store(st.Expiries)
+	l.conflicts.Store(st.Conflicts)
+	l.tab.Store(nt)
 }
 
 // Restore rebuilds a ledger from persisted state, keyed to the given

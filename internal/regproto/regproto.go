@@ -25,7 +25,16 @@ type RegisterRequest struct {
 	// the router forwards data-plane frames natively to backends that
 	// advertise it and translates to JSON for the rest, so mixed fleets
 	// keep working mid-rollout.
-	BinaryAddr  string               `json:"binary_addr,omitempty"`
+	BinaryAddr string `json:"binary_addr,omitempty"`
+	// Role announces the node's replication role: "primary" (or empty, for
+	// compatibility with pre-replication backends) or "follower". The router
+	// pins writes to primaries and spreads generation-fresh reads across
+	// followers.
+	Role string `json:"role,omitempty"`
+	// PrimaryID names the primary a follower replicates from, so the router
+	// only promotes followers of the backend that actually went missing.
+	// Empty for primaries.
+	PrimaryID   string               `json:"primary_id,omitempty"`
 	Datacenters []RegisterDatacenter `json:"datacenters"`
 }
 

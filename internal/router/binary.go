@@ -475,6 +475,13 @@ func readRawFrame(br *bufio.Reader, scratch *[]byte) (wire.Header, []byte, error
 	if err != nil {
 		return wire.Header{}, nil, err
 	}
+	if h.Op.IsRepl() {
+		// Replication opcodes carry the 64 MiB replication payload cap through
+		// ParseHeader; honoring one here — from a public client or a desynced
+		// backend pipe — would let a peer balloon this buffer. They belong on
+		// harvestd's dedicated replication listener only.
+		return wire.Header{}, nil, wire.ErrBadFrame
+	}
 	total := wire.HeaderSize + int(h.Len)
 	if cap(buf) < total {
 		nb := make([]byte, total)
@@ -635,19 +642,28 @@ func (rt *Router) relayStart(h wire.Header, frame []byte) *pendingBinResp {
 		fin(int(code))
 		return &pendingBinResp{frame: rt.binReject(h.ID, code, msg)}
 	}
-	rt.mu.RLock()
-	b := rt.table[dc]
-	var baseURL, binAddr string
-	if b != nil {
-		// Copied under the lock, like the HTTP path: registration beats
-		// rewrite these under the write lock.
-		baseURL, binAddr = b.url, b.binAddr
+	// The same read/write split as the HTTP path: class queries, placement,
+	// and dry-run selects spread across the primary and its generation-fresh
+	// followers; everything that moves ledger state pins to the owner.
+	read := false
+	switch h.Op {
+	case wire.OpClasses, wire.OpServerClass, wire.OpPlace:
+		read = true
+	case wire.OpSelect:
+		if fl, ok := wire.PeekSelectFlags(payload); ok {
+			read = fl&wire.SelectFlagDryRun != 0
+		}
 	}
-	rt.mu.RUnlock()
+	now := rt.now()
+	b := rt.pickBackend(dc, read, now)
 	if b == nil {
 		return reject(404, "unknown datacenter "+strconv.Quote(dc))
 	}
-	now := rt.now()
+	rt.mu.RLock()
+	// Copied under the lock, like the HTTP path: registration beats
+	// rewrite these under the write lock.
+	baseURL, binAddr := b.url, b.binAddr
+	rt.mu.RUnlock()
 	if !rt.alive(b, now) {
 		if cutoff := now.Add(-10 * rt.cfg.StaleAfter).UnixNano(); b.lastBeat.Load() <= cutoff {
 			rt.collectBackend(b, cutoff)
@@ -691,6 +707,13 @@ func (rt *Router) relayStart(h wire.Header, frame []byte) *pendingBinResp {
 			b.probing.Store(false)
 		}
 	}
+	if read {
+		b.reads.Add(1)
+	}
+	// inflight brackets the backend leg — the power-of-two-choices load
+	// signal the read picker compares; lat is the per-backend latency
+	// histogram, fed on every outcome.
+	b.inflight.Add(1)
 	legStart := time.Now()
 
 	if binAddr == "" {
@@ -702,6 +725,8 @@ func (rt *Router) relayStart(h wire.Header, frame []byte) *pendingBinResp {
 		go func() {
 			defer close(pr.done)
 			respFrame, status := rt.translateBinary(baseURL, dc, h, pl, settle, cancel)
+			b.inflight.Add(-1)
+			b.lat.Observe(time.Since(legStart), status)
 			tr.Span("backend_leg", legStart)
 			fin(status)
 			pr.frame = respFrame
@@ -722,6 +747,8 @@ func (rt *Router) relayStart(h wire.Header, frame []byte) *pendingBinResp {
 	}
 	p, err := b.getPipe(binAddr, rt.cfg.ProxyTimeout, pipeKey, keyed)
 	if err != nil {
+		b.inflight.Add(-1)
+		b.lat.Observe(time.Since(legStart), 503)
 		settle(false)
 		return reject(503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
 	}
@@ -729,16 +756,20 @@ func (rt *Router) relayStart(h wire.Header, frame []byte) *pendingBinResp {
 	relayed := wire.AppendRelayFrame(make([]byte, 0, len(frame)+8), h, payload, relayID, h.ID)
 	call := &binCall{done: make(chan struct{})}
 	if err := p.send(relayID, relayed, call); err != nil {
+		b.inflight.Add(-1)
+		b.lat.Observe(time.Since(legStart), 503)
 		settle(false)
 		return reject(503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
 	}
 	pr := &pendingBinResp{call: call}
 	pr.finish = func() []byte {
+		b.inflight.Add(-1)
 		tr.Span("backend_leg", legStart)
 		if call.err != nil {
 			// Read failure, relay timeout, or a response id nobody was
 			// waiting for (a desynced backend): the pipe has already failed
 			// and every waiter on it — including this one — got the error.
+			b.lat.Observe(time.Since(legStart), 503)
 			settle(false)
 			fin(503)
 			return rt.binReject(h.ID, 503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" sent a bad response frame")
@@ -751,9 +782,11 @@ func (rt *Router) relayStart(h wire.Header, frame []byte) *pendingBinResp {
 		if wire.Op(call.frame[2]) == wire.OpError {
 			// Relayed backend error frames count as errors in the op
 			// metrics, matching how the shard's own dispatch counts them.
+			b.lat.Observe(time.Since(legStart), 500)
 			fin(500)
 			return call.frame
 		}
+		b.lat.Observe(time.Since(legStart), http.StatusOK)
 		fin(http.StatusOK)
 		return call.frame
 	}

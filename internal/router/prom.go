@@ -44,11 +44,16 @@ func (rt *Router) writeProm(w http.ResponseWriter) {
 	p.Uint("harvestrouter_proxy_errors_total", "", rt.proxyErrors.Load())
 	p.Metric("harvestrouter_unavailable_total", "counter", "503s from staleness or an open circuit.")
 	p.Uint("harvestrouter_unavailable_total", "", rt.unavailable.Load())
+	p.Metric("harvestrouter_promotions_total", "counter", "Follower-to-primary promotions initiated by this router.")
+	p.Uint("harvestrouter_promotions_total", "", rt.promotions.Load())
 
 	p.Metric("harvestrouter_backend_up", "gauge", "1 when the backend's heartbeats are fresh.")
+	p.Metric("harvestrouter_backend_role", "gauge", "1 when the backend announces itself primary, 0 for a follower.")
 	p.Metric("harvestrouter_backend_last_beat_age_seconds", "gauge", "Seconds since the backend's last register.")
 	p.Metric("harvestrouter_backend_circuit_open", "gauge", "1 while the backend's breaker is open.")
 	p.Metric("harvestrouter_backend_proxied_total", "counter", "Requests proxied to this backend.")
+	p.Metric("harvestrouter_backend_reads_total", "counter", "Requests the read spreader picked this backend for.")
+	p.Metric("harvestrouter_backend_in_flight", "gauge", "Requests currently in flight against this backend.")
 	p.Metric("harvestrouter_backend_errors_total", "counter", "Transport failures against this backend.")
 	rt.mu.RLock()
 	for id, b := range rt.backends {
@@ -58,6 +63,11 @@ func (rt *Router) writeProm(w http.ResponseWriter) {
 			up = 1
 		}
 		p.Uint("harvestrouter_backend_up", ls, up)
+		primary := uint64(0)
+		if b.role != "follower" {
+			primary = 1
+		}
+		p.Uint("harvestrouter_backend_role", ls, primary)
 		p.Float("harvestrouter_backend_last_beat_age_seconds", ls,
 			time.Duration(now.UnixNano()-b.lastBeat.Load()).Seconds())
 		open := uint64(0)
@@ -66,7 +76,19 @@ func (rt *Router) writeProm(w http.ResponseWriter) {
 		}
 		p.Uint("harvestrouter_backend_circuit_open", ls, open)
 		p.Uint("harvestrouter_backend_proxied_total", ls, b.proxied.Load())
+		p.Uint("harvestrouter_backend_reads_total", ls, b.reads.Load())
+		p.Int("harvestrouter_backend_in_flight", ls, b.inflight.Load())
 		p.Uint("harvestrouter_backend_errors_total", ls, b.errors.Load())
+	}
+	rt.mu.RUnlock()
+
+	// Per-backend request latency as observed from the router — the
+	// per-replica histograms behind the read-spreading p99 gate.
+	p.Metric("harvestrouter_backend_latency_microseconds", "histogram", "Backend request latency as observed from the router, in microseconds.")
+	rt.mu.RLock()
+	for id, b := range rt.backends {
+		p.Histogram("harvestrouter_backend_latency_microseconds",
+			obs.Labels("backend", id), &b.lat.Latency)
 	}
 	rt.mu.RUnlock()
 

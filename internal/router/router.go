@@ -86,6 +86,18 @@ type Config struct {
 	// registration surface moves routing — without the token anyone who can
 	// reach the router could hijack a datacenter's traffic.
 	RegisterToken string
+	// MaxGenLag is the read-spreading staleness gate: a follower whose
+	// announced generation trails the primary's by more than this many
+	// generations is skipped for reads until it catches up. Zero means 2;
+	// negative pins all reads to the primary (spreading off).
+	MaxGenLag int
+	// PromoteToken is the bearer token sent on POST /v1/promote to a
+	// follower when its primary stops beating — the backends' ingest token,
+	// which guards their promotion endpoint.
+	PromoteToken string
+	// PromoteCooldown is the minimum interval between promotion attempts per
+	// datacenter. Zero means 5 seconds.
+	PromoteCooldown time.Duration
 	// Now overrides the clock (tests drive staleness without sleeping). Nil
 	// means time.Now.
 	Now func() time.Time
@@ -104,6 +116,23 @@ type backend struct {
 	// per-backend whether data-plane frames are forwarded natively or
 	// translated to the JSON API.
 	binAddr string
+
+	// role and primaryID mirror the backend's announced replication role
+	// (guarded by Router.mu like url): "primary" for a write-capable owner
+	// ("" from pre-replication backends normalizes to it), "follower" for a
+	// read-only replica of the backend named primaryID. Followers never claim
+	// sticky datacenter ownership; they serve spread reads (replica.go).
+	role      string
+	primaryID string
+
+	// Read fan-out accounting: inflight is the power-of-two-choices load
+	// signal, reads counts requests this backend was picked for by read
+	// classification, lat is the per-backend request latency across both
+	// dialects (satellite of the replica work: per-replica histograms on
+	// /metrics).
+	inflight atomic.Int64
+	reads    atomic.Uint64
+	lat      obs.EndpointMetrics
 
 	// The pipelined binary connections feeding native forwarding: each pipe
 	// carries many in-flight frames keyed by relay id (binary.go). The table
@@ -141,6 +170,11 @@ type Router struct {
 	proxiedTotal  atomic.Uint64
 	proxyErrors   atomic.Uint64
 	unavailable   atomic.Uint64 // 503s rejected without touching a backend (stale / circuit open / probe held)
+
+	// Promotion state (replica.go): per-DC cooldown on election attempts.
+	promoteMu   sync.Mutex
+	lastPromote map[string]time.Time
+	promotions  atomic.Uint64
 
 	// Binary front-end state (see binary.go). binAdvertise is set once before
 	// serving and published on /v1/datacenters so binary-capable clients can
@@ -196,6 +230,12 @@ func New(cfg Config) *Router {
 	if cfg.ProxyTimeout <= 0 {
 		cfg.ProxyTimeout = 15 * time.Second
 	}
+	if cfg.MaxGenLag == 0 {
+		cfg.MaxGenLag = 2
+	}
+	if cfg.PromoteCooldown <= 0 {
+		cfg.PromoteCooldown = 5 * time.Second
+	}
 	now := cfg.Now
 	if now == nil {
 		now = time.Now
@@ -225,9 +265,10 @@ func New(cfg Config) *Router {
 				IdleConnTimeout:     30 * time.Second,
 			},
 		},
-		backends: make(map[string]*backend),
-		table:    make(map[string]*backend),
-		rec:      obs.NewRecorder(obs.DefaultRingTraces),
+		backends:    make(map[string]*backend),
+		table:       make(map[string]*backend),
+		lastPromote: make(map[string]time.Time),
+		rec:         obs.NewRecorder(obs.DefaultRingTraces),
 	}
 	r.mux.HandleFunc("POST /v1/register", r.handleRegister)
 	r.mux.HandleFunc("GET /v1/datacenters", r.handleDatacenters)
@@ -326,6 +367,16 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	role := req.Role
+	switch role {
+	case "":
+		// Pre-replication backends announce no role; they are write-capable.
+		role = "primary"
+	case "primary", "follower":
+	default:
+		writeError(w, http.StatusBadRequest, "register role must be primary or follower")
+		return
+	}
 	baseURL := strings.TrimRight(req.URL, "/")
 
 	rt.mu.Lock()
@@ -363,6 +414,8 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 			"backend", req.ID, "from", b.url, "to", baseURL)
 	}
 	b.url = baseURL
+	b.role = role
+	b.primaryID = req.PrimaryID
 	if b.binAddr != req.BinaryAddr {
 		if b.binAddr != "" {
 			// The old listener's pooled conns point at an address the backend
@@ -390,17 +443,25 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// Ownership is sticky while the owner is alive: two nodes announcing the
 	// same datacenter must not ping-pong the route at heartbeat cadence —
 	// that would strand leases on the shard that issued them. A datacenter
-	// moves only when its current owner dropped it or went stale, so a
-	// migration is "start the new owner, stop the old one" and the handover
-	// happens at the staleness deadline.
-	for name := range next {
-		if prev := rt.table[name]; prev != nil && prev != b {
-			if rt.alive(prev, now) {
-				continue
+	// moves only when its current owner dropped it, went stale, or demoted
+	// itself to follower, so a migration is "start the new owner, stop the
+	// old one" and the handover happens at the staleness deadline.
+	//
+	// Followers never claim: their books replicate someone else's, so routing
+	// a write to one gets a retryable 503, not a lease. They also do not
+	// *drop* entries they may hold — a just-promoted node's stale "follower"
+	// beat, composed before the promotion landed, must not yank the route the
+	// router just flipped to it.
+	if role != "follower" {
+		for name := range next {
+			if prev := rt.table[name]; prev != nil && prev != b {
+				if rt.alive(prev, now) && prev.role != "follower" {
+					continue
+				}
+				rlog.Info("datacenter moved to announcing primary", "dc", name, "from", prev.id, "to", b.id)
 			}
-			rlog.Info("datacenter moved from stale backend", "dc", name, "from", prev.id, "to", b.id)
+			rt.table[name] = b
 		}
-		rt.table[name] = b
 	}
 	b.dcs = next
 	backends := len(rt.backends)
@@ -482,20 +543,46 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(obs.TraceHeader, obs.FormatTraceID(tr.ID))
 		defer func() { tr.Finish(sc.status) }()
 	}
-	rt.mu.RLock()
-	b := rt.table[dc]
-	var baseURL string
-	if b != nil {
-		// Copied under the lock: registration beats rewrite b.url under the
-		// write lock, so it must not be read after the RUnlock.
-		baseURL = b.url
+	// The inbound body is buffered before backend resolution: read/write
+	// classification needs it (an advisory select is only a read when its
+	// body says dry_run), and a client that stalls mid-body must never sit on
+	// the half-open probe slot claimed below. Handing NewRequest a
+	// *bytes.Reader bounds memory, pins an explicit outbound Content-Length,
+	// and lets the transport silently replay *idempotent* requests that race
+	// a backend's idle-connection close. POSTs are not replayable in net/http
+	// regardless of GetBody — deliberately left that way here, since
+	// re-sending a select the backend may have processed could
+	// double-reserve; the idle-close race is instead minimized by the
+	// transport's IdleConnTimeout sitting well below the backends' server
+	// IdleTimeout. Bodies here are small JSON (the backend caps its own at
+	// 1 MiB).
+	var bodyBytes []byte
+	if r.Body != nil && r.ContentLength != 0 {
+		var rerr error
+		bodyBytes, rerr = io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+		if rerr != nil {
+			// The client's fault (or the client went away) — not backend
+			// evidence.
+			writeError(w, http.StatusBadRequest, "unreadable request body: "+rerr.Error())
+			return
+		}
 	}
-	rt.mu.RUnlock()
+
+	now := rt.now()
+	read := isReadRequest(r.Method, r.PathValue("rest"), bodyBytes)
+	b := rt.pickBackend(dc, read, now)
 	if b == nil {
 		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
 		return
 	}
-	now := rt.now()
+	rt.mu.RLock()
+	// Copied under the lock: registration beats rewrite b.url under the
+	// write lock, so it must not be read after the RUnlock.
+	baseURL := b.url
+	rt.mu.RUnlock()
+	// Name the replica that serves this request: load generators and the CI
+	// smoke job attribute per-backend read share from this header.
+	w.Header().Set(backendHeader, b.id)
 	if !rt.alive(b, now) {
 		// Past many staleness windows the node is gone, not hiccuping:
 		// collect it on demand — registration-time sweeps never run when no
@@ -510,38 +597,6 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		rt.writeUnavailable(w, rt.cfg.RetryAfter,
 			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" missed heartbeats")
 		return
-	}
-	// Open-circuit fast-fail before touching the body: while the breaker is
-	// open the 503 must cost nothing, not a 2 MiB read. (Re-checked below
-	// after the read — the circuit may open while the body streams in.)
-	if openUntil := b.openUntil.Load(); openUntil > now.UnixNano() {
-		rt.unavailable.Add(1)
-		rt.writeUnavailable(w, time.Duration(openUntil-now.UnixNano()),
-			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" circuit open")
-		return
-	}
-
-	// The inbound body is buffered *before* the probe claim (a client that
-	// stalls mid-body must never sit on the half-open probe slot) and handed
-	// to NewRequest as a *bytes.Reader, which bounds memory, pins an
-	// explicit outbound Content-Length, and lets the transport silently
-	// replay *idempotent* requests that race a backend's idle-connection
-	// close. POSTs are not replayable in net/http regardless of GetBody —
-	// deliberately left that way here, since re-sending a select the backend
-	// may have processed could double-reserve; the idle-close race is
-	// instead minimized by the transport's IdleConnTimeout sitting well
-	// below the backends' server IdleTimeout. Bodies here are small JSON
-	// (the backend caps its own at 1 MiB).
-	var bodyBytes []byte
-	if r.Body != nil && r.ContentLength != 0 {
-		var rerr error
-		bodyBytes, rerr = io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
-		if rerr != nil {
-			// The client's fault (or the client went away) — not backend
-			// evidence.
-			writeError(w, http.StatusBadRequest, "unreadable request body: "+rerr.Error())
-			return
-		}
 	}
 
 	// Breaker gate. A nonzero openUntil in the past means the cooldown just
@@ -636,11 +691,22 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		legStart = time.Now()
 	}
 
+	if read {
+		b.reads.Add(1)
+	}
+	// backendStart is unconditional (legStart above is trace-gated): it feeds
+	// the per-backend latency histogram on every outcome except a vanished
+	// client. inflight brackets the whole backend leg — it is the
+	// power-of-two-choices load signal the read picker compares.
+	backendStart := time.Now()
+	b.inflight.Add(1)
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		b.inflight.Add(-1)
 		if clientGone() {
 			return // nobody is listening for this response
 		}
+		b.lat.Observe(time.Since(backendStart), http.StatusServiceUnavailable)
 		settle(false)
 		rt.writeUnavailable(w, rt.cfg.BreakerCooldown,
 			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" unreachable")
@@ -648,15 +714,18 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyResponse+1))
+	b.inflight.Add(-1)
 	if err != nil || len(body) > maxProxyResponse {
 		if err != nil && clientGone() {
 			return
 		}
+		b.lat.Observe(time.Since(backendStart), http.StatusServiceUnavailable)
 		settle(false)
 		rt.writeUnavailable(w, rt.cfg.BreakerCooldown,
 			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" sent a truncated or oversized response")
 		return
 	}
+	b.lat.Observe(time.Since(backendStart), resp.StatusCode)
 	settle(true)
 	tr.Span("backend_leg", legStart)
 	b.proxied.Add(1)
@@ -728,14 +797,29 @@ type datacentersResponse struct {
 }
 
 // liveDatacenters returns the sorted union of datacenters across backends
-// that are currently heartbeating.
+// that are currently heartbeating. Followers count: while a primary is down
+// its alive followers still serve the read surface (and the first write
+// triggers promotion), so the datacenter must stay discoverable — a client
+// arriving mid-failover would otherwise see an empty fleet.
 func (rt *Router) liveDatacenters(now time.Time) []string {
 	rt.mu.RLock()
-	names := make([]string, 0, len(rt.table))
+	seen := make(map[string]struct{}, len(rt.table))
 	for name, b := range rt.table {
 		if rt.alive(b, now) {
-			names = append(names, name)
+			seen[name] = struct{}{}
 		}
+	}
+	for _, b := range rt.backends {
+		if b.role != "follower" || !rt.alive(b, now) {
+			continue
+		}
+		for name := range b.dcs {
+			seen[name] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
 	}
 	rt.mu.RUnlock()
 	sort.Strings(names)
@@ -779,13 +863,21 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type BackendStats struct {
 	URL                 string            `json:"url"`
 	BinaryAddr          string            `json:"binary_addr,omitempty"`
+	Role                string            `json:"role"`
+	PrimaryID           string            `json:"primary_id,omitempty"`
 	Alive               bool              `json:"alive"`
 	LastBeatAgeSeconds  float64           `json:"last_beat_age_seconds"`
 	Datacenters         map[string]uint64 `json:"datacenters"` // name → announced generation
 	Proxied             uint64            `json:"proxied"`
+	Reads               uint64            `json:"reads"` // requests the read spreader picked this backend for
+	InFlight            int64             `json:"in_flight"`
 	Errors              uint64            `json:"errors"`
 	CircuitOpen         bool              `json:"circuit_open"`
 	ConsecutiveFailures int               `json:"consecutive_failures"`
+	// Latency is this backend's request latency as observed from the router,
+	// across both dialects — per-replica histograms for spotting a slow
+	// follower dragging the spread read path.
+	Latency OpStats `json:"latency"`
 }
 
 // RouterStats is the router's own section of /metrics.
@@ -794,6 +886,7 @@ type RouterStats struct {
 	Proxied       uint64                  `json:"proxied"`
 	ProxyErrors   uint64                  `json:"proxy_errors"`
 	Unavailable   uint64                  `json:"unavailable_503s"`
+	Promotions    uint64                  `json:"promotions"`
 	Binary        *BinaryFrontStats       `json:"binary,omitempty"`
 	Backends      map[string]BackendStats `json:"backends"`
 }
@@ -858,6 +951,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Proxied:       rt.proxiedTotal.Load(),
 			ProxyErrors:   rt.proxyErrors.Load(),
 			Unavailable:   rt.unavailable.Load(),
+			Promotions:    rt.promotions.Load(),
 			Backends:      make(map[string]BackendStats),
 		},
 		Datacenters: make(map[string]json.RawMessage),
@@ -888,13 +982,25 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := BackendStats{
 			URL:                 b.url,
 			BinaryAddr:          b.binAddr,
+			Role:                b.role,
+			PrimaryID:           b.primaryID,
 			Alive:               rt.alive(b, now),
 			LastBeatAgeSeconds:  time.Duration(now.UnixNano() - b.lastBeat.Load()).Seconds(),
 			Datacenters:         make(map[string]uint64, len(b.dcs)),
 			Proxied:             b.proxied.Load(),
+			Reads:               b.reads.Load(),
+			InFlight:            b.inflight.Load(),
 			Errors:              b.errors.Load(),
 			CircuitOpen:         b.openUntil.Load() > now.UnixNano(),
 			ConsecutiveFailures: int(b.consecFails.Load()),
+			Latency: OpStats{
+				Requests: b.lat.Requests.Load(),
+				Errors:   b.lat.Errors.Load(),
+				MeanUs:   b.lat.Latency.MeanMicros(),
+				P50Us:    b.lat.Latency.QuantileMicros(0.50),
+				P99Us:    b.lat.Latency.QuantileMicros(0.99),
+				MaxUs:    b.lat.Latency.MaxMicros(),
+			},
 		}
 		var owns []string
 		for name, gen := range b.dcs {

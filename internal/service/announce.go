@@ -120,7 +120,14 @@ func (a *Announcer) announce() error {
 		ID:          a.cfg.ID,
 		URL:         a.cfg.SelfURL,
 		BinaryAddr:  a.cfg.BinaryAddr,
+		Role:        a.svc.Role(),
 		Datacenters: make([]regproto.RegisterDatacenter, 0, len(gens)),
+	}
+	if a.svc.IsFollower() {
+		// The role is read per beat, not captured at start: a promotion flips
+		// the very next heartbeat to "primary" and the router hands ownership
+		// over without either process restarting.
+		req.PrimaryID = a.svc.PrimaryID()
 	}
 	for _, dc := range a.svc.Datacenters() {
 		req.Datacenters = append(req.Datacenters, regproto.RegisterDatacenter{Name: dc, Generation: gens[dc]})

@@ -243,6 +243,15 @@ func (b *BinaryServer) handleConn(c net.Conn) {
 			flush()
 			return
 		}
+		if h.Op.IsRepl() {
+			// Replication frames belong on the dedicated replication listener.
+			// Rejected before the payload fill: repl opcodes carry the 64 MiB
+			// replication cap through ParseHeader, and honoring one here would
+			// let any public client balloon the connection buffer.
+			b.framingErrors.Add(1)
+			flush()
+			return
+		}
 		if !cr.fill(wire.HeaderSize+int(h.Len), time.Now().Add(binaryIdleTimeout)) {
 			b.framingErrors.Add(1)
 			flush()
@@ -380,6 +389,9 @@ func (b *BinaryServer) doSelect(out []byte, id uint64, payload []byte, dcNames m
 		time.Duration(m.HoldMillis)*time.Millisecond, ledger.Meta{}, tr)
 	if err != nil {
 		out = out[:mark] // drop the half-built frame
+		if errors.Is(err, ErrFollower) {
+			return fail(out, id, 503, err.Error())
+		}
 		return fail(out, id, 500, err.Error())
 	}
 	var expiresIn float64
@@ -420,6 +432,9 @@ func (b *BinaryServer) doRelease(out []byte, id uint64, payload []byte, dcNames 
 		if errors.Is(err, ledger.ErrUnknownLease) {
 			return fail(out, id, 404, "unknown lease")
 		}
+		if errors.Is(err, ErrFollower) {
+			return fail(out, id, 503, err.Error())
+		}
 		return fail(out, id, 500, err.Error())
 	}
 	mark := len(out)
@@ -453,6 +468,9 @@ func (b *BinaryServer) doRenew(out []byte, id uint64, payload []byte, dcNames ma
 	if err != nil {
 		if errors.Is(err, ledger.ErrUnknownLease) {
 			return fail(out, id, 404, "unknown lease")
+		}
+		if errors.Is(err, ErrFollower) {
+			return fail(out, id, 503, err.Error())
 		}
 		return fail(out, id, 500, err.Error())
 	}

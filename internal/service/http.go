@@ -95,7 +95,7 @@ type APIOptions struct {
 }
 
 // apiEndpoints names the instrumented endpoints, in /metrics display order.
-var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "renew", "release", "place", "telemetry", "leases", "healthz", "metrics"}
+var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "renew", "release", "place", "telemetry", "leases", "promote", "healthz", "metrics"}
 
 // NewAPI wraps a service in its HTTP handler with default (open) options.
 func NewAPI(svc *Service) *API { return NewAPIWith(svc, APIOptions{}) }
@@ -149,6 +149,7 @@ func NewAPIWith(svc *Service, opts APIOptions) *API {
 	a.mux.HandleFunc("POST /v1/{dc}/place", a.instrument("place", a.handlePlace))
 	a.mux.HandleFunc("POST /v1/{dc}/telemetry", a.instrument("telemetry", a.handleTelemetry))
 	a.mux.HandleFunc("GET /v1/{dc}/leases", a.instrument("leases", a.handleLeases))
+	a.mux.HandleFunc("POST /v1/promote", a.instrument("promote", a.handlePromote))
 	a.mux.HandleFunc("GET /healthz", a.instrument("healthz", a.handleHealthz))
 	a.mux.HandleFunc("GET /metrics", a.instrument("metrics", a.handleMetrics))
 	return a
@@ -541,6 +542,10 @@ func (a *API) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := a.svc.Ingest(dc, samples)
 	if err != nil {
+		if errors.Is(err, ErrFollower) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
@@ -653,6 +658,13 @@ func (a *API) handleSelect(w http.ResponseWriter, r *http.Request) {
 			time.Duration(req.HoldSeconds*float64(time.Second)),
 			ledger.Meta{JobID: req.JobID, Owner: req.Owner}, tr)
 		if err != nil {
+			if errors.Is(err, ErrFollower) {
+				// Reserving selects are writes; the router pins them to the
+				// primary, so landing here means a client went direct. 503 is
+				// retryable against the right node.
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+				return
+			}
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -797,6 +809,10 @@ func (a *API) handleRenew(w http.ResponseWriter, r *http.Request) {
 	}
 	lease, err := a.svc.Renew(dc, req.Lease, time.Duration(req.HoldSeconds*float64(time.Second)))
 	if err != nil {
+		if errors.Is(err, ErrFollower) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		if errors.Is(err, ledger.ErrUnknownLease) {
 			// Never issued, already released, or reclaimed by the expiry
 			// sweep — a renew cannot resurrect a lease, it can only extend
@@ -848,6 +864,10 @@ func (a *API) handleRelease(w http.ResponseWriter, r *http.Request) {
 	}
 	lease, err := a.svc.Release(dc, req.Lease)
 	if err != nil {
+		if errors.Is(err, ErrFollower) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		if errors.Is(err, ledger.ErrUnknownLease) {
 			// Never issued, already released, or reclaimed by the expiry
 			// sweep — idempotent releases by retrying clients land here.
@@ -927,6 +947,33 @@ func (a *API) handlePlace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// promoteResponse reports a promotion attempt. Promoted is false when the
+// node already is (or just became) primary — the call is idempotent, so a
+// router retrying against a winner it already promoted gets a clean 200.
+type promoteResponse struct {
+	Promoted bool   `json:"promoted"`
+	Role     string `json:"role"`
+	NodeID   string `json:"node_id"`
+}
+
+// handlePromote turns a follower into a primary: it detaches from the
+// replication stream, keeps the replicated ledger (lease conservation
+// survives the handoff), and starts the refresh and sweep loops. The router
+// POSTs this when a primary stops beating; it shares the ingest bearer token
+// because an open promotion endpoint would let anyone split the brain.
+func (a *API) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !httpjson.BearerAuthorized(r, a.opts.IngestToken) {
+		writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+		return
+	}
+	promoted := a.svc.Promote()
+	writeJSON(w, http.StatusOK, promoteResponse{
+		Promoted: promoted,
+		Role:     a.svc.Role(),
+		NodeID:   a.svc.NodeID(),
+	})
+}
+
 type healthzResponse struct {
 	Status      string `json:"status"`
 	Datacenters int    `json:"datacenters"`
@@ -992,6 +1039,11 @@ type reclusterStatsJSON struct {
 	ReusedClasses  int  `json:"reused_classes"`
 	SplicedServers int  `json:"spliced_servers"`
 	FullRebuild    bool `json:"full_rebuild"`
+	// DriftThreshold is the warm path's current (auto-tuned) drift gate;
+	// FullAgreement is the last full rebuild's warm-vs-oracle clustering
+	// agreement in [0,1], or -1 while unmeasured.
+	DriftThreshold float64 `json:"drift_threshold"`
+	FullAgreement  float64 `json:"full_agreement"`
 }
 
 // ledgerStatsJSON is the allocation ledger's books on /metrics. The *_millis
@@ -1021,6 +1073,10 @@ type ledgerStatsJSON struct {
 	Conflicts             uint64    `json:"conflicts"`
 	StaleRetries          uint64    `json:"stale_retries"`
 	AllocatedCoresByClass []float64 `json:"allocated_cores_by_class"`
+	// ReserveFloorMillisByClass is the admission floor withheld from each
+	// class between refreshes — the live-utilization correction the ledger
+	// subtracts from build-time capacity before admitting a reserve.
+	ReserveFloorMillisByClass []int64 `json:"reserve_floor_millis_by_class"`
 }
 
 // binaryStatsJSON is the binary listener's /metrics section: the same
@@ -1034,12 +1090,37 @@ type binaryStatsJSON struct {
 	Endpoints     map[string]endpointStats `json:"endpoints"`
 }
 
+// replicationStatsJSON is the node's replication role and stream health on
+// /metrics. Follower fields (primary_id, apply lag, applied counters) are
+// meaningful when role is "follower"; followers/frames_shipped when it is a
+// primary shipping to someone.
+type replicationStatsJSON struct {
+	Role               string            `json:"role"`
+	NodeID             string            `json:"node_id"`
+	PrimaryID          string            `json:"primary_id,omitempty"`
+	Connected          bool              `json:"connected"`
+	Reconnects         uint64            `json:"reconnects"`
+	Promotions         uint64            `json:"promotions"`
+	SnapshotsApplied   uint64            `json:"snapshots_applied"`
+	DeltasApplied      uint64            `json:"deltas_applied"`
+	BeatsApplied       uint64            `json:"beats_applied"`
+	ApplyLagMeanUs     float64           `json:"apply_lag_mean_us"`
+	ApplyLagP99Us      uint64            `json:"apply_lag_p99_us"`
+	ApplyLagMaxUs      uint64            `json:"apply_lag_max_us"`
+	AppliedGenerations map[string]uint64 `json:"applied_generations,omitempty"`
+	LastApplySeconds   float64           `json:"last_apply_seconds"`
+	Followers          int               `json:"followers"`
+	FramesShipped      uint64            `json:"frames_shipped"`
+	ShipErrors         uint64            `json:"ship_errors"`
+}
+
 type metricsResponse struct {
 	UptimeSeconds float64                   `json:"uptime_seconds"`
 	TotalRequests uint64                    `json:"total_requests"`
 	QPS           float64                   `json:"qps"`
 	Endpoints     map[string]endpointStats  `json:"endpoints"`
 	Binary        *binaryStatsJSON          `json:"binary,omitempty"`
+	Replication   replicationStatsJSON      `json:"replication"`
 	Datacenters   map[string]shardStatsJSON `json:"datacenters"`
 }
 
@@ -1094,6 +1175,26 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if uptime > 0 {
 		resp.QPS = float64(resp.TotalRequests) / uptime
 	}
+	rst := a.svc.ReplicationStats()
+	resp.Replication = replicationStatsJSON{
+		Role:               rst.Role,
+		NodeID:             rst.NodeID,
+		PrimaryID:          rst.PrimaryID,
+		Connected:          rst.Connected,
+		Reconnects:         rst.Reconnects,
+		Promotions:         rst.Promotions,
+		SnapshotsApplied:   rst.SnapshotsApplied,
+		DeltasApplied:      rst.DeltasApplied,
+		BeatsApplied:       rst.BeatsApplied,
+		ApplyLagMeanUs:     rst.ApplyLagMeanUs,
+		ApplyLagP99Us:      rst.ApplyLagP99Us,
+		ApplyLagMaxUs:      rst.ApplyLagMaxUs,
+		AppliedGenerations: rst.AppliedGenerations,
+		LastApplySeconds:   rst.LastApplyAge.Seconds(),
+		Followers:          rst.Followers,
+		FramesShipped:      rst.FramesShipped,
+		ShipErrors:         rst.ShipErrors,
+	}
 	for _, dc := range a.svc.Datacenters() {
 		st, ok := a.svc.Stats(dc)
 		if !ok {
@@ -1136,26 +1237,29 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				ReusedClasses:  st.Recluster.ReusedClasses,
 				SplicedServers: st.Recluster.SplicedServers,
 				FullRebuild:    st.Recluster.FullRebuild,
+				DriftThreshold: st.Recluster.DriftThreshold,
+				FullAgreement:  st.Recluster.FullAgreement,
 			},
 			Ledger: ledgerStatsJSON{
-				ActiveLeases:          st.Ledger.ActiveLeases,
-				OutstandingCores:      ledger.CoresOf(st.Ledger.OutstandingMillis),
-				ReservedCores:         ledger.CoresOf(st.Ledger.ReservedMillis),
-				ReleasedCores:         ledger.CoresOf(st.Ledger.ReleasedMillis),
-				ExpiredCores:          ledger.CoresOf(st.Ledger.ExpiredMillis),
-				ForfeitedCores:        ledger.CoresOf(st.Ledger.ForfeitedMillis),
-				OutstandingMillis:     st.Ledger.OutstandingMillis,
-				ReservedMillis:        st.Ledger.ReservedMillis,
-				ReleasedMillis:        st.Ledger.ReleasedMillis,
-				ExpiredMillis:         st.Ledger.ExpiredMillis,
-				ForfeitedMillis:       st.Ledger.ForfeitedMillis,
-				Reserves:              st.Ledger.Reserves,
-				Releases:              st.Ledger.Releases,
-				Renews:                st.Ledger.Renews,
-				Expiries:              st.Ledger.Expiries,
-				Conflicts:             st.Ledger.Conflicts,
-				StaleRetries:          st.StaleRetries,
-				AllocatedCoresByClass: alloc,
+				ActiveLeases:              st.Ledger.ActiveLeases,
+				OutstandingCores:          ledger.CoresOf(st.Ledger.OutstandingMillis),
+				ReservedCores:             ledger.CoresOf(st.Ledger.ReservedMillis),
+				ReleasedCores:             ledger.CoresOf(st.Ledger.ReleasedMillis),
+				ExpiredCores:              ledger.CoresOf(st.Ledger.ExpiredMillis),
+				ForfeitedCores:            ledger.CoresOf(st.Ledger.ForfeitedMillis),
+				OutstandingMillis:         st.Ledger.OutstandingMillis,
+				ReservedMillis:            st.Ledger.ReservedMillis,
+				ReleasedMillis:            st.Ledger.ReleasedMillis,
+				ExpiredMillis:             st.Ledger.ExpiredMillis,
+				ForfeitedMillis:           st.Ledger.ForfeitedMillis,
+				Reserves:                  st.Ledger.Reserves,
+				Releases:                  st.Ledger.Releases,
+				Renews:                    st.Ledger.Renews,
+				Expiries:                  st.Ledger.Expiries,
+				Conflicts:                 st.Ledger.Conflicts,
+				StaleRetries:              st.StaleRetries,
+				AllocatedCoresByClass:     alloc,
+				ReserveFloorMillisByClass: st.Ledger.ReserveFloorMillisByClass,
 			},
 		}
 	}

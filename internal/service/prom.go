@@ -2,6 +2,7 @@ package service
 
 import (
 	"net/http"
+	"strconv"
 	"time"
 
 	"harvest/internal/ledger"
@@ -127,6 +128,65 @@ func (a *API) writeProm(w http.ResponseWriter) {
 		p.Uint("harvestd_ledger_conflicts_total", ls, led.Conflicts)
 	}
 
+	// Admission floors: the milli-cores withheld from each class between
+	// refreshes because live utilization ran ahead of the snapshot's view.
+	p.Metric("harvestd_reserve_floor_millis", "gauge", "Milli-cores withheld from admission per class by the live-utilization floor.")
+	for _, row := range rows {
+		for i, m := range row.st.Ledger.ReserveFloorMillisByClass {
+			if m != 0 {
+				p.Int("harvestd_reserve_floor_millis", obs.Labels("dc", row.dc, "class", strconv.Itoa(i)), m)
+			}
+		}
+	}
+
+	// Drift-threshold feedback loop: the warm path's current gate and the
+	// last full rebuild's warm-vs-oracle agreement (-1 until measured).
+	p.Metric("harvestd_drift_threshold", "gauge", "Auto-tuned warm-recluster drift threshold.")
+	p.Metric("harvestd_full_rebuild_agreement", "gauge", "Clustering agreement between warm path and last full rebuild (-1 until measured).")
+	for _, row := range rows {
+		ls := obs.Labels("dc", row.dc)
+		if row.st.Recluster.DriftThreshold > 0 {
+			p.Float("harvestd_drift_threshold", ls, row.st.Recluster.DriftThreshold)
+		}
+		p.Float("harvestd_full_rebuild_agreement", ls, row.st.Recluster.FullAgreement)
+	}
+
+	// Replication: role, stream health, and ship→apply lag (follower side).
+	rst := a.svc.ReplicationStats()
+	p.Metric("harvestd_replication_role", "gauge", "1 when this node is the primary, 0 when a follower.")
+	p.Float("harvestd_replication_role", obs.Labels("node", rst.NodeID), boolFloat(rst.Role == "primary"))
+	p.Metric("harvestd_replication_followers", "gauge", "Follower connections currently attached (primary side).")
+	p.Int("harvestd_replication_followers", "", int64(rst.Followers))
+	p.Metric("harvestd_replication_frames_shipped_total", "counter", "Replication frames shipped to followers.")
+	p.Uint("harvestd_replication_frames_shipped_total", "", rst.FramesShipped)
+	p.Metric("harvestd_replication_ship_errors_total", "counter", "Replication frame ship failures.")
+	p.Uint("harvestd_replication_ship_errors_total", "", rst.ShipErrors)
+	p.Metric("harvestd_replication_connected", "gauge", "1 when the follower's stream to its primary is up.")
+	p.Float("harvestd_replication_connected", "", boolFloat(rst.Connected))
+	p.Metric("harvestd_replication_snapshots_applied_total", "counter", "Full replication snapshots applied.")
+	p.Uint("harvestd_replication_snapshots_applied_total", "", rst.SnapshotsApplied)
+	p.Metric("harvestd_replication_deltas_applied_total", "counter", "Incremental replication deltas applied.")
+	p.Uint("harvestd_replication_deltas_applied_total", "", rst.DeltasApplied)
+	p.Metric("harvestd_replication_beats_applied_total", "counter", "Replication ledger beats applied.")
+	p.Uint("harvestd_replication_beats_applied_total", "", rst.BeatsApplied)
+	p.Metric("harvestd_replication_promotions_total", "counter", "Follower-to-primary promotions on this node.")
+	p.Uint("harvestd_replication_promotions_total", "", rst.Promotions)
+	p.Metric("harvestd_replication_apply_lag_microseconds", "histogram", "Primary-send to follower-applied lag per replication frame, in microseconds.")
+	if h := a.svc.ReplicationLagHistogram(); h != nil {
+		p.Histogram("harvestd_replication_apply_lag_microseconds", "", h)
+	}
+	p.Metric("harvestd_replication_generation", "gauge", "Last replication generation applied, by datacenter (follower side).")
+	for dc, gen := range rst.AppliedGenerations {
+		p.Uint("harvestd_replication_generation", obs.Labels("dc", dc), gen)
+	}
+
 	w.Header().Set("Content-Type", obs.PromContentType)
 	w.Write(p.Bytes())
+}
+
+func boolFloat(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }

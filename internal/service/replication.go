@@ -1,0 +1,666 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/ledger"
+	"harvest/internal/signalproc"
+	"harvest/internal/tenant"
+	"harvest/internal/wire"
+)
+
+// Replica read fan-out: a primary harvestd streams (snapshot, ledger-occupancy)
+// generations to read-only followers over the binary wire's replication
+// opcodes, so a router can spread the read path (classes, server-class,
+// dry-run select, place) across machines while writes stay pinned to the
+// primary.
+//
+// The stream is a one-way push per follower connection:
+//
+//	follower           primary
+//	   | --- OpReplHello --->|   follower id + held generations
+//	   | <- OpReplHelloResp -|   primary id
+//	   | <---- OpReplSnap ---|   full snapshot (join / fall-behind)
+//	   | <---- OpReplDelta --|   next generation; unchanged classes by reference
+//	   | <---- OpReplBeat ---|   same generation: refreshed usage + ledger books
+//
+// Deltas reuse the warm-recluster structural sharing: a class whose Servers
+// slice is pointer-shared with the previous generation (spliceMembership's
+// reuse) has provably identical membership, so the frame carries only its id,
+// summary stats and centroid — steady-state shipping is O(drifted tenants),
+// not O(fleet). A delta whose PrevGeneration does not match the follower
+// exactly drops the connection; the rejoin handshake then gets a full
+// snapshot. The ledger rides along in full on every frame (bounded by live
+// leases), which is what makes promotion safe: the follower's books are a
+// prefix of the primary's, and conservation holds on whatever frame applied
+// last.
+type replState struct {
+	// Follower side.
+	primaryID   atomic.Pointer[string]
+	stopFollow  chan struct{}
+	promoteOnce sync.Once
+	conn        atomic.Pointer[net.Conn]
+	// applyMu serializes frame application and is the promotion barrier:
+	// Promote flips the role and then takes the mutex, so no frame mutates
+	// the books after Promote returns.
+	applyMu       sync.Mutex
+	applyLag      Histogram
+	connected     atomic.Bool
+	snapsApplied  atomic.Uint64
+	deltasApplied atomic.Uint64
+	beatsApplied  atomic.Uint64
+	reconnects    atomic.Uint64
+	promotions    atomic.Uint64
+
+	// Primary side.
+	mu            sync.Mutex
+	ln            net.Listener
+	conns         map[net.Conn]struct{}
+	followers     atomic.Int64
+	framesShipped atomic.Uint64
+	shipErrors    atomic.Uint64
+}
+
+// shutdown closes the replication listener and every live connection so the
+// accept/send/apply goroutines unblock; Close's wg.Wait then reaps them.
+func (r *replState) shutdown() {
+	r.mu.Lock()
+	if r.ln != nil {
+		r.ln.Close()
+	}
+	for nc := range r.conns {
+		nc.Close()
+	}
+	r.mu.Unlock()
+	if c := r.conn.Load(); c != nil {
+		(*c).Close()
+	}
+}
+
+// replHandshakeTimeout bounds the hello exchange on both ends;
+// replWriteTimeout bounds each shipped frame so one stuck follower cannot
+// wedge its sender goroutine.
+const (
+	replHandshakeTimeout = 5 * time.Second
+	replWriteTimeout     = 5 * time.Second
+)
+
+// readLiveness is how long a follower waits for the next frame before
+// declaring the stream dead: generous against one missed tick, far under a
+// refresh interval.
+func (s *Service) readLiveness() time.Duration {
+	d := 10 * s.cfg.ReplInterval
+	if d < 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// ServeReplication starts streaming replication frames to every follower
+// that connects on ln. The listener is owned by the service from here on:
+// Close shuts it down. Call on a primary only; a follower serving replication
+// would re-ship second-hand state.
+func (s *Service) ServeReplication(ln net.Listener) {
+	s.repl.mu.Lock()
+	s.repl.ln = ln
+	if s.repl.conns == nil {
+		s.repl.conns = make(map[net.Conn]struct{})
+	}
+	s.repl.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.repl.mu.Lock()
+			s.repl.conns[nc] = struct{}{}
+			s.repl.mu.Unlock()
+			s.wg.Add(1)
+			go s.serveReplConn(nc)
+		}
+	}()
+}
+
+// serveReplConn handles one follower: handshake, then an unacknowledged push
+// of every shard's state each ReplInterval. Any error drops the connection;
+// the follower reconnects and re-handshakes.
+func (s *Service) serveReplConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		nc.Close()
+		s.repl.mu.Lock()
+		delete(s.repl.conns, nc)
+		s.repl.mu.Unlock()
+	}()
+
+	var scratch []byte
+	br := bufio.NewReaderSize(nc, 16<<10)
+	nc.SetReadDeadline(time.Now().Add(replHandshakeTimeout))
+	h, payload, err := wire.ReadFrame(br, &scratch)
+	if err != nil || h.Op != wire.OpReplHello {
+		return
+	}
+	var hello wire.ReplHello
+	if err := hello.Decode(payload); err != nil {
+		return
+	}
+	nc.SetWriteDeadline(time.Now().Add(replHandshakeTimeout))
+	if _, err := nc.Write(wire.AppendReplHelloResp(nil, h.ID, &wire.ReplHelloResp{PrimaryID: s.cfg.NodeID})); err != nil {
+		return
+	}
+
+	// A follower already holding a shard's current generation (reconnect
+	// without a refresh in between) starts on beats instead of a full resend:
+	// generations are immutable, so holding the number means holding the state.
+	shipped := make(map[string]*Snapshot, len(s.order))
+	for _, d := range hello.DCs {
+		if sh, ok := s.shards[d.DC]; ok {
+			if snap := sh.snap.Load(); snap.Generation == d.Generation {
+				shipped[d.DC] = snap
+			}
+		}
+	}
+	slogger.Info("replication follower connected", "follower", hello.FollowerID)
+	s.repl.followers.Add(1)
+	defer s.repl.followers.Add(-1)
+
+	ticker := time.NewTicker(s.cfg.ReplInterval)
+	defer ticker.Stop()
+	var buf []byte
+	for {
+		for _, dc := range s.order {
+			frame, next := s.buildReplFrame(buf[:0], s.shards[dc], shipped[dc])
+			nc.SetWriteDeadline(time.Now().Add(replWriteTimeout))
+			if _, err := nc.Write(frame); err != nil {
+				s.repl.shipErrors.Add(1)
+				slogger.Warn("replication ship failed, dropping follower", "follower", hello.FollowerID, "err", err)
+				return
+			}
+			s.repl.framesShipped.Add(1)
+			shipped[dc] = next
+			buf = frame
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// buildReplFrame encodes the next frame for one shard given the snapshot the
+// follower last received: a beat when the generation is unchanged, a delta
+// when the follower is exactly one generation behind, a full snapshot
+// otherwise. Returns the frame and the snapshot it brings the follower to.
+func (s *Service) buildReplFrame(dst []byte, sh *shard, prev *Snapshot) ([]byte, *Snapshot) {
+	snap := sh.snap.Load()
+	now := time.Now().UnixNano()
+	led := replLedgerOf(sh.led.Export())
+	usage := s.UsageFor(snap)
+
+	if prev == snap {
+		m := wire.ReplBeat{
+			DC:           sh.dc,
+			Generation:   snap.Generation,
+			SentUnixNano: now,
+			AsOfSeconds:  sh.rings.Horizon().Seconds(),
+			Usage:        make([]wire.ReplClassUsage, 0, len(snap.Clustering.Classes)),
+			Ledger:       led,
+		}
+		for _, cls := range snap.Clustering.Classes {
+			m.Usage = append(m.Usage, wire.ReplClassUsage{ID: uint32(cls.ID), Current: usage[cls.ID].CurrentUtilization})
+		}
+		return wire.AppendReplBeat(dst, 0, &m), snap
+	}
+
+	op := wire.OpReplSnap
+	m := wire.ReplSnapshot{
+		DC:              sh.dc,
+		Generation:      snap.Generation,
+		SentUnixNano:    now,
+		AsOfSeconds:     snap.AsOf.Seconds(),
+		BuiltAtUnixNano: snap.BuiltAt.UnixNano(),
+		Classes:         make([]wire.ReplClass, 0, len(snap.Clustering.Classes)),
+		Ledger:          led,
+	}
+	if prev != nil && snap.Generation == prev.Generation+1 {
+		op = wire.OpReplDelta
+		m.PrevGeneration = prev.Generation
+	}
+	for _, cls := range snap.Clustering.Classes {
+		rc := wire.ReplClass{
+			ID:       uint32(cls.ID),
+			Pattern:  uint8(cls.Pattern),
+			Avg:      cls.AvgUtilization,
+			Peak:     cls.PeakUtilization,
+			Current:  usage[cls.ID].CurrentUtilization,
+			Centroid: cls.Centroid,
+		}
+		if op == wire.OpReplDelta {
+			if pc := sharedPrevClass(prev.Clustering, cls); pc != nil {
+				rc.Ref = true
+				rc.PrevID = uint32(pc.ID)
+				m.Classes = append(m.Classes, rc)
+				continue
+			}
+		}
+		rc.Tenants = make([]int64, len(cls.Tenants))
+		for i, tid := range cls.Tenants {
+			rc.Tenants[i] = int64(tid)
+		}
+		rc.Servers = make([]int64, len(cls.Servers))
+		for i, srv := range cls.Servers {
+			rc.Servers[i] = int64(srv)
+		}
+		m.Classes = append(m.Classes, rc)
+	}
+	return wire.AppendReplSnapshot(dst, op, 0, &m), snap
+}
+
+// sharedPrevClass returns the previous generation's class whose Servers slice
+// is pointer-shared with cls — spliceMembership's reuse, which guarantees the
+// tenant and server membership is identical — or nil.
+func sharedPrevClass(prev *core.Clustering, cls *core.UtilizationClass) *core.UtilizationClass {
+	if len(cls.Servers) == 0 || len(cls.Tenants) == 0 {
+		return nil
+	}
+	pid, ok := prev.ClassOfTenant(cls.Tenants[0])
+	if !ok {
+		return nil
+	}
+	pc := prev.Class(pid)
+	if pc == nil || len(pc.Servers) != len(cls.Servers) || &pc.Servers[0] != &cls.Servers[0] {
+		return nil
+	}
+	return pc
+}
+
+// followLoop is the follower's outer loop: dial the primary, run the stream,
+// reconnect with backoff until promoted or closed.
+func (s *Service) followLoop() {
+	defer s.wg.Done()
+	backoff := 200 * time.Millisecond
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.repl.stopFollow:
+			return
+		default:
+		}
+		nc, err := net.DialTimeout("tcp", s.cfg.FollowAddr, replHandshakeTimeout)
+		if err == nil {
+			s.repl.conn.Store(&nc)
+			s.repl.connected.Store(true)
+			err = s.runFollower(nc)
+			s.repl.connected.Store(false)
+			nc.Close()
+		}
+		if err != nil && !s.stopping() {
+			slogger.Warn("replication stream lost; reconnecting", "primary", s.cfg.FollowAddr, "err", err)
+		}
+		s.repl.reconnects.Add(1)
+		select {
+		case <-s.stop:
+			return
+		case <-s.repl.stopFollow:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+func (s *Service) stopping() bool {
+	select {
+	case <-s.stop:
+		return true
+	case <-s.repl.stopFollow:
+		return true
+	default:
+		return false
+	}
+}
+
+// runFollower performs the handshake and applies frames until the stream
+// breaks, the liveness deadline passes, or the node is promoted.
+func (s *Service) runFollower(nc net.Conn) error {
+	hello := wire.ReplHello{FollowerID: s.cfg.NodeID, DCs: make([]wire.ReplDCGen, 0, len(s.order))}
+	for _, dc := range s.order {
+		// Announce only generations actually applied from a primary (zero on
+		// first join): the boot snapshot is self-built and claiming its
+		// generation number could suppress the full resend that replaces it.
+		hello.DCs = append(hello.DCs, wire.ReplDCGen{DC: dc, Generation: s.shards[dc].replGen.Load()})
+	}
+	nc.SetWriteDeadline(time.Now().Add(replHandshakeTimeout))
+	if _, err := nc.Write(wire.AppendReplHello(nil, 1, &hello)); err != nil {
+		return err
+	}
+
+	var scratch []byte
+	br := bufio.NewReaderSize(nc, 64<<10)
+	nc.SetReadDeadline(time.Now().Add(replHandshakeTimeout))
+	h, payload, err := wire.ReadFrame(br, &scratch)
+	if err != nil {
+		return err
+	}
+	if h.Op != wire.OpReplHelloResp {
+		return fmt.Errorf("service: replication handshake got %v, want %v", h.Op, wire.OpReplHelloResp)
+	}
+	var resp wire.ReplHelloResp
+	if err := resp.Decode(payload); err != nil {
+		return err
+	}
+	pid := resp.PrimaryID
+	s.repl.primaryID.Store(&pid)
+	slogger.Info("following primary", "primary", pid, "addr", s.cfg.FollowAddr)
+
+	for {
+		nc.SetReadDeadline(time.Now().Add(s.readLiveness()))
+		h, payload, err := wire.ReadFrame(br, &scratch)
+		if err != nil {
+			return err
+		}
+		if err := s.applyReplFrame(h.Op, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// applyReplFrame decodes and applies one pushed frame, observing the
+// end-to-end ship+apply lag against the sender's timestamp (the intended
+// deployment shape is scale-out on one machine, so the clocks agree).
+func (s *Service) applyReplFrame(op wire.Op, payload []byte) error {
+	var sent int64
+	switch op {
+	case wire.OpReplSnap, wire.OpReplDelta:
+		var m wire.ReplSnapshot
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		sent = m.SentUnixNano
+		if err := s.applyReplSnapshot(op == wire.OpReplDelta, &m); err != nil {
+			return err
+		}
+		if op == wire.OpReplSnap {
+			s.repl.snapsApplied.Add(1)
+		} else {
+			s.repl.deltasApplied.Add(1)
+		}
+	case wire.OpReplBeat:
+		var m wire.ReplBeat
+		if err := m.Decode(payload); err != nil {
+			return err
+		}
+		sent = m.SentUnixNano
+		if err := s.applyReplBeat(&m); err != nil {
+			return err
+		}
+		s.repl.beatsApplied.Add(1)
+	default:
+		return fmt.Errorf("service: unexpected replication opcode %v", op)
+	}
+	if sent > 0 {
+		if lag := time.Since(time.Unix(0, sent)); lag > 0 {
+			s.repl.applyLag.Observe(lag)
+		}
+	}
+	return nil
+}
+
+// applyReplSnapshot rebuilds a shard's snapshot from a full or delta frame —
+// the same reassembly path persistence restore uses — and applies the shipped
+// ledger state in place. Ref classes resolve against the follower's current
+// snapshot, which a delta's PrevGeneration must match exactly.
+func (s *Service) applyReplSnapshot(delta bool, m *wire.ReplSnapshot) error {
+	sh, ok := s.shards[m.DC]
+	if !ok {
+		return fmt.Errorf("service: replicated snapshot for unknown datacenter %q", m.DC)
+	}
+	s.repl.applyMu.Lock()
+	defer s.repl.applyMu.Unlock()
+	if !s.follower.Load() {
+		return ErrFollower // promoted mid-frame: drop the stream
+	}
+	prev := sh.snap.Load()
+	if delta && prev.Generation != m.PrevGeneration {
+		return fmt.Errorf("service: %s: delta against generation %d, have %d", m.DC, m.PrevGeneration, prev.Generation)
+	}
+	if len(m.Classes) == 0 {
+		return fmt.Errorf("service: %s: replicated snapshot has no classes", m.DC)
+	}
+
+	classes := make([]*core.UtilizationClass, 0, len(m.Classes))
+	usage := make(map[core.ClassID]core.ClassUsage, len(m.Classes))
+	for i := range m.Classes {
+		rc := &m.Classes[i]
+		if int(rc.Pattern) >= signalproc.NumPatterns {
+			return fmt.Errorf("service: %s: class %d: bad pattern %d", m.DC, rc.ID, rc.Pattern)
+		}
+		cls := &core.UtilizationClass{
+			ID:              core.ClassID(rc.ID),
+			Pattern:         signalproc.Pattern(rc.Pattern),
+			AvgUtilization:  rc.Avg,
+			PeakUtilization: rc.Peak,
+			Centroid:        rc.Centroid,
+		}
+		if rc.Ref {
+			if !delta {
+				return fmt.Errorf("service: %s: ref class %d in a full snapshot", m.DC, rc.ID)
+			}
+			pc := prev.Clustering.Class(core.ClassID(rc.PrevID))
+			if pc == nil {
+				return fmt.Errorf("service: %s: ref class %d names unknown previous class %d", m.DC, rc.ID, rc.PrevID)
+			}
+			cls.Tenants, cls.Servers = pc.Tenants, pc.Servers
+		} else {
+			cls.Tenants = make([]tenant.ID, len(rc.Tenants))
+			for j, tid := range rc.Tenants {
+				id := tenant.ID(tid)
+				if sh.pop.ByID(id) == nil {
+					return fmt.Errorf("service: %s: class %d names unknown tenant %d (population mismatch — same -dcs/-scale/-seed as the primary?)", m.DC, rc.ID, tid)
+				}
+				cls.Tenants[j] = id
+			}
+			cls.Servers = make([]tenant.ServerID, len(rc.Servers))
+			for j, srv := range rc.Servers {
+				cls.Servers[j] = tenant.ServerID(srv)
+			}
+		}
+		classes = append(classes, cls)
+		usage[cls.ID] = core.ClassUsage{CurrentUtilization: rc.Current}
+	}
+	clustering, err := core.NewClusteringFromClasses(classes)
+	if err != nil {
+		return fmt.Errorf("service: %s: replicated clustering: %w", m.DC, err)
+	}
+	start := time.Now()
+	var schemePrev *Snapshot
+	if delta {
+		schemePrev = prev
+	}
+	snap, err := assembleSnapshot(sh.dc, sh.pop, sh.rings, s.cfg, m.Generation, clustering, start, schemePrev)
+	if err != nil {
+		return fmt.Errorf("service: %s: assembling replicated snapshot: %w", m.DC, err)
+	}
+	snap.Usage = usage
+	snap.AsOf = time.Duration(m.AsOfSeconds * float64(time.Second))
+	snap.BuiltAt = time.Unix(0, m.BuiltAtUnixNano)
+	sh.rings.AdvanceClock(snap.AsOf)
+
+	sh.led.ApplyState(ledgerStateOf(&m.Ledger), len(classes))
+	sh.snap.Store(snap)
+	s.buildUsageView(sh, snap, usage, sh.rings.TotalSamples())
+	sh.replGen.Store(m.Generation)
+	sh.replAppliedAt.Store(time.Now().UnixNano())
+	return nil
+}
+
+// applyReplBeat refreshes a shard's usage view and ledger books without
+// touching the clustering: same generation, new numbers.
+func (s *Service) applyReplBeat(m *wire.ReplBeat) error {
+	sh, ok := s.shards[m.DC]
+	if !ok {
+		return fmt.Errorf("service: replicated beat for unknown datacenter %q", m.DC)
+	}
+	s.repl.applyMu.Lock()
+	defer s.repl.applyMu.Unlock()
+	if !s.follower.Load() {
+		return ErrFollower
+	}
+	snap := sh.snap.Load()
+	if snap.Generation != m.Generation {
+		return fmt.Errorf("service: %s: beat for generation %d, have %d", m.DC, m.Generation, snap.Generation)
+	}
+	usage := make(map[core.ClassID]core.ClassUsage, len(snap.Clustering.Classes))
+	for _, u := range m.Usage {
+		usage[core.ClassID(u.ID)] = core.ClassUsage{CurrentUtilization: u.Current}
+	}
+	for _, cls := range snap.Clustering.Classes {
+		if _, ok := usage[cls.ID]; !ok {
+			usage[cls.ID] = snap.Usage[cls.ID]
+		}
+	}
+	sh.rings.AdvanceClock(time.Duration(m.AsOfSeconds * float64(time.Second)))
+	sh.led.ApplyState(ledgerStateOf(&m.Ledger), len(snap.Clustering.Classes))
+	s.buildUsageView(sh, snap, usage, sh.rings.TotalSamples())
+	sh.replAppliedAt.Store(time.Now().UnixNano())
+	return nil
+}
+
+// replLedgerOf converts an exported ledger state to its wire form.
+func replLedgerOf(st ledger.State) wire.ReplLedger {
+	rl := wire.ReplLedger{
+		Generation:      st.Generation,
+		ReservedMillis:  st.ReservedMillis,
+		ReleasedMillis:  st.ReleasedMillis,
+		ExpiredMillis:   st.ExpiredMillis,
+		ForfeitedMillis: st.ForfeitedMillis,
+		Reserves:        st.Reserves,
+		Releases:        st.Releases,
+		Renews:          st.Renews,
+		Expiries:        st.Expiries,
+		Conflicts:       st.Conflicts,
+		Leases:          make([]wire.ReplLease, 0, len(st.Leases)),
+	}
+	for _, ls := range st.Leases {
+		wl := wire.ReplLease{ID: ls.ID, JobID: ls.JobID, Owner: ls.Owner, Grants: make([]wire.ReplGrant, len(ls.Grants))}
+		if !ls.ExpiresAt.IsZero() {
+			wl.ExpiresUnixNano = ls.ExpiresAt.UnixNano()
+		}
+		for i, g := range ls.Grants {
+			wl.Grants[i] = wire.ReplGrant{Class: uint32(g.Class), Millis: g.Millis}
+		}
+		rl.Leases = append(rl.Leases, wl)
+	}
+	return rl
+}
+
+// ledgerStateOf converts a wire ledger back to the state ApplyState consumes.
+func ledgerStateOf(m *wire.ReplLedger) ledger.State {
+	st := ledger.State{
+		Generation:      m.Generation,
+		ReservedMillis:  m.ReservedMillis,
+		ReleasedMillis:  m.ReleasedMillis,
+		ExpiredMillis:   m.ExpiredMillis,
+		ForfeitedMillis: m.ForfeitedMillis,
+		Reserves:        m.Reserves,
+		Releases:        m.Releases,
+		Renews:          m.Renews,
+		Expiries:        m.Expiries,
+		Conflicts:       m.Conflicts,
+		Leases:          make([]ledger.PersistedLease, 0, len(m.Leases)),
+	}
+	for _, wl := range m.Leases {
+		pl := ledger.PersistedLease{ID: wl.ID, JobID: wl.JobID, Owner: wl.Owner, Grants: make([]ledger.Grant, len(wl.Grants))}
+		if wl.ExpiresUnixNano != 0 {
+			pl.ExpiresAt = time.Unix(0, wl.ExpiresUnixNano)
+		}
+		for i, g := range wl.Grants {
+			pl.Grants[i] = ledger.Grant{Class: core.ClassID(g.Class), Millis: g.Millis}
+		}
+		st.Leases = append(st.Leases, pl)
+	}
+	return st
+}
+
+// ReplicationStats summarizes the node's replication role for /metrics.
+type ReplicationStats struct {
+	Role      string
+	NodeID    string
+	PrimaryID string
+	// Follower side: stream liveness, applied-frame counters, and the
+	// end-to-end ship+apply lag distribution (the gate: p99 under one
+	// refresh interval means reads are never more than a beat stale).
+	Connected        bool
+	Reconnects       uint64
+	Promotions       uint64
+	SnapshotsApplied uint64
+	DeltasApplied    uint64
+	BeatsApplied     uint64
+	ApplyLagMeanUs   float64
+	ApplyLagP99Us    uint64
+	ApplyLagMaxUs    uint64
+	// AppliedGenerations is each shard's last replicated generation (follower
+	// role; nil on a never-followed primary).
+	AppliedGenerations map[string]uint64
+	// LastApplyAge is the time since any frame applied (zero before the first).
+	LastApplyAge time.Duration
+	// Primary side: connected followers and cumulative ship counters.
+	Followers     int
+	FramesShipped uint64
+	ShipErrors    uint64
+}
+
+// ReplicationStats reports the node's replication state.
+func (s *Service) ReplicationStats() ReplicationStats {
+	st := ReplicationStats{
+		Role:             s.Role(),
+		NodeID:           s.cfg.NodeID,
+		PrimaryID:        s.PrimaryID(),
+		Connected:        s.repl.connected.Load(),
+		Reconnects:       s.repl.reconnects.Load(),
+		Promotions:       s.repl.promotions.Load(),
+		SnapshotsApplied: s.repl.snapsApplied.Load(),
+		DeltasApplied:    s.repl.deltasApplied.Load(),
+		BeatsApplied:     s.repl.beatsApplied.Load(),
+		ApplyLagMeanUs:   s.repl.applyLag.MeanMicros(),
+		ApplyLagP99Us:    s.repl.applyLag.QuantileMicros(0.99),
+		ApplyLagMaxUs:    s.repl.applyLag.MaxMicros(),
+		Followers:        int(s.repl.followers.Load()),
+		FramesShipped:    s.repl.framesShipped.Load(),
+		ShipErrors:       s.repl.shipErrors.Load(),
+	}
+	var latest int64
+	for _, dc := range s.order {
+		sh := s.shards[dc]
+		if gen := sh.replGen.Load(); gen > 0 {
+			if st.AppliedGenerations == nil {
+				st.AppliedGenerations = make(map[string]uint64, len(s.order))
+			}
+			st.AppliedGenerations[dc] = gen
+		}
+		if at := sh.replAppliedAt.Load(); at > latest {
+			latest = at
+		}
+	}
+	if latest > 0 {
+		st.LastApplyAge = time.Since(time.Unix(0, latest))
+	}
+	return st
+}
+
+// ReplicationLagHistogram exposes the follower's ship+apply lag histogram for
+// Prometheus exposition.
+func (s *Service) ReplicationLagHistogram() *Histogram { return &s.repl.applyLag }

@@ -1,0 +1,229 @@
+package service_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/ledger"
+	"harvest/internal/service"
+)
+
+func replTestConfig(nodeID string) service.Config {
+	cfg := testConfig()
+	cfg.NodeID = nodeID
+	cfg.ReplInterval = 25 * time.Millisecond
+	return cfg
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func checkLedgerConservation(t *testing.T, st ledger.Stats, who string) {
+	t.Helper()
+	if st.ReservedMillis != st.ReleasedMillis+st.ExpiredMillis+st.ForfeitedMillis+st.OutstandingMillis {
+		t.Fatalf("%s books do not conserve: reserved %d != released %d + expired %d + forfeited %d + outstanding %d",
+			who, st.ReservedMillis, st.ReleasedMillis, st.ExpiredMillis, st.ForfeitedMillis, st.OutstandingMillis)
+	}
+}
+
+// TestReplicationAndPromotion drives the full replica lifecycle end to end:
+// a follower joins and receives a full snapshot, tracks the primary through a
+// delta generation and ledger beats, rejects writes while following, and —
+// after the primary dies with leases outstanding — promotes with exactly
+// conserved books, no double-grants, and a working write path.
+func TestReplicationAndPromotion(t *testing.T) {
+	const dc = "DC-9"
+	primary, err := service.New(replTestConfig("p1"))
+	if err != nil {
+		t.Fatalf("New primary: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	primary.ServeReplication(ln)
+	primary.Start()
+
+	// Move the primary past its boot generation so the follower's join is a
+	// genuine full-snapshot ship, then put leases on the books: one released
+	// (history the follower must carry), one outstanding (the promotion
+	// cargo).
+	if err := primary.Refresh(dc); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	job := core.JobRequest{Type: core.JobMedium, MaxConcurrentCores: 2}
+	released, _, err := primary.SelectReserve(dc, job, 0)
+	if err != nil || !released.Reserved() {
+		t.Fatalf("SelectReserve (to release): %+v, %v", released, err)
+	}
+	if _, err := primary.Release(dc, released.Lease); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	outstanding, _, err := primary.SelectReserve(dc, job, -1)
+	if err != nil || !outstanding.Reserved() {
+		t.Fatalf("SelectReserve (outstanding): %+v, %v", outstanding, err)
+	}
+
+	fcfg := replTestConfig("f1")
+	fcfg.FollowAddr = ln.Addr().String()
+	follower, err := service.New(fcfg)
+	if err != nil {
+		t.Fatalf("New follower: %v", err)
+	}
+	follower.Start()
+	defer follower.Close()
+
+	if !follower.IsFollower() || follower.Role() != "follower" {
+		t.Fatalf("follower role = %q", follower.Role())
+	}
+
+	primarySnap, _ := primary.Snapshot(dc)
+	waitFor(t, "follower to apply the primary's generation", func() bool {
+		snap, _ := follower.Snapshot(dc)
+		fst, _ := follower.LedgerStats(dc)
+		pst, _ := primary.LedgerStats(dc)
+		return snap.Generation == primarySnap.Generation &&
+			fst.ReservedMillis == pst.ReservedMillis && fst.ActiveLeases == pst.ActiveLeases
+	})
+	if rst := follower.ReplicationStats(); rst.SnapshotsApplied == 0 {
+		t.Fatalf("follower joined without a full snapshot: %+v", rst)
+	}
+	if got := follower.PrimaryID(); got != "p1" {
+		t.Fatalf("follower PrimaryID = %q, want p1", got)
+	}
+
+	// Reads serve on the follower; writes must not.
+	sel, _, err := follower.Select(dc, job)
+	if err != nil || sel.Empty() {
+		t.Fatalf("follower read path: selection %+v, err %v", sel, err)
+	}
+	if _, _, err := follower.SelectReserve(dc, job, 0); !errors.Is(err, service.ErrFollower) {
+		t.Fatalf("follower reserving select: err = %v, want ErrFollower", err)
+	}
+	if _, err := follower.Release(dc, outstanding.Lease); !errors.Is(err, service.ErrFollower) {
+		t.Fatalf("follower release: err = %v, want ErrFollower", err)
+	}
+	if _, err := follower.Ingest(dc, []service.IngestSample{{Tenant: 0, Server: -1, Value: 0.5}}); !errors.Is(err, service.ErrFollower) {
+		t.Fatalf("follower ingest: err = %v, want ErrFollower", err)
+	}
+
+	// A refresh on the primary must reach the follower as an incremental
+	// delta (one generation ahead), not a full resend.
+	if err := primary.Refresh(dc); err != nil {
+		t.Fatalf("Refresh 2: %v", err)
+	}
+	waitFor(t, "follower to apply the delta generation", func() bool {
+		snap, _ := follower.Snapshot(dc)
+		return snap.Generation == primarySnap.Generation+1
+	})
+	if rst := follower.ReplicationStats(); rst.DeltasApplied == 0 {
+		t.Fatalf("generation advanced without a delta: %+v", rst)
+	}
+
+	// New books after the delta propagate via beats.
+	post, _, err := primary.SelectReserve(dc, job, -1)
+	if err != nil || !post.Reserved() {
+		t.Fatalf("SelectReserve (post-delta): %+v, %v", post, err)
+	}
+	waitFor(t, "beat to carry the new lease", func() bool {
+		fst, _ := follower.LedgerStats(dc)
+		pst, _ := primary.LedgerStats(dc)
+		return fst.ReservedMillis == pst.ReservedMillis && fst.ActiveLeases == pst.ActiveLeases
+	})
+
+	// Primary dies with leases outstanding; the follower takes over.
+	pst, _ := primary.LedgerStats(dc)
+	primary.Close()
+	if !follower.Promote() {
+		t.Fatal("Promote returned false on a follower")
+	}
+	if follower.Promote() {
+		t.Fatal("second Promote returned true")
+	}
+	if follower.IsFollower() || follower.Role() != "primary" {
+		t.Fatalf("promoted role = %q", follower.Role())
+	}
+
+	// Lease conservation survives the handoff exactly.
+	fst, _ := follower.LedgerStats(dc)
+	checkLedgerConservation(t, fst, "promoted follower")
+	if fst.ReservedMillis != pst.ReservedMillis || fst.OutstandingMillis != pst.OutstandingMillis {
+		t.Fatalf("promoted books diverge: follower %+v primary %+v", fst, pst)
+	}
+
+	// The replicated leases release exactly once under their original ids —
+	// a second release is unknown, so nothing can be double-returned.
+	rel, err := follower.Release(dc, outstanding.Lease)
+	if err != nil {
+		t.Fatalf("release replicated lease after promotion: %v", err)
+	}
+	if rel.TotalMillis() == 0 {
+		t.Fatal("replicated lease released zero cores")
+	}
+	if _, err := follower.Release(dc, outstanding.Lease); !errors.Is(err, ledger.ErrUnknownLease) {
+		t.Fatalf("double release: err = %v, want ErrUnknownLease", err)
+	}
+
+	// And the promoted node grants fresh leases.
+	fresh, _, err := follower.SelectReserve(dc, job, 0)
+	if err != nil || !fresh.Reserved() {
+		t.Fatalf("post-promotion reserve: %+v, %v", fresh, err)
+	}
+	fst, _ = follower.LedgerStats(dc)
+	checkLedgerConservation(t, fst, "promoted follower after new writes")
+}
+
+// TestDriftThresholdAutoTune pins the feedback loop: with full rebuilds every
+// refresh and undrifted data, the oracle agrees with the warm path, so the
+// drift threshold relaxes upward from its base — and the measurement shows up
+// in ReclusterStats.
+func TestDriftThresholdAutoTune(t *testing.T) {
+	cfg := testConfig()
+	cfg.FullRebuildEvery = 1 // every refresh is a full rebuild with an oracle measurement
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	const dc = "DC-9"
+	if err := svc.Refresh(dc); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	st, _ := svc.Stats(dc)
+	if !st.Recluster.FullRebuild {
+		t.Fatalf("expected a full rebuild, got %+v", st.Recluster)
+	}
+	if st.Recluster.FullAgreement < 0.99 {
+		t.Fatalf("undrifted full rebuild agreement = %v, want >= 0.99", st.Recluster.FullAgreement)
+	}
+	base := core.DefaultDriftThreshold
+	if cfg.Clustering.DriftThreshold > 0 {
+		base = cfg.Clustering.DriftThreshold
+	}
+	if st.Recluster.DriftThreshold <= base {
+		t.Fatalf("threshold after high agreement = %v, want relaxed above base %v", st.Recluster.DriftThreshold, base)
+	}
+	// Repeated agreement keeps relaxing but never past the clamp.
+	for i := 0; i < 20; i++ {
+		if err := svc.Refresh(dc); err != nil {
+			t.Fatalf("Refresh %d: %v", i, err)
+		}
+	}
+	st, _ = svc.Stats(dc)
+	if max := base * 8; st.Recluster.DriftThreshold > max+1e-12 {
+		t.Fatalf("threshold %v exceeded clamp %v", st.Recluster.DriftThreshold, max)
+	}
+}

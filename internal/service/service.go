@@ -70,6 +70,21 @@ type Config struct {
 	Selector   core.SelectorConfig
 	// Seed drives population generation and the per-request RNG pool.
 	Seed int64
+	// NodeID names this node in replication handshakes and registration
+	// beats. Empty defaults to "harvestd".
+	NodeID string
+	// FollowAddr, when non-empty, runs the service as a read-only follower:
+	// instead of refreshing snapshots from its own rings, it dials the
+	// primary's replication listener at this address and applies shipped
+	// (snapshot, ledger-occupancy) generations. Writes (reserving select,
+	// release, renew, telemetry ingest) are rejected with ErrFollower until
+	// Promote. The follower must be configured with the same datacenters,
+	// scale and seed as its primary — the clustering it applies only makes
+	// sense over the identical population.
+	FollowAddr string
+	// ReplInterval is the cadence the primary ships replication frames at
+	// (and the follower's liveness expectation). Zero means 250ms.
+	ReplInterval time.Duration
 }
 
 // DefaultConfig serves every datacenter at quick scale, refreshing every
@@ -152,6 +167,19 @@ type shard struct {
 	persistErrors atomic.Uint64
 	staleRetries  atomic.Uint64 // SelectReserve retries due to a re-key in flight
 
+	// driftThr is the auto-tuned warm-recluster drift threshold (float64
+	// bits): every full rebuild measures how often the incremental path's
+	// assignments agreed with the from-scratch oracle and feeds the result
+	// back — high agreement relaxes the threshold (fewer reclassifications),
+	// disagreement tightens it. Bounded to [base/4, base*8].
+	driftThr atomic.Uint64
+
+	// replGen and replAppliedAt record the last replication frame applied to
+	// this shard (follower role): the generation and the wall-clock nanos of
+	// the apply, for lag exposition and router staleness gating.
+	replGen       atomic.Uint64
+	replAppliedAt atomic.Int64
+
 	// refreshLatency observes every successful refreshShard's end-to-end
 	// duration (recluster + assemble + rekey + publish) — the scale metric
 	// the incremental snapshot path exists to hold down.
@@ -176,7 +204,17 @@ type Service struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 	started  atomic.Bool
+
+	// follower is the node's role: true while the service applies replicated
+	// generations instead of building its own. Promote flips it exactly once.
+	follower atomic.Bool
+	repl     replState
 }
+
+// ErrFollower rejects write-path calls (reserving select, release, renew,
+// ingest) on a follower: only the primary may move the books, or a promoted
+// follower's ledger would diverge from the replicated stream.
+var ErrFollower = errors.New("service: node is a follower; writes go to the primary")
 
 // New builds every datacenter's boot state synchronously, so a service that
 // returns without error is immediately queryable: the tenant population is
@@ -225,12 +263,20 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Clustering.Classifier == (signalproc.ClassifierConfig{}) {
 		cfg.Clustering.Classifier = signalproc.DefaultClassifierConfig()
 	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = "harvestd"
+	}
+	if cfg.ReplInterval <= 0 {
+		cfg.ReplInterval = 250 * time.Millisecond
+	}
 
 	s := &Service{
 		cfg:    cfg,
 		shards: make(map[string]*shard, len(cfg.Datacenters)),
 		stop:   make(chan struct{}),
 	}
+	s.follower.Store(cfg.FollowAddr != "")
+	s.repl.stopFollow = make(chan struct{})
 	s.rngSeed.Store(cfg.Seed)
 	s.rngs.New = func() any {
 		return rand.New(rand.NewSource(s.rngSeed.Add(1)))
@@ -245,6 +291,7 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		sh := &shard{dc: dc, pop: pop}
+		sh.driftThr.Store(math.Float64bits(baseDriftThreshold(cfg.Clustering)))
 		if err := s.bootstrapRings(sh); err != nil {
 			return nil, err
 		}
@@ -301,6 +348,20 @@ func (s *Service) Start() {
 	if !s.started.CompareAndSwap(false, true) {
 		return
 	}
+	if s.follower.Load() {
+		// A follower neither refreshes nor sweeps: both would move the books
+		// independently of the primary's stream. Promote starts them.
+		s.wg.Add(1)
+		go s.followLoop()
+		return
+	}
+	s.startPrimaryLoops()
+}
+
+// startPrimaryLoops launches the primary-role background work: one refresher
+// per shard and the lease-expiry sweeper. Called by Start on a primary and by
+// Promote on a follower taking over.
+func (s *Service) startPrimaryLoops() {
 	if s.cfg.RefreshPeriod > 0 {
 		for _, dc := range s.order {
 			sh := s.shards[dc]
@@ -313,6 +374,61 @@ func (s *Service) Start() {
 	// hold_seconds, and those must still be reclaimed.
 	s.wg.Add(1)
 	go s.sweepLoop()
+}
+
+// IsFollower reports whether the node currently rejects writes.
+func (s *Service) IsFollower() bool { return s.follower.Load() }
+
+// Role is the node's current role string for registration beats and metrics.
+func (s *Service) Role() string {
+	if s.follower.Load() {
+		return "follower"
+	}
+	return "primary"
+}
+
+// PrimaryID identifies the primary this node believes in: its own NodeID when
+// it is the primary, the ID learned from the replication handshake when it is
+// a follower (empty before the first successful handshake).
+func (s *Service) PrimaryID() string {
+	if !s.follower.Load() {
+		return s.cfg.NodeID
+	}
+	if p := s.repl.primaryID.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// NodeID returns the configured node identity.
+func (s *Service) NodeID() string { return s.cfg.NodeID }
+
+// Promote flips a follower into the primary role exactly once: the
+// replication apply loop is stopped (and any in-flight apply waited out, so a
+// late frame can never clobber post-promotion reservations), then the refresh
+// and sweep loops start over the books as last replicated. Lease conservation
+// survives the handoff because the applied ledger state carries the full
+// conservation counters, not just live leases. Returns false when the node is
+// already a primary.
+func (s *Service) Promote() bool {
+	if !s.follower.CompareAndSwap(true, false) {
+		return false
+	}
+	s.repl.promoteOnce.Do(func() { close(s.repl.stopFollow) })
+	if c := s.repl.conn.Load(); c != nil {
+		(*c).Close()
+	}
+	// Barrier: an apply that loaded follower=true before the CAS may still be
+	// holding applyMu; taking it here guarantees no apply mutates the books
+	// after Promote returns.
+	s.repl.applyMu.Lock()
+	s.repl.applyMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	s.repl.promotions.Add(1)
+	if s.started.Load() {
+		s.startPrimaryLoops()
+	}
+	slogger.Info("promoted to primary", "node", s.cfg.NodeID)
+	return true
 }
 
 // sweepLoop periodically reclaims expired leases across every shard — the
@@ -351,6 +467,7 @@ func (s *Service) SweepLeases(now time.Time) (leases int, cores float64) {
 // Close; they simply stop seeing new generations.
 func (s *Service) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
+	s.repl.shutdown()
 	s.wg.Wait()
 	for _, dc := range s.order {
 		s.persistLedger(s.shards[dc])
@@ -397,13 +514,31 @@ func (s *Service) refreshShard(sh *shard) error {
 	}
 	full := s.cfg.FullRebuildEvery > 0 && sh.sinceFull >= s.cfg.FullRebuildEvery-1
 
-	clusterer := core.NewClusteringService(s.cfg.Clustering)
+	// Warm rounds run with the shard's auto-tuned drift threshold; the base
+	// configuration is never mutated, only overridden per refresh.
+	ccfg := s.cfg.Clustering
+	ccfg.DriftThreshold = sh.driftThreshold()
+	clusterer := core.NewClusteringService(ccfg)
 	var clustering *core.Clustering
 	var rst core.ReclusterStats
 	var err error
 	if full {
 		clustering, err = clusterer.ClusterFrom(sh.pop, sh.rings)
 		rst.FullRebuild = true
+		rst.Tenants = len(sh.pop.Tenants)
+		rst.FullAgreement = -1
+		rst.DriftThreshold = ccfg.DriftThreshold
+		if err == nil && prev != nil {
+			// The full rebuild is the incremental path's oracle: measure how
+			// often the warm generations' pattern assignments agreed with a
+			// from-scratch run, and feed the disagreement back into the drift
+			// threshold. Consistently high agreement means the threshold can
+			// relax (fewer expensive reclassifications); disagreement means
+			// drift is slipping past it and it must tighten.
+			rst.FullAgreement = clusteringAgreement(prev.Clustering, clustering)
+			sh.tuneDriftThreshold(baseDriftThreshold(s.cfg.Clustering), rst.FullAgreement)
+			rst.DriftThreshold = sh.driftThreshold()
+		}
 	} else {
 		clustering, rst, err = clusterer.Recluster(prev.Clustering, sh.pop, sh.rings)
 	}
@@ -435,6 +570,84 @@ func (s *Service) refreshShard(sh *shard) error {
 	}
 	sh.refreshErrors.Add(1)
 	return err
+}
+
+// Drift auto-tuning bounds: the feedback loop nudges the threshold by small
+// multiplicative steps and clamps it to a window around the configured base,
+// so a pathological run can neither freeze reclassification entirely nor thrash
+// every tenant every round.
+const (
+	driftAgreeRelax   = 0.99 // agreement at or above this relaxes the threshold
+	driftAgreeTighten = 0.95 // agreement below this tightens it
+	driftRelaxFactor  = 1.25
+	driftTightenFact  = 0.8
+	driftClampLow     = 0.25 // base/4
+	driftClampHigh    = 8.0  // base*8
+)
+
+// baseDriftThreshold resolves the configured drift threshold with the same
+// fallback core.Recluster applies.
+func baseDriftThreshold(cfg core.ClusteringConfig) float64 {
+	if cfg.DriftThreshold > 0 {
+		return cfg.DriftThreshold
+	}
+	return core.DefaultDriftThreshold
+}
+
+// driftThreshold is the shard's current (auto-tuned) warm drift threshold.
+func (sh *shard) driftThreshold() float64 {
+	return math.Float64frombits(sh.driftThr.Load())
+}
+
+// tuneDriftThreshold applies one feedback step from a full rebuild's measured
+// agreement. Negative agreement (not measured) is a no-op.
+func (sh *shard) tuneDriftThreshold(base, agreement float64) {
+	if agreement < 0 {
+		return
+	}
+	thr := sh.driftThreshold()
+	switch {
+	case agreement >= driftAgreeRelax:
+		thr *= driftRelaxFactor
+	case agreement < driftAgreeTighten:
+		thr *= driftTightenFact
+	default:
+		return
+	}
+	thr = math.Min(math.Max(thr, base*driftClampLow), base*driftClampHigh)
+	sh.driftThr.Store(math.Float64bits(thr))
+}
+
+// clusteringAgreement measures, over the tenants present in both generations,
+// the fraction whose pattern assignment the full rebuild kept. Pattern (not
+// class id) is compared because K-Means is free to renumber classes between
+// runs; a pattern flip is the signal that warm drift checks missed real
+// change. Returns -1 when nothing is comparable.
+func clusteringAgreement(prev, next *core.Clustering) float64 {
+	if prev == nil || next == nil {
+		return -1
+	}
+	compared, agreed := 0, 0
+	for _, cls := range next.Classes {
+		for _, tid := range cls.Tenants {
+			pid, ok := prev.ClassOfTenant(tid)
+			if !ok {
+				continue
+			}
+			pc := prev.Class(pid)
+			if pc == nil {
+				continue
+			}
+			compared++
+			if pc.Pattern == cls.Pattern {
+				agreed++
+			}
+		}
+	}
+	if compared == 0 {
+		return -1
+	}
+	return float64(agreed) / float64(compared)
 }
 
 // rekeyLedger carries the allocation ledger from one clustering generation
@@ -474,6 +687,9 @@ func (s *Service) Refresh(dc string) error {
 	sh, ok := s.shards[dc]
 	if !ok {
 		return fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	if s.follower.Load() {
+		return ErrFollower
 	}
 	return s.refreshShard(sh)
 }
@@ -532,6 +748,12 @@ func (s *Service) Ingest(dc string, samples []IngestSample) (IngestResult, error
 	if !ok {
 		return IngestResult{}, fmt.Errorf("service: unknown datacenter %q", dc)
 	}
+	if s.follower.Load() {
+		// A follower's rings are frozen at bootstrap: its usage view comes
+		// from the primary's stream, and local samples would silently diverge
+		// the two. Clients must post telemetry to the primary.
+		return IngestResult{}, ErrFollower
+	}
 	var res IngestResult
 	for _, sample := range samples {
 		if sample.Tenant >= 0 && sample.Server >= 0 {
@@ -578,18 +800,45 @@ func (s *Service) usageViewFor(snap *Snapshot) *usageView {
 	if v := sh.liveUsage.Load(); v != nil && v.generation == snap.Generation && v.samples == total {
 		return v
 	}
+	if s.follower.Load() {
+		// A follower's live usage is whatever the primary shipped — its own
+		// rings are frozen at bootstrap. The apply loop publishes the view;
+		// a cache miss here is a reader racing an apply, so rebuild from the
+		// snapshot's shipped usage rather than the stale rings.
+		return s.buildUsageView(sh, snap, snap.Usage, total)
+	}
 	usage := weightedClassUsage(snap.Clustering.Classes, sh.pop, func(cls *core.UtilizationClass, tid tenant.ID) float64 {
 		return sh.rings.LastValue(tid, snap.Usage[cls.ID].CurrentUtilization)
 	})
 	// Concurrent recomputes race benignly: both views are equally current,
 	// the last store wins.
+	return s.buildUsageView(sh, snap, usage, total)
+}
+
+// buildUsageView assembles and publishes the shard's live usage view, and
+// refreshes the ledger's admission floors from it: for every class whose live
+// utilization rose above the snapshot's build-time view, the lost capacity
+// becomes a reserve floor the ledger subtracts from the admission bound — so
+// a utilization spike tightens admitted capacity immediately, between
+// refreshes, instead of waiting for the next snapshot. The follower apply
+// path shares this so replicated usage carries the same protection.
+func (s *Service) buildUsageView(sh *shard, snap *Snapshot, usage map[core.ClassID]core.ClassUsage, samples uint64) *usageView {
 	v := &usageView{
 		generation: snap.Generation,
-		samples:    total,
+		samples:    samples,
 		usage:      usage,
 		src:        &ledgerUsage{generation: snap.Generation, base: usage, led: sh.led},
 		idx:        snap.BuildSelectIndex(usage),
 	}
+	floors := make([]int64, len(snap.Clustering.Classes))
+	for _, cls := range snap.Clustering.Classes {
+		buildCap := snap.CapacityCores(core.JobMedium, cls.ID, snap.Usage[cls.ID])
+		liveCap := snap.CapacityCores(core.JobMedium, cls.ID, usage[cls.ID])
+		if d := buildCap - liveCap; d > 0 {
+			floors[cls.ID] = int64(math.Floor(d * ledger.MillisPerCore))
+		}
+	}
+	sh.led.SetFloors(snap.Generation, floors)
 	sh.liveUsage.Store(v)
 	return v
 }
@@ -758,6 +1007,9 @@ func (s *Service) SelectReserveTraced(dc string, job core.JobRequest, ttl time.D
 	if !ok {
 		return Grant{}, nil, fmt.Errorf("service: unknown datacenter %q", dc)
 	}
+	if s.follower.Load() {
+		return Grant{}, nil, ErrFollower
+	}
 	if ttl == 0 {
 		ttl = s.cfg.LeaseTTL
 	}
@@ -846,6 +1098,9 @@ func (s *Service) Release(dc string, id uint64) (ledger.Lease, error) {
 	if !ok {
 		return ledger.Lease{}, fmt.Errorf("service: unknown datacenter %q", dc)
 	}
+	if s.follower.Load() {
+		return ledger.Lease{}, ErrFollower
+	}
 	return sh.led.Release(id)
 }
 
@@ -858,6 +1113,9 @@ func (s *Service) Renew(dc string, id uint64, ttl time.Duration) (ledger.Lease, 
 	sh, ok := s.shards[dc]
 	if !ok {
 		return ledger.Lease{}, fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	if s.follower.Load() {
+		return ledger.Lease{}, ErrFollower
 	}
 	if ttl == 0 {
 		ttl = s.cfg.LeaseTTL

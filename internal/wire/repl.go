@@ -1,0 +1,363 @@
+package wire
+
+// Replication messages: the intra-DC primary→follower snapshot stream.
+//
+// A follower dials the primary's replication listener, sends one OpReplHello
+// announcing the generations it already holds, and reads pushes from then
+// on. The primary answers the hello with OpReplHello|RespBit (carrying its
+// identity, which the follower re-announces to the router as primary_id) and
+// then streams, per datacenter:
+//
+//   - OpReplSnap — a full snapshot: every class with its complete tenant and
+//     server id lists, the live usage view, and the whole lease ledger. Sent
+//     on follower join and whenever a delta chain breaks.
+//   - OpReplDelta — an incremental snapshot against PrevGeneration: the
+//     class list is complete, but classes whose membership did not change
+//     ship as references to the previous generation's class (detected on the
+//     primary by the PR 8 structural sharing — an unchanged class shares its
+//     predecessor's Servers slice), so the steady-state frame is
+//     O(classes + drifted tenants' membership), not O(servers).
+//   - OpReplBeat — same generation, refreshed usage view + ledger state:
+//     what changes between snapshot refreshes as selects and telemetry land.
+//
+// Pushes are unacknowledged: a follower that cannot keep up is dropped by
+// the primary's write deadline and re-joins with a fresh hello (getting a
+// full snapshot). Every push carries SentUnixNano so the follower can report
+// ship+apply lag without a second clock channel.
+
+// ReplDCGen names one datacenter generation in a hello.
+type ReplDCGen struct {
+	DC         string
+	Generation uint64
+}
+
+// ReplHello is the follower's one request frame: who it is and which
+// generations it already holds (informational — the primary currently ships
+// a full snapshot on every join, but the hello pins the follower's view for
+// logs and future resumption).
+type ReplHello struct {
+	FollowerID string
+	DCs        []ReplDCGen
+}
+
+// AppendReplHello appends a complete hello request frame.
+func AppendReplHello(dst []byte, id uint64, m *ReplHello) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, OpReplHello, id)
+	dst = AppendStr8(dst, m.FollowerID)
+	dst = AppendU16(dst, uint16(len(m.DCs)))
+	for _, d := range m.DCs {
+		dst = AppendStr8(dst, d.DC)
+		dst = AppendU64(dst, d.Generation)
+	}
+	return EndFrame(dst, mark)
+}
+
+// Decode parses a hello request payload.
+func (m *ReplHello) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.FollowerID = string(r.Str8())
+	n := int(r.U16())
+	m.DCs = sized(m.DCs, n, 9, &r) // 1-byte name length + 8-byte generation
+	for i := range m.DCs {
+		m.DCs[i].DC = string(r.Str8())
+		m.DCs[i].Generation = r.U64()
+	}
+	return r.Done()
+}
+
+// ReplHelloResp acknowledges a hello with the primary's identity.
+type ReplHelloResp struct {
+	PrimaryID string
+}
+
+// AppendReplHelloResp appends a complete hello response frame.
+func AppendReplHelloResp(dst []byte, id uint64, m *ReplHelloResp) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, OpReplHelloResp, id)
+	dst = AppendStr8(dst, m.PrimaryID)
+	return EndFrame(dst, mark)
+}
+
+// Decode parses a hello response payload.
+func (m *ReplHelloResp) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.PrimaryID = string(r.Str8())
+	return r.Done()
+}
+
+// ReplClass is one utilization class in a snapshot or delta frame. Ref
+// classes (deltas only) carry their scalar fields and centroid — those move
+// every warm recluster even when membership holds — but reference the
+// previous generation's class for the tenant and server id lists, which is
+// what keeps steady-state deltas small.
+type ReplClass struct {
+	ID      uint32
+	Pattern uint8
+	Avg     float64
+	Peak    float64
+	// Current is the class's live usage-view utilization on the primary —
+	// shipped instead of recomputed because the follower's telemetry rings
+	// never see the primary's ingested samples.
+	Current  float64
+	Centroid []float64
+	// Ref marks a membership reference: Tenants/Servers are empty and PrevID
+	// names the previous generation's class to copy them from.
+	Ref     bool
+	PrevID  uint32
+	Tenants []int64
+	Servers []int64
+}
+
+// ReplGrant is one class's share of a replicated lease, mirroring
+// ledger.Grant in wire-native types.
+type ReplGrant struct {
+	Class  uint32
+	Millis int64
+}
+
+// ReplLease is one live lease in a replicated ledger state.
+type ReplLease struct {
+	ID uint64
+	// ExpiresUnixNano is the absolute expiry instant (0 = never expires).
+	ExpiresUnixNano int64
+	JobID           string
+	Owner           string
+	Grants          []ReplGrant
+}
+
+// ReplLedger is the full ledger state riding on every push: the cumulative
+// conservation books plus every live lease, so a promoted follower's books
+// balance exactly (reserved == released + expired + forfeited + outstanding)
+// from the instant of handoff.
+type ReplLedger struct {
+	Generation      uint64
+	ReservedMillis  int64
+	ReleasedMillis  int64
+	ExpiredMillis   int64
+	ForfeitedMillis int64
+	Reserves        uint64
+	Releases        uint64
+	Renews          uint64
+	Expiries        uint64
+	Conflicts       uint64
+	Leases          []ReplLease
+}
+
+func appendReplLedger(dst []byte, m *ReplLedger) []byte {
+	dst = AppendU64(dst, m.Generation)
+	dst = AppendI64(dst, m.ReservedMillis)
+	dst = AppendI64(dst, m.ReleasedMillis)
+	dst = AppendI64(dst, m.ExpiredMillis)
+	dst = AppendI64(dst, m.ForfeitedMillis)
+	dst = AppendU64(dst, m.Reserves)
+	dst = AppendU64(dst, m.Releases)
+	dst = AppendU64(dst, m.Renews)
+	dst = AppendU64(dst, m.Expiries)
+	dst = AppendU64(dst, m.Conflicts)
+	dst = AppendU32(dst, uint32(len(m.Leases)))
+	for i := range m.Leases {
+		ls := &m.Leases[i]
+		dst = AppendU64(dst, ls.ID)
+		dst = AppendI64(dst, ls.ExpiresUnixNano)
+		dst = AppendStr8(dst, ls.JobID)
+		dst = AppendStr8(dst, ls.Owner)
+		dst = AppendU16(dst, uint16(len(ls.Grants)))
+		for _, g := range ls.Grants {
+			dst = AppendU32(dst, g.Class)
+			dst = AppendI64(dst, g.Millis)
+		}
+	}
+	return dst
+}
+
+// replLeaseMinSize is a lease's floor on the wire: id + expiry + two empty
+// strings + grant count.
+const replLeaseMinSize = 8 + 8 + 1 + 1 + 2
+
+func decodeReplLedger(r *Reader, m *ReplLedger) {
+	m.Generation = r.U64()
+	m.ReservedMillis = r.I64()
+	m.ReleasedMillis = r.I64()
+	m.ExpiredMillis = r.I64()
+	m.ForfeitedMillis = r.I64()
+	m.Reserves = r.U64()
+	m.Releases = r.U64()
+	m.Renews = r.U64()
+	m.Expiries = r.U64()
+	m.Conflicts = r.U64()
+	n := int(r.U32())
+	m.Leases = sized(m.Leases, n, replLeaseMinSize, r)
+	for i := range m.Leases {
+		ls := &m.Leases[i]
+		ls.ID = r.U64()
+		ls.ExpiresUnixNano = r.I64()
+		ls.JobID = string(r.Str8())
+		ls.Owner = string(r.Str8())
+		ng := int(r.U16())
+		ls.Grants = sized(ls.Grants, ng, 12, r)
+		for j := range ls.Grants {
+			ls.Grants[j].Class = r.U32()
+			ls.Grants[j].Millis = r.I64()
+		}
+	}
+}
+
+// ReplSnapshot is the payload of both OpReplSnap and OpReplDelta frames —
+// one datacenter's complete characterization state. Full snapshots carry
+// every class in full and PrevGeneration 0; deltas set PrevGeneration to the
+// exact generation they apply on top of (a follower holding anything else
+// must drop the connection and re-join) and may use Ref classes.
+type ReplSnapshot struct {
+	DC              string
+	Generation      uint64
+	PrevGeneration  uint64
+	SentUnixNano    int64
+	AsOfSeconds     float64
+	BuiltAtUnixNano int64
+	Classes         []ReplClass
+	Ledger          ReplLedger
+}
+
+// AppendReplSnapshot appends a complete snapshot or delta frame (op must be
+// OpReplSnap or OpReplDelta).
+func AppendReplSnapshot(dst []byte, op Op, id uint64, m *ReplSnapshot) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, op, id)
+	dst = AppendStr8(dst, m.DC)
+	dst = AppendU64(dst, m.Generation)
+	dst = AppendU64(dst, m.PrevGeneration)
+	dst = AppendI64(dst, m.SentUnixNano)
+	dst = AppendF64(dst, m.AsOfSeconds)
+	dst = AppendI64(dst, m.BuiltAtUnixNano)
+	dst = AppendU32(dst, uint32(len(m.Classes)))
+	for i := range m.Classes {
+		c := &m.Classes[i]
+		dst = AppendU32(dst, c.ID)
+		dst = AppendU8(dst, c.Pattern)
+		dst = AppendU8(dst, boolByte(c.Ref))
+		dst = AppendF64(dst, c.Avg)
+		dst = AppendF64(dst, c.Peak)
+		dst = AppendF64(dst, c.Current)
+		dst = AppendU16(dst, uint16(len(c.Centroid)))
+		for _, v := range c.Centroid {
+			dst = AppendF64(dst, v)
+		}
+		if c.Ref {
+			dst = AppendU32(dst, c.PrevID)
+			continue
+		}
+		dst = AppendU32(dst, uint32(len(c.Tenants)))
+		for _, t := range c.Tenants {
+			dst = AppendI64(dst, t)
+		}
+		dst = AppendU32(dst, uint32(len(c.Servers)))
+		for _, s := range c.Servers {
+			dst = AppendI64(dst, s)
+		}
+	}
+	dst = appendReplLedger(dst, &m.Ledger)
+	return EndFrame(dst, mark)
+}
+
+// replClassMinSize is a class record's floor on the wire: id + pattern +
+// ref byte + three f64 scalars + centroid count + (ref id | two counts).
+const replClassMinSize = 4 + 1 + 1 + 24 + 2 + 4
+
+// Decode parses a snapshot or delta payload.
+func (m *ReplSnapshot) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.DC = string(r.Str8())
+	m.Generation = r.U64()
+	m.PrevGeneration = r.U64()
+	m.SentUnixNano = r.I64()
+	m.AsOfSeconds = r.F64()
+	m.BuiltAtUnixNano = r.I64()
+	n := int(r.U32())
+	m.Classes = sized(m.Classes, n, replClassMinSize, &r)
+	for i := range m.Classes {
+		c := &m.Classes[i]
+		c.ID = r.U32()
+		c.Pattern = r.U8()
+		c.Ref = r.U8() != 0
+		c.Avg = r.F64()
+		c.Peak = r.F64()
+		c.Current = r.F64()
+		nc := int(r.U16())
+		c.Centroid = sized(c.Centroid, nc, 8, &r)
+		for j := range c.Centroid {
+			c.Centroid[j] = r.F64()
+		}
+		if c.Ref {
+			c.PrevID = r.U32()
+			c.Tenants = c.Tenants[:0]
+			c.Servers = c.Servers[:0]
+			continue
+		}
+		c.PrevID = 0
+		nt := int(r.U32())
+		c.Tenants = sized(c.Tenants, nt, 8, &r)
+		for j := range c.Tenants {
+			c.Tenants[j] = r.I64()
+		}
+		ns := int(r.U32())
+		c.Servers = sized(c.Servers, ns, 8, &r)
+		for j := range c.Servers {
+			c.Servers[j] = r.I64()
+		}
+	}
+	decodeReplLedger(&r, &m.Ledger)
+	return r.Done()
+}
+
+// ReplClassUsage is one class's refreshed live utilization in a beat.
+type ReplClassUsage struct {
+	ID      uint32
+	Current float64
+}
+
+// ReplBeat refreshes a follower's usage view and ledger state between
+// snapshot generations: same clustering, new numbers. Generation must match
+// the follower's current snapshot exactly.
+type ReplBeat struct {
+	DC           string
+	Generation   uint64
+	SentUnixNano int64
+	AsOfSeconds  float64
+	Usage        []ReplClassUsage
+	Ledger       ReplLedger
+}
+
+// AppendReplBeat appends a complete beat frame.
+func AppendReplBeat(dst []byte, id uint64, m *ReplBeat) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, OpReplBeat, id)
+	dst = AppendStr8(dst, m.DC)
+	dst = AppendU64(dst, m.Generation)
+	dst = AppendI64(dst, m.SentUnixNano)
+	dst = AppendF64(dst, m.AsOfSeconds)
+	dst = AppendU32(dst, uint32(len(m.Usage)))
+	for _, u := range m.Usage {
+		dst = AppendU32(dst, u.ID)
+		dst = AppendF64(dst, u.Current)
+	}
+	dst = appendReplLedger(dst, &m.Ledger)
+	return EndFrame(dst, mark)
+}
+
+// Decode parses a beat payload.
+func (m *ReplBeat) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.DC = string(r.Str8())
+	m.Generation = r.U64()
+	m.SentUnixNano = r.I64()
+	m.AsOfSeconds = r.F64()
+	n := int(r.U32())
+	m.Usage = sized(m.Usage, n, 12, &r)
+	for i := range m.Usage {
+		m.Usage[i].ID = r.U32()
+		m.Usage[i].Current = r.F64()
+	}
+	decodeReplLedger(&r, &m.Ledger)
+	return r.Done()
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func parsePayload(t *testing.T, frame []byte, wantOp Op) []byte {
+	t.Helper()
+	h, err := ParseHeader(frame[:HeaderSize])
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if h.Op != wantOp {
+		t.Fatalf("op = %v, want %v", h.Op, wantOp)
+	}
+	if int(h.Len) != len(frame)-HeaderSize {
+		t.Fatalf("length field %d, frame payload %d", h.Len, len(frame)-HeaderSize)
+	}
+	return frame[HeaderSize:]
+}
+
+func TestReplHelloRoundTrip(t *testing.T) {
+	in := ReplHello{
+		FollowerID: "follower-2",
+		DCs:        []ReplDCGen{{DC: "DC-9", Generation: 17}, {DC: "DC-3", Generation: 1}},
+	}
+	frame := AppendReplHello(nil, 42, &in)
+	var out ReplHello
+	if err := out.Decode(parsePayload(t, frame, OpReplHello)); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+
+	resp := ReplHelloResp{PrimaryID: "primary-1"}
+	frame = AppendReplHelloResp(nil, 42, &resp)
+	var respOut ReplHelloResp
+	if err := respOut.Decode(parsePayload(t, frame, OpReplHelloResp)); err != nil {
+		t.Fatalf("Decode resp: %v", err)
+	}
+	if respOut != resp {
+		t.Fatalf("resp round trip mismatch: %+v vs %+v", resp, respOut)
+	}
+}
+
+func replSnapshotFixture() ReplSnapshot {
+	return ReplSnapshot{
+		DC:              "DC-9",
+		Generation:      8,
+		PrevGeneration:  7,
+		SentUnixNano:    1_700_000_000_000_000_123,
+		AsOfSeconds:     3600.5,
+		BuiltAtUnixNano: 1_700_000_000_000_000_000,
+		Classes: []ReplClass{
+			{
+				ID: 0, Pattern: 1, Avg: 0.31, Peak: 0.83, Current: 0.44,
+				Centroid: []float64{0.1, 0.2, 0.3},
+				Tenants:  []int64{5, 9},
+				Servers:  []int64{100, 101, 102},
+			},
+			{
+				ID: 1, Pattern: 0, Avg: 0.6, Peak: 0.9, Current: 0.61,
+				Centroid: []float64{0.9},
+				Ref:      true, PrevID: 2,
+			},
+		},
+		Ledger: ReplLedger{
+			Generation:     8,
+			ReservedMillis: 5000, ReleasedMillis: 1500, ExpiredMillis: 500,
+			Reserves: 4, Releases: 1, Renews: 2, Expiries: 1, Conflicts: 3,
+			Leases: []ReplLease{
+				{
+					ID: 0x1234, ExpiresUnixNano: 1_700_000_060_000_000_000,
+					JobID: "job-a", Owner: "alice",
+					Grants: []ReplGrant{{Class: 0, Millis: 2000}, {Class: 1, Millis: 1000}},
+				},
+			},
+		},
+	}
+}
+
+func TestReplSnapshotRoundTrip(t *testing.T) {
+	in := replSnapshotFixture()
+	frame := AppendReplSnapshot(nil, OpReplDelta, 7, &in)
+	var out ReplSnapshot
+	if err := out.Decode(parsePayload(t, frame, OpReplDelta)); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestReplBeatRoundTrip(t *testing.T) {
+	in := ReplBeat{
+		DC:           "DC-9",
+		Generation:   8,
+		SentUnixNano: 55,
+		AsOfSeconds:  120,
+		Usage:        []ReplClassUsage{{ID: 0, Current: 0.5}, {ID: 1, Current: 0.7}},
+		Ledger: ReplLedger{
+			Generation: 8, ReservedMillis: 100, ReleasedMillis: 100,
+		},
+	}
+	frame := AppendReplBeat(nil, 9, &in)
+	var out ReplBeat
+	if err := out.Decode(parsePayload(t, frame, OpReplBeat)); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+// TestReplDecodeTruncated pins that truncating a replication frame at any
+// byte yields ErrShortPayload, never a panic or a silent partial decode.
+func TestReplDecodeTruncated(t *testing.T) {
+	in := replSnapshotFixture()
+	payload := AppendReplSnapshot(nil, OpReplSnap, 1, &in)[HeaderSize:]
+	for n := 0; n < len(payload); n++ {
+		var out ReplSnapshot
+		if err := out.Decode(payload[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", n, len(payload))
+		}
+	}
+}
+
+// TestReplPayloadCap pins that replication opcodes get the large payload cap
+// while everything else keeps MaxPayload — and that a hostile length field
+// on a non-replication opcode still fails fast.
+func TestReplPayloadCap(t *testing.T) {
+	frame := BeginFrame(nil, OpReplSnap, 1)
+	// Forge a header claiming a payload between the two caps.
+	frame[4] = 0
+	frame[5] = 0
+	frame[6] = 0x20 // 2 MiB: over MaxPayload, under MaxReplPayload
+	if _, err := ParseHeader(frame); err != nil {
+		t.Fatalf("repl frame under MaxReplPayload rejected: %v", err)
+	}
+	frame[2] = byte(OpSelect)
+	if _, err := ParseHeader(frame); err == nil {
+		t.Fatal("select frame over MaxPayload accepted")
+	}
+}
+
+func TestOpIsRepl(t *testing.T) {
+	for _, op := range []Op{OpReplHello, OpReplHelloResp, OpReplSnap, OpReplDelta, OpReplBeat} {
+		if !op.IsRepl() {
+			t.Errorf("%v: IsRepl() = false", op)
+		}
+		if op.IsRequest() {
+			t.Errorf("%v: IsRequest() = true — repl frames must not relay through the public ports", op)
+		}
+	}
+	for _, op := range []Op{OpSelect, OpRelease, OpClasses, OpError, OpSelectResp} {
+		if op.IsRepl() {
+			t.Errorf("%v: IsRepl() = true", op)
+		}
+	}
+}
+
+func TestPeekSelectFlags(t *testing.T) {
+	frame := AppendSelectReq(nil, 1, "DC-9", SelectReq{Job: JobMedium, Flags: SelectFlagDryRun, MaxCores: 8})
+	flags, ok := PeekSelectFlags(frame[HeaderSize:])
+	if !ok || flags&SelectFlagDryRun == 0 {
+		t.Fatalf("PeekSelectFlags = %#x, %v; want dry-run bit set", flags, ok)
+	}
+	frame = AppendSelectReq(nil, 1, "DC-9", SelectReq{Job: JobShort, MaxCores: 2})
+	flags, ok = PeekSelectFlags(frame[HeaderSize:])
+	if !ok || flags&SelectFlagDryRun != 0 {
+		t.Fatalf("PeekSelectFlags = %#x, %v; want dry-run bit clear", flags, ok)
+	}
+	if _, ok := PeekSelectFlags([]byte{5, 'D'}); ok {
+		t.Fatal("truncated payload peeked successfully")
+	}
+}

@@ -51,6 +51,12 @@ const (
 	// cap. A length field past this is treated as a framing error (desynced
 	// or hostile peer), not a large message.
 	MaxPayload = 1 << 20
+	// MaxReplPayload caps replication frames (opcode range 0x10-0x1F): a full
+	// snapshot ships every class's tenant and server id list plus the whole
+	// lease ledger, which outgrows the request cap at large scale factors.
+	// Only the replication listener ever reads frames this large — the public
+	// binary ports reject replication opcodes before reading their payload.
+	MaxReplPayload = 64 << 20
 	// MaxStr8 is the longest string a one-byte-length field can carry.
 	MaxStr8 = 255
 )
@@ -77,6 +83,20 @@ const (
 	OpClassesResp     = OpClasses | RespBit
 	OpServerClassResp = OpServerClass | RespBit
 	OpRenewResp       = OpRenew | RespBit
+
+	// Replication opcodes (0x10-0x1F): the intra-DC primary→follower snapshot
+	// stream (internal/service/replication.go). OpReplHello is the one
+	// follower→primary frame (sent once per connection, answered with
+	// OpReplHello|RespBit); the rest are unacknowledged pushes from the
+	// primary. These never appear on the public binary ports — servers and
+	// routers reject them at the framing layer — so their larger payload cap
+	// (MaxReplPayload) is confined to the replication listener.
+	OpReplHello Op = 0x10
+	OpReplSnap  Op = 0x11
+	OpReplDelta Op = 0x12
+	OpReplBeat  Op = 0x13
+
+	OpReplHelloResp = OpReplHello | RespBit
 
 	// OpError carries a status code (the JSON API's HTTP status for the same
 	// failure) and a message. Sent in place of any response frame.
@@ -110,6 +130,16 @@ func (o Op) String() string {
 		return "server_class_resp"
 	case OpRenewResp:
 		return "renew_resp"
+	case OpReplHello:
+		return "repl_hello"
+	case OpReplHelloResp:
+		return "repl_hello_resp"
+	case OpReplSnap:
+		return "repl_snap"
+	case OpReplDelta:
+		return "repl_delta"
+	case OpReplBeat:
+		return "repl_beat"
 	case OpError:
 		return "error"
 	}
@@ -127,6 +157,15 @@ func (o Op) IsRequest() bool {
 
 // Resp returns the response opcode for a request opcode.
 func (o Op) Resp() Op { return o | RespBit }
+
+// IsRepl reports whether the opcode belongs to the replication stream.
+// Replication frames are only legal on the dedicated replication listener;
+// the public binary ports treat them as framing errors (before reading the
+// payload, since replication frames may exceed MaxPayload).
+func (o Op) IsRepl() bool {
+	base := o &^ RespBit
+	return base >= OpReplHello && base <= OpReplBeat
+}
 
 // Header flag bits (byte 3 of the frame header).
 const (
@@ -201,7 +240,11 @@ func ParseHeader(b []byte) (Header, error) {
 		Len:   binary.LittleEndian.Uint32(b[4:8]),
 		ID:    binary.LittleEndian.Uint64(b[8:16]),
 	}
-	if h.Len > MaxPayload {
+	limit := uint32(MaxPayload)
+	if h.Op.IsRepl() {
+		limit = MaxReplPayload
+	}
+	if h.Len > limit {
 		return Header{}, ErrBadFrame
 	}
 	return h, nil
@@ -244,11 +287,16 @@ func BeginFrame(dst []byte, op Op, id uint64) []byte {
 }
 
 // EndFrame back-patches the payload length of the frame that started at
-// offset mark in buf. Panics if the payload exceeds MaxPayload — frames are
-// built by this codebase, so an oversized one is a bug, not input.
+// offset mark in buf. Panics if the payload exceeds the opcode's cap
+// (MaxPayload, or MaxReplPayload for replication frames) — frames are built
+// by this codebase, so an oversized one is a bug, not input.
 func EndFrame(buf []byte, mark int) []byte {
 	n := len(buf) - mark - HeaderSize
-	if n < 0 || n > MaxPayload {
+	limit := MaxPayload
+	if Op(buf[mark+2]).IsRepl() {
+		limit = MaxReplPayload
+	}
+	if n < 0 || n > limit {
 		panic("wire: EndFrame on a frame exceeding MaxPayload")
 	}
 	binary.LittleEndian.PutUint32(buf[mark+4:mark+8], uint32(n))
@@ -438,6 +486,22 @@ func PeekDC(payload []byte) ([]byte, bool) {
 		return nil, false
 	}
 	return payload[1 : 1+n], true
+}
+
+// PeekSelectFlags extracts the flags byte of a select request payload
+// without a full decode: the payload is the datacenter Str8, one job byte,
+// then the flags. The router classifies dry-run selects (SelectFlagDryRun)
+// as read traffic eligible for follower fan-out; reserving selects stay
+// pinned to the primary.
+func PeekSelectFlags(payload []byte) (uint8, bool) {
+	if len(payload) < 1 {
+		return 0, false
+	}
+	n := int(payload[0])
+	if len(payload) < 1+n+2 {
+		return 0, false
+	}
+	return payload[1+n+1], true
 }
 
 // PeekLease extracts the lease id from a release or renew request payload
