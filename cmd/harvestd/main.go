@@ -21,7 +21,7 @@
 //	         [-announce http://router:7070] [-announce-interval 2s]
 //	         [-advertise http://host:7077] [-node-id NAME]
 //	         [-announce-token TOKEN] [-debug-addr 127.0.0.1:7177]
-//	         [-replicate-addr :7079 | -follow primary:7079] [-repl-interval 250ms]
+//	         [-replicate-addr :7079] [-follow primary:7079] [-repl-interval 250ms]
 //
 // With -announce, the daemon heartbeats its datacenter set and per-DC
 // snapshot generations to a harvestrouter front end (cmd/harvestrouter), so
@@ -29,13 +29,17 @@
 // one routing surface.
 //
 // With -replicate-addr, the daemon is a replication primary: it streams
-// (snapshot, ledger-occupancy) generations to every follower that connects.
-// With -follow, it runs as a read-only follower of that primary instead —
-// it serves class queries, placement, and advisory dry-run selects from the
-// replicated state (writes get a retryable 503) until POST /v1/promote flips
-// it to primary. Both modes require an explicit -node-id: the follower
-// announces its primary's identity to the router, and the names must match
-// the primary's own registration for read spreading and failover to engage.
+// (snapshot, ledger-occupancy, block-book) generations to every follower that
+// connects. With -follow, it runs as a read-only follower of that primary
+// instead — it serves class queries, placement, and advisory dry-run selects
+// from the replicated state (writes get a retryable 503) until POST
+// /v1/promote flips it to primary. A follower may carry -replicate-addr too:
+// the listener stays armed but idle, and promotion starts serving replication
+// on it, so the promoted node can feed the remaining followers (which learn
+// the new address from the router's register acknowledgements). Both modes
+// require an explicit -node-id: the follower announces its primary's identity
+// to the router, and the names must match the primary's own registration for
+// read spreading and failover to engage.
 //
 // With -binary-addr, a second listener speaks the binary frame protocol
 // (internal/wire) for the select/release/place/classes hot path — same
@@ -141,8 +145,8 @@ func main() {
 	announceToken := flag.String("announce-token", "", "bearer token for router registration (must match the router's -register-token)")
 	trustedProxies := flag.String("trusted-proxies", "", "comma-separated router IPs/CIDRs whose X-Forwarded-For keys the per-source ingest rate limit (the header is ignored from all other peers)")
 	debugAddr := flag.String("debug-addr", "", "address for the operator debug listener (pprof, expvar, /debug/traces); empty disables. Keep it off the data-plane address.")
-	replicateAddr := flag.String("replicate-addr", "", "address to stream replication frames to followers on (primary side; empty disables)")
-	follow := flag.String("follow", "", "primary's replication address (host:port) to follow as a read-only replica (mutually exclusive with -replicate-addr)")
+	replicateAddr := flag.String("replicate-addr", "", "address to stream replication frames to followers on (live on a primary, armed for promotion on a follower; empty disables)")
+	follow := flag.String("follow", "", "primary's replication address (host:port) to follow as a read-only replica")
 	replInterval := flag.Duration("repl-interval", 0, "replication ship cadence on the primary (0 = 250ms)")
 	flag.Parse()
 
@@ -155,9 +159,6 @@ func main() {
 	cfg.Seed = *seed
 	cfg.LeaseTTL = *leaseTTL
 	cfg.TenantStaleAfter = *staleAfter
-	if *follow != "" && *replicateAddr != "" {
-		obs.Fatal(logger, "-follow and -replicate-addr are mutually exclusive (a follower re-shipping second-hand state would amplify staleness)")
-	}
 	if (*follow != "" || *replicateAddr != "") && *nodeID == "" {
 		// Replication identity rides the router's registration: the follower
 		// announces primary_id=<primary's -node-id>, and the router only
@@ -220,14 +221,22 @@ func main() {
 		api.AttachBinary(bs, binAdvertise)
 		logger.Info("binary protocol listening", "addr", bound.String(), "advertised", binAdvertise)
 	}
+	var replAdvertise string
 	if *replicateAddr != "" {
 		rln, err := net.Listen("tcp", *replicateAddr)
 		if err != nil {
 			obs.Fatal(logger, "replication listener failed", "addr", *replicateAddr, "err", err)
 		}
 		// The service owns the listener from here; svc.Close shuts it down.
-		svc.ServeReplication(rln)
-		logger.Info("replicating to followers", "addr", rln.Addr().String(), "interval", cfg.ReplInterval)
+		// On a primary it serves immediately; on a follower it stays armed
+		// until promotion.
+		svc.ArmReplicationListener(rln)
+		replAdvertise = advertisedHostPort(rln.Addr(), *advertise)
+		if *follow != "" {
+			logger.Info("replication listener armed for promotion", "addr", rln.Addr().String())
+		} else {
+			logger.Info("replicating to followers", "addr", rln.Addr().String(), "interval", cfg.ReplInterval)
+		}
 	}
 	if *follow != "" {
 		logger.Info("following primary", "addr", *follow, "node", cfg.NodeID)
@@ -242,6 +251,7 @@ func main() {
 		}
 		logger.Info("debug listener on", "addr", bound)
 	}
+	var announcers []*service.Announcer
 	if *announce != "" {
 		selfURL := *advertise
 		if selfURL == "" {
@@ -253,16 +263,18 @@ func main() {
 		}
 		for _, routerURL := range routers {
 			ann, err := service.StartAnnouncer(svc, service.AnnouncerConfig{
-				RouterURL:  strings.TrimRight(routerURL, "/"),
-				SelfURL:    selfURL,
-				BinaryAddr: binAdvertise,
-				ID:         *nodeID,
-				Interval:   *announceEvery,
-				Token:      *announceToken,
+				RouterURL:     strings.TrimRight(routerURL, "/"),
+				SelfURL:       selfURL,
+				BinaryAddr:    binAdvertise,
+				ReplicateAddr: replAdvertise,
+				ID:            *nodeID,
+				Interval:      *announceEvery,
+				Token:         *announceToken,
 			})
 			if err != nil {
 				obs.Fatal(logger, "announcer failed", "router", routerURL, "err", err)
 			}
+			announcers = append(announcers, ann)
 			defer ann.Close()
 		}
 		logger.Info("announcing", "datacenters", strings.Join(svc.Datacenters(), ","),
@@ -285,6 +297,12 @@ func main() {
 	select {
 	case sig := <-sigs:
 		logger.Info("shutting down", "signal", sig.String())
+		// Drain first, close second: the final heartbeat tells every router
+		// to take this node out of rotation *before* the listeners go away,
+		// so a planned restart never bounces a request off a closed socket.
+		for _, ann := range announcers {
+			ann.Deregister()
+		}
 		server.Close()
 	case err := <-errs:
 		obs.Fatal(logger, "server failed", "err", err)

@@ -54,6 +54,24 @@
 //	loadgen -telemetry [-target ...] [-duration 10s] [-emit-interval 200ms]
 //	        [-scale 0.05] [-seed 1] [-json]
 //
+// With -storage it becomes a reimaging-wave driver for the block-placement
+// ledger: it places -blocks R-replicated blocks per datacenter through
+// POST /v1/{dc}/blocks, regenerates the tenant population locally (same
+// -scale/-seed as the target) to learn each server's tenant reimage rate,
+// reimages -reimage-fraction of each datacenter's servers (rate-weighted
+// sampling without replacement, biased to include replica holders so the
+// repair path always runs — placement avoids reimage-heavy servers, so a
+// pure rate-weighted wave could land entirely on empty ones and prove
+// nothing), then polls /metrics until the books quiesce: every lost replica
+// re-placed, nothing pending. The exit report carries the server's ledger
+// books verbatim, so CI asserts exact conservation — placed + pending ==
+// replica slots, lost == replaced + pending — with jq, no tolerance. Target
+// a harvestd directly: the quiesce poll reads the node's own /metrics books.
+//
+//	loadgen -storage [-target ...] [-blocks 200] [-replication 3]
+//	        [-reimage-fraction 0.1] [-quiesce-timeout 60s]
+//	        [-ingest-token secret] [-scale 0.05] [-seed 1] [-json]
+//
 // The client deliberately bypasses net/http: requests are preserialized byte
 // slices written through a raw TCP connection and responses are parsed with a
 // minimal HTTP/1.1 reader, so a single core can drive the server well past
@@ -72,6 +90,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -84,6 +103,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"harvest/internal/blockledger"
 	"harvest/internal/experiments"
 	"harvest/internal/obs"
 	"harvest/internal/service"
@@ -122,9 +142,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 	telemetry := flag.Bool("telemetry", false, "run as a telemetry emitter instead of a query load generator")
+	storage := flag.Bool("storage", false, "run as a reimaging-wave driver for the block ledger instead of a query load generator")
 	wait := flag.Duration("wait", 0, "keep retrying the initial datacenter discovery for this long (a router front end lists no datacenters until its backends register)")
 	emitInterval := flag.Duration("emit-interval", 200*time.Millisecond, "telemetry mode: wall-clock pause between slot batches")
-	scale := flag.Float64("scale", 0.05, "telemetry mode: datacenter scale (must match the harvestd flags)")
+	scale := flag.Float64("scale", 0.05, "telemetry/storage mode: datacenter scale (must match the harvestd flags)")
+	blocks := flag.Int("blocks", 200, "storage mode: blocks to place per datacenter")
+	replication := flag.Int("replication", 3, "storage mode: replicas per block")
+	reimageFraction := flag.Float64("reimage-fraction", 0.1, "storage mode: fraction of each datacenter's servers the reimaging wave hits")
+	quiesceTimeout := flag.Duration("quiesce-timeout", 60*time.Second, "storage mode: how long to wait for re-replication to drain the pending books")
+	ingestToken := flag.String("ingest-token", "", "storage mode: bearer token for POST /v1/{dc}/reimage (the target's -ingest-token)")
 	out := flag.String("out", "", "also write the JSON report, with the full latency bucket vector and run config, to this file")
 	flag.Parse()
 
@@ -132,8 +158,25 @@ func main() {
 	if err != nil {
 		obs.Fatal(logger, "bad target", "target", *target, "err", err)
 	}
+	if *telemetry && *storage {
+		obs.Fatal(logger, "-telemetry and -storage are mutually exclusive")
+	}
 	if *telemetry {
 		runTelemetryEmitter(baseURL, *scale, *seed, *duration, *emitInterval, *wait, *jsonOut)
+		return
+	}
+	if *storage {
+		runStorageWave(baseURL, storageCfg{
+			blocks:      *blocks,
+			replication: *replication,
+			fraction:    *reimageFraction,
+			ingestToken: *ingestToken,
+			scale:       *scale,
+			seed:        *seed,
+			wait:        *wait,
+			quiesce:     *quiesceTimeout,
+			out:         *out,
+		}, *jsonOut)
 		return
 	}
 
@@ -435,13 +478,13 @@ type inflight struct {
 }
 
 type worker struct {
-	addr    string
-	bin     bool // drive the binary frame dialect instead of HTTP/JSON
-	dcs     []dcSetup
-	rng     *rand.Rand
-	depth   int
-	opTable []op // weighted op lookup table
-	stats   workerStats
+	addr       string
+	bin        bool // drive the binary frame dialect instead of HTTP/JSON
+	dcs        []dcSetup
+	rng        *rand.Rand
+	depth      int
+	opTable    []op // weighted op lookup table
+	stats      workerStats
 	selects    map[string][][]byte // preserialized select requests per DC
 	dryselects map[string][][]byte // preserialized dry-run (advisory) selects per DC
 	places     map[string][]byte   // preserialized place request per DC
@@ -473,12 +516,12 @@ type worker struct {
 
 func newWorker(addr string, bin bool, dcs []dcSetup, weights [numOps]int, depth int, frameID uint64, rng *rand.Rand) *worker {
 	w := &worker{
-		addr:    addr,
-		bin:     bin,
-		dcs:     dcs,
-		rng:     rng,
-		depth:   depth,
-		frameID: frameID,
+		addr:       addr,
+		bin:        bin,
+		dcs:        dcs,
+		rng:        rng,
+		depth:      depth,
+		frameID:    frameID,
 		selects:    make(map[string][][]byte, len(dcs)),
 		dryselects: make(map[string][][]byte, len(dcs)),
 		places:     make(map[string][]byte, len(dcs)),
@@ -1231,6 +1274,314 @@ func runTelemetryEmitter(baseURL string, scale float64, seed int64, duration, in
 	fmt.Printf("loadgen: telemetry emitter, %d datacenters for %.1fs\n", rep.Datacenters, rep.DurationSeconds)
 	fmt.Printf("  %d batches, %d samples accepted, %d rejected, %d transport/HTTP errors\n",
 		rep.Batches, rep.Samples, rep.Rejected, rep.Errors)
+}
+
+// storageCfg carries the reimaging-wave driver's knobs.
+type storageCfg struct {
+	blocks      int
+	replication int
+	fraction    float64
+	ingestToken string
+	scale       float64
+	seed        int64
+	wait        time.Duration
+	quiesce     time.Duration
+	out         string
+}
+
+// storageDCReport is one datacenter's slice of the storage report. Ledger is
+// the target's block books verbatim at the end of the run, so consumers can
+// assert the conservation invariants exactly rather than trusting the
+// precomputed booleans.
+type storageDCReport struct {
+	Datacenter      string `json:"datacenter"`
+	Servers         int    `json:"servers"`
+	BlocksPlaced    int    `json:"blocks_placed"`
+	PlaceErrors     int    `json:"place_errors"`
+	ServersReimaged int    `json:"servers_reimaged"`
+	// HoldersReimaged is how many wave targets actually held replicas — the
+	// number of reimages that exercised the repair path rather than wiping an
+	// empty server.
+	HoldersReimaged       int               `json:"holders_reimaged"`
+	ReimageErrors         int               `json:"reimage_errors"`
+	Ledger                blockledger.Stats `json:"ledger"`
+	PlacementRelaxedTotal uint64            `json:"placement_relaxed_total"`
+	RepairFailures        uint64            `json:"repair_failures"`
+	// Conserved: placed + pending == replica_slots and lost == replaced +
+	// pending — the ledger's books balance exactly.
+	Conserved bool `json:"conserved"`
+	// Quiesced: nothing pending and the repair queue is empty — every block
+	// is back at full replication.
+	Quiesced bool `json:"quiesced"`
+}
+
+type storageReport struct {
+	Mode            string            `json:"mode"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	Replication     int               `json:"replication"`
+	BlocksPlaced    int               `json:"blocks_placed"`
+	ServersReimaged int               `json:"servers_reimaged"`
+	LostReplicas    int64             `json:"lost_replicas"`
+	Errors          int               `json:"errors"`
+	Conserved       bool              `json:"conserved"`
+	Quiesced        bool              `json:"quiesced"`
+	Datacenters     []storageDCReport `json:"datacenters"`
+}
+
+// storageMetricsView is the slice of the target's /metrics JSON the quiesce
+// poll reads — the per-DC block books plus the placement/repair counters.
+type storageMetricsView struct {
+	Datacenters map[string]struct {
+		Blocks                blockledger.Stats `json:"blocks"`
+		PlacementRelaxedTotal uint64            `json:"placement_relaxed_total"`
+		RepairFailures        uint64            `json:"repair_failures"`
+	} `json:"datacenters"`
+}
+
+// postJSON posts a JSON body off the measured path, optionally with a bearer
+// token, decoding a 200's response into v. Non-2xx statuses are returned to
+// the caller, not treated as transport errors.
+func postJSON(url, token string, body []byte, v any) (int, error) {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// waveServer is one candidate for the reimaging wave: the server, its owning
+// tenant's reimage rate, and its Efraimidis–Spirakis sampling key.
+type waveServer struct {
+	id   int64
+	rate float64
+	key  float64
+}
+
+// pickWave draws a rate-weighted sample of waveSize servers without
+// replacement (Efraimidis–Spirakis: key = u^(1/w), take the largest keys),
+// then biases it toward replica holders: placement actively avoids
+// reimage-heavy servers, so an unbiased wave can land entirely on servers
+// holding nothing and the run would never exercise re-replication. The
+// lowest-key non-holder picks are swapped for the highest-rate holders until
+// the wave includes min(#holders, max(1, waveSize/5)) of them.
+func pickWave(rates map[int64]float64, holders map[int64]bool, waveSize int, rng *rand.Rand) []waveServer {
+	cands := make([]waveServer, 0, len(rates))
+	for id, rate := range rates {
+		// The epsilon keeps zero-rate servers reimagable: a tenant with no
+		// recorded history still gets wiped occasionally in production.
+		w := rate + 0.01
+		cands = append(cands, waveServer{id: id, rate: rate, key: math.Pow(rng.Float64(), 1/w)})
+	}
+	// Deterministic for a fixed seed: map iteration order must not leak into
+	// the sample, so order by key with the id as tiebreak.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].key != cands[j].key {
+			return cands[i].key > cands[j].key
+		}
+		return cands[i].id < cands[j].id
+	})
+	if waveSize > len(cands) {
+		waveSize = len(cands)
+	}
+	wave := cands[:waveSize]
+
+	selected := make(map[int64]bool, len(wave))
+	have := 0
+	for _, s := range wave {
+		selected[s.id] = true
+		if holders[s.id] {
+			have++
+		}
+	}
+	want := len(holders)
+	if ceil := max(1, waveSize/5); want > ceil {
+		want = ceil
+	}
+	if have >= want {
+		return wave
+	}
+	holdersByRate := make([]waveServer, 0, len(holders))
+	for id := range holders {
+		holdersByRate = append(holdersByRate, waveServer{id: id, rate: rates[id]})
+	}
+	sort.Slice(holdersByRate, func(i, j int) bool {
+		if holdersByRate[i].rate != holdersByRate[j].rate {
+			return holdersByRate[i].rate > holdersByRate[j].rate
+		}
+		return holdersByRate[i].id < holdersByRate[j].id
+	})
+	idx := len(wave) - 1
+	for _, h := range holdersByRate {
+		if have >= want {
+			break
+		}
+		if selected[h.id] {
+			continue
+		}
+		for idx >= 0 && holders[wave[idx].id] {
+			idx--
+		}
+		if idx < 0 {
+			break
+		}
+		delete(selected, wave[idx].id)
+		selected[h.id] = true
+		wave[idx] = h
+		have++
+		idx--
+	}
+	return wave
+}
+
+// runStorageWave drives the block ledger end to end: place blocks, reimage a
+// rate-weighted wave of servers, wait for the re-replicator to restore full
+// replication, and report the final books.
+func runStorageWave(baseURL string, cfg storageCfg, jsonOut bool) {
+	names, err := retryUntil(cfg.wait, func() ([]string, error) { return discoverDatacenters(baseURL) })
+	if err != nil {
+		obs.Fatal(logger, "discovery failed", "target", baseURL, "err", err)
+	}
+
+	rep := storageReport{Mode: "storage", Replication: cfg.replication}
+	start := time.Now()
+	placeBody := []byte(fmt.Sprintf(`{"replication":%d}`, cfg.replication))
+	for dci, dc := range names {
+		dcRep := storageDCReport{Datacenter: dc}
+
+		// Phase 1: place the blocks. Replica IDs come back in the response,
+		// so the wave below knows which servers actually hold data.
+		holders := make(map[int64]bool)
+		for i := 0; i < cfg.blocks; i++ {
+			var br struct {
+				Replicas []int64 `json:"replicas"`
+			}
+			status, err := postJSON(baseURL+"/v1/"+dc+"/blocks", "", placeBody, &br)
+			if err != nil || status != http.StatusOK {
+				dcRep.PlaceErrors++
+				continue
+			}
+			dcRep.BlocksPlaced++
+			for _, s := range br.Replicas {
+				holders[s] = true
+			}
+		}
+
+		// Phase 2: the reimaging wave. The population is regenerated locally
+		// from the target's (scale, seed) — generation is deterministic — so
+		// each server's weight is its owning tenant's historical reimage rate,
+		// the same distribution the paper's Alg. 2 clusters on.
+		pop, _, err := experiments.BuildPopulation(dc, experiments.Scale{Datacenter: cfg.scale, Seed: cfg.seed})
+		if err != nil {
+			obs.Fatal(logger, "regenerating population failed", "dc", dc, "err", err)
+		}
+		rates := make(map[int64]float64)
+		for _, t := range pop.Tenants {
+			for _, s := range t.Servers {
+				rates[int64(s)] = t.ReimagesPerServerMonth
+			}
+		}
+		dcRep.Servers = len(rates)
+		waveSize := max(1, int(math.Ceil(cfg.fraction*float64(len(rates)))))
+		rng := rand.New(rand.NewSource(cfg.seed + int64(dci)))
+		for _, s := range pickWave(rates, holders, waveSize, rng) {
+			var rr struct {
+				Lost int `json:"lost"`
+			}
+			body := []byte(fmt.Sprintf(`{"server":%d}`, s.id))
+			status, err := postJSON(baseURL+"/v1/"+dc+"/reimage", cfg.ingestToken, body, &rr)
+			if err != nil || status != http.StatusOK {
+				dcRep.ReimageErrors++
+				continue
+			}
+			dcRep.ServersReimaged++
+			if rr.Lost > 0 {
+				dcRep.HoldersReimaged++
+			}
+		}
+		rep.Datacenters = append(rep.Datacenters, dcRep)
+	}
+
+	// Phase 3: poll the books until every datacenter quiesces — nothing
+	// pending, repair queue empty — or the timeout fires (reported as
+	// quiesced:false, which is how CI fails a stuck re-replicator).
+	deadline := time.Now().Add(cfg.quiesce)
+	var view storageMetricsView
+	for {
+		view = storageMetricsView{}
+		if err := getJSON(baseURL+"/metrics", &view); err != nil {
+			obs.Fatal(logger, "reading metrics failed", "target", baseURL, "err", err)
+		}
+		settled := true
+		for _, dc := range names {
+			st := view.Datacenters[dc].Blocks
+			if st.Pending != 0 || st.RepairQueue != 0 {
+				settled = false
+				break
+			}
+		}
+		if settled || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	rep.DurationSeconds = time.Since(start).Seconds()
+
+	rep.Conserved, rep.Quiesced = true, true
+	for i := range rep.Datacenters {
+		d := &rep.Datacenters[i]
+		row := view.Datacenters[d.Datacenter]
+		d.Ledger = row.Blocks
+		d.PlacementRelaxedTotal = row.PlacementRelaxedTotal
+		d.RepairFailures = row.RepairFailures
+		st := row.Blocks
+		d.Conserved = st.Placed+st.Pending == st.ReplicaSlots && st.Lost == st.Replaced+st.Pending
+		d.Quiesced = st.Pending == 0 && st.RepairQueue == 0
+		rep.Conserved = rep.Conserved && d.Conserved
+		rep.Quiesced = rep.Quiesced && d.Quiesced
+		rep.BlocksPlaced += d.BlocksPlaced
+		rep.ServersReimaged += d.ServersReimaged
+		rep.LostReplicas += st.Lost
+		rep.Errors += d.PlaceErrors + d.ReimageErrors
+	}
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(cfg.out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			obs.Fatal(logger, "writing report failed", "path", cfg.out, "err", err)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	fmt.Printf("loadgen: storage wave, %d datacenters for %.1fs\n", len(rep.Datacenters), rep.DurationSeconds)
+	fmt.Printf("  %d blocks placed (R=%d), %d servers reimaged, %d replicas lost, %d errors\n",
+		rep.BlocksPlaced, rep.Replication, rep.ServersReimaged, rep.LostReplicas, rep.Errors)
+	for _, d := range rep.Datacenters {
+		fmt.Printf("  %-8s %d/%d slots placed, %d pending, lost %d = replaced %d, conserved=%v quiesced=%v\n",
+			d.Datacenter, d.Ledger.Placed, d.Ledger.ReplicaSlots, d.Ledger.Pending,
+			d.Ledger.Lost, d.Ledger.Replaced, d.Conserved, d.Quiesced)
+	}
 }
 
 // jsonReport is the machine-readable run summary (-json and -out);

@@ -1,0 +1,612 @@
+// Package blockledger tracks one datacenter's HDFS-H block placements as a
+// live, conservation-checked ledger — the storage twin of internal/ledger's
+// allocation books. A block is created with exactly R replicas placed by
+// Algorithm 2 (internal/core.PlacementScheme); a reimaging event marks every
+// replica on the reimaged server lost and enqueues its repair; re-clustering
+// re-keys the ledger to the new generation and displaces replicas that
+// violate the new grid. Through all of it the books balance exactly:
+//
+//	placed + pending == replica slots (R summed over live blocks)
+//	lost == replaced + pending
+//
+// in whole replicas, where pending is the gauge of slots awaiting repair.
+// The invariant is asserted the same way the allocation ledger's is — fuzzed
+// locally, jq'd in CI — so a dropped repair or a double-counted loss is an
+// arithmetic error, not a trend on a dashboard.
+package blockledger
+
+import (
+	crand "crypto/rand"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"harvest/internal/core"
+	"harvest/internal/tenant"
+)
+
+// ErrStaleGeneration is returned when a caller's snapshot generation does not
+// match the ledger's: the placement it computed is against a grid that no
+// longer exists, so it must re-place against the current snapshot and retry.
+var ErrStaleGeneration = errors.New("blockledger: stale snapshot generation")
+
+// ErrUnknownBlock is returned for operations on a block id never issued (or
+// already deleted).
+var ErrUnknownBlock = errors.New("blockledger: unknown block")
+
+// ErrReplicaPlaced is returned when a repair lands on a replica slot that is
+// no longer pending — a duplicate delivery of the same repair ref.
+var ErrReplicaPlaced = errors.New("blockledger: replica already placed")
+
+// replica is one of a block's R slots: the server holding it when placed, or
+// the slot awaiting re-replication when not.
+type replica struct {
+	server tenant.ServerID
+	placed bool
+}
+
+// block is one tracked block. The replica slice never changes length after
+// creation — a slot's index is its stable identity in repair refs.
+type block struct {
+	id        uint64
+	envStrict bool
+	replicas  []replica
+}
+
+// Repair references one pending replica slot awaiting re-replication.
+type Repair struct {
+	Block   uint64
+	Replica int
+}
+
+const (
+	numShards = 16
+	shardMask = numShards - 1
+)
+
+func shardOf(id uint64) int { return int(id & shardMask) }
+
+// maxJSONSafeID mirrors internal/ledger: block ids ride JSON as numbers, so
+// they stay under 2^53 to survive float64-backed consumers exactly.
+const maxJSONSafeID = 1<<53 - 1
+
+// blockShard is one lock-striped slice of the block map. byServer indexes
+// each server's placed replicas (block id → slot) so a reimaging event finds
+// its casualties without scanning; a server holds at most one replica of any
+// block, so the inner map is exact.
+type blockShard struct {
+	mu       sync.Mutex
+	blocks   map[uint64]*block
+	byServer map[tenant.ServerID]map[uint64]int
+	idrng    *rand.ChaCha8
+}
+
+func (sh *blockShard) newBlockID(shardIdx int) uint64 {
+	for {
+		id := sh.idrng.Uint64()&maxJSONSafeID&^uint64(shardMask) | uint64(shardIdx)
+		if id == 0 {
+			continue
+		}
+		if _, taken := sh.blocks[id]; !taken {
+			return id
+		}
+	}
+}
+
+// indexPlaced records server → (block, slot) in the shard's reverse index.
+func (sh *blockShard) indexPlaced(server tenant.ServerID, blockID uint64, slot int) {
+	m := sh.byServer[server]
+	if m == nil {
+		m = make(map[uint64]int)
+		sh.byServer[server] = m
+	}
+	m[blockID] = slot
+}
+
+func (sh *blockShard) unindexPlaced(server tenant.ServerID, blockID uint64) {
+	if m := sh.byServer[server]; m != nil {
+		delete(m, blockID)
+		if len(m) == 0 {
+			delete(sh.byServer, server)
+		}
+	}
+}
+
+// Ledger tracks one datacenter's block placements. Lock order matches
+// internal/ledger: single-block operations take exactly one shard lock;
+// global operations (Rekey, Export, ApplyState) take all shard locks in
+// ascending order, then the queue lock if needed.
+type Ledger struct {
+	generation atomic.Uint64
+
+	shards [numShards]blockShard
+
+	// queueMu guards the FIFO of repair refs. Queue membership is the
+	// "awaiting repair, not yet in flight" subset of pending slots; the
+	// pending gauge itself moves only under the owning shard's lock.
+	queueMu sync.Mutex
+	queue   []Repair
+
+	// Books. Gauges and cumulative counters move while the owning shard's
+	// lock is held, so a lock-all reader sees arithmetic that balances.
+	blocks   atomic.Int64 // live blocks
+	slots    atomic.Int64 // replica slots across live blocks (R summed)
+	placed   atomic.Int64 // gauge: slots holding a live replica
+	pending  atomic.Int64 // gauge: slots awaiting re-replication
+	lost     atomic.Int64 // cumulative: replicas lost to reimaging or displaced by re-key
+	replaced atomic.Int64 // cumulative: repairs that landed
+	creates  atomic.Uint64
+	reimages atomic.Uint64 // reimaging events that hit at least one replica
+	stales   atomic.Uint64 // creates/replaces rejected for generation mismatch
+}
+
+// New creates an empty block ledger keyed to the given snapshot generation.
+func New(generation uint64) *Ledger {
+	l := &Ledger{}
+	for i := range l.shards {
+		var seed [32]byte
+		if _, err := crand.Read(seed[:]); err != nil {
+			panic("blockledger: reading CSPRNG seed: " + err.Error())
+		}
+		l.shards[i].blocks = make(map[uint64]*block)
+		l.shards[i].byServer = make(map[tenant.ServerID]map[uint64]int)
+		l.shards[i].idrng = rand.NewChaCha8(seed)
+	}
+	l.generation.Store(generation)
+	return l
+}
+
+func (l *Ledger) lockAll() {
+	for i := range l.shards {
+		l.shards[i].mu.Lock()
+	}
+}
+
+func (l *Ledger) unlockAll() {
+	for i := range l.shards {
+		l.shards[i].mu.Unlock()
+	}
+}
+
+// Generation returns the snapshot generation the ledger is keyed to.
+func (l *Ledger) Generation() uint64 { return l.generation.Load() }
+
+// Create records a new block whose replicas were just placed on the given
+// servers against the given snapshot generation. All replicas start placed —
+// the caller runs Algorithm 2 first and only creates on success. envStrict
+// records whether the environment constraint was enforced, so a later re-key
+// knows which diversity rules this block's placement promised.
+func (l *Ledger) Create(generation uint64, servers []tenant.ServerID, envStrict bool) (uint64, error) {
+	if len(servers) == 0 {
+		return 0, fmt.Errorf("blockledger: a block needs at least one replica")
+	}
+	for i, s := range servers {
+		for _, prev := range servers[:i] {
+			if s == prev {
+				return 0, fmt.Errorf("blockledger: duplicate replica server %d", s)
+			}
+		}
+	}
+	// Pick the shard from the first server — any stable spread works; the
+	// block id minted below carries the shard in its low bits from then on.
+	shardIdx := int(uint64(servers[0]) & shardMask)
+	sh := &l.shards[shardIdx]
+	sh.mu.Lock()
+	if l.generation.Load() != generation {
+		sh.mu.Unlock()
+		l.stales.Add(1)
+		return 0, ErrStaleGeneration
+	}
+	b := &block{id: sh.newBlockID(shardIdx), envStrict: envStrict, replicas: make([]replica, len(servers))}
+	for i, s := range servers {
+		b.replicas[i] = replica{server: s, placed: true}
+		sh.indexPlaced(s, b.id, i)
+	}
+	sh.blocks[b.id] = b
+	l.blocks.Add(1)
+	l.slots.Add(int64(len(servers)))
+	l.placed.Add(int64(len(servers)))
+	l.creates.Add(1)
+	sh.mu.Unlock()
+	return b.id, nil
+}
+
+// Reimage marks every replica on the server lost and enqueues its repair,
+// returning how many replicas the event hit. A reimaged server that held
+// nothing returns 0 and moves no books.
+func (l *Ledger) Reimage(server tenant.ServerID) int {
+	total := 0
+	var refs []Repair
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		hits := sh.byServer[server]
+		if len(hits) == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		for blockID, slot := range hits {
+			b := sh.blocks[blockID]
+			b.replicas[slot].placed = false
+			refs = append(refs, Repair{Block: blockID, Replica: slot})
+		}
+		n := int64(len(hits))
+		delete(sh.byServer, server)
+		l.placed.Add(-n)
+		l.pending.Add(n)
+		l.lost.Add(n)
+		total += int(n)
+		sh.mu.Unlock()
+	}
+	if total > 0 {
+		l.reimages.Add(1)
+		l.queueMu.Lock()
+		l.queue = append(l.queue, refs...)
+		l.queueMu.Unlock()
+	}
+	return total
+}
+
+// TakeRepairs pops up to max repair refs off the queue. A taken ref is "in
+// flight": the slot stays pending until Replace lands it or Requeue hands it
+// back, and a crash in between is recovered by Restore rebuilding the queue
+// from the pending slots themselves.
+func (l *Ledger) TakeRepairs(max int) []Repair {
+	l.queueMu.Lock()
+	defer l.queueMu.Unlock()
+	if max <= 0 || len(l.queue) == 0 {
+		return nil
+	}
+	if max > len(l.queue) {
+		max = len(l.queue)
+	}
+	taken := make([]Repair, max)
+	copy(taken, l.queue[:max])
+	n := copy(l.queue, l.queue[max:])
+	l.queue = l.queue[:n]
+	return taken
+}
+
+// Requeue hands an in-flight repair ref back (placement failed or was
+// interrupted). A ref whose slot meanwhile landed is dropped.
+func (l *Ledger) Requeue(r Repair) {
+	sh := &l.shards[shardOf(r.Block)]
+	sh.mu.Lock()
+	b := sh.blocks[r.Block]
+	stillPending := b != nil && r.Replica >= 0 && r.Replica < len(b.replicas) && !b.replicas[r.Replica].placed
+	sh.mu.Unlock()
+	if !stillPending {
+		return
+	}
+	l.queueMu.Lock()
+	l.queue = append(l.queue, r)
+	l.queueMu.Unlock()
+}
+
+// Replace lands a repair: the pending slot is re-placed on the given server,
+// which must have been picked against the given snapshot generation. On
+// ErrStaleGeneration the caller re-places against the current snapshot and
+// retries with the same ref.
+func (l *Ledger) Replace(generation uint64, r Repair, server tenant.ServerID) error {
+	sh := &l.shards[shardOf(r.Block)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if l.generation.Load() != generation {
+		l.stales.Add(1)
+		return ErrStaleGeneration
+	}
+	b := sh.blocks[r.Block]
+	if b == nil || r.Replica < 0 || r.Replica >= len(b.replicas) {
+		return ErrUnknownBlock
+	}
+	if b.replicas[r.Replica].placed {
+		return ErrReplicaPlaced
+	}
+	for i := range b.replicas {
+		if b.replicas[i].placed && b.replicas[i].server == server {
+			return fmt.Errorf("blockledger: server %d already holds a replica of block %d", server, r.Block)
+		}
+	}
+	b.replicas[r.Replica] = replica{server: server, placed: true}
+	sh.indexPlaced(server, b.id, r.Replica)
+	l.pending.Add(-1)
+	l.placed.Add(1)
+	l.replaced.Add(1)
+	return nil
+}
+
+// Servers returns the block's currently placed replica servers (the
+// exclusion/seed set for repair placement) and how many of its slots are
+// pending. ok is false for an unknown block.
+func (l *Ledger) Servers(blockID uint64) (placedServers []tenant.ServerID, pendingSlots int, ok bool) {
+	sh := &l.shards[shardOf(blockID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.blocks[blockID]
+	if b == nil {
+		return nil, 0, false
+	}
+	for _, r := range b.replicas {
+		if r.placed {
+			placedServers = append(placedServers, r.server)
+		} else {
+			pendingSlots++
+		}
+	}
+	return placedServers, pendingSlots, true
+}
+
+// EnvStrict reports whether the block's placement promised environment
+// diversity — what a repair must re-enforce. ok is false for an unknown
+// block.
+func (l *Ledger) EnvStrict(blockID uint64) (envStrict, ok bool) {
+	sh := &l.shards[shardOf(blockID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.blocks[blockID]
+	if b == nil {
+		return false, false
+	}
+	return b.envStrict, true
+}
+
+// SiteOf resolves a server's grid cell and environment under a placement
+// scheme — the resolver shape Rekey takes, so the service passes the new
+// snapshot's scheme directly.
+type SiteOf func(tenant.ServerID) (col, row int, env string, ok bool)
+
+// Rekey moves the ledger to a new snapshot generation and re-validates every
+// block's placement against the re-clustered grid via the resolver: replicas
+// on servers the new scheme no longer knows are displaced, as are replicas
+// that now violate the block's diversity promises — a duplicate environment
+// (env-strict blocks only) or a shared row/column within a round of three.
+// Displaced replicas move placed → pending, count as lost, and enqueue
+// repairs, so the conservation equations keep balancing across the re-key
+// exactly as allocation leases do across theirs. Returns the displaced count.
+//
+// Rekey with the ledger's current generation is a no-op revalidation bump;
+// passing the same resolver the blocks were placed under displaces nothing.
+func (l *Ledger) Rekey(newGeneration uint64, site SiteOf) int {
+	l.lockAll()
+	displacedTotal := 0
+	var refs []Repair
+	for i := range l.shards {
+		sh := &l.shards[i]
+		for _, b := range sh.blocks {
+			displacedTotal += l.rekeyBlock(sh, b, site, &refs)
+		}
+	}
+	l.generation.Store(newGeneration)
+	l.unlockAll()
+	if len(refs) > 0 {
+		l.queueMu.Lock()
+		l.queue = append(l.queue, refs...)
+		l.queueMu.Unlock()
+	}
+	return displacedTotal
+}
+
+// rekeyBlock re-validates one block under the new scheme with its shard lock
+// held, displacing violating replicas. Constraint state is rebuilt in slot
+// order, mirroring Algorithm 2's placement walk: environments accumulate for
+// the whole block, row/column history resets every PlacementGridSize slots.
+// Pending slots keep their position in the round but contribute no
+// constraints — their site is decided at repair time.
+func (l *Ledger) rekeyBlock(sh *blockShard, b *block, site SiteOf, refs *[]Repair) int {
+	displaced := 0
+	var usedCols, usedRows uint32
+	var usedEnvs []string
+	for slot := range b.replicas {
+		if slot%core.PlacementGridSize == 0 {
+			usedCols, usedRows = 0, 0
+		}
+		r := &b.replicas[slot]
+		if !r.placed {
+			continue
+		}
+		col, row, env, ok := site(r.server)
+		violates := !ok
+		if !violates && b.envStrict {
+			for _, e := range usedEnvs {
+				if e == env {
+					violates = true
+					break
+				}
+			}
+		}
+		if !violates && (usedCols&(1<<uint(col)) != 0 || usedRows&(1<<uint(row)) != 0) {
+			violates = true
+		}
+		if violates {
+			sh.unindexPlaced(r.server, b.id)
+			r.placed = false
+			*refs = append(*refs, Repair{Block: b.id, Replica: slot})
+			l.placed.Add(-1)
+			l.pending.Add(1)
+			l.lost.Add(1)
+			displaced++
+			continue
+		}
+		usedEnvs = append(usedEnvs, env)
+		usedCols |= 1 << uint(col)
+		usedRows |= 1 << uint(row)
+	}
+	return displaced
+}
+
+// Stats is the ledger's section of /metrics. All counts are whole replicas;
+// the conservation checks are Placed+Pending == ReplicaSlots and
+// Lost == Replaced+Pending, exactly.
+type Stats struct {
+	Generation   uint64 `json:"generation"`
+	Blocks       int64  `json:"blocks"`
+	ReplicaSlots int64  `json:"replica_slots"`
+	Placed       int64  `json:"placed"`
+	Pending      int64  `json:"pending"`
+	Lost         int64  `json:"lost"`
+	Replaced     int64  `json:"replaced"`
+	Creates      uint64 `json:"creates"`
+	Reimages     uint64 `json:"reimages"`
+	StaleRetries uint64 `json:"stale_retries"`
+	RepairQueue  int    `json:"repair_queue"`
+}
+
+// Snapshot returns a consistent reading of the books: taken under all shard
+// locks so the gauges balance against the cumulative counters exactly.
+func (l *Ledger) Snapshot() Stats {
+	l.lockAll()
+	st := Stats{
+		Generation:   l.generation.Load(),
+		Blocks:       l.blocks.Load(),
+		ReplicaSlots: l.slots.Load(),
+		Placed:       l.placed.Load(),
+		Pending:      l.pending.Load(),
+		Lost:         l.lost.Load(),
+		Replaced:     l.replaced.Load(),
+		Creates:      l.creates.Load(),
+		Reimages:     l.reimages.Load(),
+		StaleRetries: l.stales.Load(),
+	}
+	l.unlockAll()
+	l.queueMu.Lock()
+	st.RepairQueue = len(l.queue)
+	l.queueMu.Unlock()
+	return st
+}
+
+// PersistedReplica is one replica slot in the exported state. Server is
+// meaningless when Placed is false.
+type PersistedReplica struct {
+	Server tenant.ServerID `json:"server"`
+	Placed bool            `json:"placed"`
+}
+
+// PersistedBlock is one block in the exported state.
+type PersistedBlock struct {
+	ID        uint64             `json:"id"`
+	EnvStrict bool               `json:"env_strict,omitempty"`
+	Replicas  []PersistedReplica `json:"replicas"`
+}
+
+// State is the full exported ledger: every block plus the cumulative books,
+// shippable over the replication stream and to disk. The repair queue is not
+// exported — it is exactly the pending slots, rebuilt on restore/apply.
+type State struct {
+	Generation uint64           `json:"generation"`
+	Lost       int64            `json:"lost"`
+	Replaced   int64            `json:"replaced"`
+	Creates    uint64           `json:"creates"`
+	Reimages   uint64           `json:"reimages"`
+	Blocks     []PersistedBlock `json:"blocks"`
+}
+
+// Export returns a consistent copy of the full ledger state.
+func (l *Ledger) Export() State {
+	l.lockAll()
+	st := State{
+		Generation: l.generation.Load(),
+		Lost:       l.lost.Load(),
+		Replaced:   l.replaced.Load(),
+		Creates:    l.creates.Load(),
+		Reimages:   l.reimages.Load(),
+	}
+	n := 0
+	for i := range l.shards {
+		n += len(l.shards[i].blocks)
+	}
+	st.Blocks = make([]PersistedBlock, 0, n)
+	for i := range l.shards {
+		for _, b := range l.shards[i].blocks {
+			pb := PersistedBlock{ID: b.id, EnvStrict: b.envStrict, Replicas: make([]PersistedReplica, len(b.replicas))}
+			for j, r := range b.replicas {
+				pb.Replicas[j] = PersistedReplica{Server: r.server, Placed: r.placed}
+			}
+			st.Blocks = append(st.Blocks, pb)
+		}
+	}
+	l.unlockAll()
+	return st
+}
+
+// ApplyState replaces the ledger's contents with an exported state — the
+// follower's apply path, run on every replication frame. Blocks with a
+// malformed shape (empty, or id routed to the wrong shard) are skipped
+// rather than trusted; the books are recomputed from what was actually
+// applied so the invariant holds even against a lying peer.
+func (l *Ledger) ApplyState(st State) {
+	l.lockAll()
+	for i := range l.shards {
+		sh := &l.shards[i]
+		clear(sh.blocks)
+		clear(sh.byServer)
+	}
+	var slots, placed, pending int64
+	var blocks int64
+	for _, pb := range st.Blocks {
+		if pb.ID == 0 || len(pb.Replicas) == 0 {
+			continue
+		}
+		sh := &l.shards[shardOf(pb.ID)]
+		if _, dup := sh.blocks[pb.ID]; dup {
+			continue
+		}
+		b := &block{id: pb.ID, envStrict: pb.EnvStrict, replicas: make([]replica, len(pb.Replicas))}
+		for j, pr := range pb.Replicas {
+			b.replicas[j] = replica{server: pr.Server, placed: pr.Placed}
+			if pr.Placed {
+				sh.indexPlaced(pr.Server, b.id, j)
+				placed++
+			} else {
+				pending++
+			}
+		}
+		sh.blocks[b.id] = b
+		blocks++
+		slots += int64(len(pb.Replicas))
+	}
+	l.blocks.Store(blocks)
+	l.slots.Store(slots)
+	l.placed.Store(placed)
+	l.pending.Store(pending)
+	l.lost.Store(st.Lost)
+	l.replaced.Store(st.Replaced)
+	l.creates.Store(st.Creates)
+	l.reimages.Store(st.Reimages)
+	l.generation.Store(st.Generation)
+	l.unlockAll()
+	l.rebuildQueue()
+}
+
+// rebuildQueue re-derives the repair queue from the pending slots — the
+// restore/apply path, and the promoted follower's recovery of repairs that
+// were in flight on the old primary when it died.
+func (l *Ledger) rebuildQueue() {
+	var refs []Repair
+	l.lockAll()
+	for i := range l.shards {
+		for _, b := range l.shards[i].blocks {
+			for slot := range b.replicas {
+				if !b.replicas[slot].placed {
+					refs = append(refs, Repair{Block: b.id, Replica: slot})
+				}
+			}
+		}
+	}
+	l.unlockAll()
+	l.queueMu.Lock()
+	l.queue = refs
+	l.queueMu.Unlock()
+}
+
+// Restore builds a ledger from persisted state, re-keyed to the current
+// snapshot generation (the caller re-validates placements via Rekey if the
+// generation moved). An error is returned only for irrecoverably malformed
+// state; individual bad blocks are dropped by ApplyState's validation.
+func Restore(st State, generation uint64) (*Ledger, error) {
+	l := New(generation)
+	l.ApplyState(st)
+	l.generation.Store(generation)
+	return l, nil
+}

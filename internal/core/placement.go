@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"harvest/internal/kmeans"
 	"harvest/internal/stats"
@@ -67,6 +68,12 @@ type PlacementScheme struct {
 	usedServers    []tenant.ServerID
 	usedCols       uint32 // bitset over columns, bit c = column c used
 	usedRows       uint32 // bitset over rows
+
+	// relaxed counts placements that fell back to ignoring row/column
+	// diversity (the §7 "space over diversity" degradation). The counter is
+	// shared across CloneForConcurrentUse copies so one scheme exposes one
+	// total regardless of how many pooled placers serve it.
+	relaxed *atomic.Uint64
 }
 
 // ErrNoEligibleServer is returned when the placement algorithm cannot find a
@@ -86,6 +93,7 @@ func BuildPlacementScheme(infos []TenantPlacementInfo) (*PlacementScheme, error)
 		infos:        make(map[tenant.ID]*TenantPlacementInfo, len(infos)),
 		tenantCell:   make(map[tenant.ID][2]int, len(infos)),
 		serverTenant: make(map[tenant.ServerID]tenant.ID),
+		relaxed:      new(atomic.Uint64),
 	}
 	for col := 0; col < PlacementGridSize; col++ {
 		for row := 0; row < PlacementGridSize; row++ {
@@ -159,7 +167,18 @@ func (s *PlacementScheme) CloneForConcurrentUse() *PlacementScheme {
 		infos:        s.infos,
 		tenantCell:   s.tenantCell,
 		serverTenant: s.serverTenant,
+		relaxed:      s.relaxed,
 	}
+}
+
+// RelaxedCount reports how many replica picks fell back to ignoring
+// row/column diversity since the scheme was built, totalled across every
+// clone. Operators watch this to see when the grid is too small for R.
+func (s *PlacementScheme) RelaxedCount() uint64 {
+	if s.relaxed == nil {
+		return 0
+	}
+	return s.relaxed.Load()
 }
 
 // CellOfTenant returns the (col, row) cell of a tenant.
@@ -267,6 +286,9 @@ func (s *PlacementScheme) PlaceReplicas(rng *rand.Rand, c PlacementConstraints) 
 			// production behaviour of degrading diversity before failing the
 			// block creation (§7).
 			server, tid, err = s.pickReplica(rng, false, eligible, c.EnforceEnvironment)
+			if err == nil && s.relaxed != nil {
+				s.relaxed.Add(1)
+			}
 		}
 		if err != nil {
 			return replicas, err
@@ -274,6 +296,82 @@ func (s *PlacementScheme) PlaceReplicas(rng *rand.Rand, c PlacementConstraints) 
 		replicas = s.place(replicas, server, tid)
 	}
 	return replicas, nil
+}
+
+// PlaceAdditional places count more replicas for a block that already holds
+// existing ones — the re-replication path after a replica is lost. The
+// constraint state is seeded from the survivors: their servers and
+// environments stay excluded for the whole block, and the row/column history
+// of the block's current (possibly partial) round of three carries over, so
+// a repair lands where a fresh PlaceReplicas call would have put the replica.
+// c.Replication and c.Writer are ignored; the same relaxed fallback applies.
+func (s *PlacementScheme) PlaceAdditional(rng *rand.Rand, existing []tenant.ServerID, count int, c PlacementConstraints) ([]tenant.ServerID, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("core: additional replica count must be positive, got %d", count)
+	}
+	eligible := c.ServerEligible
+	if eligible == nil {
+		eligible = allServersEligible
+	}
+
+	s.usedEnvs = s.usedEnvs[:0]
+	s.usedServers = s.usedServers[:0]
+	s.usedCols = 0
+	s.usedRows = 0
+	roundStart := len(existing) - len(existing)%PlacementGridSize
+	for i, server := range existing {
+		s.usedServers = append(s.usedServers, server)
+		tid, ok := s.serverTenant[server]
+		if !ok {
+			continue
+		}
+		if info := s.infos[tid]; info != nil {
+			s.usedEnvs = append(s.usedEnvs, info.Environment)
+		}
+		if cell, ok := s.tenantCell[tid]; ok && i >= roundStart {
+			s.usedCols |= 1 << uint(cell[0])
+			s.usedRows |= 1 << uint(cell[1])
+		}
+	}
+
+	replicas := make([]tenant.ServerID, 0, count)
+	for placed := 0; placed < count; placed++ {
+		if (len(existing)+placed)%PlacementGridSize == 0 {
+			s.usedCols = 0
+			s.usedRows = 0
+		}
+		server, tid, err := s.pickReplica(rng, true, eligible, c.EnforceEnvironment)
+		if errors.Is(err, ErrNoEligibleServer) {
+			server, tid, err = s.pickReplica(rng, false, eligible, c.EnforceEnvironment)
+			if err == nil && s.relaxed != nil {
+				s.relaxed.Add(1)
+			}
+		}
+		if err != nil {
+			return replicas, err
+		}
+		replicas = s.place(replicas, server, tid)
+	}
+	return replicas, nil
+}
+
+// ReplicaSite resolves the grid coordinates and environment of the tenant
+// owning a server — the placement-constraint view a block ledger needs when
+// re-validating replicas against a re-clustered scheme. ok is false when the
+// server is unknown to this scheme (its tenant left the population).
+func (s *PlacementScheme) ReplicaSite(server tenant.ServerID) (col, row int, env string, ok bool) {
+	tid, ok := s.serverTenant[server]
+	if !ok {
+		return 0, 0, "", false
+	}
+	if info := s.infos[tid]; info != nil {
+		env = info.Environment
+	}
+	cell, ok := s.tenantCell[tid]
+	if !ok {
+		return 0, 0, "", false
+	}
+	return cell[0], cell[1], env, true
 }
 
 // place records a chosen replica in the round's constraint state.

@@ -34,7 +34,17 @@ type RegisterRequest struct {
 	// PrimaryID names the primary a follower replicates from, so the router
 	// only promotes followers of the backend that actually went missing.
 	// Empty for primaries.
-	PrimaryID   string               `json:"primary_id,omitempty"`
+	PrimaryID string `json:"primary_id,omitempty"`
+	// ReplicateAddr is the node's replication listener (host:port) — live on
+	// a primary, armed-but-idle on a follower carrying -replicate-addr. The
+	// router hands a primary's ReplicateAddr back to its followers (see
+	// RegisterResponse.PrimaryReplicateAddr) so orphaned followers re-dial
+	// whichever follower was promoted, without operator intervention.
+	ReplicateAddr string `json:"replicate_addr,omitempty"`
+	// Draining marks a planned shutdown: the backend is still up but asks the
+	// router to stop routing to it immediately instead of waiting out the
+	// staleness window. Sent on the final heartbeat before SIGTERM teardown.
+	Draining    bool                 `json:"draining,omitempty"`
 	Datacenters []RegisterDatacenter `json:"datacenters"`
 }
 
@@ -44,4 +54,10 @@ type RegisterResponse struct {
 	Status            string  `json:"status"`
 	Backends          int     `json:"backends"`
 	StaleAfterSeconds float64 `json:"stale_after_seconds"`
+	// PrimaryReplicateAddr, set on a follower's acknowledgement, is the
+	// replication listener of the primary the router currently believes owns
+	// this follower's datacenters. A follower whose primary died compares it
+	// against the address it is dialing and re-points its replication stream
+	// at the promoted node.
+	PrimaryReplicateAddr string `json:"primary_replicate_addr,omitempty"`
 }

@@ -644,7 +644,9 @@ func (rt *Router) relayStart(h wire.Header, frame []byte) *pendingBinResp {
 	}
 	// The same read/write split as the HTTP path: class queries, placement,
 	// and dry-run selects spread across the primary and its generation-fresh
-	// followers; everything that moves ledger state pins to the owner.
+	// followers; everything that moves ledger state — including block
+	// creation and reimaging, which move the durability books — pins to the
+	// owner (the switch's default).
 	read := false
 	switch h.Op {
 	case wire.OpClasses, wire.OpServerClass, wire.OpPlace:
@@ -671,6 +673,12 @@ func (rt *Router) relayStart(h wire.Header, frame []byte) *pendingBinResp {
 		}
 		rt.unavailable.Add(1)
 		return reject(503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" missed heartbeats")
+	}
+	if b.draining.Load() {
+		// Same as the HTTP path: pickBackend already routed around the
+		// draining node where it could; this one was the only candidate.
+		rt.unavailable.Add(1)
+		return reject(503, "datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" draining for planned shutdown")
 	}
 	// Breaker gate, same shape as the HTTP path: open → fast 503 frame;
 	// half-open → exactly one CAS winner probes.
@@ -856,6 +864,10 @@ func (rt *Router) translateBinary(baseURL, dc string, h wire.Header, payload []b
 		path   string
 		body   []byte
 		selReq wire.SelectReq
+		// ingestAuth marks bridged requests for the backends' bearer-gated
+		// ingest surface (reimage shares the telemetry token, which the
+		// router already holds as its promote token).
+		ingestAuth bool
 	)
 	switch h.Op {
 	case wire.OpSelect:
@@ -907,6 +919,27 @@ func (rt *Router) translateBinary(baseURL, dc string, h wire.Header, payload []b
 			"relaxed_environment": m.Flags&wire.PlaceFlagRelaxed != 0,
 		})
 		path = "/v1/" + dc + "/place"
+	case wire.OpPlaceBlock:
+		var m wire.PlaceBlockReq
+		if err := m.Decode(payload); err != nil {
+			cancel()
+			return rt.binReject(h.ID, 400, "bad place-block payload"), 400
+		}
+		body, _ = json.Marshal(map[string]any{
+			"replication":         m.Replication,
+			"writer":              m.Writer,
+			"relaxed_environment": m.Flags&wire.PlaceFlagRelaxed != 0,
+		})
+		path = "/v1/" + dc + "/blocks"
+	case wire.OpReimage:
+		var m wire.ReimageReq
+		if err := m.Decode(payload); err != nil {
+			cancel()
+			return rt.binReject(h.ID, 400, "bad reimage payload"), 400
+		}
+		body, _ = json.Marshal(map[string]any{"server": m.Server})
+		path = "/v1/" + dc + "/reimage"
+		ingestAuth = true
 	case wire.OpClasses:
 		method, path = http.MethodGet, "/v1/"+dc+"/classes"
 	case wire.OpServerClass:
@@ -932,6 +965,9 @@ func (rt *Router) translateBinary(baseURL, dc string, h wire.Header, payload []b
 	}
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if ingestAuth && rt.cfg.PromoteToken != "" {
+		req.Header.Set("Authorization", "Bearer "+rt.cfg.PromoteToken)
 	}
 	req.Header.Set(hopHeader, "1")
 	// The bridged JSON request carries the frame id as its trace id so the
@@ -1056,6 +1092,34 @@ func encodeTranslated(h wire.Header, body []byte, selReq wire.SelectReq) ([]byte
 			return nil, err
 		}
 		return wire.AppendPlaceResp(nil, h.ID, &wire.PlaceResp{Generation: r.Generation, Replicas: r.Replicas}), nil
+	case wire.OpPlaceBlock:
+		var r struct {
+			Generation uint64  `json:"generation"`
+			Block      uint64  `json:"block"`
+			Replicas   []int64 `json:"replicas"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, err
+		}
+		return wire.AppendPlaceBlockResp(nil, h.ID, &wire.PlaceBlockResp{
+			Generation: r.Generation,
+			Block:      r.Block,
+			Replicas:   r.Replicas,
+		}), nil
+	case wire.OpReimage:
+		var r struct {
+			Server  int64 `json:"server"`
+			Lost    int64 `json:"lost"`
+			Pending int64 `json:"pending"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, err
+		}
+		return wire.AppendReimageResp(nil, h.ID, &wire.ReimageResp{
+			Server:  r.Server,
+			Lost:    uint32(r.Lost),
+			Pending: uint32(r.Pending),
+		}), nil
 	case wire.OpClasses:
 		var r struct {
 			Generation  uint64          `json:"generation"`

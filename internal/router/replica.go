@@ -64,13 +64,14 @@ func (rt *Router) pickBackend(dc string, read bool, now time.Time) *backend {
 	rt.mu.RLock()
 	owner := rt.table[dc]
 	rt.mu.RUnlock()
-	if owner != nil && !rt.alive(owner, now) {
-		// A known owner stopped beating: elect a replacement. On success the
-		// promoted node serves this very request — writes recover without
-		// waiting a heartbeat. A nil owner deliberately does NOT promote:
-		// at startup a follower often registers before its primary's first
-		// beat, and promoting it then would split the brain against a
-		// perfectly healthy primary. Followers still serve reads below.
+	if owner != nil && !rt.routable(owner, now) {
+		// A known owner stopped beating — or announced a planned drain:
+		// elect a replacement. On success the promoted node serves this very
+		// request — writes recover without waiting a heartbeat. A nil owner
+		// deliberately does NOT promote: at startup a follower often
+		// registers before its primary's first beat, and promoting it then
+		// would split the brain against a perfectly healthy primary.
+		// Followers still serve reads below.
 		if promoted := rt.maybePromote(dc, owner, now); promoted != nil {
 			owner = promoted
 		}
@@ -93,7 +94,7 @@ func (rt *Router) pickReadReplica(dc string, owner *backend, now time.Time) *bac
 	nowNanos := now.UnixNano()
 	lag := uint64(rt.cfg.MaxGenLag)
 	usable := func(b *backend) bool {
-		return rt.alive(b, now) && b.openUntil.Load() <= nowNanos
+		return rt.routable(b, now) && b.openUntil.Load() <= nowNanos
 	}
 
 	rt.mu.RLock()
@@ -178,7 +179,7 @@ func (rt *Router) maybePromote(dc string, dead *backend, now time.Time) *backend
 	var winGen uint64
 	rt.mu.RLock()
 	for _, b := range rt.backends {
-		if b.role != "follower" || !rt.alive(b, now) {
+		if b.role != "follower" || !rt.routable(b, now) {
 			continue
 		}
 		// Only followers of the backend that actually went missing: a
@@ -234,7 +235,7 @@ func (rt *Router) maybePromote(dc string, dead *backend, now time.Time) *backend
 	winner.role = "primary"
 	winner.primaryID = ""
 	for name := range winner.dcs {
-		if prev := rt.table[name]; prev == nil || prev == dead || !rt.alive(prev, now) {
+		if prev := rt.table[name]; prev == nil || prev == dead || !rt.routable(prev, now) {
 			rt.table[name] = winner
 		}
 	}

@@ -117,6 +117,17 @@ type backend struct {
 	// translated to the JSON API.
 	binAddr string
 
+	// replicateAddr is the backend's announced replication listener (guarded
+	// by Router.mu): live on a primary, armed on a follower. The register
+	// acknowledgement hands the current owner's address back to its followers
+	// so orphans re-dial the promoted node.
+	replicateAddr string
+
+	// draining is set by a backend's final heartbeat before a planned
+	// shutdown: still alive, but asking not to be routed to. Atomic because
+	// the proxy path reads it outside Router.mu.
+	draining atomic.Bool
+
 	// role and primaryID mirror the backend's announced replication role
 	// (guarded by Router.mu like url): "primary" for a write-capable owner
 	// ("" from pre-replication backends normalizes to it), "follower" for a
@@ -196,7 +207,7 @@ type Router struct {
 	// binOps is the per-opcode request/error/latency breakdown of the binary
 	// front end (the counters above say how much; these say how fast),
 	// indexed like service.opIndex: op byte - 1.
-	binOps [6]obs.EndpointMetrics
+	binOps [8]obs.EndpointMetrics
 
 	// binRelayID mints the unique ids frames travel under on the backend leg
 	// of native forwarding; responses are matched back to their waiters by
@@ -357,6 +368,12 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.ReplicateAddr != "" {
+		if _, _, err := net.SplitHostPort(req.ReplicateAddr); err != nil {
+			writeError(w, http.StatusBadRequest, "register replicate_addr must be host:port: "+err.Error())
+			return
+		}
+	}
 	if len(req.Datacenters) == 0 {
 		writeError(w, http.StatusBadRequest, "register requires at least one datacenter")
 		return
@@ -416,6 +433,11 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	b.url = baseURL
 	b.role = role
 	b.primaryID = req.PrimaryID
+	b.replicateAddr = req.ReplicateAddr
+	if req.Draining && !b.draining.Load() {
+		rlog.Info("backend draining (planned shutdown)", "backend", b.id)
+	}
+	b.draining.Store(req.Draining)
 	if b.binAddr != req.BinaryAddr {
 		if b.binAddr != "" {
 			// The old listener's pooled conns point at an address the backend
@@ -455,7 +477,7 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if role != "follower" {
 		for name := range next {
 			if prev := rt.table[name]; prev != nil && prev != b {
-				if rt.alive(prev, now) && prev.role != "follower" {
+				if rt.alive(prev, now) && prev.role != "follower" && !prev.draining.Load() {
 					continue
 				}
 				rlog.Info("datacenter moved to announcing primary", "dc", name, "from", prev.id, "to", b.id)
@@ -465,6 +487,21 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	b.dcs = next
 	backends := len(rt.backends)
+	// Tell a follower where its datacenters' current primary listens for
+	// replication: after a promotion this is the *promoted* node's listener,
+	// and orphaned followers re-dial it on their next beat. Computed under
+	// the same lock that guards the table.
+	primaryReplAddr := ""
+	if role == "follower" {
+		for _, dc := range req.Datacenters {
+			owner := rt.table[dc.Name]
+			if owner != nil && owner != b && owner.replicateAddr != "" &&
+				rt.alive(owner, now) && !owner.draining.Load() {
+				primaryReplAddr = owner.replicateAddr
+				break
+			}
+		}
+	}
 	// The beat is stored before the lock is released: the table entry must
 	// never be observable with a zero lastBeat, or a proxy request racing
 	// the very first registration would 503 it as stale. The breaker is
@@ -477,15 +514,24 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 	rt.registrations.Add(1)
 	writeJSON(w, http.StatusOK, RegisterResponse{
-		Status:            "ok",
-		Backends:          backends,
-		StaleAfterSeconds: rt.cfg.StaleAfter.Seconds(),
+		Status:               "ok",
+		Backends:             backends,
+		StaleAfterSeconds:    rt.cfg.StaleAfter.Seconds(),
+		PrimaryReplicateAddr: primaryReplAddr,
 	})
 }
 
 // alive reports whether the backend has heartbeated within StaleAfter.
 func (rt *Router) alive(b *backend, now time.Time) bool {
 	return now.UnixNano()-b.lastBeat.Load() <= int64(rt.cfg.StaleAfter)
+}
+
+// routable reports whether requests may be sent to the backend: alive and not
+// draining. A draining backend is still beating — its shutdown is planned —
+// but asked to be taken out of rotation immediately rather than waiting out
+// the staleness window.
+func (rt *Router) routable(b *backend, now time.Time) bool {
+	return rt.alive(b, now) && !b.draining.Load()
 }
 
 // collectBackend removes a long-dead backend and its routing entries — the
@@ -596,6 +642,16 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		rt.unavailable.Add(1)
 		rt.writeUnavailable(w, rt.cfg.RetryAfter,
 			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" missed heartbeats")
+		return
+	}
+	if b.draining.Load() {
+		// pickBackend already tried to route around a draining node (spread
+		// reads, promotion for writes); reaching here means it was the only
+		// candidate. Its listeners are about to close, so reject with the
+		// usual retry hint instead of racing the teardown.
+		rt.unavailable.Add(1)
+		rt.writeUnavailable(w, rt.cfg.RetryAfter,
+			"datacenter "+strconv.Quote(dc)+" unavailable: backend "+b.id+" draining for planned shutdown")
 		return
 	}
 
@@ -805,12 +861,12 @@ func (rt *Router) liveDatacenters(now time.Time) []string {
 	rt.mu.RLock()
 	seen := make(map[string]struct{}, len(rt.table))
 	for name, b := range rt.table {
-		if rt.alive(b, now) {
+		if rt.routable(b, now) {
 			seen[name] = struct{}{}
 		}
 	}
 	for _, b := range rt.backends {
-		if b.role != "follower" || !rt.alive(b, now) {
+		if b.role != "follower" || !rt.routable(b, now) {
 			continue
 		}
 		for name := range b.dcs {
@@ -863,9 +919,11 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type BackendStats struct {
 	URL                 string            `json:"url"`
 	BinaryAddr          string            `json:"binary_addr,omitempty"`
+	ReplicateAddr       string            `json:"replicate_addr,omitempty"`
 	Role                string            `json:"role"`
 	PrimaryID           string            `json:"primary_id,omitempty"`
 	Alive               bool              `json:"alive"`
+	Draining            bool              `json:"draining,omitempty"`
 	LastBeatAgeSeconds  float64           `json:"last_beat_age_seconds"`
 	Datacenters         map[string]uint64 `json:"datacenters"` // name → announced generation
 	Proxied             uint64            `json:"proxied"`
@@ -982,9 +1040,11 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := BackendStats{
 			URL:                 b.url,
 			BinaryAddr:          b.binAddr,
+			ReplicateAddr:       b.replicateAddr,
 			Role:                b.role,
 			PrimaryID:           b.primaryID,
 			Alive:               rt.alive(b, now),
+			Draining:            b.draining.Load(),
 			LastBeatAgeSeconds:  time.Duration(now.UnixNano() - b.lastBeat.Load()).Seconds(),
 			Datacenters:         make(map[string]uint64, len(b.dcs)),
 			Proxied:             b.proxied.Load(),

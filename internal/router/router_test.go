@@ -775,3 +775,87 @@ func TestRouterErrorPaths(t *testing.T) {
 		})
 	}
 }
+
+func TestDrainingBackendStopsRouting(t *testing.T) {
+	clock := newTestClock()
+	a := newFakeBackend(t)
+	rt := router.New(router.Config{StaleAfter: 10 * time.Second, RetryAfter: 2 * time.Second, Now: clock.Now})
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+	beat := router.RegisterRequest{
+		ID: "node-a", URL: a.srv.URL,
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A"}},
+	}
+	mustRegister(t, srv.URL, beat)
+
+	if resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("before drain: status %d, want 200", resp.StatusCode)
+	}
+
+	// The drain beat takes the node out of rotation immediately — no
+	// staleness window — even though it keeps heartbeating.
+	beat.Draining = true
+	mustRegister(t, srv.URL, beat)
+	served := len(a.seen())
+	resp, body := getBody(t, srv.URL+"/v1/DC-A/classes")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining backend: status %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("draining 503 missing Retry-After")
+	}
+	if got := len(a.seen()); got != served {
+		t.Errorf("draining backend still proxied to: %d requests, want %d", got, served)
+	}
+	if got := datacentersOf(t, srv.URL); len(got) != 0 {
+		t.Errorf("draining backend still in datacenter union: %v", got)
+	}
+
+	// A post-restart beat without the flag puts it straight back.
+	beat.Draining = false
+	mustRegister(t, srv.URL, beat)
+	if resp, _ := getBody(t, srv.URL+"/v1/DC-A/classes"); resp.StatusCode != http.StatusOK {
+		t.Errorf("after restart beat: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestFollowerBeatLearnsPrimaryReplicateAddr(t *testing.T) {
+	p := newFakeBackend(t)
+	f := newFakeBackend(t)
+	rt := router.New(router.Config{StaleAfter: time.Minute})
+	srv := httptest.NewServer(rt)
+	defer srv.Close()
+	mustRegister(t, srv.URL, router.RegisterRequest{
+		ID: "node-p", URL: p.srv.URL, Role: "primary", ReplicateAddr: "127.0.0.1:7079",
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A", Generation: 5}},
+	})
+
+	body, err := json.Marshal(router.RegisterRequest{
+		ID: "node-f", URL: f.srv.URL, Role: "follower", PrimaryID: "node-p",
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A", Generation: 5}},
+	})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("register follower: %v", err)
+	}
+	defer resp.Body.Close()
+	var ack router.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatalf("decode ack: %v", err)
+	}
+	if ack.PrimaryReplicateAddr != "127.0.0.1:7079" {
+		t.Errorf("follower ack primary_replicate_addr = %q, want %q", ack.PrimaryReplicateAddr, "127.0.0.1:7079")
+	}
+
+	// The primary's own ack never carries it.
+	respP := register(t, srv.URL, router.RegisterRequest{
+		ID: "node-p", URL: p.srv.URL, Role: "primary", ReplicateAddr: "127.0.0.1:7079",
+		Datacenters: []router.RegisterDatacenter{{Name: "DC-A", Generation: 6}},
+	})
+	if respP.StatusCode != http.StatusOK {
+		t.Fatalf("primary re-register: status %d", respP.StatusCode)
+	}
+}

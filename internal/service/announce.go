@@ -34,6 +34,11 @@ type AnnouncerConfig struct {
 	// Token is the router's shared register token (sent as a bearer token),
 	// when the router requires one.
 	Token string
+	// ReplicateAddr is this node's replication listener (host:port) — live on
+	// a primary, armed for promotion on a follower. Announced so the router
+	// can point orphaned followers at whichever node currently owns the
+	// primary role.
+	ReplicateAddr string
 }
 
 // Announcer is the registration client: a background loop that heartbeats
@@ -54,6 +59,7 @@ type Announcer struct {
 	beats     atomic.Uint64
 	beatFails atomic.Uint64
 	lastErr   atomic.Pointer[string]
+	draining  atomic.Bool
 }
 
 // StartAnnouncer validates the config and starts the heartbeat loop, which
@@ -117,13 +123,16 @@ func (a *Announcer) loop() {
 func (a *Announcer) announce() error {
 	gens := a.svc.Generations()
 	req := regproto.RegisterRequest{
-		ID:          a.cfg.ID,
-		URL:         a.cfg.SelfURL,
-		BinaryAddr:  a.cfg.BinaryAddr,
-		Role:        a.svc.Role(),
-		Datacenters: make([]regproto.RegisterDatacenter, 0, len(gens)),
+		ID:            a.cfg.ID,
+		URL:           a.cfg.SelfURL,
+		BinaryAddr:    a.cfg.BinaryAddr,
+		Role:          a.svc.Role(),
+		ReplicateAddr: a.cfg.ReplicateAddr,
+		Draining:      a.draining.Load(),
+		Datacenters:   make([]regproto.RegisterDatacenter, 0, len(gens)),
 	}
-	if a.svc.IsFollower() {
+	follower := a.svc.IsFollower()
+	if follower {
 		// The role is read per beat, not captured at start: a promotion flips
 		// the very next heartbeat to "primary" and the router hands ownership
 		// over without either process restarting.
@@ -144,6 +153,8 @@ func (a *Announcer) announce() error {
 			var resp *http.Response
 			resp, err = a.client.Do(hreq)
 			if err == nil {
+				var ack regproto.RegisterResponse
+				decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ack)
 				// Drain before closing so the keep-alive connection goes
 				// back to the pool — beats must not cost a TCP handshake
 				// each.
@@ -151,6 +162,12 @@ func (a *Announcer) announce() error {
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					err = fmt.Errorf("router returned %s", resp.Status)
+				} else if decErr == nil && follower && ack.PrimaryReplicateAddr != "" {
+					// The router's view of who owns our datacenters — if the
+					// primary died and a sibling follower was promoted, this is
+					// the promoted node's replication listener and the follow
+					// loop re-dials it.
+					a.svc.SetFollowAddr(ack.PrimaryReplicateAddr)
 				}
 			}
 		}
@@ -169,6 +186,20 @@ func (a *Announcer) announce() error {
 // Beats reports successful and failed registration beats since start.
 func (a *Announcer) Beats() (ok, failed uint64) {
 	return a.beats.Load(), a.beatFails.Load()
+}
+
+// Deregister sends one final heartbeat marked draining, telling the router to
+// stop routing to this node right now rather than waiting out the staleness
+// window. Called on SIGTERM before the listeners close, so planned restarts
+// never serve a 503 out of the router. Best-effort: an unreachable router
+// just falls back to staleness marking. Safe to call once, before Close.
+func (a *Announcer) Deregister() {
+	a.draining.Store(true)
+	if err := a.announce(); err != nil {
+		slogger.Warn("drain beat failed; router will age this node out", "router", a.cfg.RouterURL, "err", err)
+	} else {
+		slogger.Info("deregistered from router", "router", a.cfg.RouterURL)
+	}
 }
 
 // Close stops the heartbeat loop. The router will mark this node stale one

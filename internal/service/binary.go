@@ -32,7 +32,7 @@ const (
 )
 
 // binaryOps maps an opcode to its dense metrics index; see opIndex.
-var binaryOps = []wire.Op{wire.OpSelect, wire.OpRelease, wire.OpPlace, wire.OpClasses, wire.OpServerClass, wire.OpRenew}
+var binaryOps = []wire.Op{wire.OpSelect, wire.OpRelease, wire.OpPlace, wire.OpClasses, wire.OpServerClass, wire.OpRenew, wire.OpPlaceBlock, wire.OpReimage}
 
 func opIndex(op wire.Op) int {
 	i := int(op) - 1
@@ -63,7 +63,7 @@ type BinaryServer struct {
 
 	// metrics is indexed by opIndex; same counters as the JSON endpoints so
 	// /metrics reports both dialects side by side.
-	metrics [6]EndpointMetrics
+	metrics [8]EndpointMetrics
 
 	// rec, when set (AttachBinary shares the API's), records one trace per
 	// dispatched frame; nil keeps the dispatch path trace-free.
@@ -311,6 +311,10 @@ func (b *BinaryServer) dispatch(out []byte, h wire.Header, payload []byte, dcNam
 		out, status = b.doClasses(out, h.ID, payload)
 	case wire.OpServerClass:
 		out, status = b.doServerClass(out, h.ID, payload)
+	case wire.OpPlaceBlock:
+		out, status = b.doPlaceBlock(out, h.ID, payload, dcNames)
+	case wire.OpReimage:
+		out, status = b.doReimage(out, h.ID, payload, dcNames)
 	default:
 		return wire.AppendErrorResp(out, h.ID, 400, "unknown opcode")
 	}
@@ -509,6 +513,63 @@ func (b *BinaryServer) doPlace(out []byte, id uint64, payload []byte) ([]byte, i
 		out = wire.AppendI64(out, int64(s))
 	}
 	return wire.EndFrame(out, mark), 200
+}
+
+func (b *BinaryServer) doPlaceBlock(out []byte, id uint64, payload []byte, dcNames map[string]string) ([]byte, int) {
+	var m wire.PlaceBlockReq
+	if err := m.Decode(payload); err != nil {
+		return fail(out, id, 400, "bad place-block payload")
+	}
+	if _, ok := b.svc.shards[string(m.DC)]; !ok {
+		return fail(out, id, 404, "unknown datacenter")
+	}
+	if m.Replication == 0 || int(m.Replication) > maxReplication {
+		return fail(out, id, 400, "bad replication factor")
+	}
+	placed, err := b.svc.CreateBlock(internDC(dcNames, m.DC), core.PlacementConstraints{
+		Replication:        int(m.Replication),
+		Writer:             tenant.ServerID(m.Writer),
+		EnforceEnvironment: m.Flags&wire.PlaceFlagRelaxed == 0,
+	})
+	if err != nil {
+		if errors.Is(err, ErrFollower) {
+			return fail(out, id, 503, err.Error())
+		}
+		return fail(out, id, 409, err.Error())
+	}
+	mark := len(out)
+	out = wire.BeginFrame(out, wire.OpPlaceBlockResp, id)
+	out = wire.AppendU64(out, placed.Generation)
+	out = wire.AppendU64(out, placed.Block)
+	out = wire.AppendU16(out, uint16(len(placed.Replicas)))
+	for _, s := range placed.Replicas {
+		out = wire.AppendI64(out, int64(s))
+	}
+	return wire.EndFrame(out, mark), 200
+}
+
+func (b *BinaryServer) doReimage(out []byte, id uint64, payload []byte, dcNames map[string]string) ([]byte, int) {
+	var m wire.ReimageReq
+	if err := m.Decode(payload); err != nil {
+		return fail(out, id, 400, "bad reimage payload")
+	}
+	if _, ok := b.svc.shards[string(m.DC)]; !ok {
+		return fail(out, id, 404, "unknown datacenter")
+	}
+	dc := internDC(dcNames, m.DC)
+	lost, err := b.svc.ReimageServer(dc, tenant.ServerID(m.Server))
+	if err != nil {
+		if errors.Is(err, ErrFollower) {
+			return fail(out, id, 503, err.Error())
+		}
+		return fail(out, id, 500, err.Error())
+	}
+	var pending uint32
+	if st, ok := b.svc.BlockStats(dc); ok {
+		pending = uint32(st.Pending)
+	}
+	resp := wire.ReimageResp{Server: m.Server, Lost: uint32(lost), Pending: pending}
+	return wire.AppendReimageResp(out, id, &resp), 200
 }
 
 // appendClassRec encodes one class against the live usage view and ledger

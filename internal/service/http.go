@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"harvest/internal/blockledger"
 	"harvest/internal/core"
 	"harvest/internal/httpjson"
 	"harvest/internal/ledger"
@@ -29,7 +30,9 @@ import (
 //	GET  /v1/{dc}/servers/{id}/class   — a server's class
 //	POST /v1/{dc}/select               — class selection (Alg. 1); reserves cores, returns a lease
 //	POST /v1/{dc}/release              — return a lease's cores
-//	POST /v1/{dc}/place                — replica placement (Alg. 2)
+//	POST /v1/{dc}/place                — replica placement (Alg. 2), advisory
+//	POST /v1/{dc}/blocks               — create a block: place R replicas and record them in the block ledger
+//	POST /v1/{dc}/reimage              — ingest a reimaging event: replicas on the server are lost, repairs enqueue
 //	POST /v1/{dc}/telemetry            — live utilization ingestion (feeds the rings)
 //	GET  /healthz                      — liveness
 //	GET  /metrics                      — counters, latency quantiles, snapshot ages/staleness, ledger books
@@ -95,7 +98,7 @@ type APIOptions struct {
 }
 
 // apiEndpoints names the instrumented endpoints, in /metrics display order.
-var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "renew", "release", "place", "telemetry", "leases", "promote", "healthz", "metrics"}
+var apiEndpoints = []string{"datacenters", "classes", "server_class", "select", "renew", "release", "place", "blocks", "reimage", "telemetry", "leases", "promote", "healthz", "metrics"}
 
 // NewAPI wraps a service in its HTTP handler with default (open) options.
 func NewAPI(svc *Service) *API { return NewAPIWith(svc, APIOptions{}) }
@@ -147,6 +150,8 @@ func NewAPIWith(svc *Service, opts APIOptions) *API {
 	a.mux.HandleFunc("POST /v1/{dc}/renew", a.instrument("renew", a.handleRenew))
 	a.mux.HandleFunc("POST /v1/{dc}/release", a.instrument("release", a.handleRelease))
 	a.mux.HandleFunc("POST /v1/{dc}/place", a.instrument("place", a.handlePlace))
+	a.mux.HandleFunc("POST /v1/{dc}/blocks", a.instrument("blocks", a.handleBlocks))
+	a.mux.HandleFunc("POST /v1/{dc}/reimage", a.instrument("reimage", a.handleReimage))
 	a.mux.HandleFunc("POST /v1/{dc}/telemetry", a.instrument("telemetry", a.handleTelemetry))
 	a.mux.HandleFunc("GET /v1/{dc}/leases", a.instrument("leases", a.handleLeases))
 	a.mux.HandleFunc("POST /v1/promote", a.instrument("promote", a.handlePromote))
@@ -947,6 +952,122 @@ func (a *API) handlePlace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// blocksRequest creates a block: replication replicas placed via Alg. 2
+// against the current snapshot and recorded in the block ledger, which will
+// keep the block at R live replicas through reimaging events and re-keys.
+type blocksRequest struct {
+	Replication        int   `json:"replication"`
+	Writer             int64 `json:"writer"`
+	RelaxedEnvironment bool  `json:"relaxed_environment"`
+}
+
+type blocksResponse struct {
+	Datacenter string  `json:"datacenter"`
+	Generation uint64  `json:"generation"`
+	Block      uint64  `json:"block"`
+	Replicas   []int64 `json:"replicas"`
+}
+
+func (a *API) handleBlocks(w http.ResponseWriter, r *http.Request) {
+	dc := r.PathValue("dc")
+	if _, ok := a.svc.Snapshot(dc); !ok {
+		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
+		return
+	}
+	req := blocksRequest{Writer: -1}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Replication <= 0 || req.Replication > maxReplication {
+		writeError(w, http.StatusBadRequest,
+			"replication must be in [1, "+strconv.Itoa(maxReplication)+"]")
+		return
+	}
+	bp, err := a.svc.CreateBlock(dc, core.PlacementConstraints{
+		Replication:        req.Replication,
+		Writer:             tenant.ServerID(req.Writer),
+		EnforceEnvironment: !req.RelaxedEnvironment,
+	})
+	if err != nil {
+		if errors.Is(err, ErrFollower) {
+			// Block creation moves the durability books; the router pins it to
+			// the primary, so landing here means a client went direct.
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		// Placement exhausted the diversity space (or kept racing refreshes):
+		// a conflict with current cluster state, not a malformed request.
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	resp := blocksResponse{
+		Datacenter: dc,
+		Generation: bp.Generation,
+		Block:      bp.Block,
+		Replicas:   make([]int64, len(bp.Replicas)),
+	}
+	for i, s := range bp.Replicas {
+		resp.Replicas[i] = int64(s)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reimageRequest ingests one reimaging event: the server's harvested storage
+// is wiped (the tenant re-deployed, per the paper's reimaging distributions),
+// so every block replica it held is lost and must be re-replicated. The
+// pointer distinguishes an absent server from the valid id 0.
+type reimageRequest struct {
+	Server *int64 `json:"server"`
+}
+
+type reimageResponse struct {
+	Datacenter string `json:"datacenter"`
+	Server     int64  `json:"server"`
+	// Lost is how many replicas this event hit; Pending is the DC's total
+	// replica slots currently awaiting re-replication.
+	Lost    int   `json:"lost"`
+	Pending int64 `json:"pending"`
+}
+
+// handleReimage shares the ingest bearer token: reimaging events mutate the
+// durability books the same way telemetry mutates the history, so the event
+// stream gets the same auth.
+func (a *API) handleReimage(w http.ResponseWriter, r *http.Request) {
+	if !httpjson.BearerAuthorized(r, a.opts.IngestToken) {
+		writeError(w, http.StatusUnauthorized, "missing or invalid ingest token")
+		return
+	}
+	dc := r.PathValue("dc")
+	if _, ok := a.svc.Snapshot(dc); !ok {
+		writeError(w, http.StatusNotFound, "unknown datacenter "+strconv.Quote(dc))
+		return
+	}
+	var req reimageRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Server == nil {
+		writeError(w, http.StatusBadRequest, "server is required")
+		return
+	}
+	lost, err := a.svc.ReimageServer(dc, tenant.ServerID(*req.Server))
+	if err != nil {
+		if errors.Is(err, ErrFollower) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	resp := reimageResponse{Datacenter: dc, Server: *req.Server, Lost: lost}
+	if st, ok := a.svc.BlockStats(dc); ok {
+		resp.Pending = st.Pending
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // promoteResponse reports a promotion attempt. Promoted is false when the
 // node already is (or just became) primary — the call is idempotent, so a
 // router retrying against a winner it already promoted gets a clean 200.
@@ -1025,6 +1146,21 @@ type shardStatsJSON struct {
 	Recluster     reclusterStatsJSON `json:"recluster"`
 
 	Ledger ledgerStatsJSON `json:"ledger"`
+	// Blocks is the block-placement ledger's books. All counts are exact
+	// whole replicas so the durability invariants
+	//
+	//	placed + pending == replica_slots
+	//	lost == replaced + pending
+	//
+	// can be asserted without tolerance (the CI storage-smoke job does);
+	// blockledger.Stats carries its own JSON tags.
+	Blocks blockledger.Stats `json:"blocks"`
+	// PlacementRelaxedTotal counts replica picks that fell back to ignoring
+	// row/column diversity (the previously-silent §7 degradation);
+	// RepairFailures counts re-replicator attempts that went back on the
+	// queue without landing.
+	PlacementRelaxedTotal uint64 `json:"placement_relaxed_total"`
+	RepairFailures        uint64 `json:"repair_failures"`
 }
 
 // reclusterStatsJSON summarizes the last warm refresh's incremental work.
@@ -1261,6 +1397,9 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				AllocatedCoresByClass:     alloc,
 				ReserveFloorMillisByClass: st.Ledger.ReserveFloorMillisByClass,
 			},
+			Blocks:                st.Blocks,
+			PlacementRelaxedTotal: st.PlacementRelaxed,
+			RepairFailures:        st.RepairFailures,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

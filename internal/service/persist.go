@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"harvest/internal/blockledger"
 	"harvest/internal/core"
 	"harvest/internal/ledger"
 	"harvest/internal/signalproc"
@@ -64,6 +65,10 @@ func ledgerPath(dir, dc string) string {
 	return filepath.Join(dir, dc+".ledger.json")
 }
 
+func blocksPath(dir, dc string) string {
+	return filepath.Join(dir, dc+".blocks.json")
+}
+
 // persistedLedger wraps the ledger state with the same population
 // fingerprint as the snapshot file: leases only make sense over the exact
 // clustering they were reserved against.
@@ -87,6 +92,7 @@ func (s *Service) persistSnapshot(sh *shard, snap *Snapshot) {
 		slogger.Warn("snapshot persist failed", "dc", sh.dc, "err", err)
 	}
 	s.persistLedger(sh)
+	s.persistBlocks(sh)
 }
 
 // persistLedger writes the shard's allocation ledger next to its snapshot
@@ -152,6 +158,82 @@ func (s *Service) restoreLedger(sh *shard, snap *Snapshot) *ledger.Ledger {
 	}
 	if n, millis := led.ExpireBefore(time.Now()); n > 0 {
 		slogger.Info("restored ledger, expired stale leases from downtime", "dc", sh.dc, "leases", n, "cores", ledger.CoresOf(millis))
+	}
+	return led
+}
+
+// persistedBlocks wraps the block ledger state with the same population
+// fingerprint as the snapshot file: block placements only make sense over the
+// exact population (and thus placement grid) they were placed against.
+type persistedBlocks struct {
+	Version         int               `json:"version"`
+	Datacenter      string            `json:"datacenter"`
+	Seed            int64             `json:"seed"`
+	ScaleDatacenter float64           `json:"scale_datacenter"`
+	State           blockledger.State `json:"state"`
+}
+
+// persistBlocks writes the shard's block ledger next to its snapshot file,
+// best-effort like the rest of the persistence. Skipped before the shard's
+// block ledger exists (boot-path snapshot persist).
+func (s *Service) persistBlocks(sh *shard) {
+	if s.cfg.PersistDir == "" || sh.blocks == nil {
+		return
+	}
+	p := persistedBlocks{
+		Version:         persistVersion,
+		Datacenter:      sh.dc,
+		Seed:            s.cfg.Scale.Seed,
+		ScaleDatacenter: s.cfg.Scale.Datacenter,
+		State:           sh.blocks.Export(),
+	}
+	err := os.MkdirAll(s.cfg.PersistDir, 0o755)
+	if err == nil {
+		var data []byte
+		if data, err = json.Marshal(p); err == nil {
+			tmp := blocksPath(s.cfg.PersistDir, sh.dc) + ".tmp"
+			if err = os.WriteFile(tmp, data, 0o644); err == nil {
+				err = os.Rename(tmp, blocksPath(s.cfg.PersistDir, sh.dc))
+			}
+		}
+	}
+	if err != nil {
+		sh.persistErrors.Add(1)
+		slogger.Warn("block ledger persist failed", "dc", sh.dc, "err", err)
+	}
+}
+
+// restoreBlocks loads the shard's persisted block ledger. The repair queue is
+// rebuilt from the pending slots, so repairs in flight at shutdown are
+// recovered, not dropped. The placement grid is a pure function of the
+// (fingerprint-checked, deterministically regenerated) population, so
+// restored placements are still valid under the restored snapshot's scheme.
+// Any problem logs and returns nil, which means "start empty".
+func (s *Service) restoreBlocks(sh *shard, snap *Snapshot) *blockledger.Ledger {
+	if s.cfg.PersistDir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(blocksPath(s.cfg.PersistDir, sh.dc))
+	if err != nil {
+		return nil
+	}
+	var p persistedBlocks
+	if err := json.Unmarshal(data, &p); err != nil {
+		slogger.Warn("ignoring persisted block ledger: corrupt file", "dc", sh.dc, "err", err)
+		return nil
+	}
+	if p.Version != persistVersion || p.Datacenter != sh.dc ||
+		p.Seed != s.cfg.Scale.Seed || p.ScaleDatacenter != s.cfg.Scale.Datacenter {
+		slogger.Warn("ignoring persisted block ledger: fingerprint mismatch", "dc", sh.dc)
+		return nil
+	}
+	led, err := blockledger.Restore(p.State, snap.Generation)
+	if err != nil {
+		slogger.Warn("ignoring persisted block ledger", "dc", sh.dc, "err", err)
+		return nil
+	}
+	if st := led.Snapshot(); st.Blocks > 0 {
+		slogger.Info("restored block ledger", "dc", sh.dc, "blocks", st.Blocks, "pending", st.Pending)
 	}
 	return led
 }

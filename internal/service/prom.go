@@ -139,6 +139,38 @@ func (a *API) writeProm(w http.ResponseWriter) {
 		}
 	}
 
+	// The block-placement ledger's durability books: exact whole-replica
+	// integers with the same conservation invariants as the JSON shape
+	// (placed + pending == replica_slots, lost == replaced + pending).
+	p.Metric("harvestd_blocks", "gauge", "Blocks tracked by the block-placement ledger.")
+	p.Metric("harvestd_block_replica_slots", "gauge", "Replica slots across all tracked blocks.")
+	p.Metric("harvestd_block_replicas_placed", "gauge", "Replica slots currently holding a live replica.")
+	p.Metric("harvestd_block_replicas_pending", "gauge", "Replica slots awaiting re-replication.")
+	p.Metric("harvestd_block_replicas_lost_total", "counter", "Replicas ever lost to reimaging.")
+	p.Metric("harvestd_block_replicas_replaced_total", "counter", "Lost replicas re-placed by the repair loop.")
+	p.Metric("harvestd_block_creates_total", "counter", "Blocks created.")
+	p.Metric("harvestd_block_reimages_total", "counter", "Reimaging events ingested.")
+	p.Metric("harvestd_block_stale_retries_total", "counter", "Block operations retried across snapshot generation changes.")
+	p.Metric("harvestd_block_repair_queue", "gauge", "Replica slots queued for the re-replicator.")
+	p.Metric("harvestd_block_repair_failures_total", "counter", "Repair attempts that requeued without placing a replica.")
+	p.Metric("harvestd_placement_relaxed_total", "counter", "Replica picks that fell back to relaxed (non-diverse) placement.")
+	for _, row := range rows {
+		ls := obs.Labels("dc", row.dc)
+		b := row.st.Blocks
+		p.Int("harvestd_blocks", ls, b.Blocks)
+		p.Int("harvestd_block_replica_slots", ls, b.ReplicaSlots)
+		p.Int("harvestd_block_replicas_placed", ls, b.Placed)
+		p.Int("harvestd_block_replicas_pending", ls, b.Pending)
+		p.Int("harvestd_block_replicas_lost_total", ls, b.Lost)
+		p.Int("harvestd_block_replicas_replaced_total", ls, b.Replaced)
+		p.Uint("harvestd_block_creates_total", ls, b.Creates)
+		p.Uint("harvestd_block_reimages_total", ls, b.Reimages)
+		p.Uint("harvestd_block_stale_retries_total", ls, b.StaleRetries)
+		p.Int("harvestd_block_repair_queue", ls, int64(b.RepairQueue))
+		p.Uint("harvestd_block_repair_failures_total", ls, row.st.RepairFailures)
+		p.Uint("harvestd_placement_relaxed_total", ls, row.st.PlacementRelaxed)
+	}
+
 	// Drift-threshold feedback loop: the warm path's current gate and the
 	// last full rebuild's warm-vs-oracle agreement (-1 until measured).
 	p.Metric("harvestd_drift_threshold", "gauge", "Auto-tuned warm-recluster drift threshold.")

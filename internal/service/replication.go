@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"harvest/internal/blockledger"
 	"harvest/internal/core"
 	"harvest/internal/ledger"
 	"harvest/internal/signalproc"
@@ -46,6 +47,11 @@ type replState struct {
 	stopFollow  chan struct{}
 	promoteOnce sync.Once
 	conn        atomic.Pointer[net.Conn]
+	// followAddr overrides cfg.FollowAddr when the primary moves: the router
+	// learns the promoted primary's replication address from registration
+	// beats and the announcer retargets orphaned followers here (nil until
+	// the first retarget).
+	followAddr atomic.Pointer[string]
 	// applyMu serializes frame application and is the promotion barrier:
 	// Promote flips the role and then takes the mutex, so no frame mutates
 	// the books after Promote returns.
@@ -59,8 +65,12 @@ type replState struct {
 	promotions    atomic.Uint64
 
 	// Primary side.
-	mu            sync.Mutex
-	ln            net.Listener
+	mu sync.Mutex
+	ln net.Listener
+	// pendingLn is a replication listener a follower holds in reserve:
+	// Promote begins ServeReplication on it, so a promoted primary can feed
+	// the surviving followers without a restart.
+	pendingLn     net.Listener
 	conns         map[net.Conn]struct{}
 	followers     atomic.Int64
 	framesShipped atomic.Uint64
@@ -73,6 +83,9 @@ func (r *replState) shutdown() {
 	r.mu.Lock()
 	if r.ln != nil {
 		r.ln.Close()
+	}
+	if r.pendingLn != nil {
+		r.pendingLn.Close()
 	}
 	for nc := range r.conns {
 		nc.Close()
@@ -102,10 +115,67 @@ func (s *Service) readLiveness() time.Duration {
 	return d
 }
 
+// ArmReplicationListener hands a follower a replication listener to hold in
+// reserve: it accepts nothing until Promote, which starts ServeReplication on
+// it — the headline failover fix, letting a promoted primary feed the
+// surviving followers (and survive a second failover) without a restart. On a
+// node that is already the primary it starts serving immediately.
+func (s *Service) ArmReplicationListener(ln net.Listener) {
+	if !s.follower.Load() {
+		s.ServeReplication(ln)
+		return
+	}
+	s.repl.mu.Lock()
+	s.repl.pendingLn = ln
+	s.repl.mu.Unlock()
+	// Promote may have raced the flag check above; re-check and serve so the
+	// listener can never be stranded un-served on a primary.
+	if !s.follower.Load() {
+		s.serveArmedListener()
+	}
+}
+
+// serveArmedListener starts replication on the reserve listener, exactly once.
+func (s *Service) serveArmedListener() {
+	s.repl.mu.Lock()
+	ln := s.repl.pendingLn
+	s.repl.pendingLn = nil
+	s.repl.mu.Unlock()
+	if ln != nil {
+		s.ServeReplication(ln)
+		slogger.Info("replication listener live after promotion", "node", s.cfg.NodeID, "addr", ln.Addr())
+	}
+}
+
+// SetFollowAddr retargets a follower's replication stream at a new primary
+// address — what the announcer calls when the router reports a promoted
+// primary. The live connection (if any) is closed so the follow loop re-dials
+// immediately. No-op on a primary, on an empty address, or when the address
+// is unchanged.
+func (s *Service) SetFollowAddr(addr string) {
+	if addr == "" || !s.follower.Load() || addr == s.followAddr() {
+		return
+	}
+	s.repl.followAddr.Store(&addr)
+	slogger.Info("retargeting replication stream", "node", s.cfg.NodeID, "primary_addr", addr)
+	if c := s.repl.conn.Load(); c != nil {
+		(*c).Close()
+	}
+}
+
+// followAddr is the address the follow loop dials: the retargeted primary
+// when the router has reported one, the configured address otherwise.
+func (s *Service) followAddr() string {
+	if p := s.repl.followAddr.Load(); p != nil {
+		return *p
+	}
+	return s.cfg.FollowAddr
+}
+
 // ServeReplication starts streaming replication frames to every follower
 // that connects on ln. The listener is owned by the service from here on:
 // Close shuts it down. Call on a primary only; a follower serving replication
-// would re-ship second-hand state.
+// would re-ship second-hand state (followers use ArmReplicationListener).
 func (s *Service) ServeReplication(ln net.Listener) {
 	s.repl.mu.Lock()
 	s.repl.ln = ln
@@ -205,6 +275,7 @@ func (s *Service) buildReplFrame(dst []byte, sh *shard, prev *Snapshot) ([]byte,
 	snap := sh.snap.Load()
 	now := time.Now().UnixNano()
 	led := replLedgerOf(sh.led.Export())
+	blocks := replBlocksOf(sh.blocks.Export())
 	usage := s.UsageFor(snap)
 
 	if prev == snap {
@@ -215,6 +286,7 @@ func (s *Service) buildReplFrame(dst []byte, sh *shard, prev *Snapshot) ([]byte,
 			AsOfSeconds:  sh.rings.Horizon().Seconds(),
 			Usage:        make([]wire.ReplClassUsage, 0, len(snap.Clustering.Classes)),
 			Ledger:       led,
+			Blocks:       blocks,
 		}
 		for _, cls := range snap.Clustering.Classes {
 			m.Usage = append(m.Usage, wire.ReplClassUsage{ID: uint32(cls.ID), Current: usage[cls.ID].CurrentUtilization})
@@ -231,6 +303,7 @@ func (s *Service) buildReplFrame(dst []byte, sh *shard, prev *Snapshot) ([]byte,
 		BuiltAtUnixNano: snap.BuiltAt.UnixNano(),
 		Classes:         make([]wire.ReplClass, 0, len(snap.Clustering.Classes)),
 		Ledger:          led,
+		Blocks:          blocks,
 	}
 	if prev != nil && snap.Generation == prev.Generation+1 {
 		op = wire.OpReplDelta
@@ -297,16 +370,21 @@ func (s *Service) followLoop() {
 			return
 		default:
 		}
-		nc, err := net.DialTimeout("tcp", s.cfg.FollowAddr, replHandshakeTimeout)
+		addr := s.followAddr()
+		nc, err := net.DialTimeout("tcp", addr, replHandshakeTimeout)
 		if err == nil {
 			s.repl.conn.Store(&nc)
 			s.repl.connected.Store(true)
-			err = s.runFollower(nc)
+			err = s.runFollower(nc, addr)
 			s.repl.connected.Store(false)
 			nc.Close()
 		}
 		if err != nil && !s.stopping() {
-			slogger.Warn("replication stream lost; reconnecting", "primary", s.cfg.FollowAddr, "err", err)
+			slogger.Warn("replication stream lost; reconnecting", "primary", addr, "err", err)
+		}
+		if s.followAddr() != addr {
+			// Retargeted mid-backoff: dial the new primary without waiting.
+			backoff = 200 * time.Millisecond
 		}
 		s.repl.reconnects.Add(1)
 		select {
@@ -335,7 +413,7 @@ func (s *Service) stopping() bool {
 
 // runFollower performs the handshake and applies frames until the stream
 // breaks, the liveness deadline passes, or the node is promoted.
-func (s *Service) runFollower(nc net.Conn) error {
+func (s *Service) runFollower(nc net.Conn, addr string) error {
 	hello := wire.ReplHello{FollowerID: s.cfg.NodeID, DCs: make([]wire.ReplDCGen, 0, len(s.order))}
 	for _, dc := range s.order {
 		// Announce only generations actually applied from a primary (zero on
@@ -364,7 +442,7 @@ func (s *Service) runFollower(nc net.Conn) error {
 	}
 	pid := resp.PrimaryID
 	s.repl.primaryID.Store(&pid)
-	slogger.Info("following primary", "primary", pid, "addr", s.cfg.FollowAddr)
+	slogger.Info("following primary", "primary", pid, "addr", addr)
 
 	for {
 		nc.SetReadDeadline(time.Now().Add(s.readLiveness()))
@@ -500,6 +578,7 @@ func (s *Service) applyReplSnapshot(delta bool, m *wire.ReplSnapshot) error {
 	sh.rings.AdvanceClock(snap.AsOf)
 
 	sh.led.ApplyState(ledgerStateOf(&m.Ledger), len(classes))
+	sh.blocks.ApplyState(blocksStateOf(&m.Blocks))
 	sh.snap.Store(snap)
 	s.buildUsageView(sh, snap, usage, sh.rings.TotalSamples())
 	sh.replGen.Store(m.Generation)
@@ -534,6 +613,7 @@ func (s *Service) applyReplBeat(m *wire.ReplBeat) error {
 	}
 	sh.rings.AdvanceClock(time.Duration(m.AsOfSeconds * float64(time.Second)))
 	sh.led.ApplyState(ledgerStateOf(&m.Ledger), len(snap.Clustering.Classes))
+	sh.blocks.ApplyState(blocksStateOf(&m.Blocks))
 	s.buildUsageView(sh, snap, usage, sh.rings.TotalSamples())
 	sh.replAppliedAt.Store(time.Now().UnixNano())
 	return nil
@@ -591,6 +671,47 @@ func ledgerStateOf(m *wire.ReplLedger) ledger.State {
 			pl.Grants[i] = ledger.Grant{Class: core.ClassID(g.Class), Millis: g.Millis}
 		}
 		st.Leases = append(st.Leases, pl)
+	}
+	return st
+}
+
+// replBlocksOf converts an exported block-ledger state to its wire form.
+func replBlocksOf(st blockledger.State) wire.ReplBlocks {
+	rb := wire.ReplBlocks{
+		Generation: st.Generation,
+		Lost:       st.Lost,
+		Replaced:   st.Replaced,
+		Creates:    st.Creates,
+		Reimages:   st.Reimages,
+		Blocks:     make([]wire.ReplBlock, 0, len(st.Blocks)),
+	}
+	for _, pb := range st.Blocks {
+		wb := wire.ReplBlock{ID: pb.ID, EnvStrict: pb.EnvStrict, Replicas: make([]wire.ReplBlockReplica, len(pb.Replicas))}
+		for i, r := range pb.Replicas {
+			wb.Replicas[i] = wire.ReplBlockReplica{Server: int64(r.Server), Placed: r.Placed}
+		}
+		rb.Blocks = append(rb.Blocks, wb)
+	}
+	return rb
+}
+
+// blocksStateOf converts a wire block section back to the state ApplyState
+// consumes.
+func blocksStateOf(m *wire.ReplBlocks) blockledger.State {
+	st := blockledger.State{
+		Generation: m.Generation,
+		Lost:       m.Lost,
+		Replaced:   m.Replaced,
+		Creates:    m.Creates,
+		Reimages:   m.Reimages,
+		Blocks:     make([]blockledger.PersistedBlock, 0, len(m.Blocks)),
+	}
+	for _, wb := range m.Blocks {
+		pb := blockledger.PersistedBlock{ID: wb.ID, EnvStrict: wb.EnvStrict, Replicas: make([]blockledger.PersistedReplica, len(wb.Replicas))}
+		for i, r := range wb.Replicas {
+			pb.Replicas[i] = blockledger.PersistedReplica{Server: tenant.ServerID(r.Server), Placed: r.Placed}
+		}
+		st.Blocks = append(st.Blocks, pb)
 	}
 	return st
 }

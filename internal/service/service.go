@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"harvest/internal/blockledger"
 	"harvest/internal/core"
 	"harvest/internal/experiments"
 	"harvest/internal/ledger"
@@ -85,6 +86,14 @@ type Config struct {
 	// ReplInterval is the cadence the primary ships replication frames at
 	// (and the follower's liveness expectation). Zero means 250ms.
 	ReplInterval time.Duration
+	// RepairInterval is how often the background re-replicator drains the
+	// block ledger's repair queue (a compressed stand-in for the paper's
+	// 10-minute repair detection delay). Zero means 250ms; negative disables
+	// the loop — repairs then only happen via RepairBlocks.
+	RepairInterval time.Duration
+	// RepairBatch bounds how many repairs one re-replicator tick attempts per
+	// datacenter. Zero means 64.
+	RepairBatch int
 }
 
 // DefaultConfig serves every datacenter at quick scale, refreshing every
@@ -148,10 +157,11 @@ func (u *ledgerUsage) AllocatedCoresOf(id core.ClassID) float64 {
 // (or Refresh callers serialized by mu) touches pop and sinceFull; readers
 // only ever Load pointers.
 type shard struct {
-	dc    string
-	snap  atomic.Pointer[Snapshot]
-	rings *telemetry.Store
-	led   *ledger.Ledger
+	dc     string
+	snap   atomic.Pointer[Snapshot]
+	rings  *telemetry.Store
+	led    *ledger.Ledger
+	blocks *blockledger.Ledger
 
 	liveUsage atomic.Pointer[usageView]
 
@@ -166,6 +176,11 @@ type shard struct {
 	ingested      atomic.Uint64 // live samples accepted via Ingest
 	persistErrors atomic.Uint64
 	staleRetries  atomic.Uint64 // SelectReserve retries due to a re-key in flight
+
+	// repairFailures counts re-replicator attempts that could not land (no
+	// eligible server, or the placement kept racing) and went back on the
+	// queue — the signal that a datacenter is too depleted to restore R.
+	repairFailures atomic.Uint64
 
 	// driftThr is the auto-tuned warm-recluster drift threshold (float64
 	// bits): every full rebuild measures how often the incremental path's
@@ -269,6 +284,12 @@ func New(cfg Config) (*Service, error) {
 	if cfg.ReplInterval <= 0 {
 		cfg.ReplInterval = 250 * time.Millisecond
 	}
+	if cfg.RepairInterval == 0 {
+		cfg.RepairInterval = 250 * time.Millisecond
+	}
+	if cfg.RepairBatch <= 0 {
+		cfg.RepairBatch = 64
+	}
 
 	s := &Service{
 		cfg:    cfg,
@@ -312,6 +333,14 @@ func New(cfg Config) (*Service, error) {
 		sh.led = s.restoreLedger(sh, snap)
 		if sh.led == nil {
 			sh.led = ledger.New(snap.Generation, len(snap.Clustering.Classes))
+		}
+		// The block ledger rides the same persistence lifecycle: restored
+		// blocks (and their pending repairs, rebuilt from the pending slots)
+		// survive a restart; otherwise the books start empty at the boot
+		// generation.
+		sh.blocks = s.restoreBlocks(sh, snap)
+		if sh.blocks == nil {
+			sh.blocks = blockledger.New(snap.Generation)
 		}
 		sh.snap.Store(snap)
 		s.order = append(s.order, dc)
@@ -374,6 +403,10 @@ func (s *Service) startPrimaryLoops() {
 	// hold_seconds, and those must still be reclaimed.
 	s.wg.Add(1)
 	go s.sweepLoop()
+	if s.cfg.RepairInterval > 0 {
+		s.wg.Add(1)
+		go s.repairLoop()
+	}
 }
 
 // IsFollower reports whether the node currently rejects writes.
@@ -427,6 +460,10 @@ func (s *Service) Promote() bool {
 	if s.started.Load() {
 		s.startPrimaryLoops()
 	}
+	// Begin serving replication on the reserve listener (when the follower
+	// was armed with one), so the surviving followers can re-dial the new
+	// primary and a second failover has somewhere to promote from.
+	s.serveArmedListener()
 	slogger.Info("promoted to primary", "node", s.cfg.NodeID)
 	return true
 }
@@ -471,6 +508,7 @@ func (s *Service) Close() {
 	s.wg.Wait()
 	for _, dc := range s.order {
 		s.persistLedger(s.shards[dc])
+		s.persistBlocks(s.shards[dc])
 	}
 }
 
@@ -553,6 +591,15 @@ func (s *Service) refreshShard(sh *shard) error {
 			// new one. A reservation racing the swap detects the generation
 			// change and retries (SelectReserve).
 			rekeyLedger(sh.led, sh.pop, prev.Clustering, next.Clustering, next.Generation)
+			// The block ledger re-keys the same way: every placement is
+			// re-validated against the new generation's grid, and replicas
+			// that now violate their block's diversity promises are displaced
+			// into the repair queue (counted as lost, so the conservation
+			// books keep balancing). A block create racing the swap detects
+			// the generation change and re-places (CreateBlock).
+			if displaced := sh.blocks.Rekey(next.Generation, next.Scheme().ReplicaSite); displaced > 0 {
+				slogger.Info("re-key displaced block replicas", "dc", sh.dc, "replicas", displaced)
+			}
 			sh.snap.Store(next)
 			sh.refreshes.Add(1)
 			if rst.FullRebuild {
@@ -894,6 +941,16 @@ type ShardStats struct {
 	Recluster core.ReclusterStats
 	// Ledger is the allocation ledger's point-in-time summary.
 	Ledger ledger.Stats
+	// Blocks is the block-placement ledger's point-in-time summary
+	// (conservation: placed+pending == replica_slots, lost == replaced+pending).
+	Blocks blockledger.Stats
+	// PlacementRelaxed counts replica picks (initial and repair) that fell
+	// back to ignoring row/column diversity because the constraint could not
+	// be met — the previously-silent degradation of §7, now on the books.
+	PlacementRelaxed uint64
+	// RepairFailures counts re-replicator attempts that went back on the
+	// queue without landing.
+	RepairFailures uint64
 }
 
 // Stats returns the refresh counters for a datacenter.
@@ -927,6 +984,11 @@ func (s *Service) Stats(dc string) (ShardStats, bool) {
 		RefreshP99Us:    sh.refreshLatency.QuantileMicros(0.99),
 		RefreshMaxUs:    sh.refreshLatency.MaxMicros(),
 		Ledger:          sh.led.Snapshot(),
+		Blocks:          sh.blocks.Snapshot(),
+		// The scheme is shared across generations (it is a pure function of
+		// the population), so the relaxed counter accumulates per shard.
+		PlacementRelaxed: snap.Scheme().RelaxedCount(),
+		RepairFailures:   sh.repairFailures.Load(),
 	}
 	if rst := sh.lastRecluster.Load(); rst != nil {
 		st.Recluster = *rst
@@ -1188,4 +1250,150 @@ func (s *Service) Place(dc string, c core.PlacementConstraints) ([]tenant.Server
 	}
 	replicas, err := s.PlaceOn(snap, c)
 	return replicas, snap, err
+}
+
+// BlockPlacement is the outcome of CreateBlock: the issued block id, the
+// servers holding its replicas, and the snapshot generation the placement was
+// validated against.
+type BlockPlacement struct {
+	Block      uint64
+	Generation uint64
+	Replicas   []tenant.ServerID
+}
+
+// CreateBlock places a block's replicas via Alg. 2 against the current
+// snapshot and records them in the block ledger — the durable twin of Place,
+// which only advises. A placement racing a snapshot refresh detects the
+// generation change at the ledger (blockledger.ErrStaleGeneration) and
+// re-places against the published snapshot, exactly like SelectReserve's
+// re-select loop. c.Replication is the block's R; c.EnforceEnvironment
+// becomes the block's recorded diversity promise for later re-keys.
+func (s *Service) CreateBlock(dc string, c core.PlacementConstraints) (BlockPlacement, error) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return BlockPlacement{}, fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	if s.follower.Load() {
+		return BlockPlacement{}, ErrFollower
+	}
+	for attempt := 0; attempt < selectReserveAttempts; attempt++ {
+		snap := sh.snap.Load()
+		replicas, err := s.PlaceOn(snap, c)
+		if err != nil {
+			return BlockPlacement{}, err
+		}
+		id, err := sh.blocks.Create(snap.Generation, replicas, c.EnforceEnvironment)
+		if err == nil {
+			return BlockPlacement{Block: id, Generation: snap.Generation, Replicas: replicas}, nil
+		}
+		if errors.Is(err, blockledger.ErrStaleGeneration) {
+			// A refresh re-keyed the block ledger between placement and
+			// recording: the replicas were picked against a grid that no
+			// longer exists, so re-place against the new snapshot.
+			runtime.Gosched()
+			continue
+		}
+		return BlockPlacement{}, err
+	}
+	return BlockPlacement{}, fmt.Errorf("service: %s: block create kept racing snapshot refreshes", dc)
+}
+
+// ReimageServer ingests one reimaging event: every block replica on the
+// server is marked lost and its repair enqueued for the background
+// re-replicator. Returns how many replicas the event hit (zero when the
+// server held nothing — still a valid event).
+func (s *Service) ReimageServer(dc string, server tenant.ServerID) (lost int, err error) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return 0, fmt.Errorf("service: unknown datacenter %q", dc)
+	}
+	if s.follower.Load() {
+		return 0, ErrFollower
+	}
+	return sh.blocks.Reimage(server), nil
+}
+
+// BlockStats returns the block ledger's counters for a datacenter.
+func (s *Service) BlockStats(dc string) (blockledger.Stats, bool) {
+	sh, ok := s.shards[dc]
+	if !ok {
+		return blockledger.Stats{}, false
+	}
+	return sh.blocks.Snapshot(), true
+}
+
+// repairLoop is the background re-replicator (primary role only): each tick
+// it drains one batch of repair refs per datacenter and re-places them via
+// Alg. 2 with the surviving replicas' constraints carried over.
+func (s *Service) repairLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.RepairInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			for _, dc := range s.order {
+				s.RepairBlocks(dc, s.cfg.RepairBatch)
+			}
+		}
+	}
+}
+
+// RepairBlocks attempts up to max queued repairs for one datacenter and
+// returns how many landed. The background re-replicator calls this on its
+// ticker; tests and operational tooling may call it directly to drain
+// synchronously. Repairs that cannot land (no eligible server under the
+// current grid) go back on the queue and count as repair failures.
+func (s *Service) RepairBlocks(dc string, max int) int {
+	sh, ok := s.shards[dc]
+	if !ok || s.follower.Load() {
+		return 0
+	}
+	landed := 0
+	for _, ref := range sh.blocks.TakeRepairs(max) {
+		if s.repairOne(sh, ref) {
+			landed++
+		} else {
+			sh.blocks.Requeue(ref)
+			sh.repairFailures.Add(1)
+		}
+	}
+	return landed
+}
+
+// repairOne re-places a single pending replica slot. True means the ref is
+// settled — the repair landed, or the slot no longer needs one (duplicate
+// delivery, deleted block); false means the caller should requeue it.
+func (s *Service) repairOne(sh *shard, ref blockledger.Repair) bool {
+	for attempt := 0; attempt < selectReserveAttempts; attempt++ {
+		snap := sh.snap.Load()
+		placed, pending, ok := sh.blocks.Servers(ref.Block)
+		if !ok || pending == 0 {
+			return true
+		}
+		envStrict, _ := sh.blocks.EnvStrict(ref.Block)
+		rng := s.rngs.Get().(*rand.Rand)
+		replicas, err := snap.PlaceAdditional(rng, placed, 1, core.PlacementConstraints{EnforceEnvironment: envStrict})
+		s.rngs.Put(rng)
+		if err != nil || len(replicas) == 0 {
+			return false
+		}
+		switch err := sh.blocks.Replace(snap.Generation, ref, replicas[0]); {
+		case err == nil:
+			return true
+		case errors.Is(err, blockledger.ErrStaleGeneration):
+			// A refresh re-keyed mid-repair; re-place against the new grid.
+			runtime.Gosched()
+			continue
+		case errors.Is(err, blockledger.ErrReplicaPlaced), errors.Is(err, blockledger.ErrUnknownBlock):
+			return true
+		default:
+			// The picked server raced into holding another replica of this
+			// block (a concurrent repair); pick again.
+			continue
+		}
+	}
+	return false
 }

@@ -220,6 +220,17 @@ func (s *Snapshot) Place(rng *rand.Rand, c core.PlacementConstraints) ([]tenant.
 	return replicas, err
 }
 
+// PlaceAdditional runs the re-replication variant of Alg. 2 on a pooled
+// clone: count more replicas for a block that already holds existing ones,
+// with the survivors' diversity constraints carried over. Safe for any number
+// of concurrent callers.
+func (s *Snapshot) PlaceAdditional(rng *rand.Rand, existing []tenant.ServerID, count int, c core.PlacementConstraints) ([]tenant.ServerID, error) {
+	placer := s.placers.Get().(*core.PlacementScheme)
+	replicas, err := placer.PlaceAdditional(rng, existing, count, c)
+	s.placers.Put(placer)
+	return replicas, err
+}
+
 // ClassOfServer resolves a server to its utilization class.
 func (s *Snapshot) ClassOfServer(id tenant.ServerID) (*core.UtilizationClass, bool) {
 	cid, ok := s.Clustering.ClassOfServer(id)

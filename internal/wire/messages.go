@@ -440,6 +440,122 @@ func (m *ServerClassResp) Decode(payload []byte) error {
 	return r.Done()
 }
 
+// PlaceBlockReq mirrors the JSON blockRequest: place AND record a block's
+// replicas in the block ledger (OpPlace computes a placement without
+// recording it). Flags carries PlaceFlag* bits.
+type PlaceBlockReq struct {
+	DC          []byte
+	Replication uint8
+	Flags       uint8
+	Writer      int64
+}
+
+// AppendPlaceBlockReq appends a complete place-block request frame.
+func AppendPlaceBlockReq(dst []byte, id uint64, dc string, m PlaceBlockReq) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, OpPlaceBlock, id)
+	dst = AppendStr8(dst, dc)
+	dst = AppendU8(dst, m.Replication)
+	dst = AppendU8(dst, m.Flags)
+	dst = AppendI64(dst, m.Writer)
+	return EndFrame(dst, mark)
+}
+
+// Decode parses a place-block request payload. DC aliases the payload.
+func (m *PlaceBlockReq) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.DC = r.Str8()
+	m.Replication = r.U8()
+	m.Flags = r.U8()
+	m.Writer = r.I64()
+	return r.Done()
+}
+
+// PlaceBlockResp mirrors the JSON blockResponse: the ledger-recorded block id
+// plus the replica servers placed for it.
+type PlaceBlockResp struct {
+	Generation uint64
+	Block      uint64
+	Replicas   []int64
+}
+
+// AppendPlaceBlockResp appends a complete place-block response frame.
+func AppendPlaceBlockResp(dst []byte, id uint64, m *PlaceBlockResp) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, OpPlaceBlockResp, id)
+	dst = AppendU64(dst, m.Generation)
+	dst = AppendU64(dst, m.Block)
+	dst = AppendU16(dst, uint16(len(m.Replicas)))
+	for _, s := range m.Replicas {
+		dst = AppendI64(dst, s)
+	}
+	return EndFrame(dst, mark)
+}
+
+// Decode parses a place-block response payload, reusing m.Replicas.
+func (m *PlaceBlockResp) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.Generation = r.U64()
+	m.Block = r.U64()
+	n := int(r.U16())
+	m.Replicas = sized(m.Replicas, n, 8, &r)
+	for i := range m.Replicas {
+		m.Replicas[i] = r.I64()
+	}
+	return r.Done()
+}
+
+// ReimageReq mirrors the JSON reimageRequest: the named server was reimaged;
+// every block replica it held is lost and queued for re-replication.
+type ReimageReq struct {
+	DC     []byte
+	Server int64
+}
+
+// AppendReimageReq appends a complete reimage request frame.
+func AppendReimageReq(dst []byte, id uint64, dc string, server int64) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, OpReimage, id)
+	dst = AppendStr8(dst, dc)
+	dst = AppendI64(dst, server)
+	return EndFrame(dst, mark)
+}
+
+// Decode parses a reimage request payload. DC aliases the payload.
+func (m *ReimageReq) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.DC = r.Str8()
+	m.Server = r.I64()
+	return r.Done()
+}
+
+// ReimageResp mirrors the JSON reimageResponse: how many replicas the event
+// lost and how many block-ledger slots are pending repair afterwards.
+type ReimageResp struct {
+	Server  int64
+	Lost    uint32
+	Pending uint32
+}
+
+// AppendReimageResp appends a complete reimage response frame.
+func AppendReimageResp(dst []byte, id uint64, m *ReimageResp) []byte {
+	mark := len(dst)
+	dst = BeginFrame(dst, OpReimageResp, id)
+	dst = AppendI64(dst, m.Server)
+	dst = AppendU32(dst, m.Lost)
+	dst = AppendU32(dst, m.Pending)
+	return EndFrame(dst, mark)
+}
+
+// Decode parses a reimage response payload.
+func (m *ReimageResp) Decode(payload []byte) error {
+	r := NewReader(payload)
+	m.Server = r.I64()
+	m.Lost = r.U32()
+	m.Pending = r.U32()
+	return r.Done()
+}
+
 // ErrorResp is the payload of an OpError frame: a status code (the HTTP
 // status the JSON API would have returned for the same failure) and a
 // human-readable message.

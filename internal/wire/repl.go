@@ -203,6 +203,79 @@ func decodeReplLedger(r *Reader, m *ReplLedger) {
 	}
 }
 
+// ReplBlockReplica is one replica slot of a replicated block. Server is
+// meaningless when Placed is false (the slot is awaiting repair).
+type ReplBlockReplica struct {
+	Server int64
+	Placed bool
+}
+
+// ReplBlock is one block in a replicated block-ledger state.
+type ReplBlock struct {
+	ID        uint64
+	EnvStrict bool
+	Replicas  []ReplBlockReplica
+}
+
+// ReplBlocks is the full block-ledger state riding on every push, after the
+// lease ledger: every block's replica slots plus the cumulative durability
+// books, so a promoted follower's block conservation (placed + pending ==
+// slots, lost == replaced + pending) holds from the instant of handoff and
+// its rebuilt repair queue covers exactly the pending slots.
+type ReplBlocks struct {
+	Generation uint64
+	Lost       int64
+	Replaced   int64
+	Creates    uint64
+	Reimages   uint64
+	Blocks     []ReplBlock
+}
+
+func appendReplBlocks(dst []byte, m *ReplBlocks) []byte {
+	dst = AppendU64(dst, m.Generation)
+	dst = AppendI64(dst, m.Lost)
+	dst = AppendI64(dst, m.Replaced)
+	dst = AppendU64(dst, m.Creates)
+	dst = AppendU64(dst, m.Reimages)
+	dst = AppendU32(dst, uint32(len(m.Blocks)))
+	for i := range m.Blocks {
+		b := &m.Blocks[i]
+		dst = AppendU64(dst, b.ID)
+		dst = AppendU8(dst, boolByte(b.EnvStrict))
+		dst = AppendU8(dst, uint8(len(b.Replicas)))
+		for _, rep := range b.Replicas {
+			dst = AppendI64(dst, rep.Server)
+			dst = AppendU8(dst, boolByte(rep.Placed))
+		}
+	}
+	return dst
+}
+
+// replBlockMinSize is a block's floor on the wire: id + env byte + replica
+// count.
+const replBlockMinSize = 8 + 1 + 1
+
+func decodeReplBlocks(r *Reader, m *ReplBlocks) {
+	m.Generation = r.U64()
+	m.Lost = r.I64()
+	m.Replaced = r.I64()
+	m.Creates = r.U64()
+	m.Reimages = r.U64()
+	n := int(r.U32())
+	m.Blocks = sized(m.Blocks, n, replBlockMinSize, r)
+	for i := range m.Blocks {
+		b := &m.Blocks[i]
+		b.ID = r.U64()
+		b.EnvStrict = r.U8() != 0
+		nr := int(r.U8())
+		b.Replicas = sized(b.Replicas, nr, 9, r)
+		for j := range b.Replicas {
+			b.Replicas[j].Server = r.I64()
+			b.Replicas[j].Placed = r.U8() != 0
+		}
+	}
+}
+
 // ReplSnapshot is the payload of both OpReplSnap and OpReplDelta frames —
 // one datacenter's complete characterization state. Full snapshots carry
 // every class in full and PrevGeneration 0; deltas set PrevGeneration to the
@@ -217,6 +290,7 @@ type ReplSnapshot struct {
 	BuiltAtUnixNano int64
 	Classes         []ReplClass
 	Ledger          ReplLedger
+	Blocks          ReplBlocks
 }
 
 // AppendReplSnapshot appends a complete snapshot or delta frame (op must be
@@ -257,6 +331,7 @@ func AppendReplSnapshot(dst []byte, op Op, id uint64, m *ReplSnapshot) []byte {
 		}
 	}
 	dst = appendReplLedger(dst, &m.Ledger)
+	dst = appendReplBlocks(dst, &m.Blocks)
 	return EndFrame(dst, mark)
 }
 
@@ -307,6 +382,7 @@ func (m *ReplSnapshot) Decode(payload []byte) error {
 		}
 	}
 	decodeReplLedger(&r, &m.Ledger)
+	decodeReplBlocks(&r, &m.Blocks)
 	return r.Done()
 }
 
@@ -326,6 +402,7 @@ type ReplBeat struct {
 	AsOfSeconds  float64
 	Usage        []ReplClassUsage
 	Ledger       ReplLedger
+	Blocks       ReplBlocks
 }
 
 // AppendReplBeat appends a complete beat frame.
@@ -342,6 +419,7 @@ func AppendReplBeat(dst []byte, id uint64, m *ReplBeat) []byte {
 		dst = AppendF64(dst, u.Current)
 	}
 	dst = appendReplLedger(dst, &m.Ledger)
+	dst = appendReplBlocks(dst, &m.Blocks)
 	return EndFrame(dst, mark)
 }
 
@@ -359,5 +437,6 @@ func (m *ReplBeat) Decode(payload []byte) error {
 		m.Usage[i].Current = r.F64()
 	}
 	decodeReplLedger(&r, &m.Ledger)
+	decodeReplBlocks(&r, &m.Blocks)
 	return r.Done()
 }

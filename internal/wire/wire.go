@@ -76,6 +76,8 @@ const (
 	OpClasses     Op = 0x04
 	OpServerClass Op = 0x05
 	OpRenew       Op = 0x06
+	OpPlaceBlock  Op = 0x07
+	OpReimage     Op = 0x08
 
 	OpSelectResp      = OpSelect | RespBit
 	OpReleaseResp     = OpRelease | RespBit
@@ -83,6 +85,8 @@ const (
 	OpClassesResp     = OpClasses | RespBit
 	OpServerClassResp = OpServerClass | RespBit
 	OpRenewResp       = OpRenew | RespBit
+	OpPlaceBlockResp  = OpPlaceBlock | RespBit
+	OpReimageResp     = OpReimage | RespBit
 
 	// Replication opcodes (0x10-0x1F): the intra-DC primary→follower snapshot
 	// stream (internal/service/replication.go). OpReplHello is the one
@@ -118,6 +122,10 @@ func (o Op) String() string {
 		return "server_class"
 	case OpRenew:
 		return "renew"
+	case OpPlaceBlock:
+		return "place_block"
+	case OpReimage:
+		return "reimage"
 	case OpSelectResp:
 		return "select_resp"
 	case OpReleaseResp:
@@ -130,6 +138,10 @@ func (o Op) String() string {
 		return "server_class_resp"
 	case OpRenewResp:
 		return "renew_resp"
+	case OpPlaceBlockResp:
+		return "place_block_resp"
+	case OpReimageResp:
+		return "reimage_resp"
 	case OpReplHello:
 		return "repl_hello"
 	case OpReplHelloResp:
@@ -149,7 +161,8 @@ func (o Op) String() string {
 // IsRequest reports whether the opcode is a client-to-server request.
 func (o Op) IsRequest() bool {
 	switch o {
-	case OpSelect, OpRelease, OpPlace, OpClasses, OpServerClass, OpRenew:
+	case OpSelect, OpRelease, OpPlace, OpClasses, OpServerClass, OpRenew,
+		OpPlaceBlock, OpReimage:
 		return true
 	}
 	return false
